@@ -1,0 +1,59 @@
+// Command buoygen generates the synthetic wind-buoy traces that stand in
+// for the PMEL data set of the paper's Section 6.2.1 (see DESIGN.md §4) and
+// writes them as per-object CSV files ("time,value" rows, seconds from
+// start). Anyone holding the real Tropical Atmosphere Ocean measurements can
+// convert them to the same format and replay them through the simulator via
+// workload.ReadTraceCSV.
+//
+// Example:
+//
+//	buoygen -out /tmp/buoys -buoys 40 -days 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"bestsync/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "buoy-traces", "output directory")
+	buoys := flag.Int("buoys", 40, "number of buoys")
+	comps := flag.Int("components", 2, "wind-vector components per buoy")
+	days := flag.Float64("days", 7, "days of data")
+	sample := flag.Float64("sample", 600, "seconds between measurements")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := workload.DefaultBuoyConfig()
+	cfg.Days = *days
+	cfg.SampleEvery = *sample
+	rng := rand.New(rand.NewSource(*seed))
+	fleet := workload.GenBuoyFleet(rng, cfg, *buoys, *comps)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("buoygen: %v", err)
+	}
+	for i, tr := range fleet {
+		buoy, comp := i / *comps, i%*comps
+		path := filepath.Join(*out, fmt.Sprintf("buoy%03d_c%d.csv", buoy, comp))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("buoygen: %v", err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatalf("buoygen: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("buoygen: %v", err)
+		}
+	}
+	fmt.Printf("wrote %d traces (%d buoys × %d components, %.3g days at %.0fs cadence) to %s\n",
+		len(fleet), *buoys, *comps, *days, *sample, *out)
+}

@@ -1,0 +1,93 @@
+// Command cachesyncd runs a live cache node over TCP. Sources connect with
+// cmd/sourceagent (or any client speaking the internal/wire protocol),
+// stream refresh messages, and receive positive feedback when the cache has
+// spare processing bandwidth.
+//
+// Example:
+//
+//	cachesyncd -addr :7400 -bandwidth 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7400", "listen address")
+	httpAddr := flag.String("http", "", "optional HTTP status address (e.g. :7401)")
+	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cachesyncd: %v", err)
+	}
+	ep := transport.Serve(ln, 256)
+	cache := runtime.NewCache(runtime.CacheConfig{Bandwidth: *bw}, ep)
+	log.Printf("cachesyncd: listening on %s, bandwidth %.1f msgs/s", ln.Addr(), *bw)
+	if *snapshotPath != "" {
+		if err := cache.LoadSnapshotFile(*snapshotPath); err != nil {
+			log.Fatalf("cachesyncd: loading snapshot: %v", err)
+		}
+		log.Printf("cachesyncd: restored %d objects from %s", cache.Len(), *snapshotPath)
+		go func() {
+			for range time.Tick(*snapshotEvery) {
+				if err := cache.SaveSnapshotFile(*snapshotPath); err != nil {
+					log.Printf("cachesyncd: snapshot: %v", err)
+				}
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/status", cache.StatusHandler(100))
+		go func() {
+			log.Printf("cachesyncd: status at http://%s/status", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Printf("cachesyncd: http: %v", err)
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var ticker *time.Ticker
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+	} else {
+		ticker = time.NewTicker(time.Hour)
+		ticker.Stop()
+	}
+	for {
+		select {
+		case <-stop:
+			log.Print("cachesyncd: shutting down")
+			if *snapshotPath != "" {
+				if err := cache.SaveSnapshotFile(*snapshotPath); err != nil {
+					log.Printf("cachesyncd: final snapshot: %v", err)
+				}
+			}
+			cache.Close()
+			ep.Close()
+			return
+		case <-ticker.C:
+			st := cache.Stats()
+			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d\n",
+				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command sourceagent runs a live source node over TCP: it generates a
+// random-walk workload over a set of local objects and cooperates with a
+// cachesyncd cache to keep the most important changes synchronized under the
+// configured bandwidth.
+//
+// Example:
+//
+//	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7400", "cache daemon address")
+	id := flag.String("id", "source-1", "source identifier")
+	objects := flag.Int("objects", 20, "number of local objects")
+	rate := flag.Float64("rate", 1, "total updates per second across all objects")
+	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	flag.Parse()
+
+	conn, err := transport.Dial(*addr, *id)
+	if err != nil {
+		log.Fatalf("sourceagent: %v", err)
+	}
+	src := runtime.NewSource(runtime.SourceConfig{
+		ID:        *id,
+		Metric:    metric.ValueDeviation,
+		Bandwidth: *bw,
+	}, conn)
+	log.Printf("sourceagent %s: %d objects, %.2g updates/s, %.2g msgs/s to %s",
+		*id, *objects, *rate, *bw, *addr)
+
+	rng := rand.New(rand.NewSource(*seed))
+	values := make([]float64, *objects)
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	updates := time.NewTicker(interval)
+	defer updates.Stop()
+	stats := time.NewTicker(*statsEvery)
+	defer stats.Stop()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	for {
+		select {
+		case <-stop:
+			log.Printf("sourceagent %s: shutting down", *id)
+			src.Close()
+			return
+		case <-updates.C:
+			i := rng.Intn(*objects)
+			if rng.Intn(2) == 0 {
+				values[i]++
+			} else {
+				values[i]--
+			}
+			src.Update(fmt.Sprintf("%s/obj-%d", *id, i), values[i])
+		case <-stats.C:
+			st := src.Stats()
+			fmt.Printf("updates=%d refreshes=%d feedback=%d pending=%d threshold=%.4g\n",
+				st.Updates, st.Refreshes, st.Feedbacks, st.Pending, st.Threshold)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command syncbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	syncbench [flags] [experiment ids...]
+//
+// With no ids, every experiment runs in DESIGN.md order. Available ids:
+// e1 e2 (Section 4.3 validations), p1 (Section 6.1 parameter sweep),
+// f4 f5 f6 (Figures 4–6), a1 a2 a3 a4 (ablations), e7 e8 e9 (Sections 7–9
+// extensions), e10 e11 e12 e13 (Section 10.1 future-work extensions).
+//
+// Flags:
+//
+//	-full      run the paper-scale grids (minutes–hours) instead of the
+//	           reduced quick grids (seconds each)
+//	-seed N    base random seed (default 1)
+//	-csv DIR   also write each table as CSV files under DIR
+//	-list      list experiment ids and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bestsync/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale grids")
+	seed := flag.Int64("seed", 1, "base random seed")
+	csvDir := flag.String("csv", "", "directory to write CSV tables into")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.Order()
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	for _, id := range ids {
+		runner, ok := reg[strings.ToLower(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "syncbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := runner(scale, *seed)
+		fmt.Printf("# %s (%s scale, %.1fs)\n\n", id, scale, time.Since(start).Seconds())
+		if _, err := out.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "syncbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, id, &out); err != nil {
+				fmt.Fprintf(os.Stderr, "syncbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSVs(dir, id string, out *experiments.Output) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range out.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", id, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := out.Tables[i].CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

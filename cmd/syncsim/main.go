@@ -1,0 +1,102 @@
+// Command syncsim runs a single best-effort synchronization simulation with
+// custom parameters and prints the measurements — handy for exploring the
+// parameter space beyond the canned experiments of cmd/syncbench.
+//
+// Example:
+//
+//	syncsim -sources 100 -objects 10 -cachebw 200 -sourcebw 20 \
+//	        -metric deviation -duration 1000 -mb 0.05 -policy coop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/core"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		sources  = flag.Int("sources", 10, "number of sources (m)")
+		objects  = flag.Int("objects", 10, "objects per source (n)")
+		metricF  = flag.String("metric", "deviation", "divergence metric: staleness|lag|deviation")
+		duration = flag.Float64("duration", 1000, "simulated seconds")
+		warmup   = flag.Float64("warmup", 200, "warm-up seconds excluded from measurement")
+		cacheBW  = flag.Float64("cachebw", 50, "mean cache-side bandwidth (msgs/s)")
+		sourceBW = flag.Float64("sourcebw", 0, "mean source-side bandwidth (msgs/s, 0 = unlimited)")
+		mb       = flag.Float64("mb", 0, "max relative bandwidth change rate m_B")
+		rateLo   = flag.Float64("ratelo", 0.01, "min Poisson update rate")
+		rateHi   = flag.Float64("ratehi", 1.0, "max Poisson update rate")
+		policy   = flag.String("policy", "coop", "scheduler: coop|ideal")
+		alpha    = flag.Float64("alpha", core.DefaultAlpha, "threshold increase factor α")
+		omega    = flag.Float64("omega", core.DefaultOmega, "threshold decrease factor ω")
+	)
+	flag.Parse()
+
+	var mk metric.Kind
+	switch strings.ToLower(*metricF) {
+	case "staleness":
+		mk = metric.Staleness
+	case "lag":
+		mk = metric.Lag
+	case "deviation", "value-deviation":
+		mk = metric.ValueDeviation
+	default:
+		fmt.Fprintf(os.Stderr, "syncsim: unknown metric %q\n", *metricF)
+		os.Exit(2)
+	}
+
+	n := *sources * *objects
+	rng := rand.New(rand.NewSource(*seed + 1))
+	cfg := engine.Config{
+		Seed:             *seed,
+		Sources:          *sources,
+		ObjectsPerSource: *objects,
+		Metric:           mk,
+		Duration:         *duration,
+		Warmup:           *warmup,
+		CacheBW:          bandwidth.Fluctuating(*cacheBW, *mb, 0),
+		Rates:            workload.UniformRates(rng, n, *rateLo, *rateHi),
+		Params: core.Params{
+			Alpha:            *alpha,
+			Omega:            *omega,
+			InitialThreshold: 1,
+		},
+	}
+	if *sourceBW > 0 {
+		cfg.SourceBW = bandwidth.Fluctuating(*sourceBW, *mb, 2)
+	}
+	switch strings.ToLower(*policy) {
+	case "coop", "cooperative":
+		cfg.Policy = engine.Cooperative
+	case "ideal":
+		cfg.Policy = engine.IdealCooperative
+	default:
+		fmt.Fprintf(os.Stderr, "syncsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	res, err := engine.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "syncsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy:               %s\n", cfg.Policy)
+	fmt.Printf("metric:               %s\n", mk)
+	fmt.Printf("objects:              %d sources × %d = %d\n", *sources, *objects, n)
+	fmt.Printf("updates:              %d\n", res.Updates)
+	fmt.Printf("refreshes sent:       %d\n", res.RefreshesSent)
+	fmt.Printf("refreshes delivered:  %d\n", res.RefreshesDelivered)
+	fmt.Printf("feedback messages:    %d\n", res.FeedbackSent)
+	fmt.Printf("peak queue length:    %d\n", res.PeakQueue)
+	fmt.Printf("mean final threshold: %.4g\n", res.MeanThreshold)
+	fmt.Printf("avg divergence/obj:   %.6g\n", res.AvgDivergence)
+}

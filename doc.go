@@ -1,0 +1,14 @@
+// Package bestsync is a from-scratch Go implementation of best-effort cache
+// synchronization with source cooperation (Olston & Widom, SIGMOD 2002).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable entry points are:
+//
+//   - cmd/syncbench — regenerate the paper's tables and figures
+//   - cmd/syncsim   — run one simulation with custom parameters
+//   - cmd/cachesyncd, cmd/sourceagent — live TCP cache and source daemons
+//   - examples/*    — library usage walkthroughs
+//
+// The benchmarks in bench_test.go map one-to-one onto the experiment index
+// in DESIGN.md §3.
+package bestsync

@@ -1,0 +1,88 @@
+// Quickstart: a complete in-process deployment of best-effort cache
+// synchronization — one cache, two sources, constrained bandwidth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+func main() {
+	// The in-process "network": refresh messages queue here when the cache
+	// is busy, just like the paper's bandwidth-limited link.
+	net := transport.NewLocal(64)
+
+	// A cache that can absorb 50 refresh messages per second. Spare budget
+	// becomes positive feedback telling sources to refresh more eagerly.
+	cache := runtime.NewCache(runtime.CacheConfig{Bandwidth: 50}, net)
+	defer cache.Close()
+
+	// Two sources with different send budgets.
+	mkSource := func(id string, bw float64) *runtime.Source {
+		conn, err := net.Dial(id)
+		if err != nil {
+			panic(err)
+		}
+		return runtime.NewSource(runtime.SourceConfig{
+			ID:        id,
+			Metric:    metric.ValueDeviation, // |source − cached|
+			Bandwidth: bw,
+		}, conn)
+	}
+	fast := mkSource("fast-sensor", 40)
+	slow := mkSource("slow-sensor", 5)
+	defer fast.Close()
+	defer slow.Close()
+
+	// Generate random-walk measurements for a second or so.
+	rng := rand.New(rand.NewSource(42))
+	temp, pressure := 20.0, 1013.0
+	for i := 0; i < 100; i++ {
+		temp += rng.Float64() - 0.5
+		pressure += 2 * (rng.Float64() - 0.5)
+		fast.Update("temperature", temp)
+		slow.Update("pressure", pressure)
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // let the last refreshes drain
+
+	// Read the cached copies and compare with the source truth.
+	report := func(id string, truth float64) {
+		e, ok := cache.Get(id)
+		if !ok {
+			fmt.Printf("%-12s  never synchronized\n", id)
+			return
+		}
+		fmt.Printf("%-12s  source=%8.3f  cached=%8.3f  divergence=%.3f\n",
+			id, truth, e.Value, abs(truth-e.Value))
+	}
+	fmt.Println("object        source value   cached value   divergence")
+	report("temperature", temp)
+	report("pressure", pressure)
+
+	cs := cache.Stats()
+	fmt.Printf("\ncache: %d refreshes applied, %d feedback messages sent\n",
+		cs.Refreshes, cs.Feedbacks)
+	for _, s := range []*runtime.Source{fast, slow} {
+		st := s.Stats()
+		fmt.Printf("%s: %d updates → %d refreshes (threshold %.2g)\n",
+			map[*runtime.Source]string{fast: "fast-sensor", slow: "slow-sensor"}[s],
+			st.Updates, st.Refreshes, st.Threshold)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

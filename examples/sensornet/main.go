@@ -1,0 +1,77 @@
+// Sensornet: the paper's motivating scenario (Section 1) — hundreds of
+// battery-powered sensors behind a low-bandwidth wireless uplink, too little
+// capacity to propagate every reading. This example runs the simulation
+// engine twice over the same sensor workload: once with the cooperative
+// threshold protocol and once with the idealized global scheduler, and shows
+// how close best-effort synchronization gets to the ideal at each uplink
+// capacity.
+//
+// Run with:
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+func main() {
+	const (
+		sensors   = 200 // sources: cheap radio nodes
+		readings  = 5   // objects per sensor: temperature, wind, ...
+		duration  = 600 // seconds simulated
+		warmup    = 120
+		totalObjs = sensors * readings
+	)
+
+	// Sensor readings change at heterogeneous rates; a few "alarm" channels
+	// are weighted 10× because monitoring cares most about them.
+	rng := rand.New(rand.NewSource(7))
+	rates := workload.UniformRates(rng, totalObjs, 0.02, 0.5)
+	weights := make([]weight.Fn, totalObjs)
+	for i := range weights {
+		if i%readings == 0 {
+			weights[i] = weight.Const(10) // the alarm channel
+		} else {
+			weights[i] = weight.Const(1)
+		}
+	}
+
+	fmt.Println("sensor network: 200 sensors × 5 readings, value-deviation metric")
+	fmt.Println()
+	fmt.Printf("%-22s %-14s %-14s %-8s\n",
+		"uplink (msgs/s)", "cooperative", "ideal", "ratio")
+	for _, uplink := range []float64{10, 25, 50, 100, 200} {
+		cfg := engine.Config{
+			Seed:             1,
+			Sources:          sensors,
+			ObjectsPerSource: readings,
+			Metric:           metric.ValueDeviation,
+			Duration:         duration,
+			Warmup:           warmup,
+			CacheBW:          bandwidth.Fluctuating(uplink, 0.05, 0),
+			SourceBW:         bandwidth.Const(2), // each node's radio budget
+			Rates:            rates,
+			Weights:          weights,
+		}
+		cfg.Policy = engine.Cooperative
+		coop := engine.MustRun(cfg)
+		cfg.Policy = engine.IdealCooperative
+		ideal := engine.MustRun(cfg)
+		fmt.Printf("%-22.0f %-14.4f %-14.4f %-8.2f\n",
+			uplink, coop.AvgDivergence, ideal.AvgDivergence,
+			coop.AvgDivergence/ideal.AvgDivergence)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: with scarce uplink bandwidth the cooperative")
+	fmt.Println("protocol concentrates refreshes on the weighted alarm channels and")
+	fmt.Println("the slowest-diverging readings, tracking the idealized scheduler")
+	fmt.Println("without any global coordination.")
+}

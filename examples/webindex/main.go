@@ -1,0 +1,108 @@
+// Webindex: the paper's Web-indexing scenario — a search index (the cache)
+// tracking documents at many content providers (the sources) under the
+// staleness metric, with popularity-skewed weights. Compares cooperative
+// synchronization against the cache-driven CGM polling baselines the paper
+// evaluates in Section 6.3.
+//
+// Run with:
+//
+//	go run ./examples/webindex
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/cgm"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+func main() {
+	const (
+		providers = 50 // content providers
+		pages     = 20 // pages per provider
+		duration  = 500
+		warmup    = 100
+	)
+	n := providers * pages
+
+	rng := rand.New(rand.NewSource(3))
+	// Page change rates: most pages change rarely, some churn constantly.
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = 0.01 * pow(1.5, float64(rng.Intn(12)))
+	}
+	// Popularity weights follow a Zipf law (PageRank-ish skew).
+	zipf := workload.ZipfWeights(n, 1.0)
+	weights := make([]weight.Fn, n)
+	perm := rng.Perm(n)
+	for i := range weights {
+		weights[i] = weight.Const(zipf[perm[i]])
+	}
+
+	crawlBudget := float64(n) / 4 // messages/second the index can absorb
+	fmt.Printf("web index: %d providers × %d pages, crawl budget %.0f msgs/s\n\n",
+		providers, pages, crawlBudget)
+
+	// Cooperative: providers push changed pages, prioritized by 1/λ × pop.
+	cfg := engine.Config{
+		Seed:             1,
+		Sources:          providers,
+		ObjectsPerSource: pages,
+		Metric:           metric.Staleness,
+		PriorityFn:       priority.PoissonStaleness,
+		Duration:         duration,
+		Warmup:           warmup,
+		CacheBW:          bandwidth.Const(crawlBudget),
+		Rates:            rates,
+		Weights:          weights,
+	}
+	coop := engine.MustRun(cfg)
+
+	// Cache-driven baselines: the index polls providers blindly.
+	base := cgm.Config{
+		Seed:     1,
+		Objects:  n,
+		Metric:   metric.Staleness,
+		Duration: duration,
+		Warmup:   warmup,
+		CacheBW:  bandwidth.Const(crawlBudget),
+		Rates:    rates,
+	}
+	results := []struct {
+		name string
+		div  float64
+	}{
+		{"cooperative push (this paper)", coop.AvgDivergence},
+	}
+	for _, mode := range []cgm.Mode{cgm.IdealCacheBased, cgm.CGM1, cgm.CGM2} {
+		c := base
+		c.Mode = mode
+		results = append(results, struct {
+			name string
+			div  float64
+		}{mode.String() + " polling", cgm.MustRun(c).AvgDivergence})
+	}
+
+	fmt.Printf("%-34s %s\n", "strategy", "avg weighted staleness")
+	for _, r := range results {
+		fmt.Printf("%-34s %.4f\n", r.name, r.div)
+	}
+	fmt.Println()
+	fmt.Println("Cooperative providers notify the index only when pages actually")
+	fmt.Println("change and rank rarely-changing popular pages first, so the same")
+	fmt.Println("crawl budget buys a much fresher index than blind polling.")
+}
+
+func pow(b, e float64) float64 {
+	r := 1.0
+	for i := 0; i < int(e); i++ {
+		r *= b
+	}
+	return r
+}

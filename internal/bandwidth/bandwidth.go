@@ -1,0 +1,153 @@
+// Package bandwidth models the fluctuating bandwidth constraints of Olston &
+// Widom (SIGMOD 2002), Section 6: the cache-side capacity C(t) and the
+// per-source capacities B_j(t). In the paper's simulations, "the available
+// cache-side and source-side bandwidth fluctuate over time following a sine
+// wave pattern" whose maximum relative rate of change is the parameter m_B;
+// m_B = 0 means constant bandwidth.
+//
+// All messages have unit size (one message consumes one unit of bandwidth),
+// so capacity is expressed in messages per second. Capacity accrues into
+// token buckets; fractional rates (e.g. one message per minute for the wind
+// buoy experiment) accumulate across ticks until a whole message can be
+// sent.
+package bandwidth
+
+import (
+	"math"
+)
+
+// Profile is a time-varying capacity in messages per second.
+type Profile interface {
+	// Rate returns the instantaneous capacity at time t.
+	Rate(t float64) float64
+	// Integral returns the total capacity available over [t0, t1].
+	Integral(t0, t1 float64) float64
+}
+
+// Const is a constant capacity.
+type Const float64
+
+// Rate implements Profile.
+func (c Const) Rate(float64) float64 { return float64(c) }
+
+// Integral implements Profile.
+func (c Const) Integral(t0, t1 float64) float64 { return float64(c) * (t1 - t0) }
+
+// Sine is a sinusoidally fluctuating capacity
+//
+//	B(t) = Mean · (1 + Amp·sin(2πt/Period + Phase)).
+type Sine struct {
+	Mean   float64
+	Amp    float64 // relative amplitude in [0,1]
+	Period float64
+	Phase  float64
+}
+
+// Rate implements Profile.
+func (s Sine) Rate(t float64) float64 {
+	return s.Mean * (1 + s.Amp*math.Sin(2*math.Pi*t/s.Period+s.Phase))
+}
+
+// Integral implements Profile.
+func (s Sine) Integral(t0, t1 float64) float64 {
+	omega := 2 * math.Pi / s.Period
+	return s.Mean*(t1-t0) +
+		s.Mean*s.Amp/omega*(math.Cos(omega*t0+s.Phase)-math.Cos(omega*t1+s.Phase))
+}
+
+// DefaultAmp is the relative amplitude used by Fluctuating. The paper
+// specifies only the mean bandwidth and the maximum relative change rate
+// m_B; we fix the amplitude at 0.5 and derive the period (see DESIGN.md §4).
+const DefaultAmp = 0.5
+
+// Fluctuating builds the paper's fluctuation model from a mean capacity and
+// the maximum relative change rate m_B: with B(t) = B̄(1 + A·sin(2πt/P + φ))
+// the peak of |B′(t)|/B̄ is A·2π/P, so P = 2πA/m_B. maxChange = 0 yields a
+// constant profile.
+func Fluctuating(mean, maxChange, phase float64) Profile {
+	if maxChange <= 0 {
+		return Const(mean)
+	}
+	return Sine{
+		Mean:   mean,
+		Amp:    DefaultAmp,
+		Period: 2 * math.Pi * DefaultAmp / maxChange,
+		Phase:  phase,
+	}
+}
+
+// Step is a piecewise-constant capacity, used for failure-injection and
+// ablation experiments (e.g. a sudden bandwidth collapse). Times must be
+// strictly increasing; Rates[i] applies on [Times[i], Times[i+1]). Before
+// Times[0] the capacity is Rates[0].
+type Step struct {
+	Times []float64
+	Rates []float64
+}
+
+// Rate implements Profile.
+func (s Step) Rate(t float64) float64 {
+	r := s.Rates[0]
+	for i, ti := range s.Times {
+		if t < ti {
+			break
+		}
+		r = s.Rates[i]
+	}
+	return r
+}
+
+// Integral implements Profile by summing over the constant segments.
+func (s Step) Integral(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	total := 0.0
+	cur := t0
+	for cur < t1 {
+		r := s.Rate(cur)
+		next := t1
+		for _, ti := range s.Times {
+			if ti > cur && ti < next {
+				next = ti
+			}
+		}
+		total += r * (next - cur)
+		cur = next
+	}
+	return total
+}
+
+// Bucket is a token bucket fed from a Profile. Tokens accrue continuously
+// and are capped at Burst to prevent an idle link from saving up an
+// unbounded burst; Burst should normally be max(1, one tick's capacity).
+type Bucket struct {
+	Tokens float64
+	Burst  float64
+}
+
+// Accrue adds capacity earned over [t0, t1] under profile p, clamped to the
+// burst limit.
+func (b *Bucket) Accrue(p Profile, t0, t1 float64) {
+	b.Tokens += p.Integral(t0, t1)
+	if b.Burst > 0 && b.Tokens > b.Burst {
+		b.Tokens = b.Burst
+	}
+}
+
+// TryTake consumes n tokens if available and reports whether it did.
+func (b *Bucket) TryTake(n float64) bool {
+	if b.Tokens+1e-9 < n {
+		return false
+	}
+	b.Tokens -= n
+	return true
+}
+
+// Whole returns the number of whole messages currently sendable.
+func (b *Bucket) Whole() int {
+	if b.Tokens < 0 {
+		return 0
+	}
+	return int(b.Tokens + 1e-9)
+}

@@ -1,0 +1,216 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func numericIntegral(p Profile, t0, t1 float64) float64 {
+	const steps = 20000
+	h := (t1 - t0) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		a := t0 + float64(i)*h
+		sum += (p.Rate(a) + p.Rate(a+h)) / 2 * h
+	}
+	return sum
+}
+
+func TestConstProfile(t *testing.T) {
+	p := Const(10)
+	if p.Rate(42) != 10 {
+		t.Errorf("Rate = %v, want 10", p.Rate(42))
+	}
+	if p.Integral(2, 7) != 50 {
+		t.Errorf("Integral = %v, want 50", p.Integral(2, 7))
+	}
+}
+
+func TestSineIntegralMatchesNumeric(t *testing.T) {
+	p := Sine{Mean: 20, Amp: 0.5, Period: 13, Phase: 0.7}
+	want := numericIntegral(p, 3, 29)
+	got := p.Integral(3, 29)
+	if math.Abs(got-want) > 1e-4*(1+want) {
+		t.Errorf("Integral = %v, want %v", got, want)
+	}
+}
+
+func TestSineRateNonNegative(t *testing.T) {
+	p := Sine{Mean: 5, Amp: 1, Period: 10}
+	for tm := 0.0; tm < 20; tm += 0.05 {
+		if p.Rate(tm) < 0 {
+			t.Fatalf("Rate(%v) = %v < 0", tm, p.Rate(tm))
+		}
+	}
+}
+
+func TestFluctuatingZeroChangeIsConst(t *testing.T) {
+	p := Fluctuating(7, 0, 0)
+	if _, ok := p.(Const); !ok {
+		t.Fatalf("Fluctuating(7,0,0) = %T, want Const", p)
+	}
+	if p.Rate(5) != 7 {
+		t.Errorf("Rate = %v, want 7", p.Rate(5))
+	}
+}
+
+func TestFluctuatingPeakChangeRate(t *testing.T) {
+	// The max of |dB/dt|/mean should equal m_B.
+	for _, mB := range []float64{0.005, 0.05, 0.25} {
+		p := Fluctuating(100, mB, 0).(Sine)
+		maxRel := 0.0
+		dt := p.Period / 10000
+		for tm := 0.0; tm < p.Period; tm += dt {
+			rel := math.Abs(p.Rate(tm+dt)-p.Rate(tm)) / dt / p.Mean
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if math.Abs(maxRel-mB) > 0.02*mB {
+			t.Errorf("m_B=%v: observed peak relative change %v", mB, maxRel)
+		}
+	}
+}
+
+func TestFluctuatingMeanPreserved(t *testing.T) {
+	p := Fluctuating(40, 0.05, 0).(Sine)
+	avg := p.Integral(0, p.Period*4) / (p.Period * 4)
+	if math.Abs(avg-40) > 1e-9 {
+		t.Errorf("average over whole periods = %v, want 40", avg)
+	}
+}
+
+func TestStepRate(t *testing.T) {
+	p := Step{Times: []float64{0, 10, 20}, Rates: []float64{5, 1, 8}}
+	cases := []struct{ t, want float64 }{
+		{0, 5}, {9.99, 5}, {10, 1}, {15, 1}, {20, 8}, {100, 8},
+	}
+	for _, c := range cases {
+		if got := p.Rate(c.t); got != c.want {
+			t.Errorf("Rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStepIntegral(t *testing.T) {
+	p := Step{Times: []float64{0, 10}, Rates: []float64{5, 1}}
+	// [2,14] = 8s at 5 + 4s at 1 = 44
+	if got := p.Integral(2, 14); math.Abs(got-44) > 1e-12 {
+		t.Errorf("Integral(2,14) = %v, want 44", got)
+	}
+	if got := p.Integral(7, 7); got != 0 {
+		t.Errorf("empty integral = %v, want 0", got)
+	}
+	if got := p.Integral(12, 10); got != 0 {
+		t.Errorf("reversed integral = %v, want 0", got)
+	}
+}
+
+func TestBucketAccrueAndTake(t *testing.T) {
+	b := Bucket{Burst: 10}
+	b.Accrue(Const(2), 0, 3) // 6 tokens
+	if !b.TryTake(5) {
+		t.Fatal("TryTake(5) failed with 6 tokens")
+	}
+	if b.TryTake(2) {
+		t.Fatal("TryTake(2) succeeded with 1 token")
+	}
+	if !b.TryTake(1) {
+		t.Fatal("TryTake(1) failed with 1 token")
+	}
+}
+
+func TestBucketBurstCap(t *testing.T) {
+	b := Bucket{Burst: 3}
+	b.Accrue(Const(100), 0, 10)
+	if b.Tokens != 3 {
+		t.Errorf("Tokens = %v, want capped at 3", b.Tokens)
+	}
+}
+
+func TestBucketNoBurstCapWhenZero(t *testing.T) {
+	b := Bucket{}
+	b.Accrue(Const(100), 0, 10)
+	if b.Tokens != 1000 {
+		t.Errorf("Tokens = %v, want 1000 (uncapped)", b.Tokens)
+	}
+}
+
+func TestBucketFractionalAccumulation(t *testing.T) {
+	// One message per minute: after 60 one-second accruals a message fits.
+	b := Bucket{Burst: 2}
+	p := Const(1.0 / 60)
+	sent := 0
+	for tick := 0; tick < 600; tick++ {
+		b.Accrue(p, float64(tick), float64(tick+1))
+		for b.TryTake(1) {
+			sent++
+		}
+	}
+	if sent != 10 {
+		t.Errorf("sent %d messages in 600s at 1/min, want 10", sent)
+	}
+}
+
+func TestBucketWhole(t *testing.T) {
+	b := Bucket{Tokens: 3.7}
+	if b.Whole() != 3 {
+		t.Errorf("Whole = %d, want 3", b.Whole())
+	}
+	b.Tokens = -1
+	if b.Whole() != 0 {
+		t.Errorf("Whole with negative tokens = %d, want 0", b.Whole())
+	}
+	// Float fuzz just below an integer should round up via epsilon.
+	b.Tokens = 2.9999999999
+	if b.Whole() != 3 {
+		t.Errorf("Whole(2.9999999999) = %d, want 3", b.Whole())
+	}
+}
+
+// Property: token conservation — total taken never exceeds total accrued.
+func TestBucketConservation(t *testing.T) {
+	f := func(accruals []uint8) bool {
+		b := Bucket{}
+		total := 0.0
+		taken := 0.0
+		for _, a := range accruals {
+			amt := float64(a) / 16
+			b.Accrue(Const(amt), 0, 1)
+			total += amt
+			for b.TryTake(1) {
+				taken++
+			}
+		}
+		return taken <= total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sine integral additivity.
+func TestSineIntegralAdditive(t *testing.T) {
+	p := Sine{Mean: 10, Amp: 0.5, Period: 9, Phase: 0.2}
+	f := func(a, s1, s2 uint8) bool {
+		t0 := float64(a) / 4
+		t1 := t0 + float64(s1)/8
+		t2 := t1 + float64(s2)/8
+		whole := p.Integral(t0, t2)
+		split := p.Integral(t0, t1) + p.Integral(t1, t2)
+		return math.Abs(whole-split) < 1e-9*(1+math.Abs(whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBucketAccrueTake(b *testing.B) {
+	bk := Bucket{Burst: 100}
+	p := Sine{Mean: 10, Amp: 0.5, Period: 60}
+	for i := 0; i < b.N; i++ {
+		bk.Accrue(p, float64(i), float64(i+1))
+		bk.TryTake(1)
+	}
+}

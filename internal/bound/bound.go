@@ -1,0 +1,141 @@
+// Package bound implements Section 9: guaranteed upper bounds on divergence
+// for objects with known maximum divergence rates, and the scheduling policy
+// that minimizes the average bound.
+//
+// With R_i the maximum divergence rate of object O_i and L_i an upper bound
+// on refresh latency, the divergence bound at time t is
+//
+//	B(O_i, t) = R_i · ((t − t_last(i)) + L_i),
+//
+// and the optimal priority for minimizing the time-averaged bound is
+//
+//	P(O_i, t) = R_i · (t − t_last(i))² / 2 · W(O_i, t).
+package bound
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound returns B(O, t) given the object's maximum divergence rate, the
+// elapsed time since its last refresh, and the refresh latency bound L.
+func Bound(maxRate, sinceRefresh, latency float64) float64 {
+	if sinceRefresh < 0 {
+		sinceRefresh = 0
+	}
+	return maxRate * (sinceRefresh + latency)
+}
+
+// Priority returns the Section 9 refresh priority.
+func Priority(maxRate, sinceRefresh, w float64) float64 {
+	if sinceRefresh < 0 {
+		sinceRefresh = 0
+	}
+	return maxRate * sinceRefresh * sinceRefresh / 2 * w
+}
+
+// Tracker accumulates the exact time integral of an object's divergence
+// bound across refreshes, for measuring time-averaged bounds.
+type Tracker struct {
+	MaxRate float64 // R
+	Latency float64 // L
+
+	lastRefresh float64
+	acc         float64
+	accTo       float64
+}
+
+// NewTracker starts tracking at time 0 with the object just refreshed.
+func NewTracker(maxRate, latency float64) *Tracker {
+	return &Tracker{MaxRate: maxRate, Latency: latency}
+}
+
+// Refresh records a refresh at time now, folding the bound accumulated since
+// the previous refresh into the running integral.
+func (t *Tracker) Refresh(now float64) {
+	t.advance(now)
+	t.lastRefresh = now
+}
+
+func (t *Tracker) advance(now float64) {
+	if now <= t.accTo {
+		return
+	}
+	// ∫ R(τ − t_last + L) dτ over [accTo, now], piecewise linear.
+	a := t.accTo - t.lastRefresh
+	b := now - t.lastRefresh
+	t.acc += t.MaxRate * ((b*b-a*a)/2 + t.Latency*(b-a))
+	t.accTo = now
+}
+
+// Average returns the time-averaged bound over [0, now].
+func (t *Tracker) Average(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	t.advance(now)
+	return t.acc / now
+}
+
+// Current returns B(O, now).
+func (t *Tracker) Current(now float64) float64 {
+	return Bound(t.MaxRate, now-t.lastRefresh, t.Latency)
+}
+
+// OptimalPeriods returns the refresh periods T_i that minimize the total
+// weighted time-averaged bound Σ w_i·R_i·(T_i/2 + L_i) subject to the
+// bandwidth constraint Σ 1/T_i = budget. The Lagrange condition gives the
+// closed form
+//
+//	T_i = Σ_j sqrt(w_j·R_j) / (budget · sqrt(w_i·R_i)).
+//
+// Objects with w_i·R_i = 0 never need refreshing (period +Inf).
+func OptimalPeriods(maxRates, weights []float64, budget float64) ([]float64, error) {
+	if len(maxRates) != len(weights) {
+		return nil, fmt.Errorf("bound: %d rates but %d weights", len(maxRates), len(weights))
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("bound: budget must be > 0, got %v", budget)
+	}
+	n := len(maxRates)
+	periods := make([]float64, n)
+	sumRoot := 0.0
+	for i := 0; i < n; i++ {
+		if maxRates[i] < 0 || weights[i] < 0 {
+			return nil, fmt.Errorf("bound: negative rate or weight at %d", i)
+		}
+		sumRoot += math.Sqrt(weights[i] * maxRates[i])
+	}
+	if sumRoot == 0 {
+		for i := range periods {
+			periods[i] = math.Inf(1)
+		}
+		return periods, nil
+	}
+	for i := 0; i < n; i++ {
+		wr := math.Sqrt(weights[i] * maxRates[i])
+		if wr == 0 {
+			periods[i] = math.Inf(1)
+			continue
+		}
+		periods[i] = sumRoot / (budget * wr)
+	}
+	return periods, nil
+}
+
+// AverageBound returns the steady-state time-averaged weighted bound
+// achieved by refreshing each object at its given period:
+// Σ w_i·R_i·(T_i/2 + L_i) / n.
+func AverageBound(maxRates, weights, periods []float64, latency float64) float64 {
+	total := 0.0
+	for i := range maxRates {
+		if math.IsInf(periods[i], 1) {
+			if maxRates[i] > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		total += weights[i] * maxRates[i] * (periods[i]/2 + latency)
+	}
+	return total / float64(len(maxRates))
+}

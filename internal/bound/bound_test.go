@@ -1,0 +1,192 @@
+package bound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoundFormula(t *testing.T) {
+	if got := Bound(2, 5, 1); got != 12 {
+		t.Errorf("Bound = %v, want 12", got)
+	}
+	if got := Bound(2, -1, 1); got != 2 {
+		t.Errorf("Bound with negative elapsed = %v, want 2 (clamped)", got)
+	}
+}
+
+func TestPriorityFormula(t *testing.T) {
+	if got := Priority(2, 4, 3); got != 48 {
+		t.Errorf("Priority = %v, want 48", got)
+	}
+	if got := Priority(2, -4, 3); got != 0 {
+		t.Errorf("Priority negative elapsed = %v, want 0", got)
+	}
+}
+
+func TestTrackerAverage(t *testing.T) {
+	// R=1, L=0, refresh every 10s: bound ramps 0→10, average 5.
+	tr := NewTracker(1, 0)
+	for now := 10.0; now <= 100; now += 10 {
+		tr.Refresh(now)
+	}
+	got := tr.Average(100)
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("Average = %v, want 5", got)
+	}
+}
+
+func TestTrackerWithLatency(t *testing.T) {
+	tr := NewTracker(2, 3)
+	tr.Refresh(10)
+	// Over [0,10]: ∫2(τ+3)dτ = 2(50+30) = 160 → avg 16.
+	got := tr.Average(10)
+	if math.Abs(got-16) > 1e-9 {
+		t.Errorf("Average = %v, want 16", got)
+	}
+	if cur := tr.Current(12); math.Abs(cur-2*(2+3)) > 1e-9 {
+		t.Errorf("Current = %v, want 10", cur)
+	}
+}
+
+func TestTrackerNoDoubleCount(t *testing.T) {
+	tr := NewTracker(1, 0)
+	tr.Refresh(10)
+	a := tr.Average(20)
+	b := tr.Average(20) // idempotent
+	if a != b {
+		t.Errorf("repeated Average differed: %v vs %v", a, b)
+	}
+}
+
+func TestTrackerZeroTime(t *testing.T) {
+	tr := NewTracker(1, 0)
+	if got := tr.Average(0); got != 0 {
+		t.Errorf("Average(0) = %v, want 0", got)
+	}
+}
+
+func TestOptimalPeriodsSatisfyBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		rates := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range rates {
+			rates[i] = rng.Float64() * 5
+			weights[i] = 0.5 + rng.Float64()*9.5
+		}
+		budget := 1 + rng.Float64()*10
+		periods, err := OptimalPeriods(rates, weights, budget)
+		if err != nil {
+			t.Fatalf("OptimalPeriods: %v", err)
+		}
+		sum := 0.0
+		for _, p := range periods {
+			if !math.IsInf(p, 1) {
+				sum += 1 / p
+			}
+		}
+		if math.Abs(sum-budget) > 1e-9*budget {
+			t.Errorf("trial %d: Σ1/T = %v, want %v", trial, sum, budget)
+		}
+	}
+}
+
+func TestOptimalPeriodsEqualizesPriority(t *testing.T) {
+	// At the optimum every refreshed object reaches the same priority
+	// R·T²/2·w at its refresh instant — the threshold T⋆ of Equation (1).
+	rates := []float64{0.5, 1, 2, 4}
+	weights := []float64{1, 2, 3, 4}
+	periods, err := OptimalPeriods(rates, weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Priority(rates[0], periods[0], weights[0])
+	for i := 1; i < len(rates); i++ {
+		p := Priority(rates[i], periods[i], weights[i])
+		if math.Abs(p-first)/first > 1e-9 {
+			t.Errorf("priority at refresh differs: object %d has %v, object 0 has %v",
+				i, p, first)
+		}
+	}
+}
+
+func TestOptimalPeriodsBeatPerturbations(t *testing.T) {
+	// Local optimality: shifting bandwidth between any two objects (keeping
+	// Σ1/T fixed) must not lower the average bound.
+	rates := []float64{0.2, 1, 3}
+	weights := []float64{5, 1, 2}
+	const budget = 2.0
+	periods, err := OptimalPeriods(rates, weights, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := AverageBound(rates, weights, periods, 0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		i, j := rng.Intn(3), rng.Intn(3)
+		if i == j {
+			continue
+		}
+		eps := (rng.Float64() - 0.5) * 0.1
+		fi := 1/periods[i] + eps
+		fj := 1/periods[j] - eps
+		if fi <= 0 || fj <= 0 {
+			continue
+		}
+		perturbed := append([]float64(nil), periods...)
+		perturbed[i] = 1 / fi
+		perturbed[j] = 1 / fj
+		if got := AverageBound(rates, weights, perturbed, 0); got < base-1e-9 {
+			t.Fatalf("perturbation beat optimum: %v < %v", got, base)
+		}
+	}
+}
+
+func TestOptimalPeriodsZeroRateObjects(t *testing.T) {
+	periods, err := OptimalPeriods([]float64{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(periods[0], 1) {
+		t.Errorf("zero-rate object period = %v, want +Inf", periods[0])
+	}
+	if math.Abs(1/periods[1]-2) > 1e-9 {
+		t.Errorf("all budget should go to the changing object, T = %v", periods[1])
+	}
+}
+
+func TestOptimalPeriodsAllStatic(t *testing.T) {
+	periods, err := OptimalPeriods([]float64{0, 0}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range periods {
+		if !math.IsInf(p, 1) {
+			t.Errorf("static population got period %v", p)
+		}
+	}
+	if got := AverageBound([]float64{0, 0}, []float64{1, 1}, periods, 1); got != 0 {
+		t.Errorf("static average bound = %v, want 0", got)
+	}
+}
+
+func TestOptimalPeriodsErrors(t *testing.T) {
+	if _, err := OptimalPeriods([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := OptimalPeriods([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := OptimalPeriods([]float64{-1}, []float64{1}, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestAverageBoundUnrefreshedVolatile(t *testing.T) {
+	got := AverageBound([]float64{1}, []float64{1}, []float64{math.Inf(1)}, 0)
+	if !math.IsInf(got, 1) {
+		t.Errorf("unrefreshed volatile object bound = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,27 @@
+package bound_test
+
+import (
+	"fmt"
+
+	"bestsync/internal/bound"
+)
+
+// ExampleOptimalPeriods shows the closed-form Section 9 schedule: refresh
+// frequency proportional to sqrt(weight × max-rate), equalizing the
+// priority every object reaches at its refresh instant.
+func ExampleOptimalPeriods() {
+	maxRates := []float64{0.25, 1, 4} // units/second worst case
+	weights := []float64{1, 1, 1}
+	periods, err := bound.OptimalPeriods(maxRates, weights, 3.5) // 3.5 refreshes/s
+	if err != nil {
+		panic(err)
+	}
+	for i, T := range periods {
+		fmt.Printf("R=%-4g → refresh every %.2fs, guaranteed bound ≤ %.2f\n",
+			maxRates[i], T, bound.Bound(maxRates[i], T, 0))
+	}
+	// Output:
+	// R=0.25 → refresh every 2.00s, guaranteed bound ≤ 0.50
+	// R=1    → refresh every 1.00s, guaranteed bound ≤ 1.00
+	// R=4    → refresh every 0.50s, guaranteed bound ≤ 2.00
+}

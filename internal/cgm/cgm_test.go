@@ -1,0 +1,379 @@
+package cgm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestsync/internal/bandwidth"
+)
+
+func constProfile(v float64) bandwidth.Profile { return bandwidth.Const(v) }
+
+func TestGOfRMonotone(t *testing.T) {
+	prev := -1.0
+	for r := 0.0; r < 50; r += 0.1 {
+		g := gOfR(r)
+		if g < prev {
+			t.Fatalf("g not monotone at r=%v", r)
+		}
+		prev = g
+	}
+	if g := gOfR(0); g != 0 {
+		t.Errorf("g(0) = %v, want 0", g)
+	}
+	if g := gOfR(100); math.Abs(g-1) > 1e-9 {
+		t.Errorf("g(100) = %v, want ≈1", g)
+	}
+}
+
+func TestSolveGInverts(t *testing.T) {
+	for _, y := range []float64{1e-9, 1e-6, 0.001, 0.1, 0.3, 0.5, 0.9, 0.99, 0.9999} {
+		r := solveG(y)
+		if got := gOfR(r); math.Abs(got-y) > 1e-9 {
+			t.Errorf("g(solveG(%v)) = %v", y, got)
+		}
+	}
+}
+
+func TestSolveGEdges(t *testing.T) {
+	if r := solveG(0); r != 0 {
+		t.Errorf("solveG(0) = %v, want 0", r)
+	}
+	if r := solveG(1); !math.IsInf(r, 1) {
+		t.Errorf("solveG(1) = %v, want +Inf", r)
+	}
+	if r := solveG(-0.5); r != 0 {
+		t.Errorf("solveG(-0.5) = %v, want 0", r)
+	}
+}
+
+func TestFreqForVolatileObjectsZero(t *testing.T) {
+	// μλ ≥ 1 ⇒ the object is too volatile to refresh — CGM's hallmark.
+	if f := freqFor(10, 0.2); f != 0 {
+		t.Errorf("freqFor(10, 0.2) = %v, want 0", f)
+	}
+	if f := freqFor(0, 0.1); f != 0 {
+		t.Errorf("static object freq = %v, want 0", f)
+	}
+}
+
+func TestOptimalAllocationSumsToBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		lambdas := make([]float64, n)
+		for i := range lambdas {
+			lambdas[i] = rng.Float64() * 2
+		}
+		budget := 1 + rng.Float64()*20
+		freqs := OptimalAllocation(lambdas, budget)
+		sum := 0.0
+		for _, f := range freqs {
+			if f < 0 {
+				t.Fatalf("negative frequency %v", f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-budget) > 1e-6*budget {
+			t.Errorf("trial %d: Σf = %v, want %v", trial, sum, budget)
+		}
+	}
+}
+
+func TestOptimalAllocationZeroBudget(t *testing.T) {
+	freqs := OptimalAllocation([]float64{1, 2}, 0)
+	for _, f := range freqs {
+		if f != 0 {
+			t.Errorf("zero budget gave f = %v", f)
+		}
+	}
+}
+
+func TestOptimalAllocationAllStatic(t *testing.T) {
+	freqs := OptimalAllocation([]float64{0, 0}, 10)
+	for _, f := range freqs {
+		if f != 0 {
+			t.Errorf("static objects got f = %v", f)
+		}
+	}
+}
+
+func TestOptimalAllocationBeatsUniformAndProportional(t *testing.T) {
+	// The optimal allocation must achieve at least the freshness of the
+	// uniform and proportional heuristics (CGM00b's headline comparison).
+	rng := rand.New(rand.NewSource(2))
+	lambdas := make([]float64, 100)
+	for i := range lambdas {
+		lambdas[i] = math.Exp(rng.NormFloat64()) // skewed rates
+	}
+	budget := 30.0
+	total := func(freqs []float64) float64 {
+		s := 0.0
+		for i, f := range freqs {
+			s += Freshness(lambdas[i], f)
+		}
+		return s
+	}
+	opt := OptimalAllocation(lambdas, budget)
+	uniform := make([]float64, len(lambdas))
+	prop := make([]float64, len(lambdas))
+	sumL := 0.0
+	for _, l := range lambdas {
+		sumL += l
+	}
+	for i := range uniform {
+		uniform[i] = budget / float64(len(lambdas))
+		prop[i] = budget * lambdas[i] / sumL
+	}
+	fOpt, fUni, fProp := total(opt), total(uniform), total(prop)
+	if fOpt < fUni-1e-6 {
+		t.Errorf("optimal %v below uniform %v", fOpt, fUni)
+	}
+	if fOpt < fProp-1e-6 {
+		t.Errorf("optimal %v below proportional %v", fOpt, fProp)
+	}
+	// CGM00b: proportional is *worse* than uniform for freshness.
+	if fProp > fUni {
+		t.Logf("note: proportional (%v) beat uniform (%v) on this draw", fProp, fUni)
+	}
+}
+
+// Property: allocation is monotone in budget (more bandwidth never reduces
+// total achievable freshness).
+func TestAllocationMonotoneInBudget(t *testing.T) {
+	lambdas := []float64{0.1, 0.5, 1, 2, 5}
+	f := func(b1, b2 uint8) bool {
+		lo := float64(b1%50) + 0.5
+		hi := lo + float64(b2%50) + 0.5
+		fl := OptimalAllocation(lambdas, lo)
+		fh := OptimalAllocation(lambdas, hi)
+		tl, th := 0.0, 0.0
+		for i := range lambdas {
+			tl += Freshness(lambdas[i], fl[i])
+			th += Freshness(lambdas[i], fh[i])
+		}
+		return th >= tl-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreshnessProperties(t *testing.T) {
+	if f := Freshness(0, 0); f != 1 {
+		t.Errorf("static object freshness = %v, want 1", f)
+	}
+	if f := Freshness(1, 0); f != 0 {
+		t.Errorf("unrefreshed object freshness = %v, want 0", f)
+	}
+	// Freshness increases with f.
+	prev := 0.0
+	for _, f := range []float64{0.1, 0.5, 1, 5, 50} {
+		fr := Freshness(1, f)
+		if fr <= prev {
+			t.Fatalf("freshness not increasing at f=%v", f)
+		}
+		prev = fr
+	}
+	if prev > 1 {
+		t.Errorf("freshness %v exceeds 1", prev)
+	}
+	// Series branch vs direct formula continuity.
+	a := Freshness(1e-10, 1)
+	if math.Abs(a-1) > 1e-9 {
+		t.Errorf("tiny-r freshness = %v, want ≈1", a)
+	}
+}
+
+func TestLastModifiedEstimatorRecovers(t *testing.T) {
+	// Simulate Poisson updates at rate λ polled every second; the MLE
+	// should recover λ.
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{0.05, 0.3, 1.0} {
+		var est LastModifiedEstimator
+		tPrev := 0.0
+		lastUpdate := math.Inf(-1)
+		nextUpdate := rng.ExpFloat64() / lambda
+		for poll := 1; poll <= 20000; poll++ {
+			now := float64(poll)
+			for nextUpdate <= now {
+				lastUpdate = nextUpdate
+				nextUpdate += rng.ExpFloat64() / lambda
+			}
+			changed := lastUpdate > tPrev
+			est.Observe(changed, now-tPrev, now-lastUpdate)
+			tPrev = now
+		}
+		got := est.Estimate()
+		if math.Abs(got-lambda) > 0.15*lambda {
+			t.Errorf("λ=%v: estimate %v (off by %.1f%%)",
+				lambda, got, 100*math.Abs(got-lambda)/lambda)
+		}
+	}
+}
+
+func TestBinaryEstimatorRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, lambda := range []float64{0.05, 0.3, 1.0} {
+		var est BinaryEstimator
+		tPrev := 0.0
+		lastUpdate := math.Inf(-1)
+		nextUpdate := rng.ExpFloat64() / lambda
+		for poll := 1; poll <= 20000; poll++ {
+			now := float64(poll)
+			for nextUpdate <= now {
+				lastUpdate = nextUpdate
+				nextUpdate += rng.ExpFloat64() / lambda
+			}
+			est.Observe(lastUpdate > tPrev, now-tPrev)
+			tPrev = now
+		}
+		got := est.Estimate()
+		if math.Abs(got-lambda) > 0.2*lambda {
+			t.Errorf("λ=%v: estimate %v", lambda, got)
+		}
+	}
+}
+
+func TestEstimatorsEmptyAndFloors(t *testing.T) {
+	var e1 LastModifiedEstimator
+	var e2 BinaryEstimator
+	if e1.Estimate() != 0 || e2.Estimate() != 0 {
+		t.Error("empty estimators should return 0")
+	}
+	if e1.FloorRate() != 0 || e2.FloorRate() != 0 {
+		t.Error("empty floors should be 0")
+	}
+	e1.Observe(false, 10, 0)
+	e2.Observe(false, 10)
+	if e1.Estimate() != 0 || e2.Estimate() != 0 {
+		t.Error("no-change estimators should return 0")
+	}
+	if e1.FloorRate() != 0.05 {
+		t.Errorf("e1 floor = %v, want 0.05", e1.FloorRate())
+	}
+	if e2.FloorRate() != 0.05 {
+		t.Errorf("e2 floor = %v, want 0.05", e2.FloorRate())
+	}
+}
+
+func TestBinaryEstimatorUnderestimatesFastObjects(t *testing.T) {
+	// With polls slower than updates the binary estimator saturates — the
+	// reason CGM2 trails CGM1 in Figure 6.
+	var est BinaryEstimator
+	for i := 0; i < 1000; i++ {
+		est.Observe(true, 1) // every poll sees a change
+	}
+	got := est.Estimate()
+	if got > 10 {
+		t.Errorf("saturated estimate %v unexpectedly large", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if IdealCacheBased.String() != "ideal cache-based" ||
+		CGM1.String() != "CGM1" || CGM2.String() != "CGM2" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Objects: 10, Duration: 100, CacheBW: nil}
+	if _, err := Run(good); err == nil {
+		t.Error("nil CacheBW accepted")
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Objects = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = 500 },
+		func(c *Config) { c.Rates = []float64{1} },
+		func(c *Config) { c.Tick = -1 },
+		func(c *Config) { c.ReSolveEvery = -5 },
+	}
+	for i, mut := range cases {
+		cfg := testConfig(IdealCacheBased, 1)
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func testConfig(mode Mode, seed int64) Config {
+	n := 50
+	rates := make([]float64, n)
+	rng := rand.New(rand.NewSource(seed + 100))
+	for i := range rates {
+		rates[i] = 0.02 + rng.Float64()*0.3
+	}
+	return Config{
+		Seed:     seed,
+		Objects:  n,
+		Duration: 400,
+		Warmup:   100,
+		CacheBW:  constProfile(10),
+		Rates:    rates,
+		Mode:     mode,
+	}
+}
+
+func TestRunModesOrdering(t *testing.T) {
+	// Figure 6's within-family ordering: ideal cache-based ≤ CGM1 ≤ CGM2
+	// (staleness, averaged over seeds).
+	var ideal, c1, c2 float64
+	for seed := int64(0); seed < 4; seed++ {
+		cfgI := testConfig(IdealCacheBased, seed)
+		cfgI.CacheBW = constProfile(15)
+		cfg1 := cfgI
+		cfg1.Mode = CGM1
+		cfg2 := cfgI
+		cfg2.Mode = CGM2
+		ideal += MustRun(cfgI).AvgDivergence
+		c1 += MustRun(cfg1).AvgDivergence
+		c2 += MustRun(cfg2).AvgDivergence
+	}
+	if ideal > c1*1.05 {
+		t.Errorf("ideal %v worse than CGM1 %v", ideal/4, c1/4)
+	}
+	if c1 > c2*1.10 {
+		t.Errorf("CGM1 %v much worse than CGM2 %v", c1/4, c2/4)
+	}
+}
+
+func TestRunStalenessInRange(t *testing.T) {
+	res := MustRun(testConfig(CGM2, 7))
+	if res.AvgDivergence < 0 || res.AvgDivergence > 1 {
+		t.Errorf("staleness %v out of [0,1]", res.AvgDivergence)
+	}
+	if res.Polls == 0 {
+		t.Error("no polls happened")
+	}
+	if res.Resolves < 2 {
+		t.Errorf("resolves = %d, want ≥ 2", res.Resolves)
+	}
+}
+
+func TestRunMoreBandwidthFresher(t *testing.T) {
+	lo := testConfig(IdealCacheBased, 3)
+	lo.CacheBW = constProfile(5)
+	hi := testConfig(IdealCacheBased, 3)
+	hi.CacheBW = constProfile(40)
+	rl, rh := MustRun(lo), MustRun(hi)
+	if rh.AvgDivergence >= rl.AvgDivergence {
+		t.Errorf("more bandwidth: %v not fresher than %v",
+			rh.AvgDivergence, rl.AvgDivergence)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := MustRun(testConfig(CGM1, 5))
+	b := MustRun(testConfig(CGM1, 5))
+	if a != b {
+		t.Errorf("same seed differed: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,405 @@
+package cgm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/metric"
+	"bestsync/internal/stats"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// Mode selects which variant of cache-driven synchronization to simulate
+// (the three CGM curves of Figure 6).
+type Mode int
+
+const (
+	// IdealCacheBased assumes the cache knows every λ exactly and can
+	// request refreshes for free, so each refresh costs one message (the
+	// response) and the allocation is solved once with true rates.
+	IdealCacheBased Mode = iota
+	// CGM1 polls with round trips (2 messages per refresh) and estimates λ
+	// from last-modified timestamps.
+	CGM1
+	// CGM2 polls with round trips and estimates λ only from
+	// changed/unchanged bits.
+	CGM2
+)
+
+// String names the mode as in Figure 6.
+func (m Mode) String() string {
+	switch m {
+	case IdealCacheBased:
+		return "ideal cache-based"
+	case CGM1:
+		return "CGM1"
+	case CGM2:
+		return "CGM2"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one cache-driven simulation run. The CGM polling model
+// assumes no source-side bandwidth limit (Section 6.3), so only the
+// cache-side capacity applies.
+type Config struct {
+	Seed     int64
+	Objects  int
+	Metric   metric.Kind
+	Delta    metric.DeltaFunc
+	Duration float64
+	Warmup   float64
+	Tick     float64 // default 1
+
+	CacheBW bandwidth.Profile
+	Rates   []float64 // true Poisson rates λ_i
+	Mode    Mode
+
+	// ReSolveEvery is the re-estimation/re-allocation epoch for the
+	// practical modes (default 50 s).
+	ReSolveEvery float64
+}
+
+// Validate checks and fills defaults.
+func (c *Config) Validate() error {
+	if c.Objects <= 0 {
+		return fmt.Errorf("cgm: Objects must be > 0")
+	}
+	if c.Duration <= 0 || c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("cgm: bad Duration/Warmup %v/%v", c.Duration, c.Warmup)
+	}
+	if c.Tick == 0 {
+		c.Tick = 1
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("cgm: Tick must be > 0")
+	}
+	if c.CacheBW == nil {
+		return fmt.Errorf("cgm: CacheBW is required")
+	}
+	if len(c.Rates) != c.Objects {
+		return fmt.Errorf("cgm: Rates has length %d, want %d", len(c.Rates), c.Objects)
+	}
+	if c.ReSolveEvery == 0 {
+		c.ReSolveEvery = 50
+	}
+	if c.ReSolveEvery < 0 {
+		return fmt.Errorf("cgm: ReSolveEvery must be > 0")
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	AvgDivergence float64 // unweighted time-averaged divergence per object
+	Polls         int
+	Resolves      int
+	Updates       int
+}
+
+type cgmObject struct {
+	value      float64
+	version    uint64
+	lastUpdate float64
+
+	cacheVal  float64
+	cacheVer  uint64
+	trueD     float64
+	trueLastT float64
+
+	polledVer uint64
+	lastPoll  float64
+	period    float64 // 1/f_i; +Inf = not scheduled
+
+	est1 LastModifiedEstimator
+	est2 BinaryEstimator
+}
+
+// pollHeap orders pending polls by due time.
+type pollHeap struct {
+	due  []float64
+	objs []int32
+}
+
+func (h *pollHeap) Len() int { return len(h.due) }
+func (h *pollHeap) less(i, j int) bool {
+	if h.due[i] != h.due[j] {
+		return h.due[i] < h.due[j]
+	}
+	return h.objs[i] < h.objs[j]
+}
+func (h *pollHeap) swap(i, j int) {
+	h.due[i], h.due[j] = h.due[j], h.due[i]
+	h.objs[i], h.objs[j] = h.objs[j], h.objs[i]
+}
+func (h *pollHeap) Push(t float64, obj int) {
+	h.due = append(h.due, t)
+	h.objs = append(h.objs, int32(obj))
+	i := h.Len() - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+func (h *pollHeap) Pop() (float64, int) {
+	t, o := h.due[0], int(h.objs[0])
+	last := h.Len() - 1
+	h.swap(0, last)
+	h.due, h.objs = h.due[:last], h.objs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.swap(i, s)
+		i = s
+	}
+	return t, o
+}
+func (h *pollHeap) Reset() {
+	h.due = h.due[:0]
+	h.objs = h.objs[:0]
+}
+
+// Run executes one cache-driven simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Objects
+	objs := make([]cgmObject, n)
+	meter := stats.Meter{Warmup: cfg.Warmup}
+	var updates eventHeap
+	var polls pollHeap
+	res := Result{}
+
+	// Refresh cost: practical modes poll with a round trip.
+	cost := 1.0
+	if cfg.Mode != IdealCacheBased {
+		cost = 2.0
+	}
+	meanBW := cfg.CacheBW.Integral(0, cfg.Duration) / cfg.Duration
+	budget := meanBW / cost
+
+	for i := range objs {
+		o := &objs[i]
+		o.period = math.Inf(1)
+		if next := (workload.Poisson{Lambda: cfg.Rates[i]}).NextAfter(0, rng); !math.IsInf(next, 1) {
+			updates.Push(next, i)
+		}
+	}
+
+	vm := workload.RandomWalk{Step: 1}
+
+	// solve recomputes the allocation and rebuilds the poll schedule.
+	solve := func(now float64) {
+		res.Resolves++
+		lambdas := make([]float64, n)
+		for i := range objs {
+			o := &objs[i]
+			switch cfg.Mode {
+			case IdealCacheBased:
+				lambdas[i] = cfg.Rates[i]
+			case CGM1:
+				l := o.est1.Estimate()
+				if l <= 0 {
+					l = o.est1.FloorRate()
+				}
+				lambdas[i] = l
+			case CGM2:
+				l := o.est2.Estimate()
+				if l <= 0 {
+					l = o.est2.FloorRate()
+				}
+				lambdas[i] = l
+			}
+		}
+		freqs := OptimalAllocation(lambdas, budget)
+		polls.Reset()
+		for i, f := range freqs {
+			if f > 0 {
+				objs[i].period = 1 / f
+				polls.Push(now+rng.Float64()*objs[i].period, i)
+			} else {
+				objs[i].period = math.Inf(1)
+			}
+		}
+	}
+
+	// First epoch: the practical modes have no estimates yet, so spread the
+	// budget uniformly (the warm-up period absorbs this).
+	if cfg.Mode == IdealCacheBased {
+		solve(0)
+	} else {
+		res.Resolves++
+		period := float64(n) / budget
+		for i := range objs {
+			objs[i].period = period
+			polls.Push(rng.Float64()*period, i)
+		}
+	}
+
+	var bucket bandwidth.Bucket
+	meterTo := func(i int, t float64) {
+		o := &objs[i]
+		if t > o.trueLastT {
+			meter.Add(o.trueLastT, t, o.trueD, weight.Const(1))
+		}
+		o.trueLastT = t
+	}
+
+	tick := cfg.Tick
+	nTicks := int(math.Ceil(cfg.Duration / tick))
+	prev := 0.0
+	nextSolve := cfg.ReSolveEvery
+	for k := 1; k <= nTicks; k++ {
+		now := float64(k) * tick
+		if now > cfg.Duration {
+			now = cfg.Duration
+		}
+		// Source updates.
+		for updates.Len() > 0 && updates.PeekTime() <= now {
+			t, i := updates.Pop()
+			if t > cfg.Duration {
+				break
+			}
+			o := &objs[i]
+			o.value = vm.Next(o.value, t, rng)
+			o.version++
+			o.lastUpdate = t
+			if next := (workload.Poisson{Lambda: cfg.Rates[i]}).NextAfter(t, rng); !math.IsInf(next, 1) {
+				updates.Push(next, i)
+			}
+			meterTo(i, t)
+			o.trueD = metric.Divergence(cfg.Metric, cfg.Delta,
+				int(o.version-o.cacheVer), o.value, o.cacheVal)
+			res.Updates++
+		}
+
+		// Polls, limited by cache-side bandwidth.
+		bucket.Burst = math.Max(cost, cfg.CacheBW.Rate(now)*tick)
+		bucket.Accrue(cfg.CacheBW, prev, now)
+		for polls.Len() > 0 && polls.due[0] <= now {
+			if !bucket.TryTake(cost) {
+				break
+			}
+			_, i := polls.Pop()
+			o := &objs[i]
+			changed := o.version != o.polledVer
+			interval := now - o.lastPoll
+			age := now - o.lastUpdate
+			o.est1.Observe(changed, interval, age)
+			o.est2.Observe(changed, interval)
+			o.lastPoll = now
+			o.polledVer = o.version
+			meterTo(i, now)
+			o.cacheVal = o.value
+			o.cacheVer = o.version
+			o.trueD = 0
+			res.Polls++
+			if !math.IsInf(o.period, 1) {
+				polls.Push(now+o.period, i)
+			}
+		}
+
+		// Periodic re-estimation for the practical modes.
+		if cfg.Mode != IdealCacheBased && now >= nextSolve {
+			solve(now)
+			nextSolve += cfg.ReSolveEvery
+		}
+		prev = now
+	}
+	for i := range objs {
+		meterTo(i, cfg.Duration)
+	}
+	res.AvgDivergence = meter.Average(cfg.Duration, n)
+	return res, nil
+}
+
+// MustRun is Run for known-good configurations.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// eventHeap is a local copy of the engine's update-event min-heap (the two
+// packages stay independent so each can evolve its event payloads).
+type eventHeap struct {
+	times []float64
+	objs  []int32
+}
+
+func (h *eventHeap) Len() int { return len(h.times) }
+func (h *eventHeap) less(i, j int) bool {
+	if h.times[i] != h.times[j] {
+		return h.times[i] < h.times[j]
+	}
+	return h.objs[i] < h.objs[j]
+}
+func (h *eventHeap) swap(i, j int) {
+	h.times[i], h.times[j] = h.times[j], h.times[i]
+	h.objs[i], h.objs[j] = h.objs[j], h.objs[i]
+}
+
+// Push schedules an update event.
+func (h *eventHeap) Push(t float64, obj int) {
+	h.times = append(h.times, t)
+	h.objs = append(h.objs, int32(obj))
+	i := h.Len() - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// PeekTime returns the earliest event time.
+func (h *eventHeap) PeekTime() float64 { return h.times[0] }
+
+// Pop removes the earliest event.
+func (h *eventHeap) Pop() (float64, int) {
+	t, o := h.times[0], int(h.objs[0])
+	last := h.Len() - 1
+	h.swap(0, last)
+	h.times, h.objs = h.times[:last], h.objs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.less(l, s) {
+			s = l
+		}
+		if r < last && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.swap(i, s)
+		i = s
+	}
+	return t, o
+}

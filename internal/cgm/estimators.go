@@ -1,0 +1,107 @@
+package cgm
+
+import "math"
+
+// LastModifiedEstimator is the update-rate estimator available to CGM1
+// (Section 6.3): at each poll the cache learns whether the object changed
+// and, if so, the exact time of its most recent update. For Poisson updates
+// the likelihood of a poll at time t2 (previous poll t1) observing last
+// change at time c is λ·e^{−λ(t2−c)} if changed, e^{−λ(t2−t1)} otherwise, so
+// the maximum-likelihood estimate is
+//
+//	λ̂ = X / (Σ_changed (t_poll − t_lastmod) + Σ_unchanged (t_poll − t_prev)).
+type LastModifiedEstimator struct {
+	changes  int     // X
+	exposure float64 // the MLE denominator
+	observed float64 // total time covered by polls (for the no-change floor)
+}
+
+// Observe records one poll: interval is the time since the previous poll,
+// age the time since the object's most recent update (used only when changed
+// is true).
+func (e *LastModifiedEstimator) Observe(changed bool, interval, age float64) {
+	e.observed += interval
+	if changed {
+		e.changes++
+		if age < 0 {
+			age = 0
+		}
+		e.exposure += age
+	} else {
+		e.exposure += interval
+	}
+}
+
+// Changes returns the number of polls that detected a change.
+func (e *LastModifiedEstimator) Changes() int { return e.changes }
+
+// Estimate returns λ̂. With no observed change the MLE is 0; callers should
+// apply a floor such as FloorRate.
+func (e *LastModifiedEstimator) Estimate() float64 {
+	if e.changes == 0 || e.exposure <= 0 {
+		return 0
+	}
+	return float64(e.changes) / e.exposure
+}
+
+// FloorRate returns a conservative lower bound on the update rate when no
+// changes have been observed over the estimator's total watch time: roughly
+// "half an update per observed period".
+func (e *LastModifiedEstimator) FloorRate() float64 {
+	if e.observed <= 0 {
+		return 0
+	}
+	return 0.5 / e.observed
+}
+
+// BinaryEstimator is the estimator available to CGM2: each poll reveals only
+// whether the object changed since the previous poll. It implements Cho &
+// Garcia-Molina's bias-reduced estimator for regular polling with average
+// interval Ī:
+//
+//	λ̂ = −ln((n − X + 0.5) / (n + 0.5)) / Ī,
+//
+// where n is the number of polls and X the number that detected a change.
+type BinaryEstimator struct {
+	polls       int
+	changes     int
+	sumInterval float64
+}
+
+// Observe records one poll outcome.
+func (e *BinaryEstimator) Observe(changed bool, interval float64) {
+	e.polls++
+	e.sumInterval += interval
+	if changed {
+		e.changes++
+	}
+}
+
+// Polls returns the number of observations.
+func (e *BinaryEstimator) Polls() int { return e.polls }
+
+// Changes returns the number of change detections.
+func (e *BinaryEstimator) Changes() int { return e.changes }
+
+// Estimate returns λ̂ (0 when there is no data or no detected change).
+func (e *BinaryEstimator) Estimate() float64 {
+	if e.polls == 0 || e.sumInterval <= 0 {
+		return 0
+	}
+	n := float64(e.polls)
+	x := float64(e.changes)
+	iBar := e.sumInterval / n
+	est := -math.Log((n-x+0.5)/(n+0.5)) / iBar
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// FloorRate mirrors LastModifiedEstimator.FloorRate.
+func (e *BinaryEstimator) FloorRate() float64 {
+	if e.sumInterval <= 0 {
+		return 0
+	}
+	return 0.5 / e.sumInterval
+}

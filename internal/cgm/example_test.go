@@ -1,0 +1,24 @@
+package cgm_test
+
+import (
+	"fmt"
+
+	"bestsync/internal/cgm"
+)
+
+// ExampleOptimalAllocation reproduces CGM's counter-intuitive headline: to
+// maximize freshness, the fastest-changing object can deserve *no* refresh
+// bandwidth at all.
+func ExampleOptimalAllocation() {
+	lambdas := []float64{0.01, 0.1, 1, 50} // updates/second
+	freqs := cgm.OptimalAllocation(lambdas, 2)
+	for i, f := range freqs {
+		fmt.Printf("λ=%-5g → refresh %.3f/s (freshness %.2f)\n",
+			lambdas[i], f, cgm.Freshness(lambdas[i], f))
+	}
+	// Output:
+	// λ=0.01  → refresh 0.166/s (freshness 0.97)
+	// λ=0.1   → refresh 0.502/s (freshness 0.91)
+	// λ=1     → refresh 1.331/s (freshness 0.70)
+	// λ=50    → refresh 0.000/s (freshness 0.00)
+}

@@ -1,0 +1,81 @@
+// Package competitive implements the Section 7 extension: cooperation when
+// sources and the cache disagree on refresh priorities. A fraction Ψ of the
+// cache-side bandwidth is dedicated to satisfying the sources' own
+// priorities, divided among sources by one of three options:
+//
+//  1. all sources receive an equal share;
+//  2. shares proportional to the number of cached objects per source;
+//  3. shares proportional to each source's contribution to the cache's own
+//     objectives, realized as a piggyback credit of Ψ/(1−Ψ) own-priority
+//     refreshes per cache-priority refresh.
+package competitive
+
+import "fmt"
+
+// PiggybackRatio returns the option-3 credit earned per cache-priority
+// refresh: Ψ/(1−Ψ) own-priority objects may ride along on average.
+func PiggybackRatio(psi float64) float64 {
+	if psi <= 0 {
+		return 0
+	}
+	if psi >= 1 {
+		return 0
+	}
+	return psi / (1 - psi)
+}
+
+// EqualShares returns per-source own-priority refresh rates under option 1:
+// Ψ·C̄/m each.
+func EqualShares(psi, meanCacheBW float64, sources int) []float64 {
+	if sources <= 0 {
+		return nil
+	}
+	shares := make([]float64, sources)
+	if psi <= 0 || meanCacheBW <= 0 {
+		return shares
+	}
+	each := psi * meanCacheBW / float64(sources)
+	for i := range shares {
+		shares[i] = each
+	}
+	return shares
+}
+
+// ProportionalShares returns per-source rates under option 2: Ψ·C̄·n_j/N,
+// where n_j is the number of cached objects from source j.
+func ProportionalShares(psi, meanCacheBW float64, objectCounts []int) []float64 {
+	shares := make([]float64, len(objectCounts))
+	total := 0
+	for _, n := range objectCounts {
+		total += n
+	}
+	if psi <= 0 || meanCacheBW <= 0 || total == 0 {
+		return shares
+	}
+	for j, n := range objectCounts {
+		shares[j] = psi * meanCacheBW * float64(n) / float64(total)
+	}
+	return shares
+}
+
+// ContributionShares returns per-source rates proportional to contribution
+// scores (option 3 expressed as explicit rates rather than piggyback
+// credits; useful when the cache prefers rate-based accounting).
+// Contributions must be nonnegative.
+func ContributionShares(psi, meanCacheBW float64, contributions []float64) ([]float64, error) {
+	shares := make([]float64, len(contributions))
+	total := 0.0
+	for j, c := range contributions {
+		if c < 0 {
+			return nil, fmt.Errorf("competitive: negative contribution %v for source %d", c, j)
+		}
+		total += c
+	}
+	if psi <= 0 || meanCacheBW <= 0 || total == 0 {
+		return shares, nil
+	}
+	for j, c := range contributions {
+		shares[j] = psi * meanCacheBW * c / total
+	}
+	return shares, nil
+}

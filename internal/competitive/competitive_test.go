@@ -1,0 +1,119 @@
+package competitive
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPiggybackRatio(t *testing.T) {
+	cases := []struct{ psi, want float64 }{
+		{0, 0},
+		{0.5, 1},
+		{0.25, 1.0 / 3},
+		{0.75, 3},
+		{1, 0}, // degenerate: guard
+		{-0.1, 0},
+	}
+	for _, c := range cases {
+		if got := PiggybackRatio(c.psi); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PiggybackRatio(%v) = %v, want %v", c.psi, got, c.want)
+		}
+	}
+}
+
+func TestEqualShares(t *testing.T) {
+	shares := EqualShares(0.4, 100, 8)
+	for _, s := range shares {
+		if s != 5 {
+			t.Errorf("share = %v, want 5", s)
+		}
+	}
+	if got := EqualShares(0.4, 100, 0); got != nil {
+		t.Errorf("zero sources = %v, want nil", got)
+	}
+	for _, s := range EqualShares(0, 100, 4) {
+		if s != 0 {
+			t.Errorf("Ψ=0 share = %v, want 0", s)
+		}
+	}
+}
+
+func TestEqualSharesSumToPsiBandwidth(t *testing.T) {
+	shares := EqualShares(0.3, 50, 7)
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-15) > 1e-12 {
+		t.Errorf("Σ shares = %v, want 15", sum)
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	shares := ProportionalShares(0.5, 100, []int{10, 30, 60})
+	want := []float64{5, 15, 30}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Errorf("share %d = %v, want %v", i, shares[i], want[i])
+		}
+	}
+}
+
+func TestProportionalSharesEmptyPopulation(t *testing.T) {
+	shares := ProportionalShares(0.5, 100, []int{0, 0})
+	for _, s := range shares {
+		if s != 0 {
+			t.Errorf("share = %v, want 0", s)
+		}
+	}
+}
+
+func TestContributionShares(t *testing.T) {
+	shares, err := ContributionShares(0.5, 100, []float64{1, 3})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if math.Abs(shares[0]-12.5) > 1e-12 || math.Abs(shares[1]-37.5) > 1e-12 {
+		t.Errorf("shares = %v, want [12.5 37.5]", shares)
+	}
+}
+
+func TestContributionSharesNegative(t *testing.T) {
+	if _, err := ContributionShares(0.5, 100, []float64{1, -2}); err == nil {
+		t.Error("negative contribution accepted")
+	}
+}
+
+func TestContributionSharesZeroTotal(t *testing.T) {
+	shares, err := ContributionShares(0.5, 100, []float64{0, 0})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for _, s := range shares {
+		if s != 0 {
+			t.Errorf("share = %v, want 0", s)
+		}
+	}
+}
+
+func TestAllOptionsConserveBandwidth(t *testing.T) {
+	// Whatever the option, the source-dedicated rates must sum to Ψ·C̄.
+	const psi, bw = 0.35, 200.0
+	sum := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if got := sum(EqualShares(psi, bw, 9)); math.Abs(got-psi*bw) > 1e-9 {
+		t.Errorf("equal shares sum %v", got)
+	}
+	if got := sum(ProportionalShares(psi, bw, []int{1, 2, 3})); math.Abs(got-psi*bw) > 1e-9 {
+		t.Errorf("proportional shares sum %v", got)
+	}
+	cs, _ := ContributionShares(psi, bw, []float64{0.2, 0.8, 2})
+	if got := sum(cs); math.Abs(got-psi*bw) > 1e-9 {
+		t.Errorf("contribution shares sum %v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Cache is the cache-side half of the protocol. It tracks the most recent
+// threshold each source piggybacked on a refresh message and selects
+// feedback targets: "If it is not possible to provide feedback to every
+// source, the sources with the highest local thresholds are selected"
+// (Section 5).
+type Cache struct {
+	thresholds []float64 // last piggybacked threshold per source
+	heard      []bool    // whether any refresh has arrived from the source
+	order      []int     // scratch buffer for target selection
+	feedbacks  int
+}
+
+// NewCache constructs the cache engine for m sources.
+func NewCache(sources int) *Cache {
+	c := &Cache{
+		thresholds: make([]float64, sources),
+		heard:      make([]bool, sources),
+	}
+	for i := range c.thresholds {
+		c.thresholds[i] = math.Inf(1) // unheard sources sort first
+	}
+	return c
+}
+
+// ObserveThreshold records the threshold piggybacked on a refresh from src.
+func (c *Cache) ObserveThreshold(src int, threshold float64) {
+	if src < 0 || src >= len(c.thresholds) {
+		return
+	}
+	c.thresholds[src] = threshold
+	c.heard[src] = true
+}
+
+// KnownThreshold returns the last observed threshold for src and whether any
+// refresh has been heard from it.
+func (c *Cache) KnownThreshold(src int) (float64, bool) {
+	if src < 0 || src >= len(c.thresholds) {
+		return 0, false
+	}
+	return c.thresholds[src], c.heard[src]
+}
+
+// Feedbacks returns the number of feedback targets handed out.
+func (c *Cache) Feedbacks() int { return c.feedbacks }
+
+// PickFeedbackTargets returns up to k distinct sources ordered by descending
+// known threshold. Sources never heard from rank first (their piggybacked
+// threshold is unknown and may be arbitrarily high — reaching them quickly
+// shortens warm-up). For the negative-feedback ablation, ascending order is
+// selected instead (the cache slows down the most aggressive senders, i.e.
+// lowest thresholds).
+func (c *Cache) PickFeedbackTargets(k int, ascending bool) []int {
+	m := len(c.thresholds)
+	if k > m {
+		k = m
+	}
+	if k <= 0 {
+		return nil
+	}
+	if cap(c.order) < m {
+		c.order = make([]int, m)
+	}
+	order := c.order[:m]
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := c.thresholds[order[a]], c.thresholds[order[b]]
+		if ta != tb {
+			if ascending {
+				return ta < tb
+			}
+			return ta > tb
+		}
+		return order[a] < order[b]
+	})
+	c.feedbacks += k
+	return order[:k]
+}

@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the cooperative
+// best-effort synchronization protocol of Olston & Widom (SIGMOD 2002),
+// Section 5. Each source keeps a local refresh threshold that it grows
+// multiplicatively on every refresh it sends and shrinks multiplicatively on
+// positive feedback from the cache; the cache spends surplus cache-side
+// bandwidth on feedback messages targeted at the sources with the highest
+// piggybacked thresholds.
+//
+// The types here are pure protocol logic, independent of any clock or
+// transport: the discrete-event simulator (internal/engine) and the live
+// goroutine runtime (internal/runtime) both drive them.
+package core
+
+import "fmt"
+
+// Params are the tuning knobs of the threshold-setting algorithm.
+type Params struct {
+	// Alpha is the multiplicative threshold increase applied on every
+	// refresh a source sends (Section 5's α). The paper's experiments
+	// found α = 1.1 best.
+	Alpha float64
+
+	// Omega is the multiplicative threshold decrease applied when a source
+	// receives positive feedback (Section 5's ω). The paper found ω = 10
+	// best; ω ≫ α because increases (one per refresh) vastly outnumber
+	// decreases (one per feedback message).
+	Omega float64
+
+	// InitialThreshold seeds each source's local threshold. The algorithm
+	// is adaptive, so any positive value works after a warm-up period.
+	InitialThreshold float64
+
+	// ExpectedFeedbackPeriod is P_feedback, the rough expectation of how
+	// often a source hears feedback: the number of sources divided by the
+	// average cache-side bandwidth. It only needs to be a rough estimate
+	// (Section 5).
+	ExpectedFeedbackPeriod float64
+
+	// DisableBeta turns off the β flood accelerator (β =
+	// t_feedback/P_feedback when feedback is overdue), for the A2
+	// ablation. With β disabled a source recovering from network flooding
+	// raises its threshold only by α per refresh.
+	DisableBeta bool
+}
+
+// DefaultAlpha and DefaultOmega are the best settings found in Section 6.1.
+const (
+	DefaultAlpha = 1.1
+	DefaultOmega = 10.0
+)
+
+// DefaultParams returns the paper's recommended parameters for a deployment
+// of m sources sharing a cache with mean cache-side bandwidth meanCacheBW
+// (messages/second).
+func DefaultParams(sources int, meanCacheBW float64) Params {
+	p := Params{
+		Alpha:            DefaultAlpha,
+		Omega:            DefaultOmega,
+		InitialThreshold: 1,
+	}
+	if meanCacheBW > 0 {
+		p.ExpectedFeedbackPeriod = float64(sources) / meanCacheBW
+	}
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Alpha <= 1 {
+		return fmt.Errorf("core: Alpha must be > 1, got %v", p.Alpha)
+	}
+	if p.Omega <= 1 {
+		return fmt.Errorf("core: Omega must be > 1, got %v", p.Omega)
+	}
+	if p.InitialThreshold <= 0 {
+		return fmt.Errorf("core: InitialThreshold must be > 0, got %v", p.InitialThreshold)
+	}
+	if p.ExpectedFeedbackPeriod < 0 {
+		return fmt.Errorf("core: ExpectedFeedbackPeriod must be ≥ 0, got %v",
+			p.ExpectedFeedbackPeriod)
+	}
+	return nil
+}
+
+// FeedbackPolicy selects how the cache regulates source thresholds.
+type FeedbackPolicy int
+
+const (
+	// PositiveFeedback is the paper's algorithm: sources drift toward
+	// fewer refreshes by default; the cache spends surplus bandwidth
+	// telling the highest-threshold sources to speed up.
+	PositiveFeedback FeedbackPolicy = iota
+
+	// NegativeFeedback is the strawman the paper rejects (Section 5):
+	// sources drift toward more refreshes by default and the cache must
+	// tell them to slow down when overloaded — exactly when its bandwidth
+	// is exhausted, so the slow-down messages starve and flooding
+	// persists. Implemented for the A1 ablation.
+	NegativeFeedback
+
+	// NoFeedback freezes thresholds entirely (static thresholds), as a
+	// second ablation reference.
+	NoFeedback
+)
+
+// String names the policy.
+func (f FeedbackPolicy) String() string {
+	switch f {
+	case PositiveFeedback:
+		return "positive"
+	case NegativeFeedback:
+		return "negative"
+	case NoFeedback:
+		return "none"
+	default:
+		return fmt.Sprintf("FeedbackPolicy(%d)", int(f))
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bestsync/internal/priority"
+)
+
+// Source is the source-side half of the protocol (Section 5). It owns a
+// priority queue of locally modified objects and a local refresh threshold
+// T_j, and decides which objects to refresh whenever source-side bandwidth
+// is available: "it refreshes the object with the highest refresh priority
+// if that priority is above the local refresh threshold".
+type Source struct {
+	ID     int
+	Queue  *priority.Queue
+	params Params
+	policy FeedbackPolicy
+
+	threshold    float64
+	lastFeedback float64
+	limited      bool // sending at full source-side capacity
+	refreshes    int
+	feedbacks    int
+}
+
+// NewSource constructs a source engine. The caller upserts modified objects
+// into Queue (keyed by object id, valued by weighted refresh priority) as
+// updates occur.
+func NewSource(id int, params Params, policy FeedbackPolicy) *Source {
+	return &Source{
+		ID:        id,
+		Queue:     priority.NewQueue(0),
+		params:    params,
+		policy:    policy,
+		threshold: params.InitialThreshold,
+	}
+}
+
+// Threshold returns the current local refresh threshold T_j.
+func (s *Source) Threshold() float64 { return s.threshold }
+
+// SetThreshold overrides T_j (used by tests and by competitive-mode resets).
+func (s *Source) SetThreshold(t float64) { s.threshold = t }
+
+// Refreshes returns the number of refreshes this source has sent.
+func (s *Source) Refreshes() int { return s.refreshes }
+
+// Feedbacks returns the number of feedback messages this source received.
+func (s *Source) Feedbacks() int { return s.feedbacks }
+
+// SetLimited records whether the source is currently sending at the full
+// capacity of its source-side bandwidth; a limited source ignores positive
+// feedback (Section 5 footnote: this avoids queue blow-ups when source
+// bandwidth frees up suddenly).
+func (s *Source) SetLimited(v bool) { s.limited = v }
+
+// Limited reports the last value passed to SetLimited.
+func (s *Source) Limited() bool { return s.limited }
+
+// Beta returns the threshold-increase accelerator β (Section 5): 1 while
+// feedback is arriving on schedule, t_feedback/P_feedback once feedback is
+// overdue — a sign the network may be flooding.
+func (s *Source) Beta(now float64) float64 {
+	if s.params.DisableBeta || s.params.ExpectedFeedbackPeriod <= 0 {
+		return 1
+	}
+	elapsed := now - s.lastFeedback
+	if elapsed <= s.params.ExpectedFeedbackPeriod {
+		return 1
+	}
+	return elapsed / s.params.ExpectedFeedbackPeriod
+}
+
+// ShouldSend reports whether the highest-priority modified object clears the
+// local threshold, returning its id and priority.
+func (s *Source) ShouldSend() (obj int, pri float64, ok bool) {
+	obj, pri, ok = s.Queue.Max()
+	if !ok || pri <= 0 {
+		return 0, 0, false
+	}
+	if pri < s.threshold {
+		return obj, pri, false
+	}
+	return obj, pri, true
+}
+
+// OnRefreshSent applies the per-refresh threshold adjustment at time now.
+// Under the paper's positive-feedback policy the threshold grows by α·β; the
+// negative-feedback ablation instead shrinks it (sources drift toward more
+// refreshes and rely on the cache to slow them down).
+func (s *Source) OnRefreshSent(now float64) {
+	s.refreshes++
+	switch s.policy {
+	case PositiveFeedback:
+		s.threshold *= s.params.Alpha * s.Beta(now)
+	case NegativeFeedback:
+		s.threshold /= s.params.Alpha
+		if s.threshold < minThreshold {
+			s.threshold = minThreshold
+		}
+	case NoFeedback:
+		// static threshold
+	}
+}
+
+// minThreshold keeps thresholds in a numerically sane range; the adaptive
+// multiplicative updates otherwise drive them to 0 or +Inf during long
+// surplus or famine stretches.
+const minThreshold = 1e-12
+
+// maxThreshold mirrors minThreshold on the high side.
+const maxThreshold = 1e18
+
+// OnFeedback applies a feedback message received at time now. For the
+// positive policy this is a speed-up request (T_j /= ω unless the source is
+// bandwidth-limited); for the negative policy it is a slow-down request
+// (T_j *= ω). Receipt of any feedback resets the β timer.
+func (s *Source) OnFeedback(now float64) {
+	s.feedbacks++
+	s.lastFeedback = now
+	switch s.policy {
+	case PositiveFeedback:
+		if !s.limited {
+			s.threshold /= s.params.Omega
+			if s.threshold < minThreshold {
+				s.threshold = minThreshold
+			}
+		}
+	case NegativeFeedback:
+		s.threshold *= s.params.Omega
+		if s.threshold > maxThreshold {
+			s.threshold = maxThreshold
+		}
+	case NoFeedback:
+	}
+}
+
+// ClampThreshold bounds the threshold into [minThreshold, maxThreshold];
+// engines call it once per tick so runaway growth (e.g. β during a long
+// outage) stays finite.
+func (s *Source) ClampThreshold() {
+	if s.threshold < minThreshold {
+		s.threshold = minThreshold
+	}
+	if s.threshold > maxThreshold {
+		s.threshold = maxThreshold
+	}
+}

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/metric"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// TestAnalyticQueueingScenario pins the engine's bookkeeping against a
+// hand-computed scenario with known updates, a known bottleneck, and the
+// ideal scheduler (no threshold dynamics to reason about).
+//
+// Setup: one source, two trace-driven objects, cache bandwidth exactly 1
+// message/second, value-deviation metric, duration 10 s.
+//
+//	object A: jumps to 4 at t=1.5  (priority grows fast: D=4)
+//	object B: jumps to 1 at t=1.2  (D=1)
+//
+// Timeline under the ideal scheduler (refresh slots at whole-second ticks,
+// burst 1):
+//
+//	t=2: one slot. A has priority (2−0)·4−4·0.5 = 6, B has (2)·1−0.8 = 1.2.
+//	     A refreshed at t=2.
+//	t=3: B refreshed at t=3.
+//
+// Divergence integrals: A contributes 4·(2−1.5) = 2.0; B contributes
+// 1·(3−1.2) = 1.8. Total 3.8 over 10 s across 2 objects → 0.19.
+func TestAnalyticQueueingScenario(t *testing.T) {
+	traces := []*workload.Trace{
+		{Times: []float64{1.5}, Values: []float64{4}},
+		{Times: []float64{1.2}, Values: []float64{1}},
+	}
+	cfg := Config{
+		Seed:             1,
+		Sources:          1,
+		ObjectsPerSource: 2,
+		Metric:           metric.ValueDeviation,
+		Duration:         10,
+		CacheBW:          bandwidth.Const(1),
+		Policy:           IdealCooperative,
+		Traces:           traces,
+	}
+	res := MustRun(cfg)
+	if res.RefreshesDelivered != 2 {
+		t.Fatalf("refreshes = %d, want 2", res.RefreshesDelivered)
+	}
+	want := (4*0.5 + 1*1.8) / 10 / 2
+	if math.Abs(res.AvgDivergence-want) > 1e-9 {
+		t.Errorf("AvgDivergence = %v, want %v", res.AvgDivergence, want)
+	}
+}
+
+// TestAnalyticWeightedMeasurement checks the weighted integral against a
+// closed-form computation with a sine weight.
+func TestAnalyticWeightedMeasurement(t *testing.T) {
+	// One object, never refreshed (zero bandwidth): D = 3 from t=2 on.
+	traces := []*workload.Trace{
+		{Times: []float64{2}, Values: []float64{3}},
+	}
+	w := weight.Sine{Base: 2, Amp: 0.5, Period: 7, Phase: 0.3}
+	cfg := Config{
+		Seed:             1,
+		Sources:          1,
+		ObjectsPerSource: 1,
+		Metric:           metric.ValueDeviation,
+		Duration:         10,
+		CacheBW:          bandwidth.Const(0),
+		Traces:           traces,
+		Weights:          []weight.Fn{w},
+	}
+	res := MustRun(cfg)
+	want := 3 * w.Integral(2, 10) / 10
+	if math.Abs(res.AvgDivergence-want) > 1e-9 {
+		t.Errorf("AvgDivergence = %v, want %v", res.AvgDivergence, want)
+	}
+}
+
+// TestAnalyticLagMetric pins lag accounting: three updates, no refresh.
+func TestAnalyticLagMetric(t *testing.T) {
+	traces := []*workload.Trace{
+		{Times: []float64{1, 2, 3}, Values: []float64{5, 6, 7}},
+	}
+	cfg := Config{
+		Seed:             1,
+		Sources:          1,
+		ObjectsPerSource: 1,
+		Metric:           metric.Lag,
+		Duration:         4,
+		CacheBW:          bandwidth.Const(0),
+		Traces:           traces,
+	}
+	res := MustRun(cfg)
+	// Lag: 1 over [1,2), 2 over [2,3), 3 over [3,4) → ∫ = 6 over 4 s.
+	if math.Abs(res.AvgDivergence-1.5) > 1e-9 {
+		t.Errorf("avg lag = %v, want 1.5", res.AvgDivergence)
+	}
+}
+
+// TestAnalyticStalenessWindow pins the warmup clipping: staleness starts
+// inside the warmup window and is partially clipped.
+func TestAnalyticStalenessWindow(t *testing.T) {
+	traces := []*workload.Trace{
+		{Times: []float64{3}, Values: []float64{1}},
+	}
+	cfg := Config{
+		Seed:             1,
+		Sources:          1,
+		ObjectsPerSource: 1,
+		Metric:           metric.Staleness,
+		Duration:         10,
+		Warmup:           5,
+		CacheBW:          bandwidth.Const(0),
+		Traces:           traces,
+	}
+	res := MustRun(cfg)
+	// Stale over [3,10]; measured window [5,10] → 5 stale seconds / 5 s = 1.
+	if math.Abs(res.AvgDivergence-1) > 1e-9 {
+		t.Errorf("avg staleness = %v, want 1", res.AvgDivergence)
+	}
+}
+
+// TestAnalyticCooperativeDelivery pins the cooperative path end to end with
+// a single object and generous thresholds driven to the floor by feedback.
+func TestAnalyticCooperativeDelivery(t *testing.T) {
+	traces := []*workload.Trace{
+		{Times: []float64{2.5}, Values: []float64{2}},
+	}
+	cfg := Config{
+		Seed:             1,
+		Sources:          1,
+		ObjectsPerSource: 1,
+		Metric:           metric.ValueDeviation,
+		Duration:         20,
+		CacheBW:          bandwidth.Const(5),
+		Traces:           traces,
+		Policy:           Cooperative,
+	}
+	res := MustRun(cfg)
+	if res.RefreshesDelivered != 1 {
+		t.Fatalf("refreshes = %d, want 1", res.RefreshesDelivered)
+	}
+	// The update at 2.5 has priority 2·2.5 = 5 ≥ T₀=1, so it is sent at the
+	// t=3 tick and delivered the same tick: D=2 over [2.5, 3) → 1.0 total.
+	want := 2 * 0.5 / 20 / 1
+	if math.Abs(res.AvgDivergence-want) > 1e-9 {
+		t.Errorf("AvgDivergence = %v, want %v", res.AvgDivergence, want)
+	}
+}
+
+// TestSameSeedSameWorkloadAcrossPolicies verifies the rng isolation that F4
+// depends on: the update sequence must be identical whichever policy runs.
+func TestSameSeedSameWorkloadAcrossPolicies(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = Cooperative
+	a := MustRun(cfg)
+	cfg.Policy = IdealCooperative
+	b := MustRun(cfg)
+	if a.Updates != b.Updates {
+		t.Errorf("update counts differ across policies: %d vs %d (workload not isolated)",
+			a.Updates, b.Updates)
+	}
+	cfg.Policy = Cooperative
+	cfg.RandomFeedbackTargets = true
+	c := MustRun(cfg)
+	if c.Updates != a.Updates {
+		t.Errorf("protocol randomness perturbed the workload: %d vs %d",
+			c.Updates, a.Updates)
+	}
+}

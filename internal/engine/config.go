@@ -1,0 +1,385 @@
+// Package engine is the discrete-event simulator used for the paper's
+// experimental evaluation (Section 6): one cache, m sources with n objects
+// each, fluctuating cache-side and source-side bandwidth, unit-size
+// messages, and exact measurement of time-averaged weighted divergence.
+//
+// The simulator is a hybrid: object updates are true discrete events drawn
+// from per-object update processes, while protocol actions (source send
+// decisions, link deliveries, feedback) run on a fixed tick (1 s by
+// default, matching the paper's per-second bandwidth accounting).
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// Policy selects the synchronization scheduler being simulated.
+type Policy int
+
+const (
+	// Cooperative is the paper's practical algorithm (Section 5): local
+	// thresholds, positive feedback, piggybacked threshold tracking, all
+	// messages subject to bandwidth constraints.
+	Cooperative Policy = iota
+
+	// IdealCooperative is the idealized scenario of Section 3.3: all
+	// parties share state for free, and each unit of cache-side bandwidth
+	// refreshes the globally highest-priority object (subject to
+	// source-side bandwidth), with no message overhead. Its divergence is
+	// the "theoretically achievable" baseline of Figures 4–6.
+	IdealCooperative
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Cooperative:
+		return "cooperative"
+	case IdealCooperative:
+		return "ideal-cooperative"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Competitive configures the Section 7 extension: a Ψ fraction of cache-side
+// bandwidth is dedicated to the sources' own (conflicting) refresh
+// priorities.
+type Competitive struct {
+	// Psi is the fraction of cache-side bandwidth dedicated to source
+	// priorities, in [0, 1).
+	Psi float64
+	// Share selects how the Ψ fraction is divided among sources: 1 = equal
+	// shares, 2 = proportional to object count, 3 = piggyback credits
+	// proportional to the source's contribution to cache objectives.
+	Share int
+	// SourceWeights gives each object's weight under the *sources'*
+	// objective (len N). The cache's objective uses Config.Weights.
+	SourceWeights []weight.Fn
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Seed             int64
+	Sources          int // m
+	ObjectsPerSource int // n
+
+	Metric     metric.Kind
+	Delta      metric.DeltaFunc // for ValueDeviation; nil = |V1−V2|
+	PriorityFn priority.Fn      // default AreaGeneral
+
+	Duration float64 // simulated seconds, measurement ends here
+	Warmup   float64 // measurement starts here
+	Tick     float64 // protocol tick; default 1 s
+
+	CacheBW  bandwidth.Profile // C(t); required
+	SourceBW bandwidth.Profile // B_j(t), same for all sources; nil = unlimited
+
+	Policy   Policy
+	Params   core.Params         // zero value → core.DefaultParams
+	Feedback core.FeedbackPolicy // PositiveFeedback unless overridden
+
+	// Per-object workload, each of length Sources*ObjectsPerSource (object
+	// i belongs to source i/ObjectsPerSource). Nil entries and nil slices
+	// fall back to defaults: Poisson(Rates[i]) updates, RandomWalk values,
+	// weight 1.
+	Rates     []float64                // true Poisson rates λ_i
+	Processes []workload.UpdateProcess // overrides Poisson(Rates) when set
+	Values    []workload.ValueModel
+	Weights   []weight.Fn
+	Traces    []*workload.Trace // trace-driven objects (overrides process+values)
+
+	// MaxRates R_i enable divergence-bound accounting (Section 9) and the
+	// BoundArea priority.
+	MaxRates []float64
+	// RefreshLatency is L_i (uniform across objects) for bound accounting.
+	RefreshLatency float64
+
+	// Competitive enables the Section 7 extension.
+	Competitive *Competitive
+
+	// MaxQueue bounds the cache-side link queue (0 = unbounded); used by
+	// failure-injection tests.
+	MaxQueue int
+
+	// DropFeedbackUntil suppresses all feedback delivery before this time —
+	// failure injection for robustness tests.
+	DropFeedbackUntil float64
+
+	// RandomFeedbackTargets replaces the paper's highest-threshold feedback
+	// targeting with uniform random target selection (ablation A3,
+	// isolating the value of piggybacked thresholds).
+	RandomFeedbackTargets bool
+
+	// Section 10.1 extensions -------------------------------------------
+
+	// Sizes gives each object's full-refresh message size in bandwidth
+	// units (nil = all 1). Non-uniform sizes model objects of different
+	// byte lengths.
+	Sizes []float64
+
+	// CostAware divides each object's refresh weight by its current
+	// message size, the paper's suggested extension for non-uniform costs
+	// ("a factor inversely proportional to cost").
+	CostAware bool
+
+	// DeltaSize enables delta encoding: a refresh costs
+	// min(full size, DeltaSize × updates-behind) — cheap for an object one
+	// update behind, converging to the full size for long-stale copies.
+	// 0 disables.
+	DeltaSize float64
+
+	// BatchMax packages up to this many refreshes into one message
+	// (0 or 1 = no batching). A batch costs BatchOverhead plus the sizes
+	// of the packaged refreshes.
+	BatchMax int
+
+	// BatchOverhead is the fixed per-message header cost when batching.
+	BatchOverhead float64
+
+	// BatchWait is how long a source may hold a partial batch hoping for
+	// more over-threshold objects before sending it anyway (seconds;
+	// default one tick).
+	BatchWait float64
+
+	// Groups assigns objects to mutual-consistency groups (Section 10.1's
+	// [UNR+01] extension): all objects in a group are refreshed atomically
+	// in one message, so the cache never holds a mixed-version view of the
+	// group. Groups[i] is object i's group id; objects sharing an id must
+	// belong to the same source. -1 (or a unique id) means ungrouped.
+	// nil disables grouping.
+	Groups []int
+
+	// GroupsMeasureOnly keeps refreshes independent but still measures
+	// each group's mixed-version exposure — the baseline E13 compares
+	// atomic grouping against.
+	GroupsMeasureOnly bool
+
+	// RateEstimation selects how sources obtain the λ estimates used by
+	// the Poisson priority functions: the oracle (true rates, default),
+	// the Section 8.1 since-last-refresh counter, or a sliding-window
+	// estimator (the Section 10.1 "longer history period" variant).
+	RateEstimation RateEstimation
+
+	// RateWindow is the sliding-window length for RateWindowed (seconds).
+	RateWindow float64
+}
+
+// RateEstimation selects the update-rate estimator (Sections 8.1 and 10.1).
+type RateEstimation int
+
+const (
+	// RateOracle uses the configured true rates.
+	RateOracle RateEstimation = iota
+	// RateSinceRefresh estimates λ as updates since the last refresh
+	// divided by the time since the last refresh (Section 8.1).
+	RateSinceRefresh
+	// RateWindowed estimates λ over a longer sliding window of recent
+	// updates (Section 10.1's future-work suggestion), trading
+	// adaptiveness for stability.
+	RateWindowed
+)
+
+// String names the estimator.
+func (r RateEstimation) String() string {
+	switch r {
+	case RateOracle:
+		return "oracle"
+	case RateSinceRefresh:
+		return "since-refresh"
+	case RateWindowed:
+		return "windowed"
+	default:
+		return fmt.Sprintf("RateEstimation(%d)", int(r))
+	}
+}
+
+// N returns the total object count.
+func (c *Config) N() int { return c.Sources * c.ObjectsPerSource }
+
+// SourceOf maps a global object index to its source.
+func (c *Config) SourceOf(obj int) int { return obj / c.ObjectsPerSource }
+
+// Validate reports configuration errors and fills defaults in place.
+func (c *Config) Validate() error {
+	if c.Sources <= 0 || c.ObjectsPerSource <= 0 {
+		return fmt.Errorf("engine: need ≥1 source and ≥1 object per source, got m=%d n=%d",
+			c.Sources, c.ObjectsPerSource)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("engine: Duration must be > 0, got %v", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("engine: Warmup %v outside [0, Duration)", c.Warmup)
+	}
+	if c.Tick == 0 {
+		c.Tick = 1
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("engine: Tick must be > 0, got %v", c.Tick)
+	}
+	if c.CacheBW == nil {
+		return fmt.Errorf("engine: CacheBW is required")
+	}
+	n := c.N()
+	check := func(name string, l int) error {
+		if l != 0 && l != n {
+			return fmt.Errorf("engine: %s has length %d, want %d", name, l, n)
+		}
+		return nil
+	}
+	if err := check("Rates", len(c.Rates)); err != nil {
+		return err
+	}
+	if err := check("Processes", len(c.Processes)); err != nil {
+		return err
+	}
+	if err := check("Values", len(c.Values)); err != nil {
+		return err
+	}
+	if err := check("Weights", len(c.Weights)); err != nil {
+		return err
+	}
+	if err := check("Traces", len(c.Traces)); err != nil {
+		return err
+	}
+	if err := check("MaxRates", len(c.MaxRates)); err != nil {
+		return err
+	}
+	if err := check("Sizes", len(c.Sizes)); err != nil {
+		return err
+	}
+	for i, s := range c.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("engine: Sizes[%d] = %v, must be > 0", i, s)
+		}
+	}
+	if c.DeltaSize < 0 {
+		return fmt.Errorf("engine: DeltaSize must be ≥ 0, got %v", c.DeltaSize)
+	}
+	if c.BatchMax < 0 || c.BatchOverhead < 0 || c.BatchWait < 0 {
+		return fmt.Errorf("engine: batch parameters must be ≥ 0")
+	}
+	if c.BatchMax > 1 && c.BatchWait == 0 {
+		c.BatchWait = c.Tick
+	}
+	if c.RateEstimation == RateWindowed && c.RateWindow <= 0 {
+		c.RateWindow = 100
+	}
+	if err := check("Groups", len(c.Groups)); err != nil {
+		return err
+	}
+	if c.Groups != nil {
+		owner := map[int]int{}
+		for i, g := range c.Groups {
+			if g < 0 {
+				continue
+			}
+			src := c.SourceOf(i)
+			if prev, ok := owner[g]; ok && prev != src {
+				return fmt.Errorf("engine: group %d spans sources %d and %d", g, prev, src)
+			}
+			owner[g] = src
+		}
+		if c.BatchMax > 1 {
+			return fmt.Errorf("engine: Groups and BatchMax cannot be combined")
+		}
+	}
+	if c.Params == (core.Params{}) {
+		c.Params = core.DefaultParams(c.Sources, 0)
+	}
+	if c.Params.ExpectedFeedbackPeriod == 0 {
+		// The paper's estimate: total number of sources divided by the
+		// average cache-side bandwidth (Section 5). It under-estimates the
+		// realized feedback period whenever refreshes consume most of the
+		// bandwidth, which makes β fire early — the conservative bias the
+		// paper wants ("in the absence of feedback, sources can assume the
+		// refresh rate is too fast").
+		if mean := meanRate(c.CacheBW); mean > 0 {
+			c.Params.ExpectedFeedbackPeriod = float64(c.Sources) / mean
+		}
+	}
+	// Feedback cannot arrive more often than once per tick, so an expected
+	// feedback period below the tick would make β fire permanently; floor
+	// it at two ticks.
+	if c.Params.ExpectedFeedbackPeriod < 2*c.Tick {
+		c.Params.ExpectedFeedbackPeriod = 2 * c.Tick
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Competitive != nil {
+		if c.Competitive.Psi < 0 || c.Competitive.Psi >= 1 {
+			return fmt.Errorf("engine: Psi %v outside [0,1)", c.Competitive.Psi)
+		}
+		if c.Competitive.Share < 1 || c.Competitive.Share > 3 {
+			return fmt.Errorf("engine: Share option %d outside 1..3", c.Competitive.Share)
+		}
+		if err := check("SourceWeights", len(c.Competitive.SourceWeights)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// meanRate estimates a profile's long-run mean capacity.
+func meanRate(p bandwidth.Profile) float64 {
+	switch b := p.(type) {
+	case bandwidth.Const:
+		return float64(b)
+	case bandwidth.Sine:
+		return b.Mean
+	default:
+		// Average over a long horizon.
+		return p.Integral(0, 10000) / 10000
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// AvgDivergence is the time-averaged weighted divergence per object
+	// over the measurement window — the paper's objective.
+	AvgDivergence float64
+
+	// SourceAvgDivergence is AvgDivergence under the sources' own weights
+	// (competitive mode only).
+	SourceAvgDivergence float64
+
+	// AvgBound is the time-averaged divergence bound per object (Section
+	// 9); populated when MaxRates are configured.
+	AvgBound float64
+
+	RefreshesSent      int // refresh messages enqueued by sources
+	RefreshesDelivered int // refresh messages applied at the cache
+	FeedbackSent       int // feedback (or raise) messages sent by the cache
+	PeakQueue          int // peak cache-side link queue length
+	DroppedMessages    int // messages dropped by a bounded queue
+
+	// MeanThreshold is the mean local threshold across sources at the end
+	// of the run.
+	MeanThreshold float64
+
+	// GroupMixedExposure is the average fraction of time a
+	// mutual-consistency group's cached view corresponded to no single
+	// source-side instant (Groups mode only).
+	GroupMixedExposure float64
+
+	// Updates is the total number of source updates generated.
+	Updates int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("avgDiv=%.5g refreshes=%d/%d feedback=%d peakQ=%d",
+		r.AvgDivergence, r.RefreshesDelivered, r.RefreshesSent, r.FeedbackSent, r.PeakQueue)
+}
+
+// unlimited is an effectively infinite bandwidth used when SourceBW is nil.
+var unlimited = bandwidth.Const(math.MaxFloat64 / 1e6)

@@ -1,0 +1,1023 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/competitive"
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/netsim"
+	"bestsync/internal/priority"
+	"bestsync/internal/stats"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// object is the full simulation state of one data object.
+type object struct {
+	src int
+
+	// Source copy.
+	value   float64
+	version uint64
+	proc    workload.UpdateProcess
+	vm      workload.ValueModel
+	trace   *workload.Trace
+	trIdx   int
+	w       weight.Fn
+	srcW    weight.Fn // competitive mode: the source's own weight
+	lambda  float64
+	maxRate float64
+
+	// Source's scheduling view: divergence relative to the value last sent.
+	sent    metric.Tracker
+	sentVal float64
+	sentVer uint64
+	ownPri  float64 // competitive mode: priority under the source objective
+
+	// Sliding-window rate estimation (RateWindowed): update counts in the
+	// current and previous windows of length RateWindow.
+	winEpoch int64
+	winCur   int
+	winPrev  int
+
+	// Mutual-consistency tracking (Groups): the cached version of this
+	// object was current at the source during [vTime, vNext).
+	vTime float64
+	vNext float64 // +Inf until the source updates past the cached version
+
+	// Cache view: divergence relative to the value actually delivered.
+	cacheVal  float64
+	cacheVer  uint64
+	trueD     float64
+	trueLastT float64
+	trueSrcD  float64 // competitive: same divergence, metered under srcW
+	lastDeliv float64 // delivery time of the newest applied refresh (bounds)
+}
+
+type engine struct {
+	cfg *Config
+	rng *rand.Rand
+	// protoRng serves protocol-level randomness (e.g. random feedback
+	// targets) so that consuming it never perturbs the workload sequence:
+	// runs with the same seed see identical updates regardless of policy.
+	protoRng *rand.Rand
+
+	objs    []object
+	sources []*core.Source
+	cache   *core.Cache
+
+	// Per-source queues under the source objective (competitive mode).
+	ownQueues []*priority.Queue
+	ownBudget []bandwidth.Bucket // option 1/2 rate shares
+	ownCredit []float64          // option 3 piggyback credits
+	ownRates  []float64          // cached Section 7 share allocation
+
+	srcBuckets []bandwidth.Bucket
+	link       *netsim.Link
+	srcQueue   *priority.Queue // IdealCooperative: source → top object priority
+	stash      []int
+
+	meter    stats.Meter // cache-objective weighted divergence
+	srcMeter stats.Meter // source-objective weighted divergence
+	boundAcc float64     // ∫ bound dt (Section 9)
+
+	// surplusEWMA tracks recent cache-side surplus to pace feedback (see
+	// cooperativeTick).
+	surplusEWMA float64
+
+	// minBurst is the minimum token-bucket burst so that the largest
+	// possible message can always eventually be sent.
+	minBurst float64
+	// groupMembers maps a mutual-consistency group id to its objects.
+	groupMembers map[int][]int
+	// groupState accumulates each group's mixed-version exposure.
+	groupState map[int]*groupConsistency
+	// lastSendAt supports BatchWait (per-source time of last send).
+	lastSendAt []float64
+	// batchBuf is scratch space for batch assembly.
+	batchBuf []int
+
+	events eventHeap
+
+	res Result
+}
+
+// Run executes one simulation and returns its measurements. The
+// configuration is validated (and defaults filled) first.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(&cfg)
+	e.run()
+	return e.res, nil
+}
+
+// MustRun is Run for known-good configurations (experiments, benchmarks).
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func newEngine(cfg *Config) *engine {
+	n := cfg.N()
+	e := &engine{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		protoRng:   rand.New(rand.NewSource(cfg.Seed + 0x9e3779b9)),
+		objs:       make([]object, n),
+		sources:    make([]*core.Source, cfg.Sources),
+		cache:      core.NewCache(cfg.Sources),
+		srcBuckets: make([]bandwidth.Bucket, cfg.Sources),
+		link:       netsim.NewLink(cfg.CacheBW, cfg.MaxQueue),
+		meter:      stats.Meter{Warmup: cfg.Warmup},
+		srcMeter:   stats.Meter{Warmup: cfg.Warmup},
+	}
+	for j := range e.sources {
+		e.sources[j] = core.NewSource(j, cfg.Params, cfg.Feedback)
+	}
+	e.lastSendAt = make([]float64, cfg.Sources)
+	e.minBurst = 1
+	if cfg.Sizes != nil {
+		for _, s := range cfg.Sizes {
+			if s > e.minBurst {
+				e.minBurst = s
+			}
+		}
+	}
+	if cfg.BatchMax > 1 {
+		e.minBurst = cfg.BatchOverhead + float64(cfg.BatchMax)*e.minBurst
+	}
+	if cfg.Groups != nil {
+		e.groupMembers = map[int][]int{}
+		e.groupState = map[int]*groupConsistency{}
+		for i, g := range cfg.Groups {
+			if g >= 0 {
+				e.groupMembers[g] = append(e.groupMembers[g], i)
+				if e.groupState[g] == nil {
+					e.groupState[g] = &groupConsistency{}
+				}
+			}
+		}
+		for i := range e.objs {
+			e.objs[i].vNext = math.Inf(1)
+		}
+		maxSize := 1.0
+		for _, members := range e.groupMembers {
+			total := 0.0
+			for _, i := range members {
+				if cfg.Sizes != nil {
+					total += cfg.Sizes[i]
+				} else {
+					total++
+				}
+			}
+			if total > maxSize {
+				maxSize = total
+			}
+		}
+		if maxSize > e.minBurst {
+			e.minBurst = maxSize
+		}
+	}
+	if cfg.Policy == IdealCooperative {
+		e.srcQueue = priority.NewQueue(cfg.Sources)
+	}
+	if cfg.Competitive != nil {
+		e.ownQueues = make([]*priority.Queue, cfg.Sources)
+		for j := range e.ownQueues {
+			e.ownQueues[j] = priority.NewQueue(0)
+		}
+		e.ownBudget = make([]bandwidth.Bucket, cfg.Sources)
+		e.ownCredit = make([]float64, cfg.Sources)
+	}
+	for i := range e.objs {
+		o := &e.objs[i]
+		o.src = cfg.SourceOf(i)
+		o.w = weight.Const(1)
+		if cfg.Weights != nil && cfg.Weights[i] != nil {
+			o.w = cfg.Weights[i]
+		}
+		o.srcW = o.w
+		if cfg.Competitive != nil && cfg.Competitive.SourceWeights != nil {
+			o.srcW = cfg.Competitive.SourceWeights[i]
+		}
+		if cfg.Rates != nil {
+			o.lambda = cfg.Rates[i]
+		}
+		if cfg.MaxRates != nil {
+			o.maxRate = cfg.MaxRates[i]
+		}
+		switch {
+		case cfg.Traces != nil && cfg.Traces[i] != nil:
+			o.trace = cfg.Traces[i]
+		case cfg.Processes != nil && cfg.Processes[i] != nil:
+			o.proc = cfg.Processes[i]
+		default:
+			o.proc = workload.Poisson{Lambda: o.lambda}
+		}
+		o.vm = workload.RandomWalk{Step: 1}
+		if cfg.Values != nil && cfg.Values[i] != nil {
+			o.vm = cfg.Values[i]
+		}
+		if o.trace == nil {
+			o.value = o.vm.Initial(e.rng)
+		}
+		o.sentVal = o.value
+		o.cacheVal = o.value
+		// Schedule the first update.
+		if o.trace != nil {
+			if o.trace.Len() > 0 {
+				e.events.Push(o.trace.Times[0], i)
+			}
+		} else {
+			if t := o.proc.NextAfter(0, e.rng); !math.IsInf(t, 1) {
+				e.events.Push(t, i)
+			}
+		}
+	}
+	return e
+}
+
+func (e *engine) run() {
+	cfg := e.cfg
+	tick := cfg.Tick
+	nTicks := int(math.Ceil(cfg.Duration / tick))
+	prev := 0.0
+	for k := 1; k <= nTicks; k++ {
+		now := float64(k) * tick
+		if now > cfg.Duration {
+			now = cfg.Duration
+		}
+		for e.events.Len() > 0 && e.events.PeekTime() <= now {
+			t, i := e.events.Pop()
+			if t > cfg.Duration {
+				break
+			}
+			e.applyUpdate(i, t)
+		}
+		switch cfg.Policy {
+		case IdealCooperative:
+			e.idealTick(prev, now)
+		default:
+			e.cooperativeTick(prev, now)
+		}
+		prev = now
+	}
+	e.finish(cfg.Duration)
+}
+
+// applyUpdate advances object i to its new source value at time t.
+func (e *engine) applyUpdate(i int, t float64) {
+	cfg := e.cfg
+	o := &e.objs[i]
+	e.res.Updates++
+
+	// New source value.
+	if o.trace != nil {
+		o.value = o.trace.Values[o.trIdx]
+		o.trIdx++
+		if o.trIdx < o.trace.Len() {
+			e.events.Push(o.trace.Times[o.trIdx], i)
+		}
+	} else {
+		o.value = o.vm.Next(o.value, t, e.rng)
+		if next := o.proc.NextAfter(t, e.rng); !math.IsInf(next, 1) {
+			e.events.Push(next, i)
+		}
+	}
+	o.version++
+	if e.cfg.Groups != nil && math.IsInf(o.vNext, 1) && o.version > o.cacheVer {
+		// This update supersedes the cached version: its validity window
+		// at the source closes now.
+		o.vNext = t
+		e.touchGroup(i, t)
+	}
+	if e.cfg.RateEstimation == RateWindowed {
+		epoch := int64(t / e.cfg.RateWindow)
+		switch {
+		case epoch == o.winEpoch+1:
+			o.winPrev, o.winCur = o.winCur, 0
+		case epoch > o.winEpoch+1:
+			o.winPrev, o.winCur = 0, 0
+		}
+		o.winEpoch = epoch
+		o.winCur++
+	}
+
+	// Scheduling view (relative to the value last sent).
+	dSent := metric.Divergence(cfg.Metric, cfg.Delta,
+		int(o.version-o.sentVer), o.value, o.sentVal)
+	o.sent.Update(t, dSent)
+	e.requeue(i, t)
+
+	// Measurement view (relative to the value the cache actually holds).
+	e.meterTo(i, t)
+	o.trueD = metric.Divergence(cfg.Metric, cfg.Delta,
+		int(o.version-o.cacheVer), o.value, o.cacheVal)
+	o.trueSrcD = o.trueD
+}
+
+// meterTo closes the object's current constant-divergence interval at time t.
+func (e *engine) meterTo(i int, t float64) {
+	o := &e.objs[i]
+	if t > o.trueLastT {
+		e.meter.Add(o.trueLastT, t, o.trueD, o.w)
+		if e.cfg.Competitive != nil {
+			e.srcMeter.Add(o.trueLastT, t, o.trueSrcD, o.srcW)
+		}
+	}
+	o.trueLastT = t
+}
+
+// requeue recomputes object i's refresh priority and places it in (or drops
+// it from) its source's queue.
+func (e *engine) requeue(i int, now float64) {
+	o := &e.objs[i]
+	p := e.schedPriority(i, now)
+	q := e.sources[o.src].Queue
+	if p > 0 {
+		q.Upsert(i, p)
+	} else {
+		q.Remove(i)
+	}
+	if e.cfg.Competitive != nil {
+		op := e.ownPriority(i, now)
+		o.ownPri = op
+		if op > 0 {
+			e.ownQueues[o.src].Upsert(i, op)
+		} else {
+			e.ownQueues[o.src].Remove(i)
+		}
+	}
+	if e.srcQueue != nil {
+		e.refreshSrcKey(o.src)
+	}
+}
+
+// refreshSrcKey syncs the ideal scheduler's per-source key with the source's
+// current top priority.
+func (e *engine) refreshSrcKey(j int) {
+	if _, top, ok := e.sources[j].Queue.Max(); ok {
+		e.srcQueue.Upsert(j, top)
+	} else {
+		e.srcQueue.Remove(j)
+	}
+}
+
+// schedPriority evaluates the configured priority function for object i.
+func (e *engine) schedPriority(i int, now float64) float64 {
+	o := &e.objs[i]
+	w := o.w.At(now)
+	if e.cfg.CostAware {
+		// Section 10.1: weight inversely proportional to refresh cost.
+		w /= e.msgSize(i)
+	}
+	return priority.Compute(e.cfg.PriorityFn, priority.Inputs{
+		Now:         now,
+		LastRefresh: o.sent.LastReset(),
+		Divergence:  o.sent.Current(),
+		Integral:    o.sent.Integral(now),
+		Weight:      w,
+		Lambda:      e.lambdaFor(i, now),
+		Updates:     o.sent.UpdatesBehind(),
+		MaxRate:     o.maxRate,
+	})
+}
+
+// lambdaFor returns the update-rate estimate the configured estimator would
+// give the source for object i (Sections 8.1 and 10.1).
+func (e *engine) lambdaFor(i int, now float64) float64 {
+	o := &e.objs[i]
+	switch e.cfg.RateEstimation {
+	case RateSinceRefresh:
+		span := now - o.sent.LastReset()
+		u := o.sent.UpdatesBehind()
+		if span <= 0 || u == 0 {
+			return 0
+		}
+		return float64(u) / span
+	case RateWindowed:
+		tau := e.cfg.RateWindow
+		epoch := int64(now / tau)
+		cur, prev := o.winCur, o.winPrev
+		switch {
+		case epoch == o.winEpoch+1:
+			prev, cur = cur, 0
+		case epoch > o.winEpoch+1:
+			prev, cur = 0, 0
+		}
+		span := now - float64(epoch)*tau + tau
+		return float64(prev+cur) / span
+	default:
+		return o.lambda
+	}
+}
+
+// fullSize is object i's full-refresh message size.
+func (e *engine) fullSize(i int) float64 {
+	if e.cfg.Sizes != nil {
+		return e.cfg.Sizes[i]
+	}
+	return 1
+}
+
+// msgSize is the bandwidth a refresh of object i costs right now: the full
+// size, or the delta encoding when enabled and cheaper (Section 10.1).
+func (e *engine) msgSize(i int) float64 {
+	full := e.fullSize(i)
+	if e.cfg.DeltaSize > 0 {
+		o := &e.objs[i]
+		if d := e.cfg.DeltaSize * float64(o.version-o.sentVer); d < full {
+			if d <= 0 {
+				return e.cfg.DeltaSize // at least one delta unit
+			}
+			return d
+		}
+	}
+	return full
+}
+
+// ownPriority is the priority under the source's own objective (Section 7).
+func (e *engine) ownPriority(i int, now float64) float64 {
+	o := &e.objs[i]
+	return priority.Compute(priority.AreaGeneral, priority.Inputs{
+		Now:         now,
+		LastRefresh: o.sent.LastReset(),
+		Divergence:  o.sent.Current(),
+		Integral:    o.sent.Integral(now),
+		Weight:      o.srcW.At(now),
+	})
+}
+
+// markSent records that object i's current value was handed to the network
+// at time t: the source now schedules relative to this value.
+func (e *engine) markSent(i int, t float64) {
+	o := &e.objs[i]
+	o.sentVal = o.value
+	o.sentVer = o.version
+	o.sent.Reset(t, 0)
+	e.sources[o.src].Queue.Remove(i)
+	if e.cfg.Competitive != nil {
+		e.ownQueues[o.src].Remove(i)
+	}
+}
+
+// applyDelivery installs a refresh message (possibly a batch) at the cache.
+func (e *engine) applyDelivery(m netsim.Message, t float64) {
+	if len(m.Entries) > 0 {
+		for _, en := range m.Entries {
+			e.applyEntry(en.Object, en.Value, en.Version, m.Sent, t)
+		}
+		return
+	}
+	e.applyEntry(m.Object, m.Value, m.Version, m.Sent, t)
+}
+
+// applyEntry installs one object refresh at the cache at time t. sent is
+// when the carrying message left its source (the instant the delivered
+// version is known to have been current).
+func (e *engine) applyEntry(obj int, value float64, version uint64, sent, t float64) {
+	cfg := e.cfg
+	o := &e.objs[obj]
+	if version < o.cacheVer {
+		// Out-of-order delivery cannot happen on a FIFO link from a single
+		// source, but guard anyway: never regress the cache copy.
+		return
+	}
+	e.meterTo(obj, t)
+	// Divergence-bound accounting (Section 9): the bound grew linearly at
+	// rate R since the previous delivery.
+	if o.maxRate > 0 {
+		span := t - o.lastDeliv
+		base := cfg.RefreshLatency
+		e.boundAcc += o.maxRate * (span*span/2 + base*span)
+		o.lastDeliv = t
+	}
+	o.cacheVal = value
+	o.cacheVer = version
+	o.trueD = metric.Divergence(cfg.Metric, cfg.Delta,
+		int(o.version-o.cacheVer), o.value, o.cacheVal)
+	o.trueSrcD = o.trueD
+	if cfg.Groups != nil {
+		o.vTime = sent
+		if version == o.version {
+			o.vNext = math.Inf(1) // still current; closes at the next update
+		} else {
+			o.vNext = sent // superseded at some unknown time ≥ sent
+		}
+		e.touchGroup(obj, t)
+	}
+	e.res.RefreshesDelivered++
+}
+
+// cooperativeTick runs one protocol tick of the paper's algorithm over
+// (prev, now].
+func (e *engine) cooperativeTick(prev, now float64) {
+	cfg := e.cfg
+	tick := now - prev
+	srcBW := cfg.SourceBW
+	if srcBW == nil {
+		srcBW = unlimited
+	}
+
+	// 1. Sources send refreshes, rotating the starting source for fairness.
+	m := cfg.Sources
+	start := 0
+	if m > 1 {
+		start = int(math.Mod(now/cfg.Tick, float64(m)))
+	}
+	for jj := 0; jj < m; jj++ {
+		j := (start + jj) % m
+		s := e.sources[j]
+		b := &e.srcBuckets[j]
+		b.Burst = math.Max(e.minBurst, srcBW.Rate(now)*tick)
+		b.Accrue(srcBW, prev, now)
+
+		// Section 7 options 1/2: a dedicated budget for the source's own
+		// priorities, replenished at its allocated share of Ψ·C̄.
+		if cfg.Competitive != nil && cfg.Competitive.Share != 3 {
+			ob := &e.ownBudget[j]
+			rate := e.ownShareRate(j)
+			ob.Burst = math.Max(1, rate*tick)
+			ob.Tokens += rate * tick
+			if ob.Tokens > ob.Burst {
+				ob.Tokens = ob.Burst
+			}
+		}
+
+		if cfg.BatchMax > 1 {
+			e.sendBatches(j, now, b)
+		} else {
+			for {
+				obj, _, ok := s.ShouldSend()
+				if !ok {
+					// Below threshold (or empty): options 1/2 may still
+					// spend the source's dedicated rate share (Section 7).
+					// Option 3 spends credits only alongside cache-priority
+					// refreshes.
+					if cfg.Competitive == nil || cfg.Competitive.Share == 3 {
+						break
+					}
+					if !e.trySendOwn(j, now, b) {
+						break
+					}
+					continue
+				}
+				if !b.TryTake(e.sendSize(obj)) {
+					break
+				}
+				e.sendRefresh(j, obj, now)
+				s.OnRefreshSent(now)
+				if cfg.Competitive != nil && cfg.Competitive.Share == 3 {
+					// Option 3: piggyback credit Ψ/(1−Ψ) per cache-priority
+					// refresh.
+					e.ownCredit[j] += cfg.Competitive.Psi / (1 - cfg.Competitive.Psi)
+					for e.ownCredit[j] >= 1 && e.trySendOwn(j, now, b) {
+						e.ownCredit[j]--
+					}
+				}
+			}
+		}
+		// A source is "limited" when it still has an over-threshold object
+		// but no source-side bandwidth to send it.
+		_, _, want := s.ShouldSend()
+		s.SetLimited(want && b.Tokens < 1)
+		s.ClampThreshold()
+		if cfg.Feedback == core.NegativeFeedback && s.Queue.Len() > 0 {
+			// Negative-feedback drift: idle sources with pending changes
+			// edge their thresholds down to claim more bandwidth.
+			s.SetThreshold(s.Threshold() / cfg.Params.Alpha)
+			s.ClampThreshold()
+		}
+	}
+
+	// 2. The cache-side link delivers as capacity allows.
+	e.link.Advance(now, math.Max(e.minBurst, cfg.CacheBW.Rate(now)*tick))
+	for {
+		msg, ok := e.link.Deliver()
+		if !ok {
+			break
+		}
+		e.cache.ObserveThreshold(msg.Source, msg.Threshold)
+		e.applyDelivery(msg, now)
+	}
+
+	// 3. Feedback from surplus capacity (Section 5).
+	if now >= cfg.DropFeedbackUntil {
+		switch cfg.Feedback {
+		case core.PositiveFeedback:
+			leftover := 0
+			if e.link.QueueLen() == 0 {
+				leftover = int(e.link.Tokens() + 1e-9)
+			}
+			// Smooth the tick discretization: in continuous operation
+			// surplus capacity dribbles out one slot at a time, so feedback
+			// reaches sources gradually and each ÷ω burst re-occupies the
+			// cache before the next source is fed. Batching a whole tick's
+			// surplus into simultaneous feedback would synchronize source
+			// bursts (a thundering herd the continuous protocol cannot
+			// produce), so budget feedback by a running average of the
+			// observed surplus: persistent surplus earns a large budget,
+			// momentary drain spikes under starvation do not.
+			e.surplusEWMA = 0.9*e.surplusEWMA + 0.1*float64(leftover)
+			if e.link.QueueLen() == 0 && leftover > 0 {
+				k := leftover
+				if budget := int(e.surplusEWMA) + 1; k > budget {
+					k = budget
+				}
+				for _, j := range e.pickTargets(k) {
+					if !e.link.TryConsume(1) {
+						break
+					}
+					e.sources[j].OnFeedback(now)
+					e.res.FeedbackSent++
+				}
+			}
+		case core.NegativeFeedback:
+			// Overloaded: ask the most aggressive (lowest-threshold)
+			// sources to slow down — with whatever capacity remains, which
+			// under flooding is none. That is the instability the paper
+			// warns about.
+			backlog := e.link.QueueLen()
+			if backlog > int(cfg.CacheBW.Rate(now)*tick) {
+				k := minInt(cfg.Sources, backlog)
+				for _, j := range e.cache.PickFeedbackTargets(k, true) {
+					if !e.link.TryConsume(1) {
+						break
+					}
+					e.sources[j].OnFeedback(now)
+					e.res.FeedbackSent++
+				}
+			}
+		}
+	}
+}
+
+// pickTargets selects feedback targets: highest piggybacked thresholds by
+// default (the paper's rule), or uniform random for the A3 ablation.
+func (e *engine) pickTargets(k int) []int {
+	if !e.cfg.RandomFeedbackTargets {
+		return e.cache.PickFeedbackTargets(k, false)
+	}
+	if k > e.cfg.Sources {
+		k = e.cfg.Sources
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := e.protoRng.Perm(e.cfg.Sources)
+	return perm[:k]
+}
+
+// ownShareRate returns source j's Section 7 option-1/2 refresh rate, using
+// the share allocators from internal/competitive.
+func (e *engine) ownShareRate(j int) float64 {
+	if e.ownRates == nil {
+		cfg := e.cfg
+		switch cfg.Competitive.Share {
+		case 1:
+			e.ownRates = competitive.EqualShares(
+				cfg.Competitive.Psi, meanRate(cfg.CacheBW), cfg.Sources)
+		case 2:
+			counts := make([]int, cfg.Sources)
+			for i := range counts {
+				counts[i] = cfg.ObjectsPerSource
+			}
+			e.ownRates = competitive.ProportionalShares(
+				cfg.Competitive.Psi, meanRate(cfg.CacheBW), counts)
+		default:
+			e.ownRates = make([]float64, cfg.Sources)
+		}
+	}
+	return e.ownRates[j]
+}
+
+// trySendOwn sends source j's top own-priority object if budget allows.
+func (e *engine) trySendOwn(j int, now float64, srcBucket *bandwidth.Bucket) bool {
+	cfg := e.cfg
+	if cfg.Competitive == nil {
+		return false
+	}
+	obj, pri, ok := e.ownQueues[j].Max()
+	if !ok || pri <= 0 {
+		return false
+	}
+	if cfg.Competitive.Share != 3 {
+		if !e.ownBudget[j].TryTake(1) {
+			return false
+		}
+	}
+	if !srcBucket.TryTake(1) {
+		if cfg.Competitive.Share != 3 {
+			e.ownBudget[j].Tokens++ // refund
+		}
+		return false
+	}
+	e.sendRefresh(j, obj, now)
+	return true
+}
+
+// groupOf returns the members refreshed together with obj: its whole
+// mutual-consistency group, or just obj itself.
+func (e *engine) groupOf(obj int) []int {
+	if e.cfg.Groups != nil && !e.cfg.GroupsMeasureOnly {
+		if g := e.cfg.Groups[obj]; g >= 0 {
+			if members := e.groupMembers[g]; len(members) > 1 {
+				return members
+			}
+		}
+	}
+	return nil
+}
+
+// sendSize is the bandwidth one scheduling decision for obj costs: the
+// object's message, or its whole group's.
+func (e *engine) sendSize(obj int) float64 {
+	members := e.groupOf(obj)
+	if members == nil {
+		return e.msgSize(obj)
+	}
+	total := 0.0
+	for _, i := range members {
+		total += e.msgSize(i)
+	}
+	return total
+}
+
+// sendRefresh enqueues a refresh message for object obj from source j —
+// atomically including obj's mutual-consistency group, if any.
+func (e *engine) sendRefresh(j, obj int, now float64) {
+	members := e.groupOf(obj)
+	if members == nil {
+		o := &e.objs[obj]
+		e.link.Enqueue(netsim.Message{
+			Kind:      netsim.MsgRefresh,
+			Source:    j,
+			Object:    obj,
+			Value:     o.value,
+			Version:   o.version,
+			Threshold: e.sources[j].Threshold(),
+			Sent:      now,
+			Size:      e.msgSize(obj),
+		})
+		e.markSent(obj, now)
+		e.lastSendAt[j] = now
+		e.res.RefreshesSent++
+		return
+	}
+	msg := netsim.Message{
+		Kind:      netsim.MsgRefresh,
+		Source:    j,
+		Object:    -1,
+		Threshold: e.sources[j].Threshold(),
+		Sent:      now,
+		Size:      e.sendSize(obj),
+		Entries:   make([]netsim.BatchEntry, 0, len(members)),
+	}
+	for _, i := range members {
+		o := &e.objs[i]
+		msg.Entries = append(msg.Entries, netsim.BatchEntry{
+			Object: i, Value: o.value, Version: o.version,
+		})
+		e.markSent(i, now)
+		e.res.RefreshesSent++
+	}
+	e.link.Enqueue(msg)
+	e.lastSendAt[j] = now
+}
+
+// sendBatches implements the Section 10.1 packaging extension: the source
+// collects up to BatchMax over-threshold objects into one message costing
+// BatchOverhead plus the packaged sizes. Partial batches wait up to
+// BatchWait for more refreshes to accumulate — the tradeoff the paper
+// flags: bandwidth amortization versus artificially delayed refreshes.
+func (e *engine) sendBatches(j int, now float64, b *bandwidth.Bucket) {
+	cfg := e.cfg
+	s := e.sources[j]
+	for {
+		e.batchBuf = e.batchBuf[:0]
+		size := cfg.BatchOverhead
+		for len(e.batchBuf) < cfg.BatchMax {
+			obj, pri, ok := s.ShouldSend()
+			if !ok {
+				break
+			}
+			s.Queue.Remove(obj)
+			e.batchBuf = append(e.batchBuf, obj)
+			size += e.msgSize(obj)
+			_ = pri
+		}
+		if len(e.batchBuf) == 0 {
+			return
+		}
+		partial := len(e.batchBuf) < cfg.BatchMax
+		holdable := now-e.lastSendAt[j] < cfg.BatchWait
+		if (partial && holdable) || !b.TryTake(size) {
+			// Put everything back (priorities are unchanged until sent).
+			for _, obj := range e.batchBuf {
+				s.Queue.Upsert(obj, e.schedPriority(obj, now))
+			}
+			return
+		}
+		msg := netsim.Message{
+			Kind:      netsim.MsgRefresh,
+			Source:    j,
+			Threshold: s.Threshold(),
+			Sent:      now,
+			Size:      size,
+			Entries:   make([]netsim.BatchEntry, 0, len(e.batchBuf)),
+		}
+		msg.Object = -1
+		for _, obj := range e.batchBuf {
+			o := &e.objs[obj]
+			msg.Entries = append(msg.Entries, netsim.BatchEntry{
+				Object: obj, Value: o.value, Version: o.version,
+			})
+			e.markSent(obj, now)
+			s.OnRefreshSent(now)
+			e.res.RefreshesSent++
+		}
+		e.link.Enqueue(msg)
+		e.lastSendAt[j] = now
+		if partial {
+			return
+		}
+	}
+}
+
+// idealTick implements the Section 3.3 idealized scheduler: each unit of
+// cache bandwidth refreshes the globally highest-priority object whose
+// source has bandwidth, instantly and without messages.
+func (e *engine) idealTick(prev, now float64) {
+	cfg := e.cfg
+	tick := now - prev
+	srcBW := cfg.SourceBW
+	if srcBW == nil {
+		srcBW = unlimited
+	}
+	e.link.Advance(now, math.Max(e.minBurst, cfg.CacheBW.Rate(now)*tick))
+	for j := range e.srcBuckets {
+		b := &e.srcBuckets[j]
+		b.Burst = math.Max(e.minBurst, srcBW.Rate(now)*tick)
+		b.Accrue(srcBW, prev, now)
+	}
+	e.stash = e.stash[:0]
+	for {
+		j, top, ok := e.srcQueue.Max()
+		if !ok || top <= 0 {
+			break
+		}
+		obj, _, _ := e.sources[j].Queue.Max()
+		size := e.sendSize(obj)
+		if e.link.Tokens() < size {
+			break
+		}
+		if !e.srcBuckets[j].TryTake(size) {
+			// Source-side bandwidth exhausted: set it aside and try the
+			// next-best source (Section 3.3: "the object with the second
+			// highest priority overall should be refreshed instead").
+			e.srcQueue.Remove(j)
+			e.stash = append(e.stash, j)
+			continue
+		}
+		e.link.TryConsume(size)
+		members := e.groupOf(obj)
+		if members == nil {
+			e.sources[j].Queue.Remove(obj)
+			e.idealRefresh(obj, now)
+		} else {
+			for _, i := range members {
+				e.sources[j].Queue.Remove(i)
+				e.idealRefresh(i, now)
+			}
+		}
+		e.refreshSrcKey(j)
+	}
+	for _, j := range e.stash {
+		e.refreshSrcKey(j)
+	}
+}
+
+// idealRefresh synchronizes an object instantly (no network).
+func (e *engine) idealRefresh(i int, t float64) {
+	o := &e.objs[i]
+	e.meterTo(i, t)
+	if o.maxRate > 0 {
+		span := t - o.lastDeliv
+		base := e.cfg.RefreshLatency
+		e.boundAcc += o.maxRate * (span*span/2 + base*span)
+		o.lastDeliv = t
+	}
+	o.cacheVal = o.value
+	o.cacheVer = o.version
+	o.trueD = 0
+	o.trueSrcD = 0
+	o.sentVal = o.value
+	o.sentVer = o.version
+	o.sent.Reset(t, 0)
+	if e.cfg.Groups != nil {
+		o.vTime = t
+		o.vNext = math.Inf(1)
+		e.touchGroup(i, t)
+	}
+	if e.cfg.Competitive != nil {
+		e.ownQueues[o.src].Remove(i)
+	}
+	e.res.RefreshesSent++
+	e.res.RefreshesDelivered++
+}
+
+// groupConsistency tracks one mutual-consistency group's mixed-version
+// exposure: the time during which the cache's view of the group never
+// existed at the source. The cached group view is consistent iff the
+// members' [vTime, vNext) validity windows intersect.
+type groupConsistency struct {
+	lastT    float64
+	mixed    bool
+	mixedAcc float64
+}
+
+// touchGroup re-evaluates group consistency after a member's validity
+// window changed at time t.
+func (e *engine) touchGroup(obj int, t float64) {
+	if e.cfg.Groups == nil {
+		return
+	}
+	g := e.cfg.Groups[obj]
+	if g < 0 {
+		return
+	}
+	gs := e.groupState[g]
+	if gs.mixed {
+		gs.mixedAcc += t - gs.lastT
+	}
+	gs.lastT = t
+	maxStart, minEnd := math.Inf(-1), math.Inf(1)
+	for _, i := range e.groupMembers[g] {
+		o := &e.objs[i]
+		if o.vTime > maxStart {
+			maxStart = o.vTime
+		}
+		if o.vNext < minEnd {
+			minEnd = o.vNext
+		}
+	}
+	gs.mixed = maxStart > minEnd
+}
+
+// finish closes all measurement intervals and assembles the result.
+func (e *engine) finish(end float64) {
+	cfg := e.cfg
+	for i := range e.objs {
+		e.meterTo(i, end)
+		o := &e.objs[i]
+		if o.maxRate > 0 {
+			span := end - o.lastDeliv
+			e.boundAcc += o.maxRate * (span*span/2 + cfg.RefreshLatency*span)
+		}
+	}
+	n := cfg.N()
+	e.res.AvgDivergence = e.meter.Average(end, n)
+	if cfg.Competitive != nil {
+		e.res.SourceAvgDivergence = e.srcMeter.Average(end, n)
+	}
+	if cfg.MaxRates != nil {
+		// Bound accumulation covers [0, end]; report the full-run average
+		// (bounds are deterministic given refresh times, so warmup matters
+		// less; experiments use matched windows anyway).
+		e.res.AvgBound = e.boundAcc / end / float64(n)
+	}
+	sum := 0.0
+	for _, s := range e.sources {
+		sum += s.Threshold()
+	}
+	e.res.MeanThreshold = sum / float64(cfg.Sources)
+	e.res.PeakQueue = e.link.PeakQueue()
+	e.res.DroppedMessages = e.link.Dropped()
+	if e.groupState != nil {
+		total := 0.0
+		for _, gs := range e.groupState {
+			if gs.mixed {
+				gs.mixedAcc += end - gs.lastT
+				gs.lastT = end
+				gs.mixed = false
+			}
+			total += gs.mixedAcc
+		}
+		e.res.GroupMixedExposure = total / end / float64(len(e.groupState))
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

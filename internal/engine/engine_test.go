@@ -1,0 +1,449 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// baseConfig returns a small, fast configuration that both policies can run.
+func baseConfig() Config {
+	return Config{
+		Seed:             1,
+		Sources:          4,
+		ObjectsPerSource: 5,
+		Metric:           metric.ValueDeviation,
+		Duration:         200,
+		Warmup:           50,
+		CacheBW:          bandwidth.Const(5),
+		SourceBW:         bandwidth.Const(5),
+		Rates:            constRates(20, 0.3),
+	}
+}
+
+func constRates(n int, v float64) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Sources = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = 300 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.Tick = -2 },
+		func(c *Config) { c.CacheBW = nil },
+		func(c *Config) { c.Rates = []float64{1} },
+		func(c *Config) { c.Weights = []weight.Fn{weight.Const(1)} },
+		func(c *Config) { c.Competitive = &Competitive{Psi: 1.5, Share: 1} },
+		func(c *Config) { c.Competitive = &Competitive{Psi: 0.5, Share: 9} },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAbundantBandwidthNearZeroDivergence(t *testing.T) {
+	for _, pol := range []Policy{Cooperative, IdealCooperative} {
+		cfg := baseConfig()
+		cfg.Policy = pol
+		cfg.CacheBW = bandwidth.Const(1000)
+		cfg.SourceBW = bandwidth.Const(1000)
+		res := MustRun(cfg)
+		// With vastly more bandwidth than updates (≈6 updates/s total) the
+		// cache should track closely. Divergence accrues only within the
+		// 1-second tick granularity.
+		if res.AvgDivergence > 0.45 {
+			t.Errorf("%v: AvgDivergence = %v, want small", pol, res.AvgDivergence)
+		}
+		if res.RefreshesDelivered == 0 {
+			t.Errorf("%v: no refreshes delivered", pol)
+		}
+	}
+}
+
+func TestZeroBandwidthNoRefreshes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheBW = bandwidth.Const(0)
+	res := MustRun(cfg)
+	if res.RefreshesDelivered != 0 {
+		t.Errorf("delivered %d refreshes with zero bandwidth", res.RefreshesDelivered)
+	}
+	if res.AvgDivergence <= 0 {
+		t.Errorf("AvgDivergence = %v, want > 0 (random walk drifts)", res.AvgDivergence)
+	}
+}
+
+func TestIdealBeatsCooperative(t *testing.T) {
+	// The idealized scenario is a lower bound on achievable divergence
+	// (Figure 4's denominator). Averaged over seeds it must not lose.
+	for _, m := range metric.Kinds() {
+		var coop, ideal float64
+		for seed := int64(0); seed < 3; seed++ {
+			cfg := baseConfig()
+			cfg.Seed = seed
+			cfg.Metric = m
+			cfg.CacheBW = bandwidth.Const(3)
+			cfg.Policy = Cooperative
+			coop += MustRun(cfg).AvgDivergence
+			cfg.Policy = IdealCooperative
+			ideal += MustRun(cfg).AvgDivergence
+		}
+		if ideal > coop*1.10 {
+			t.Errorf("%v: ideal %v worse than cooperative %v", m, ideal/3, coop/3)
+		}
+	}
+}
+
+func TestCooperativeSendsFeedback(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheBW = bandwidth.Const(50) // plenty of surplus
+	res := MustRun(cfg)
+	if res.FeedbackSent == 0 {
+		t.Error("no feedback sent despite surplus bandwidth")
+	}
+}
+
+func TestThresholdsAdaptToBandwidth(t *testing.T) {
+	starved := baseConfig()
+	starved.CacheBW = bandwidth.Const(1)
+	rich := baseConfig()
+	rich.CacheBW = bandwidth.Const(100)
+	rs, rr := MustRun(starved), MustRun(rich)
+	if rs.MeanThreshold <= rr.MeanThreshold {
+		t.Errorf("starved threshold %v should exceed rich threshold %v",
+			rs.MeanThreshold, rr.MeanThreshold)
+	}
+}
+
+func TestMoreBandwidthLowersDivergence(t *testing.T) {
+	var prev float64 = math.Inf(1)
+	for _, bw := range []float64{1, 4, 16, 64} {
+		total := 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			cfg := baseConfig()
+			cfg.Seed = seed
+			cfg.CacheBW = bandwidth.Const(bw)
+			total += MustRun(cfg).AvgDivergence
+		}
+		// Allow small non-monotonicity noise.
+		if total > prev*1.15 {
+			t.Errorf("divergence rose from %v to %v when bandwidth increased to %v",
+				prev/3, total/3, bw)
+		}
+		prev = total
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := baseConfig()
+	a := MustRun(cfg)
+	b := MustRun(cfg)
+	if a != b {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 2
+	c := MustRun(cfg)
+	if a == c {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestAreaPriorityBeatsSimpleUnderSkew(t *testing.T) {
+	// Mini version of Section 4.3's skew experiment: half the objects
+	// weighted 10× and half updated 100× more often. Per Section 8.1,
+	// sources use the model-based Section 3.4 priority for the staleness
+	// metric.
+	run := func(fn priority.Fn, seed int64) float64 {
+		n := 60
+		weights := make([]weight.Fn, n)
+		procs := make([]workload.UpdateProcess, n)
+		rates := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				weights[i] = weight.Const(10)
+			} else {
+				weights[i] = weight.Const(1)
+			}
+			if i < n/2 {
+				rates[i] = 0.01
+			} else {
+				rates[i] = 1.0
+			}
+			procs[i] = workload.Poisson{Lambda: rates[i]}
+		}
+		cfg := Config{
+			Seed:             seed,
+			Sources:          1,
+			ObjectsPerSource: n,
+			Metric:           metric.Staleness,
+			PriorityFn:       fn,
+			Duration:         400,
+			Warmup:           100,
+			CacheBW:          bandwidth.Const(10),
+			Policy:           IdealCooperative,
+			Rates:            rates,
+			Processes:        procs,
+			Weights:          weights,
+		}
+		return MustRun(cfg).AvgDivergence
+	}
+	var area, simple float64
+	for seed := int64(0); seed < 3; seed++ {
+		area += run(priority.PoissonStaleness, seed)
+		simple += run(priority.SimpleDivergence, seed)
+	}
+	if simple < area {
+		t.Errorf("simple priority (%v) beat area priority (%v) under skew",
+			simple/3, area/3)
+	}
+	if simple < area*1.2 {
+		t.Logf("warning: skew advantage small: simple %v vs area %v", simple/3, area/3)
+	}
+}
+
+func TestStalenessMetricBounded(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Metric = metric.Staleness
+	res := MustRun(cfg)
+	if res.AvgDivergence < 0 || res.AvgDivergence > 1 {
+		t.Errorf("average staleness = %v, want within [0,1]", res.AvgDivergence)
+	}
+}
+
+func TestTraceDrivenRun(t *testing.T) {
+	// Two trace objects with known updates; generous bandwidth should sync
+	// them almost immediately.
+	traces := []*workload.Trace{
+		{Times: []float64{10, 20, 30}, Values: []float64{1, 2, 3}},
+		{Times: []float64{15, 25}, Values: []float64{5, 6}},
+	}
+	cfg := Config{
+		Seed:             3,
+		Sources:          1,
+		ObjectsPerSource: 2,
+		Metric:           metric.ValueDeviation,
+		Duration:         50,
+		CacheBW:          bandwidth.Const(100),
+		Policy:           IdealCooperative,
+		Traces:           traces,
+	}
+	res := MustRun(cfg)
+	if res.Updates != 5 {
+		t.Errorf("updates = %d, want 5", res.Updates)
+	}
+	if res.RefreshesDelivered != 5 {
+		t.Errorf("refreshes = %d, want 5 (each update propagated)", res.RefreshesDelivered)
+	}
+	if res.AvgDivergence > 0.2 {
+		t.Errorf("AvgDivergence = %v, want ≈0", res.AvgDivergence)
+	}
+}
+
+func TestPositiveBeatsNegativeFeedbackUnderFluctuation(t *testing.T) {
+	// A1's core claim: with constrained, fluctuating bandwidth the
+	// negative-feedback strawman floods the network and loses.
+	run := func(policy core.FeedbackPolicy, seed int64) Result {
+		cfg := baseConfig()
+		cfg.Seed = seed
+		cfg.Sources = 10
+		cfg.ObjectsPerSource = 10
+		cfg.Rates = constRates(100, 0.5)
+		cfg.CacheBW = bandwidth.Fluctuating(10, 0.25, 0)
+		cfg.SourceBW = bandwidth.Const(10)
+		cfg.Duration = 500
+		cfg.Warmup = 100
+		cfg.Feedback = policy
+		return MustRun(cfg)
+	}
+	var pos, neg float64
+	var peakPos, peakNeg int
+	for seed := int64(0); seed < 3; seed++ {
+		rp, rn := run(core.PositiveFeedback, seed), run(core.NegativeFeedback, seed)
+		pos += rp.AvgDivergence
+		neg += rn.AvgDivergence
+		peakPos += rp.PeakQueue
+		peakNeg += rn.PeakQueue
+	}
+	if neg < pos {
+		t.Errorf("negative feedback divergence %v beat positive %v", neg/3, pos/3)
+	}
+	if peakNeg <= peakPos {
+		t.Errorf("negative feedback peak queue %d not worse than positive %d",
+			peakNeg, peakPos)
+	}
+}
+
+func TestBoundedQueueDropsCounted(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheBW = bandwidth.Const(0.5)
+	cfg.SourceBW = bandwidth.Const(10)
+	cfg.MaxQueue = 2
+	cfg.Params = core.Params{Alpha: 1.01, Omega: 10, InitialThreshold: 1e-9,
+		ExpectedFeedbackPeriod: 1e9} // keep thresholds low → oversend
+	res := MustRun(cfg)
+	if res.DroppedMessages == 0 {
+		t.Error("expected drops with tiny bounded queue and low thresholds")
+	}
+}
+
+func TestDropFeedbackRecovery(t *testing.T) {
+	// Feedback suppressed for the first half: the system must still
+	// converge afterwards and deliver refreshes.
+	cfg := baseConfig()
+	cfg.Duration = 400
+	cfg.Warmup = 250
+	cfg.DropFeedbackUntil = 200
+	res := MustRun(cfg)
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes after feedback blackout")
+	}
+	if res.FeedbackSent == 0 {
+		t.Error("no feedback ever sent despite blackout ending")
+	}
+}
+
+func TestBoundAccountingDecreasesWithBandwidth(t *testing.T) {
+	run := func(bw float64) float64 {
+		cfg := baseConfig()
+		cfg.PriorityFn = priority.BoundArea
+		cfg.MaxRates = constRates(20, 1)
+		cfg.RefreshLatency = 1
+		cfg.CacheBW = bandwidth.Const(bw)
+		return MustRun(cfg).AvgBound
+	}
+	low, high := run(1), run(50)
+	if high >= low {
+		t.Errorf("AvgBound with high bandwidth (%v) not below low bandwidth (%v)",
+			high, low)
+	}
+	if low <= 0 {
+		t.Errorf("AvgBound = %v, want > 0", low)
+	}
+}
+
+func TestCompetitivePsiHelpsSourceObjective(t *testing.T) {
+	// With conflicting objectives, Ψ > 0 should lower divergence under the
+	// sources' weights relative to Ψ = 0.
+	run := func(psi float64, share int, seed int64) Result {
+		n := 40
+		cacheW := make([]weight.Fn, n)
+		srcW := make([]weight.Fn, n)
+		for i := 0; i < n; i++ {
+			// The cache values even objects; sources value odd ones.
+			if i%2 == 0 {
+				cacheW[i] = weight.Const(10)
+				srcW[i] = weight.Const(1)
+			} else {
+				cacheW[i] = weight.Const(1)
+				srcW[i] = weight.Const(10)
+			}
+		}
+		cfg := Config{
+			Seed:             seed,
+			Sources:          4,
+			ObjectsPerSource: 10,
+			Metric:           metric.ValueDeviation,
+			Duration:         400,
+			Warmup:           100,
+			CacheBW:          bandwidth.Const(8),
+			SourceBW:         bandwidth.Const(8),
+			Rates:            constRates(n, 0.5),
+			Weights:          cacheW,
+			Competitive:      &Competitive{Psi: psi, Share: share, SourceWeights: srcW},
+		}
+		return MustRun(cfg)
+	}
+	for _, share := range []int{1, 2, 3} {
+		var with, without float64
+		for seed := int64(0); seed < 3; seed++ {
+			with += run(0.4, share, seed).SourceAvgDivergence
+			without += run(0, share, seed).SourceAvgDivergence
+		}
+		if with >= without {
+			t.Errorf("share %d: Ψ=0.4 source divergence %v not below Ψ=0 %v",
+				share, with/3, without/3)
+		}
+	}
+}
+
+func TestFractionalTickDuration(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 100.5 // not a multiple of tick
+	res := MustRun(cfg)
+	if res.Updates == 0 {
+		t.Error("no updates in fractional-duration run")
+	}
+}
+
+func TestCoarseTick(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Tick = 60
+	cfg.Duration = 6000
+	cfg.Warmup = 600
+	cfg.Rates = constRates(20, 0.01)
+	res := MustRun(cfg)
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes with 60s tick")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Cooperative.String() != "cooperative" ||
+		IdealCooperative.String() != "ideal-cooperative" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{AvgDivergence: 1.5, RefreshesDelivered: 3, RefreshesSent: 4}
+	if r.String() == "" {
+		t.Error("empty Result string")
+	}
+}
+
+func TestMustRunPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun did not panic on invalid config")
+		}
+	}()
+	MustRun(Config{})
+}
+
+func TestPoissonLagPriorityRuns(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Metric = metric.Lag
+	cfg.PriorityFn = priority.PoissonLag
+	res := MustRun(cfg)
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes under PoissonLag priority")
+	}
+}
+
+func TestPoissonStalenessPriorityRuns(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Metric = metric.Staleness
+	cfg.PriorityFn = priority.PoissonStaleness
+	res := MustRun(cfg)
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes under PoissonStaleness priority")
+	}
+}

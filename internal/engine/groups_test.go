@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/workload"
+)
+
+func groupsConfig() Config {
+	cfg := baseConfig()
+	groups := make([]int, cfg.N())
+	for i := range groups {
+		groups[i] = i / 5 // one group per source (ObjectsPerSource = 5)
+	}
+	cfg.Groups = groups
+	return cfg
+}
+
+func TestGroupsValidation(t *testing.T) {
+	cfg := groupsConfig()
+	// Groups are i/5, so group 1 spans objects 5..9 (all source 1, with
+	// n=5 per source). Pulling object 0 (source 0) into it must fail.
+	cfg.Groups[0] = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("cross-source group accepted")
+	}
+	cfg = groupsConfig()
+	cfg.Groups = []int{1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("wrong-length Groups accepted")
+	}
+	cfg = groupsConfig()
+	cfg.BatchMax = 4
+	if _, err := Run(cfg); err == nil {
+		t.Error("Groups combined with BatchMax accepted")
+	}
+}
+
+func TestAtomicGroupsZeroExposure(t *testing.T) {
+	cfg := groupsConfig()
+	res := MustRun(cfg)
+	if res.GroupMixedExposure != 0 {
+		t.Errorf("atomic groups mixed exposure = %v, want 0", res.GroupMixedExposure)
+	}
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes delivered in grouped mode")
+	}
+	// Group refreshes come in multiples of the group size.
+	if res.RefreshesDelivered%5 != 0 {
+		t.Errorf("refreshes %d not a multiple of group size 5", res.RefreshesDelivered)
+	}
+}
+
+func TestIndependentRefreshesHaveExposure(t *testing.T) {
+	cfg := groupsConfig()
+	cfg.GroupsMeasureOnly = true
+	res := MustRun(cfg)
+	if res.GroupMixedExposure <= 0 {
+		t.Errorf("independent refreshes mixed exposure = %v, want > 0",
+			res.GroupMixedExposure)
+	}
+	if res.GroupMixedExposure > 1 {
+		t.Errorf("exposure %v exceeds 1 (it is a time fraction)",
+			res.GroupMixedExposure)
+	}
+}
+
+func TestGroupedCostsMoreDivergence(t *testing.T) {
+	// Atomicity is not free: coarser scheduling raises divergence.
+	var grouped, free float64
+	for s := int64(0); s < 3; s++ {
+		cfg := groupsConfig()
+		cfg.Seed = s
+		grouped += MustRun(cfg).AvgDivergence
+		cfg.GroupsMeasureOnly = true
+		free += MustRun(cfg).AvgDivergence
+	}
+	if grouped < free {
+		t.Errorf("grouped divergence (%v) below independent (%v)?", grouped/3, free/3)
+	}
+}
+
+func TestGroupsIdealPolicy(t *testing.T) {
+	cfg := groupsConfig()
+	cfg.Policy = IdealCooperative
+	res := MustRun(cfg)
+	if res.GroupMixedExposure != 0 {
+		t.Errorf("ideal grouped exposure = %v, want 0", res.GroupMixedExposure)
+	}
+	if res.RefreshesDelivered%5 != 0 {
+		t.Errorf("ideal refreshes %d not a multiple of group size", res.RefreshesDelivered)
+	}
+}
+
+func TestUngroupedObjectsMixWithGroups(t *testing.T) {
+	// Objects marked -1 stay independent even in grouped mode.
+	cfg := baseConfig()
+	groups := make([]int, cfg.N())
+	for i := range groups {
+		if i < 5 {
+			groups[i] = 0 // one real group in source 0
+		} else {
+			groups[i] = -1
+		}
+	}
+	cfg.Groups = groups
+	res := MustRun(cfg)
+	if res.RefreshesDelivered == 0 {
+		t.Error("no refreshes with mixed grouped/ungrouped population")
+	}
+}
+
+func TestGroupExposureAnalytic(t *testing.T) {
+	// Hand-computed inconsistency: B updates at t=2 but never clears the
+	// (static, NoFeedback) threshold 50, so its cached copy stays at
+	// version 0 with source-validity window [0,2). A jumps to 100 at t=3,
+	// clears the threshold at the t=3 tick, and is delivered once a whole
+	// token accrues at t=4 with validity window [3,∞). From t=4 on, the
+	// cached pair (A@3, B@0) existed at no single source instant: windows
+	// [3,∞) and [0,2) are disjoint. Expected exposure: (10−4)/10 = 0.6.
+	traces := []*workload.Trace{
+		{Times: []float64{3}, Values: []float64{100}}, // A: big jump
+		{Times: []float64{2}, Values: []float64{1}},   // B: small jump, below threshold
+	}
+	cfg := Config{
+		Seed:              1,
+		Sources:           1,
+		ObjectsPerSource:  2,
+		Metric:            metric.ValueDeviation,
+		Duration:          10,
+		CacheBW:           bandwidth.Const(0.25),
+		Traces:            traces,
+		Groups:            []int{0, 0},
+		GroupsMeasureOnly: true,
+		Feedback:          core.NoFeedback,
+	}
+	cfg.Params = core.Params{Alpha: 1.1, Omega: 10, InitialThreshold: 50}
+	res := MustRun(cfg)
+	if math.Abs(res.GroupMixedExposure-0.6) > 1e-9 {
+		t.Errorf("exposure = %v, want 0.6", res.GroupMixedExposure)
+	}
+	if res.RefreshesDelivered != 1 {
+		t.Errorf("refreshes = %d, want 1 (only A clears the threshold)",
+			res.RefreshesDelivered)
+	}
+}

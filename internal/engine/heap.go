@@ -1,0 +1,66 @@
+package engine
+
+// eventHeap is a binary min-heap of pending object-update events ordered by
+// time. Ties break on object index so runs are deterministic.
+type eventHeap struct {
+	times []float64
+	objs  []int32
+}
+
+func (h *eventHeap) Len() int { return len(h.times) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.times[i] != h.times[j] {
+		return h.times[i] < h.times[j]
+	}
+	return h.objs[i] < h.objs[j]
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.times[i], h.times[j] = h.times[j], h.times[i]
+	h.objs[i], h.objs[j] = h.objs[j], h.objs[i]
+}
+
+// Push schedules an update for obj at time t.
+func (h *eventHeap) Push(t float64, obj int) {
+	h.times = append(h.times, t)
+	h.objs = append(h.objs, int32(obj))
+	i := h.Len() - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// PeekTime returns the earliest scheduled time; callers must check Len > 0.
+func (h *eventHeap) PeekTime() float64 { return h.times[0] }
+
+// Pop removes and returns the earliest event.
+func (h *eventHeap) Pop() (t float64, obj int) {
+	t, obj = h.times[0], int(h.objs[0])
+	last := h.Len() - 1
+	h.swap(0, last)
+	h.times = h.times[:last]
+	h.objs = h.objs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return t, obj
+}

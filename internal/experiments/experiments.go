@@ -1,0 +1,150 @@
+// Package experiments defines one runner per experiment in the paper's
+// evaluation — the in-text validations of Section 4.3 (E1, E2), the
+// parameter study of Section 6.1 (P1), Figures 4–6 (F4, F5, F6) — plus the
+// ablations and extension studies indexed in DESIGN.md (A1–A3, E7–E9).
+//
+// Each runner accepts a Scale: Quick runs a reduced grid suitable for
+// iteration and CI; Full runs the paper's grid (Section 6 parameters).
+// Output tables/figures mirror the rows and curves the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/stats"
+)
+
+// Scale selects the experiment grid size.
+type Scale int
+
+const (
+	// Quick is a reduced grid (seconds per experiment).
+	Quick Scale = iota
+	// Full is the paper's grid (minutes to hours).
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Figure is one plot of the paper: named curves over a shared x-axis.
+type Figure struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []stats.Series
+}
+
+// Output bundles everything an experiment produces.
+type Output struct {
+	Name    string
+	Tables  []stats.Table
+	Figures []Figure
+}
+
+// WriteTo renders tables and ASCII figures.
+func (o *Output) WriteTo(w io.Writer) (int64, error) {
+	fmt.Fprintf(w, "== %s ==\n\n", o.Name)
+	for i := range o.Tables {
+		if _, err := o.Tables[i].WriteTo(w); err != nil {
+			return 0, err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, f := range o.Figures {
+		stats.PlotASCII(w, fmt.Sprintf("%s  [y: %s, x: %s]", f.Title, f.YLabel, f.XLabel),
+			f.Series, 72, 18)
+		fmt.Fprintln(w)
+	}
+	return 0, nil
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale, seed int64) Output
+
+// Registry maps experiment ids (as used by cmd/syncbench) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"e1":  E1Validation,
+		"e2":  E2Skew,
+		"p1":  P1ParamSweep,
+		"f4":  F4RatioToIdeal,
+		"f5":  F5Buoys,
+		"f6":  F6VsCGM,
+		"a1":  A1FeedbackPolarity,
+		"a2":  A2BetaAblation,
+		"a3":  A3FeedbackTargeting,
+		"a4":  A4RateEstimation,
+		"e7":  E7Competitive,
+		"e8":  E8Bounding,
+		"e9":  E9Sampling,
+		"e10": E10CostAware,
+		"e11": E11DeltaEncoding,
+		"e12": E12Batching,
+		"e13": E13MutualConsistency,
+	}
+}
+
+// Order lists experiment ids in presentation order.
+func Order() []string {
+	ids := []string{"e1", "e2", "p1", "f4", "f5", "f6", "a1", "a2", "a3", "a4",
+		"e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	reg := Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			panic("experiments: Order out of sync with Registry: " + id)
+		}
+	}
+	if len(ids) != len(reg) {
+		extra := []string{}
+		for id := range reg {
+			if !contains(ids, id) {
+				extra = append(extra, id)
+			}
+		}
+		sort.Strings(extra)
+		panic(fmt.Sprintf("experiments: Registry has unlisted ids %v", extra))
+	}
+	return ids
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// PriorityForMetric returns the refresh-priority function the paper's
+// sources use for each divergence metric: the model-based Section 3.4
+// special cases for staleness and lag (Section 8.1 — these metrics depend
+// only on update times, which sources observe), and the general realized
+// area-above-the-curve priority for value deviation.
+func PriorityForMetric(k metric.Kind) priority.Fn {
+	switch k {
+	case metric.Staleness:
+		return priority.PoissonStaleness
+	case metric.Lag:
+		return priority.PoissonLag
+	default:
+		return priority.AreaGeneral
+	}
+}
+
+// pct returns the percentage increase of b over a.
+func pct(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+)
+
+func TestRegistryAndOrderConsistent(t *testing.T) {
+	reg := Registry()
+	order := Order()
+	if len(reg) != len(order) {
+		t.Fatalf("registry has %d entries, order %d", len(reg), len(order))
+	}
+	for _, id := range order {
+		if reg[id] == nil {
+			t.Errorf("order id %q missing from registry", id)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestPriorityForMetric(t *testing.T) {
+	if PriorityForMetric(metric.Staleness) != priority.PoissonStaleness {
+		t.Error("staleness should map to PoissonStaleness")
+	}
+	if PriorityForMetric(metric.Lag) != priority.PoissonLag {
+		t.Error("lag should map to PoissonLag")
+	}
+	if PriorityForMetric(metric.ValueDeviation) != priority.AreaGeneral {
+		t.Error("value deviation should map to AreaGeneral")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(2, 3); got != 50 {
+		t.Errorf("pct(2,3) = %v, want 50", got)
+	}
+	if got := pct(0, 3); got != 0 {
+		t.Errorf("pct(0,3) = %v, want 0", got)
+	}
+}
+
+// parse extracts float from a rendered cell.
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1OutputShape(t *testing.T) {
+	out := E1Validation(Quick, 1)
+	if len(out.Tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(out.Tables))
+	}
+	tb := out.Tables[0]
+	if len(tb.Rows) != 6 { // 3 metrics × 2 sizes (quick)
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	// Uniform parameters: the two priorities should be in the same
+	// ballpark (the paper reports <10%; we allow slack for short runs).
+	for _, row := range tb.Rows {
+		inc := parse(t, row[4])
+		if inc > 60 || inc < -30 {
+			t.Errorf("E1 %s n=%s: increase %v%% too extreme for uniform parameters",
+				row[0], row[1], inc)
+		}
+	}
+}
+
+func TestE2SkewSeparatesPriorities(t *testing.T) {
+	out := E2Skew(Quick, 1)
+	tb := out.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ours := parse(t, row[1])
+		simple := parse(t, row[2])
+		if simple <= ours {
+			t.Errorf("E2 %s: simple (%v) should exceed ours (%v) under skew",
+				row[0], simple, ours)
+		}
+		inc := parse(t, row[3])
+		if inc < 15 {
+			t.Errorf("E2 %s: increase only %v%%, want substantial (paper: 64-84%%)",
+				row[0], inc)
+		}
+	}
+}
+
+func TestP1OutputShape(t *testing.T) {
+	out := P1ParamSweep(Quick, 1)
+	if len(out.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (grid + best)", len(out.Tables))
+	}
+	grid := out.Tables[0]
+	if len(grid.Rows) != 12 { // 4 alphas × 3 omegas (quick)
+		t.Fatalf("grid rows = %d, want 12", len(grid.Rows))
+	}
+	best := parse(t, out.Tables[1].Rows[0][2])
+	worst := best
+	for _, row := range grid.Rows {
+		v := parse(t, row[2])
+		if v < best-1e-9 {
+			t.Errorf("best table (%v) not the minimum (%v)", best, v)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	// The paper found the algorithm "not overly sensitive" but some
+	// settings clearly worse; the sweep should show a spread.
+	if worst < best*1.05 {
+		t.Errorf("sweep shows no spread: best %v worst %v", best, worst)
+	}
+}
+
+func TestF5ShapeAndTracking(t *testing.T) {
+	out := F5Buoys(Quick, 1)
+	if len(out.Figures) != 2 {
+		t.Fatalf("figures = %d, want 2 (fixed + fluctuating)", len(out.Figures))
+	}
+	for _, fig := range out.Figures {
+		ours, ideal := fig.Series[0], fig.Series[1]
+		if len(ours.Points) != len(ideal.Points) || len(ours.Points) == 0 {
+			t.Fatalf("%s: bad series lengths", fig.Title)
+		}
+		// Divergence decreases with bandwidth (first vs last point).
+		first, last := ours.Points[0].Y, ours.Points[len(ours.Points)-1].Y
+		if last >= first {
+			t.Errorf("%s: divergence did not fall with bandwidth (%v → %v)",
+				fig.Title, first, last)
+		}
+		// Our algorithm tracks the ideal: never better, never wildly worse.
+		for i := range ours.Points {
+			o, id := ours.Points[i].Y, ideal.Points[i].Y
+			if o < id-1e-9 {
+				t.Errorf("%s: ours (%v) beat ideal (%v) at %v msgs/min",
+					fig.Title, o, id, ours.Points[i].X)
+			}
+			if id > 0.02 && o > id*4 {
+				t.Errorf("%s: ours (%v) too far above ideal (%v) at %v msgs/min",
+					fig.Title, o, id, ours.Points[i].X)
+			}
+		}
+	}
+}
+
+func TestF6Ordering(t *testing.T) {
+	out := F6VsCGM(Quick, 1)
+	if len(out.Figures) != 2 { // m = 10, 100 (quick)
+		t.Fatalf("figures = %d, want 2", len(out.Figures))
+	}
+	for _, fig := range out.Figures {
+		// Series order: ideal coop, ours, ideal cache-based, CGM1, CGM2.
+		idealCoop, ours, icb := fig.Series[0], fig.Series[1], fig.Series[2]
+		cgm1, cgm2 := fig.Series[3], fig.Series[4]
+		for i := range idealCoop.Points {
+			x := idealCoop.Points[i].X
+			ic, o := idealCoop.Points[i].Y, ours.Points[i].Y
+			b, c1, c2 := icb.Points[i].Y, cgm1.Points[i].Y, cgm2.Points[i].Y
+			if o < ic*0.99 {
+				t.Errorf("%s x=%v: ours (%v) beat ideal cooperative (%v)",
+					fig.Title, x, o, ic)
+			}
+			if o > b*1.10 {
+				t.Errorf("%s x=%v: ours (%v) worse than ideal cache-based (%v)",
+					fig.Title, x, o, b)
+			}
+			if c1 < b-0.02 || c2 < b-0.02 {
+				t.Errorf("%s x=%v: practical CGM (%v/%v) beat ideal cache-based (%v)",
+					fig.Title, x, c1, c2, b)
+			}
+			// The headline: cooperative decisively beats polling at low
+			// bandwidth fractions.
+			if x <= 0.35 && o >= c1 {
+				t.Errorf("%s x=%v: ours (%v) did not beat CGM1 (%v)",
+					fig.Title, x, o, c1)
+			}
+		}
+	}
+}
+
+func TestA1PositiveWins(t *testing.T) {
+	out := A1FeedbackPolarity(Quick, 1)
+	tb := out.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	pos := parse(t, tb.Rows[0][1])
+	neg := parse(t, tb.Rows[1][1])
+	if neg <= pos {
+		t.Errorf("negative feedback (%v) should lose to positive (%v)", neg, pos)
+	}
+	posQ := parse(t, tb.Rows[0][2])
+	negQ := parse(t, tb.Rows[1][2])
+	if negQ <= posQ {
+		t.Errorf("negative feedback queue (%v) should exceed positive (%v)", negQ, posQ)
+	}
+}
+
+func TestA2BetaHelpsQueues(t *testing.T) {
+	out := A2BetaAblation(Quick, 1)
+	tb := out.Tables[0]
+	enabledQ := parse(t, tb.Rows[0][2])
+	disabledQ := parse(t, tb.Rows[1][2])
+	if disabledQ <= enabledQ {
+		t.Errorf("β disabled peak queue (%v) should exceed enabled (%v)",
+			disabledQ, enabledQ)
+	}
+}
+
+func TestA3TargetingHelps(t *testing.T) {
+	out := A3FeedbackTargeting(Quick, 1)
+	tb := out.Tables[0]
+	targeted := parse(t, tb.Rows[0][1])
+	random := parse(t, tb.Rows[1][1])
+	if random < targeted*0.95 {
+		t.Errorf("random targeting (%v) should not beat threshold targeting (%v)",
+			random, targeted)
+	}
+}
+
+func TestE7TradeoffDirection(t *testing.T) {
+	out := E7Competitive(Quick, 1)
+	if len(out.Tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (one per share option)", len(out.Tables))
+	}
+	for _, tb := range out.Tables {
+		first := tb.Rows[0]
+		last := tb.Rows[len(tb.Rows)-1]
+		srcFirst := parse(t, first[2])
+		srcLast := parse(t, last[2])
+		if srcLast > srcFirst*1.05 {
+			t.Errorf("%s: source-objective divergence rose with Ψ (%v → %v)",
+				tb.Title, srcFirst, srcLast)
+		}
+	}
+}
+
+func TestE8BoundPriorityWins(t *testing.T) {
+	out := E8Bounding(Quick, 1)
+	tb := out.Tables[0]
+	boundPri := parse(t, tb.Rows[0][1])
+	divPri := parse(t, tb.Rows[1][1])
+	opt := parse(t, tb.Rows[2][1])
+	if boundPri > divPri {
+		t.Errorf("bound priority (%v) should beat divergence priority (%v)",
+			boundPri, divPri)
+	}
+	if boundPri < opt-1e-9 {
+		t.Errorf("bound priority (%v) beat the closed-form optimum (%v)?", boundPri, opt)
+	}
+	if boundPri > opt*1.6 {
+		t.Errorf("bound priority (%v) too far above optimum (%v)", boundPri, opt)
+	}
+}
+
+func TestE9ProjectionSavesSamples(t *testing.T) {
+	out := E9Sampling(Quick, 1)
+	tb := out.Tables[0]
+	proj := parse(t, tb.Rows[0][1])
+	fixed := parse(t, tb.Rows[1][1])
+	if proj >= fixed {
+		t.Errorf("projection (%v samples) should use fewer than fixed grid (%v)",
+			proj, fixed)
+	}
+}
+
+func TestOutputWriteTo(t *testing.T) {
+	out := E8Bounding(Quick, 1)
+	var buf bytes.Buffer
+	if _, err := out.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !strings.Contains(buf.String(), "E8") {
+		t.Errorf("output missing experiment name:\n%s", buf.String())
+	}
+}
+
+func TestF4ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("F4 quick grid takes ~10s")
+	}
+	out := F4RatioToIdeal(Quick, 1)
+	if len(out.Figures) != 3 {
+		t.Fatalf("figures = %d, want 3 (one per metric)", len(out.Figures))
+	}
+	summary := out.Tables[0]
+	for _, row := range summary.Rows {
+		configs := parse(t, row[1])
+		med := parse(t, row[2])
+		if configs < 20 {
+			t.Errorf("%s: only %v configs measured", row[0], configs)
+		}
+		// Ratios are ≥ 1 up to noise and typically close to 1.
+		if med < 0.95 || med > 2.5 {
+			t.Errorf("%s: median ratio %v outside plausible band", row[0], med)
+		}
+	}
+	// Every plotted ratio must be ≥ ~1 (ideal is a lower bound).
+	for _, fig := range out.Figures {
+		for _, p := range fig.Series[0].Points {
+			if p.Y < 0.9 {
+				t.Errorf("%s: ratio %v at x=%v below 1", fig.Title, p.Y, p.X)
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/cgm"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/stats"
+	"bestsync/internal/workload"
+)
+
+// f4Config is one cell of the Figure 4 grid.
+type f4Config struct {
+	m, n   int
+	bs, bc float64
+	mB     float64
+}
+
+// F4RatioToIdeal reproduces Figure 4: across a large grid of source counts,
+// object counts, bandwidths and bandwidth change rates, plot the ratio of
+// our algorithm's average divergence to the idealized scenario's divergence,
+// against the theoretically achievable (ideal) divergence — one panel per
+// metric. The paper's shape: ratios up to ≈4 when achievable divergence is
+// tiny (the absolute gap is still small there), approaching 1 as achievable
+// divergence grows.
+func F4RatioToIdeal(scale Scale, seed int64) Output {
+	ms := []int{1, 10, 100}
+	ns := []int{1, 10, 100}
+	bss := []float64{10, 100}
+	bcs := []float64{10, 100, 1000}
+	mbs := []float64{0, 0.25}
+	duration, warmup := 400.0, 100.0
+	if scale == Full {
+		ms = []int{1, 10, 100, 1000}
+		ns = []int{1, 10, 100}
+		bss = []float64{10, 100}
+		bcs = []float64{10, 100, 1000, 10000, 100000}
+		mbs = []float64{0, 0.005, 0.05, 0.25}
+		duration, warmup = 5000, 1000
+	}
+	var grid []f4Config
+	maxObjects := 1000
+	if scale == Full {
+		maxObjects = 100000
+	}
+	for _, m := range ms {
+		for _, n := range ns {
+			if m*n > maxObjects {
+				continue
+			}
+			for _, bs := range bss {
+				for _, bc := range bcs {
+					// Skip cells where cache bandwidth dwarfs the whole
+					// population by 100×; both schedulers are trivially
+					// near-zero there.
+					if bc > float64(m*n)*100 {
+						continue
+					}
+					for _, mB := range mbs {
+						grid = append(grid, f4Config{m, n, bs, bc, mB})
+					}
+				}
+			}
+		}
+	}
+
+	var figs []Figure
+	summary := stats.Table{
+		Title:   "F4 summary: ratio of our algorithm to ideal divergence",
+		Headers: []string{"metric", "configs", "median ratio", "p90 ratio", "max ratio"},
+	}
+	for _, mk := range metric.Kinds() {
+		ser := stats.Series{Name: "ratio actual/ideal"}
+		var ratios []float64
+		for ci, gc := range grid {
+			runSeed := seed + int64(ci)
+			rng := rand.New(rand.NewSource(runSeed + 31))
+			rates, weights := fluctuatingPopulation(rng, gc.m*gc.n)
+			base := engine.Config{
+				Seed:             runSeed,
+				Sources:          gc.m,
+				ObjectsPerSource: gc.n,
+				Metric:           mk,
+				PriorityFn:       PriorityForMetric(mk),
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Fluctuating(gc.bc, gc.mB, 0),
+				SourceBW:         bandwidth.Fluctuating(gc.bs, gc.mB, 2),
+				Rates:            rates,
+				Weights:          weights,
+			}
+			base.Policy = engine.IdealCooperative
+			ideal := engine.MustRun(base).AvgDivergence
+			base.Policy = engine.Cooperative
+			actual := engine.MustRun(base).AvgDivergence
+			if ideal <= 1e-9 {
+				continue // ratio undefined at zero achievable divergence
+			}
+			ratio := actual / ideal
+			ser.Add(ideal, ratio)
+			ratios = append(ratios, ratio)
+		}
+		ser.Sort()
+		figs = append(figs, Figure{
+			Title:  fmt.Sprintf("Figure 4 (%s metric)", mk),
+			XLabel: "theoretically achievable divergence",
+			YLabel: "ratio of actual to ideal divergence",
+			Series: []stats.Series{ser},
+		})
+		med, p90, max := quantiles(ratios)
+		summary.AddRowf(mk.String(), len(ratios), med, p90, max)
+	}
+	return Output{Name: "F4 comparison against the idealized scenario",
+		Tables: []stats.Table{summary}, Figures: figs}
+}
+
+func quantiles(xs []float64) (med, p90, max float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2], s[len(s)*9/10], s[len(s)-1]
+}
+
+// F5Buoys reproduces Figure 5: wind-vector monitoring over m = 40 ocean
+// buoys (n = 2 numeric components each, one measurement every 10 minutes, 7
+// days with the first as warm-up), value-deviation metric Δ = |V1 − V2|,
+// cache-side bandwidth limited to 1–80 messages/minute — fixed in the first
+// panel, fluctuating with m_B = 0.25 (per minute) in the second. Our traces
+// are synthetic OU wind processes (see DESIGN.md §4). The paper's shape:
+// divergence falls steeply with bandwidth and our algorithm closely tracks
+// the ideal scenario.
+func F5Buoys(scale Scale, seed int64) Output {
+	cfgB := workload.DefaultBuoyConfig()
+	bandwidths := []float64{1, 2, 5, 10, 20, 40, 80}
+	if scale == Quick {
+		cfgB.Days = 2
+	} else {
+		bandwidths = []float64{1, 2, 4, 6, 8, 10, 15, 20, 25, 30, 40, 50, 60, 70, 80}
+	}
+	warmupDays := 1.0
+	const buoys, comps = 40, 2
+	rng := rand.New(rand.NewSource(seed + 4242))
+	fleet := workload.GenBuoyFleet(rng, cfgB, buoys, comps)
+
+	var figs []Figure
+	for _, fluct := range []bool{false, true} {
+		ours := stats.Series{Name: "our algorithm"}
+		ideal := stats.Series{Name: "ideal scenario"}
+		for bi, bpm := range bandwidths {
+			perSec := bpm / 60
+			var prof bandwidth.Profile = bandwidth.Const(perSec)
+			if fluct {
+				// m_B = 0.25 per *minute* (the experiment's bandwidth unit).
+				prof = bandwidth.Fluctuating(perSec, 0.25/60, 0)
+			}
+			base := engine.Config{
+				Seed:             seed + int64(bi),
+				Sources:          buoys,
+				ObjectsPerSource: comps,
+				Metric:           metric.ValueDeviation,
+				Duration:         cfgB.Days * 86400,
+				Warmup:           warmupDays * 86400,
+				Tick:             60,
+				CacheBW:          prof,
+				Traces:           fleet,
+			}
+			base.Policy = engine.Cooperative
+			ours.Add(bpm, engine.MustRun(base).AvgDivergence)
+			base.Policy = engine.IdealCooperative
+			ideal.Add(bpm, engine.MustRun(base).AvgDivergence)
+		}
+		title := "Figure 5: fixed bandwidth"
+		if fluct {
+			title = "Figure 5: fluctuating bandwidth"
+		}
+		figs = append(figs, Figure{
+			Title:  title,
+			XLabel: "available bandwidth (messages/minute)",
+			YLabel: "average divergence (value deviation)",
+			Series: []stats.Series{ours, ideal},
+		})
+	}
+	tb := stats.Table{
+		Title:   "F5: average value deviation on wind-buoy data",
+		Headers: []string{"bandwidth/min", "fixed ours", "fixed ideal", "fluct ours", "fluct ideal"},
+	}
+	for i := range figs[0].Series[0].Points {
+		tb.AddRowf(
+			figs[0].Series[0].Points[i].X,
+			figs[0].Series[0].Points[i].Y,
+			figs[0].Series[1].Points[i].Y,
+			figs[1].Series[0].Points[i].Y,
+			figs[1].Series[1].Points[i].Y,
+		)
+	}
+	return Output{Name: "F5 wind-buoy data", Tables: []stats.Table{tb}, Figures: figs}
+}
+
+// F6VsCGM reproduces Figure 6: cooperative scheduling versus the
+// cache-driven CGM family. For m sources of n = 10 objects each, the
+// cache-side bandwidth is a fraction (0.1–0.9) of the total object count,
+// held constant (m_B = 0); source-side bandwidth is unlimited (the CGM
+// polling model assumes none). Average unweighted staleness over 500 s after
+// warm-up. Expected ordering at low fractions: ideal cooperative ≤ ours ≤
+// ideal cache-based ≤ CGM1 ≤ CGM2, with a wide cooperative-vs-polled gap.
+func F6VsCGM(scale Scale, seed int64) Output {
+	ms := []int{10, 100}
+	fractions := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	duration, warmup := 400.0, 100.0
+	seeds := 2
+	if scale == Full {
+		ms = []int{10, 100, 1000}
+		fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		duration, warmup = 600, 100
+		seeds = 3
+	}
+	const n = 10
+	var figs []Figure
+	var tables []stats.Table
+	for _, m := range ms {
+		names := []string{"ideal cooperative", "our algorithm", "ideal cache-based", "CGM1", "CGM2"}
+		series := make([]stats.Series, len(names))
+		for i, nm := range names {
+			series[i] = stats.Series{Name: nm}
+		}
+		tb := stats.Table{
+			Title:   fmt.Sprintf("F6: m = %d sources (average staleness)", m),
+			Headers: append([]string{"bw fraction"}, names...),
+		}
+		for _, frac := range fractions {
+			bc := frac * float64(m*n)
+			vals := make([]float64, len(names))
+			for s := 0; s < seeds; s++ {
+				runSeed := seed + int64(s)
+				rng := rand.New(rand.NewSource(runSeed + int64(m)*13 + int64(frac*100)))
+				rates := workload.UniformRates(rng, m*n, 0.05, 1.0)
+				eng := engine.Config{
+					Seed:             runSeed,
+					Sources:          m,
+					ObjectsPerSource: n,
+					Metric:           metric.Staleness,
+					PriorityFn:       PriorityForMetric(metric.Staleness),
+					Duration:         duration,
+					Warmup:           warmup,
+					CacheBW:          bandwidth.Const(bc),
+					Rates:            rates,
+				}
+				eng.Policy = engine.IdealCooperative
+				vals[0] += engine.MustRun(eng).AvgDivergence
+				eng.Policy = engine.Cooperative
+				vals[1] += engine.MustRun(eng).AvgDivergence
+				cg := cgm.Config{
+					Seed:     runSeed,
+					Objects:  m * n,
+					Metric:   metric.Staleness,
+					Duration: duration,
+					Warmup:   warmup,
+					CacheBW:  bandwidth.Const(bc),
+					Rates:    rates,
+				}
+				cg.Mode = cgm.IdealCacheBased
+				vals[2] += cgm.MustRun(cg).AvgDivergence
+				cg.Mode = cgm.CGM1
+				vals[3] += cgm.MustRun(cg).AvgDivergence
+				cg.Mode = cgm.CGM2
+				vals[4] += cgm.MustRun(cg).AvgDivergence
+			}
+			row := []interface{}{frac}
+			for i := range vals {
+				vals[i] /= float64(seeds)
+				series[i].Add(frac, vals[i])
+				row = append(row, vals[i])
+			}
+			tb.AddRowf(row...)
+		}
+		figs = append(figs, Figure{
+			Title:  fmt.Sprintf("Figure 6: m = %d sources", m),
+			XLabel: "bandwidth fraction",
+			YLabel: "average divergence (staleness)",
+			Series: series,
+		})
+		tables = append(tables, tb)
+	}
+	return Output{Name: "F6 comparison against cache-based synchronization",
+		Tables: tables, Figures: figs}
+}

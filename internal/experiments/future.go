@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/stats"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// E10CostAware studies the first non-uniform-cost extension of Section 10.1:
+// objects have different message sizes, and the priority weight gains a
+// factor inversely proportional to cost. Cost-aware prioritization should
+// buy more weighted synchrony per unit of bandwidth than cost-blind
+// prioritization.
+func E10CostAware(scale Scale, seed int64) Output {
+	m, n, duration, warmup, seeds := 5, 20, 600.0, 150.0, 3
+	if scale == Full {
+		m, n, duration, warmup, seeds = 20, 50, 3000, 600, 5
+	}
+	N := m * n
+	tb := stats.Table{
+		Title:   "E10 (§10.1): non-uniform refresh costs",
+		Headers: []string{"priority", "avg weighted divergence", "refreshes delivered"},
+	}
+	for _, aware := range []bool{true, false} {
+		var div float64
+		var refr int
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 1010))
+			rates := workload.UniformRates(rng, N, 0.05, 0.5)
+			sizes := make([]float64, N)
+			weights := make([]weight.Fn, N)
+			for i := range sizes {
+				// Sizes span 1–16 units, uncorrelated with importance.
+				sizes[i] = 1 + float64(rng.Intn(16))
+				weights[i] = weight.Const(1 + rng.Float64()*9)
+			}
+			cfg := engine.Config{
+				Seed:             runSeed,
+				Sources:          m,
+				ObjectsPerSource: n,
+				Metric:           metric.ValueDeviation,
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(float64(N)), // ≈1 unit/object/s
+				Rates:            rates,
+				Weights:          weights,
+				Sizes:            sizes,
+				CostAware:        aware,
+			}
+			r := engine.MustRun(cfg)
+			div += r.AvgDivergence
+			refr += r.RefreshesDelivered
+		}
+		name := "cost-blind W"
+		if aware {
+			name = "cost-aware W/size (paper §10.1)"
+		}
+		tb.AddRowf(name, div/float64(seeds), refr/seeds)
+	}
+	return Output{Name: "E10 non-uniform refresh costs", Tables: []stats.Table{tb}}
+}
+
+// E11DeltaEncoding studies the delta-encoding extension of Section 10.1:
+// refresh messages encode the difference from the cached copy, so a copy one
+// update behind costs a fraction of a full transfer, while long-stale copies
+// converge to full cost. Under the same bandwidth, delta encoding should buy
+// markedly lower divergence for large objects.
+func E11DeltaEncoding(scale Scale, seed int64) Output {
+	m, n, duration, warmup, seeds := 5, 20, 600.0, 150.0, 3
+	if scale == Full {
+		m, n, duration, warmup, seeds = 20, 50, 3000, 600, 5
+	}
+	N := m * n
+	tb := stats.Table{
+		Title:   "E11 (§10.1): delta-encoded refresh messages (full size 8, delta 1/update)",
+		Headers: []string{"encoding", "avg divergence", "refreshes delivered"},
+	}
+	for _, delta := range []float64{0, 1} {
+		var div float64
+		var refr int
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 1111))
+			rates := workload.UniformRates(rng, N, 0.05, 0.5)
+			sizes := make([]float64, N)
+			for i := range sizes {
+				sizes[i] = 8
+			}
+			cfg := engine.Config{
+				Seed:             runSeed,
+				Sources:          m,
+				ObjectsPerSource: n,
+				Metric:           metric.ValueDeviation,
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(float64(N)),
+				Rates:            rates,
+				Sizes:            sizes,
+				DeltaSize:        delta,
+			}
+			r := engine.MustRun(cfg)
+			div += r.AvgDivergence
+			refr += r.RefreshesDelivered
+		}
+		name := "full transfers"
+		if delta > 0 {
+			name = "delta encoding"
+		}
+		tb.AddRowf(name, div/float64(seeds), refr/seeds)
+	}
+	return Output{Name: "E11 delta encoding", Tables: []stats.Table{tb}}
+}
+
+// E12Batching explores the packaging tradeoff of Section 10.1: batching
+// several refreshes into one message amortizes per-message overhead but
+// delays refreshes while the batch fills. With a meaningful per-message
+// header cost, a moderate batch size should beat both extremes.
+func E12Batching(scale Scale, seed int64) Output {
+	batches := []int{1, 2, 4, 8, 16}
+	m, n, duration, warmup, seeds := 5, 20, 600.0, 150.0, 3
+	if scale == Full {
+		batches = []int{1, 2, 4, 8, 16, 32}
+		m, n, duration, warmup, seeds = 20, 50, 3000, 600, 5
+	}
+	N := m * n
+	const overhead = 2.0 // header costs 2 units; each refresh payload 1
+	tb := stats.Table{
+		Title:   "E12 (§10.1): refresh batching (per-message header cost 2)",
+		Headers: []string{"batch size", "avg divergence", "messages", "refreshes"},
+	}
+	ser := stats.Series{Name: "avg divergence"}
+	for _, k := range batches {
+		var div float64
+		var refr, msgs int
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 1212))
+			rates := workload.UniformRates(rng, N, 0.1, 1.0)
+			cfg := engine.Config{
+				Seed:             runSeed,
+				Sources:          m,
+				ObjectsPerSource: n,
+				Metric:           metric.ValueDeviation,
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(float64(N) / 2),
+				Rates:            rates,
+				BatchMax:         k,
+				BatchOverhead:    overhead,
+				BatchWait:        3,
+			}
+			if k <= 1 {
+				// Unbatched baseline still pays the header on every
+				// message: model it as size 1+overhead per object.
+				cfg.BatchMax = 0
+				sizes := make([]float64, N)
+				for i := range sizes {
+					sizes[i] = 1 + overhead
+				}
+				cfg.Sizes = sizes
+			}
+			r := engine.MustRun(cfg)
+			div += r.AvgDivergence
+			refr += r.RefreshesDelivered
+			msgs += r.RefreshesSent
+		}
+		div /= float64(seeds)
+		tb.AddRowf(k, div, msgs/seeds, refr/seeds)
+		ser.Add(float64(k), div)
+	}
+	fig := Figure{
+		Title:  "E12: batching tradeoff",
+		XLabel: "batch size K",
+		YLabel: "avg divergence",
+		Series: []stats.Series{ser},
+	}
+	return Output{Name: "E12 refresh batching", Tables: []stats.Table{tb}, Figures: []Figure{fig}}
+}
+
+// E13MutualConsistency studies the Section 10.1 [UNR+01] extension: objects
+// grouped into mutual-consistency units are refreshed atomically, so the
+// cache never serves a mixed-version view — at the price of coarser
+// scheduling (the whole group moves when any member is worth refreshing).
+// The experiment measures both the divergence cost of grouping and the
+// inconsistency exposure it removes.
+func E13MutualConsistency(scale Scale, seed int64) Output {
+	m, n, duration, warmup, seeds := 5, 20, 600.0, 150.0, 3
+	groupSize := 4
+	if scale == Full {
+		m, n, duration, warmup, seeds = 20, 40, 3000, 600, 5
+	}
+	N := m * n
+	tb := stats.Table{
+		Title: "E13 (§10.1): mutual-consistency groups (group size 4)",
+		Headers: []string{"mode", "avg divergence", "refreshes",
+			"mixed-version exposure"},
+	}
+	for _, grouped := range []bool{false, true} {
+		var div, mixed float64
+		var refr int
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 1414))
+			rates := workload.UniformRates(rng, N, 0.05, 0.5)
+			cfg := engine.Config{
+				Seed:             runSeed,
+				Sources:          m,
+				ObjectsPerSource: n,
+				Metric:           metric.ValueDeviation,
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(float64(N) / 4),
+				Rates:            rates,
+			}
+			groups := make([]int, N)
+			for i := range groups {
+				// Consecutive objects within a source form groups.
+				groups[i] = i / groupSize
+			}
+			cfg.Groups = groups
+			cfg.GroupsMeasureOnly = !grouped
+			r := engine.MustRun(cfg)
+			div += r.AvgDivergence
+			refr += r.RefreshesDelivered
+			mixed += r.GroupMixedExposure
+		}
+		name := "independent refreshes"
+		if grouped {
+			name = "atomic group refreshes"
+		}
+		tb.AddRowf(name, div/float64(seeds), refr/seeds, mixed/float64(seeds))
+	}
+	return Output{Name: "E13 mutual consistency", Tables: []stats.Table{tb}}
+}
+
+// A4RateEstimation studies the Section 10.1 "longer history period"
+// question: the Poisson priorities need λ estimates, and under
+// non-stationary update rates the since-last-refresh estimator (Section 8.1)
+// adapts faster while the windowed estimator predicts more stably. The
+// oracle (true current rates) bounds both.
+func A4RateEstimation(scale Scale, seed int64) Output {
+	m, n, duration, warmup, seeds := 5, 20, 800.0, 200.0, 3
+	if scale == Full {
+		m, n, duration, warmup, seeds = 20, 50, 4000, 800, 5
+	}
+	N := m * n
+	tb := stats.Table{
+		Title:   "A4 (§8.1/§10.1): λ estimators under switching update rates (staleness)",
+		Headers: []string{"estimator", "avg staleness"},
+	}
+	for _, est := range []engine.RateEstimation{
+		engine.RateOracle, engine.RateSinceRefresh, engine.RateWindowed,
+	} {
+		var div float64
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 1313))
+			procs := make([]workload.UpdateProcess, N)
+			rates := make([]float64, N)
+			for i := range procs {
+				lo := 0.02 + rng.Float64()*0.05
+				hi := lo * (5 + rng.Float64()*15)
+				period := 100 + rng.Float64()*100
+				procs[i] = &workload.SwitchingPoisson{
+					Low: lo, High: hi, Period: period,
+					Offset: rng.Float64() * period,
+				}
+				rates[i] = (lo + hi) / 2 // what the oracle believes
+			}
+			cfg := engine.Config{
+				Seed:             runSeed,
+				Sources:          m,
+				ObjectsPerSource: n,
+				Metric:           metric.Staleness,
+				PriorityFn:       PriorityForMetric(metric.Staleness),
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(float64(N) / 8),
+				Rates:            rates,
+				Processes:        procs,
+				RateEstimation:   est,
+				RateWindow:       150,
+			}
+			div += engine.MustRun(cfg).AvgDivergence
+		}
+		tb.AddRowf(est.String(), div/float64(seeds))
+	}
+	return Output{Name: "A4 rate estimation under drift", Tables: []stats.Table{tb}}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE10CostAwareWins(t *testing.T) {
+	out := E10CostAware(Quick, 1)
+	tb := out.Tables[0]
+	aware := parse(t, tb.Rows[0][1])
+	blind := parse(t, tb.Rows[1][1])
+	if aware >= blind {
+		t.Errorf("cost-aware (%v) should beat cost-blind (%v)", aware, blind)
+	}
+}
+
+func TestE11DeltaEncodingWins(t *testing.T) {
+	out := E11DeltaEncoding(Quick, 1)
+	tb := out.Tables[0]
+	full := parse(t, tb.Rows[0][1])
+	delta := parse(t, tb.Rows[1][1])
+	if delta >= full {
+		t.Errorf("delta encoding (%v) should beat full transfers (%v)", delta, full)
+	}
+	fullRefr := parse(t, tb.Rows[0][2])
+	deltaRefr := parse(t, tb.Rows[1][2])
+	if deltaRefr <= fullRefr {
+		t.Errorf("delta refreshes (%v) should exceed full (%v)", deltaRefr, fullRefr)
+	}
+}
+
+func TestE12BatchingSweetSpot(t *testing.T) {
+	out := E12Batching(Quick, 1)
+	tb := out.Tables[0]
+	first := parse(t, tb.Rows[0][1])             // K=1
+	last := parse(t, tb.Rows[len(tb.Rows)-1][1]) // largest K
+	best := first
+	for _, row := range tb.Rows {
+		if v := parse(t, row[1]); v < best {
+			best = v
+		}
+	}
+	// Some interior batch size should beat the unbatched baseline.
+	if best >= first {
+		t.Errorf("no batch size beat the unbatched baseline (%v)", first)
+	}
+	// And the largest batch should be worse than the best (delay cost),
+	// with slack for noise.
+	if last < best*1.05 {
+		t.Logf("note: largest batch (%v) nearly optimal (%v)", last, best)
+	}
+}
+
+func TestA4EstimatorOrdering(t *testing.T) {
+	out := A4RateEstimation(Quick, 1)
+	tb := out.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	// All estimators must produce sane staleness values; the exact
+	// ordering is workload-dependent, but nothing should collapse.
+	for _, row := range tb.Rows {
+		v := parse(t, row[1])
+		if v <= 0 || v >= 1 {
+			t.Errorf("%s staleness = %v out of (0,1)", row[0], v)
+		}
+	}
+}
+
+func TestE13ConsistencyTradeoff(t *testing.T) {
+	out := E13MutualConsistency(Quick, 1)
+	tb := out.Tables[0]
+	indepDiv := parse(t, tb.Rows[0][1])
+	groupDiv := parse(t, tb.Rows[1][1])
+	indepExp := parse(t, tb.Rows[0][3])
+	groupExp := parse(t, tb.Rows[1][3])
+	if groupExp != 0 {
+		t.Errorf("atomic groups exposure = %v, want 0", groupExp)
+	}
+	if indepExp <= 0 {
+		t.Errorf("independent exposure = %v, want > 0", indepExp)
+	}
+	if groupDiv <= indepDiv {
+		t.Errorf("grouping should cost divergence: grouped %v vs independent %v",
+			groupDiv, indepDiv)
+	}
+}
+
+func TestNewExperimentsRegistered(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"e10", "e11", "e12", "e13", "a4"} {
+		if reg[id] == nil {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/core"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/stats"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+)
+
+// fluctuatingPopulation builds the Section 6 synthetic population: Poisson
+// rates assigned uniformly at random and weights fluctuating as sine waves
+// with random amplitudes and periods.
+func fluctuatingPopulation(rng *rand.Rand, n int) ([]float64, []weight.Fn) {
+	rates := workload.UniformRates(rng, n, 0.01, 1.0)
+	weights := make([]weight.Fn, n)
+	for i := range weights {
+		weights[i] = weight.RandomSine(rng, 1+rng.Float64()*4, 0.8, 50, 500)
+	}
+	return rates, weights
+}
+
+// P1ParamSweep reproduces the Section 6.1 parameter study: sweep the
+// threshold increase factor α and decrease factor ω over fluctuating-
+// bandwidth configurations and report average divergence. The paper found
+// α = 1.1, ω = 10 best, with low sensitivity nearby (α = 1.2, ω = 20
+// similar).
+func P1ParamSweep(scale Scale, seed int64) Output {
+	alphas := []float64{1.05, 1.1, 1.3, 2.0}
+	omegas := []float64{2, 10, 100}
+	m, n := 10, 10
+	duration, warmup := 600.0, 150.0
+	seeds := 2
+	if scale == Full {
+		alphas = []float64{1.01, 1.05, 1.1, 1.2, 1.5, 2.0}
+		omegas = []float64{2, 5, 10, 20, 50, 100}
+		m, n = 50, 20
+		duration, warmup = 3000, 600
+		seeds = 4
+	}
+	tb := stats.Table{
+		Title:   "P1 (§6.1): threshold parameter sweep (paper best: α=1.1, ω=10)",
+		Headers: []string{"alpha", "omega", "avg divergence"},
+	}
+	bestA, bestO, bestD := 0.0, 0.0, -1.0
+	for _, a := range alphas {
+		for _, o := range omegas {
+			total := 0.0
+			for s := 0; s < seeds; s++ {
+				runSeed := seed + int64(s)
+				rng := rand.New(rand.NewSource(runSeed + 555))
+				rates, weights := fluctuatingPopulation(rng, m*n)
+				cfg := engine.Config{
+					Seed:             runSeed,
+					Sources:          m,
+					ObjectsPerSource: n,
+					Metric:           metric.ValueDeviation,
+					Duration:         duration,
+					Warmup:           warmup,
+					CacheBW:          bandwidth.Fluctuating(float64(m*n)/4, 0.05, 0),
+					SourceBW:         bandwidth.Fluctuating(float64(n), 0.05, 1),
+					Rates:            rates,
+					Weights:          weights,
+					Params: core.Params{
+						Alpha:            a,
+						Omega:            o,
+						InitialThreshold: 1,
+					},
+				}
+				total += engine.MustRun(cfg).AvgDivergence
+			}
+			avg := total / float64(seeds)
+			tb.AddRowf(a, o, avg)
+			if bestD < 0 || avg < bestD {
+				bestA, bestO, bestD = a, o, avg
+			}
+		}
+	}
+	summary := stats.Table{
+		Title:   "P1 best setting",
+		Headers: []string{"alpha*", "omega*", "avg divergence"},
+	}
+	summary.AddRowf(bestA, bestO, bestD)
+	return Output{Name: "P1 threshold parameter sweep", Tables: []stats.Table{tb, summary}}
+}

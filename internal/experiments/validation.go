@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bestsync/internal/bandwidth"
+	"bestsync/internal/engine"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/stats"
+	"bestsync/internal/weight"
+	"bestsync/internal/workload"
+
+	"math/rand"
+)
+
+// E1Validation reproduces the first Section 4.3 experiment: a single source
+// with n objects, a cache accepting up to 10 refreshes/second, uniformly
+// random update probabilities, and all weights 1. Under every divergence
+// metric, the paper reports that the overall time-averaged divergence of the
+// area priority and of the simple weighted-divergence priority differ by
+// less than 10% — skew is what separates them (see E2).
+func E1Validation(scale Scale, seed int64) Output {
+	sizes := []int{10, 100}
+	duration, warmup := 600.0, 100.0
+	seeds := 2
+	if scale == Full {
+		sizes = []int{1, 10, 100, 1000}
+		duration, warmup = 2000, 400
+		seeds = 5
+	}
+	tb := stats.Table{
+		Title:   "E1 (§4.3): our priority vs simple weighted divergence, uniform parameters",
+		Headers: []string{"metric", "n", "div(ours)", "div(simple)", "increase%"},
+	}
+	for _, mk := range metric.Kinds() {
+		for _, n := range sizes {
+			var ours, simple float64
+			for s := 0; s < seeds; s++ {
+				runSeed := seed + int64(s)
+				rng := rand.New(rand.NewSource(runSeed + 999))
+				rates := workload.UniformRates(rng, n, 0.01, 1.0)
+				base := engine.Config{
+					Seed:             runSeed,
+					Sources:          1,
+					ObjectsPerSource: n,
+					Metric:           mk,
+					Duration:         duration,
+					Warmup:           warmup,
+					CacheBW:          bandwidth.Const(10),
+					Policy:           engine.IdealCooperative,
+					Rates:            rates,
+				}
+				base.PriorityFn = PriorityForMetric(mk)
+				ours += engine.MustRun(base).AvgDivergence
+				base.PriorityFn = priority.SimpleDivergence
+				simple += engine.MustRun(base).AvgDivergence
+			}
+			ours /= float64(seeds)
+			simple /= float64(seeds)
+			tb.AddRowf(mk.String(), n, ours, simple, pct(ours, simple))
+		}
+	}
+	return Output{Name: "E1 priority validation (uniform)", Tables: []stats.Table{tb}}
+}
+
+// E2Skew reproduces the second Section 4.3 experiment: n = 100 objects, a
+// randomly selected half weighted 10 and the rest 1; an independently
+// selected half updated with probability 0.01 per second and the rest
+// updated consistently every second. The paper reports the simple priority
+// increases overall divergence by 64% (staleness), 74% (lag) and 84% (value
+// deviation) over the area priority.
+func E2Skew(scale Scale, seed int64) Output {
+	duration, warmup := 800.0, 200.0
+	seeds := 3
+	if scale == Full {
+		duration, warmup = 3000, 600
+		seeds = 7
+	}
+	const n = 100
+	tb := stats.Table{
+		Title:   "E2 (§4.3): skewed weights and rates (paper: +64%/+74%/+84%)",
+		Headers: []string{"metric", "div(ours)", "div(simple)", "increase%"},
+	}
+	for _, mk := range metric.Kinds() {
+		var ours, simple float64
+		for s := 0; s < seeds; s++ {
+			runSeed := seed + int64(s)
+			rng := rand.New(rand.NewSource(runSeed + 777))
+			ws := workload.SkewedHalf(rng, n, 1, 10)
+			weights := make([]weight.Fn, n)
+			for i, w := range ws {
+				weights[i] = weight.Const(w)
+			}
+			rs := workload.SkewedHalf(rng, n, 0.01, 1.0)
+			procs := make([]workload.UpdateProcess, n)
+			rates := make([]float64, n)
+			for i, r := range rs {
+				rates[i] = r
+				if r == 1.0 {
+					// "updated consistently every second"
+					procs[i] = workload.Periodic{Interval: 1}
+				} else {
+					procs[i] = workload.Poisson{Lambda: r}
+				}
+			}
+			base := engine.Config{
+				Seed:             runSeed,
+				Sources:          1,
+				ObjectsPerSource: n,
+				Metric:           mk,
+				Duration:         duration,
+				Warmup:           warmup,
+				CacheBW:          bandwidth.Const(10),
+				Policy:           engine.IdealCooperative,
+				Rates:            rates,
+				Processes:        procs,
+				Weights:          weights,
+			}
+			base.PriorityFn = PriorityForMetric(mk)
+			ours += engine.MustRun(base).AvgDivergence
+			base.PriorityFn = priority.SimpleDivergence
+			simple += engine.MustRun(base).AvgDivergence
+		}
+		ours /= float64(seeds)
+		simple /= float64(seeds)
+		tb.AddRowf(mk.String(), ours, simple, pct(ours, simple))
+	}
+	return Output{Name: "E2 priority validation (skewed)", Tables: []stats.Table{tb}}
+}

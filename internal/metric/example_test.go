@@ -1,0 +1,40 @@
+package metric_test
+
+import (
+	"fmt"
+
+	"bestsync/internal/metric"
+)
+
+// ExampleTracker shows the core bookkeeping behind the paper's refresh
+// priority: the tracker maintains divergence and its exact integral, and
+// Priority returns the area above the divergence curve since the last
+// refresh.
+func ExampleTracker() {
+	var tr metric.Tracker
+	tr.Reset(0, 0)  // refreshed at t=0
+	tr.Update(6, 2) // first update at t=6 leaves divergence 2
+
+	fmt.Printf("divergence:  %.0f\n", tr.Current())
+	fmt.Printf("integral:    %.0f\n", tr.Integral(10))
+	fmt.Printf("priority:    %.0f\n", tr.Priority(10))
+	// The object stayed synchronized for 6 of 10 seconds, so a refresh now
+	// is expected to buy another long quiet stretch — priority is high.
+
+	// Output:
+	// divergence:  2
+	// integral:    8
+	// priority:    12
+}
+
+// ExampleDivergence evaluates the three Section 3.1 metrics on the same
+// state: an object three updates ahead of its cached copy, value 7 vs 4.
+func ExampleDivergence() {
+	fmt.Printf("staleness: %.0f\n", metric.Divergence(metric.Staleness, nil, 3, 7, 4))
+	fmt.Printf("lag:       %.0f\n", metric.Divergence(metric.Lag, nil, 3, 7, 4))
+	fmt.Printf("deviation: %.0f\n", metric.Divergence(metric.ValueDeviation, nil, 3, 7, 4))
+	// Output:
+	// staleness: 1
+	// lag:       3
+	// deviation: 3
+}

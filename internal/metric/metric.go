@@ -1,0 +1,154 @@
+// Package metric implements the divergence metrics of Olston & Widom
+// (SIGMOD 2002), Section 3.1: staleness, lag, and value deviation, together
+// with per-object trackers that maintain the exact running integral of
+// divergence since the last refresh.
+//
+// Divergence is piecewise constant between updates and refreshes (the value
+// of a source object is constant between updates, and the cached copy is
+// constant between refreshes), so the integral ∫D(t)dt can be maintained
+// exactly with O(1) work per event. This is the basis both for exact
+// measurement of time-averaged divergence and for the area-above-the-curve
+// refresh priority of Section 3.3.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies one of the paper's divergence metrics.
+type Kind int
+
+const (
+	// Staleness is the Boolean metric D_s: 0 if the cached copy equals the
+	// source copy, 1 otherwise (Section 3.1, metric 1).
+	Staleness Kind = iota
+	// Lag is the number of updates the cached copy is behind the source
+	// copy (Section 3.1, metric 2).
+	Lag
+	// ValueDeviation is Δ(V(O,t), V(C(O),t)) for a caller-supplied
+	// nonnegative difference function Δ (Section 3.1, metric 3).
+	ValueDeviation
+)
+
+// String returns the metric name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Staleness:
+		return "staleness"
+	case Lag:
+		return "lag"
+	case ValueDeviation:
+		return "value deviation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all supported metrics, in the order the paper introduces them.
+func Kinds() []Kind { return []Kind{Staleness, Lag, ValueDeviation} }
+
+// DeltaFunc quantifies the difference between two versions of an object for
+// the value-deviation metric. It must be nonnegative and should be zero when
+// the versions are equal.
+type DeltaFunc func(v1, v2 float64) float64
+
+// AbsDelta is the simple value-deviation function Δ(V1,V2) = |V1 − V2| the
+// paper recommends for single numerical values such as stock quotes.
+func AbsDelta(v1, v2 float64) float64 { return math.Abs(v1 - v2) }
+
+// Divergence computes the divergence value for metric k given the number of
+// source updates the reference copy is behind and the two values. delta may
+// be nil for Staleness and Lag.
+func Divergence(k Kind, delta DeltaFunc, updatesBehind int, srcVal, cachedVal float64) float64 {
+	switch k {
+	case Staleness:
+		if updatesBehind > 0 {
+			return 1
+		}
+		return 0
+	case Lag:
+		return float64(updatesBehind)
+	case ValueDeviation:
+		if delta == nil {
+			delta = AbsDelta
+		}
+		return delta(srcVal, cachedVal)
+	default:
+		panic(fmt.Sprintf("metric: unknown kind %d", int(k)))
+	}
+}
+
+// Tracker maintains the divergence of a single object relative to some
+// reference copy (the cache's copy, or the value a source last sent), plus
+// the exact integral of divergence since the last reset. The divergence is
+// treated as piecewise constant: it changes only through Set and Reset.
+//
+// The zero Tracker is ready to use and represents a fully synchronized
+// object at time 0.
+type Tracker struct {
+	d        float64 // current divergence
+	integral float64 // ∫ D dt over [resetAt, lastT]
+	lastT    float64 // time of the most recent Set/Reset
+	resetAt  float64 // time of the last refresh (t_last in the paper)
+	updates  int     // source updates since the last reset
+}
+
+// Reset records a refresh at time now that leaves residual divergence d
+// (zero for a refresh that delivers the current source value; nonzero when a
+// delayed message delivers an already-stale value). The divergence integral
+// restarts from zero.
+func (tr *Tracker) Reset(now, d float64) {
+	tr.d = d
+	tr.integral = 0
+	tr.lastT = now
+	tr.resetAt = now
+	tr.updates = 0
+}
+
+// Set advances the integral to time now and records a new current divergence
+// d, typically in response to a source update. now must be ≥ the time of the
+// previous Set/Reset.
+func (tr *Tracker) Set(now, d float64) {
+	tr.advance(now)
+	tr.d = d
+}
+
+// Update is Set plus an increment of the updates-behind counter.
+func (tr *Tracker) Update(now, d float64) {
+	tr.Set(now, d)
+	tr.updates++
+}
+
+func (tr *Tracker) advance(now float64) {
+	if now < tr.lastT {
+		panic(fmt.Sprintf("metric: time went backwards: %v < %v", now, tr.lastT))
+	}
+	tr.integral += tr.d * (now - tr.lastT)
+	tr.lastT = now
+}
+
+// Current returns the current divergence value.
+func (tr *Tracker) Current() float64 { return tr.d }
+
+// UpdatesBehind returns the number of updates recorded since the last reset.
+func (tr *Tracker) UpdatesBehind() int { return tr.updates }
+
+// LastReset returns the time of the last refresh (t_last).
+func (tr *Tracker) LastReset() float64 { return tr.resetAt }
+
+// Integral returns ∫ D(τ) dτ over [t_last, now].
+func (tr *Tracker) Integral(now float64) float64 {
+	return tr.integral + tr.d*(now-tr.lastT)
+}
+
+// Priority returns the unweighted refresh priority of Section 3.3,
+//
+//	P(O, now) = (now − t_last)·D(O, now) − ∫_{t_last}^{now} D(O,τ) dτ,
+//
+// the area above the divergence curve since the last refresh. It changes
+// only when divergence changes (Section 8.2), so callers may cache it
+// between updates.
+func (tr *Tracker) Priority(now float64) float64 {
+	return (now-tr.resetAt)*tr.d - tr.Integral(now)
+}

@@ -1,0 +1,293 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Staleness:      "staleness",
+		Lag:            "lag",
+		ValueDeviation: "value deviation",
+		Kind(99):       "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 3 {
+		t.Fatalf("Kinds() returned %d metrics, want 3", len(ks))
+	}
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		seen[k] = true
+	}
+	for _, k := range []Kind{Staleness, Lag, ValueDeviation} {
+		if !seen[k] {
+			t.Errorf("Kinds() missing %v", k)
+		}
+	}
+}
+
+func TestAbsDelta(t *testing.T) {
+	if got := AbsDelta(3, 5); got != 2 {
+		t.Errorf("AbsDelta(3,5) = %v, want 2", got)
+	}
+	if got := AbsDelta(5, 3); got != 2 {
+		t.Errorf("AbsDelta(5,3) = %v, want 2", got)
+	}
+	if got := AbsDelta(4, 4); got != 0 {
+		t.Errorf("AbsDelta(4,4) = %v, want 0", got)
+	}
+}
+
+func TestDivergenceStaleness(t *testing.T) {
+	if d := Divergence(Staleness, nil, 0, 1, 1); d != 0 {
+		t.Errorf("staleness with 0 updates behind = %v, want 0", d)
+	}
+	if d := Divergence(Staleness, nil, 1, 1, 2); d != 1 {
+		t.Errorf("staleness with 1 update behind = %v, want 1", d)
+	}
+	if d := Divergence(Staleness, nil, 17, 1, 2); d != 1 {
+		t.Errorf("staleness with 17 updates behind = %v, want 1", d)
+	}
+}
+
+func TestDivergenceLag(t *testing.T) {
+	for _, u := range []int{0, 1, 5, 100} {
+		if d := Divergence(Lag, nil, u, 0, 0); d != float64(u) {
+			t.Errorf("lag with %d updates behind = %v, want %d", u, d, u)
+		}
+	}
+}
+
+func TestDivergenceValueDeviation(t *testing.T) {
+	if d := Divergence(ValueDeviation, nil, 3, 10, 7); d != 3 {
+		t.Errorf("value deviation with nil delta = %v, want 3 (AbsDelta default)", d)
+	}
+	sq := func(a, b float64) float64 { return (a - b) * (a - b) }
+	if d := Divergence(ValueDeviation, sq, 1, 5, 2); d != 9 {
+		t.Errorf("value deviation with squared delta = %v, want 9", d)
+	}
+}
+
+func TestDivergenceUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Divergence with unknown kind did not panic")
+		}
+	}()
+	Divergence(Kind(42), nil, 0, 0, 0)
+}
+
+func TestTrackerZeroValue(t *testing.T) {
+	var tr Tracker
+	if tr.Current() != 0 || tr.Integral(10) != 0 || tr.Priority(10) != 0 {
+		t.Errorf("zero tracker not fully synchronized: d=%v I=%v P=%v",
+			tr.Current(), tr.Integral(10), tr.Priority(10))
+	}
+}
+
+func TestTrackerIntegralPiecewise(t *testing.T) {
+	var tr Tracker
+	tr.Reset(0, 0)
+	tr.Update(2, 1) // D=1 from t=2
+	tr.Update(5, 3) // D=3 from t=5
+	// ∫ over [0,8] = 0*2 + 1*3 + 3*3 = 12
+	if got := tr.Integral(8); got != 12 {
+		t.Errorf("Integral(8) = %v, want 12", got)
+	}
+	// Priority at t=8: (8-0)*3 − 12 = 12.
+	if got := tr.Priority(8); got != 12 {
+		t.Errorf("Priority(8) = %v, want 12", got)
+	}
+}
+
+func TestTrackerResetClearsState(t *testing.T) {
+	var tr Tracker
+	tr.Update(1, 5)
+	tr.Update(2, 7)
+	tr.Reset(3, 0)
+	if tr.Current() != 0 || tr.UpdatesBehind() != 0 {
+		t.Errorf("after reset: d=%v updates=%d, want 0,0", tr.Current(), tr.UpdatesBehind())
+	}
+	if got := tr.Integral(10); got != 0 {
+		t.Errorf("Integral after reset = %v, want 0", got)
+	}
+	if tr.LastReset() != 3 {
+		t.Errorf("LastReset = %v, want 3", tr.LastReset())
+	}
+}
+
+func TestTrackerResetWithResidualDivergence(t *testing.T) {
+	// A delayed refresh message can deliver an already-stale value.
+	var tr Tracker
+	tr.Reset(10, 2.5)
+	if tr.Current() != 2.5 {
+		t.Errorf("residual divergence = %v, want 2.5", tr.Current())
+	}
+	if got := tr.Integral(14); got != 10 {
+		t.Errorf("Integral(14) = %v, want 10", got)
+	}
+	// Priority: (14−10)*2.5 − 10 = 0 — constant divergence earns no area
+	// above the curve.
+	if got := tr.Priority(14); got != 0 {
+		t.Errorf("Priority(14) = %v, want 0", got)
+	}
+}
+
+func TestTrackerPriorityConstantBetweenUpdates(t *testing.T) {
+	// Section 8.2: priority changes only when divergence changes.
+	var tr Tracker
+	tr.Reset(0, 0)
+	tr.Update(4, 2)
+	p5 := tr.Priority(5)
+	p9 := tr.Priority(9)
+	if math.Abs(p5-p9) > 1e-12 {
+		t.Errorf("priority changed between updates: P(5)=%v P(9)=%v", p5, p9)
+	}
+	// And it equals D·(t_update − t_last) − ∫ up to the update = 2*4 − 0 = 8.
+	if math.Abs(p5-8) > 1e-12 {
+		t.Errorf("P(5) = %v, want 8", p5)
+	}
+}
+
+func TestTrackerLateRiserBeatsEarlyRiser(t *testing.T) {
+	// Figure 3: object O1 diverged slowly then jumped recently; O2 jumped
+	// immediately after its refresh. Same current divergence ⇒ O1 has the
+	// higher priority.
+	var o1, o2 Tracker
+	o1.Reset(0, 0)
+	o2.Reset(0, 0)
+	o1.Update(9, 5) // flat until t=9, then jumps to 5
+	o2.Update(1, 5) // jumps to 5 right away
+	p1 := o1.Priority(10)
+	p2 := o2.Priority(10)
+	if p1 <= p2 {
+		t.Errorf("late riser priority %v should exceed early riser %v", p1, p2)
+	}
+}
+
+func TestTrackerTimeBackwardsPanics(t *testing.T) {
+	var tr Tracker
+	tr.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set with decreasing time did not panic")
+		}
+	}()
+	tr.Set(4, 2)
+}
+
+func TestTrackerUpdatesBehindCounts(t *testing.T) {
+	var tr Tracker
+	tr.Reset(0, 0)
+	for i := 1; i <= 5; i++ {
+		tr.Update(float64(i), float64(i))
+	}
+	if tr.UpdatesBehind() != 5 {
+		t.Errorf("UpdatesBehind = %d, want 5", tr.UpdatesBehind())
+	}
+}
+
+// TestTrackerIntegralMatchesBruteForce cross-checks the analytic integral
+// against a fine-grained numeric accumulation over random update sequences.
+func TestTrackerIntegralMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var tr Tracker
+		tr.Reset(0, 0)
+		type ev struct{ t, d float64 }
+		events := []ev{}
+		tcur := 0.0
+		for i := 0; i < 20; i++ {
+			tcur += rng.Float64() * 3
+			d := rng.Float64() * 10
+			events = append(events, ev{tcur, d})
+			tr.Update(tcur, d)
+		}
+		end := tcur + rng.Float64()*5
+		// Brute force: D is piecewise constant.
+		want := 0.0
+		for i, e := range events {
+			next := end
+			if i+1 < len(events) {
+				next = events[i+1].t
+			}
+			want += e.d * (next - e.t)
+		}
+		got := tr.Integral(end)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: Integral = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// Property: priority is always ≥ 0 for non-decreasing divergence sequences
+// (divergence that only grows always leaves nonnegative area above the
+// curve), and the integral is always ≥ 0.
+func TestTrackerPriorityNonNegativeForMonotoneDivergence(t *testing.T) {
+	f := func(steps []uint8, gaps []uint8) bool {
+		var tr Tracker
+		tr.Reset(0, 0)
+		tcur, d := 0.0, 0.0
+		n := len(steps)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			tcur += float64(gaps[i])/16 + 0.01
+			d += float64(steps[i]) / 8
+			tr.Update(tcur, d)
+		}
+		end := tcur + 1
+		return tr.Priority(end) >= -1e-9 && tr.Integral(end) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: priority is monotone non-decreasing in time across update events
+// when divergence is non-decreasing (Section 4.1).
+func TestTrackerPriorityMonotoneAcrossUpdates(t *testing.T) {
+	f := func(steps []uint8, gaps []uint8) bool {
+		var tr Tracker
+		tr.Reset(0, 0)
+		tcur, d, prev := 0.0, 0.0, 0.0
+		n := len(steps)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			tcur += float64(gaps[i])/16 + 0.01
+			d += float64(steps[i]) / 8
+			tr.Update(tcur, d)
+			p := tr.Priority(tcur)
+			if p < prev-1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrackerUpdate(b *testing.B) {
+	var tr Tracker
+	tr.Reset(0, 0)
+	for i := 0; i < b.N; i++ {
+		tr.Update(float64(i), float64(i%7))
+	}
+}

@@ -1,0 +1,149 @@
+// Package netsim implements the paper's network model (Section 1.2): "a
+// standard underlying network model where any messages for which there is
+// not enough capacity become enqueued for later transmission". All messages
+// have unit size (Section 6).
+//
+// A Link couples a FIFO message queue with a token bucket fed by a
+// bandwidth.Profile. When sources push refreshes faster than the cache-side
+// capacity drains them, the queue grows and deliveries lag — the flooding
+// regime the threshold-setting algorithm must avoid.
+package netsim
+
+import (
+	"bestsync/internal/bandwidth"
+)
+
+// MsgKind distinguishes protocol message types. Every kind costs one unit of
+// link capacity.
+type MsgKind int
+
+const (
+	// MsgRefresh carries a fresh object value from a source to the cache.
+	MsgRefresh MsgKind = iota
+	// MsgFeedback is a positive-feedback message from the cache asking a
+	// source to lower its threshold (Section 5).
+	MsgFeedback
+	// MsgRaise is a negative-feedback message asking a source to raise its
+	// threshold; only used by the ablation variant, which the paper argues
+	// is unstable.
+	MsgRaise
+	// MsgPollRequest and MsgPollResponse model CGM-style polling round
+	// trips (Section 6.3).
+	MsgPollRequest
+	// MsgPollResponse is the source's reply to a poll.
+	MsgPollResponse
+)
+
+// BatchEntry is one object refresh inside a batched message (the Section
+// 10.1 packaging extension).
+type BatchEntry struct {
+	Object  int
+	Value   float64
+	Version uint64
+}
+
+// Message is a protocol message. Size defaults to one unit; the Section 10.1
+// extensions (non-uniform object sizes, delta encoding, batching) set larger
+// or fractional sizes.
+type Message struct {
+	Kind      MsgKind
+	Source    int          // originating (or target) source id
+	Object    int          // global object index, when applicable
+	Value     float64      // object value carried by refreshes / poll responses
+	Version   uint64       // source version number of Value
+	Threshold float64      // piggybacked local threshold (Section 5)
+	Sent      float64      // enqueue time
+	Size      float64      // bandwidth units consumed; ≤0 means 1
+	Entries   []BatchEntry // additional refreshes packaged into this message
+}
+
+// Cost returns the bandwidth the message consumes.
+func (m *Message) Cost() float64 {
+	if m.Size <= 0 {
+		return 1
+	}
+	return m.Size
+}
+
+// Link is a capacity-constrained FIFO channel.
+type Link struct {
+	profile  bandwidth.Profile
+	bucket   bandwidth.Bucket
+	lastT    float64
+	queue    []Message
+	head     int
+	peakQ    int
+	enqueued int
+	dropped  int
+	maxQueue int // 0 = unbounded
+}
+
+// NewLink creates a link governed by profile. maxQueue bounds the number of
+// queued messages (0 = unbounded, the paper's model); overflow counts as
+// dropped, used only for failure-injection tests.
+func NewLink(profile bandwidth.Profile, maxQueue int) *Link {
+	return &Link{profile: profile, maxQueue: maxQueue}
+}
+
+// Advance accrues capacity up to time now. burst caps accumulated unused
+// capacity (normally max(1, capacity of one tick)).
+func (l *Link) Advance(now, burst float64) {
+	l.bucket.Burst = burst
+	l.bucket.Accrue(l.profile, l.lastT, now)
+	l.lastT = now
+}
+
+// Rate returns the instantaneous capacity at time t.
+func (l *Link) Rate(t float64) float64 { return l.profile.Rate(t) }
+
+// Enqueue appends a message to the queue. It returns false if the queue is
+// bounded and full (the message is dropped).
+func (l *Link) Enqueue(m Message) bool {
+	if l.maxQueue > 0 && l.QueueLen() >= l.maxQueue {
+		l.dropped++
+		return false
+	}
+	l.queue = append(l.queue, m)
+	l.enqueued++
+	if q := l.QueueLen(); q > l.peakQ {
+		l.peakQ = q
+	}
+	return true
+}
+
+// Deliver pops the next message if enough capacity for it is available.
+// Large messages block the FIFO head until capacity accrues.
+func (l *Link) Deliver() (Message, bool) {
+	if l.QueueLen() == 0 || !l.bucket.TryTake(l.queue[l.head].Cost()) {
+		return Message{}, false
+	}
+	m := l.queue[l.head]
+	l.head++
+	// Compact occasionally so the backing array doesn't grow without bound.
+	if l.head > 1024 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	return m, true
+}
+
+// TryConsume spends n units of capacity without delivering a message; the
+// cache uses this for outbound feedback, which shares cache-side bandwidth
+// with inbound refreshes (Section 5).
+func (l *Link) TryConsume(n float64) bool { return l.bucket.TryTake(n) }
+
+// Tokens returns the currently available capacity.
+func (l *Link) Tokens() float64 { return l.bucket.Tokens }
+
+// QueueLen returns the number of queued (undelivered) messages.
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// PeakQueue returns the maximum queue length observed.
+func (l *Link) PeakQueue() int { return l.peakQ }
+
+// Enqueued returns the total number of messages accepted.
+func (l *Link) Enqueued() int { return l.enqueued }
+
+// Dropped returns the number of messages rejected by a bounded queue.
+func (l *Link) Dropped() int { return l.dropped }

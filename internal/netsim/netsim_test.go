@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+
+	"bestsync/internal/bandwidth"
+)
+
+func TestLinkDeliverRequiresCapacity(t *testing.T) {
+	l := NewLink(bandwidth.Const(1), 0)
+	l.Enqueue(Message{Object: 1})
+	if _, ok := l.Deliver(); ok {
+		t.Fatal("delivered with no accrued capacity")
+	}
+	l.Advance(1, 10) // 1 token
+	m, ok := l.Deliver()
+	if !ok || m.Object != 1 {
+		t.Fatalf("Deliver = (%+v, %v), want object 1", m, ok)
+	}
+	if _, ok := l.Deliver(); ok {
+		t.Fatal("delivered beyond capacity")
+	}
+}
+
+func TestLinkFIFO(t *testing.T) {
+	l := NewLink(bandwidth.Const(10), 0)
+	for i := 0; i < 5; i++ {
+		l.Enqueue(Message{Object: i})
+	}
+	l.Advance(1, 10)
+	for i := 0; i < 5; i++ {
+		m, ok := l.Deliver()
+		if !ok || m.Object != i {
+			t.Fatalf("delivery %d = (%+v, %v)", i, m, ok)
+		}
+	}
+}
+
+func TestLinkQueueGrowsUnderOverload(t *testing.T) {
+	l := NewLink(bandwidth.Const(1), 0)
+	for tick := 1; tick <= 10; tick++ {
+		// 3 msgs/s offered, 1/s capacity.
+		for i := 0; i < 3; i++ {
+			l.Enqueue(Message{})
+		}
+		l.Advance(float64(tick), 1)
+		for {
+			if _, ok := l.Deliver(); !ok {
+				break
+			}
+		}
+	}
+	if got := l.QueueLen(); got != 20 {
+		t.Errorf("queue length after overload = %d, want 20", got)
+	}
+	if l.PeakQueue() < 20 {
+		t.Errorf("peak queue = %d, want ≥ 20", l.PeakQueue())
+	}
+}
+
+func TestLinkBoundedQueueDrops(t *testing.T) {
+	l := NewLink(bandwidth.Const(0), 3)
+	for i := 0; i < 5; i++ {
+		l.Enqueue(Message{})
+	}
+	if l.QueueLen() != 3 {
+		t.Errorf("queue length = %d, want 3", l.QueueLen())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+	if l.Enqueued() != 3 {
+		t.Errorf("enqueued = %d, want 3", l.Enqueued())
+	}
+}
+
+func TestLinkTryConsumeSharesCapacity(t *testing.T) {
+	// Feedback and refresh delivery draw from the same cache-side budget.
+	l := NewLink(bandwidth.Const(2), 0)
+	l.Advance(1, 10) // 2 tokens
+	if !l.TryConsume(1) {
+		t.Fatal("TryConsume failed with 2 tokens")
+	}
+	l.Enqueue(Message{})
+	if _, ok := l.Deliver(); !ok {
+		t.Fatal("Deliver failed with 1 token left")
+	}
+	if l.TryConsume(1) {
+		t.Fatal("TryConsume succeeded with 0 tokens")
+	}
+}
+
+func TestLinkBurstCap(t *testing.T) {
+	l := NewLink(bandwidth.Const(100), 0)
+	l.Advance(10, 5) // 1000 earned, capped at 5
+	if l.Tokens() != 5 {
+		t.Errorf("tokens = %v, want 5 (burst cap)", l.Tokens())
+	}
+}
+
+func TestLinkCompaction(t *testing.T) {
+	// Push and drain enough messages to trigger internal compaction; FIFO
+	// order must be preserved throughout.
+	l := NewLink(bandwidth.Const(1e9), 0)
+	next := 0
+	seq := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			l.Enqueue(Message{Object: seq})
+			seq++
+		}
+		l.Advance(float64(round+1), 1e9)
+		for i := 0; i < 60; i++ {
+			m, ok := l.Deliver()
+			if !ok {
+				t.Fatal("unexpected empty delivery")
+			}
+			if m.Object != next {
+				t.Fatalf("got object %d, want %d", m.Object, next)
+			}
+			next++
+		}
+	}
+	for {
+		m, ok := l.Deliver()
+		if !ok {
+			break
+		}
+		if m.Object != next {
+			t.Fatalf("drain: got %d, want %d", m.Object, next)
+		}
+		next++
+	}
+	if next != seq {
+		t.Fatalf("delivered %d messages, want %d", next, seq)
+	}
+}
+
+func TestLinkFractionalRateAccumulates(t *testing.T) {
+	// 0.5 msgs/s: one delivery every two seconds.
+	l := NewLink(bandwidth.Const(0.5), 0)
+	for i := 0; i < 10; i++ {
+		l.Enqueue(Message{})
+	}
+	delivered := 0
+	for tick := 1; tick <= 10; tick++ {
+		l.Advance(float64(tick), 1)
+		for {
+			if _, ok := l.Deliver(); !ok {
+				break
+			}
+			delivered++
+		}
+	}
+	if delivered != 5 {
+		t.Errorf("delivered %d in 10s at 0.5/s, want 5", delivered)
+	}
+}

@@ -1,0 +1,120 @@
+// Package priority implements the refresh-priority policy of Olston & Widom
+// (SIGMOD 2002), Sections 3.3–3.4 and 9, together with an indexed max-heap
+// used by sources and the idealized global scheduler to track the
+// highest-priority modified objects.
+package priority
+
+import "fmt"
+
+// Fn selects a refresh-priority function.
+type Fn int
+
+const (
+	// AreaGeneral is the paper's general priority (Section 3.3): the
+	// weighted area above the divergence curve since the last refresh,
+	//
+	//	P = [(t_now − t_last)·D(t_now) − ∫ D dτ] · W(t_now).
+	//
+	// It applies to any divergence metric and uses realized divergence
+	// history, requiring no model of future updates.
+	AreaGeneral Fn = iota
+
+	// SimpleDivergence is the intuitive-but-inferior strawman of Section
+	// 4.3: P = D(t_now)·W(t_now). The paper shows it loses badly under
+	// skewed weights and update rates.
+	SimpleDivergence
+
+	// PoissonStaleness is the Section 3.4 special case for the staleness
+	// metric under Poisson updates: P = D_s/λ · W.
+	PoissonStaleness
+
+	// PoissonLag is the Section 3.4 special case for the lag metric under
+	// Poisson updates: P = D_l(D_l+1)/(2λ) · W.
+	PoissonLag
+
+	// BoundArea is the Section 9 priority that minimizes the average upper
+	// bound on divergence for objects with known maximum divergence rate R:
+	// P = R·(t_now − t_last)²/2 · W.
+	BoundArea
+)
+
+// String returns a short identifier for the priority function.
+func (f Fn) String() string {
+	switch f {
+	case AreaGeneral:
+		return "area-general"
+	case SimpleDivergence:
+		return "simple-divergence"
+	case PoissonStaleness:
+		return "poisson-staleness"
+	case PoissonLag:
+		return "poisson-lag"
+	case BoundArea:
+		return "bound-area"
+	default:
+		return fmt.Sprintf("Fn(%d)", int(f))
+	}
+}
+
+// Inputs carries everything any of the priority functions may need. Callers
+// fill in the fields relevant to the chosen Fn.
+type Inputs struct {
+	Now         float64 // current time t_now
+	LastRefresh float64 // t_last
+	Divergence  float64 // D(O, t_now)
+	Integral    float64 // ∫_{t_last}^{t_now} D(O,τ) dτ
+	Weight      float64 // W(O, t_now)
+	Lambda      float64 // estimated Poisson update rate λ
+	Updates     int     // updates since last refresh (lag metric)
+	MaxRate     float64 // known maximum divergence rate R (BoundArea)
+}
+
+// Compute returns the weighted refresh priority for function f.
+func Compute(f Fn, in Inputs) float64 {
+	switch f {
+	case AreaGeneral:
+		return ((in.Now-in.LastRefresh)*in.Divergence - in.Integral) * in.Weight
+	case SimpleDivergence:
+		return in.Divergence * in.Weight
+	case PoissonStaleness:
+		if in.Lambda <= 0 {
+			return 0
+		}
+		s := 0.0
+		if in.Updates > 0 {
+			s = 1
+		}
+		return s / in.Lambda * in.Weight
+	case PoissonLag:
+		if in.Lambda <= 0 {
+			return 0
+		}
+		d := float64(in.Updates)
+		return d * (d + 1) / (2 * in.Lambda) * in.Weight
+	case BoundArea:
+		dt := in.Now - in.LastRefresh
+		return in.MaxRate * dt * dt / 2 * in.Weight
+	default:
+		panic(fmt.Sprintf("priority: unknown function %d", int(f)))
+	}
+}
+
+// ProjectedCrossing returns the time t_future at which an object's priority
+// is expected to reach threshold T, per Section 8.2.1, assuming divergence
+// grows linearly at estimated rate rho:
+//
+//	t_future = t_last + sqrt((t_now − t_last)² + 2(T − P(t_now))/(ρ·W)).
+//
+// It returns now when the priority already exceeds the threshold and +Inf
+// when rho or w is nonpositive (no growth predicted).
+func ProjectedCrossing(now, lastRefresh, currentPriority, threshold, rho, w float64) float64 {
+	if currentPriority >= threshold {
+		return now
+	}
+	if rho <= 0 || w <= 0 {
+		return inf()
+	}
+	dt := now - lastRefresh
+	rad := dt*dt + 2*(threshold-currentPriority)/(rho*w)
+	return lastRefresh + sqrt(rad)
+}

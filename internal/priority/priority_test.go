@@ -1,0 +1,147 @@
+package priority
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFnString(t *testing.T) {
+	cases := map[Fn]string{
+		AreaGeneral:      "area-general",
+		SimpleDivergence: "simple-divergence",
+		PoissonStaleness: "poisson-staleness",
+		PoissonLag:       "poisson-lag",
+		BoundArea:        "bound-area",
+		Fn(77):           "Fn(77)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Fn(%d).String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestComputeAreaGeneral(t *testing.T) {
+	in := Inputs{Now: 10, LastRefresh: 2, Divergence: 3, Integral: 14, Weight: 2}
+	// ((10-2)*3 − 14) * 2 = (24-14)*2 = 20
+	if got := Compute(AreaGeneral, in); got != 20 {
+		t.Errorf("AreaGeneral = %v, want 20", got)
+	}
+}
+
+func TestComputeSimpleDivergence(t *testing.T) {
+	in := Inputs{Divergence: 4, Weight: 2.5}
+	if got := Compute(SimpleDivergence, in); got != 10 {
+		t.Errorf("SimpleDivergence = %v, want 10", got)
+	}
+}
+
+func TestComputePoissonStaleness(t *testing.T) {
+	in := Inputs{Updates: 3, Lambda: 0.5, Weight: 2}
+	// Ds=1; 1/0.5 * 2 = 4
+	if got := Compute(PoissonStaleness, in); got != 4 {
+		t.Errorf("PoissonStaleness = %v, want 4", got)
+	}
+	in.Updates = 0
+	if got := Compute(PoissonStaleness, in); got != 0 {
+		t.Errorf("PoissonStaleness up-to-date = %v, want 0", got)
+	}
+	in.Updates = 1
+	in.Lambda = 0
+	if got := Compute(PoissonStaleness, in); got != 0 {
+		t.Errorf("PoissonStaleness λ=0 = %v, want 0", got)
+	}
+}
+
+func TestComputePoissonStalenessFavorsSlowObjects(t *testing.T) {
+	// Among stale objects, the slowest-changing gets highest priority.
+	slow := Compute(PoissonStaleness, Inputs{Updates: 1, Lambda: 0.01, Weight: 1})
+	fast := Compute(PoissonStaleness, Inputs{Updates: 1, Lambda: 1.0, Weight: 1})
+	if slow <= fast {
+		t.Errorf("slow=%v should exceed fast=%v", slow, fast)
+	}
+}
+
+func TestComputePoissonLag(t *testing.T) {
+	in := Inputs{Updates: 3, Lambda: 2, Weight: 4}
+	// 3*4/(2*2) * 4 = 12
+	if got := Compute(PoissonLag, in); got != 12 {
+		t.Errorf("PoissonLag = %v, want 12", got)
+	}
+	in.Lambda = 0
+	if got := Compute(PoissonLag, in); got != 0 {
+		t.Errorf("PoissonLag λ=0 = %v, want 0", got)
+	}
+}
+
+func TestComputePoissonLagSquareGrowth(t *testing.T) {
+	// Priority grows roughly with the square of the updates behind.
+	p10 := Compute(PoissonLag, Inputs{Updates: 10, Lambda: 1, Weight: 1})
+	p20 := Compute(PoissonLag, Inputs{Updates: 20, Lambda: 1, Weight: 1})
+	ratio := p20 / p10
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("doubling lag should ~quadruple priority, got ratio %v", ratio)
+	}
+}
+
+func TestComputeBoundArea(t *testing.T) {
+	in := Inputs{Now: 7, LastRefresh: 3, MaxRate: 2, Weight: 3}
+	// 2*16/2*3 = 48
+	if got := Compute(BoundArea, in); got != 48 {
+		t.Errorf("BoundArea = %v, want 48", got)
+	}
+}
+
+func TestComputeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compute with unknown Fn did not panic")
+		}
+	}()
+	Compute(Fn(99), Inputs{})
+}
+
+func TestProjectedCrossing(t *testing.T) {
+	// Already above threshold → now.
+	if got := ProjectedCrossing(5, 0, 10, 8, 1, 1); got != 5 {
+		t.Errorf("already above threshold: got %v, want 5", got)
+	}
+	// No growth → +Inf.
+	if got := ProjectedCrossing(5, 0, 1, 8, 0, 1); !math.IsInf(got, 1) {
+		t.Errorf("rho=0: got %v, want +Inf", got)
+	}
+	if got := ProjectedCrossing(5, 0, 1, 8, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("w=0: got %v, want +Inf", got)
+	}
+}
+
+func TestProjectedCrossingConsistentWithLinearModel(t *testing.T) {
+	// With divergence growing linearly at rate rho from a refresh at t_last,
+	// P(t) = rho·(t−t_last)²/2 · w. Verify the projection inverts this.
+	const (
+		tLast = 2.0
+		rho   = 0.5
+		w     = 3.0
+		T     = 40.0
+	)
+	now := 6.0
+	dt := now - tLast
+	p := rho * dt * dt / 2 * w
+	tf := ProjectedCrossing(now, tLast, p, T, rho, w)
+	// At tf, the model priority should equal T.
+	dtf := tf - tLast
+	pf := rho * dtf * dtf / 2 * w
+	if math.Abs(pf-T) > 1e-9 {
+		t.Errorf("priority at projected time = %v, want %v", pf, T)
+	}
+	if tf <= now {
+		t.Errorf("projection %v should be after now %v", tf, now)
+	}
+}
+
+func TestAreaGeneralZeroWeightZeroPriority(t *testing.T) {
+	in := Inputs{Now: 10, LastRefresh: 0, Divergence: 5, Integral: 10, Weight: 0}
+	if got := Compute(AreaGeneral, in); got != 0 {
+		t.Errorf("zero weight priority = %v, want 0", got)
+	}
+}

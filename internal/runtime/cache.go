@@ -1,0 +1,247 @@
+// Package runtime is a live, goroutine-based implementation of the paper's
+// cooperative synchronization protocol, reusing the pure protocol logic of
+// internal/core. A Cache node consumes refresh messages under a token-bucket
+// processing budget (the cache-side bandwidth) and spends surplus budget on
+// positive feedback to the highest-threshold sources; Source nodes watch
+// locally updated objects, rank them with the Section 3 priority functions,
+// and send those above their adaptive local threshold.
+//
+// Wall-clock time replaces the simulator's virtual clock; everything else —
+// the α/ω/β threshold rules, piggybacked thresholds, surplus-driven feedback
+// — is the same code path exercised by the experiments.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// CacheConfig configures a live cache node.
+type CacheConfig struct {
+	// Bandwidth is the refresh-processing budget in messages/second.
+	Bandwidth float64
+	// Tick is the protocol interval (default 100 ms): budget accrual,
+	// surplus detection and feedback all run once per tick.
+	Tick time.Duration
+	// Params tunes the threshold algorithm; zero means paper defaults.
+	Params core.Params
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Entry is one cached object copy.
+type Entry struct {
+	Value     float64
+	Version   uint64
+	Epoch     int64 // source incarnation the version belongs to
+	Source    string
+	Refreshed time.Time
+}
+
+// CacheStats counts protocol activity.
+type CacheStats struct {
+	Refreshes int
+	Feedbacks int
+	Sources   int
+}
+
+// Cache is a live cache node.
+type Cache struct {
+	cfg CacheConfig
+	ep  transport.CacheEndpoint
+
+	mu      sync.Mutex
+	store   map[string]Entry
+	tracker *core.Cache // threshold tracking, sized dynamically
+	srcIdx  map[string]int
+	srcIDs  []string
+	stats   CacheStats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCache starts a cache node consuming from ep. Close the cache (not the
+// endpoint) to shut down.
+func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 1000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.DefaultParams(1, cfg.Bandwidth)
+	}
+	c := &Cache{
+		cfg:    cfg,
+		ep:     ep,
+		store:  map[string]Entry{},
+		srcIdx: map[string]int{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// Get returns the cached copy of an object.
+func (c *Cache) Get(objectID string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.store[objectID]
+	return e, ok
+}
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.store)
+}
+
+// Stats returns a snapshot of protocol counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Sources = len(c.srcIdx)
+	return s
+}
+
+// Close stops the cache loop.
+func (c *Cache) Close() error {
+	select {
+	case <-c.stop:
+		return nil
+	default:
+	}
+	close(c.stop)
+	<-c.done
+	return nil
+}
+
+// sourceIndex interns a source id for the core threshold tracker.
+func (c *Cache) sourceIndex(id string) int {
+	if idx, ok := c.srcIdx[id]; ok {
+		return idx
+	}
+	idx := len(c.srcIDs)
+	c.srcIdx[id] = idx
+	c.srcIDs = append(c.srcIDs, id)
+	// Re-size the tracker preserving nothing: thresholds re-learn from the
+	// next piggybacks, which arrive with every refresh.
+	fresh := core.NewCache(len(c.srcIDs))
+	if c.tracker != nil {
+		for i := 0; i < idx; i++ {
+			if th, heard := c.tracker.KnownThreshold(i); heard {
+				fresh.ObserveThreshold(i, th)
+			}
+		}
+	}
+	c.tracker = fresh
+	return idx
+}
+
+func (c *Cache) loop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Tick)
+	defer ticker.Stop()
+	budget := 0.0
+	burst := c.cfg.Bandwidth * c.cfg.Tick.Seconds() * 2
+	if burst < 1 {
+		burst = 1
+	}
+	refreshes := c.ep.Refreshes()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			budget += c.cfg.Bandwidth * c.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+			// Drain refreshes up to the budget.
+			drained := false
+			for budget >= 1 {
+				select {
+				case r := <-refreshes:
+					c.apply(r)
+					budget--
+				default:
+					drained = true
+				}
+				if drained {
+					break
+				}
+			}
+			// Surplus → positive feedback to highest-threshold sources.
+			if drained && budget >= 1 {
+				budget -= float64(c.sendFeedback(int(budget)))
+			}
+		}
+	}
+}
+
+// apply installs one refresh into the store.
+func (c *Cache) apply(r wire.Refresh) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.store[r.ObjectID]
+	if ok && r.Epoch == cur.Epoch && r.Version < cur.Version {
+		return // stale duplicate within the same source incarnation
+	}
+	if ok && r.Epoch < cur.Epoch {
+		return // message from a superseded incarnation
+	}
+	c.store[r.ObjectID] = Entry{
+		Value:     r.Value,
+		Version:   r.Version,
+		Epoch:     r.Epoch,
+		Source:    r.SourceID,
+		Refreshed: c.cfg.Now(),
+	}
+	c.tracker.ObserveThreshold(c.sourceIndex(r.SourceID), r.Threshold)
+	c.stats.Refreshes++
+}
+
+// sendFeedback spends up to k surplus units on feedback messages and
+// returns how many were sent. Connected sources the cache has not yet heard
+// a refresh from rank first: their local thresholds are unknown and possibly
+// stuck above all their priorities (the warm-up case), and only feedback can
+// bring them down.
+func (c *Cache) sendFeedback(k int) int {
+	connected := c.ep.Sources()
+	c.mu.Lock()
+	for _, id := range connected {
+		c.sourceIndex(id)
+	}
+	if c.tracker == nil {
+		c.mu.Unlock()
+		return 0
+	}
+	targets := c.tracker.PickFeedbackTargets(k, false)
+	ids := make([]string, 0, len(targets))
+	for _, idx := range targets {
+		ids = append(ids, c.srcIDs[idx])
+	}
+	c.mu.Unlock()
+	sent := 0
+	for _, id := range ids {
+		if err := c.ep.SendFeedback(id); err == nil {
+			sent++
+		}
+	}
+	c.mu.Lock()
+	c.stats.Feedbacks += sent
+	c.mu.Unlock()
+	return sent
+}

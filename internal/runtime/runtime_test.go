@@ -1,0 +1,238 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+func refreshMsg(src, obj string, ver uint64, val float64) wire.Refresh {
+	return wire.Refresh{SourceID: src, ObjectID: obj, Version: ver, Value: val}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func fastCache(net transport.CacheEndpoint, bw float64) *Cache {
+	return NewCache(CacheConfig{Bandwidth: bw, Tick: 5 * time.Millisecond}, net)
+}
+
+func fastSource(id string, conn transport.SourceConn, bw float64) *Source {
+	return NewSource(SourceConfig{
+		ID:        id,
+		Metric:    metric.ValueDeviation,
+		Bandwidth: bw,
+		Tick:      5 * time.Millisecond,
+	}, conn)
+}
+
+func TestLocalEndToEnd(t *testing.T) {
+	net := transport.NewLocal(64)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 10000)
+	defer src.Close()
+
+	src.Update("temp", 21.5)
+	src.Update("humidity", 0.4)
+	src.Update("temp", 22.0)
+
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := cache.Get("temp")
+		return ok && e.Value == 22.0
+	}, "temp to reach 22.0")
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := cache.Get("humidity")
+		return ok && e.Value == 0.4
+	}, "humidity to reach 0.4")
+
+	if e, _ := cache.Get("temp"); e.Source != "s1" {
+		t.Errorf("entry source = %q, want s1", e.Source)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache has %d objects, want 2", cache.Len())
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	net := transport.NewLocal(64)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+
+	const m = 5
+	srcs := make([]*Source, m)
+	for j := 0; j < m; j++ {
+		id := fmt.Sprintf("s%d", j)
+		conn, err := net.Dial(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[j] = fastSource(id, conn, 10000)
+		defer srcs[j].Close()
+		srcs[j].Update(fmt.Sprintf("obj-%d", j), float64(j))
+	}
+	waitFor(t, 2*time.Second, func() bool { return cache.Len() == m },
+		"all objects cached")
+	st := cache.Stats()
+	if st.Sources != m {
+		t.Errorf("stats sources = %d, want %d", st.Sources, m)
+	}
+	if st.Refreshes < m {
+		t.Errorf("stats refreshes = %d, want ≥ %d", st.Refreshes, m)
+	}
+}
+
+func TestFeedbackReachesSources(t *testing.T) {
+	net := transport.NewLocal(64)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 10000)
+	defer src.Close()
+
+	src.Update("x", 1)
+	waitFor(t, 2*time.Second, func() bool {
+		return src.Stats().Feedbacks > 0
+	}, "feedback to arrive")
+}
+
+func TestThresholdThrottlesUnderLoad(t *testing.T) {
+	// A constrained cache (20 msgs/s) watching a source producing many
+	// fast-changing objects should result in fewer refreshes than updates.
+	net := transport.NewLocal(8)
+	cache := fastCache(net, 20)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 1000)
+	defer src.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	stop := time.After(400 * time.Millisecond)
+	vals := map[string]float64{}
+tickLoop:
+	for {
+		select {
+		case <-stop:
+			break tickLoop
+		default:
+			id := fmt.Sprintf("obj-%d", rng.Intn(50))
+			vals[id] += rng.Float64() - 0.5
+			src.Update(id, vals[id])
+			time.Sleep(time.Millisecond)
+		}
+	}
+	st := src.Stats()
+	if st.Updates == 0 {
+		t.Fatal("no updates recorded")
+	}
+	if st.Refreshes >= st.Updates {
+		t.Errorf("refreshes (%d) not throttled below updates (%d)",
+			st.Refreshes, st.Updates)
+	}
+	if st.Refreshes == 0 {
+		t.Error("no refreshes at all")
+	}
+}
+
+func TestSourceCloseIdempotent(t *testing.T) {
+	net := transport.NewLocal(4)
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 100)
+	if err := src.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestCacheCloseIdempotent(t *testing.T) {
+	net := transport.NewLocal(4)
+	cache := fastCache(net, 100)
+	if err := cache.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestStaleDuplicateIgnored(t *testing.T) {
+	net := transport.NewLocal(4)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Drive the transport directly to force an out-of-order delivery.
+	send := func(version uint64, value float64) {
+		if err := conn.SendRefresh(refreshMsg("s1", "x", version, value)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(2, 20)
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := cache.Get("x")
+		return ok && e.Version == 2
+	}, "version 2 to land")
+	send(1, 10) // stale duplicate
+	time.Sleep(50 * time.Millisecond)
+	if e, _ := cache.Get("x"); e.Value != 20 {
+		t.Errorf("stale refresh overwrote value: %v", e.Value)
+	}
+}
+
+func TestUnknownMetricDefaultsSafe(t *testing.T) {
+	// Staleness metric with the Poisson priority still refreshes.
+	net := transport.NewLocal(16)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(SourceConfig{
+		ID:        "s1",
+		Metric:    metric.Staleness,
+		Bandwidth: 10000,
+		Tick:      5 * time.Millisecond,
+	}, conn)
+	defer src.Close()
+	src.Update("a", 1)
+	src.Update("a", 2)
+	waitFor(t, 2*time.Second, func() bool {
+		_, ok := cache.Get("a")
+		return ok
+	}, "staleness-metric object to sync")
+}

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the serialized cache store.
+type snapshot struct {
+	Version int
+	Store   map[string]Entry
+}
+
+// SaveSnapshot writes the current store to w (gob-encoded). A cache daemon
+// can persist across restarts without re-fetching every object from its
+// sources.
+func (c *Cache) SaveSnapshot(w io.Writer) error {
+	c.mu.Lock()
+	snap := snapshot{Version: snapshotVersion, Store: make(map[string]Entry, len(c.store))}
+	for id, e := range c.store {
+		snap.Store[id] = e
+	}
+	c.mu.Unlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadSnapshot merges a previously saved store into the cache. Live entries
+// win over snapshot entries when they are newer (by source epoch, then
+// version), so loading an old snapshot under traffic never regresses the
+// store.
+func (c *Cache) LoadSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("runtime: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("runtime: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, e := range snap.Store {
+		cur, ok := c.store[id]
+		if ok && (cur.Epoch > e.Epoch || (cur.Epoch == e.Epoch && cur.Version >= e.Version)) {
+			continue
+		}
+		c.store[id] = e
+	}
+	return nil
+}
+
+// SaveSnapshotFile atomically writes the store to path (temp file + rename),
+// so a crash mid-save never corrupts the previous snapshot.
+func (c *Cache) SaveSnapshotFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := c.SaveSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshotFile loads a snapshot from path; a missing file is not an
+// error (first boot).
+func (c *Cache) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.LoadSnapshot(f)
+}

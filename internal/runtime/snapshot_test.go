@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bestsync/internal/transport"
+)
+
+func cacheWithEntries(t *testing.T, entries map[string]Entry) *Cache {
+	t.Helper()
+	net := transport.NewLocal(4)
+	c := fastCache(net, 1000)
+	c.mu.Lock()
+	for id, e := range entries {
+		c.store[id] = e
+	}
+	c.mu.Unlock()
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	now := time.Now().Round(0)
+	src := cacheWithEntries(t, map[string]Entry{
+		"a": {Value: 1.5, Version: 3, Epoch: 10, Source: "s1", Refreshed: now},
+		"b": {Value: -2, Version: 1, Epoch: 10, Source: "s2", Refreshed: now},
+	})
+	defer src.Close()
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	dst := cacheWithEntries(t, nil)
+	defer dst.Close()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", dst.Len())
+	}
+	e, ok := dst.Get("a")
+	if !ok || e.Value != 1.5 || e.Version != 3 || e.Source != "s1" {
+		t.Errorf("entry a = %+v", e)
+	}
+}
+
+func TestSnapshotLoadNeverRegresses(t *testing.T) {
+	// The live store has newer data than the snapshot; loading must keep
+	// the live entries.
+	var buf bytes.Buffer
+	old := cacheWithEntries(t, map[string]Entry{
+		"x": {Value: 1, Version: 1, Epoch: 5},
+		"y": {Value: 9, Version: 9, Epoch: 5},
+	})
+	if err := old.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+
+	live := cacheWithEntries(t, map[string]Entry{
+		"x": {Value: 2, Version: 7, Epoch: 5}, // newer version, same epoch
+		"y": {Value: 3, Version: 1, Epoch: 6}, // newer epoch, lower version
+	})
+	defer live.Close()
+	if err := live.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := live.Get("x"); e.Value != 2 {
+		t.Errorf("x regressed to %v", e.Value)
+	}
+	if e, _ := live.Get("y"); e.Value != 3 {
+		t.Errorf("y regressed to %v", e.Value)
+	}
+}
+
+func TestSnapshotFileAtomicAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+
+	c := cacheWithEntries(t, map[string]Entry{
+		"k": {Value: 7, Version: 2, Epoch: 1},
+	})
+	defer c.Close()
+
+	// Loading a missing file is fine (first boot).
+	if err := c.LoadSnapshotFile(path); err != nil {
+		t.Fatalf("missing-file load: %v", err)
+	}
+	if err := c.SaveSnapshotFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	fresh := cacheWithEntries(t, nil)
+	defer fresh.Close()
+	if err := fresh.LoadSnapshotFile(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if e, ok := fresh.Get("k"); !ok || e.Value != 7 {
+		t.Errorf("restored entry = %+v (ok=%v)", e, ok)
+	}
+	// No stray temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if len(matches) != 0 {
+		t.Errorf("temp files left behind: %v", matches)
+	}
+}
+
+func TestSnapshotCorruptInput(t *testing.T) {
+	c := cacheWithEntries(t, nil)
+	defer c.Close()
+	if err := c.LoadSnapshot(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestSnapshotVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	c := cacheWithEntries(t, nil)
+	defer c.Close()
+	if err := c.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: re-encode with a wrong version by decoding and rewriting is
+	// overkill; simply verify the version constant is enforced by loading
+	// a hand-built stream.
+	var tampered bytes.Buffer
+	enc := gob.NewEncoder(&tampered)
+	if err := enc.Encode(snapshot{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadSnapshot(&tampered); err == nil {
+		t.Error("version-mismatched snapshot accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// SourceConfig configures a live source node.
+type SourceConfig struct {
+	// ID identifies the source to the cache.
+	ID string
+	// Metric selects the divergence metric driving refresh priorities.
+	Metric metric.Kind
+	// Delta is the value-deviation function (nil = |V1 − V2|).
+	Delta metric.DeltaFunc
+	// PriorityFn selects the refresh-priority function; the zero value
+	// (AreaGeneral) suits value deviation; use the Poisson special cases
+	// for staleness/lag (Section 8.1).
+	PriorityFn priority.Fn
+	// Bandwidth is the source-side send budget in messages/second.
+	Bandwidth float64
+	// Tick is the send-loop interval (default 100 ms).
+	Tick time.Duration
+	// Params tunes the threshold algorithm; zero means paper defaults.
+	Params core.Params
+	// Weight assigns refresh weights (importance × popularity) per object;
+	// nil means weight 1 for all.
+	Weight func(objectID string) float64
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// SourceStats counts protocol activity.
+type SourceStats struct {
+	Updates   int
+	Refreshes int
+	Feedbacks int
+	Pending   int
+	Threshold float64
+}
+
+// objState tracks one locally cached object's divergence and priority
+// inputs.
+type objState struct {
+	id      string
+	value   float64
+	version uint64
+	sentVal float64
+	sentVer uint64
+	tracker metric.Tracker
+	// Poisson-rate estimate (Section 8.1): total updates over total
+	// observed time.
+	updates int
+	firstAt float64
+}
+
+// Source is a live source node. Applications call Update whenever a local
+// object changes; the node decides when each object is worth a refresh
+// message.
+type Source struct {
+	cfg  SourceConfig
+	conn transport.SourceConn
+	eng  *core.Source
+
+	mu      sync.Mutex
+	objs    map[string]*objState
+	ids     []string // intern table: queue key → object id
+	idx     map[string]int
+	stats   SourceStats
+	started time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSource starts a source node sending through conn.
+func NewSource(cfg SourceConfig, conn transport.SourceConn) *Source {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 1000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.DefaultParams(1, cfg.Bandwidth)
+		cfg.Params.ExpectedFeedbackPeriod = 4 * cfg.Tick.Seconds()
+	}
+	s := &Source{
+		cfg:     cfg,
+		conn:    conn,
+		eng:     core.NewSource(0, cfg.Params, core.PositiveFeedback),
+		objs:    map[string]*objState{},
+		idx:     map[string]int{},
+		started: cfg.Now().Add(-time.Millisecond),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// now returns seconds since the source started (the protocol time base).
+func (s *Source) now() float64 {
+	return s.cfg.Now().Sub(s.started).Seconds()
+}
+
+// Update records a new value for an object, recomputing its refresh
+// priority.
+func (s *Source) Update(objectID string, value float64) {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[objectID]
+	if !ok {
+		o = &objState{id: objectID, firstAt: now}
+		s.objs[objectID] = o
+		s.idx[objectID] = len(s.ids)
+		s.ids = append(s.ids, objectID)
+		// A brand-new object starts synchronized-at-zero: its initial
+		// value must be propagated, so treat creation as an update from a
+		// zero baseline.
+	}
+	o.value = value
+	o.version++
+	o.updates++
+	d := metric.Divergence(s.cfg.Metric, s.cfg.Delta,
+		int(o.version-o.sentVer), o.value, o.sentVal)
+	if o.sentVer == 0 && d == 0 {
+		// Nothing has ever been sent: the cache holds no copy at all, so
+		// even a value that matches the zero baseline must be propagated
+		// to register the object.
+		d = 1
+	}
+	o.tracker.Update(now, d)
+	s.stats.Updates++
+	s.requeueLocked(o, now)
+}
+
+// requeueLocked recomputes o's priority and syncs the engine queue.
+func (s *Source) requeueLocked(o *objState, now float64) {
+	w := 1.0
+	if s.cfg.Weight != nil {
+		w = s.cfg.Weight(o.id)
+	}
+	lambda := 0.0
+	if span := now - o.firstAt; span > 0 && o.updates > 1 {
+		lambda = float64(o.updates) / span
+	}
+	p := priority.Compute(s.cfg.PriorityFn, priority.Inputs{
+		Now:         now,
+		LastRefresh: o.tracker.LastReset(),
+		Divergence:  o.tracker.Current(),
+		Integral:    o.tracker.Integral(now),
+		Weight:      w,
+		Lambda:      lambda,
+		Updates:     o.tracker.UpdatesBehind(),
+	})
+	key := s.idx[o.id]
+	if p > 0 {
+		s.eng.Queue.Upsert(key, p)
+	} else {
+		s.eng.Queue.Remove(key)
+	}
+}
+
+// Stats returns a snapshot of protocol counters.
+func (s *Source) Stats() SourceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Pending = s.eng.Queue.Len()
+	st.Threshold = s.eng.Threshold()
+	return st
+}
+
+// Close stops the node and its connection.
+func (s *Source) Close() error {
+	select {
+	case <-s.stop:
+		return nil
+	default:
+	}
+	close(s.stop)
+	<-s.done
+	return s.conn.Close()
+}
+
+func (s *Source) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	budget := 0.0
+	burst := s.cfg.Bandwidth * s.cfg.Tick.Seconds() * 2
+	if burst < 1 {
+		burst = 1
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case _, ok := <-s.conn.Feedback():
+			if !ok {
+				return // connection gone
+			}
+			s.mu.Lock()
+			s.eng.OnFeedback(s.now())
+			s.stats.Feedbacks++
+			s.mu.Unlock()
+		case <-ticker.C:
+			budget += s.cfg.Bandwidth * s.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+			budget = s.flush(budget)
+		}
+	}
+}
+
+// flush sends over-threshold objects while budget remains, returning the
+// leftover budget.
+func (s *Source) flush(budget float64) float64 {
+	now := s.now()
+	for budget >= 1 {
+		s.mu.Lock()
+		key, _, ok := s.eng.ShouldSend()
+		if !ok {
+			s.eng.SetLimited(false)
+			s.mu.Unlock()
+			return budget
+		}
+		id := s.ids[key]
+		o := s.objs[id]
+		msg := wire.Refresh{
+			SourceID:  s.cfg.ID,
+			ObjectID:  id,
+			Value:     o.value,
+			Version:   o.version,
+			Epoch:     s.started.UnixNano(),
+			Threshold: s.eng.Threshold(),
+			SentUnix:  s.cfg.Now().UnixNano(),
+		}
+		o.sentVal = o.value
+		o.sentVer = o.version
+		o.tracker.Reset(now, 0)
+		s.eng.Queue.Remove(key)
+		s.eng.OnRefreshSent(now)
+		s.eng.ClampThreshold()
+		s.stats.Refreshes++
+		s.mu.Unlock()
+
+		// Send outside the lock: a saturated cache applies back-pressure
+		// here, which is exactly the paper's network queueing.
+		if err := s.conn.SendRefresh(msg); err != nil {
+			return budget
+		}
+		budget--
+	}
+	s.mu.Lock()
+	_, _, want := s.eng.ShouldSend()
+	s.eng.SetLimited(want)
+	s.mu.Unlock()
+	return budget
+}

@@ -1,0 +1,88 @@
+package runtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// StatusObject is one cached entry in a status report.
+type StatusObject struct {
+	ID        string    `json:"id"`
+	Value     float64   `json:"value"`
+	Version   uint64    `json:"version"`
+	Source    string    `json:"source"`
+	Refreshed time.Time `json:"refreshed"`
+	AgeMillis int64     `json:"age_ms"`
+}
+
+// Status is the cache's observability snapshot.
+type Status struct {
+	Objects   int            `json:"objects"`
+	Sources   int            `json:"sources"`
+	Refreshes int            `json:"refreshes"`
+	Feedbacks int            `json:"feedbacks"`
+	Bandwidth float64        `json:"bandwidth_msgs_per_s"`
+	Sample    []StatusObject `json:"sample,omitempty"`
+}
+
+// Status returns a snapshot including up to sample cached objects (the most
+// recently refreshed first).
+func (c *Cache) Status(sample int) Status {
+	st := c.Stats()
+	out := Status{
+		Objects:   c.Len(),
+		Sources:   st.Sources,
+		Refreshes: st.Refreshes,
+		Feedbacks: st.Feedbacks,
+		Bandwidth: c.cfg.Bandwidth,
+	}
+	if sample <= 0 {
+		return out
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	objs := make([]StatusObject, 0, len(c.store))
+	for id, e := range c.store {
+		objs = append(objs, StatusObject{
+			ID:        id,
+			Value:     e.Value,
+			Version:   e.Version,
+			Source:    e.Source,
+			Refreshed: e.Refreshed,
+			AgeMillis: now.Sub(e.Refreshed).Milliseconds(),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(objs, func(i, j int) bool {
+		if !objs[i].Refreshed.Equal(objs[j].Refreshed) {
+			return objs[i].Refreshed.After(objs[j].Refreshed)
+		}
+		return objs[i].ID < objs[j].ID
+	})
+	if len(objs) > sample {
+		objs = objs[:sample]
+	}
+	out.Sample = objs
+	return out
+}
+
+// StatusHandler serves the cache status as JSON — mount it on a mux for
+// operational visibility:
+//
+//	http.Handle("/status", cache.StatusHandler(100))
+func (c *Cache) StatusHandler(sample int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Status(sample)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bestsync/internal/transport"
+)
+
+func TestStatusSnapshot(t *testing.T) {
+	net := transport.NewLocal(16)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 10000)
+	defer src.Close()
+	src.Update("a", 1)
+	src.Update("b", 2)
+	waitFor(t, 2*time.Second, func() bool { return cache.Len() == 2 }, "objects cached")
+
+	st := cache.Status(10)
+	if st.Objects != 2 {
+		t.Errorf("objects = %d, want 2", st.Objects)
+	}
+	if len(st.Sample) != 2 {
+		t.Fatalf("sample = %d entries, want 2", len(st.Sample))
+	}
+	for _, o := range st.Sample {
+		if o.Source != "s1" || o.AgeMillis < 0 {
+			t.Errorf("bad sample entry %+v", o)
+		}
+	}
+
+	// Sampling limit respected.
+	if got := cache.Status(1); len(got.Sample) != 1 {
+		t.Errorf("sample limit ignored: %d entries", len(got.Sample))
+	}
+	// Zero sample omits the listing.
+	if got := cache.Status(0); got.Sample != nil {
+		t.Errorf("sample = %v, want nil", got.Sample)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	net := transport.NewLocal(16)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fastSource("s1", conn, 10000)
+	defer src.Close()
+	src.Update("x", 42)
+	waitFor(t, 2*time.Second, func() bool { return cache.Len() == 1 }, "object cached")
+
+	srv := httptest.NewServer(cache.StatusHandler(10))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 || len(st.Sample) != 1 || st.Sample[0].Value != 42 {
+		t.Errorf("unexpected status %+v", st)
+	}
+
+	// Non-GET rejected.
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/transport"
+)
+
+// TestTCPEndToEnd runs the full live stack over a loopback TCP connection:
+// cachesyncd-style cache node, sourceagent-style source nodes, real wire
+// protocol.
+func TestTCPEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := transport.Serve(ln, 64)
+	cache := NewCache(CacheConfig{Bandwidth: 10000, Tick: 5 * time.Millisecond}, ep)
+	defer func() {
+		cache.Close()
+		ep.Close()
+	}()
+
+	const m = 3
+	srcs := make([]*Source, m)
+	for j := 0; j < m; j++ {
+		id := fmt.Sprintf("agent-%d", j)
+		conn, err := transport.Dial(ln.Addr().String(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[j] = NewSource(SourceConfig{
+			ID:        id,
+			Metric:    metric.ValueDeviation,
+			Bandwidth: 10000,
+			Tick:      5 * time.Millisecond,
+		}, conn)
+		defer srcs[j].Close()
+	}
+
+	for round := 1; round <= 5; round++ {
+		for j, s := range srcs {
+			s.Update(fmt.Sprintf("agent-%d/val", j), float64(round*10+j))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	waitFor(t, 5*time.Second, func() bool {
+		for j := 0; j < m; j++ {
+			e, ok := cache.Get(fmt.Sprintf("agent-%d/val", j))
+			if !ok || e.Value != float64(50+j) {
+				return false
+			}
+		}
+		return true
+	}, "all agents' final values at the cache")
+
+	st := cache.Stats()
+	if st.Sources != m {
+		t.Errorf("cache sees %d sources, want %d", st.Sources, m)
+	}
+	for j, s := range srcs {
+		if s.Stats().Feedbacks == 0 {
+			t.Errorf("source %d never received feedback over TCP", j)
+		}
+	}
+}
+
+// TestTCPSourceReconnect exercises the failure path: a source's process
+// restarts (new connection, same id) and synchronization resumes.
+func TestTCPSourceReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := transport.Serve(ln, 64)
+	cache := NewCache(CacheConfig{Bandwidth: 10000, Tick: 5 * time.Millisecond}, ep)
+	defer func() {
+		cache.Close()
+		ep.Close()
+	}()
+
+	conn1, err := transport.Dial(ln.Addr().String(), "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1 := NewSource(SourceConfig{
+		ID: "phoenix", Metric: metric.ValueDeviation,
+		Bandwidth: 10000, Tick: 5 * time.Millisecond,
+	}, conn1)
+	src1.Update("x", 1)
+	waitFor(t, 5*time.Second, func() bool {
+		e, ok := cache.Get("x")
+		return ok && e.Value == 1
+	}, "first incarnation to sync")
+	src1.Close()
+
+	conn2, err := transport.Dial(ln.Addr().String(), "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := NewSource(SourceConfig{
+		ID: "phoenix", Metric: metric.ValueDeviation,
+		Bandwidth: 10000, Tick: 5 * time.Millisecond,
+	}, conn2)
+	defer src2.Close()
+	src2.Update("x", 2)
+	src2.Update("x", 7)
+	waitFor(t, 5*time.Second, func() bool {
+		e, ok := cache.Get("x")
+		return ok && e.Value == 7
+	}, "second incarnation to sync")
+}
+
+// TestEpochSupersedesVersion guards the restart semantics: a reborn source
+// with a *lower* version counter but newer epoch must still win.
+func TestEpochSupersedesVersion(t *testing.T) {
+	net := transport.NewLocal(8)
+	cache := fastCache(net, 10000)
+	defer cache.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send := func(epoch int64, version uint64, value float64) {
+		msg := refreshMsg("s1", "x", version, value)
+		msg.Epoch = epoch
+		if err := conn.SendRefresh(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(100, 9, 1.0) // long-lived first incarnation
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := cache.Get("x")
+		return ok && e.Version == 9
+	}, "first incarnation")
+	send(200, 1, 2.0) // restarted source: version reset, epoch advanced
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := cache.Get("x")
+		return ok && e.Value == 2.0
+	}, "second incarnation to supersede")
+	send(100, 10, 3.0) // straggler from the dead incarnation — ignored
+	time.Sleep(50 * time.Millisecond)
+	if e, _ := cache.Get("x"); e.Value != 2.0 {
+		t.Errorf("stale-incarnation refresh overwrote value: %v", e.Value)
+	}
+}

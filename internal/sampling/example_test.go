@@ -1,0 +1,29 @@
+package sampling_test
+
+import (
+	"fmt"
+
+	"bestsync/internal/sampling"
+)
+
+// ExampleMonitor demonstrates Section 8.2.1: estimate an object's refresh
+// priority from sparse samples and project when it will cross the
+// threshold, instead of instrumenting every update.
+func ExampleMonitor() {
+	m := sampling.NewMonitor(0) // refreshed at t=0
+
+	// Divergence observed to grow roughly linearly: D(t) ≈ 0.5·t.
+	m.Sample(2, 1.0)
+	m.Sample(4, 2.0)
+
+	fmt.Printf("estimated rate:      %.2f/s\n", m.Rate())
+	fmt.Printf("estimated priority:  %.1f\n", m.Priority(4))
+	next := m.NextSampleTime(4, 25, 1, 1, 0)
+	fmt.Printf("next sample at:      t=%.1f\n", next)
+	// P(t) = ρt²/2 reaches 25 at t = sqrt(2·25/0.5) = 10.
+
+	// Output:
+	// estimated rate:      0.50/s
+	// estimated priority:  4.0
+	// next sample at:      t=10.0
+}

@@ -1,0 +1,122 @@
+// Package sampling implements the lightweight priority-monitoring techniques
+// of Section 8: when update triggers are unavailable or too expensive, a
+// source samples an object's divergence periodically, estimates the running
+// divergence integral by assuming each sampled value was active halfway
+// between neighboring samples (Section 8.2.1), and schedules the next sample
+// from a projection of when the priority will reach the refresh threshold.
+package sampling
+
+import (
+	"math"
+
+	"bestsync/internal/priority"
+)
+
+// Monitor tracks one object's estimated divergence state from samples.
+type Monitor struct {
+	lastRefresh float64 // t_last
+	boundary    float64 // integral is finalized up to here
+	integral    float64 // estimated ∫D dt over [lastRefresh, boundary]
+
+	prevT, prevD float64 // previous sample
+	haveSample   bool
+
+	rate float64 // EWMA of the divergence growth rate ρ̂
+	// RateSmoothing is the EWMA factor applied to new slope observations
+	// (0 < RateSmoothing ≤ 1; 1 = use only the latest slope).
+	RateSmoothing float64
+}
+
+// NewMonitor starts monitoring after a refresh at time t.
+func NewMonitor(t float64) *Monitor {
+	m := &Monitor{RateSmoothing: 0.5}
+	m.Reset(t)
+	return m
+}
+
+// Reset restarts the monitor after a refresh at time t.
+func (m *Monitor) Reset(t float64) {
+	m.lastRefresh = t
+	m.boundary = t
+	m.integral = 0
+	m.prevT = t
+	m.prevD = 0
+	m.haveSample = false
+	m.rate = 0
+}
+
+// Sample records an observed divergence d at time t (t must be ≥ the
+// previous sample time). Samples need not be evenly spaced — the paper notes
+// "sampling can be scheduled whenever it is convenient for the source".
+func (m *Monitor) Sample(t, d float64) {
+	if t < m.prevT {
+		return // ignore out-of-order samples
+	}
+	// The previous sampled value is assumed active until halfway to this
+	// sample.
+	mid := (m.prevT + t) / 2
+	m.integral += m.prevD * (mid - m.boundary)
+	m.boundary = mid
+
+	if t > m.prevT {
+		slope := (d - m.prevD) / (t - m.prevT)
+		if !m.haveSample {
+			m.rate = slope
+		} else {
+			a := m.RateSmoothing
+			m.rate = a*slope + (1-a)*m.rate
+		}
+	}
+	m.prevT, m.prevD = t, d
+	m.haveSample = true
+}
+
+// Divergence returns the most recently sampled divergence.
+func (m *Monitor) Divergence() float64 { return m.prevD }
+
+// Rate returns the estimated divergence growth rate ρ̂.
+func (m *Monitor) Rate() float64 { return m.rate }
+
+// Integral returns the estimated ∫ D dt over [t_last, now].
+func (m *Monitor) Integral(now float64) float64 {
+	if now < m.boundary {
+		return m.integral
+	}
+	return m.integral + m.prevD*(now-m.boundary)
+}
+
+// Priority returns the estimated unweighted refresh priority at time now
+// (Section 3.3 evaluated on sampled state).
+func (m *Monitor) Priority(now float64) float64 {
+	return (now-m.lastRefresh)*m.prevD - m.Integral(now)
+}
+
+// NextSampleTime projects when the weighted priority will reach threshold
+// and schedules the next sample a safety fraction of the way there:
+// safety = 1 samples exactly at the projected crossing; smaller values
+// sample earlier "in case the divergence rate accelerates" (Section 8.2.1).
+// maxInterval caps the gap so a stalled estimate cannot silence monitoring
+// forever; pass 0 for no cap.
+func (m *Monitor) NextSampleTime(now, threshold, w, safety, maxInterval float64) float64 {
+	if safety <= 0 || safety > 1 {
+		safety = 1
+	}
+	tf := priority.ProjectedCrossing(now, m.lastRefresh,
+		m.Priority(now)*w, threshold, m.rate, w)
+	var next float64
+	if math.IsInf(tf, 1) {
+		if maxInterval <= 0 {
+			return math.Inf(1)
+		}
+		next = now + maxInterval
+	} else {
+		next = now + safety*(tf-now)
+	}
+	if maxInterval > 0 && next > now+maxInterval {
+		next = now + maxInterval
+	}
+	if next <= now {
+		next = math.Nextafter(now, math.Inf(1))
+	}
+	return next
+}

@@ -1,0 +1,163 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonitorLinearDivergenceIntegral(t *testing.T) {
+	// D(t) = t (refresh at 0), sampled every second. True ∫ over [0,10] =
+	// 50; the midpoint estimate should be close.
+	m := NewMonitor(0)
+	for ti := 1.0; ti <= 10; ti++ {
+		m.Sample(ti, ti)
+	}
+	got := m.Integral(10)
+	if math.Abs(got-50) > 5 {
+		t.Errorf("Integral = %v, want ≈50", got)
+	}
+	if r := m.Rate(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Rate = %v, want 1", r)
+	}
+}
+
+func TestMonitorPriorityMatchesAnalytic(t *testing.T) {
+	// For linear divergence D = ρ·t the true priority is ρt²/2.
+	m := NewMonitor(0)
+	const rho = 2.0
+	for ti := 0.5; ti <= 20; ti += 0.5 {
+		m.Sample(ti, rho*ti)
+	}
+	got := m.Priority(20)
+	want := rho * 20 * 20 / 2
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Priority = %v, want ≈%v", got, want)
+	}
+}
+
+func TestMonitorConstantDivergenceZeroPriorityGrowth(t *testing.T) {
+	// Constant divergence ⇒ priority stops growing (Section 8.2).
+	m := NewMonitor(0)
+	m.Sample(1, 4)
+	for ti := 2.0; ti <= 10; ti++ {
+		m.Sample(ti, 4)
+	}
+	p5 := m.Priority(10)
+	p6 := m.Priority(11)
+	if math.Abs(p5-p6) > 1e-9 {
+		t.Errorf("priority grew with constant divergence: %v vs %v", p5, p6)
+	}
+	if r := m.Rate(); math.Abs(r) > 0.5 {
+		t.Errorf("rate = %v, want ≈0", r)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(0)
+	m.Sample(1, 5)
+	m.Reset(10)
+	if m.Divergence() != 0 || m.Integral(12) != 0 || m.Priority(12) != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestMonitorOutOfOrderIgnored(t *testing.T) {
+	m := NewMonitor(0)
+	m.Sample(5, 2)
+	m.Sample(3, 99) // ignored
+	if m.Divergence() != 2 {
+		t.Errorf("divergence = %v, want 2", m.Divergence())
+	}
+}
+
+func TestMonitorIrregularSampling(t *testing.T) {
+	// The midpoint rule must handle uneven gaps.
+	m := NewMonitor(0)
+	times := []float64{0.5, 0.7, 3, 3.1, 8}
+	for _, ti := range times {
+		m.Sample(ti, ti) // D = t
+	}
+	got := m.Integral(8)
+	if math.Abs(got-32)/32 > 0.25 {
+		t.Errorf("Integral = %v, want ≈32", got)
+	}
+}
+
+func TestNextSampleTimeProjectsCrossing(t *testing.T) {
+	// D grows at ρ=1, weight 1, so P(t) = t²/2 reaches T=50 at t=10.
+	m := NewMonitor(0)
+	for ti := 1.0; ti <= 4; ti++ {
+		m.Sample(ti, ti)
+	}
+	next := m.NextSampleTime(4, 50, 1, 1, 0)
+	if math.Abs(next-10) > 1.5 {
+		t.Errorf("next sample = %v, want ≈10", next)
+	}
+	// Safety < 1 samples earlier.
+	earlier := m.NextSampleTime(4, 50, 1, 0.5, 0)
+	if earlier >= next {
+		t.Errorf("safety sample %v not earlier than %v", earlier, next)
+	}
+	if earlier <= 4 {
+		t.Errorf("next sample %v not after now", earlier)
+	}
+}
+
+func TestNextSampleTimeNoGrowth(t *testing.T) {
+	m := NewMonitor(0)
+	m.Sample(1, 0)
+	m.Sample(2, 0)
+	if next := m.NextSampleTime(2, 10, 1, 1, 0); !math.IsInf(next, 1) {
+		t.Errorf("no-growth next sample = %v, want +Inf", next)
+	}
+	if next := m.NextSampleTime(2, 10, 1, 1, 30); next != 32 {
+		t.Errorf("capped next sample = %v, want 32", next)
+	}
+}
+
+func TestNextSampleTimeAboveThreshold(t *testing.T) {
+	m := NewMonitor(0)
+	m.Sample(1, 10)
+	m.Sample(2, 20)
+	// Priority already above a tiny threshold → immediate (just after now).
+	next := m.NextSampleTime(2, 0.001, 1, 1, 0)
+	if next <= 2 || next > 2.001 {
+		t.Errorf("next sample = %v, want barely after 2", next)
+	}
+}
+
+func TestSamplingSavesWorkVersusTriggers(t *testing.T) {
+	// E9's claim in miniature: monitoring an object that crosses a high
+	// threshold needs far fewer samples with projection-based scheduling
+	// than with a fixed fine-grained schedule, while still catching the
+	// crossing reasonably promptly.
+	const (
+		rho       = 0.5
+		threshold = 100.0
+	)
+	trueCross := math.Sqrt(2 * threshold / rho) // P(t) = ρt²/2
+
+	m := NewMonitor(0)
+	samples := 0
+	now := 0.0
+	m.Sample(1, rho*1)
+	samples++
+	now = 1
+	for m.Priority(now) < threshold && samples < 1000 {
+		next := m.NextSampleTime(now, threshold, 1, 0.8, 5)
+		now = next
+		m.Sample(now, rho*now)
+		samples++
+	}
+	if samples >= 50 {
+		t.Errorf("projection scheduling used %d samples, want few", samples)
+	}
+	if now < trueCross*0.9 || now > trueCross*1.5 {
+		t.Errorf("crossing detected at %v, true crossing %v", now, trueCross)
+	}
+	// Fixed 0.5s sampling would need ≈ trueCross/0.5 samples.
+	fixed := int(trueCross / 0.5)
+	if samples >= fixed {
+		t.Errorf("projection (%d samples) no better than fixed grid (%d)", samples, fixed)
+	}
+}

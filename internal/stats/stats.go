@@ -1,0 +1,236 @@
+// Package stats measures time-averaged weighted divergence (the paper's
+// objective, Section 3.3) and provides small series/table helpers used by
+// the experiment harness.
+//
+// The divergence of an object is piecewise constant between events, so the
+// meter accumulates exact interval contributions W̄·D·Δt using the weight
+// functions' closed-form integrals. Intervals are clipped to the measurement
+// window [warmup, end], implementing the paper's "initial warm-up period".
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"bestsync/internal/weight"
+)
+
+// Meter accumulates ∫ W(t)·D(t) dt over a measurement window.
+type Meter struct {
+	Warmup float64 // measurement starts here
+	total  float64
+}
+
+// Add records that divergence d held over [t0, t1] with weight w. The
+// interval is clipped to [Warmup, ∞).
+func (m *Meter) Add(t0, t1, d float64, w weight.Fn) {
+	if d == 0 || t1 <= t0 {
+		return
+	}
+	if t1 <= m.Warmup {
+		return
+	}
+	if t0 < m.Warmup {
+		t0 = m.Warmup
+	}
+	m.total += d * w.Integral(t0, t1)
+}
+
+// Total returns the accumulated weighted divergence integral.
+func (m *Meter) Total() float64 { return m.total }
+
+// Average returns the time-averaged weighted divergence per object over
+// [Warmup, end].
+func (m *Meter) Average(end float64, objects int) float64 {
+	span := end - m.Warmup
+	if span <= 0 || objects <= 0 {
+		return 0
+	}
+	return m.total / span / float64(objects)
+}
+
+// Welford is a streaming mean/variance accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// Point is one (x, y) pair of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points — one curve of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Sort orders points by x.
+func (s *Series) Sort() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Table is a simple aligned text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of values formatted with %g for floats.
+func (t *Table) AddRowf(vals ...interface{}) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprint(x)
+		}
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	write := func(cells []string) error {
+		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlotASCII renders series as a crude ASCII scatter plot, good enough to
+// eyeball the shape of a paper figure in a terminal.
+func PlotASCII(w io.Writer, title string, series []Series, width, height int) {
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if minX > maxX {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "y: [%.4g, %.4g]\n", minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintf(w, "x: [%.4g, %.4g]\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"bestsync/internal/weight"
+)
+
+func TestMeterBasic(t *testing.T) {
+	m := Meter{}
+	m.Add(0, 10, 2, weight.Const(1)) // 20
+	m.Add(10, 15, 4, weight.Const(3))
+	if got := m.Total(); got != 80 {
+		t.Errorf("Total = %v, want 80", got)
+	}
+	if got := m.Average(20, 1); got != 4 {
+		t.Errorf("Average = %v, want 4", got)
+	}
+	if got := m.Average(20, 4); got != 1 {
+		t.Errorf("Average per 4 objects = %v, want 1", got)
+	}
+}
+
+func TestMeterWarmupClipping(t *testing.T) {
+	m := Meter{Warmup: 10}
+	m.Add(0, 5, 100, weight.Const(1)) // entirely before warmup — ignored
+	m.Add(5, 15, 2, weight.Const(1))  // half counted: 2*5 = 10
+	m.Add(15, 20, 1, weight.Const(1)) // 5
+	if got := m.Total(); got != 15 {
+		t.Errorf("Total = %v, want 15", got)
+	}
+	if got := m.Average(20, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Average = %v, want 1.5", got)
+	}
+}
+
+func TestMeterZeroDivergenceFree(t *testing.T) {
+	m := Meter{}
+	m.Add(0, 100, 0, weight.Const(5))
+	if m.Total() != 0 {
+		t.Errorf("Total = %v, want 0", m.Total())
+	}
+}
+
+func TestMeterDegenerate(t *testing.T) {
+	m := Meter{}
+	m.Add(5, 5, 3, weight.Const(1))
+	m.Add(5, 4, 3, weight.Const(1))
+	if m.Total() != 0 {
+		t.Errorf("Total = %v, want 0", m.Total())
+	}
+	if m.Average(0, 10) != 0 {
+		t.Errorf("Average over empty window = %v, want 0", m.Average(0, 10))
+	}
+	if m.Average(10, 0) != 0 {
+		t.Errorf("Average over zero objects = %v, want 0", m.Average(10, 0))
+	}
+}
+
+func TestMeterSineWeight(t *testing.T) {
+	w := weight.Sine{Base: 2, Amp: 0.5, Period: 8, Phase: 0.3}
+	m := Meter{}
+	m.Add(1, 6, 3, w)
+	want := 3 * w.Integral(1, 6)
+	if got := m.Total(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7)
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Stddev = %v", w.Stddev())
+	}
+}
+
+func TestWelfordSmallN(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 {
+		t.Errorf("Var with n=0 = %v, want 0", w.Var())
+	}
+	w.Add(3)
+	if w.Var() != 0 {
+		t.Errorf("Var with n=1 = %v, want 0", w.Var())
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := Series{Name: "test"}
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Sort()
+	for i, want := range []float64{1, 2, 3} {
+		if s.Points[i].X != want {
+			t.Errorf("point %d X = %v, want %v", i, s.Points[i].X, want)
+		}
+	}
+}
+
+func TestTableWriteTo(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Headers: []string{"a", "long-header"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRowf(3.14159, "x")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") {
+		t.Errorf("missing title/header in output:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"x", "y"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	want := "x,y\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	s := Series{Name: "curve"}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	var buf bytes.Buffer
+	PlotASCII(&buf, "parabola", []Series{s}, 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "parabola") || !strings.Contains(out, "curve") {
+		t.Errorf("plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("plot has no points:\n%s", out)
+	}
+}
+
+func TestPlotASCIIEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	PlotASCII(&buf, "empty", nil, 0, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty plot output: %q", buf.String())
+	}
+}
+
+func TestPlotASCIIConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not panic or divide by zero.
+	s := Series{Name: "flat"}
+	s.Add(1, 5)
+	s.Add(1, 5)
+	var buf bytes.Buffer
+	PlotASCII(&buf, "flat", []Series{s}, 20, 5)
+	if buf.Len() == 0 {
+		t.Error("no output for constant series")
+	}
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"bestsync/internal/wire"
+)
+
+// tcpServer implements CacheEndpoint over TCP. Each source opens one
+// connection, sends a wire.Hello, then streams wire.Refresh messages; the
+// server streams wire.Feedback the other way on the same connection.
+type tcpServer struct {
+	ln        net.Listener
+	refreshes chan wire.Refresh
+
+	mu     sync.Mutex
+	conns  map[string]*tcpServerConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpServerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// Serve wraps a listener as a cache endpoint and starts accepting source
+// connections. buffer sizes the shared refresh channel (the back-pressure
+// point standing in for network queueing).
+func Serve(ln net.Listener, buffer int) CacheEndpoint {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &tcpServer{
+		ln:        ln,
+		refreshes: make(chan wire.Refresh, buffer),
+		conns:     map[string]*tcpServerConn{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *tcpServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	dec := gob.NewDecoder(conn)
+	var hello wire.Hello
+	if err := dec.Decode(&hello); err != nil || hello.Validate() != nil {
+		conn.Close()
+		return
+	}
+	sc := &tcpServerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, dup := s.conns[hello.SourceID]; dup {
+		old.conn.Close() // newest connection wins (source reconnect)
+	}
+	s.conns[hello.SourceID] = sc
+	s.mu.Unlock()
+
+	for {
+		var r wire.Refresh
+		if err := dec.Decode(&r); err != nil {
+			break
+		}
+		if r.Validate() != nil {
+			continue
+		}
+		r.SourceID = hello.SourceID // the stream identity is authoritative
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			break
+		}
+		s.refreshes <- r
+	}
+	conn.Close()
+	s.mu.Lock()
+	if cur, ok := s.conns[hello.SourceID]; ok && cur == sc {
+		delete(s.conns, hello.SourceID)
+	}
+	s.mu.Unlock()
+}
+
+// Refreshes implements CacheEndpoint.
+func (s *tcpServer) Refreshes() <-chan wire.Refresh { return s.refreshes }
+
+// SendFeedback implements CacheEndpoint.
+func (s *tcpServer) SendFeedback(sourceID string) error {
+	s.mu.Lock()
+	sc, ok := s.conns[sourceID]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("transport: unknown source %q", sourceID)
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.enc.Encode(wire.Feedback{})
+}
+
+// Sources implements CacheEndpoint.
+func (s *tcpServer) Sources() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.conns))
+	for id := range s.conns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close implements CacheEndpoint.
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.conns = map[string]*tcpServerConn{}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sc := range conns {
+		sc.conn.Close()
+	}
+	return err
+}
+
+// tcpClient implements SourceConn over TCP.
+type tcpClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	fb   chan wire.Feedback
+	mu   sync.Mutex
+	once sync.Once
+}
+
+// Dial connects a source to a cache daemon at addr.
+func Dial(addr, sourceID string) (SourceConn, error) {
+	if sourceID == "" {
+		return nil, fmt.Errorf("transport: empty source id")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpClient{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		fb:   make(chan wire.Feedback, 4),
+	}
+	if err := c.enc.Encode(wire.Hello{SourceID: sourceID}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *tcpClient) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var f wire.Feedback
+		if err := dec.Decode(&f); err != nil {
+			break
+		}
+		select {
+		case c.fb <- f:
+		default:
+		}
+	}
+	c.Close()
+}
+
+// SendRefresh implements SourceConn.
+func (c *tcpClient) SendRefresh(r wire.Refresh) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(r)
+}
+
+// Feedback implements SourceConn.
+func (c *tcpClient) Feedback() <-chan wire.Feedback { return c.fb }
+
+// Close implements SourceConn.
+func (c *tcpClient) Close() error {
+	c.once.Do(func() {
+		c.conn.Close()
+		close(c.fb)
+	})
+	return nil
+}

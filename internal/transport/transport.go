@@ -1,0 +1,169 @@
+// Package transport connects live sources to the cache. Two implementations
+// are provided: an in-process channel transport (Local) for embedding the
+// whole system in one binary, and a TCP transport (Serve/Dial) using
+// encoding/gob framing for the cmd/cachesyncd and cmd/sourceagent daemons.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bestsync/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// SourceConn is a source's connection to the cache.
+type SourceConn interface {
+	// SendRefresh transmits a refresh message. It may block when the
+	// cache-side bandwidth is saturated — that back-pressure is the
+	// network queue of the paper's model.
+	SendRefresh(wire.Refresh) error
+	// Feedback delivers positive-feedback messages from the cache. The
+	// channel is closed when the connection closes.
+	Feedback() <-chan wire.Feedback
+	// Close releases the connection.
+	Close() error
+}
+
+// CacheEndpoint is the cache's view of all connected sources.
+type CacheEndpoint interface {
+	// Refreshes delivers incoming refresh messages from every source.
+	Refreshes() <-chan wire.Refresh
+	// SendFeedback sends positive feedback to one source. Unknown sources
+	// are an error; feedback to a disconnected source is dropped.
+	SendFeedback(sourceID string) error
+	// Sources lists currently connected source ids.
+	Sources() []string
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// Local is an in-process network joining one cache endpoint with any number
+// of source connections.
+type Local struct {
+	mu        sync.Mutex
+	refreshes chan wire.Refresh
+	feedback  map[string]chan wire.Feedback
+	closed    bool
+}
+
+// NewLocal creates an in-process network. buffer is the capacity of the
+// shared refresh channel — the "network queue"; sends beyond it block until
+// the cache drains (back-pressure).
+func NewLocal(buffer int) *Local {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Local{
+		refreshes: make(chan wire.Refresh, buffer),
+		feedback:  make(map[string]chan wire.Feedback),
+	}
+}
+
+// Refreshes implements CacheEndpoint.
+func (l *Local) Refreshes() <-chan wire.Refresh { return l.refreshes }
+
+// SendFeedback implements CacheEndpoint.
+func (l *Local) SendFeedback(sourceID string) error {
+	l.mu.Lock()
+	ch, ok := l.feedback[sourceID]
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("transport: unknown source %q", sourceID)
+	}
+	select {
+	case ch <- wire.Feedback{}:
+	default:
+		// A source that has not consumed its previous feedback gains
+		// nothing from a second one queued behind it.
+	}
+	return nil
+}
+
+// Sources implements CacheEndpoint.
+func (l *Local) Sources() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.feedback))
+	for id := range l.feedback {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close implements CacheEndpoint.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	for _, ch := range l.feedback {
+		close(ch)
+	}
+	l.feedback = map[string]chan wire.Feedback{}
+	return nil
+}
+
+// localConn is a source-side handle onto a Local network.
+type localConn struct {
+	net  *Local
+	id   string
+	fb   chan wire.Feedback
+	once sync.Once
+}
+
+// Dial attaches a new source to the network.
+func (l *Local) Dial(sourceID string) (SourceConn, error) {
+	if sourceID == "" {
+		return nil, fmt.Errorf("transport: empty source id")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := l.feedback[sourceID]; dup {
+		return nil, fmt.Errorf("transport: source %q already connected", sourceID)
+	}
+	fb := make(chan wire.Feedback, 4)
+	l.feedback[sourceID] = fb
+	return &localConn{net: l, id: sourceID, fb: fb}, nil
+}
+
+// SendRefresh implements SourceConn.
+func (c *localConn) SendRefresh(r wire.Refresh) error {
+	c.net.mu.Lock()
+	closed := c.net.closed
+	_, connected := c.net.feedback[c.id]
+	c.net.mu.Unlock()
+	if closed || !connected {
+		return ErrClosed
+	}
+	c.net.refreshes <- r
+	return nil
+}
+
+// Feedback implements SourceConn.
+func (c *localConn) Feedback() <-chan wire.Feedback { return c.fb }
+
+// Close implements SourceConn.
+func (c *localConn) Close() error {
+	c.once.Do(func() {
+		c.net.mu.Lock()
+		if ch, ok := c.net.feedback[c.id]; ok {
+			close(ch)
+			delete(c.net.feedback, c.id)
+		}
+		c.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/wire"
+)
+
+func TestLocalRoundTrip(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	conn, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-l.Refreshes():
+		if r.ObjectID != "a" || r.Value != 1 {
+			t.Errorf("got %+v", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("refresh not delivered")
+	}
+	if err := l.SendFeedback("s1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-conn.Feedback():
+	case <-time.After(time.Second):
+		t.Fatal("feedback not delivered")
+	}
+}
+
+func TestLocalDuplicateSourceRejected(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	if _, err := l.Dial("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Dial("s1"); err == nil {
+		t.Fatal("duplicate dial accepted")
+	}
+	if _, err := l.Dial(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestLocalFeedbackUnknownSource(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	if err := l.SendFeedback("ghost"); err == nil {
+		t.Fatal("feedback to unknown source accepted")
+	}
+}
+
+func TestLocalSourcesList(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	l.Dial("a")
+	l.Dial("b")
+	if got := len(l.Sources()); got != 2 {
+		t.Errorf("sources = %d, want 2", got)
+	}
+}
+
+func TestLocalConnCloseDetaches(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	conn, _ := l.Dial("s1")
+	conn.Close()
+	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a"}); err == nil {
+		t.Fatal("send on closed conn accepted")
+	}
+	// The id can be reused after close (reconnect).
+	if _, err := l.Dial("s1"); err != nil {
+		t.Fatalf("redial failed: %v", err)
+	}
+}
+
+func TestLocalClosedNetwork(t *testing.T) {
+	l := NewLocal(4)
+	l.Close()
+	if _, err := l.Dial("s1"); err == nil {
+		t.Fatal("dial on closed network accepted")
+	}
+	if err := l.SendFeedback("s1"); err == nil {
+		t.Fatal("feedback on closed network accepted")
+	}
+	l.Close() // idempotent
+}
+
+func TestFeedbackNonBlocking(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	l.Dial("s1")
+	// Saturate the feedback buffer; further sends must not block.
+	for i := 0; i < 20; i++ {
+		if err := l.SendFeedback("s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	conn, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.SendRefresh(wire.Refresh{
+		SourceID: "s1", ObjectID: "a", Value: 3.5, Version: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-srv.Refreshes():
+		if r.ObjectID != "a" || r.Value != 3.5 || r.SourceID != "s1" {
+			t.Errorf("got %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refresh not received")
+	}
+
+	// Feedback requires the server to have registered the source.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := srv.SendFeedback("s1"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("source never registered for feedback")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-conn.Feedback():
+	case <-time.After(2 * time.Second):
+		t.Fatal("feedback not received")
+	}
+}
+
+func TestTCPSourceIdentityAuthoritative(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+	conn, err := Dial(ln.Addr().String(), "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A refresh claiming a different source id gets stamped with the
+	// stream identity.
+	conn.SendRefresh(wire.Refresh{SourceID: "spoof", ObjectID: "a", Version: 1})
+	select {
+	case r := <-srv.Refreshes():
+		if r.SourceID != "real" {
+			t.Errorf("source id = %q, want stream identity", r.SourceID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refresh not received")
+	}
+}
+
+func TestTCPReconnectReplacesConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	c1, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Version: 1})
+	<-srv.Refreshes()
+
+	c2, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// The new connection must become the feedback target.
+	if err := c2.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "b", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-srv.Refreshes():
+		if r.ObjectID != "b" {
+			t.Errorf("got %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refresh after reconnect not received")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := srv.SendFeedback("s1"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconnected source not registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-c2.Feedback():
+	case <-time.After(2 * time.Second):
+		t.Fatal("feedback after reconnect not received")
+	}
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	conn, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The client's feedback channel eventually closes.
+	select {
+	case _, ok := <-conn.Feedback():
+		if ok {
+			t.Error("expected closed feedback channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("feedback channel not closed after server shutdown")
+	}
+}
+
+func TestDialEmptyID(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", ""); err == nil {
+		t.Fatal("empty source id accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package weight implements the time-varying object weights of Olston &
+// Widom (SIGMOD 2002), Section 3.2: W(O,t) = I(O,t) · P(O,t), the product of
+// importance and popularity.
+//
+// The paper's simulations let weights "vary over time following sine-wave
+// patterns with randomly-assigned amplitudes and periods" (Section 6); Sine
+// implements that. Every weight function exposes a closed-form interval
+// integral so the simulation engine can accumulate the weighted divergence
+// integral ∫ W(t)·D(t) dt exactly, without per-tick sampling.
+package weight
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Fn is a nonnegative, time-varying weight.
+type Fn interface {
+	// At returns W(t).
+	At(t float64) float64
+	// Integral returns ∫ W(τ) dτ over [t0, t1]. t1 must be ≥ t0.
+	Integral(t0, t1 float64) float64
+}
+
+// Const is a constant weight. Const(1) is the unweighted case where all
+// objects receive equal treatment.
+type Const float64
+
+// At implements Fn.
+func (c Const) At(float64) float64 { return float64(c) }
+
+// Integral implements Fn.
+func (c Const) Integral(t0, t1 float64) float64 { return float64(c) * (t1 - t0) }
+
+// Sine is a sinusoidally fluctuating weight
+//
+//	W(t) = Base · (1 + Amp·sin(2πt/Period + Phase)).
+//
+// Amp must be in [0, 1] so the weight stays nonnegative.
+type Sine struct {
+	Base   float64
+	Amp    float64
+	Period float64
+	Phase  float64
+}
+
+// At implements Fn.
+func (s Sine) At(t float64) float64 {
+	return s.Base * (1 + s.Amp*math.Sin(2*math.Pi*t/s.Period+s.Phase))
+}
+
+// Integral implements Fn. The antiderivative of sin(ωt+φ) is −cos(ωt+φ)/ω.
+func (s Sine) Integral(t0, t1 float64) float64 {
+	omega := 2 * math.Pi / s.Period
+	base := s.Base * (t1 - t0)
+	osc := s.Base * s.Amp / omega * (math.Cos(omega*t0+s.Phase) - math.Cos(omega*t1+s.Phase))
+	return base + osc
+}
+
+// Mean returns the average of W over an interval; convenient when a single
+// representative value is needed (e.g. W(t_now) approximations).
+func Mean(w Fn, t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return w.At(t0)
+	}
+	return w.Integral(t0, t1) / (t1 - t0)
+}
+
+// Product combines two weight functions multiplicatively, e.g. importance ×
+// popularity. Its Integral is computed analytically when both factors are
+// Const or one is Const, and by Simpson quadrature otherwise.
+type Product struct {
+	I Fn // importance
+	P Fn // popularity
+}
+
+// At implements Fn.
+func (p Product) At(t float64) float64 { return p.I.At(t) * p.P.At(t) }
+
+// Integral implements Fn.
+func (p Product) Integral(t0, t1 float64) float64 {
+	if ci, ok := p.I.(Const); ok {
+		return float64(ci) * p.P.Integral(t0, t1)
+	}
+	if cp, ok := p.P.(Const); ok {
+		return float64(cp) * p.I.Integral(t0, t1)
+	}
+	return simpson(p.At, t0, t1)
+}
+
+// simpson performs adaptive-ish composite Simpson quadrature with a fixed
+// panel count sufficient for the smooth sine products used here.
+func simpson(f func(float64) float64, a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	const panels = 64
+	h := (b - a) / panels
+	sum := f(a) + f(b)
+	for i := 1; i < panels; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// RandomSine draws a fluctuating weight with the given base value, a random
+// amplitude in [0, maxAmp], and a random period in [minPeriod, maxPeriod],
+// mirroring the paper's randomly-assigned sine-wave weights.
+func RandomSine(rng *rand.Rand, base, maxAmp, minPeriod, maxPeriod float64) Sine {
+	return Sine{
+		Base:   base,
+		Amp:    rng.Float64() * maxAmp,
+		Period: minPeriod + rng.Float64()*(maxPeriod-minPeriod),
+		Phase:  rng.Float64() * 2 * math.Pi,
+	}
+}

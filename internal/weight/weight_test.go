@@ -1,0 +1,171 @@
+package weight
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericIntegral is a trapezoid-rule reference used to validate the
+// closed-form integrals.
+func numericIntegral(w Fn, t0, t1 float64) float64 {
+	const steps = 20000
+	h := (t1 - t0) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		a := t0 + float64(i)*h
+		sum += (w.At(a) + w.At(a+h)) / 2 * h
+	}
+	return sum
+}
+
+func TestConstAt(t *testing.T) {
+	w := Const(3.5)
+	for _, tm := range []float64{0, 1, 100} {
+		if got := w.At(tm); got != 3.5 {
+			t.Errorf("Const.At(%v) = %v, want 3.5", tm, got)
+		}
+	}
+}
+
+func TestConstIntegral(t *testing.T) {
+	w := Const(2)
+	if got := w.Integral(1, 5); got != 8 {
+		t.Errorf("Const.Integral(1,5) = %v, want 8", got)
+	}
+	if got := w.Integral(3, 3); got != 0 {
+		t.Errorf("Const.Integral(3,3) = %v, want 0", got)
+	}
+}
+
+func TestSineNonNegative(t *testing.T) {
+	w := Sine{Base: 2, Amp: 1, Period: 10, Phase: 0.3}
+	for tm := 0.0; tm < 30; tm += 0.1 {
+		if w.At(tm) < 0 {
+			t.Fatalf("Sine.At(%v) = %v < 0", tm, w.At(tm))
+		}
+	}
+}
+
+func TestSineMeanIsBase(t *testing.T) {
+	w := Sine{Base: 4, Amp: 0.7, Period: 5, Phase: 1.1}
+	// Over an integer number of periods the mean equals Base.
+	got := w.Integral(0, 50) / 50
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("mean over 10 periods = %v, want 4", got)
+	}
+}
+
+func TestSineIntegralMatchesNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		w := RandomSine(rng, 1+rng.Float64()*5, 1, 2, 50)
+		t0 := rng.Float64() * 10
+		t1 := t0 + rng.Float64()*20
+		want := numericIntegral(w, t0, t1)
+		got := w.Integral(t0, t1)
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: Integral(%v,%v) = %v, want %v (w=%+v)",
+				trial, t0, t1, got, want, w)
+		}
+	}
+}
+
+func TestMeanDegenerateInterval(t *testing.T) {
+	w := Sine{Base: 2, Amp: 0.5, Period: 7, Phase: 0}
+	if got := Mean(w, 3, 3); got != w.At(3) {
+		t.Errorf("Mean over empty interval = %v, want At(3) = %v", got, w.At(3))
+	}
+}
+
+func TestMeanOfConst(t *testing.T) {
+	if got := Mean(Const(5), 0, 10); got != 5 {
+		t.Errorf("Mean(Const(5)) = %v, want 5", got)
+	}
+}
+
+func TestProductAt(t *testing.T) {
+	p := Product{I: Const(2), P: Sine{Base: 3, Amp: 0, Period: 1}}
+	if got := p.At(0); got != 6 {
+		t.Errorf("Product.At = %v, want 6", got)
+	}
+}
+
+func TestProductIntegralConstFast(t *testing.T) {
+	s := Sine{Base: 3, Amp: 0.4, Period: 9, Phase: 0.2}
+	p := Product{I: Const(2), P: s}
+	want := 2 * s.Integral(1, 7)
+	if got := p.Integral(1, 7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Product.Integral = %v, want %v", got, want)
+	}
+	p2 := Product{I: s, P: Const(2)}
+	if got := p2.Integral(1, 7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Product.Integral (swapped) = %v, want %v", got, want)
+	}
+}
+
+func TestProductIntegralSineSine(t *testing.T) {
+	a := Sine{Base: 2, Amp: 0.5, Period: 11, Phase: 0.4}
+	b := Sine{Base: 1.5, Amp: 0.9, Period: 4, Phase: 2.2}
+	p := Product{I: a, P: b}
+	want := numericIntegral(p, 0, 13)
+	got := p.Integral(0, 13)
+	if math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
+		t.Errorf("Product.Integral sine×sine = %v, want %v", got, want)
+	}
+}
+
+func TestRandomSineRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		s := RandomSine(rng, 10, 0.8, 5, 20)
+		if s.Base != 10 {
+			t.Fatalf("base = %v, want 10", s.Base)
+		}
+		if s.Amp < 0 || s.Amp > 0.8 {
+			t.Fatalf("amp = %v out of [0,0.8]", s.Amp)
+		}
+		if s.Period < 5 || s.Period > 20 {
+			t.Fatalf("period = %v out of [5,20]", s.Period)
+		}
+	}
+}
+
+// Property: additivity of the integral — ∫[a,c] = ∫[a,b] + ∫[b,c].
+func TestSineIntegralAdditive(t *testing.T) {
+	w := Sine{Base: 2, Amp: 0.6, Period: 8, Phase: 1}
+	f := func(a, span1, span2 uint8) bool {
+		t0 := float64(a) / 4
+		t1 := t0 + float64(span1)/8
+		t2 := t1 + float64(span2)/8
+		whole := w.Integral(t0, t2)
+		split := w.Integral(t0, t1) + w.Integral(t1, t2)
+		return math.Abs(whole-split) < 1e-9*(1+math.Abs(whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integrals of nonnegative weights are nonnegative and monotone in
+// the upper limit.
+func TestSineIntegralMonotone(t *testing.T) {
+	w := Sine{Base: 3, Amp: 1, Period: 6, Phase: 0.5}
+	f := func(a, span uint8) bool {
+		t0 := float64(a) / 4
+		t1 := t0 + float64(span)/8
+		v := w.Integral(t0, t1)
+		return v >= -1e-12 && w.Integral(t0, t1+1) >= v-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSineIntegral(b *testing.B) {
+	w := Sine{Base: 2, Amp: 0.5, Period: 10, Phase: 0.1}
+	for i := 0; i < b.N; i++ {
+		_ = w.Integral(float64(i), float64(i)+3)
+	}
+}

@@ -1,0 +1,54 @@
+// Package wire defines the protocol messages exchanged between live sources
+// and the cache (internal/runtime), independent of transport. All messages
+// are small and fixed-shape; the TCP transport encodes them with
+// encoding/gob.
+//
+// The message set mirrors Section 5 of the paper: refresh messages carry the
+// new object value plus the source's piggybacked local threshold; feedback
+// messages carry no payload — receiving one *is* the signal to decrease the
+// local threshold.
+package wire
+
+import "fmt"
+
+// Hello is the first message on a source→cache stream, registering the
+// source under a stable identifier.
+type Hello struct {
+	SourceID string
+}
+
+// Validate checks the registration.
+func (h Hello) Validate() error {
+	if h.SourceID == "" {
+		return fmt.Errorf("wire: empty source id")
+	}
+	return nil
+}
+
+// Refresh propagates one object's current value to the cache.
+type Refresh struct {
+	SourceID  string
+	ObjectID  string
+	Value     float64
+	Version   uint64
+	Epoch     int64   // source incarnation (restarts reset Version counters)
+	Threshold float64 // the source's current local threshold (piggyback)
+	SentUnix  int64   // nanoseconds; diagnostic only
+}
+
+// Validate checks a refresh message.
+func (r Refresh) Validate() error {
+	if r.SourceID == "" {
+		return fmt.Errorf("wire: refresh with empty source id")
+	}
+	if r.ObjectID == "" {
+		return fmt.Errorf("wire: refresh with empty object id")
+	}
+	return nil
+}
+
+// Feedback is a positive-feedback message from the cache: the receiving
+// source should decrease its local threshold (unless bandwidth-limited).
+type Feedback struct {
+	SentUnix int64
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestHelloValidate(t *testing.T) {
+	if err := (Hello{SourceID: "s"}).Validate(); err != nil {
+		t.Errorf("valid hello rejected: %v", err)
+	}
+	if err := (Hello{}).Validate(); err == nil {
+		t.Error("empty hello accepted")
+	}
+}
+
+func TestRefreshValidate(t *testing.T) {
+	good := Refresh{SourceID: "s", ObjectID: "o"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid refresh rejected: %v", err)
+	}
+	if err := (Refresh{ObjectID: "o"}).Validate(); err == nil {
+		t.Error("refresh without source accepted")
+	}
+	if err := (Refresh{SourceID: "s"}).Validate(); err == nil {
+		t.Error("refresh without object accepted")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	in := Refresh{
+		SourceID:  "src-1",
+		ObjectID:  "obj-9",
+		Value:     -2.25,
+		Version:   42,
+		Threshold: 1.5,
+		SentUnix:  123456789,
+	}
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out Refresh
+	if err := dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}

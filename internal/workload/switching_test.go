@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSwitchingPoissonEmpiricalRates(t *testing.T) {
+	p := &SwitchingPoisson{Low: 0.1, High: 2, Period: 200}
+	rng := rand.New(rand.NewSource(1))
+	lowCount, highCount := 0, 0
+	tcur := 0.0
+	const horizon = 200000.0
+	for {
+		tcur = p.NextAfter(tcur, rng)
+		if tcur > horizon {
+			break
+		}
+		if math.Mod(tcur, 200) < 100 {
+			lowCount++
+		} else {
+			highCount++
+		}
+	}
+	lowRate := float64(lowCount) / (horizon / 2)
+	highRate := float64(highCount) / (horizon / 2)
+	if math.Abs(lowRate-0.1) > 0.02 {
+		t.Errorf("low-phase rate = %v, want ≈0.1", lowRate)
+	}
+	if math.Abs(highRate-2) > 0.1 {
+		t.Errorf("high-phase rate = %v, want ≈2", highRate)
+	}
+}
+
+func TestSwitchingPoissonDegenerate(t *testing.T) {
+	p := &SwitchingPoisson{Low: 0, High: 0, Period: 10}
+	if next := p.NextAfter(0, rand.New(rand.NewSource(1))); !math.IsInf(next, 1) {
+		t.Errorf("zero-rate NextAfter = %v, want +Inf", next)
+	}
+	q := &SwitchingPoisson{Low: 1, High: 2} // zero period → Low everywhere
+	if got := q.RateAt(123); got != 1 {
+		t.Errorf("zero-period RateAt = %v, want Low", got)
+	}
+}
+
+func TestSwitchingPoissonNegativePhase(t *testing.T) {
+	p := &SwitchingPoisson{Low: 1, High: 2, Period: 10, Offset: -3}
+	// Just exercise the wrap-around branch; any valid rate is fine.
+	got := p.RateAt(0)
+	if got != 1 && got != 2 {
+		t.Errorf("RateAt with negative phase = %v", got)
+	}
+}
+
+func TestSwitchingPoissonStrictlyIncreasing(t *testing.T) {
+	p := &SwitchingPoisson{Low: 0.5, High: 5, Period: 20}
+	rng := rand.New(rand.NewSource(2))
+	tcur := 0.0
+	for i := 0; i < 10000; i++ {
+		next := p.NextAfter(tcur, rng)
+		if next <= tcur {
+			t.Fatalf("NextAfter(%v) = %v not increasing", tcur, next)
+		}
+		tcur = next
+	}
+}

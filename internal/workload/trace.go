@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// Trace is a precomputed sequence of timestamped values for one object.
+// Times must be strictly increasing. A trace-driven object updates exactly
+// at these times, taking the corresponding values.
+type Trace struct {
+	Times  []float64
+	Values []float64
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.Times) }
+
+// Validate checks monotonicity and matching lengths.
+func (tr *Trace) Validate() error {
+	if len(tr.Times) != len(tr.Values) {
+		return fmt.Errorf("workload: trace has %d times but %d values",
+			len(tr.Times), len(tr.Values))
+	}
+	for i := 1; i < len(tr.Times); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			return fmt.Errorf("workload: trace times not increasing at index %d", i)
+		}
+	}
+	return nil
+}
+
+// NextIndexAfter returns the index of the first sample strictly after t, or
+// Len() if none.
+func (tr *Trace) NextIndexAfter(t float64) int {
+	return sort.SearchFloat64s(tr.Times, math.Nextafter(t, math.Inf(1)))
+}
+
+// WriteCSV emits "time,value" rows.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for i := range tr.Times {
+		rec := []string{
+			strconv.FormatFloat(tr.Times[i], 'g', -1, 64),
+			strconv.FormatFloat(tr.Values[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses "time,value" rows as written by WriteCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	tr := &Trace{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("workload: trace row has %d fields, want 2", len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad time %q: %v", rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad value %q: %v", rec[1], err)
+		}
+		tr.Times = append(tr.Times, t)
+		tr.Values = append(tr.Values, v)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// BuoyConfig parameterizes the synthetic wind-buoy traces that substitute
+// for the PMEL data set of Section 6.2.1 (see DESIGN.md §4). Values follow a
+// mean-reverting Ornstein–Uhlenbeck process around a diurnal sinusoid,
+// sampled at a fixed cadence, clamped to [Min, Max].
+type BuoyConfig struct {
+	Days        float64 // total duration in days (paper: 7)
+	SampleEvery float64 // seconds between measurements (paper: 600 = 10 min)
+	Mean        float64 // long-run mean wind component (paper range 0–10, typical 5)
+	Diurnal     float64 // amplitude of the daily cycle
+	Reversion   float64 // OU mean-reversion rate θ (1/s)
+	Volatility  float64 // OU volatility σ (per sqrt(s))
+	Min, Max    float64 // physical clamp
+}
+
+// DefaultBuoyConfig matches the paper's setup: 7 days of 10-minute samples
+// with values "generally in the range of 0–10, with typical values of
+// around 5".
+func DefaultBuoyConfig() BuoyConfig {
+	return BuoyConfig{
+		Days:        7,
+		SampleEvery: 600,
+		Mean:        5,
+		Diurnal:     1.5,
+		Reversion:   1.0 / 7200, // revert over ~2h
+		Volatility:  0.02,
+		Min:         0,
+		Max:         10,
+	}
+}
+
+// GenBuoyTrace produces one wind-component trace. phase offsets the diurnal
+// cycle so that different buoys (at different longitudes) peak at different
+// times.
+func GenBuoyTrace(rng *rand.Rand, cfg BuoyConfig, phase float64) *Trace {
+	const day = 86400.0
+	n := int(cfg.Days * day / cfg.SampleEvery)
+	tr := &Trace{
+		Times:  make([]float64, n),
+		Values: make([]float64, n),
+	}
+	dt := cfg.SampleEvery
+	x := cfg.Mean + rng.NormFloat64()*1.0
+	for i := 0; i < n; i++ {
+		t := float64(i+1) * dt
+		target := cfg.Mean + cfg.Diurnal*math.Sin(2*math.Pi*t/day+phase)
+		// Exact OU transition over dt.
+		decay := math.Exp(-cfg.Reversion * dt)
+		std := cfg.Volatility * math.Sqrt((1-decay*decay)/(2*cfg.Reversion))
+		x = target + (x-target)*decay + rng.NormFloat64()*std
+		if x < cfg.Min {
+			x = cfg.Min
+		}
+		if x > cfg.Max {
+			x = cfg.Max
+		}
+		tr.Times[i] = t
+		tr.Values[i] = x
+	}
+	return tr
+}
+
+// GenBuoyFleet generates per-buoy wind vectors: buoys × components traces
+// (components = 2 in the paper: the two wind-vector components). The result
+// is indexed [buoy*components + component].
+func GenBuoyFleet(rng *rand.Rand, cfg BuoyConfig, buoys, components int) []*Trace {
+	traces := make([]*Trace, 0, buoys*components)
+	for b := 0; b < buoys; b++ {
+		phase := rng.Float64() * 2 * math.Pi
+		for c := 0; c < components; c++ {
+			traces = append(traces, GenBuoyTrace(rng, cfg, phase+float64(c)*math.Pi/3))
+		}
+	}
+	return traces
+}

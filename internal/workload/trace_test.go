@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{Times: []float64{1, 2, 3}, Values: []float64{4, 5, 6}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad1 := &Trace{Times: []float64{1, 2}, Values: []float64{4}}
+	if bad1.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad2 := &Trace{Times: []float64{1, 1}, Values: []float64{4, 5}}
+	if bad2.Validate() == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestTraceNextIndexAfter(t *testing.T) {
+	tr := &Trace{Times: []float64{10, 20, 30}, Values: []float64{1, 2, 3}}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 0}, {10, 1}, {15, 1}, {20, 2}, {30, 3}, {99, 3},
+	}
+	for _, c := range cases {
+		if got := tr.NextIndexAfter(c.t); got != c.want {
+			t.Errorf("NextIndexAfter(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Times: []float64{1.5, 2.25, 9}, Values: []float64{-3, 0.125, 7}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceCSV: %v", err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Times {
+		if got.Times[i] != tr.Times[i] || got.Values[i] != tr.Values[i] {
+			t.Errorf("row %d: (%v,%v), want (%v,%v)",
+				i, got.Times[i], got.Values[i], tr.Times[i], tr.Values[i])
+		}
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3\n",    // wrong arity — csv reader flags inconsistent records, or our check
+		"abc,2\n",    // bad time
+		"1,xyz\n",    // bad value
+		"2,1\n1,1\n", // non-increasing
+	}
+	for _, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted, want error", in)
+		}
+	}
+}
+
+func TestGenBuoyTraceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultBuoyConfig()
+	tr := GenBuoyTrace(rng, cfg, 0)
+	wantN := int(7 * 86400 / 600)
+	if tr.Len() != wantN {
+		t.Fatalf("trace length %d, want %d", tr.Len(), wantN)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	mean := 0.0
+	for _, v := range tr.Values {
+		if v < cfg.Min || v > cfg.Max {
+			t.Fatalf("value %v outside [%v,%v]", v, cfg.Min, cfg.Max)
+		}
+		mean += v
+	}
+	mean /= float64(tr.Len())
+	if mean < 3 || mean > 7 {
+		t.Errorf("mean wind %v, want ≈5 (paper's typical value)", mean)
+	}
+	// Cadence must be exactly SampleEvery.
+	for i := 1; i < tr.Len(); i++ {
+		if math.Abs(tr.Times[i]-tr.Times[i-1]-600) > 1e-9 {
+			t.Fatalf("sample gap %v at %d, want 600", tr.Times[i]-tr.Times[i-1], i)
+		}
+	}
+}
+
+func TestGenBuoyTraceVariability(t *testing.T) {
+	// Consecutive 10-minute samples should usually differ (the scheduler
+	// has something to propagate) but not jump wildly.
+	rng := rand.New(rand.NewSource(10))
+	tr := GenBuoyTrace(rng, DefaultBuoyConfig(), 1)
+	changed := 0
+	maxJump := 0.0
+	for i := 1; i < tr.Len(); i++ {
+		d := math.Abs(tr.Values[i] - tr.Values[i-1])
+		if d > 1e-12 {
+			changed++
+		}
+		if d > maxJump {
+			maxJump = d
+		}
+	}
+	if changed < tr.Len()/2 {
+		t.Errorf("only %d/%d samples changed", changed, tr.Len())
+	}
+	if maxJump > 5 {
+		t.Errorf("max jump %v too large for wind data", maxJump)
+	}
+}
+
+func TestGenBuoyFleetSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultBuoyConfig()
+	cfg.Days = 0.5 // keep the test fast
+	fleet := GenBuoyFleet(rng, cfg, 40, 2)
+	if len(fleet) != 80 {
+		t.Fatalf("fleet size %d, want 80", len(fleet))
+	}
+	for i, tr := range fleet {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenBuoyFleetDeterministic(t *testing.T) {
+	cfg := DefaultBuoyConfig()
+	cfg.Days = 0.25
+	a := GenBuoyFleet(rand.New(rand.NewSource(12)), cfg, 3, 2)
+	b := GenBuoyFleet(rand.New(rand.NewSource(12)), cfg, 3, 2)
+	for i := range a {
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatalf("same seed produced different traces at %d/%d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package workload generates the synthetic and quasi-real data used in the
+// paper's evaluation (Section 6): random-walk values updated by Poisson
+// processes with randomly assigned rates, skewed weight/rate populations
+// (Section 4.3), and a synthetic stand-in for the Pacific Marine
+// Environmental Laboratory wind-buoy data set (Section 6.2.1) — see
+// DESIGN.md §4 for the substitution rationale.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UpdateProcess generates the times at which an object's source value
+// changes.
+type UpdateProcess interface {
+	// NextAfter returns the first update time strictly after t.
+	NextAfter(t float64, rng *rand.Rand) float64
+}
+
+// Poisson updates follow a Poisson process with rate Lambda (expected
+// updates per second). Lambda ≤ 0 means the object never changes.
+type Poisson struct {
+	Lambda float64
+}
+
+// NextAfter implements UpdateProcess via exponential inter-arrival times.
+func (p Poisson) NextAfter(t float64, rng *rand.Rand) float64 {
+	if p.Lambda <= 0 {
+		return math.Inf(1)
+	}
+	return t + rng.ExpFloat64()/p.Lambda
+}
+
+// Periodic updates occur deterministically every Interval seconds starting
+// at Offset; Section 4.3's skew experiment updates half the objects
+// "consistently every second".
+type Periodic struct {
+	Interval float64
+	Offset   float64
+}
+
+// NextAfter implements UpdateProcess.
+func (p Periodic) NextAfter(t float64, _ *rand.Rand) float64 {
+	if p.Interval <= 0 {
+		return math.Inf(1)
+	}
+	k := math.Floor((t-p.Offset)/p.Interval) + 1
+	next := p.Offset + k*p.Interval
+	if next <= t {
+		next += p.Interval
+	}
+	return next
+}
+
+// Never is an UpdateProcess for static objects.
+type Never struct{}
+
+// NextAfter implements UpdateProcess.
+func (Never) NextAfter(float64, *rand.Rand) float64 { return math.Inf(1) }
+
+// SwitchingPoisson is a non-stationary Poisson process whose rate alternates
+// between Low and High every half Period, used to study how rate estimators
+// cope with drift (Section 10.1's "longer history period" question).
+type SwitchingPoisson struct {
+	Low, High float64
+	Period    float64
+	Offset    float64
+}
+
+// RateAt returns the instantaneous rate at time t.
+func (s *SwitchingPoisson) RateAt(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Low
+	}
+	phase := math.Mod(t+s.Offset, s.Period)
+	if phase < 0 {
+		phase += s.Period
+	}
+	if phase < s.Period/2 {
+		return s.Low
+	}
+	return s.High
+}
+
+// NextAfter implements UpdateProcess by thinning against the maximum rate.
+func (s *SwitchingPoisson) NextAfter(t float64, rng *rand.Rand) float64 {
+	peak := math.Max(s.Low, s.High)
+	if peak <= 0 {
+		return math.Inf(1)
+	}
+	for i := 0; i < 1e6; i++ {
+		t += rng.ExpFloat64() / peak
+		if rng.Float64() < s.RateAt(t)/peak {
+			return t
+		}
+	}
+	return math.Inf(1)
+}
+
+// ValueModel evolves an object's value at each update.
+type ValueModel interface {
+	// Initial returns the value at time 0.
+	Initial(rng *rand.Rand) float64
+	// Next returns the value after an update at time t.
+	Next(cur float64, t float64, rng *rand.Rand) float64
+}
+
+// RandomWalk increments or decrements the value by Step with equal
+// probability on each update — the paper's synthetic data model
+// (Section 4.3).
+type RandomWalk struct {
+	Start float64
+	Step  float64
+}
+
+// Initial implements ValueModel.
+func (w RandomWalk) Initial(*rand.Rand) float64 { return w.Start }
+
+// Next implements ValueModel.
+func (w RandomWalk) Next(cur float64, _ float64, rng *rand.Rand) float64 {
+	step := w.Step
+	if step == 0 {
+		step = 1
+	}
+	if rng.Intn(2) == 0 {
+		return cur + step
+	}
+	return cur - step
+}
+
+// UniformRates assigns each of n objects an update rate drawn uniformly from
+// [lo, hi), mirroring "randomly assigned λ values following a uniform
+// distribution" (Section 4.3).
+func UniformRates(rng *rand.Rand, n int, lo, hi float64) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return rates
+}
+
+// SkewedHalf assigns value hi to a randomly selected half of n slots and lo
+// to the rest (Section 4.3's weight and update-rate skew). The selection is
+// independent for each call, as in the paper's "independently- and
+// randomly-selected half".
+func SkewedHalf(rng *rand.Rand, n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	perm := rng.Perm(n)
+	for i, p := range perm {
+		if i < n/2 {
+			out[p] = hi
+		} else {
+			out[p] = lo
+		}
+	}
+	return out
+}
+
+// ZipfWeights returns n weights proportional to 1/rank^s, normalized so the
+// mean weight is 1. Used by the web-index example to model popularity skew.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	scale := float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}

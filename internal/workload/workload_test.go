@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonNextAfterIncreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Poisson{Lambda: 2}
+	tcur := 0.0
+	for i := 0; i < 1000; i++ {
+		next := p.NextAfter(tcur, rng)
+		if next <= tcur {
+			t.Fatalf("NextAfter(%v) = %v not strictly after", tcur, next)
+		}
+		tcur = next
+	}
+}
+
+func TestPoissonRateMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Poisson{Lambda: 4}
+	tcur := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		tcur = p.NextAfter(tcur, rng)
+	}
+	rate := n / tcur
+	if math.Abs(rate-4) > 0.05 {
+		t.Errorf("empirical rate = %v, want ≈4", rate)
+	}
+}
+
+func TestPoissonZeroRateNeverUpdates(t *testing.T) {
+	p := Poisson{Lambda: 0}
+	if next := p.NextAfter(5, rand.New(rand.NewSource(1))); !math.IsInf(next, 1) {
+		t.Errorf("λ=0 NextAfter = %v, want +Inf", next)
+	}
+}
+
+func TestPeriodicNextAfter(t *testing.T) {
+	p := Periodic{Interval: 1}
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {0.5, 1}, {1, 2}, {1.0001, 2}, {7.9, 8},
+	}
+	for _, c := range cases {
+		if got := p.NextAfter(c.t, nil); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NextAfter(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPeriodicWithOffset(t *testing.T) {
+	p := Periodic{Interval: 10, Offset: 3}
+	if got := p.NextAfter(0, nil); got != 3 {
+		t.Errorf("NextAfter(0) = %v, want 3", got)
+	}
+	if got := p.NextAfter(3, nil); got != 13 {
+		t.Errorf("NextAfter(3) = %v, want 13", got)
+	}
+}
+
+func TestPeriodicZeroInterval(t *testing.T) {
+	p := Periodic{}
+	if got := p.NextAfter(1, nil); !math.IsInf(got, 1) {
+		t.Errorf("zero interval NextAfter = %v, want +Inf", got)
+	}
+}
+
+func TestNever(t *testing.T) {
+	if got := (Never{}).NextAfter(0, nil); !math.IsInf(got, 1) {
+		t.Errorf("Never.NextAfter = %v, want +Inf", got)
+	}
+}
+
+func TestRandomWalkSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := RandomWalk{Start: 0, Step: 1}
+	cur := w.Initial(rng)
+	ups, downs := 0, 0
+	for i := 0; i < 10000; i++ {
+		next := w.Next(cur, 0, rng)
+		diff := next - cur
+		if diff == 1 {
+			ups++
+		} else if diff == -1 {
+			downs++
+		} else {
+			t.Fatalf("step = %v, want ±1", diff)
+		}
+		cur = next
+	}
+	ratio := float64(ups) / float64(ups+downs)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("up fraction = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestRandomWalkDefaultStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := RandomWalk{} // zero step defaults to 1
+	next := w.Next(10, 0, rng)
+	if math.Abs(next-10) != 1 {
+		t.Errorf("default step moved by %v, want ±1", next-10)
+	}
+}
+
+func TestUniformRatesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rates := UniformRates(rng, 1000, 0.1, 0.9)
+	for _, r := range rates {
+		if r < 0.1 || r >= 0.9 {
+			t.Fatalf("rate %v out of [0.1, 0.9)", r)
+		}
+	}
+	mean := 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	if math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("mean rate = %v, want ≈0.5", mean)
+	}
+}
+
+func TestSkewedHalfCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := SkewedHalf(rng, 100, 1, 10)
+	hi := 0
+	for _, v := range vals {
+		switch v {
+		case 10:
+			hi++
+		case 1:
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if hi != 50 {
+		t.Errorf("hi count = %d, want 50", hi)
+	}
+}
+
+func TestSkewedHalfOdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := SkewedHalf(rng, 7, 0, 1)
+	ones := 0
+	for _, v := range vals {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 3 {
+		t.Errorf("hi count = %d, want 3 (n/2)", ones)
+	}
+}
+
+func TestSkewedHalfIndependentSelections(t *testing.T) {
+	// Two draws should not always pick the same half.
+	rng := rand.New(rand.NewSource(8))
+	a := SkewedHalf(rng, 100, 0, 1)
+	b := SkewedHalf(rng, 100, 0, 1)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("two independent skew selections were identical")
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	w := ZipfWeights(100, 1.0)
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum/100-1) > 1e-9 {
+		t.Errorf("mean weight = %v, want 1", sum/100)
+	}
+	if w[0] <= w[99] {
+		t.Errorf("weights not decreasing: w[0]=%v w[99]=%v", w[0], w[99])
+	}
+}
