@@ -3,9 +3,14 @@
 // stream refresh messages, and receive positive feedback when the cache has
 // spare processing bandwidth.
 //
+// The cache store is sharded (-shards) with one apply worker per shard, and
+// sources are expected to frame refreshes in batches (see sourceagent's
+// -batch/-flush flags); -queue bounds each shard's pending-batch queue, the
+// back-pressure point between the dispatcher and the workers.
+//
 // Example:
 //
-//	cachesyncd -addr :7400 -bandwidth 100
+//	cachesyncd -addr :7400 -bandwidth 100 -shards 8
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 	addr := flag.String("addr", ":7400", "listen address")
 	httpAddr := flag.String("http", "", "optional HTTP status address (e.g. :7401)")
 	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
+	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "per-shard apply-queue depth in batches")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
@@ -36,8 +43,13 @@ func main() {
 		log.Fatalf("cachesyncd: %v", err)
 	}
 	ep := transport.Serve(ln, 256)
-	cache := runtime.NewCache(runtime.CacheConfig{Bandwidth: *bw}, ep)
-	log.Printf("cachesyncd: listening on %s, bandwidth %.1f msgs/s", ln.Addr(), *bw)
+	cache := runtime.NewCache(runtime.CacheConfig{
+		Bandwidth:  *bw,
+		Shards:     *shards,
+		ShardQueue: *queue,
+	}, ep)
+	log.Printf("cachesyncd: listening on %s, bandwidth %.1f msgs/s, shards=%d",
+		ln.Addr(), *bw, cache.Shards())
 	if *snapshotPath != "" {
 		if err := cache.LoadSnapshotFile(*snapshotPath); err != nil {
 			log.Fatalf("cachesyncd: loading snapshot: %v", err)
@@ -86,8 +98,8 @@ func main() {
 			return
 		case <-ticker.C:
 			st := cache.Stats()
-			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d\n",
-				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks)
+			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d stale=%d rate=%.1f/s\n",
+				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
 		}
 	}
 }

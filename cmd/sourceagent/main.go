@@ -3,9 +3,14 @@
 // cachesyncd cache to keep the most important changes synchronized under the
 // configured bandwidth.
 //
+// Refreshes are coalesced into wire.RefreshBatch envelopes before hitting
+// the TCP stream: -batch caps the batch size (a full batch flushes
+// immediately) and -flush bounds how long a partial batch may wait, i.e.
+// the extra latency batching can add. -batch 1 disables coalescing.
+//
 // Example:
 //
-//	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10
+//	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10 -batch 64
 package main
 
 import (
@@ -28,6 +33,8 @@ func main() {
 	objects := flag.Int("objects", 20, "number of local objects")
 	rate := flag.Float64("rate", 1, "total updates per second across all objects")
 	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second)")
+	batch := flag.Int("batch", 64, "max refreshes per wire batch (1 = no coalescing)")
+	flush := flag.Duration("flush", 5*time.Millisecond, "max time a partial batch may wait")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
 	flag.Parse()
@@ -35,6 +42,12 @@ func main() {
 	conn, err := transport.Dial(*addr, *id)
 	if err != nil {
 		log.Fatalf("sourceagent: %v", err)
+	}
+	if *batch > 1 {
+		conn = transport.NewBatcher(conn, transport.BatcherConfig{
+			MaxBatch:   *batch,
+			FlushEvery: *flush,
+		})
 	}
 	src := runtime.NewSource(runtime.SourceConfig{
 		ID:        *id,

@@ -16,6 +16,13 @@
 //	-seed N    base random seed (default 1)
 //	-csv DIR   also write each table as CSV files under DIR
 //	-list      list experiment ids and exit
+//
+// With -throughput the experiments are skipped and syncbench instead
+// benchmarks the live runtime (internal/runtime) end to end: N producer
+// goroutines stream refreshes into a cache node, once with the single-lock
+// message-at-a-time baseline and once with the sharded store and batched
+// framing, printing the apply throughput and speedup. The -sources,
+// -objects, -shards, -batch, -flush and -duration flags tune that mode.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	stdruntime "runtime"
 	"strings"
 	"time"
 
@@ -34,7 +42,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV tables into")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	throughput := flag.Bool("throughput", false, "benchmark live-runtime refresh-apply throughput instead of experiments")
+	tpSources := flag.Int("sources", 8, "throughput mode: concurrent producer sources")
+	tpObjects := flag.Int("objects", 128, "throughput mode: objects per source")
+	tpShards := flag.Int("shards", 0, "throughput mode: shard count for the tuned config (0 = GOMAXPROCS)")
+	tpBatch := flag.Int("batch", 64, "throughput mode: wire batch size for the tuned config")
+	tpFlush := flag.Duration("flush", 2*time.Millisecond, "throughput mode: partial-batch flush interval")
+	tpDur := flag.Duration("duration", 3*time.Second, "throughput mode: measurement window per config")
 	flag.Parse()
+
+	if *throughput {
+		shards := *tpShards
+		if shards <= 0 {
+			shards = stdruntime.GOMAXPROCS(0)
+		}
+		runThroughputMode(*tpSources, *tpObjects, shards, *tpBatch, *tpFlush, *tpDur)
+		return
+	}
 
 	reg := experiments.Registry()
 	if *list {

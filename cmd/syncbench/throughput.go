@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// tpConfig describes one throughput measurement: n producer goroutines
+// stream refreshes through a Local transport into a live cache with the
+// given shard count, optionally coalescing through a transport.Batcher.
+type tpConfig struct {
+	label    string
+	sources  int
+	objects  int // per source
+	shards   int
+	batch    int
+	flush    time.Duration
+	duration time.Duration
+}
+
+// tpResult is one measured configuration.
+type tpResult struct {
+	cfg     tpConfig
+	applied int
+	rate    float64 // applied refreshes per second
+}
+
+// runThroughputMode compares the single-lock, message-at-a-time baseline
+// (shards=1, batch=1) against the sharded+batched runtime and prints a
+// table with the speedup.
+func runThroughputMode(sources, objects, shards, batch int, flush, duration time.Duration) {
+	base := tpConfig{
+		label: "baseline (1 shard, no batching)", sources: sources,
+		objects: objects, shards: 1, batch: 1, flush: flush, duration: duration,
+	}
+	tuned := tpConfig{
+		label:   fmt.Sprintf("sharded+batched (shards=%d, batch=%d)", shards, batch),
+		sources: sources, objects: objects, shards: shards, batch: batch,
+		flush: flush, duration: duration,
+	}
+	fmt.Printf("# live-runtime refresh-apply throughput: %d sources x %d objects, %s per config\n\n",
+		sources, objects, duration)
+	results := []tpResult{measureThroughput(base), measureThroughput(tuned)}
+	fmt.Printf("%-40s %12s %14s %9s\n", "config", "applied", "msgs/s", "speedup")
+	for _, r := range results {
+		fmt.Printf("%-40s %12d %14.0f %8.2fx\n",
+			r.cfg.label, r.applied, r.rate, r.rate/results[0].rate)
+	}
+}
+
+// measureThroughput runs one configuration: producers push as fast as the
+// back-pressure allows for cfg.duration, and the applied-refresh count at
+// the end of the window is the throughput.
+func measureThroughput(cfg tpConfig) tpResult {
+	net := transport.NewLocal(1024)
+	cache := runtime.NewCache(runtime.CacheConfig{
+		Bandwidth: 1e9, // unconstrained: measure the apply path, not the token bucket
+		Tick:      time.Millisecond,
+		Shards:    cfg.shards,
+	}, net)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.sources; s++ {
+		id := fmt.Sprintf("src-%d", s)
+		conn, err := net.Dial(id)
+		if err != nil {
+			panic(err)
+		}
+		if cfg.batch > 1 {
+			conn = transport.NewBatcher(conn, transport.BatcherConfig{
+				MaxBatch:   cfg.batch,
+				FlushEvery: cfg.flush,
+			})
+		}
+		objIDs := make([]string, cfg.objects)
+		for i := range objIDs {
+			objIDs[i] = fmt.Sprintf("%s/obj-%d", id, i)
+		}
+		wg.Add(1)
+		go func(id string, conn transport.SourceConn) {
+			defer wg.Done()
+			defer conn.Close()
+			var version uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				version++
+				r := wire.Refresh{
+					SourceID: id,
+					ObjectID: objIDs[int(version)%len(objIDs)],
+					Version:  version,
+					Value:    float64(version),
+				}
+				if err := conn.SendRefresh(r); err != nil {
+					return
+				}
+			}
+		}(id, conn)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	applied := cache.Stats().Refreshes
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	cache.Close()
+	net.Close()
+	return tpResult{cfg: cfg, applied: applied, rate: float64(applied) / elapsed.Seconds()}
+}

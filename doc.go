@@ -1,14 +1,30 @@
 // Package bestsync is a from-scratch Go implementation of best-effort cache
 // synchronization with source cooperation (Olston & Widom, SIGMOD 2002).
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map); runnable entry points are:
+// The repository has two halves sharing the same protocol core
+// (internal/core, internal/metric, internal/priority):
 //
-//   - cmd/syncbench — regenerate the paper's tables and figures
+//   - a discrete-event simulation half (internal/engine, internal/cgm,
+//     internal/experiments) that reproduces the paper's tables and figures
+//     on a virtual clock, and
+//   - a live half (internal/runtime, internal/transport, internal/wire)
+//     that runs the same protocol over wall-clock time and TCP, with a
+//     sharded concurrent cache store and batched refresh framing for
+//     production-scale throughput.
+//
+// Runnable entry points:
+//
+//   - cmd/syncbench — regenerate the paper's tables and figures, or (with
+//     -throughput) benchmark the live runtime's refresh-apply path
 //   - cmd/syncsim   — run one simulation with custom parameters
 //   - cmd/cachesyncd, cmd/sourceagent — live TCP cache and source daemons
 //   - examples/*    — library usage walkthroughs
 //
-// The benchmarks in bench_test.go map one-to-one onto the experiment index
-// in DESIGN.md §3.
+// The benchmarks in bench_test.go map one-to-one onto the experiment
+// registry of internal/experiments, plus BenchmarkShardedApply and
+// BenchmarkBatchedTCP for the live hot path. The formal algorithm
+// specification (divergence
+// metrics, priority functions, threshold feedback loop, CGM allocation) is
+// in docs/algorithm-specifications.md; README.md has quickstart
+// transcripts.
 package bestsync

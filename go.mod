@@ -1,0 +1,3 @@
+module bestsync
+
+go 1.24

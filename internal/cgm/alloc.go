@@ -21,6 +21,8 @@
 // finding is equivalent and deterministic. A well-known consequence of the
 // condition falls out naturally: objects with μλ ≥ 1 (changing too fast to
 // be worth refreshing) receive f = 0.
+//
+// docs/algorithm-specifications.md §5 summarizes the allocation problem.
 package cgm
 
 import "math"

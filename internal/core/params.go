@@ -9,6 +9,9 @@
 // The types here are pure protocol logic, independent of any clock or
 // transport: the discrete-event simulator (internal/engine) and the live
 // goroutine runtime (internal/runtime) both drive them.
+//
+// docs/algorithm-specifications.md §4 gives the formal specification of the
+// threshold algorithm with its symbols and defaults.
 package core
 
 import "fmt"

@@ -160,6 +160,9 @@ func TestF5ShapeAndTracking(t *testing.T) {
 }
 
 func TestF6Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("F6 quick grid takes ~5s")
+	}
 	out := F6VsCGM(Quick, 1)
 	if len(out.Figures) != 2 { // m = 10, 100 (quick)
 		t.Fatalf("figures = %d, want 2", len(out.Figures))

@@ -9,6 +9,8 @@
 // exactly with O(1) work per event. This is the basis both for exact
 // measurement of time-averaged divergence and for the area-above-the-curve
 // refresh priority of Section 3.3.
+//
+// docs/algorithm-specifications.md §2 gives the formal definitions.
 package metric
 
 import (

@@ -2,6 +2,8 @@
 // (SIGMOD 2002), Sections 3.3–3.4 and 9, together with an indexed max-heap
 // used by sources and the idealized global scheduler to track the
 // highest-priority modified objects.
+//
+// docs/algorithm-specifications.md §3 gives the formulas side by side.
 package priority
 
 import "fmt"

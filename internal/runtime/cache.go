@@ -1,6 +1,6 @@
 // Package runtime is a live, goroutine-based implementation of the paper's
 // cooperative synchronization protocol, reusing the pure protocol logic of
-// internal/core. A Cache node consumes refresh messages under a token-bucket
+// internal/core. A Cache node consumes refresh batches under a token-bucket
 // processing budget (the cache-side bandwidth) and spends surplus budget on
 // positive feedback to the highest-threshold sources; Source nodes watch
 // locally updated objects, rank them with the Section 3 priority functions,
@@ -9,10 +9,39 @@
 // Wall-clock time replaces the simulator's virtual clock; everything else —
 // the α/ω/β threshold rules, piggybacked thresholds, surplus-driven feedback
 // — is the same code path exercised by the experiments.
+//
+// # Sharding
+//
+// The cache store is split into N independent shards, each with its own
+// lock, bounded apply queue, worker goroutine, and divergence/bandwidth
+// counters. A refresh is routed to the shard owning the hash of its object
+// key; object keys are source-qualified by convention ("source/obj-n"), so
+// the hash distributes (source, object-key) pairs across shards. A central
+// dispatcher goroutine owns the protocol state that is inherently global —
+// the token-bucket budget, the per-source threshold tracker, and feedback
+// targeting — and fans incoming batches out to the shard queues; workers
+// apply refreshes to their shard's store in parallel. Per-shard statistics
+// are merged periodically (once per second) into rate gauges for the
+// status endpoint and merged on demand by Stats.
+//
+// # Back-pressure
+//
+// Every stage is bounded: transport batch channel → dispatcher (gated by
+// the token bucket) → per-shard queues (ShardQueue batches deep) → worker.
+// When a shard's worker falls behind, its queue fills and the dispatcher
+// blocks, which in turn fills the transport channel and stalls the sources'
+// SendRefresh calls — the network queueing of the paper's model, now with
+// parallel drains.
+//
+// docs/algorithm-specifications.md §6 specifies the shard/batch semantics
+// and the full back-pressure chain.
 package runtime
 
 import (
+	"hash/maphash"
+	stdruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestsync/internal/core"
@@ -27,6 +56,13 @@ type CacheConfig struct {
 	// Tick is the protocol interval (default 100 ms): budget accrual,
 	// surplus detection and feedback all run once per tick.
 	Tick time.Duration
+	// Shards is the number of independent store shards (default
+	// GOMAXPROCS). One worker goroutine drains each shard's queue.
+	Shards int
+	// ShardQueue is the per-shard apply-queue depth in batches (default
+	// 64). A full queue blocks the dispatcher — see the package's
+	// back-pressure contract.
+	ShardQueue int
 	// Params tunes the threshold algorithm; zero means paper defaults.
 	Params core.Params
 	// Now overrides the clock (tests); defaults to time.Now.
@@ -44,25 +80,60 @@ type Entry struct {
 
 // CacheStats counts protocol activity.
 type CacheStats struct {
-	Refreshes int
-	Feedbacks int
-	Sources   int
+	Refreshes  int
+	Feedbacks  int
+	Sources    int
+	Stale      int     // refreshes dropped as stale duplicates or old epochs
+	Divergence float64 // cumulative |Δvalue| absorbed by applied refreshes
+}
+
+// shardStats is the per-shard slice of CacheStats, owned by the shard's
+// worker under the shard lock.
+type shardStats struct {
+	refreshes  int
+	stale      int
+	divergence float64
+}
+
+// shard is one independent slice of the cache store.
+type shard struct {
+	mu    sync.Mutex
+	store map[string]Entry
+	stats shardStats
+	queue chan []wire.Refresh
 }
 
 // Cache is a live cache node.
 type Cache struct {
-	cfg CacheConfig
-	ep  transport.CacheEndpoint
+	cfg    CacheConfig
+	ep     transport.CacheEndpoint
+	shards []*shard
+	seed   maphash.Seed
 
-	mu      sync.Mutex
-	store   map[string]Entry
-	tracker *core.Cache // threshold tracking, sized dynamically
+	mu      sync.Mutex // guards tracker, source table, central counters
+	tracker *core.Cache
 	srcIdx  map[string]int
 	srcIDs  []string
-	stats   CacheStats
+	fbSent  int
+
+	// outstanding counts refreshes dispatched to shard queues but not yet
+	// applied; the surplus-feedback rule requires a fully drained cache,
+	// not just an empty intake channel.
+	outstanding atomic.Int64
+
+	rateMu    sync.Mutex // guards the periodically merged gauges
+	applyRate float64    // refreshes applied per second, last merge window
+	lastMerge mergeMark
 
 	stop chan struct{}
 	done chan struct{}
+	wg   sync.WaitGroup // shard workers
+}
+
+// mergeMark remembers the last periodic stats merge.
+type mergeMark struct {
+	at        time.Time
+	refreshes int
 }
 
 // NewCache starts a cache node consuming from ep. Close the cache (not the
@@ -77,46 +148,98 @@ func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = stdruntime.GOMAXPROCS(0)
+	}
+	if cfg.ShardQueue <= 0 {
+		cfg.ShardQueue = 64
+	}
 	if cfg.Params == (core.Params{}) {
 		cfg.Params = core.DefaultParams(1, cfg.Bandwidth)
 	}
 	c := &Cache{
 		cfg:    cfg,
 		ep:     ep,
-		store:  map[string]Entry{},
+		seed:   maphash.MakeSeed(),
 		srcIdx: map[string]int{},
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	c.lastMerge.at = cfg.Now()
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			store: map[string]Entry{},
+			queue: make(chan []wire.Refresh, cfg.ShardQueue),
+		}
+		c.wg.Add(1)
+		go c.worker(c.shards[i])
 	}
 	go c.loop()
 	return c
 }
 
+// shardIndex routes an object key to its owning shard.
+func (c *Cache) shardIndex(objectID string) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return int(maphash.String(c.seed, objectID) % uint64(len(c.shards)))
+}
+
+func (c *Cache) shardFor(objectID string) *shard {
+	return c.shards[c.shardIndex(objectID)]
+}
+
 // Get returns the cached copy of an object.
 func (c *Cache) Get(objectID string) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.store[objectID]
+	sh := c.shardFor(objectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.store[objectID]
 	return e, ok
 }
 
 // Len returns the number of cached objects.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.store)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.store)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of protocol counters.
+// Shards returns the configured shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Stats merges the per-shard counters with the central protocol counters.
 func (c *Cache) Stats() CacheStats {
+	var s CacheStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Refreshes += sh.stats.refreshes
+		s.Stale += sh.stats.stale
+		s.Divergence += sh.stats.divergence
+		sh.mu.Unlock()
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
+	s.Feedbacks = c.fbSent
 	s.Sources = len(c.srcIdx)
+	c.mu.Unlock()
 	return s
 }
 
-// Close stops the cache loop.
+// ApplyRate returns the refresh-apply throughput (messages/second) measured
+// over the most recent periodic stats-merge window.
+func (c *Cache) ApplyRate() float64 {
+	c.rateMu.Lock()
+	defer c.rateMu.Unlock()
+	return c.applyRate
+}
+
+// Close stops the dispatcher and the shard workers.
 func (c *Cache) Close() error {
 	select {
 	case <-c.stop:
@@ -125,10 +248,15 @@ func (c *Cache) Close() error {
 	}
 	close(c.stop)
 	<-c.done
+	for _, sh := range c.shards {
+		close(sh.queue)
+	}
+	c.wg.Wait()
 	return nil
 }
 
-// sourceIndex interns a source id for the core threshold tracker.
+// sourceIndex interns a source id for the core threshold tracker. Caller
+// holds c.mu.
 func (c *Cache) sourceIndex(id string) int {
 	if idx, ok := c.srcIdx[id]; ok {
 		return idx
@@ -136,8 +264,8 @@ func (c *Cache) sourceIndex(id string) int {
 	idx := len(c.srcIDs)
 	c.srcIdx[id] = idx
 	c.srcIDs = append(c.srcIDs, id)
-	// Re-size the tracker preserving nothing: thresholds re-learn from the
-	// next piggybacks, which arrive with every refresh.
+	// Re-size the tracker preserving known thresholds: they re-learn from
+	// the next piggybacks, which arrive with every refresh.
 	fresh := core.NewCache(len(c.srcIDs))
 	if c.tracker != nil {
 		for i := 0; i < idx; i++ {
@@ -150,6 +278,10 @@ func (c *Cache) sourceIndex(id string) int {
 	return idx
 }
 
+// mergeInterval paces the periodic merge of per-shard counters into the
+// rate gauges served by Status.
+const mergeInterval = time.Second
+
 func (c *Cache) loop() {
 	defer close(c.done)
 	ticker := time.NewTicker(c.cfg.Tick)
@@ -159,8 +291,15 @@ func (c *Cache) loop() {
 	if burst < 1 {
 		burst = 1
 	}
-	refreshes := c.ep.Refreshes()
+	batches := c.ep.Batches()
 	for {
+		// Gate the intake on the token bucket: with no budget left the
+		// dispatcher stops reading, the transport channel fills, and
+		// sources feel back-pressure.
+		in := batches
+		if budget < 1 {
+			in = nil
+		}
 		select {
 		case <-c.stop:
 			return
@@ -169,48 +308,129 @@ func (c *Cache) loop() {
 			if budget > burst {
 				budget = burst
 			}
-			// Drain refreshes up to the budget.
-			drained := false
-			for budget >= 1 {
-				select {
-				case r := <-refreshes:
-					c.apply(r)
-					budget--
-				default:
-					drained = true
-				}
-				if drained {
-					break
-				}
-			}
-			// Surplus → positive feedback to highest-threshold sources.
-			if drained && budget >= 1 {
+			// Surplus → positive feedback to highest-threshold sources,
+			// but only when truly drained: nothing waiting at the intake
+			// and nothing still queued for the shard workers. A backlogged
+			// apply path must not advertise spare capacity.
+			if len(batches) == 0 && c.outstanding.Load() == 0 && budget >= 1 {
 				budget -= float64(c.sendFeedback(int(budget)))
 			}
+			c.maybeMergeStats()
+		case b, ok := <-in:
+			if !ok {
+				batches = nil // endpoint closed; keep serving reads
+				continue
+			}
+			// A batch spends one budget unit per refresh; a large batch
+			// may push the bucket negative, which simply delays the next
+			// intake — the same accounting a message-at-a-time drain
+			// converges to.
+			budget -= float64(len(b.Refreshes))
+			c.dispatch(b)
 		}
 	}
 }
 
-// apply installs one refresh into the store.
-func (c *Cache) apply(r wire.Refresh) {
+// dispatch observes piggybacked thresholds and fans a batch's refreshes out
+// to the owning shards. Shard-queue sends block when a worker is behind
+// (back-pressure) but abort on shutdown.
+func (c *Cache) dispatch(b wire.RefreshBatch) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	cur, ok := c.store[r.ObjectID]
+	for i := range b.Refreshes {
+		r := &b.Refreshes[i]
+		c.tracker.ObserveThreshold(c.sourceIndex(r.SourceID), r.Threshold)
+	}
+	c.mu.Unlock()
+	c.outstanding.Add(int64(len(b.Refreshes)))
+	if len(c.shards) == 1 {
+		c.enqueue(c.shards[0], b.Refreshes)
+		return
+	}
+	parts := make([][]wire.Refresh, len(c.shards))
+	for _, r := range b.Refreshes {
+		i := c.shardIndex(r.ObjectID)
+		parts[i] = append(parts[i], r)
+	}
+	for i, p := range parts {
+		if len(p) > 0 {
+			c.enqueue(c.shards[i], p)
+		}
+	}
+}
+
+func (c *Cache) enqueue(sh *shard, rs []wire.Refresh) {
+	select {
+	case sh.queue <- rs:
+	case <-c.stop:
+	}
+}
+
+// worker drains one shard's queue, applying refreshes under the shard lock.
+func (c *Cache) worker(sh *shard) {
+	defer c.wg.Done()
+	for rs := range sh.queue {
+		now := c.cfg.Now()
+		sh.mu.Lock()
+		for _, r := range rs {
+			applyLocked(sh, r, now)
+		}
+		sh.mu.Unlock()
+		c.outstanding.Add(-int64(len(rs)))
+	}
+}
+
+// applyLocked installs one refresh into the shard store. Caller holds sh.mu.
+func applyLocked(sh *shard, r wire.Refresh, now time.Time) {
+	cur, ok := sh.store[r.ObjectID]
 	if ok && r.Epoch == cur.Epoch && r.Version < cur.Version {
-		return // stale duplicate within the same source incarnation
+		sh.stats.stale++ // stale duplicate within the same source incarnation
+		return
 	}
 	if ok && r.Epoch < cur.Epoch {
-		return // message from a superseded incarnation
+		sh.stats.stale++ // message from a superseded incarnation
+		return
 	}
-	c.store[r.ObjectID] = Entry{
+	if ok {
+		d := r.Value - cur.Value
+		if d < 0 {
+			d = -d
+		}
+		sh.stats.divergence += d
+	}
+	sh.store[r.ObjectID] = Entry{
 		Value:     r.Value,
 		Version:   r.Version,
 		Epoch:     r.Epoch,
 		Source:    r.SourceID,
-		Refreshed: c.cfg.Now(),
+		Refreshed: now,
 	}
-	c.tracker.ObserveThreshold(c.sourceIndex(r.SourceID), r.Threshold)
-	c.stats.Refreshes++
+	sh.stats.refreshes++
+}
+
+// maybeMergeStats periodically folds the per-shard counters into the rate
+// gauges exposed by Status/ApplyRate.
+func (c *Cache) maybeMergeStats() {
+	now := c.cfg.Now()
+	c.rateMu.Lock()
+	elapsed := now.Sub(c.lastMerge.at)
+	if elapsed < mergeInterval {
+		c.rateMu.Unlock()
+		return
+	}
+	prev := c.lastMerge
+	c.rateMu.Unlock()
+
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += sh.stats.refreshes
+		sh.mu.Unlock()
+	}
+
+	c.rateMu.Lock()
+	c.applyRate = float64(total-prev.refreshes) / elapsed.Seconds()
+	c.lastMerge = mergeMark{at: now, refreshes: total}
+	c.rateMu.Unlock()
 }
 
 // sendFeedback spends up to k surplus units on feedback messages and
@@ -241,7 +461,7 @@ func (c *Cache) sendFeedback(k int) int {
 		}
 	}
 	c.mu.Lock()
-	c.stats.Feedbacks += sent
+	c.fbSent += sent
 	c.mu.Unlock()
 	return sent
 }

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// shardedCache builds a cache with an explicit shard count over a Local
+// network with an unconstrained processing budget.
+func shardedCache(shards int, net transport.CacheEndpoint) *Cache {
+	return NewCache(CacheConfig{
+		Bandwidth: 1e7,
+		Tick:      2 * time.Millisecond,
+		Shards:    shards,
+	}, net)
+}
+
+// pump sends n distinct-object refreshes in batches of batch and waits for
+// all of them to be applied.
+func pump(t *testing.T, c *Cache, conn transport.SourceConn, n, batch int) {
+	t.Helper()
+	rs := make([]wire.Refresh, 0, batch)
+	for i := 0; i < n; i++ {
+		rs = append(rs, wire.Refresh{
+			SourceID: "s1",
+			ObjectID: fmt.Sprintf("s1/obj-%d", i),
+			Value:    float64(i),
+			Version:  1,
+		})
+		if len(rs) == batch || i == n-1 {
+			if err := conn.SendBatch(rs); err != nil {
+				t.Fatal(err)
+			}
+			rs = rs[:0]
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return c.Len() == n },
+		fmt.Sprintf("%d objects to be applied", n))
+}
+
+func TestSingleShardBehavesLikeUnsharded(t *testing.T) {
+	net := transport.NewLocal(64)
+	c := shardedCache(1, net)
+	defer c.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pump(t, c, conn, 50, 8)
+	if c.Shards() != 1 {
+		t.Errorf("shards = %d, want 1", c.Shards())
+	}
+	st := c.Stats()
+	if st.Refreshes != 50 {
+		t.Errorf("refreshes = %d, want 50", st.Refreshes)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := c.Get(fmt.Sprintf("s1/obj-%d", i)); !ok {
+			t.Fatalf("object %d missing", i)
+		}
+	}
+}
+
+func TestMoreShardsThanObjects(t *testing.T) {
+	net := transport.NewLocal(64)
+	c := shardedCache(32, net)
+	defer c.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pump(t, c, conn, 3, 3) // 3 objects across 32 shards
+	if got := c.Len(); got != 3 {
+		t.Errorf("len = %d, want 3", got)
+	}
+	st := c.Stats()
+	if st.Refreshes != 3 {
+		t.Errorf("refreshes = %d, want 3", st.Refreshes)
+	}
+}
+
+func TestShardStatsMerge(t *testing.T) {
+	net := transport.NewLocal(64)
+	c := shardedCache(4, net)
+	defer c.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pump(t, c, conn, 200, 16)
+
+	// Stats must account for every applied refresh across all shards, and
+	// the store must be spread over more than one shard.
+	st := c.Stats()
+	if st.Refreshes != 200 {
+		t.Errorf("merged refreshes = %d, want 200", st.Refreshes)
+	}
+	populated := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if len(sh.store) > 0 {
+			populated++
+		}
+		sh.mu.Unlock()
+	}
+	if populated < 2 {
+		t.Errorf("only %d of 4 shards populated — hash not spreading", populated)
+	}
+}
+
+func TestShardedStaleAndDivergenceAccounting(t *testing.T) {
+	net := transport.NewLocal(64)
+	c := shardedCache(4, net)
+	defer c.Close()
+	conn, err := net.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(ver uint64, val float64) {
+		if err := conn.SendRefresh(wire.Refresh{
+			SourceID: "s1", ObjectID: "s1/x", Version: ver, Value: val,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(2, 10)
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := c.Get("s1/x")
+		return ok && e.Version == 2
+	}, "version 2 to land")
+	send(1, 99) // stale: lower version, same (zero) epoch
+	send(3, 14) // |14-10| = 4 divergence absorbed
+	waitFor(t, 2*time.Second, func() bool {
+		e, _ := c.Get("s1/x")
+		return e.Version == 3
+	}, "version 3 to land")
+	waitFor(t, 2*time.Second, func() bool { return c.Stats().Stale == 1 },
+		"stale drop to be counted")
+	st := c.Stats()
+	if st.Divergence != 4 {
+		t.Errorf("divergence = %v, want 4", st.Divergence)
+	}
+	if e, _ := c.Get("s1/x"); e.Value != 14 {
+		t.Errorf("value = %v, want 14", e.Value)
+	}
+}
+
+func TestSnapshotAcrossShardCounts(t *testing.T) {
+	// A snapshot saved by an 8-shard cache must load into a 2-shard cache
+	// (and vice versa): the on-disk format is shard-free.
+	netA := transport.NewLocal(64)
+	a := shardedCache(8, netA)
+	defer a.Close()
+	connA, err := netA.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	pump(t, a, connA, 40, 8)
+
+	var buf bytes.Buffer
+	if err := a.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	netB := transport.NewLocal(4)
+	b := shardedCache(2, netB)
+	defer b.Close()
+	if err := b.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 40 {
+		t.Fatalf("restored %d objects, want 40", b.Len())
+	}
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("s1/obj-%d", i)
+		e, ok := b.Get(id)
+		if !ok || e.Value != float64(i) {
+			t.Errorf("object %s = %+v (ok=%v)", id, e, ok)
+		}
+	}
+}
+
+func TestApplyRateGauge(t *testing.T) {
+	net := transport.NewLocal(64)
+	c := shardedCache(2, net)
+	defer c.Close()
+	if got := c.ApplyRate(); got != 0 {
+		t.Errorf("initial apply rate = %v, want 0", got)
+	}
+	st := c.Status(0)
+	if st.Shards != 2 {
+		t.Errorf("status shards = %d, want 2", st.Shards)
+	}
+}

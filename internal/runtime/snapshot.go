@@ -19,21 +19,24 @@ type snapshot struct {
 
 // SaveSnapshot writes the current store to w (gob-encoded). A cache daemon
 // can persist across restarts without re-fetching every object from its
-// sources.
+// sources. Shards are serialized into one flat map, so snapshots survive
+// shard-count changes between runs.
 func (c *Cache) SaveSnapshot(w io.Writer) error {
-	c.mu.Lock()
-	snap := snapshot{Version: snapshotVersion, Store: make(map[string]Entry, len(c.store))}
-	for id, e := range c.store {
-		snap.Store[id] = e
+	snap := snapshot{Version: snapshotVersion, Store: map[string]Entry{}}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for id, e := range sh.store {
+			snap.Store[id] = e
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// LoadSnapshot merges a previously saved store into the cache. Live entries
-// win over snapshot entries when they are newer (by source epoch, then
-// version), so loading an old snapshot under traffic never regresses the
-// store.
+// LoadSnapshot merges a previously saved store into the cache, distributing
+// entries to their owning shards. Live entries win over snapshot entries
+// when they are newer (by source epoch, then version), so loading an old
+// snapshot under traffic never regresses the store.
 func (c *Cache) LoadSnapshot(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -42,14 +45,14 @@ func (c *Cache) LoadSnapshot(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("runtime: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for id, e := range snap.Store {
-		cur, ok := c.store[id]
-		if ok && (cur.Epoch > e.Epoch || (cur.Epoch == e.Epoch && cur.Version >= e.Version)) {
-			continue
+		sh := c.shardFor(id)
+		sh.mu.Lock()
+		cur, ok := sh.store[id]
+		if !ok || cur.Epoch < e.Epoch || (cur.Epoch == e.Epoch && cur.Version < e.Version) {
+			sh.store[id] = e
 		}
-		c.store[id] = e
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -15,11 +15,12 @@ func cacheWithEntries(t *testing.T, entries map[string]Entry) *Cache {
 	t.Helper()
 	net := transport.NewLocal(4)
 	c := fastCache(net, 1000)
-	c.mu.Lock()
 	for id, e := range entries {
-		c.store[id] = e
+		sh := c.shardFor(id)
+		sh.mu.Lock()
+		sh.store[id] = e
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return c
 }
 

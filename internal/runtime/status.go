@@ -17,14 +17,18 @@ type StatusObject struct {
 	AgeMillis int64     `json:"age_ms"`
 }
 
-// Status is the cache's observability snapshot.
+// Status is the cache's observability snapshot, merged across shards.
 type Status struct {
-	Objects   int            `json:"objects"`
-	Sources   int            `json:"sources"`
-	Refreshes int            `json:"refreshes"`
-	Feedbacks int            `json:"feedbacks"`
-	Bandwidth float64        `json:"bandwidth_msgs_per_s"`
-	Sample    []StatusObject `json:"sample,omitempty"`
+	Objects    int            `json:"objects"`
+	Sources    int            `json:"sources"`
+	Refreshes  int            `json:"refreshes"`
+	Feedbacks  int            `json:"feedbacks"`
+	Stale      int            `json:"stale_dropped"`
+	Divergence float64        `json:"divergence_absorbed"`
+	Bandwidth  float64        `json:"bandwidth_msgs_per_s"`
+	Shards     int            `json:"shards"`
+	ApplyRate  float64        `json:"apply_rate_msgs_per_s"`
+	Sample     []StatusObject `json:"sample,omitempty"`
 }
 
 // Status returns a snapshot including up to sample cached objects (the most
@@ -32,29 +36,35 @@ type Status struct {
 func (c *Cache) Status(sample int) Status {
 	st := c.Stats()
 	out := Status{
-		Objects:   c.Len(),
-		Sources:   st.Sources,
-		Refreshes: st.Refreshes,
-		Feedbacks: st.Feedbacks,
-		Bandwidth: c.cfg.Bandwidth,
+		Objects:    c.Len(),
+		Sources:    st.Sources,
+		Refreshes:  st.Refreshes,
+		Feedbacks:  st.Feedbacks,
+		Stale:      st.Stale,
+		Divergence: st.Divergence,
+		Bandwidth:  c.cfg.Bandwidth,
+		Shards:     len(c.shards),
+		ApplyRate:  c.ApplyRate(),
 	}
 	if sample <= 0 {
 		return out
 	}
 	now := c.cfg.Now()
-	c.mu.Lock()
-	objs := make([]StatusObject, 0, len(c.store))
-	for id, e := range c.store {
-		objs = append(objs, StatusObject{
-			ID:        id,
-			Value:     e.Value,
-			Version:   e.Version,
-			Source:    e.Source,
-			Refreshed: e.Refreshed,
-			AgeMillis: now.Sub(e.Refreshed).Milliseconds(),
-		})
+	var objs []StatusObject
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for id, e := range sh.store {
+			objs = append(objs, StatusObject{
+				ID:        id,
+				Value:     e.Value,
+				Version:   e.Version,
+				Source:    e.Source,
+				Refreshed: e.Refreshed,
+				AgeMillis: now.Sub(e.Refreshed).Milliseconds(),
+			})
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	sort.Slice(objs, func(i, j int) bool {
 		if !objs[i].Refreshed.Equal(objs[j].Refreshed) {
 			return objs[i].Refreshed.After(objs[j].Refreshed)

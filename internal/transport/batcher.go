@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bestsync/internal/wire"
+)
+
+// BatcherConfig tunes a Batcher.
+type BatcherConfig struct {
+	// MaxBatch is the batch size that triggers an immediate flush; the
+	// goroutine whose send fills the batch performs the flush itself, so
+	// back-pressure from the cache still lands on the sender. Default 64.
+	MaxBatch int
+	// FlushEvery bounds how long a partial batch may sit before it is
+	// flushed by the background timer, i.e. the extra latency batching may
+	// add to a refresh. Default 5 ms.
+	FlushEvery time.Duration
+}
+
+// NewBatcher wraps conn so that individual SendRefresh calls are coalesced
+// into wire.RefreshBatch envelopes: a flush happens as soon as MaxBatch
+// refreshes are pending, or after FlushEvery for partial batches. Refresh
+// order is preserved. Closing the Batcher flushes whatever is pending and
+// then closes the underlying connection.
+//
+// A flush error is returned to the send that triggered it; errors from
+// timer-driven flushes are sticky and surface on the next send.
+func NewBatcher(conn SourceConn, cfg BatcherConfig) SourceConn {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 5 * time.Millisecond
+	}
+	b := &batcher{
+		conn: conn,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+type batcher struct {
+	conn SourceConn
+	cfg  BatcherConfig
+
+	mu      sync.Mutex // guards pending, err, closed
+	pending []wire.Refresh
+	err     error
+	closed  bool
+
+	flushMu sync.Mutex // serializes flushes so batches stay in order
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// SendRefresh implements SourceConn.
+func (b *batcher) SendRefresh(r wire.Refresh) error {
+	return b.append([]wire.Refresh{r})
+}
+
+// SendBatch implements SourceConn.
+func (b *batcher) SendBatch(rs []wire.Refresh) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	return b.append(rs)
+}
+
+func (b *batcher) append(rs []wire.Refresh) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	b.pending = append(b.pending, rs...)
+	full := len(b.pending) >= b.cfg.MaxBatch
+	b.mu.Unlock()
+	if full {
+		return b.flush()
+	}
+	return nil
+}
+
+// flush sends everything pending as one batch. Concurrent callers queue on
+// flushMu, so a blocked downstream send stalls every sender — the
+// back-pressure contract of the package doc.
+func (b *batcher) flush() error {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.mu.Lock()
+	rs := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(rs) == 0 {
+		return nil
+	}
+	if err := b.conn.SendBatch(rs); err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.cfg.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			b.flush() // sticky error surfaces on the next send
+		}
+	}
+}
+
+// Feedback implements SourceConn.
+func (b *batcher) Feedback() <-chan wire.Feedback { return b.conn.Feedback() }
+
+// closeFlushWait bounds how long Close waits for the final flush before
+// tearing the connection down anyway: a stalled peer (closed TCP window,
+// cache that stopped draining) must not wedge shutdown.
+const closeFlushWait = time.Second
+
+// Close implements SourceConn: reject further sends, attempt a final flush
+// of whatever is pending (bounded by closeFlushWait), then close the
+// wrapped connection — which also unblocks a flush stuck in a TCP write.
+// A failed or timed-out final flush surfaces in the returned error.
+func (b *batcher) Close() error {
+	var err error
+	b.once.Do(func() {
+		close(b.stop)
+		<-b.done
+		// Mark closed before flushing so a send racing Close gets
+		// ErrClosed instead of a silently dropped refresh.
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		flushErr := make(chan error, 1)
+		go func() { flushErr <- b.flush() }()
+		select {
+		case err = <-flushErr:
+		case <-time.After(closeFlushWait):
+			err = fmt.Errorf("transport: close timed out flushing pending batch")
+		}
+		if cerr := b.conn.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/wire"
+)
+
+func refreshes(src string, n int) []wire.Refresh {
+	rs := make([]wire.Refresh, n)
+	for i := range rs {
+		rs[i] = wire.Refresh{
+			SourceID: src,
+			ObjectID: fmt.Sprintf("%s/obj-%d", src, i),
+			Value:    float64(i),
+			Version:  uint64(i + 1),
+		}
+	}
+	return rs
+}
+
+func TestLocalBatchRoundTrip(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	conn, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refreshes("s1", 5)
+	if err := conn.SendBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-l.Batches():
+		if len(b.Refreshes) != len(want) {
+			t.Fatalf("batch has %d refreshes, want %d", len(b.Refreshes), len(want))
+		}
+		for i, r := range b.Refreshes {
+			if r != want[i] {
+				t.Errorf("refresh %d = %+v, want %+v", i, r, want[i])
+			}
+		}
+	case <-time.After(time.Second):
+		t.Fatal("batch not delivered")
+	}
+	// Empty batches are a no-op, not an error.
+	if err := conn.SendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestTCPBatchRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+	conn, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	want := refreshes("s1", 7)
+	// Spoofed source ids inside the batch get stamped from the stream.
+	want[3].SourceID = "spoof"
+	if err := conn.SendBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-srv.Batches():
+		if len(b.Refreshes) != len(want) {
+			t.Fatalf("batch has %d refreshes, want %d", len(b.Refreshes), len(want))
+		}
+		for i, r := range b.Refreshes {
+			if r.SourceID != "s1" {
+				t.Errorf("refresh %d source = %q, want stream identity", i, r.SourceID)
+			}
+			if r.ObjectID != want[i].ObjectID || r.Value != want[i].Value {
+				t.Errorf("refresh %d = %+v, want %+v", i, r, want[i])
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch not received")
+	}
+}
+
+func TestBatcherFlushBySize(t *testing.T) {
+	l := NewLocal(16)
+	defer l.Close()
+	raw, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long flush interval isolates the size trigger.
+	b := NewBatcher(raw, BatcherConfig{MaxBatch: 4, FlushEvery: time.Hour})
+	defer b.Close()
+	for _, r := range refreshes("s1", 4) {
+		if err := b.SendRefresh(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case got := <-l.Batches():
+		if len(got.Refreshes) != 4 {
+			t.Errorf("batch size = %d, want 4", len(got.Refreshes))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("size-triggered flush never happened")
+	}
+}
+
+func TestBatcherFlushByInterval(t *testing.T) {
+	l := NewLocal(16)
+	defer l.Close()
+	raw, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(raw, BatcherConfig{MaxBatch: 1000, FlushEvery: 5 * time.Millisecond})
+	defer b.Close()
+	if err := b.SendRefresh(refreshes("s1", 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-l.Batches():
+		if len(got.Refreshes) != 1 {
+			t.Errorf("batch size = %d, want 1", len(got.Refreshes))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("interval-triggered flush never happened")
+	}
+}
+
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	l := NewLocal(16)
+	defer l.Close()
+	raw, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(raw, BatcherConfig{MaxBatch: 1000, FlushEvery: time.Hour})
+	want := refreshes("s1", 3)
+	if err := b.SendBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-l.Batches():
+		if len(got.Refreshes) != 3 {
+			t.Errorf("batch size = %d, want 3", len(got.Refreshes))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not flush pending refreshes")
+	}
+	if err := b.SendRefresh(want[0]); err == nil {
+		t.Error("send after close accepted")
+	}
+}
+
+func TestBatcherPreservesOrder(t *testing.T) {
+	l := NewLocal(64)
+	defer l.Close()
+	raw, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(raw, BatcherConfig{MaxBatch: 8, FlushEvery: time.Millisecond})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := b.SendRefresh(wire.Refresh{
+			SourceID: "s1", ObjectID: "x", Version: uint64(i + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	count := 0
+	for count < n {
+		select {
+		case got := <-l.Batches():
+			for _, r := range got.Refreshes {
+				if r.Version <= last {
+					t.Fatalf("version %d arrived after %d", r.Version, last)
+				}
+				last = r.Version
+				count++
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d refreshes delivered", count, n)
+		}
+	}
+}

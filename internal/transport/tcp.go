@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"bestsync/internal/wire"
 )
 
 // tcpServer implements CacheEndpoint over TCP. Each source opens one
-// connection, sends a wire.Hello, then streams wire.Refresh messages; the
-// server streams wire.Feedback the other way on the same connection.
+// connection, sends a wire.Hello, then streams wire.RefreshBatch envelopes
+// (a single refresh travels as a batch of one); the server streams
+// wire.Feedback the other way on the same connection.
 type tcpServer struct {
-	ln        net.Listener
-	refreshes chan wire.Refresh
+	ln      net.Listener
+	batches chan wire.RefreshBatch
 
 	mu     sync.Mutex
 	conns  map[string]*tcpServerConn
@@ -29,16 +31,16 @@ type tcpServerConn struct {
 }
 
 // Serve wraps a listener as a cache endpoint and starts accepting source
-// connections. buffer sizes the shared refresh channel (the back-pressure
+// connections. buffer sizes the shared batch channel (the back-pressure
 // point standing in for network queueing).
 func Serve(ln net.Listener, buffer int) CacheEndpoint {
 	if buffer < 1 {
 		buffer = 1
 	}
 	s := &tcpServer{
-		ln:        ln,
-		refreshes: make(chan wire.Refresh, buffer),
-		conns:     map[string]*tcpServerConn{},
+		ln:      ln,
+		batches: make(chan wire.RefreshBatch, buffer),
+		conns:   map[string]*tcpServerConn{},
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -79,21 +81,31 @@ func (s *tcpServer) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	for {
-		var r wire.Refresh
-		if err := dec.Decode(&r); err != nil {
+		var b wire.RefreshBatch
+		if err := dec.Decode(&b); err != nil {
 			break
 		}
-		if r.Validate() != nil {
+		// Drop malformed refreshes but keep the rest of the batch; the
+		// stream identity is authoritative for every refresh.
+		valid := b.Refreshes[:0]
+		for _, r := range b.Refreshes {
+			if r.Validate() != nil {
+				continue
+			}
+			r.SourceID = hello.SourceID
+			valid = append(valid, r)
+		}
+		b.Refreshes = valid
+		if len(b.Refreshes) == 0 {
 			continue
 		}
-		r.SourceID = hello.SourceID // the stream identity is authoritative
 		s.mu.Lock()
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
 			break
 		}
-		s.refreshes <- r
+		s.batches <- b
 	}
 	conn.Close()
 	s.mu.Lock()
@@ -103,8 +115,8 @@ func (s *tcpServer) handle(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// Refreshes implements CacheEndpoint.
-func (s *tcpServer) Refreshes() <-chan wire.Refresh { return s.refreshes }
+// Batches implements CacheEndpoint.
+func (s *tcpServer) Batches() <-chan wire.RefreshBatch { return s.batches }
 
 // SendFeedback implements CacheEndpoint.
 func (s *tcpServer) SendFeedback(sourceID string) error {
@@ -195,24 +207,39 @@ func (c *tcpClient) readLoop() {
 		default:
 		}
 	}
-	c.Close()
+	c.closeConn()
+	// readLoop is the only sender on fb, so it is the only safe closer:
+	// Close just tears down the connection, which lands here.
+	close(c.fb)
 }
 
 // SendRefresh implements SourceConn.
 func (c *tcpClient) SendRefresh(r wire.Refresh) error {
+	return c.SendBatch([]wire.Refresh{r})
+}
+
+// SendBatch implements SourceConn.
+func (c *tcpClient) SendBatch(rs []wire.Refresh) error {
+	if len(rs) == 0 {
+		return nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(r)
+	return c.enc.Encode(wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()})
 }
 
 // Feedback implements SourceConn.
 func (c *tcpClient) Feedback() <-chan wire.Feedback { return c.fb }
 
-// Close implements SourceConn.
-func (c *tcpClient) Close() error {
+func (c *tcpClient) closeConn() {
 	c.once.Do(func() {
 		c.conn.Close()
-		close(c.fb)
 	})
+}
+
+// Close implements SourceConn. The feedback channel closes once the read
+// loop observes the dead connection.
+func (c *tcpClient) Close() error {
+	c.closeConn()
 	return nil
 }

@@ -2,12 +2,34 @@
 // are provided: an in-process channel transport (Local) for embedding the
 // whole system in one binary, and a TCP transport (Serve/Dial) using
 // encoding/gob framing for the cmd/cachesyncd and cmd/sourceagent daemons.
+//
+// # Batching
+//
+// The cache-facing side of every transport delivers wire.RefreshBatch
+// envelopes, not individual refreshes: a single SendRefresh travels as a
+// batch of one, and SendBatch (or a Batcher wrapping the connection) frames
+// many refreshes into one envelope, amortizing the per-message gob encode
+// and write syscall across the batch. Batches preserve the order refreshes
+// were sent in, and a batch never mixes refreshes from different sources.
+//
+// # Back-pressure contract
+//
+// Delivery into the cache is bounded end to end. The shared batch channel
+// returned by Batches() has a fixed capacity (the "network queue" of the
+// paper's model); when the cache falls behind, the channel fills, the
+// transport's reader goroutines stall, TCP windows close, and ultimately
+// each source's SendRefresh/SendBatch call blocks. That blocking is the
+// protocol's signal that the cache-side bandwidth is saturated — sources
+// must not buffer unboundedly around it. A Batcher preserves the contract:
+// once its pending buffer reaches the configured batch size, the sending
+// goroutine performs the (possibly blocking) flush itself.
 package transport
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bestsync/internal/wire"
 )
@@ -17,10 +39,14 @@ var ErrClosed = errors.New("transport: closed")
 
 // SourceConn is a source's connection to the cache.
 type SourceConn interface {
-	// SendRefresh transmits a refresh message. It may block when the
-	// cache-side bandwidth is saturated — that back-pressure is the
-	// network queue of the paper's model.
+	// SendRefresh transmits one refresh message (a batch of one on the
+	// wire). It may block when the cache-side bandwidth is saturated —
+	// that back-pressure is the network queue of the paper's model.
 	SendRefresh(wire.Refresh) error
+	// SendBatch transmits several refreshes in one framed envelope,
+	// preserving slice order. It blocks under the same back-pressure
+	// contract as SendRefresh. Empty batches are a no-op.
+	SendBatch([]wire.Refresh) error
 	// Feedback delivers positive-feedback messages from the cache. The
 	// channel is closed when the connection closes.
 	Feedback() <-chan wire.Feedback
@@ -30,8 +56,9 @@ type SourceConn interface {
 
 // CacheEndpoint is the cache's view of all connected sources.
 type CacheEndpoint interface {
-	// Refreshes delivers incoming refresh messages from every source.
-	Refreshes() <-chan wire.Refresh
+	// Batches delivers incoming refresh batches from every source. A
+	// refresh sent individually arrives as a batch of one.
+	Batches() <-chan wire.RefreshBatch
 	// SendFeedback sends positive feedback to one source. Unknown sources
 	// are an error; feedback to a disconnected source is dropped.
 	SendFeedback(sourceID string) error
@@ -44,37 +71,37 @@ type CacheEndpoint interface {
 // Local is an in-process network joining one cache endpoint with any number
 // of source connections.
 type Local struct {
-	mu        sync.Mutex
-	refreshes chan wire.Refresh
-	feedback  map[string]chan wire.Feedback
-	closed    bool
+	mu       sync.Mutex
+	batches  chan wire.RefreshBatch
+	feedback map[string]chan wire.Feedback
+	closed   bool
 }
 
 // NewLocal creates an in-process network. buffer is the capacity of the
-// shared refresh channel — the "network queue"; sends beyond it block until
+// shared batch channel — the "network queue"; sends beyond it block until
 // the cache drains (back-pressure).
 func NewLocal(buffer int) *Local {
 	if buffer < 1 {
 		buffer = 1
 	}
 	return &Local{
-		refreshes: make(chan wire.Refresh, buffer),
-		feedback:  make(map[string]chan wire.Feedback),
+		batches:  make(chan wire.RefreshBatch, buffer),
+		feedback: make(map[string]chan wire.Feedback),
 	}
 }
 
-// Refreshes implements CacheEndpoint.
-func (l *Local) Refreshes() <-chan wire.Refresh { return l.refreshes }
+// Batches implements CacheEndpoint.
+func (l *Local) Batches() <-chan wire.RefreshBatch { return l.batches }
 
-// SendFeedback implements CacheEndpoint.
+// SendFeedback implements CacheEndpoint. The non-blocking send happens
+// under the lock so it can never race a concurrent close of the channel.
 func (l *Local) SendFeedback(sourceID string) error {
 	l.mu.Lock()
-	ch, ok := l.feedback[sourceID]
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	defer l.mu.Unlock()
+	if l.closed {
 		return ErrClosed
 	}
+	ch, ok := l.feedback[sourceID]
 	if !ok {
 		return fmt.Errorf("transport: unknown source %q", sourceID)
 	}
@@ -141,6 +168,23 @@ func (l *Local) Dial(sourceID string) (SourceConn, error) {
 
 // SendRefresh implements SourceConn.
 func (c *localConn) SendRefresh(r wire.Refresh) error {
+	// The one-element slice is freshly owned, so no defensive copy is
+	// needed on the unbatched hot path.
+	return c.send([]wire.Refresh{r})
+}
+
+// SendBatch implements SourceConn.
+func (c *localConn) SendBatch(rs []wire.Refresh) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	// Copy: the caller (e.g. a Batcher) may reuse the slice after we
+	// return, but the batch is consumed asynchronously.
+	return c.send(append([]wire.Refresh(nil), rs...))
+}
+
+// send transfers ownership of rs to the cache side.
+func (c *localConn) send(rs []wire.Refresh) error {
 	c.net.mu.Lock()
 	closed := c.net.closed
 	_, connected := c.net.feedback[c.id]
@@ -148,7 +192,7 @@ func (c *localConn) SendRefresh(r wire.Refresh) error {
 	if closed || !connected {
 		return ErrClosed
 	}
-	c.net.refreshes <- r
+	c.net.batches <- wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()}
 	return nil
 }
 

@@ -8,6 +8,21 @@ import (
 	"bestsync/internal/wire"
 )
 
+// recvOne receives one batch from ch and returns its only refresh.
+func recvOne(t *testing.T, ch <-chan wire.RefreshBatch) wire.Refresh {
+	t.Helper()
+	select {
+	case b := <-ch:
+		if len(b.Refreshes) != 1 {
+			t.Fatalf("batch has %d refreshes, want 1", len(b.Refreshes))
+		}
+		return b.Refreshes[0]
+	case <-time.After(2 * time.Second):
+		t.Fatal("refresh not delivered")
+		return wire.Refresh{}
+	}
+}
+
 func TestLocalRoundTrip(t *testing.T) {
 	l := NewLocal(4)
 	defer l.Close()
@@ -18,13 +33,8 @@ func TestLocalRoundTrip(t *testing.T) {
 	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Value: 1}); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case r := <-l.Refreshes():
-		if r.ObjectID != "a" || r.Value != 1 {
-			t.Errorf("got %+v", r)
-		}
-	case <-time.After(time.Second):
-		t.Fatal("refresh not delivered")
+	if r := recvOne(t, l.Batches()); r.ObjectID != "a" || r.Value != 1 {
+		t.Errorf("got %+v", r)
 	}
 	if err := l.SendFeedback("s1"); err != nil {
 		t.Fatal(err)
@@ -125,13 +135,8 @@ func TestTCPRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case r := <-srv.Refreshes():
-		if r.ObjectID != "a" || r.Value != 3.5 || r.SourceID != "s1" {
-			t.Errorf("got %+v", r)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("refresh not received")
+	if r := recvOne(t, srv.Batches()); r.ObjectID != "a" || r.Value != 3.5 || r.SourceID != "s1" {
+		t.Errorf("got %+v", r)
 	}
 
 	// Feedback requires the server to have registered the source.
@@ -167,13 +172,8 @@ func TestTCPSourceIdentityAuthoritative(t *testing.T) {
 	// A refresh claiming a different source id gets stamped with the
 	// stream identity.
 	conn.SendRefresh(wire.Refresh{SourceID: "spoof", ObjectID: "a", Version: 1})
-	select {
-	case r := <-srv.Refreshes():
-		if r.SourceID != "real" {
-			t.Errorf("source id = %q, want stream identity", r.SourceID)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("refresh not received")
+	if r := recvOne(t, srv.Batches()); r.SourceID != "real" {
+		t.Errorf("source id = %q, want stream identity", r.SourceID)
 	}
 }
 
@@ -190,7 +190,7 @@ func TestTCPReconnectReplacesConn(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Version: 1})
-	<-srv.Refreshes()
+	<-srv.Batches()
 
 	c2, err := Dial(ln.Addr().String(), "s1")
 	if err != nil {
@@ -201,13 +201,8 @@ func TestTCPReconnectReplacesConn(t *testing.T) {
 	if err := c2.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "b", Version: 1}); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case r := <-srv.Refreshes():
-		if r.ObjectID != "b" {
-			t.Errorf("got %+v", r)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("refresh after reconnect not received")
+	if r := recvOne(t, srv.Batches()); r.ObjectID != "b" {
+		t.Errorf("got %+v", r)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {

@@ -7,6 +7,20 @@
 // new object value plus the source's piggybacked local threshold; feedback
 // messages carry no payload — receiving one *is* the signal to decrease the
 // local threshold.
+//
+// # Batching
+//
+// On the hot path refreshes travel inside RefreshBatch envelopes: a source
+// (or a transport.Batcher wrapping its connection) coalesces consecutive
+// refreshes into one batch, amortizing the per-message encode and syscall
+// cost across the whole batch. A batch is purely a framing unit — it carries
+// no protocol state of its own, and the refreshes inside it are applied
+// individually, in order, with exactly the semantics they would have had as
+// separate messages. Batches preserve per-source ordering; refreshes from
+// different sources are never mixed in one batch by the provided transports.
+//
+// See docs/algorithm-specifications.md for the formal protocol
+// specification.
 package wire
 
 import "fmt"
@@ -43,6 +57,32 @@ func (r Refresh) Validate() error {
 	}
 	if r.ObjectID == "" {
 		return fmt.Errorf("wire: refresh with empty object id")
+	}
+	return nil
+}
+
+// RefreshBatch is the unit framed on the source→cache stream: one or more
+// refreshes coalesced to amortize encode/flush overhead. Refreshes are
+// applied in slice order; the last refresh from a given source carries the
+// freshest piggybacked threshold.
+type RefreshBatch struct {
+	Refreshes []Refresh
+	SentUnix  int64 // nanoseconds; diagnostic only
+}
+
+// Validate is the strict client-side check: the batch must be non-empty and
+// every refresh inside it must itself validate. The cache-side transports
+// are deliberately laxer — they validate refreshes individually, dropping
+// malformed ones while keeping the rest of the batch, so one bad message
+// never costs a whole flush.
+func (b RefreshBatch) Validate() error {
+	if len(b.Refreshes) == 0 {
+		return fmt.Errorf("wire: empty refresh batch")
+	}
+	for i := range b.Refreshes {
+		if err := b.Refreshes[i].Validate(); err != nil {
+			return fmt.Errorf("wire: batch[%d]: %w", i, err)
+		}
 	}
 	return nil
 }

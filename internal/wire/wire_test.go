@@ -28,6 +28,63 @@ func TestRefreshValidate(t *testing.T) {
 	}
 }
 
+func TestRefreshBatchValidate(t *testing.T) {
+	good := RefreshBatch{Refreshes: []Refresh{
+		{SourceID: "s", ObjectID: "a"},
+		{SourceID: "s", ObjectID: "b"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := (RefreshBatch{}).Validate(); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := RefreshBatch{Refreshes: []Refresh{
+		{SourceID: "s", ObjectID: "a"},
+		{SourceID: "s"}, // missing object id
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("batch with invalid refresh accepted")
+	}
+}
+
+func TestRefreshBatchGobRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	in := RefreshBatch{
+		SentUnix: 42,
+		Refreshes: []Refresh{
+			{SourceID: "s1", ObjectID: "a", Value: 1.5, Version: 1, Epoch: 9, Threshold: 0.25},
+			{SourceID: "s1", ObjectID: "b", Value: -7, Version: 3, Epoch: 9, Threshold: 0.25},
+			{SourceID: "s1", ObjectID: "c", Value: 0, Version: 2, Epoch: 9, Threshold: 0.5},
+		},
+	}
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out RefreshBatch
+	if err := dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SentUnix != in.SentUnix || len(out.Refreshes) != len(in.Refreshes) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Refreshes {
+		if out.Refreshes[i] != in.Refreshes[i] {
+			t.Errorf("refresh %d: %+v vs %+v", i, out.Refreshes[i], in.Refreshes[i])
+		}
+	}
+	// Successive batches on one stream reuse the gob type definition
+	// (framing overhead is paid once) and stay decodable.
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGobRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
