@@ -8,6 +8,10 @@
 // -batch/-flush flags); -queue bounds each shard's pending-batch queue, the
 // back-pressure point between the dispatcher and the workers.
 //
+// The cache stamps its identity (-id, default the listen address) on the
+// feedback it sends, so fan-out sources (sourceagent -caches) can attribute
+// feedback to the right sync session and report which cache answered.
+//
 // Example:
 //
 //	cachesyncd -addr :7400 -bandwidth 100 -shards 8
@@ -29,6 +33,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7400", "listen address")
+	id := flag.String("id", "", "cache identifier stamped on feedback (default: the listen address)")
 	httpAddr := flag.String("http", "", "optional HTTP status address (e.g. :7401)")
 	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
 	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
@@ -42,14 +47,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("cachesyncd: %v", err)
 	}
+	if *id == "" {
+		*id = ln.Addr().String()
+	}
 	ep := transport.Serve(ln, 256)
 	cache := runtime.NewCache(runtime.CacheConfig{
+		ID:         *id,
 		Bandwidth:  *bw,
 		Shards:     *shards,
 		ShardQueue: *queue,
 	}, ep)
-	log.Printf("cachesyncd: listening on %s, bandwidth %.1f msgs/s, shards=%d",
-		ln.Addr(), *bw, cache.Shards())
+	log.Printf("cachesyncd %s: listening on %s, bandwidth %.1f msgs/s, shards=%d",
+		cache.ID(), ln.Addr(), *bw, cache.Shards())
 	if *snapshotPath != "" {
 		if err := cache.LoadSnapshotFile(*snapshotPath); err != nil {
 			log.Fatalf("cachesyncd: loading snapshot: %v", err)

@@ -1,16 +1,26 @@
 // Command sourceagent runs a live source node over TCP: it generates a
-// random-walk workload over a set of local objects and cooperates with a
-// cachesyncd cache to keep the most important changes synchronized under the
-// configured bandwidth.
+// random-walk workload over a set of local objects and cooperates with one
+// or more cachesyncd caches to keep the most important changes synchronized
+// under the configured bandwidth.
 //
 // Refreshes are coalesced into wire.RefreshBatch envelopes before hitting
 // the TCP stream: -batch caps the batch size (a full batch flushes
 // immediately) and -flush bounds how long a partial batch may wait, i.e.
 // the extra latency batching can add. -batch 1 disables coalescing.
 //
-// Example:
+// # Fan-out
+//
+// With -caches the agent synchronizes several caches at once, running one
+// independent sync session (threshold, priority queue, feedback loop) per
+// cache and dividing -bandwidth across them by the Section 7 share
+// allocation. Each destination is host:port with an optional =weight
+// suffix; omitted weights mean equal shares. Batching is per destination —
+// a batch never spans caches.
+//
+// Examples:
 //
 //	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10 -batch 64
+//	sourceagent -caches cache-a:7400,cache-b:7400=2 -id sensor-7 -bandwidth 30
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"bestsync/internal/metric"
@@ -27,35 +39,81 @@ import (
 	"bestsync/internal/transport"
 )
 
+// parseCaches splits a -caches value ("host:port[=weight],...") into
+// addresses and share weights (0 = default).
+func parseCaches(spec string) (addrs []string, weights []float64, err error) {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		addr, w := part, 0.0
+		if i := strings.LastIndex(part, "="); i >= 0 {
+			addr = part[:i]
+			w, err = strconv.ParseFloat(part[i+1:], 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad cache weight in %q (want host:port=weight with weight > 0)", part)
+			}
+		}
+		addrs = append(addrs, addr)
+		weights = append(weights, w)
+	}
+	if len(addrs) == 0 {
+		return nil, nil, fmt.Errorf("-caches lists no destinations")
+	}
+	return addrs, weights, nil
+}
+
 func main() {
-	addr := flag.String("addr", "localhost:7400", "cache daemon address")
+	addr := flag.String("addr", "localhost:7400", "cache daemon address (single-cache mode)")
+	caches := flag.String("caches", "", "comma-separated cache addresses host:port[=weight] (fan-out mode; overrides -addr)")
 	id := flag.String("id", "source-1", "source identifier")
 	objects := flag.Int("objects", 20, "number of local objects")
 	rate := flag.Float64("rate", 1, "total updates per second across all objects")
-	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second)")
+	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second), shared across all caches")
 	batch := flag.Int("batch", 64, "max refreshes per wire batch (1 = no coalescing)")
 	flush := flag.Duration("flush", 5*time.Millisecond, "max time a partial batch may wait")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
 	flag.Parse()
 
-	conn, err := transport.Dial(*addr, *id)
+	addrs := []string{*addr}
+	weights := []float64{0}
+	if *caches != "" {
+		var err error
+		addrs, weights, err = parseCaches(*caches)
+		if err != nil {
+			log.Fatalf("sourceagent: %v", err)
+		}
+	}
+	conns, err := transport.DialAll(addrs, *id)
 	if err != nil {
 		log.Fatalf("sourceagent: %v", err)
 	}
-	if *batch > 1 {
-		conn = transport.NewBatcher(conn, transport.BatcherConfig{
-			MaxBatch:   *batch,
-			FlushEvery: *flush,
-		})
+	dests := make([]runtime.Destination, len(conns))
+	for i, conn := range conns {
+		if *batch > 1 {
+			conn = transport.NewBatcher(conn, transport.BatcherConfig{
+				MaxBatch:   *batch,
+				FlushEvery: *flush,
+			})
+		}
+		dests[i] = runtime.Destination{
+			CacheID: addrs[i],
+			Conn:    conn,
+			Weight:  weights[i],
+		}
 	}
-	src := runtime.NewSource(runtime.SourceConfig{
+	src, err := runtime.NewFanoutSource(runtime.SourceConfig{
 		ID:        *id,
 		Metric:    metric.ValueDeviation,
 		Bandwidth: *bw,
-	}, conn)
+	}, dests)
+	if err != nil {
+		log.Fatalf("sourceagent: %v", err)
+	}
 	log.Printf("sourceagent %s: %d objects, %.2g updates/s, %.2g msgs/s to %s",
-		*id, *objects, *rate, *bw, *addr)
+		*id, *objects, *rate, *bw, strings.Join(addrs, ", "))
 
 	rng := rand.New(rand.NewSource(*seed))
 	values := make([]float64, *objects)
@@ -86,8 +144,14 @@ func main() {
 			src.Update(fmt.Sprintf("%s/obj-%d", *id, i), values[i])
 		case <-stats.C:
 			st := src.Stats()
-			fmt.Printf("updates=%d refreshes=%d feedback=%d pending=%d threshold=%.4g\n",
-				st.Updates, st.Refreshes, st.Feedbacks, st.Pending, st.Threshold)
+			fmt.Printf("updates=%d refreshes=%d feedback=%d errors=%d pending=%d threshold=%.4g\n",
+				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Threshold)
+			if len(st.Sessions) > 1 {
+				for _, sess := range st.Sessions {
+					fmt.Printf("  cache %-24s share=%.3g/s refreshes=%d feedback=%d threshold=%.4g\n",
+						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Threshold)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCaches(t *testing.T) {
+	cases := []struct {
+		in      string
+		addrs   []string
+		weights []float64
+		wantErr bool
+	}{
+		{in: "a:1", addrs: []string{"a:1"}, weights: []float64{0}},
+		{
+			in:      "a:1,b:2=3, c:3=0.5 ,",
+			addrs:   []string{"a:1", "b:2", "c:3"},
+			weights: []float64{0, 3, 0.5},
+		},
+		{in: "", wantErr: true},
+		{in: "a:1=zero", wantErr: true},
+		{in: "a:1=-2", wantErr: true},
+		{in: "a:1=0", wantErr: true},
+	}
+	for _, tc := range cases {
+		addrs, weights, err := parseCaches(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseCaches(%q): expected error, got %v %v", tc.in, addrs, weights)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCaches(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(addrs, tc.addrs) || !reflect.DeepEqual(weights, tc.weights) {
+			t.Errorf("parseCaches(%q) = %v %v, want %v %v",
+				tc.in, addrs, weights, tc.addrs, tc.weights)
+		}
+	}
+}

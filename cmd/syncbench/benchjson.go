@@ -1,0 +1,18 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// writeBenchJSON writes a machine-readable benchmark result file
+// (BENCH_fanout.json, BENCH_throughput.json) so future changes have a perf
+// trajectory to compare against.
+func writeBenchJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

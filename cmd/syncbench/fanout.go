@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+// fanoutCacheResult is one cache's slice of a fan-out measurement.
+type fanoutCacheResult struct {
+	CacheID        string  `json:"cache_id"`
+	Applied        int     `json:"applied"`
+	Feedbacks      int     `json:"feedbacks"`
+	Threshold      float64 `json:"threshold"`
+	ShareMsgsPerS  float64 `json:"share_msgs_per_s"`
+	MeanDivergence float64 `json:"mean_divergence"`
+}
+
+// fanoutResult is one measured fan-out topology: one live source driving
+// n caches over the given transport.
+type fanoutResult struct {
+	Scenario       string              `json:"scenario"` // fanout-local | fanout-tcp
+	Caches         int                 `json:"caches"`
+	Objects        int                 `json:"objects"`
+	DurationS      float64             `json:"duration_s"`
+	BandwidthMsgsS float64             `json:"bandwidth_msgs_per_s"`
+	Updates        int                 `json:"updates"`
+	Refreshes      int                 `json:"refreshes"`
+	RefreshesPerS  float64             `json:"refreshes_per_s"`
+	MeanDivergence float64             `json:"mean_divergence"`
+	PerCache       []fanoutCacheResult `json:"per_cache"`
+}
+
+// runFanoutMode sweeps the 1-source → N-cache topology over both
+// transports for N = 1..maxCaches, printing a table and writing the
+// machine-readable results to BENCH_fanout.json.
+func runFanoutMode(maxCaches, objects int, rate, bandwidth float64, duration time.Duration) {
+	fmt.Printf("# live fan-out: 1 source -> N caches, %d objects, %.0f updates/s, %.0f msgs/s budget, %s per topology\n\n",
+		objects, rate, bandwidth, duration)
+	fmt.Printf("%-14s %7s %10s %12s %12s %16s\n",
+		"scenario", "caches", "updates", "refreshes", "refr/s", "mean divergence")
+	var results []fanoutResult
+	for _, tcp := range []bool{false, true} {
+		for n := 1; n <= maxCaches; n++ {
+			r := measureFanout(tcp, n, objects, rate, bandwidth, duration)
+			results = append(results, r)
+			fmt.Printf("%-14s %7d %10d %12d %12.1f %16.4f\n",
+				r.Scenario, r.Caches, r.Updates, r.Refreshes, r.RefreshesPerS, r.MeanDivergence)
+		}
+	}
+	fmt.Println()
+	for _, r := range results {
+		if r.Caches < maxCaches {
+			continue
+		}
+		fmt.Printf("# %s per-cache breakdown (N=%d):\n", r.Scenario, r.Caches)
+		for _, c := range r.PerCache {
+			fmt.Printf("  %-12s share=%6.1f/s applied=%6d feedback=%4d threshold=%-10.4g divergence=%.4f\n",
+				c.CacheID, c.ShareMsgsPerS, c.Applied, c.Feedbacks, c.Threshold, c.MeanDivergence)
+		}
+	}
+	if err := writeBenchJSON("BENCH_fanout.json", results); err != nil {
+		fmt.Printf("syncbench: writing BENCH_fanout.json: %v\n", err)
+		return
+	}
+	fmt.Println("\nwrote BENCH_fanout.json")
+}
+
+// measureFanout runs one topology: n caches (in-process or loopback TCP),
+// one fan-out source, a paced random-walk workload, and a final divergence
+// audit comparing every cache copy against the canonical values.
+func measureFanout(tcp bool, n, objects int, rate, bandwidth float64, duration time.Duration) fanoutResult {
+	scenario := "fanout-local"
+	if tcp {
+		scenario = "fanout-tcp"
+	}
+	caches := make([]*runtime.Cache, n)
+	dests := make([]runtime.Destination, n)
+	var cleanups []func()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("cache-%d", i)
+		var ep transport.CacheEndpoint
+		var conn transport.SourceConn
+		if tcp {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			ep = transport.Serve(ln, 64)
+			conn, err = transport.Dial(ln.Addr().String(), "bench-src")
+			if err != nil {
+				panic(err)
+			}
+		} else {
+			local := transport.NewLocal(64)
+			ep = local
+			var err error
+			conn, err = local.Dial("bench-src")
+			if err != nil {
+				panic(err)
+			}
+		}
+		caches[i] = runtime.NewCache(runtime.CacheConfig{
+			ID:        id,
+			Bandwidth: bandwidth, // per-cache processing budget mirrors the source budget
+			Tick:      10 * time.Millisecond,
+		}, ep)
+		dests[i] = runtime.Destination{CacheID: id, Conn: conn}
+		epi, ci := ep, i
+		cleanups = append(cleanups, func() {
+			caches[ci].Close()
+			epi.Close()
+		})
+	}
+	src, err := runtime.NewFanoutSource(runtime.SourceConfig{
+		ID:        "bench-src",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: bandwidth,
+		Tick:      10 * time.Millisecond,
+	}, dests)
+	if err != nil {
+		panic(err)
+	}
+
+	// Paced random-walk workload over source-qualified keys.
+	values := make([]float64, objects)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	step := 1
+	for time.Since(start) < duration {
+		i := step % objects
+		if step%2 == 0 {
+			values[i]++
+		} else {
+			values[i]--
+		}
+		src.Update(fmt.Sprintf("bench-src/obj-%d", i), values[i])
+		step++
+		time.Sleep(interval)
+	}
+	// Let in-flight batches land before auditing divergence.
+	time.Sleep(100 * time.Millisecond)
+	elapsed := time.Since(start).Seconds()
+
+	st := src.Stats()
+	res := fanoutResult{
+		Scenario:       scenario,
+		Caches:         n,
+		Objects:        objects,
+		DurationS:      elapsed,
+		BandwidthMsgsS: bandwidth,
+		Updates:        st.Updates,
+		Refreshes:      st.Refreshes,
+		RefreshesPerS:  float64(st.Refreshes) / elapsed,
+	}
+	total := 0.0
+	for i, c := range caches {
+		cst := c.Stats()
+		div := 0.0
+		for k := 0; k < objects; k++ {
+			e, _ := c.Get(fmt.Sprintf("bench-src/obj-%d", k))
+			div += math.Abs(values[k] - e.Value) // missing entries count full deviation
+		}
+		div /= float64(objects)
+		total += div
+		res.PerCache = append(res.PerCache, fanoutCacheResult{
+			CacheID:        c.ID(),
+			Applied:        cst.Refreshes,
+			Feedbacks:      st.Sessions[i].Feedbacks,
+			Threshold:      st.Sessions[i].Threshold,
+			ShareMsgsPerS:  st.Sessions[i].Share,
+			MeanDivergence: div,
+		})
+	}
+	res.MeanDivergence = total / float64(n)
+
+	src.Close()
+	for _, f := range cleanups {
+		f()
+	}
+	return res
+}

@@ -23,6 +23,14 @@
 // message-at-a-time baseline and once with the sharded store and batched
 // framing, printing the apply throughput and speedup. The -sources,
 // -objects, -shards, -batch, -flush and -duration flags tune that mode.
+// Results are also written to BENCH_throughput.json.
+//
+// With -fanout syncbench measures the fan-out topology instead: one live
+// source driving N caches (N = 1..-caches) over both the in-process and
+// the loopback-TCP transport, reporting aggregate refreshes/s and
+// per-cache divergence/threshold/feedback as N grows. The -caches,
+// -objects, -rate, -bandwidth and -duration flags tune that mode. Results
+// are also written to BENCH_fanout.json.
 package main
 
 import (
@@ -48,9 +56,17 @@ func main() {
 	tpShards := flag.Int("shards", 0, "throughput mode: shard count for the tuned config (0 = GOMAXPROCS)")
 	tpBatch := flag.Int("batch", 64, "throughput mode: wire batch size for the tuned config")
 	tpFlush := flag.Duration("flush", 2*time.Millisecond, "throughput mode: partial-batch flush interval")
-	tpDur := flag.Duration("duration", 3*time.Second, "throughput mode: measurement window per config")
+	tpDur := flag.Duration("duration", 3*time.Second, "throughput/fanout mode: measurement window per config")
+	fanout := flag.Bool("fanout", false, "benchmark the 1-source -> N-cache fan-out topology instead of experiments")
+	fanCaches := flag.Int("caches", 4, "fanout mode: maximum cache count in the sweep")
+	fanRate := flag.Float64("rate", 500, "fanout mode: source update rate (updates/second)")
+	fanBW := flag.Float64("bandwidth", 200, "fanout mode: source send budget shared across caches (messages/second)")
 	flag.Parse()
 
+	if *fanout {
+		runFanoutMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
+		return
+	}
 	if *throughput {
 		shards := *tpShards
 		if shards <= 0 {

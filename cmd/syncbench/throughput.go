@@ -30,9 +30,23 @@ type tpResult struct {
 	rate    float64 // applied refreshes per second
 }
 
+// tpRecord is the machine-readable form of one throughput measurement
+// (BENCH_throughput.json).
+type tpRecord struct {
+	Scenario      string  `json:"scenario"` // throughput-baseline | throughput-tuned
+	Sources       int     `json:"sources"`
+	Objects       int     `json:"objects"`
+	Shards        int     `json:"shards"`
+	Batch         int     `json:"batch"`
+	DurationS     float64 `json:"duration_s"`
+	Applied       int     `json:"applied"`
+	RefreshesPerS float64 `json:"refreshes_per_s"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // runThroughputMode compares the single-lock, message-at-a-time baseline
-// (shards=1, batch=1) against the sharded+batched runtime and prints a
-// table with the speedup.
+// (shards=1, batch=1) against the sharded+batched runtime, prints a table
+// with the speedup, and writes BENCH_throughput.json.
 func runThroughputMode(sources, objects, shards, batch int, flush, duration time.Duration) {
 	base := tpConfig{
 		label: "baseline (1 shard, no batching)", sources: sources,
@@ -47,10 +61,29 @@ func runThroughputMode(sources, objects, shards, batch int, flush, duration time
 		sources, objects, duration)
 	results := []tpResult{measureThroughput(base), measureThroughput(tuned)}
 	fmt.Printf("%-40s %12s %14s %9s\n", "config", "applied", "msgs/s", "speedup")
-	for _, r := range results {
+	records := make([]tpRecord, 0, len(results))
+	scenarios := []string{"throughput-baseline", "throughput-tuned"}
+	for i, r := range results {
+		speedup := r.rate / results[0].rate
 		fmt.Printf("%-40s %12d %14.0f %8.2fx\n",
-			r.cfg.label, r.applied, r.rate, r.rate/results[0].rate)
+			r.cfg.label, r.applied, r.rate, speedup)
+		records = append(records, tpRecord{
+			Scenario:      scenarios[i],
+			Sources:       r.cfg.sources,
+			Objects:       r.cfg.objects,
+			Shards:        r.cfg.shards,
+			Batch:         r.cfg.batch,
+			DurationS:     r.cfg.duration.Seconds(),
+			Applied:       r.applied,
+			RefreshesPerS: r.rate,
+			Speedup:       speedup,
+		})
 	}
+	if err := writeBenchJSON("BENCH_throughput.json", records); err != nil {
+		fmt.Printf("syncbench: writing BENCH_throughput.json: %v\n", err)
+		return
+	}
+	fmt.Println("\nwrote BENCH_throughput.json")
 }
 
 // measureThroughput runs one configuration: producers push as fast as the

@@ -1,0 +1,59 @@
+// Package alloc implements the Section 7 bandwidth-share allocation used
+// whenever one budget must be divided among several consumers: the
+// simulator's competitive mode (internal/competitive builds its Ψ-share
+// options on these primitives) and the live fan-out source
+// (internal/runtime), which splits one source-side send budget across its
+// per-cache sync sessions.
+//
+// Shares are rates, not reservations: a consumer that does not spend its
+// share leaves the bandwidth unused. The allocators only decide the split.
+//
+// docs/algorithm-specifications.md §7 specifies the fan-out share
+// allocation contract.
+package alloc
+
+// Equal divides total into n equal shares (Section 7, option 1). A
+// non-positive total yields all-zero shares; n ≤ 0 yields nil.
+func Equal(total float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]float64, n)
+	if total <= 0 {
+		return shares
+	}
+	each := total / float64(n)
+	for i := range shares {
+		shares[i] = each
+	}
+	return shares
+}
+
+// Proportional divides total in proportion to the given nonnegative
+// weights (Section 7, options 2 and 3 expressed as rates: weights may be
+// cached-object counts, contribution scores, or operator-assigned cache
+// priorities). Negative weights count as zero. When every weight is zero
+// (nothing to apportion by) the split falls back to equal shares, so a
+// caller that passes default-constructed weights still gets a usable
+// allocation.
+func Proportional(total float64, weights []float64) []float64 {
+	shares := make([]float64, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return shares
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		return Equal(total, len(weights))
+	}
+	for i, w := range weights {
+		if w > 0 {
+			shares[i] = total * w / sum
+		}
+	}
+	return shares
+}

@@ -1,0 +1,90 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestEqual(t *testing.T) {
+	shares := Equal(90, 3)
+	if len(shares) != 3 {
+		t.Fatalf("len = %d, want 3", len(shares))
+	}
+	for i, s := range shares {
+		if s != 30 {
+			t.Errorf("share[%d] = %v, want 30", i, s)
+		}
+	}
+	if got := Equal(90, 0); got != nil {
+		t.Errorf("Equal(90, 0) = %v, want nil", got)
+	}
+	for _, s := range Equal(-5, 4) {
+		if s != 0 {
+			t.Errorf("negative total produced share %v", s)
+		}
+	}
+}
+
+func TestProportional(t *testing.T) {
+	shares := Proportional(100, []float64{1, 3})
+	if shares[0] != 25 || shares[1] != 75 {
+		t.Errorf("shares = %v, want [25 75]", shares)
+	}
+	if got := sum(shares); math.Abs(got-100) > 1e-12 {
+		t.Errorf("shares sum to %v, want 100", got)
+	}
+}
+
+func TestProportionalNegativeWeightIsZero(t *testing.T) {
+	shares := Proportional(100, []float64{-2, 1, 1})
+	if shares[0] != 0 {
+		t.Errorf("negative weight got share %v", shares[0])
+	}
+	if shares[1] != 50 || shares[2] != 50 {
+		t.Errorf("shares = %v, want [0 50 50]", shares)
+	}
+}
+
+func TestProportionalZeroWeightsFallBackToEqual(t *testing.T) {
+	shares := Proportional(60, []float64{0, 0, 0})
+	for i, s := range shares {
+		if s != 20 {
+			t.Errorf("share[%d] = %v, want 20 (equal fallback)", i, s)
+		}
+	}
+}
+
+func TestProportionalDegenerate(t *testing.T) {
+	if got := Proportional(0, []float64{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero total gave %v", got)
+	}
+	if got := Proportional(10, nil); len(got) != 0 {
+		t.Errorf("nil weights gave %v", got)
+	}
+}
+
+// TestSharesConserveTotal is the budget invariant the live fan-out source
+// relies on: however the weights look, the shares never exceed the total.
+func TestSharesConserveTotal(t *testing.T) {
+	cases := [][]float64{
+		{1, 1, 1},
+		{5, 0, 5},
+		{0.1, 0.2, 0.7},
+		{-1, 4, 0},
+		{0, 0},
+	}
+	for _, ws := range cases {
+		got := sum(Proportional(42, ws))
+		if got > 42+1e-9 {
+			t.Errorf("weights %v: shares sum %v exceeds total", ws, got)
+		}
+	}
+}

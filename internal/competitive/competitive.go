@@ -8,9 +8,17 @@
 //  3. shares proportional to each source's contribution to the cache's own
 //     objectives, realized as a piggyback credit of Ψ/(1−Ψ) own-priority
 //     refreshes per cache-priority refresh.
+//
+// The share arithmetic itself lives in internal/alloc, shared with the live
+// fan-out source (internal/runtime); this package adds the Ψ scaling and
+// the option-specific weight derivations.
 package competitive
 
-import "fmt"
+import (
+	"fmt"
+
+	"bestsync/internal/alloc"
+)
 
 // PiggybackRatio returns the option-3 credit earned per cache-priority
 // refresh: Ψ/(1−Ψ) own-priority objects may ride along on average.
@@ -30,32 +38,25 @@ func EqualShares(psi, meanCacheBW float64, sources int) []float64 {
 	if sources <= 0 {
 		return nil
 	}
-	shares := make([]float64, sources)
 	if psi <= 0 || meanCacheBW <= 0 {
-		return shares
+		return make([]float64, sources)
 	}
-	each := psi * meanCacheBW / float64(sources)
-	for i := range shares {
-		shares[i] = each
-	}
-	return shares
+	return alloc.Equal(psi*meanCacheBW, sources)
 }
 
 // ProportionalShares returns per-source rates under option 2: Ψ·C̄·n_j/N,
 // where n_j is the number of cached objects from source j.
 func ProportionalShares(psi, meanCacheBW float64, objectCounts []int) []float64 {
-	shares := make([]float64, len(objectCounts))
+	weights := make([]float64, len(objectCounts))
 	total := 0
-	for _, n := range objectCounts {
+	for j, n := range objectCounts {
+		weights[j] = float64(n)
 		total += n
 	}
 	if psi <= 0 || meanCacheBW <= 0 || total == 0 {
-		return shares
+		return make([]float64, len(objectCounts))
 	}
-	for j, n := range objectCounts {
-		shares[j] = psi * meanCacheBW * float64(n) / float64(total)
-	}
-	return shares
+	return alloc.Proportional(psi*meanCacheBW, weights)
 }
 
 // ContributionShares returns per-source rates proportional to contribution
@@ -63,7 +64,6 @@ func ProportionalShares(psi, meanCacheBW float64, objectCounts []int) []float64 
 // credits; useful when the cache prefers rate-based accounting).
 // Contributions must be nonnegative.
 func ContributionShares(psi, meanCacheBW float64, contributions []float64) ([]float64, error) {
-	shares := make([]float64, len(contributions))
 	total := 0.0
 	for j, c := range contributions {
 		if c < 0 {
@@ -72,10 +72,7 @@ func ContributionShares(psi, meanCacheBW float64, contributions []float64) ([]fl
 		total += c
 	}
 	if psi <= 0 || meanCacheBW <= 0 || total == 0 {
-		return shares, nil
+		return make([]float64, len(contributions)), nil
 	}
-	for j, c := range contributions {
-		shares[j] = psi * meanCacheBW * c / total
-	}
-	return shares, nil
+	return alloc.Proportional(psi*meanCacheBW, contributions), nil
 }

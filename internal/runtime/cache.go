@@ -10,6 +10,19 @@
 // the α/ω/β threshold rules, piggybacked thresholds, surplus-driven feedback
 // — is the same code path exercised by the experiments.
 //
+// # Fan-out
+//
+// A Source can synchronize several caches at once (NewFanoutSource): it
+// runs one self-contained sync session per destination — its own
+// divergence trackers, priority queue, threshold engine and send budget —
+// and divides the source-side bandwidth across sessions with the Section 7
+// share allocation (internal/alloc). Sessions converge independently: a
+// starved cache throttles only its own session's threshold while
+// well-provisioned caches keep receiving at full rate. Feedback is
+// attributed per connection, and caches stamp their identity on it
+// (wire.Feedback.CacheID) so sessions can report who is on the other end.
+// See docs/algorithm-specifications.md §7.
+//
 // # Sharding
 //
 // The cache store is split into N independent shards, each with its own
@@ -51,6 +64,12 @@ import (
 
 // CacheConfig configures a live cache node.
 type CacheConfig struct {
+	// ID identifies this cache to its sources: it is stamped on outgoing
+	// feedback (wire.Feedback.CacheID) so fan-out sources can attribute
+	// feedback to the right sync session, and compared against the
+	// advisory CacheID on incoming refreshes (mismatches are applied but
+	// counted in CacheStats.Misrouted). Default "cache".
+	ID string
 	// Bandwidth is the refresh-processing budget in messages/second.
 	Bandwidth float64
 	// Tick is the protocol interval (default 100 ms): budget accrual,
@@ -84,6 +103,7 @@ type CacheStats struct {
 	Feedbacks  int
 	Sources    int
 	Stale      int     // refreshes dropped as stale duplicates or old epochs
+	Misrouted  int     // refreshes whose advisory CacheID named another cache
 	Divergence float64 // cumulative |Δvalue| absorbed by applied refreshes
 }
 
@@ -110,11 +130,12 @@ type Cache struct {
 	shards []*shard
 	seed   maphash.Seed
 
-	mu      sync.Mutex // guards tracker, source table, central counters
-	tracker *core.Cache
-	srcIdx  map[string]int
-	srcIDs  []string
-	fbSent  int
+	mu        sync.Mutex // guards tracker, source table, central counters
+	tracker   *core.Cache
+	srcIdx    map[string]int
+	srcIDs    []string
+	fbSent    int
+	misrouted int
 
 	// outstanding counts refreshes dispatched to shard queues but not yet
 	// applied; the surplus-feedback rule requires a fully drained cache,
@@ -139,6 +160,9 @@ type mergeMark struct {
 // NewCache starts a cache node consuming from ep. Close the cache (not the
 // endpoint) to shut down.
 func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
+	if cfg.ID == "" {
+		cfg.ID = "cache"
+	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = 100 * time.Millisecond
 	}
@@ -227,9 +251,13 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	s.Feedbacks = c.fbSent
 	s.Sources = len(c.srcIdx)
+	s.Misrouted = c.misrouted
 	c.mu.Unlock()
 	return s
 }
+
+// ID returns the cache's configured identifier.
+func (c *Cache) ID() string { return c.cfg.ID }
 
 // ApplyRate returns the refresh-apply throughput (messages/second) measured
 // over the most recent periodic stats-merge window.
@@ -339,6 +367,12 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 	for i := range b.Refreshes {
 		r := &b.Refreshes[i]
 		c.tracker.ObserveThreshold(c.sourceIndex(r.SourceID), r.Threshold)
+		if r.CacheID != "" && r.CacheID != c.cfg.ID {
+			// Advisory destination mismatch: still applied (the connection
+			// is authoritative) but counted for operators debugging fan-out
+			// wiring.
+			c.misrouted++
+		}
 	}
 	c.mu.Unlock()
 	c.outstanding.Add(int64(len(b.Refreshes)))
@@ -455,8 +489,9 @@ func (c *Cache) sendFeedback(k int) int {
 	}
 	c.mu.Unlock()
 	sent := 0
+	fb := wire.Feedback{CacheID: c.cfg.ID, SentUnix: c.cfg.Now().UnixNano()}
 	for _, id := range ids {
-		if err := c.ep.SendFeedback(id); err == nil {
+		if err := c.ep.SendFeedback(id, fb); err == nil {
 			sent++
 		}
 	}

@@ -1,0 +1,253 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/transport"
+)
+
+// TestFanoutLocalThreeCaches: one source drives three in-process caches;
+// every cache converges to the source's final values, and each session
+// reports independent activity.
+func TestFanoutLocalThreeCaches(t *testing.T) {
+	const n = 3
+	nets := make([]*transport.Local, n)
+	caches := make([]*Cache, n)
+	dests := make([]Destination, n)
+	for i := 0; i < n; i++ {
+		nets[i] = transport.NewLocal(64)
+		caches[i] = NewCache(CacheConfig{
+			ID: fmt.Sprintf("cache-%d", i), Bandwidth: 10000,
+			Tick: 5 * time.Millisecond,
+		}, nets[i])
+		defer caches[i].Close()
+		conn, err := nets[i].Dial("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests[i] = Destination{CacheID: fmt.Sprintf("cache-%d", i), Conn: conn}
+	}
+	src, err := NewFanoutSource(SourceConfig{
+		ID: "s1", Metric: metric.ValueDeviation,
+		Bandwidth: 10000, Tick: 5 * time.Millisecond,
+	}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	src.Update("temp", 21.5)
+	src.Update("humidity", 0.4)
+	src.Update("temp", 22.0)
+
+	for i := 0; i < n; i++ {
+		i := i
+		waitFor(t, 2*time.Second, func() bool {
+			e, ok := caches[i].Get("temp")
+			return ok && e.Value == 22.0
+		}, fmt.Sprintf("cache %d temp to reach 22.0", i))
+		waitFor(t, 2*time.Second, func() bool {
+			e, ok := caches[i].Get("humidity")
+			return ok && e.Value == 0.4
+		}, fmt.Sprintf("cache %d humidity to reach 0.4", i))
+	}
+
+	st := src.Stats()
+	if len(st.Sessions) != n {
+		t.Fatalf("sessions = %d, want %d", len(st.Sessions), n)
+	}
+	total := 0
+	for i, sess := range st.Sessions {
+		if sess.Refreshes < 2 {
+			t.Errorf("session %d sent %d refreshes, want ≥ 2", i, sess.Refreshes)
+		}
+		if sess.CacheID != fmt.Sprintf("cache-%d", i) {
+			t.Errorf("session %d cache id = %q", i, sess.CacheID)
+		}
+		total += sess.Refreshes
+	}
+	if st.Refreshes != total {
+		t.Errorf("aggregate refreshes %d ≠ sum of sessions %d", st.Refreshes, total)
+	}
+}
+
+// TestFanoutTCPEndToEnd is the 1 source → 3 caches TCP topology end to end:
+// real listeners, real wire protocol, per-cache feedback and independently
+// converging thresholds.
+func TestFanoutTCPEndToEnd(t *testing.T) {
+	const n = 3
+	caches := make([]*Cache, n)
+	eps := make([]transport.CacheEndpoint, n)
+	addrs := make([]string, n)
+	// Cache 0 is starved (tiny budget) while 1 and 2 have plenty: their
+	// sessions must converge to different thresholds.
+	bws := []float64{30, 10000, 10000}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = transport.Serve(ln, 64)
+		caches[i] = NewCache(CacheConfig{
+			ID: fmt.Sprintf("tcp-cache-%d", i), Bandwidth: bws[i],
+			Tick: 5 * time.Millisecond,
+		}, eps[i])
+		addrs[i] = ln.Addr().String()
+		defer func(i int) {
+			caches[i].Close()
+			eps[i].Close()
+		}(i)
+	}
+
+	conns, err := transport.DialAll(addrs, "agent-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := make([]Destination, n)
+	for i, c := range conns {
+		dests[i] = Destination{CacheID: fmt.Sprintf("dest-%d", i), Conn: c}
+	}
+	src, err := NewFanoutSource(SourceConfig{
+		ID: "agent-1", Metric: metric.ValueDeviation,
+		Bandwidth: 3000, Tick: 5 * time.Millisecond,
+	}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	for round := 1; round <= 5; round++ {
+		for k := 0; k < 4; k++ {
+			src.Update(fmt.Sprintf("agent-1/val-%d", k), float64(round*10+k))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		waitFor(t, 5*time.Second, func() bool {
+			for k := 0; k < 4; k++ {
+				e, ok := caches[i].Get(fmt.Sprintf("agent-1/val-%d", k))
+				if !ok || e.Value != float64(50+k) {
+					return false
+				}
+			}
+			return true
+		}, fmt.Sprintf("cache %d to hold all final values", i))
+		if st := caches[i].Stats(); st.Sources != 1 {
+			t.Errorf("cache %d sees %d sources, want 1", i, st.Sources)
+		}
+	}
+
+	// The well-provisioned caches have surplus bandwidth, so their sessions
+	// must have heard feedback and learned the remote identity.
+	waitFor(t, 5*time.Second, func() bool {
+		st := src.Stats()
+		return st.Sessions[1].Feedbacks > 0 && st.Sessions[2].Feedbacks > 0
+	}, "feedback on the fast sessions")
+	st := src.Stats()
+	for _, i := range []int{1, 2} {
+		if got := st.Sessions[i].RemoteID; got != fmt.Sprintf("tcp-cache-%d", i) {
+			t.Errorf("session %d learned remote id %q, want tcp-cache-%d", i, got, i)
+		}
+	}
+	// Sessions converge independently: the starved cache's session must not
+	// share the threshold trajectory of the fast ones. (Feedback drops a
+	// threshold by ω=10 per message, so any feedback disparity separates
+	// them by orders of magnitude; just assert they are not locked together.)
+	if st.Sessions[0].Threshold == st.Sessions[1].Threshold &&
+		st.Sessions[0].Feedbacks != st.Sessions[1].Feedbacks {
+		t.Errorf("independent sessions report identical thresholds %v despite different feedback (%d vs %d)",
+			st.Sessions[0].Threshold, st.Sessions[0].Feedbacks, st.Sessions[1].Feedbacks)
+	}
+}
+
+// TestFanoutShareAllocation: Section 7 share weights divide the send budget
+// proportionally.
+func TestFanoutShareAllocation(t *testing.T) {
+	nets := make([]*transport.Local, 2)
+	dests := make([]Destination, 2)
+	for i := range nets {
+		nets[i] = transport.NewLocal(64)
+		conn, err := nets[i].Dial("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests[i] = Destination{Conn: conn, Weight: float64(i*2 + 1)} // 1 and 3
+	}
+	src, err := NewFanoutSource(SourceConfig{
+		ID: "s1", Metric: metric.ValueDeviation, Bandwidth: 100,
+	}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	st := src.Stats()
+	if got := st.Sessions[0].Share; math.Abs(got-25) > 1e-9 {
+		t.Errorf("session 0 share = %v, want 25", got)
+	}
+	if got := st.Sessions[1].Share; math.Abs(got-75) > 1e-9 {
+		t.Errorf("session 1 share = %v, want 75", got)
+	}
+	if st.Sessions[0].CacheID != "cache-0" || st.Sessions[1].CacheID != "cache-1" {
+		t.Errorf("default cache ids = %q, %q", st.Sessions[0].CacheID, st.Sessions[1].CacheID)
+	}
+}
+
+// TestFanoutRespectsAggregateBudget: with a tiny total budget split across
+// three fast caches, the aggregate send rate stays within the budget (plus
+// burst slack) instead of tripling.
+func TestFanoutRespectsAggregateBudget(t *testing.T) {
+	const n = 3
+	const bandwidth = 40.0 // msgs/s total across all sessions
+	nets := make([]*transport.Local, n)
+	caches := make([]*Cache, n)
+	dests := make([]Destination, n)
+	for i := 0; i < n; i++ {
+		nets[i] = transport.NewLocal(64)
+		caches[i] = NewCache(CacheConfig{Bandwidth: 10000, Tick: 5 * time.Millisecond}, nets[i])
+		defer caches[i].Close()
+		conn, err := nets[i].Dial("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests[i] = Destination{Conn: conn}
+	}
+	src, err := NewFanoutSource(SourceConfig{
+		ID: "s1", Metric: metric.ValueDeviation,
+		Bandwidth: bandwidth, Tick: 5 * time.Millisecond,
+	}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// Flood with updates for a fixed window.
+	const window = 500 * time.Millisecond
+	start := time.Now()
+	v := 0.0
+	for time.Since(start) < window {
+		v++
+		for k := 0; k < 8; k++ {
+			src.Update(fmt.Sprintf("obj-%d", k), v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	st := src.Stats()
+	// Budget + one burst of slack per session (burst = 2 ticks of share,
+	// with a floor of 1 message).
+	limit := bandwidth*elapsed + 2*n
+	if float64(st.Refreshes) > limit {
+		t.Errorf("sent %d refreshes in %.2fs: exceeds shared budget %.0f msgs/s (limit %.0f)",
+			st.Refreshes, elapsed, bandwidth, limit)
+	}
+	if st.Refreshes == 0 {
+		t.Error("no refreshes at all")
+	}
+}

@@ -1,0 +1,281 @@
+package runtime
+
+import (
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// SessionStats is one sync session's slice of SourceStats: the protocol
+// counters of a single source→cache pairing.
+type SessionStats struct {
+	// CacheID is the local destination label (Destination.CacheID).
+	CacheID string
+	// RemoteID is the id the cache reports about itself, learned from the
+	// CacheID stamped on its feedback messages; empty until the first
+	// feedback arrives (or when the cache has no id configured).
+	RemoteID string
+	// Share is the session's allocated send rate in messages/second — its
+	// Section 7 slice of SourceConfig.Bandwidth.
+	Share      float64
+	Refreshes  int
+	Feedbacks  int
+	SendErrors int
+	Pending    int
+	Threshold  float64
+}
+
+// sessObj is one session's view of one object: the value/version last
+// successfully sent to THIS session's cache and the divergence accumulated
+// against it. The canonical object state (current value, version, update
+// counts) lives in Source.objState; sessions only track what their cache
+// is missing.
+type sessObj struct {
+	sentVal float64
+	sentVer uint64
+	tracker metric.Tracker
+}
+
+// syncSession drives the Section 5 protocol toward one downstream cache:
+// it owns the per-destination scheduling state — divergence trackers
+// relative to what that cache has been sent, the priority queue, the
+// core.Source threshold engine, the token-bucket send budget — plus the
+// connection and its feedback stream. A Source fans every Update into all
+// of its sessions; each session then converges independently, so a slow or
+// throttled cache never holds back the others.
+//
+// Locking: all scheduling state (objs, engine, counters) is guarded by the
+// owning Source's mutex; only the session's own goroutine (loop/flush)
+// sends on the connection, and sends happen outside the lock so that
+// cache-side back-pressure — the paper's network queueing — stalls just
+// this session.
+type syncSession struct {
+	src  *Source
+	dest Destination
+	eng  *core.Source
+	rate float64 // allocated share of the source-side bandwidth, msgs/s
+
+	// Guarded by src.mu. objs is parallel to src.ids (the intern table):
+	// entry k is this session's view of object src.ids[k].
+	objs       []*sessObj
+	refreshes  int
+	feedbacks  int
+	sendErrors int
+	remoteID   string
+
+	done chan struct{}
+}
+
+func newSyncSession(src *Source, dest Destination, rate float64) *syncSession {
+	return &syncSession{
+		src:  src,
+		dest: dest,
+		eng:  core.NewSource(0, src.cfg.Params, core.PositiveFeedback),
+		rate: rate,
+		done: make(chan struct{}),
+	}
+}
+
+// observeLocked folds a canonical-state change for object key into this
+// session's divergence tracker and priority queue. Caller holds src.mu.
+func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
+	so := ss.objs[key]
+	d := metric.Divergence(ss.src.cfg.Metric, ss.src.cfg.Delta,
+		int(o.version-so.sentVer), o.value, so.sentVal)
+	if so.sentVer == 0 && d == 0 {
+		// Nothing has ever been sent to this cache: it holds no copy at
+		// all, so even a value matching the zero baseline must be
+		// propagated to register the object.
+		d = 1
+	}
+	so.tracker.Update(now, d)
+	ss.requeueLocked(o, key, now)
+}
+
+// requeueLocked recomputes object key's refresh priority for this session
+// and syncs the engine queue. Caller holds src.mu.
+func (ss *syncSession) requeueLocked(o *objState, key int, now float64) {
+	s := ss.src
+	w := 1.0
+	if s.cfg.Weight != nil {
+		w = s.cfg.Weight(o.id)
+	}
+	lambda := 0.0
+	if span := now - o.firstAt; span > 0 && o.updates > 1 {
+		lambda = float64(o.updates) / span
+	}
+	so := ss.objs[key]
+	p := priority.Compute(s.cfg.PriorityFn, priority.Inputs{
+		Now:         now,
+		LastRefresh: so.tracker.LastReset(),
+		Divergence:  so.tracker.Current(),
+		Integral:    so.tracker.Integral(now),
+		Weight:      w,
+		Lambda:      lambda,
+		Updates:     so.tracker.UpdatesBehind(),
+	})
+	if p > 0 {
+		ss.eng.Queue.Upsert(key, p)
+	} else {
+		ss.eng.Queue.Remove(key)
+	}
+}
+
+// statsLocked snapshots the session counters. Caller holds src.mu.
+func (ss *syncSession) statsLocked() SessionStats {
+	return SessionStats{
+		CacheID:    ss.dest.CacheID,
+		RemoteID:   ss.remoteID,
+		Share:      ss.rate,
+		Refreshes:  ss.refreshes,
+		Feedbacks:  ss.feedbacks,
+		SendErrors: ss.sendErrors,
+		Pending:    ss.eng.Queue.Len(),
+		Threshold:  ss.eng.Threshold(),
+	}
+}
+
+// onFeedback applies one feedback message from this session's cache.
+func (ss *syncSession) onFeedback(f wire.Feedback) {
+	s := ss.src
+	s.mu.Lock()
+	if f.CacheID != "" {
+		ss.remoteID = f.CacheID
+	}
+	ss.eng.OnFeedback(s.now())
+	ss.feedbacks++
+	s.mu.Unlock()
+}
+
+// loop is the session's send loop: it accrues budget at the session's
+// allocated rate, flushes over-threshold objects, and folds in feedback
+// from its cache. One loop goroutine runs per session, so N caches drain
+// concurrently and one blocked connection stalls only its own session.
+func (ss *syncSession) loop() {
+	defer close(ss.done)
+	s := ss.src
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	budget := 0.0
+	burst := ss.rate * s.cfg.Tick.Seconds() * 2
+	if burst < 1 {
+		burst = 1
+	}
+	fb := ss.dest.Conn.Feedback()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case f, ok := <-fb:
+			if !ok {
+				return // connection gone; the other sessions continue
+			}
+			ss.onFeedback(f)
+		case <-ticker.C:
+			budget += ss.rate * s.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+			budget = ss.flush(budget)
+		}
+	}
+}
+
+// flush sends over-threshold objects while budget remains, returning the
+// leftover budget.
+//
+// Sent-state is committed only AFTER a successful send: on error the
+// tracker, queue entry and threshold are left untouched, so the refresh is
+// retried on the next flush instead of being silently dropped (a failed
+// send must not look like a delivered one). If updates raced in while the
+// send was in flight, the tracker restarts at the residual divergence
+// between the canonical value and what was actually sent and the object is
+// re-ranked from that residual.
+func (ss *syncSession) flush(budget float64) float64 {
+	s := ss.src
+	for budget >= 1 {
+		s.mu.Lock()
+		key, _, ok := ss.eng.ShouldSend()
+		if !ok {
+			ss.eng.SetLimited(false)
+			s.mu.Unlock()
+			return budget
+		}
+		o := s.objs[s.ids[key]]
+		msg := wire.Refresh{
+			SourceID: s.cfg.ID,
+			ObjectID: o.id,
+			// Stamp the cache identity learned from feedback (not the
+			// local label): the advisory mismatch counter on the cache
+			// then only fires on genuine miswiring, never on operators
+			// labeling destinations differently than caches name
+			// themselves.
+			CacheID:   ss.remoteID,
+			Value:     o.value,
+			Version:   o.version,
+			Epoch:     s.started.UnixNano(),
+			Threshold: ss.eng.Threshold(),
+			SentUnix:  s.cfg.Now().UnixNano(),
+		}
+		s.mu.Unlock()
+
+		// Send outside the lock: a saturated cache applies back-pressure
+		// here, which is exactly the paper's network queueing — and it
+		// stalls only this session.
+		if err := ss.dest.Conn.SendRefresh(msg); err != nil {
+			s.mu.Lock()
+			ss.sendErrors++
+			s.mu.Unlock()
+			return budget
+		}
+
+		now := s.now()
+		s.mu.Lock()
+		so := ss.objs[key]
+		so.sentVal = msg.Value
+		so.sentVer = msg.Version
+		// Residual divergence: updates that landed while the send was in
+		// flight. The tracker restarts at the residual and the object is
+		// re-ranked from it — a priority a racing Update computed against
+		// the OLD sent-state must not linger in the heap, where it would
+		// overstate the residual and bypass the threshold filter. At the
+		// commit instant the area priority restarts at zero, so the object
+		// leaves the queue until the next update re-ranks it (the §8.2
+		// event-driven discipline; same as a zero-residual send).
+		d := metric.Divergence(s.cfg.Metric, s.cfg.Delta,
+			int(o.version-so.sentVer), o.value, so.sentVal)
+		so.tracker.Reset(now, d)
+		ss.requeueLocked(o, key, now)
+		ss.eng.OnRefreshSent(now)
+		ss.eng.ClampThreshold()
+		ss.refreshes++
+		s.mu.Unlock()
+		budget--
+	}
+	s.mu.Lock()
+	_, _, want := ss.eng.ShouldSend()
+	ss.eng.SetLimited(want)
+	s.mu.Unlock()
+	return budget
+}
+
+// Destination describes one downstream cache of a fan-out source.
+type Destination struct {
+	// CacheID is the local label for this destination in stats and
+	// diagnostics. Outgoing refreshes are stamped with the cache's
+	// self-reported identity once feedback reveals it (SessionStats
+	// distinguishes the two as CacheID vs RemoteID). Defaults to
+	// "cache-<i>".
+	CacheID string
+	// Conn is the connection to the cache. Wrap it in a transport.Batcher
+	// for batched framing; batches never span destinations.
+	Conn transport.SourceConn
+	// Weight is the destination's share weight for dividing
+	// SourceConfig.Bandwidth across sessions (Section 7 share allocation);
+	// non-positive means 1 (equal shares when all are defaulted).
+	Weight float64
+}

@@ -1,0 +1,318 @@
+package runtime
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/wire"
+)
+
+// fakeConn is a controllable transport.SourceConn: it records sent
+// refreshes and can be told to fail the next N sends.
+type fakeConn struct {
+	mu       sync.Mutex
+	failNext int
+	sent     []wire.Refresh
+	fb       chan wire.Feedback
+	closed   bool
+}
+
+func newFakeConn() *fakeConn {
+	return &fakeConn{fb: make(chan wire.Feedback, 4)}
+}
+
+func (c *fakeConn) SendRefresh(r wire.Refresh) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("fakeConn: closed")
+	}
+	if c.failNext > 0 {
+		c.failNext--
+		return errors.New("fakeConn: injected send failure")
+	}
+	c.sent = append(c.sent, r)
+	return nil
+}
+
+func (c *fakeConn) SendBatch(rs []wire.Refresh) error {
+	for _, r := range rs {
+		if err := c.SendRefresh(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *fakeConn) Feedback() <-chan wire.Feedback { return c.fb }
+
+func (c *fakeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.fb)
+	}
+	return nil
+}
+
+func (c *fakeConn) setFailures(n int) {
+	c.mu.Lock()
+	c.failNext = n
+	c.mu.Unlock()
+}
+
+func (c *fakeConn) sentMsgs() []wire.Refresh {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.Refresh(nil), c.sent...)
+}
+
+// fakeClock is a manually advanced clock for deterministic session tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestSession builds a single-destination source whose session is driven
+// manually: the huge tick keeps the background loop from ever flushing, and
+// beta is disabled so threshold arithmetic is exactly α and ω.
+func newTestSession(t *testing.T, conn *fakeConn, clock *fakeClock) (*Source, *syncSession) {
+	t.Helper()
+	params := core.DefaultParams(1, 1000)
+	params.DisableBeta = true
+	src, err := NewFanoutSource(SourceConfig{
+		ID:        "s1",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: 1000,
+		Tick:      time.Hour,
+		Params:    params,
+		Now:       clock.Now,
+	}, []Destination{{CacheID: "c1", Conn: conn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src, src.sessions[0]
+}
+
+// TestFlushRetriesAfterSendError is the regression test for the
+// lost-refresh bug: sent-state used to be committed (tracker reset, queue
+// entry removed, threshold raised) BEFORE SendRefresh, so a send error
+// silently dropped the refresh forever. Now a failed send leaves the object
+// scheduled and the refresh goes out on the next flush.
+func TestFlushRetriesAfterSendError(t *testing.T) {
+	conn := newFakeConn()
+	clock := newFakeClock()
+	src, ss := newTestSession(t, conn, clock)
+
+	clock.advance(time.Second)
+	src.Update("x", 42) // priority 1s × 42 ≫ threshold 1
+
+	conn.setFailures(2)
+	thBefore := src.Stats().Threshold
+	ss.flush(1) // fails: must not commit anything
+	if got := len(conn.sentMsgs()); got != 0 {
+		t.Fatalf("send failed but %d refreshes recorded", got)
+	}
+	st := src.Stats()
+	if st.SendErrors != 1 {
+		t.Errorf("send errors = %d, want 1", st.SendErrors)
+	}
+	if st.Refreshes != 0 {
+		t.Errorf("refreshes = %d, want 0 after failed send", st.Refreshes)
+	}
+	if st.Pending != 1 {
+		t.Errorf("pending = %d, want 1 (object must stay scheduled)", st.Pending)
+	}
+	if st.Threshold != thBefore {
+		t.Errorf("threshold moved %v → %v on a FAILED send", thBefore, st.Threshold)
+	}
+
+	ss.flush(1) // second injected failure
+	if got := src.Stats().SendErrors; got != 2 {
+		t.Errorf("send errors = %d, want 2", got)
+	}
+
+	ss.flush(1) // conn healthy again: the refresh must finally go out
+	sent := conn.sentMsgs()
+	if len(sent) != 1 {
+		t.Fatalf("refresh lost after transient send errors: %d sent", len(sent))
+	}
+	if sent[0].ObjectID != "x" || sent[0].Value != 42 {
+		t.Errorf("sent %+v, want x=42", sent[0])
+	}
+	st = src.Stats()
+	if st.Refreshes != 1 || st.Pending != 0 {
+		t.Errorf("after recovery: refreshes=%d pending=%d, want 1/0",
+			st.Refreshes, st.Pending)
+	}
+}
+
+// TestFlushCommitsResidualOnRacingUpdate: an update landing between message
+// construction and the send commit leaves a residual divergence, and the
+// object stays scheduled so the newer value is sent too.
+func TestFlushCommitsResidualOnRacingUpdate(t *testing.T) {
+	conn := newFakeConn()
+	clock := newFakeClock()
+	src, ss := newTestSession(t, conn, clock)
+
+	clock.advance(time.Second)
+	src.Update("x", 10)
+	ss.flush(1)
+	clock.advance(time.Second)
+	src.Update("x", 20)
+	ss.flush(1)
+	sent := conn.sentMsgs()
+	if len(sent) != 2 || sent[1].Value != 20 {
+		t.Fatalf("sent %+v, want two refreshes ending at 20", sent)
+	}
+	// The session's view now matches the canonical value: nothing pending.
+	if p := src.Stats().Pending; p != 0 {
+		t.Errorf("pending = %d, want 0", p)
+	}
+}
+
+// TestSessionThresholdInterplay drives OnFeedback/OnRefreshSent through a
+// session and checks the Section 5 feedback loop end to end: the threshold
+// rises by α per refresh sent, falls by ω on feedback — and holds still
+// when the session is send-limited (feedback must not re-open the floodgate
+// of a source already at capacity).
+func TestSessionThresholdInterplay(t *testing.T) {
+	const (
+		alpha = core.DefaultAlpha
+		omega = core.DefaultOmega
+	)
+	// Each step performs one protocol event and gives the expected
+	// threshold as a function of the previous one.
+	type step struct {
+		name string
+		do   func(src *Source, ss *syncSession, conn *fakeConn, clock *fakeClock)
+		want func(prev float64) float64
+	}
+	update := func(val float64) func(*Source, *syncSession, *fakeConn, *fakeClock) {
+		return func(src *Source, _ *syncSession, _ *fakeConn, clock *fakeClock) {
+			clock.advance(time.Second)
+			src.Update("x", val)
+		}
+	}
+	flush := func(budget float64) func(*Source, *syncSession, *fakeConn, *fakeClock) {
+		return func(_ *Source, ss *syncSession, _ *fakeConn, _ *fakeClock) {
+			ss.flush(budget)
+		}
+	}
+	feedback := func(_ *Source, ss *syncSession, _ *fakeConn, _ *fakeClock) {
+		ss.onFeedback(wire.Feedback{CacheID: "remote-7"})
+	}
+	same := func(prev float64) float64 { return prev }
+
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "send raises by alpha, feedback drops by omega",
+			steps: []step{
+				{"update", update(1000), same},
+				{"send", flush(1), func(p float64) float64 { return p * alpha }},
+				{"feedback", feedback, func(p float64) float64 { return p / omega }},
+				{"update2", update(2000), same},
+				{"send2", flush(1), func(p float64) float64 { return p * alpha }},
+			},
+		},
+		{
+			name: "feedback ignored while send-limited",
+			steps: []step{
+				{"update", update(1000), same},
+				// flush with zero budget: the over-threshold object cannot
+				// be sent, so the session marks itself send-limited.
+				{"starve", flush(0), same},
+				{"feedback ignored", feedback, same},
+				// Budget returns: the send itself still raises the
+				// threshold, and the session is no longer limited.
+				{"send", flush(1), func(p float64) float64 { return p * alpha }},
+				{"feedback lands", feedback, func(p float64) float64 { return p / omega }},
+			},
+		},
+		{
+			name: "failed send leaves threshold untouched",
+			steps: []step{
+				{"update", update(1000), same},
+				{"fail", func(_ *Source, ss *syncSession, conn *fakeConn, _ *fakeClock) {
+					conn.setFailures(1)
+					ss.flush(1)
+				}, same},
+				{"retry succeeds", flush(1), func(p float64) float64 { return p * alpha }},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn := newFakeConn()
+			clock := newFakeClock()
+			src, ss := newTestSession(t, conn, clock)
+			prev := src.Stats().Threshold
+			if prev != 1 {
+				t.Fatalf("initial threshold = %v, want 1", prev)
+			}
+			for _, s := range tc.steps {
+				s.do(src, ss, conn, clock)
+				got := src.Stats().Threshold
+				want := s.want(prev)
+				if math.Abs(got-want) > 1e-9*want {
+					t.Fatalf("after %q: threshold = %v, want %v", s.name, got, want)
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// TestSessionLearnsRemoteID: the cache identity stamped on feedback becomes
+// the session's RemoteID and is stamped on subsequent refreshes.
+func TestSessionLearnsRemoteID(t *testing.T) {
+	conn := newFakeConn()
+	clock := newFakeClock()
+	src, ss := newTestSession(t, conn, clock)
+
+	clock.advance(time.Second)
+	src.Update("x", 100)
+	ss.flush(1)
+	if sent := conn.sentMsgs(); sent[0].CacheID != "" {
+		t.Errorf("refresh before any feedback stamped CacheID %q, want empty",
+			sent[0].CacheID)
+	}
+	ss.onFeedback(wire.Feedback{CacheID: "the-real-cache"})
+	st := src.Stats()
+	if st.Sessions[0].RemoteID != "the-real-cache" {
+		t.Errorf("remote id = %q, want the-real-cache", st.Sessions[0].RemoteID)
+	}
+	clock.advance(time.Second)
+	src.Update("x", 200)
+	ss.flush(1)
+	sent := conn.sentMsgs()
+	if got := sent[len(sent)-1].CacheID; got != "the-real-cache" {
+		t.Errorf("refresh after feedback stamped CacheID %q, want the-real-cache", got)
+	}
+}

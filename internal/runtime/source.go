@@ -1,19 +1,20 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"bestsync/internal/alloc"
 	"bestsync/internal/core"
 	"bestsync/internal/metric"
 	"bestsync/internal/priority"
 	"bestsync/internal/transport"
-	"bestsync/internal/wire"
 )
 
 // SourceConfig configures a live source node.
 type SourceConfig struct {
-	// ID identifies the source to the cache.
+	// ID identifies the source to its caches.
 	ID string
 	// Metric selects the divergence metric driving refresh priorities.
 	Metric metric.Kind
@@ -23,11 +24,15 @@ type SourceConfig struct {
 	// (AreaGeneral) suits value deviation; use the Poisson special cases
 	// for staleness/lag (Section 8.1).
 	PriorityFn priority.Fn
-	// Bandwidth is the source-side send budget in messages/second.
+	// Bandwidth is the source-side send budget in messages/second. A
+	// fan-out source divides it across its sync sessions by the
+	// destinations' share weights (Section 7 allocation, internal/alloc).
 	Bandwidth float64
 	// Tick is the send-loop interval (default 100 ms).
 	Tick time.Duration
 	// Params tunes the threshold algorithm; zero means paper defaults.
+	// All sessions share the same parameters; each session applies them
+	// to its own independent threshold.
 	Params core.Params
 	// Weight assigns refresh weights (importance × popularity) per object;
 	// nil means weight 1 for all.
@@ -36,24 +41,29 @@ type SourceConfig struct {
 	Now func() time.Time
 }
 
-// SourceStats counts protocol activity.
+// SourceStats counts protocol activity. The top-level counters aggregate
+// across all sync sessions (for a single-cache source they are exactly the
+// session's own); Sessions carries the per-destination breakdown.
 type SourceStats struct {
-	Updates   int
-	Refreshes int
-	Feedbacks int
-	Pending   int
+	Updates    int
+	Refreshes  int
+	Feedbacks  int
+	SendErrors int
+	Pending    int
+	// Threshold is the mean local threshold across sessions (a
+	// single-cache source reports its one threshold unchanged).
 	Threshold float64
+	Sessions  []SessionStats
 }
 
-// objState tracks one locally cached object's divergence and priority
-// inputs.
+// objState is the canonical (destination-independent) state of one locally
+// cached object: its current value and update history. What each
+// downstream cache has been sent — and therefore how far it has diverged —
+// is per-session state (sessObj in session.go).
 type objState struct {
 	id      string
 	value   float64
 	version uint64
-	sentVal float64
-	sentVer uint64
-	tracker metric.Tracker
 	// Poisson-rate estimate (Section 8.1): total updates over total
 	// observed time.
 	updates int
@@ -61,26 +71,50 @@ type objState struct {
 }
 
 // Source is a live source node. Applications call Update whenever a local
-// object changes; the node decides when each object is worth a refresh
-// message.
+// object changes; the node decides, independently per downstream cache,
+// when each object is worth a refresh message.
+//
+// A Source is a thin coordinator: the actual scheduling state lives in one
+// syncSession per destination cache. Update fans the canonical change into
+// every session; each session's own goroutine then drives the Section 5
+// protocol toward its cache with its allocated share of the send budget,
+// so per-cache thresholds converge independently and a stalled cache
+// back-pressures only its own session.
 type Source struct {
-	cfg  SourceConfig
-	conn transport.SourceConn
-	eng  *core.Source
+	cfg      SourceConfig
+	sessions []*syncSession
 
 	mu      sync.Mutex
 	objs    map[string]*objState
 	ids     []string // intern table: queue key → object id
 	idx     map[string]int
-	stats   SourceStats
+	updates int
 	started time.Time
 
 	stop chan struct{}
-	done chan struct{}
 }
 
-// NewSource starts a source node sending through conn.
+// NewSource starts a source node sending through conn — the single-cache
+// special case of NewFanoutSource.
 func NewSource(cfg SourceConfig, conn transport.SourceConn) *Source {
+	s, err := NewFanoutSource(cfg, []Destination{{Conn: conn}})
+	if err != nil {
+		// Unreachable: a one-destination config cannot fail validation
+		// (the only error is a nil conn, which panicked before this
+		// refactor too, just later and less clearly).
+		panic(err)
+	}
+	return s
+}
+
+// NewFanoutSource starts a source node synchronizing every destination
+// cache. cfg.Bandwidth is divided across destinations in proportion to
+// their Weights (all-default weights mean equal shares); each destination
+// gets its own sync session, threshold and feedback loop.
+func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("runtime: fan-out source needs at least one destination")
+	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = 100 * time.Millisecond
 	}
@@ -94,18 +128,35 @@ func NewSource(cfg SourceConfig, conn transport.SourceConn) *Source {
 		cfg.Params = core.DefaultParams(1, cfg.Bandwidth)
 		cfg.Params.ExpectedFeedbackPeriod = 4 * cfg.Tick.Seconds()
 	}
+	weights := make([]float64, len(dests))
+	for i := range dests {
+		if dests[i].Conn == nil {
+			return nil, fmt.Errorf("runtime: destination %d has a nil connection", i)
+		}
+		if dests[i].CacheID == "" {
+			dests[i].CacheID = fmt.Sprintf("cache-%d", i)
+		}
+		if dests[i].Weight <= 0 {
+			dests[i].Weight = 1
+		}
+		weights[i] = dests[i].Weight
+	}
+	rates := alloc.Proportional(cfg.Bandwidth, weights)
 	s := &Source{
 		cfg:     cfg,
-		conn:    conn,
-		eng:     core.NewSource(0, cfg.Params, core.PositiveFeedback),
 		objs:    map[string]*objState{},
 		idx:     map[string]int{},
 		started: cfg.Now().Add(-time.Millisecond),
 		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
 	}
-	go s.loop()
-	return s
+	s.sessions = make([]*syncSession, len(dests))
+	for i, d := range dests {
+		s.sessions[i] = newSyncSession(s, d, rates[i])
+	}
+	for _, ss := range s.sessions {
+		go ss.loop()
+	}
+	return s, nil
 }
 
 // now returns seconds since the source started (the protocol time base).
@@ -114,7 +165,7 @@ func (s *Source) now() float64 {
 }
 
 // Update records a new value for an object, recomputing its refresh
-// priority.
+// priority in every sync session.
 func (s *Source) Update(objectID string, value float64) {
 	now := s.now()
 	s.mu.Lock()
@@ -125,64 +176,48 @@ func (s *Source) Update(objectID string, value float64) {
 		s.objs[objectID] = o
 		s.idx[objectID] = len(s.ids)
 		s.ids = append(s.ids, objectID)
-		// A brand-new object starts synchronized-at-zero: its initial
-		// value must be propagated, so treat creation as an update from a
-		// zero baseline.
+		for _, ss := range s.sessions {
+			ss.objs = append(ss.objs, &sessObj{})
+		}
 	}
 	o.value = value
 	o.version++
 	o.updates++
-	d := metric.Divergence(s.cfg.Metric, s.cfg.Delta,
-		int(o.version-o.sentVer), o.value, o.sentVal)
-	if o.sentVer == 0 && d == 0 {
-		// Nothing has ever been sent: the cache holds no copy at all, so
-		// even a value that matches the zero baseline must be propagated
-		// to register the object.
-		d = 1
-	}
-	o.tracker.Update(now, d)
-	s.stats.Updates++
-	s.requeueLocked(o, now)
-}
-
-// requeueLocked recomputes o's priority and syncs the engine queue.
-func (s *Source) requeueLocked(o *objState, now float64) {
-	w := 1.0
-	if s.cfg.Weight != nil {
-		w = s.cfg.Weight(o.id)
-	}
-	lambda := 0.0
-	if span := now - o.firstAt; span > 0 && o.updates > 1 {
-		lambda = float64(o.updates) / span
-	}
-	p := priority.Compute(s.cfg.PriorityFn, priority.Inputs{
-		Now:         now,
-		LastRefresh: o.tracker.LastReset(),
-		Divergence:  o.tracker.Current(),
-		Integral:    o.tracker.Integral(now),
-		Weight:      w,
-		Lambda:      lambda,
-		Updates:     o.tracker.UpdatesBehind(),
-	})
-	key := s.idx[o.id]
-	if p > 0 {
-		s.eng.Queue.Upsert(key, p)
-	} else {
-		s.eng.Queue.Remove(key)
+	s.updates++
+	key := s.idx[objectID]
+	for _, ss := range s.sessions {
+		ss.observeLocked(o, key, now)
 	}
 }
 
-// Stats returns a snapshot of protocol counters.
+// Stats returns a snapshot of protocol counters, aggregated and per
+// session.
 func (s *Source) Stats() SourceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.stats
-	st.Pending = s.eng.Queue.Len()
-	st.Threshold = s.eng.Threshold()
+	st := SourceStats{
+		Updates:  s.updates,
+		Sessions: make([]SessionStats, 0, len(s.sessions)),
+	}
+	for _, ss := range s.sessions {
+		sess := ss.statsLocked()
+		st.Refreshes += sess.Refreshes
+		st.Feedbacks += sess.Feedbacks
+		st.SendErrors += sess.SendErrors
+		st.Pending += sess.Pending
+		st.Threshold += sess.Threshold
+		st.Sessions = append(st.Sessions, sess)
+	}
+	st.Threshold /= float64(len(s.sessions))
 	return st
 }
 
-// Close stops the node and its connection.
+// Close stops the node and all of its connections, returning the first
+// connection-close error. Connections are closed before waiting for the
+// session loops: a session can be blocked inside a back-pressured send
+// (the paper's network queueing), and only tearing its connection down
+// unblocks that send — otherwise one stalled cache would wedge shutdown
+// of the whole fan-out source.
 func (s *Source) Close() error {
 	select {
 	case <-s.stop:
@@ -190,83 +225,14 @@ func (s *Source) Close() error {
 	default:
 	}
 	close(s.stop)
-	<-s.done
-	return s.conn.Close()
-}
-
-func (s *Source) loop() {
-	defer close(s.done)
-	ticker := time.NewTicker(s.cfg.Tick)
-	defer ticker.Stop()
-	budget := 0.0
-	burst := s.cfg.Bandwidth * s.cfg.Tick.Seconds() * 2
-	if burst < 1 {
-		burst = 1
-	}
-	for {
-		select {
-		case <-s.stop:
-			return
-		case _, ok := <-s.conn.Feedback():
-			if !ok {
-				return // connection gone
-			}
-			s.mu.Lock()
-			s.eng.OnFeedback(s.now())
-			s.stats.Feedbacks++
-			s.mu.Unlock()
-		case <-ticker.C:
-			budget += s.cfg.Bandwidth * s.cfg.Tick.Seconds()
-			if budget > burst {
-				budget = burst
-			}
-			budget = s.flush(budget)
+	var err error
+	for _, ss := range s.sessions {
+		if cerr := ss.dest.Conn.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-}
-
-// flush sends over-threshold objects while budget remains, returning the
-// leftover budget.
-func (s *Source) flush(budget float64) float64 {
-	now := s.now()
-	for budget >= 1 {
-		s.mu.Lock()
-		key, _, ok := s.eng.ShouldSend()
-		if !ok {
-			s.eng.SetLimited(false)
-			s.mu.Unlock()
-			return budget
-		}
-		id := s.ids[key]
-		o := s.objs[id]
-		msg := wire.Refresh{
-			SourceID:  s.cfg.ID,
-			ObjectID:  id,
-			Value:     o.value,
-			Version:   o.version,
-			Epoch:     s.started.UnixNano(),
-			Threshold: s.eng.Threshold(),
-			SentUnix:  s.cfg.Now().UnixNano(),
-		}
-		o.sentVal = o.value
-		o.sentVer = o.version
-		o.tracker.Reset(now, 0)
-		s.eng.Queue.Remove(key)
-		s.eng.OnRefreshSent(now)
-		s.eng.ClampThreshold()
-		s.stats.Refreshes++
-		s.mu.Unlock()
-
-		// Send outside the lock: a saturated cache applies back-pressure
-		// here, which is exactly the paper's network queueing.
-		if err := s.conn.SendRefresh(msg); err != nil {
-			return budget
-		}
-		budget--
+	for _, ss := range s.sessions {
+		<-ss.done
 	}
-	s.mu.Lock()
-	_, _, want := s.eng.ShouldSend()
-	s.eng.SetLimited(want)
-	s.mu.Unlock()
-	return budget
+	return err
 }

@@ -19,11 +19,13 @@ type StatusObject struct {
 
 // Status is the cache's observability snapshot, merged across shards.
 type Status struct {
+	CacheID    string         `json:"cache_id"`
 	Objects    int            `json:"objects"`
 	Sources    int            `json:"sources"`
 	Refreshes  int            `json:"refreshes"`
 	Feedbacks  int            `json:"feedbacks"`
 	Stale      int            `json:"stale_dropped"`
+	Misrouted  int            `json:"misrouted,omitempty"`
 	Divergence float64        `json:"divergence_absorbed"`
 	Bandwidth  float64        `json:"bandwidth_msgs_per_s"`
 	Shards     int            `json:"shards"`
@@ -36,11 +38,13 @@ type Status struct {
 func (c *Cache) Status(sample int) Status {
 	st := c.Stats()
 	out := Status{
+		CacheID:    c.cfg.ID,
 		Objects:    c.Len(),
 		Sources:    st.Sources,
 		Refreshes:  st.Refreshes,
 		Feedbacks:  st.Feedbacks,
 		Stale:      st.Stale,
+		Misrouted:  st.Misrouted,
 		Divergence: st.Divergence,
 		Bandwidth:  c.cfg.Bandwidth,
 		Shards:     len(c.shards),

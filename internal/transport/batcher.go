@@ -28,6 +28,15 @@ type BatcherConfig struct {
 //
 // A flush error is returned to the send that triggered it; errors from
 // timer-driven flushes are sticky and surface on the next send.
+//
+// Durability caveat: through a Batcher, a nil SendRefresh/SendBatch return
+// means "accepted for batching", not "delivered" — a caller that commits
+// protocol state on send success (runtime's sync sessions) therefore has a
+// window of up to MaxBatch refreshes that a dying connection can lose.
+// Failed batches are re-buffered and retried (last at Close), so the loss
+// is confined to connections that never recover — the same guarantee as
+// data in a kernel socket buffer when the peer dies. Deployments that need
+// the strict commit-after-send semantics use the connection unbatched.
 func NewBatcher(conn SourceConn, cfg BatcherConfig) SourceConn {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 64
@@ -97,6 +106,12 @@ func (b *batcher) append(rs []wire.Refresh) error {
 // flush sends everything pending as one batch. Concurrent callers queue on
 // flushMu, so a blocked downstream send stalls every sender — the
 // back-pressure contract of the package doc.
+//
+// A failed batch is re-buffered (in order) rather than discarded: callers
+// that were told their refresh was accepted must not lose it to a flush
+// that failed after the fact, so the batch stays pending for later flush
+// attempts — including the final one in Close. Growth is bounded: once the
+// sticky error is set, new sends are rejected before buffering.
 func (b *batcher) flush() error {
 	b.flushMu.Lock()
 	defer b.flushMu.Unlock()
@@ -112,6 +127,7 @@ func (b *batcher) flush() error {
 		if b.err == nil {
 			b.err = err
 		}
+		b.pending = append(rs, b.pending...)
 		b.mu.Unlock()
 		return err
 	}

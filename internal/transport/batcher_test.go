@@ -164,6 +164,60 @@ func TestBatcherCloseFlushesPending(t *testing.T) {
 	}
 }
 
+// flakyBatchConn fails its first SendBatch calls, then recovers.
+type flakyBatchConn struct {
+	failures int
+	batches  [][]wire.Refresh
+	fb       chan wire.Feedback
+}
+
+func (c *flakyBatchConn) SendRefresh(r wire.Refresh) error {
+	return c.SendBatch([]wire.Refresh{r})
+}
+
+func (c *flakyBatchConn) SendBatch(rs []wire.Refresh) error {
+	if c.failures > 0 {
+		c.failures--
+		return fmt.Errorf("flaky: injected failure")
+	}
+	c.batches = append(c.batches, append([]wire.Refresh(nil), rs...))
+	return nil
+}
+
+func (c *flakyBatchConn) Feedback() <-chan wire.Feedback { return c.fb }
+func (c *flakyBatchConn) Close() error                   { return nil }
+
+// TestBatcherReBuffersFailedFlush: a batch that fails to flush stays
+// pending (in order) so the Close-time retry can still deliver it — a
+// refresh the Batcher accepted is never silently discarded while the
+// connection might recover.
+func TestBatcherReBuffersFailedFlush(t *testing.T) {
+	conn := &flakyBatchConn{failures: 1, fb: make(chan wire.Feedback)}
+	b := NewBatcher(conn, BatcherConfig{MaxBatch: 4, FlushEvery: time.Hour})
+	want := refreshes("s1", 4)
+	var sendErr error
+	for _, r := range want {
+		if err := b.SendRefresh(r); err != nil {
+			sendErr = err
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("the size-triggered flush should have surfaced the injected failure")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("close retry should deliver the re-buffered batch: %v", err)
+	}
+	if len(conn.batches) != 1 || len(conn.batches[0]) != 4 {
+		t.Fatalf("delivered %d batches %v, want the full re-buffered batch of 4",
+			len(conn.batches), conn.batches)
+	}
+	for i, r := range conn.batches[0] {
+		if r != want[i] {
+			t.Errorf("refresh %d = %+v, want %+v (order must be preserved)", i, r, want[i])
+		}
+	}
+}
+
 func TestBatcherPreservesOrder(t *testing.T) {
 	l := NewLocal(64)
 	defer l.Close()

@@ -119,7 +119,7 @@ func (s *tcpServer) handle(conn net.Conn) {
 func (s *tcpServer) Batches() <-chan wire.RefreshBatch { return s.batches }
 
 // SendFeedback implements CacheEndpoint.
-func (s *tcpServer) SendFeedback(sourceID string) error {
+func (s *tcpServer) SendFeedback(sourceID string, fb wire.Feedback) error {
 	s.mu.Lock()
 	sc, ok := s.conns[sourceID]
 	closed := s.closed
@@ -132,7 +132,7 @@ func (s *tcpServer) SendFeedback(sourceID string) error {
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	return sc.enc.Encode(wire.Feedback{})
+	return sc.enc.Encode(fb)
 }
 
 // Sources implements CacheEndpoint.
@@ -193,6 +193,27 @@ func Dial(addr, sourceID string) (SourceConn, error) {
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// DialAll connects one source to several cache daemons, returning one
+// connection per address in order — the raw material for a fan-out source
+// (runtime.NewFanoutSource), which runs an independent sync session over
+// each connection. If any dial fails, the connections established so far
+// are closed and the error is returned. Wrap each returned connection in
+// its own Batcher when batching is wanted: batches never span caches.
+func DialAll(addrs []string, sourceID string) ([]SourceConn, error) {
+	conns := make([]SourceConn, 0, len(addrs))
+	for _, addr := range addrs {
+		conn, err := Dial(addr, sourceID)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
 }
 
 func (c *tcpClient) readLoop() {

@@ -59,9 +59,11 @@ type CacheEndpoint interface {
 	// Batches delivers incoming refresh batches from every source. A
 	// refresh sent individually arrives as a batch of one.
 	Batches() <-chan wire.RefreshBatch
-	// SendFeedback sends positive feedback to one source. Unknown sources
-	// are an error; feedback to a disconnected source is dropped.
-	SendFeedback(sourceID string) error
+	// SendFeedback sends a positive-feedback message to one source (the
+	// cache stamps its CacheID so fan-out sources can attribute it).
+	// Unknown sources are an error; feedback to a disconnected source is
+	// dropped.
+	SendFeedback(sourceID string, fb wire.Feedback) error
 	// Sources lists currently connected source ids.
 	Sources() []string
 	// Close shuts the endpoint down.
@@ -95,7 +97,7 @@ func (l *Local) Batches() <-chan wire.RefreshBatch { return l.batches }
 
 // SendFeedback implements CacheEndpoint. The non-blocking send happens
 // under the lock so it can never race a concurrent close of the channel.
-func (l *Local) SendFeedback(sourceID string) error {
+func (l *Local) SendFeedback(sourceID string, fb wire.Feedback) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -106,7 +108,7 @@ func (l *Local) SendFeedback(sourceID string) error {
 		return fmt.Errorf("transport: unknown source %q", sourceID)
 	}
 	select {
-	case ch <- wire.Feedback{}:
+	case ch <- fb:
 	default:
 		// A source that has not consumed its previous feedback gains
 		// nothing from a second one queued behind it.

@@ -36,7 +36,7 @@ func TestLocalRoundTrip(t *testing.T) {
 	if r := recvOne(t, l.Batches()); r.ObjectID != "a" || r.Value != 1 {
 		t.Errorf("got %+v", r)
 	}
-	if err := l.SendFeedback("s1"); err != nil {
+	if err := l.SendFeedback("s1", wire.Feedback{}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -63,7 +63,7 @@ func TestLocalDuplicateSourceRejected(t *testing.T) {
 func TestLocalFeedbackUnknownSource(t *testing.T) {
 	l := NewLocal(4)
 	defer l.Close()
-	if err := l.SendFeedback("ghost"); err == nil {
+	if err := l.SendFeedback("ghost", wire.Feedback{}); err == nil {
 		t.Fatal("feedback to unknown source accepted")
 	}
 }
@@ -98,7 +98,7 @@ func TestLocalClosedNetwork(t *testing.T) {
 	if _, err := l.Dial("s1"); err == nil {
 		t.Fatal("dial on closed network accepted")
 	}
-	if err := l.SendFeedback("s1"); err == nil {
+	if err := l.SendFeedback("s1", wire.Feedback{}); err == nil {
 		t.Fatal("feedback on closed network accepted")
 	}
 	l.Close() // idempotent
@@ -110,7 +110,7 @@ func TestFeedbackNonBlocking(t *testing.T) {
 	l.Dial("s1")
 	// Saturate the feedback buffer; further sends must not block.
 	for i := 0; i < 20; i++ {
-		if err := l.SendFeedback("s1"); err != nil {
+		if err := l.SendFeedback("s1", wire.Feedback{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -142,7 +142,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	// Feedback requires the server to have registered the source.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if err := srv.SendFeedback("s1"); err == nil {
+		if err := srv.SendFeedback("s1", wire.Feedback{}); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -206,7 +206,7 @@ func TestTCPReconnectReplacesConn(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if err := srv.SendFeedback("s1"); err == nil {
+		if err := srv.SendFeedback("s1", wire.Feedback{}); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -246,5 +246,74 @@ func TestTCPServerCloseUnblocksClients(t *testing.T) {
 func TestDialEmptyID(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", ""); err == nil {
 		t.Fatal("empty source id accepted")
+	}
+}
+
+// TestDialAllFanout: one source dials several caches; feedback from each
+// cache arrives on the right connection carrying that cache's identity.
+func TestDialAllFanout(t *testing.T) {
+	const n = 3
+	srvs := make([]CacheEndpoint, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = Serve(ln, 16)
+		defer srvs[i].Close()
+		addrs[i] = ln.Addr().String()
+	}
+	conns, err := DialAll(addrs, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, conn := range conns {
+		defer conn.Close()
+		if err := conn.SendRefresh(wire.Refresh{
+			SourceID: "s1", ObjectID: "a", Version: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		recvOne(t, srvs[i].Batches())
+		deadline := time.Now().Add(2 * time.Second)
+		fb := wire.Feedback{CacheID: "c" + string(rune('0'+i))}
+		for {
+			if err := srvs[i].SendFeedback("s1", fb); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cache %d never registered the source", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		select {
+		case got := <-conn.Feedback():
+			if got.CacheID != fb.CacheID {
+				t.Errorf("conn %d received feedback from %q, want %q", i, got.CacheID, fb.CacheID)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("conn %d: feedback not received", i)
+		}
+	}
+}
+
+// TestDialAllPartialFailureCleansUp: a failed dial closes the connections
+// already established.
+func TestDialAllPartialFailureCleansUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // nothing listens here anymore
+	if _, err := DialAll([]string{ln.Addr().String(), deadAddr}, "s1"); err == nil {
+		t.Fatal("DialAll to a dead address succeeded")
 	}
 }

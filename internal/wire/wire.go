@@ -40,9 +40,20 @@ func (h Hello) Validate() error {
 }
 
 // Refresh propagates one object's current value to the cache.
+//
+// A fan-out source (one source node synchronizing several caches) runs one
+// independent sync session per cache; CacheID names the cache the session
+// believes it is talking to — the identity the cache reported about itself
+// on earlier feedback — so that a refresh is self-describing in multi-cache
+// topologies. It is advisory: caches apply refreshes regardless (the
+// connection they arrived on is authoritative) but count mismatches in
+// their Misrouted statistic, which flags miswired fan-out (e.g. a proxy
+// routing a session to the wrong cache). Empty means the session has not
+// yet heard the cache identify itself.
 type Refresh struct {
 	SourceID  string
 	ObjectID  string
+	CacheID   string // intended destination cache (advisory; see above)
 	Value     float64
 	Version   uint64
 	Epoch     int64   // source incarnation (restarts reset Version counters)
@@ -89,6 +100,13 @@ func (b RefreshBatch) Validate() error {
 
 // Feedback is a positive-feedback message from the cache: the receiving
 // source should decrease its local threshold (unless bandwidth-limited).
+//
+// CacheID identifies the cache that sent the feedback. A fan-out source
+// routes each connection's feedback to the sync session owning that
+// connection, so the per-cache thresholds converge independently; the
+// explicit id lets sessions learn and report which cache is on the other
+// end. Empty means the cache predates (or did not configure) an id.
 type Feedback struct {
+	CacheID  string
 	SentUnix int64
 }
