@@ -12,9 +12,21 @@
 // feedback it sends, so fan-out sources (sourceagent -caches) can attribute
 // feedback to the right sync session and report which cache answered.
 //
-// Example:
+// # Relay mode (cache→cache hierarchy)
+//
+// With -children the daemon becomes a middle tier: it still serves -addr as
+// a cache toward its upstream, but every refresh it applies is re-exported
+// as an update toward the listed child caches, with its own send budget
+// (-child-bandwidth) divided across them by share weight — edge tiers that
+// re-export refreshes. Re-exported refreshes keep the originating source id
+// and carry an incremented hop count, so loops are dropped and -max-hops
+// bounds re-export depth. A dead child connection is redialed with backoff;
+// the child is fully re-synchronized when it returns.
+//
+// Examples:
 //
 //	cachesyncd -addr :7400 -bandwidth 100 -shards 8
+//	cachesyncd -addr :7400 -children edge-a:7500,edge-b:7500=2 -child-bandwidth 60
 package main
 
 import (
@@ -27,6 +39,8 @@ import (
 	"os/signal"
 	"time"
 
+	"bestsync/internal/destspec"
+	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
 	"bestsync/internal/transport"
 )
@@ -38,6 +52,9 @@ func main() {
 	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
 	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard apply-queue depth in batches")
+	children := flag.String("children", "", "comma-separated downstream cache addresses host:port[=weight] (relay mode: re-export applied refreshes)")
+	childBW := flag.Float64("child-bandwidth", 50, "relay mode: send budget toward children (messages/second), divided by share weight")
+	maxHops := flag.Int("max-hops", 8, "relay mode: drop re-exports past this many relay tiers")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
@@ -51,19 +68,62 @@ func main() {
 		*id = ln.Addr().String()
 	}
 	ep := transport.Serve(ln, 256)
-	cache := runtime.NewCache(runtime.CacheConfig{
-		ID:         *id,
-		Bandwidth:  *bw,
-		Shards:     *shards,
-		ShardQueue: *queue,
-	}, ep)
-	log.Printf("cachesyncd %s: listening on %s, bandwidth %.1f msgs/s, shards=%d",
-		cache.ID(), ln.Addr(), *bw, cache.Shards())
+
+	// In relay mode the cache is owned by a Relay that re-exports applied
+	// refreshes toward the children; otherwise it is a plain leaf cache.
+	var (
+		cache *runtime.Cache
+		relay *runtime.Relay
+	)
+	if *children != "" {
+		addrs, weights, err := destspec.Parse(*children)
+		if err != nil {
+			log.Fatalf("cachesyncd: -children: %v", err)
+		}
+		// Child connections are batched with the transport defaults and
+		// redialed with backoff so a restarted child rejoins the tier; a
+		// child that is down right now does not block the boot.
+		dests, deferred := runtime.DialDestinations(addrs, weights, *id,
+			func(conn transport.SourceConn) transport.SourceConn {
+				return transport.NewBatcher(conn, transport.BatcherConfig{})
+			})
+		for _, addr := range deferred {
+			log.Printf("cachesyncd: child %s unreachable, will keep redialing", addr)
+		}
+		relay, err = runtime.NewRelay(runtime.RelayConfig{
+			ID:             *id,
+			Cache:          runtime.CacheConfig{Bandwidth: *bw, Shards: *shards, ShardQueue: *queue},
+			ChildBandwidth: *childBW,
+			Metric:         metric.ValueDeviation,
+			MaxHops:        *maxHops,
+		}, ep, dests)
+		if err != nil {
+			log.Fatalf("cachesyncd: %v", err)
+		}
+		cache = relay.Cache()
+		log.Printf("cachesyncd %s: relay tier on %s, bandwidth %.1f msgs/s up / %.1f msgs/s down to %d children, shards=%d",
+			relay.ID(), ln.Addr(), *bw, *childBW, len(dests), cache.Shards())
+	} else {
+		cache = runtime.NewCache(runtime.CacheConfig{
+			ID:         *id,
+			Bandwidth:  *bw,
+			Shards:     *shards,
+			ShardQueue: *queue,
+		}, ep)
+		log.Printf("cachesyncd %s: listening on %s, bandwidth %.1f msgs/s, shards=%d",
+			cache.ID(), ln.Addr(), *bw, cache.Shards())
+	}
 	if *snapshotPath != "" {
 		if err := cache.LoadSnapshotFile(*snapshotPath); err != nil {
 			log.Fatalf("cachesyncd: loading snapshot: %v", err)
 		}
 		log.Printf("cachesyncd: restored %d objects from %s", cache.Len(), *snapshotPath)
+		if relay != nil && cache.Len() > 0 {
+			// Snapshot loading bypasses the apply hook; seed the child
+			// sessions so restored objects reach the tier below too.
+			relay.ReexportStore()
+			log.Printf("cachesyncd: re-exporting %d restored objects to children", cache.Len())
+		}
 		go func() {
 			for range time.Tick(*snapshotEvery) {
 				if err := cache.SaveSnapshotFile(*snapshotPath); err != nil {
@@ -102,13 +162,26 @@ func main() {
 					log.Printf("cachesyncd: final snapshot: %v", err)
 				}
 			}
-			cache.Close()
+			if relay != nil {
+				relay.Close()
+			} else {
+				cache.Close()
+			}
 			ep.Close()
 			return
 		case <-ticker.C:
 			st := cache.Stats()
 			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d stale=%d rate=%.1f/s\n",
 				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
+			if relay != nil {
+				rst := relay.Stats()
+				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d\n",
+					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes)
+				for _, sess := range rst.Downstream.Sessions {
+					fmt.Printf("  child %-24s share=%.3g/s refreshes=%d feedback=%d reconnects=%d threshold=%.4g\n",
+						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold)
+				}
+			}
 		}
 	}
 }

@@ -30,39 +30,14 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"time"
 
+	"bestsync/internal/destspec"
 	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
 	"bestsync/internal/transport"
 )
-
-// parseCaches splits a -caches value ("host:port[=weight],...") into
-// addresses and share weights (0 = default).
-func parseCaches(spec string) (addrs []string, weights []float64, err error) {
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		addr, w := part, 0.0
-		if i := strings.LastIndex(part, "="); i >= 0 {
-			addr = part[:i]
-			w, err = strconv.ParseFloat(part[i+1:], 64)
-			if err != nil || w <= 0 {
-				return nil, nil, fmt.Errorf("bad cache weight in %q (want host:port=weight with weight > 0)", part)
-			}
-		}
-		addrs = append(addrs, addr)
-		weights = append(weights, w)
-	}
-	if len(addrs) == 0 {
-		return nil, nil, fmt.Errorf("-caches lists no destinations")
-	}
-	return addrs, weights, nil
-}
 
 func main() {
 	addr := flag.String("addr", "localhost:7400", "cache daemon address (single-cache mode)")
@@ -81,28 +56,27 @@ func main() {
 	weights := []float64{0}
 	if *caches != "" {
 		var err error
-		addrs, weights, err = parseCaches(*caches)
+		addrs, weights, err = destspec.Parse(*caches)
 		if err != nil {
-			log.Fatalf("sourceagent: %v", err)
+			log.Fatalf("sourceagent: -caches: %v", err)
 		}
 	}
-	conns, err := transport.DialAll(addrs, *id)
-	if err != nil {
-		log.Fatalf("sourceagent: %v", err)
-	}
-	dests := make([]runtime.Destination, len(conns))
-	for i, conn := range conns {
-		if *batch > 1 {
-			conn = transport.NewBatcher(conn, transport.BatcherConfig{
-				MaxBatch:   *batch,
-				FlushEvery: *flush,
-			})
-		}
-		dests[i] = runtime.Destination{
-			CacheID: addrs[i],
-			Conn:    conn,
-			Weight:  weights[i],
-		}
+	// A restarted cache rejoins the fan-out: each session redials with
+	// backoff (DialDestinations wires the Redial closures) and
+	// re-registers every object. A cache that is down at start-up is
+	// reported and retried rather than failing the agent.
+	dests, deferred := runtime.DialDestinations(addrs, weights, *id,
+		func(conn transport.SourceConn) transport.SourceConn {
+			if *batch > 1 {
+				conn = transport.NewBatcher(conn, transport.BatcherConfig{
+					MaxBatch:   *batch,
+					FlushEvery: *flush,
+				})
+			}
+			return conn
+		})
+	for _, a := range deferred {
+		log.Printf("sourceagent: cache %s unreachable, will keep redialing", a)
 	}
 	src, err := runtime.NewFanoutSource(runtime.SourceConfig{
 		ID:        *id,
@@ -148,8 +122,8 @@ func main() {
 				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Threshold)
 			if len(st.Sessions) > 1 {
 				for _, sess := range st.Sessions {
-					fmt.Printf("  cache %-24s share=%.3g/s refreshes=%d feedback=%d threshold=%.4g\n",
-						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Threshold)
+					fmt.Printf("  cache %-24s share=%.3g/s refreshes=%d feedback=%d reconnects=%d threshold=%.4g\n",
+						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold)
 				}
 			}
 		}

@@ -2,13 +2,10 @@ package main
 
 import (
 	"fmt"
-	"math"
-	"net"
 	"time"
 
 	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
-	"bestsync/internal/transport"
 )
 
 // fanoutCacheResult is one cache's slice of a fan-out measurement.
@@ -73,49 +70,20 @@ func runFanoutMode(maxCaches, objects int, rate, bandwidth float64, duration tim
 
 // measureFanout runs one topology: n caches (in-process or loopback TCP),
 // one fan-out source, a paced random-walk workload, and a final divergence
-// audit comparing every cache copy against the canonical values.
+// audit comparing every cache copy against the canonical values. Node
+// setup, workload and audit are shared with the hierarchy benchmark
+// (benchNode, pacedRandomWalk, meanAbsDivergence in hierarchy.go).
 func measureFanout(tcp bool, n, objects int, rate, bandwidth float64, duration time.Duration) fanoutResult {
 	scenario := "fanout-local"
 	if tcp {
 		scenario = "fanout-tcp"
 	}
-	caches := make([]*runtime.Cache, n)
+	// Per-cache processing budget mirrors the source budget.
+	nodes := make([]benchNode, n)
 	dests := make([]runtime.Destination, n)
-	var cleanups []func()
 	for i := 0; i < n; i++ {
-		id := fmt.Sprintf("cache-%d", i)
-		var ep transport.CacheEndpoint
-		var conn transport.SourceConn
-		if tcp {
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				panic(err)
-			}
-			ep = transport.Serve(ln, 64)
-			conn, err = transport.Dial(ln.Addr().String(), "bench-src")
-			if err != nil {
-				panic(err)
-			}
-		} else {
-			local := transport.NewLocal(64)
-			ep = local
-			var err error
-			conn, err = local.Dial("bench-src")
-			if err != nil {
-				panic(err)
-			}
-		}
-		caches[i] = runtime.NewCache(runtime.CacheConfig{
-			ID:        id,
-			Bandwidth: bandwidth, // per-cache processing budget mirrors the source budget
-			Tick:      10 * time.Millisecond,
-		}, ep)
-		dests[i] = runtime.Destination{CacheID: id, Conn: conn}
-		epi, ci := ep, i
-		cleanups = append(cleanups, func() {
-			caches[ci].Close()
-			epi.Close()
-		})
+		nodes[i] = newBenchNode(tcp, fmt.Sprintf("cache-%d", i), bandwidth)
+		dests[i] = runtime.Destination{CacheID: nodes[i].cache.ID(), Conn: nodes[i].dial("bench-src")}
 	}
 	src, err := runtime.NewFanoutSource(runtime.SourceConfig{
 		ID:        "bench-src",
@@ -127,28 +95,7 @@ func measureFanout(tcp bool, n, objects int, rate, bandwidth float64, duration t
 		panic(err)
 	}
 
-	// Paced random-walk workload over source-qualified keys.
-	values := make([]float64, objects)
-	interval := time.Duration(float64(time.Second) / rate)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	start := time.Now()
-	step := 1
-	for time.Since(start) < duration {
-		i := step % objects
-		if step%2 == 0 {
-			values[i]++
-		} else {
-			values[i]--
-		}
-		src.Update(fmt.Sprintf("bench-src/obj-%d", i), values[i])
-		step++
-		time.Sleep(interval)
-	}
-	// Let in-flight batches land before auditing divergence.
-	time.Sleep(100 * time.Millisecond)
-	elapsed := time.Since(start).Seconds()
+	values, elapsed := pacedRandomWalk(src, "bench-src", objects, rate, duration)
 
 	st := src.Stats()
 	res := fanoutResult{
@@ -162,18 +109,12 @@ func measureFanout(tcp bool, n, objects int, rate, bandwidth float64, duration t
 		RefreshesPerS:  float64(st.Refreshes) / elapsed,
 	}
 	total := 0.0
-	for i, c := range caches {
-		cst := c.Stats()
-		div := 0.0
-		for k := 0; k < objects; k++ {
-			e, _ := c.Get(fmt.Sprintf("bench-src/obj-%d", k))
-			div += math.Abs(values[k] - e.Value) // missing entries count full deviation
-		}
-		div /= float64(objects)
+	for i, node := range nodes {
+		div := meanAbsDivergence(node.cache, "bench-src", values)
 		total += div
 		res.PerCache = append(res.PerCache, fanoutCacheResult{
-			CacheID:        c.ID(),
-			Applied:        cst.Refreshes,
+			CacheID:        node.cache.ID(),
+			Applied:        node.cache.Stats().Refreshes,
 			Feedbacks:      st.Sessions[i].Feedbacks,
 			Threshold:      st.Sessions[i].Threshold,
 			ShareMsgsPerS:  st.Sessions[i].Share,
@@ -183,8 +124,8 @@ func measureFanout(tcp bool, n, objects int, rate, bandwidth float64, duration t
 	res.MeanDivergence = total / float64(n)
 
 	src.Close()
-	for _, f := range cleanups {
-		f()
+	for _, node := range nodes {
+		node.cleanup()
 	}
 	return res
 }

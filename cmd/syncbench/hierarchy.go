@@ -1,0 +1,314 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+// hierarchyNodeResult is one cache node's slice of a hierarchy measurement.
+type hierarchyNodeResult struct {
+	NodeID         string  `json:"node_id"`
+	Tier           string  `json:"tier"` // relay | leaf | flat
+	Applied        int     `json:"applied"`
+	MeanDivergence float64 `json:"mean_divergence"`
+}
+
+// hierarchyResult is one measured topology: either the 3-tier tree
+// (source → relay → N leaves) or the flat 1 → N+1 fan-out over the same
+// node count, at equal total network bandwidth.
+type hierarchyResult struct {
+	Scenario           string                `json:"scenario"` // e.g. tree-local, flat-tcp
+	Topology           string                `json:"topology"` // tree | flat
+	Transport          string                `json:"transport"`
+	Leaves             int                   `json:"leaves"`
+	Objects            int                   `json:"objects"`
+	DurationS          float64               `json:"duration_s"`
+	TotalBandwidth     float64               `json:"total_bandwidth_msgs_per_s"`
+	Updates            int                   `json:"updates"`
+	SourceRefreshes    int                   `json:"source_refreshes"`
+	RelayForwarded     int                   `json:"relay_forwarded,omitempty"`
+	RelayLooped        int                   `json:"relay_looped,omitempty"`
+	MeanLeafDivergence float64               `json:"mean_leaf_divergence"`
+	PerNode            []hierarchyNodeResult `json:"per_node"`
+}
+
+// runHierarchyMode compares the cache→cache hierarchy against flat fan-out
+// on both transports: a tree spends half the total budget on the
+// source→relay hop and half on relay→leaves, while the flat topology spends
+// the whole budget on direct source→cache sessions over the same N+1 cache
+// nodes. Results go to stdout and BENCH_hierarchy.json.
+func runHierarchyMode(leaves, objects int, rate, bandwidth float64, duration time.Duration) {
+	fmt.Printf("# cache→cache hierarchy: source → relay → %d leaves vs flat 1 → %d, %d objects, %.0f updates/s, %.0f msgs/s total budget, %s per topology\n\n",
+		leaves, leaves+1, objects, rate, bandwidth, duration)
+	fmt.Printf("%-12s %7s %10s %12s %12s %19s\n",
+		"scenario", "leaves", "updates", "src refr", "relay fwd", "mean leaf diverg.")
+	var results []hierarchyResult
+	for _, tcp := range []bool{false, true} {
+		for _, tree := range []bool{true, false} {
+			r := measureHierarchy(tcp, tree, leaves, objects, rate, bandwidth, duration)
+			results = append(results, r)
+			fwd := "-"
+			if tree {
+				fwd = fmt.Sprintf("%d", r.RelayForwarded)
+			}
+			fmt.Printf("%-12s %7d %10d %12d %12s %19.4f\n",
+				r.Scenario, r.Leaves, r.Updates, r.SourceRefreshes, fwd, r.MeanLeafDivergence)
+		}
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("# %s per-node breakdown:\n", r.Scenario)
+		for _, nodeRes := range r.PerNode {
+			fmt.Printf("  %-12s tier=%-6s applied=%6d divergence=%.4f\n",
+				nodeRes.NodeID, nodeRes.Tier, nodeRes.Applied, nodeRes.MeanDivergence)
+		}
+	}
+	if err := writeBenchJSON("BENCH_hierarchy.json", results); err != nil {
+		fmt.Printf("syncbench: writing BENCH_hierarchy.json: %v\n", err)
+		return
+	}
+	fmt.Println("\nwrote BENCH_hierarchy.json")
+}
+
+// benchNode is one cache node plus the plumbing to dial it and tear it down.
+type benchNode struct {
+	cache   *runtime.Cache
+	dial    func(srcID string) transport.SourceConn
+	cleanup func()
+}
+
+// newBenchNode starts a cache node on the requested transport.
+func newBenchNode(tcp bool, id string, bandwidth float64) benchNode {
+	if tcp {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		ep := transport.Serve(ln, 64)
+		cache := runtime.NewCache(runtime.CacheConfig{
+			ID: id, Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
+		}, ep)
+		addr := ln.Addr().String()
+		return benchNode{
+			cache: cache,
+			dial: func(srcID string) transport.SourceConn {
+				conn, err := transport.Dial(addr, srcID)
+				if err != nil {
+					panic(err)
+				}
+				return conn
+			},
+			cleanup: func() { cache.Close(); ep.Close() },
+		}
+	}
+	local := transport.NewLocal(64)
+	cache := runtime.NewCache(runtime.CacheConfig{
+		ID: id, Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
+	}, local)
+	return benchNode{
+		cache: cache,
+		dial: func(srcID string) transport.SourceConn {
+			conn, err := local.Dial(srcID)
+			if err != nil {
+				panic(err)
+			}
+			return conn
+		},
+		cleanup: func() { cache.Close(); local.Close() },
+	}
+}
+
+// pacedRandomWalk drives src with a paced ±1 random walk over
+// "<prefix>/obj-N" keys for the given duration, waits 150 ms for in-flight
+// batches to land, and returns the canonical values plus the elapsed
+// seconds. Shared by the fanout and hierarchy benchmarks so their workloads
+// stay comparable.
+func pacedRandomWalk(src *runtime.Source, prefix string, objects int, rate float64, duration time.Duration) ([]float64, float64) {
+	values := make([]float64, objects)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	step := 1
+	for time.Since(start) < duration {
+		i := step % objects
+		if step%2 == 0 {
+			values[i]++
+		} else {
+			values[i]--
+		}
+		src.Update(fmt.Sprintf("%s/obj-%d", prefix, i), values[i])
+		step++
+		time.Sleep(interval)
+	}
+	time.Sleep(150 * time.Millisecond)
+	return values, time.Since(start).Seconds()
+}
+
+// meanAbsDivergence audits a cache against the canonical values: mean
+// |canonical − cached| per object, counting missing entries at full
+// deviation.
+func meanAbsDivergence(c *runtime.Cache, prefix string, values []float64) float64 {
+	div := 0.0
+	for k, v := range values {
+		e, _ := c.Get(fmt.Sprintf("%s/obj-%d", prefix, k))
+		div += math.Abs(v - e.Value)
+	}
+	return div / float64(len(values))
+}
+
+// measureHierarchy runs one topology and audits final divergence at every
+// cache node against the canonical values.
+func measureHierarchy(tcp, tree bool, leaves, objects int, rate, bandwidth float64, duration time.Duration) hierarchyResult {
+	transportName := "local"
+	if tcp {
+		transportName = "tcp"
+	}
+	topology := "flat"
+	if tree {
+		topology = "tree"
+	}
+	res := hierarchyResult{
+		Scenario:       topology + "-" + transportName,
+		Topology:       topology,
+		Transport:      transportName,
+		Leaves:         leaves,
+		Objects:        objects,
+		TotalBandwidth: bandwidth,
+	}
+
+	// Leaf caches exist in both topologies; their processing budget mirrors
+	// the total network budget so the bottleneck under test is the send
+	// path, not the apply path.
+	leafNodes := make([]benchNode, leaves)
+	for i := range leafNodes {
+		leafNodes[i] = newBenchNode(tcp, fmt.Sprintf("leaf-%d", i), bandwidth)
+	}
+	var cleanups []func()
+	for _, n := range leafNodes {
+		cleanups = append(cleanups, n.cleanup)
+	}
+
+	var (
+		src      *runtime.Source
+		relay    *runtime.Relay
+		hubCache *runtime.Cache // flat: the cache standing where the relay would be
+		err      error
+	)
+	if tree {
+		// source --B/2--> relay --B/2--> N leaves.
+		children := make([]runtime.Destination, leaves)
+		for i, n := range leafNodes {
+			children[i] = runtime.Destination{CacheID: n.cache.ID(), Conn: n.dial("bench-relay")}
+		}
+		var upstream transport.CacheEndpoint
+		var upConn transport.SourceConn
+		if tcp {
+			ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				panic(lerr)
+			}
+			upstream = transport.Serve(ln, 64)
+			upConn, err = transport.Dial(ln.Addr().String(), "bench-root")
+			if err != nil {
+				panic(err)
+			}
+		} else {
+			local := transport.NewLocal(64)
+			upstream = local
+			upConn, err = local.Dial("bench-root")
+			if err != nil {
+				panic(err)
+			}
+		}
+		relay, err = runtime.NewRelay(runtime.RelayConfig{
+			ID:             "bench-relay",
+			Cache:          runtime.CacheConfig{Bandwidth: bandwidth, Tick: 10 * time.Millisecond},
+			ChildBandwidth: bandwidth / 2,
+			Metric:         metric.ValueDeviation,
+			Tick:           10 * time.Millisecond,
+		}, upstream, children)
+		if err != nil {
+			panic(err)
+		}
+		cleanups = append(cleanups, func() { upstream.Close() })
+		src, err = runtime.NewFanoutSource(runtime.SourceConfig{
+			ID: "bench-root", Metric: metric.ValueDeviation,
+			Bandwidth: bandwidth / 2, Tick: 10 * time.Millisecond,
+		}, []runtime.Destination{{CacheID: "bench-relay", Conn: upConn}})
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		// source --B--> N+1 caches (the would-be relay is just another
+		// direct destination).
+		hub := newBenchNode(tcp, "hub", bandwidth)
+		hubCache = hub.cache
+		cleanups = append(cleanups, hub.cleanup)
+		dests := make([]runtime.Destination, 0, leaves+1)
+		dests = append(dests, runtime.Destination{CacheID: "hub", Conn: hub.dial("bench-root")})
+		for _, n := range leafNodes {
+			dests = append(dests, runtime.Destination{CacheID: n.cache.ID(), Conn: n.dial("bench-root")})
+		}
+		src, err = runtime.NewFanoutSource(runtime.SourceConfig{
+			ID: "bench-root", Metric: metric.ValueDeviation,
+			Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
+		}, dests)
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	values, elapsed := pacedRandomWalk(src, "bench-root", objects, rate, duration)
+	res.DurationS = elapsed
+	audit := func(c *runtime.Cache) float64 {
+		return meanAbsDivergence(c, "bench-root", values)
+	}
+
+	st := src.Stats()
+	res.Updates = st.Updates
+	res.SourceRefreshes = st.Refreshes
+	if tree {
+		rst := relay.Stats()
+		res.RelayForwarded = rst.Forwarded
+		res.RelayLooped = rst.Looped
+		res.PerNode = append(res.PerNode, hierarchyNodeResult{
+			NodeID: relay.ID(), Tier: "relay",
+			Applied:        rst.Upstream.Refreshes,
+			MeanDivergence: audit(relay.Cache()),
+		})
+	} else {
+		res.PerNode = append(res.PerNode, hierarchyNodeResult{
+			NodeID: "hub", Tier: "flat",
+			Applied:        hubCache.Stats().Refreshes,
+			MeanDivergence: audit(hubCache),
+		})
+	}
+	total := 0.0
+	for _, n := range leafNodes {
+		d := audit(n.cache)
+		total += d
+		res.PerNode = append(res.PerNode, hierarchyNodeResult{
+			NodeID: n.cache.ID(), Tier: "leaf",
+			Applied:        n.cache.Stats().Refreshes,
+			MeanDivergence: d,
+		})
+	}
+	res.MeanLeafDivergence = total / float64(leaves)
+
+	src.Close() // stop the upstream flow before tearing down the tiers below
+	if tree {
+		relay.Close()
+	}
+	for _, f := range cleanups {
+		f()
+	}
+	return res
+}

@@ -31,6 +31,13 @@
 // per-cache divergence/threshold/feedback as N grows. The -caches,
 // -objects, -rate, -bandwidth and -duration flags tune that mode. Results
 // are also written to BENCH_fanout.json.
+//
+// With -hierarchy syncbench compares the cache→cache hierarchy against flat
+// fan-out at equal total bandwidth: a 3-tier tree (source → relay →
+// -leaves leaf caches, budget split half per hop) versus the flat
+// 1 → leaves+1 topology, on both transports, reporting per-node applied
+// refreshes and final mean divergence. Results are also written to
+// BENCH_hierarchy.json.
 package main
 
 import (
@@ -59,10 +66,16 @@ func main() {
 	tpDur := flag.Duration("duration", 3*time.Second, "throughput/fanout mode: measurement window per config")
 	fanout := flag.Bool("fanout", false, "benchmark the 1-source -> N-cache fan-out topology instead of experiments")
 	fanCaches := flag.Int("caches", 4, "fanout mode: maximum cache count in the sweep")
-	fanRate := flag.Float64("rate", 500, "fanout mode: source update rate (updates/second)")
-	fanBW := flag.Float64("bandwidth", 200, "fanout mode: source send budget shared across caches (messages/second)")
+	fanRate := flag.Float64("rate", 500, "fanout/hierarchy mode: source update rate (updates/second)")
+	fanBW := flag.Float64("bandwidth", 200, "fanout/hierarchy mode: total send budget (messages/second)")
+	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
+	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
 	flag.Parse()
 
+	if *hierarchy {
+		runHierarchyMode(*hierLeaves, *tpObjects, *fanRate, *fanBW, *tpDur)
+		return
+	}
 	if *fanout {
 		runFanoutMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
 		return

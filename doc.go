@@ -9,8 +9,10 @@
 //     on a virtual clock, and
 //   - a live half (internal/runtime, internal/transport, internal/wire)
 //     that runs the same protocol over wall-clock time and TCP, with a
-//     sharded concurrent cache store and batched refresh framing for
-//     production-scale throughput.
+//     sharded concurrent cache store, batched refresh framing, fan-out
+//     sources, and relay tiers (cache→cache hierarchy: a cache that
+//     re-exports applied refreshes to downstream children) for
+//     production-scale topologies.
 //
 // Runnable entry points:
 //
@@ -22,9 +24,13 @@
 //
 // The benchmarks in bench_test.go map one-to-one onto the experiment
 // registry of internal/experiments, plus BenchmarkShardedApply and
-// BenchmarkBatchedTCP for the live hot path. The formal algorithm
-// specification (divergence
-// metrics, priority functions, threshold feedback loop, CGM allocation) is
-// in docs/algorithm-specifications.md; README.md has quickstart
-// transcripts.
+// BenchmarkBatchedTCP for the live hot path.
+//
+// Documentation lives under docs/: docs/README.md is the index,
+// docs/architecture.md maps the packages and the data flow,
+// docs/operations.md covers every daemon flag and benchmark schema, and
+// docs/algorithm-specifications.md is the formal algorithm specification
+// (divergence metrics, priority functions, threshold feedback loop, CGM
+// allocation, fan-out shares, relay divergence accounting). README.md has
+// quickstart transcripts.
 package bestsync

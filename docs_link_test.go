@@ -1,0 +1,76 @@
+package bestsync_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target). Targets with
+// spaces are never used in this repo, so the regexp stops at whitespace or
+// the closing parenthesis.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks fails on broken relative links in any *.md file of
+// the repository — the docs tree cross-links heavily (docs/README.md index,
+// README.md, ROADMAP.md), and a rename must not silently orphan a
+// reference. External (http/https/mailto) and pure-anchor links are out of
+// scope. CI runs this as its docs link-check step.
+func TestDocsRelativeLinks(t *testing.T) {
+	checked := 0
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		// SNIPPETS.md quotes exemplar code/docs from other repositories
+		// verbatim; its links refer to files of those repos, not this one.
+		if path == "SNIPPETS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Drop an in-file anchor; existence is checked per file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", path, m[1], resolved)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found at all — the scanner is broken")
+	}
+	t.Logf("checked %d relative links", checked)
+}

@@ -1,0 +1,39 @@
+// Package destspec parses destination-list flags shared by the daemons:
+// sourceagent -caches and cachesyncd -children both take a comma-separated
+// list of "host:port[=weight]" entries, where the optional weight is the
+// destination's Section 7 share weight (omitted = default, equal shares
+// when all are defaulted).
+package destspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse splits a destination spec ("host:port[=weight],...") into addresses
+// and share weights (0 = default). Empty entries are skipped; an entirely
+// empty spec, or a weight that does not parse to a positive number, is an
+// error.
+func Parse(spec string) (addrs []string, weights []float64, err error) {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		addr, w := part, 0.0
+		if i := strings.LastIndex(part, "="); i >= 0 {
+			addr = part[:i]
+			w, err = strconv.ParseFloat(part[i+1:], 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad destination weight in %q (want host:port=weight with weight > 0)", part)
+			}
+		}
+		addrs = append(addrs, addr)
+		weights = append(weights, w)
+	}
+	if len(addrs) == 0 {
+		return nil, nil, fmt.Errorf("destination spec lists no destinations")
+	}
+	return addrs, weights, nil
+}

@@ -1,11 +1,11 @@
-package main
+package destspec
 
 import (
 	"reflect"
 	"testing"
 )
 
-func TestParseCaches(t *testing.T) {
+func TestParse(t *testing.T) {
 	cases := []struct {
 		in      string
 		addrs   []string
@@ -24,19 +24,19 @@ func TestParseCaches(t *testing.T) {
 		{in: "a:1=0", wantErr: true},
 	}
 	for _, tc := range cases {
-		addrs, weights, err := parseCaches(tc.in)
+		addrs, weights, err := Parse(tc.in)
 		if tc.wantErr {
 			if err == nil {
-				t.Errorf("parseCaches(%q): expected error, got %v %v", tc.in, addrs, weights)
+				t.Errorf("Parse(%q): expected error, got %v %v", tc.in, addrs, weights)
 			}
 			continue
 		}
 		if err != nil {
-			t.Errorf("parseCaches(%q): %v", tc.in, err)
+			t.Errorf("Parse(%q): %v", tc.in, err)
 			continue
 		}
 		if !reflect.DeepEqual(addrs, tc.addrs) || !reflect.DeepEqual(weights, tc.weights) {
-			t.Errorf("parseCaches(%q) = %v %v, want %v %v",
+			t.Errorf("Parse(%q) = %v %v, want %v %v",
 				tc.in, addrs, weights, tc.addrs, tc.weights)
 		}
 	}

@@ -23,6 +23,15 @@
 // (wire.Feedback.CacheID) so sessions can report who is on the other end.
 // See docs/algorithm-specifications.md §7.
 //
+// # Hierarchy
+//
+// A Relay composes both nodes into a middle tier: a Cache facing its
+// upstream whose applied refreshes are re-exported (via the OnApply hook
+// and Source.UpdateFrom) as updates to a fan-out Source facing its
+// children, with provenance (wire.Refresh.Origin/Hops), loop-avoidance and
+// a hop ceiling. Divergence accounting composes per hop; see
+// docs/algorithm-specifications.md §8.
+//
 // # Sharding
 //
 // The cache store is split into N independent shards, each with its own
@@ -84,16 +93,40 @@ type CacheConfig struct {
 	ShardQueue int
 	// Params tunes the threshold algorithm; zero means paper defaults.
 	Params core.Params
+	// OnApply, when non-nil, is called by the shard workers with every
+	// refresh that was actually installed into the store (stale drops are
+	// excluded), outside the shard lock. Refreshes for the same object are
+	// delivered in apply order (they always land on the same shard);
+	// different objects may be reported concurrently from different
+	// workers. This is the re-export hook a Relay uses to turn applied
+	// refreshes into updates for its own downstream tier.
+	OnApply func([]wire.Refresh)
+	// Reject, when non-nil, is consulted by the dispatcher for every
+	// incoming refresh before it reaches the apply path; returning true
+	// drops it (counted in CacheStats.Rejected). The piggybacked threshold
+	// is still observed — rejection is about the payload, not the
+	// protocol. A Relay uses this to drop refreshes that crossed a
+	// topology cycle: applying one would let the cycle peer's re-issued
+	// epoch capture the entry and shadow direct refreshes.
+	Reject func(wire.Refresh) bool
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
 }
 
-// Entry is one cached object copy.
+// Entry is one cached object copy. Source is the node the refresh arrived
+// from; in a relay hierarchy Origin names the node the value was first
+// produced on, Hops the relay tiers it crossed, and Via the relay path it
+// took (zero/empty for a copy received directly from its origin). Keeping
+// Via on the entry lets a relay restored from a snapshot re-export with the
+// original path intact, so the loop guard still holds across restarts.
 type Entry struct {
 	Value     float64
 	Version   uint64
 	Epoch     int64 // source incarnation the version belongs to
 	Source    string
+	Origin    string
+	Hops      int
+	Via       []string
 	Refreshed time.Time
 }
 
@@ -104,6 +137,7 @@ type CacheStats struct {
 	Sources    int
 	Stale      int     // refreshes dropped as stale duplicates or old epochs
 	Misrouted  int     // refreshes whose advisory CacheID named another cache
+	Rejected   int     // refreshes dropped by the CacheConfig.Reject filter
 	Divergence float64 // cumulative |Δvalue| absorbed by applied refreshes
 }
 
@@ -136,6 +170,7 @@ type Cache struct {
 	srcIDs    []string
 	fbSent    int
 	misrouted int
+	rejected  int
 
 	// outstanding counts refreshes dispatched to shard queues but not yet
 	// applied; the surplus-feedback rule requires a fully drained cache,
@@ -252,6 +287,7 @@ func (c *Cache) Stats() CacheStats {
 	s.Feedbacks = c.fbSent
 	s.Sources = len(c.srcIdx)
 	s.Misrouted = c.misrouted
+	s.Rejected = c.rejected
 	c.mu.Unlock()
 	return s
 }
@@ -375,6 +411,23 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 		}
 	}
 	c.mu.Unlock()
+	if c.cfg.Reject != nil {
+		kept := b.Refreshes[:0]
+		for _, r := range b.Refreshes {
+			if !c.cfg.Reject(r) {
+				kept = append(kept, r)
+			}
+		}
+		if dropped := len(b.Refreshes) - len(kept); dropped > 0 {
+			c.mu.Lock()
+			c.rejected += dropped
+			c.mu.Unlock()
+		}
+		b.Refreshes = kept
+		if len(b.Refreshes) == 0 {
+			return
+		}
+	}
 	c.outstanding.Add(int64(len(b.Refreshes)))
 	if len(c.shards) == 1 {
 		c.enqueue(c.shards[0], b.Refreshes)
@@ -399,30 +452,51 @@ func (c *Cache) enqueue(sh *shard, rs []wire.Refresh) {
 	}
 }
 
-// worker drains one shard's queue, applying refreshes under the shard lock.
+// worker drains one shard's queue, applying refreshes under the shard lock
+// and reporting the applied ones to the OnApply hook outside it.
 func (c *Cache) worker(sh *shard) {
 	defer c.wg.Done()
 	for rs := range sh.queue {
 		now := c.cfg.Now()
+		var applied []wire.Refresh
 		sh.mu.Lock()
 		for _, r := range rs {
-			applyLocked(sh, r, now)
+			if applyLocked(sh, r, now) && c.cfg.OnApply != nil {
+				applied = append(applied, r)
+			}
 		}
 		sh.mu.Unlock()
+		if len(applied) > 0 {
+			c.cfg.OnApply(applied)
+		}
 		c.outstanding.Add(-int64(len(rs)))
 	}
 }
 
-// applyLocked installs one refresh into the shard store. Caller holds sh.mu.
-func applyLocked(sh *shard, r wire.Refresh, now time.Time) {
+// applyLocked installs one refresh into the shard store, reporting whether
+// it was applied (false = dropped as stale). Caller holds sh.mu.
+func applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
 	cur, ok := sh.store[r.ObjectID]
-	if ok && r.Epoch == cur.Epoch && r.Version < cur.Version {
-		sh.stats.stale++ // stale duplicate within the same source incarnation
-		return
-	}
-	if ok && r.Epoch < cur.Epoch {
-		sh.stats.stale++ // message from a superseded incarnation
-		return
+	// The (epoch, version) staleness guard is per sender: epochs from
+	// different nodes are incomparable wall-clock starts, so comparing
+	// them across senders would let one upstream's restart permanently
+	// shadow a redundant upstream's live feed (a diamond topology). A
+	// refresh from a different sender than the cached copy's is applied —
+	// last writer wins across redundant feeds.
+	if ok && r.SourceID == cur.Source {
+		if r.Epoch == cur.Epoch && r.Version <= cur.Version {
+			// Stale or duplicate within the same source incarnation: an
+			// equal (epoch, version) carries the identical value by
+			// construction, so re-applying it would only inflate counters —
+			// and, at a relay, re-broadcast it to every child. Reconnect
+			// re-sends from a peer that never restarted land here.
+			sh.stats.stale++
+			return false
+		}
+		if r.Epoch < cur.Epoch {
+			sh.stats.stale++ // message from a superseded incarnation
+			return false
+		}
 	}
 	if ok {
 		d := r.Value - cur.Value
@@ -431,14 +505,21 @@ func applyLocked(sh *shard, r wire.Refresh, now time.Time) {
 		}
 		sh.stats.divergence += d
 	}
-	sh.store[r.ObjectID] = Entry{
+	entry := Entry{
 		Value:     r.Value,
 		Version:   r.Version,
 		Epoch:     r.Epoch,
 		Source:    r.SourceID,
+		Hops:      r.Hops,
+		Via:       r.Via,
 		Refreshed: now,
 	}
+	if r.Origin != r.SourceID {
+		entry.Origin = r.Origin // empty when the sender is the origin
+	}
+	sh.store[r.ObjectID] = entry
 	sh.stats.refreshes++
+	return true
 }
 
 // maybeMergeStats periodically folds the per-shard counters into the rate

@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// deadConn stands in for a destination that could not be dialed at
+// construction: every send fails and the feedback channel is already
+// closed, so the owning session falls straight into its redial-with-backoff
+// loop and connects once the peer comes up.
+type deadConn struct{ fb chan wire.Feedback }
+
+func newDeadConn() *deadConn {
+	c := &deadConn{fb: make(chan wire.Feedback)}
+	close(c.fb)
+	return c
+}
+
+func (c *deadConn) SendRefresh(wire.Refresh) error { return transport.ErrClosed }
+func (c *deadConn) SendBatch([]wire.Refresh) error { return transport.ErrClosed }
+func (c *deadConn) Feedback() <-chan wire.Feedback { return c.fb }
+func (c *deadConn) Close() error                   { return nil }
+
+// DialDestinations dials every address and builds the fan-out destinations
+// a daemon passes to NewFanoutSource or NewRelay: each connection is
+// wrapped via wrap (nil = use as-is, e.g. pass a transport.Batcher
+// constructor for batched framing) and gets a Redial closure that re-dials
+// and re-wraps the same way, so sessions survive peer restarts. weights[i]
+// is the destination's Section 7 share weight (0 or a nil slice = default,
+// equal shares).
+//
+// An address that cannot be dialed right now does NOT fail the whole set —
+// a node must not refuse to boot because one peer is down when its sessions
+// can redial with backoff anyway. Such destinations start on a dead stub
+// connection (the session connects on its first redial) and are returned in
+// deferred so the caller can log them.
+//
+// This is the one place the sourceagent and cachesyncd daemons build their
+// destination sets, so the wrap/redial semantics cannot drift between them.
+func DialDestinations(addrs []string, weights []float64, sourceID string, wrap func(transport.SourceConn) transport.SourceConn) (dests []Destination, deferred []string) {
+	if wrap == nil {
+		wrap = func(c transport.SourceConn) transport.SourceConn { return c }
+	}
+	dests = make([]Destination, len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		w := 0.0
+		if weights != nil {
+			w = weights[i]
+		}
+		var conn transport.SourceConn
+		if c, err := transport.Dial(addr, sourceID); err == nil {
+			conn = wrap(c)
+		} else {
+			conn = newDeadConn()
+			deferred = append(deferred, addr)
+		}
+		dests[i] = Destination{
+			CacheID: addr,
+			Conn:    conn,
+			Weight:  w,
+			Redial: func() (transport.SourceConn, error) {
+				c, err := transport.Dial(addr, sourceID)
+				if err != nil {
+					return nil, err
+				}
+				return wrap(c), nil
+			},
+		}
+	}
+	return dests, deferred
+}

@@ -1,0 +1,295 @@
+package runtime
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+)
+
+// RelayConfig configures a relay node — a cache tier that re-exports the
+// refreshes it applies toward a set of downstream children.
+type RelayConfig struct {
+	// ID is the relay's identity on both faces: it is the cache id stamped
+	// on upstream feedback AND the source id its children see on
+	// re-exported refreshes. Default "relay".
+	ID string
+	// Cache configures the upstream-facing cache (processing bandwidth,
+	// shards, queue depth). Its ID, OnApply and Now fields are owned by the
+	// relay and must be left zero.
+	Cache CacheConfig
+	// ChildBandwidth is the downstream send budget in messages/second,
+	// divided across the children by their share weights (Section 7
+	// allocation) — the relay's own bandwidth tier, independent of the
+	// upstream source's budget. Default 1000.
+	ChildBandwidth float64
+	// Metric selects the divergence metric driving child refresh
+	// priorities; Delta and PriorityFn refine it as on SourceConfig.
+	Metric     metric.Kind
+	Delta      metric.DeltaFunc
+	PriorityFn priority.Fn
+	// Tick is the child send-loop interval (default 100 ms).
+	Tick time.Duration
+	// Params tunes the child-facing threshold algorithm; zero means paper
+	// defaults.
+	Params core.Params
+	// MaxHops bounds re-export depth: a refresh that has already crossed
+	// MaxHops relay tiers is applied locally but not forwarded (counted in
+	// RelayStats.HopLimited). Default 8.
+	MaxHops int
+	// Now overrides the clock for both faces (tests); defaults to
+	// time.Now.
+	Now func() time.Time
+}
+
+// RelayStats is a relay's per-tier statistics breakdown: the upstream face
+// (a cache consuming refreshes) and the downstream face (a fan-out source
+// re-exporting them), plus the re-export decisions in between.
+type RelayStats struct {
+	// Upstream counts the cache face: refreshes applied from the tier
+	// above, feedback sent to it, stale drops.
+	Upstream CacheStats
+	// Downstream counts the source face: updates fanned into child
+	// sessions, refreshes sent on, per-child session breakdown.
+	Downstream SourceStats
+	// Forwarded counts applied refreshes re-exported as child updates.
+	Forwarded int
+	// Looped counts refreshes rejected at intake because this relay was
+	// already on their path (Via) or was their origin — the message
+	// crossed a topology cycle and came back. Mirrored in
+	// Upstream.Rejected.
+	Looped int
+	// HopLimited counts refreshes dropped from re-export because
+	// forwarding would exceed MaxHops.
+	HopLimited int
+}
+
+// Relay is a middle tier in a cache→cache hierarchy: toward its upstream it
+// is an ordinary Cache (it applies refreshes, sends surplus-driven
+// feedback, and back-pressures when saturated); toward its children it is a
+// fan-out Source whose updates are the refreshes it just applied. Each
+// applied refresh becomes a core-tracked update in every child session, so
+// divergence at the relay — the delta its children have not yet been sent —
+// drives child scheduling with the relay's own bandwidth budget and share
+// allocation, independent of the upstream tier's.
+//
+// Provenance and loop-avoidance: re-exported refreshes keep the origin
+// source id (wire.Refresh.Origin) and carry an incremented hop count and
+// the path of relays traversed (wire.Refresh.Hops/.Via). A refresh whose
+// path already contains this relay — or whose origin is the relay itself —
+// crossed a topology cycle and is rejected at intake, never applied or
+// re-exported (RelayStats.Looped; see rejectCycle for why applying it
+// would be worse than dropping it). A refresh that has already crossed
+// MaxHops tiers is applied locally but not forwarded
+// (RelayStats.HopLimited).
+//
+// Divergence composition: the divergence a leaf sees against the origin is
+// at most the upstream staleness (origin value vs relay copy — the upstream
+// session's tracker) plus the relay's un-forwarded delta (relay copy vs
+// what the leaf was sent — the child session's tracker); see
+// docs/algorithm-specifications.md §8.
+type Relay struct {
+	cfg   RelayConfig
+	cache *Cache
+	src   *Source
+
+	mu         sync.Mutex
+	forwarded  int
+	looped     int
+	hopLimited int
+}
+
+// NewRelay starts a relay node: upstream is the endpoint the tier above
+// sends refreshes to (the relay serves it as a cache), children are the
+// downstream destinations (the relay dials them as a source). Close the
+// relay (not the endpoint) to shut down.
+func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Destination) (*Relay, error) {
+	if cfg.ID == "" {
+		cfg.ID = "relay"
+	}
+	if cfg.Cache.ID != "" || cfg.Cache.OnApply != nil || cfg.Cache.Reject != nil || cfg.Cache.Now != nil {
+		return nil, fmt.Errorf("runtime: RelayConfig.Cache.{ID,OnApply,Reject,Now} are owned by the relay; configure RelayConfig.ID/Now instead")
+	}
+	if cfg.ChildBandwidth <= 0 {
+		cfg.ChildBandwidth = 1000
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 8
+	}
+	r := &Relay{cfg: cfg}
+	src, err := NewFanoutSource(SourceConfig{
+		ID:         cfg.ID,
+		Metric:     cfg.Metric,
+		Delta:      cfg.Delta,
+		PriorityFn: cfg.PriorityFn,
+		Bandwidth:  cfg.ChildBandwidth,
+		Tick:       cfg.Tick,
+		Params:     cfg.Params,
+		Now:        cfg.Now,
+	}, children)
+	if err != nil {
+		return nil, err
+	}
+	r.src = src
+	cacheCfg := cfg.Cache
+	cacheCfg.ID = cfg.ID
+	cacheCfg.Now = cfg.Now
+	cacheCfg.OnApply = r.reexport
+	cacheCfg.Reject = r.rejectCycle
+	r.cache = NewCache(cacheCfg, upstream)
+	return r, nil
+}
+
+// rejectCycle drops refreshes that crossed a topology cycle (this relay is
+// already on their path, or is their origin) before they reach the store.
+// Rejecting at intake — rather than applying and merely skipping the
+// re-export — matters because each hop re-issues epochs: a cycled copy
+// applied under the cycle peer's newer epoch would capture the entry and
+// shadow every subsequent direct refresh as stale.
+func (r *Relay) rejectCycle(ref wire.Refresh) bool {
+	if ref.OriginID() != r.cfg.ID && !slices.Contains(ref.Via, r.cfg.ID) {
+		return false
+	}
+	r.mu.Lock()
+	r.looped++
+	r.mu.Unlock()
+	return true
+}
+
+// reexport converts a batch of applied upstream refreshes into child
+// updates. It runs on the cache's shard workers, so refreshes for one
+// object arrive in apply order while distinct objects may be re-exported
+// concurrently — the same ordering contract Update gives a plain source.
+//
+// Loop check: a refresh is dropped from re-export when this relay already
+// appears on its path — either as the origin or anywhere in the Via path
+// vector. The path check is what bounds real topology cycles (A→B→A): in a
+// cycle the origin is the root source at every hop and never matches, but
+// the cycle's relays accumulate on Via, so the second visit is caught.
+func (r *Relay) reexport(applied []wire.Refresh) {
+	var looped, hopLimited int
+	updates := make([]RelayedUpdate, 0, len(applied))
+	for _, ref := range applied {
+		origin := ref.OriginID()
+		if origin == r.cfg.ID || slices.Contains(ref.Via, r.cfg.ID) {
+			looped++ // defense in depth; rejectCycle already filters these
+			continue
+		}
+		// Depth = max of the declared hop count and the path length, so a
+		// sender under-reporting Hops cannot bypass the ceiling (Via is
+		// what relays actually append to; Hops is the displayed summary).
+		hops := ref.Hops
+		if l := len(ref.Via); l > hops {
+			hops = l
+		}
+		if hops+1 > r.cfg.MaxHops {
+			hopLimited++
+			continue
+		}
+		via := make([]string, 0, len(ref.Via)+1)
+		via = append(append(via, ref.Via...), r.cfg.ID)
+		updates = append(updates, RelayedUpdate{
+			ObjectID: ref.ObjectID,
+			Value:    ref.Value,
+			Prov:     Provenance{Origin: origin, Hops: hops + 1, Via: via},
+		})
+	}
+	// One lock round-trip for the whole apply batch: shard workers must
+	// not serialize on the source mutex message by message.
+	r.src.UpdateFromAll(updates)
+	r.mu.Lock()
+	r.forwarded += len(updates)
+	r.looped += looped
+	r.hopLimited += hopLimited
+	r.mu.Unlock()
+}
+
+// ReexportStore re-exports every locally cached entry to the children as
+// if it had just been applied. This is the warm-up path for a relay
+// restarted from a snapshot: LoadSnapshot installs entries directly into
+// the store without passing through the apply hook, so without this call
+// the children would only learn snapshot-restored objects when the origin
+// next updates them. Provenance is taken from the stored entries and the
+// usual loop/hop guards apply.
+//
+// The re-export happens under each shard's lock: a live apply for the same
+// object is thereby serialized against the snapshot read, so a racing
+// fresher value always reaches the child sessions after — never before —
+// the snapshot one (the lock order shard→source is taken nowhere else in
+// reverse).
+//
+// Caveat: the snapshot is as old as its last save, and the re-export is
+// stamped with this incarnation's fresh epoch, so a child holding a value
+// newer than the snapshot regresses to the snapshot-age copy until the
+// upstream re-syncs the relay (the shipped daemons configure
+// Destination.Redial upstream, which fully re-sends on reconnect, bounding
+// the window; keep -snapshot-every short for relays). Child-side version
+// feedback that would avoid the regression entirely is a ROADMAP item.
+func (r *Relay) ReexportStore() {
+	for _, sh := range r.cache.shards {
+		sh.mu.Lock()
+		batch := make([]wire.Refresh, 0, len(sh.store))
+		for id, e := range sh.store {
+			batch = append(batch, wire.Refresh{
+				SourceID: e.Source,
+				ObjectID: id,
+				Origin:   e.Origin,
+				Hops:     e.Hops,
+				Via:      e.Via,
+				Value:    e.Value,
+				Version:  e.Version,
+				Epoch:    e.Epoch,
+			})
+		}
+		if len(batch) > 0 {
+			r.reexport(batch)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ID returns the relay's identity (shared by both faces).
+func (r *Relay) ID() string { return r.cfg.ID }
+
+// Cache returns the upstream-facing cache, for reads (Get/Len), snapshots
+// and the HTTP status handler. The store it serves is the relay's local
+// copy of everything applied so far.
+func (r *Relay) Cache() *Cache { return r.cache }
+
+// Get returns the relay's local copy of an object.
+func (r *Relay) Get(objectID string) (Entry, bool) { return r.cache.Get(objectID) }
+
+// Len returns the number of locally cached objects.
+func (r *Relay) Len() int { return r.cache.Len() }
+
+// Stats snapshots both faces and the re-export counters.
+func (r *Relay) Stats() RelayStats {
+	st := RelayStats{
+		Upstream:   r.cache.Stats(),
+		Downstream: r.src.Stats(),
+	}
+	r.mu.Lock()
+	st.Forwarded = r.forwarded
+	st.Looped = r.looped
+	st.HopLimited = r.hopLimited
+	r.mu.Unlock()
+	return st
+}
+
+// Close stops the upstream cache first (no new applies, so no new
+// re-exports) and then the downstream source, returning the first error.
+// In-flight child refreshes are cut off with the connections, exactly as
+// for a plain fan-out source.
+func (r *Relay) Close() error {
+	err := r.cache.Close()
+	if serr := r.src.Close(); err == nil {
+		err = serr
+	}
+	return err
+}

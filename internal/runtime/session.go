@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"slices"
 	"time"
 
 	"bestsync/internal/core"
@@ -25,6 +26,7 @@ type SessionStats struct {
 	Refreshes  int
 	Feedbacks  int
 	SendErrors int
+	Reconnects int
 	Pending    int
 	Threshold  float64
 }
@@ -60,11 +62,14 @@ type syncSession struct {
 	rate float64 // allocated share of the source-side bandwidth, msgs/s
 
 	// Guarded by src.mu. objs is parallel to src.ids (the intern table):
-	// entry k is this session's view of object src.ids[k].
+	// entry k is this session's view of object src.ids[k]. dest.Conn is
+	// also guarded by src.mu: a redial swaps it while flush and Close read
+	// it.
 	objs       []*sessObj
 	refreshes  int
 	feedbacks  int
 	sendErrors int
+	reconnects int
 	remoteID   string
 
 	done chan struct{}
@@ -83,6 +88,16 @@ func newSyncSession(src *Source, dest Destination, rate float64) *syncSession {
 // observeLocked folds a canonical-state change for object key into this
 // session's divergence tracker and priority queue. Caller holds src.mu.
 func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
+	if ss.remoteID != "" &&
+		(o.prov.Origin == ss.remoteID || slices.Contains(o.prov.Via, ss.remoteID)) {
+		// Split horizon: the peer produced or already relayed this value,
+		// so its loop guard is guaranteed to reject a send — don't burn
+		// this session's bandwidth share advertising it back. (Until the
+		// peer's identity is learned from feedback the send happens and is
+		// rejected remotely — same outcome, one wasted message.)
+		ss.eng.Queue.Remove(key)
+		return
+	}
 	so := ss.objs[key]
 	d := metric.Divergence(ss.src.cfg.Metric, ss.src.cfg.Delta,
 		int(o.version-so.sentVer), o.value, so.sentVal)
@@ -134,6 +149,7 @@ func (ss *syncSession) statsLocked() SessionStats {
 		Refreshes:  ss.refreshes,
 		Feedbacks:  ss.feedbacks,
 		SendErrors: ss.sendErrors,
+		Reconnects: ss.reconnects,
 		Pending:    ss.eng.Queue.Len(),
 		Threshold:  ss.eng.Threshold(),
 	}
@@ -172,7 +188,16 @@ func (ss *syncSession) loop() {
 			return
 		case f, ok := <-fb:
 			if !ok {
-				return // connection gone; the other sessions continue
+				if ss.dest.Redial == nil {
+					return // connection gone; the other sessions continue
+				}
+				if !ss.redial() {
+					return // shutdown won the race against the redial
+				}
+				s.mu.Lock()
+				fb = ss.dest.Conn.Feedback()
+				s.mu.Unlock()
+				continue
 			}
 			ss.onFeedback(f)
 		case <-ticker.C:
@@ -182,6 +207,72 @@ func (ss *syncSession) loop() {
 			}
 			budget = ss.flush(budget)
 		}
+	}
+}
+
+// Reconnect backoff bounds: the first redial attempt waits
+// redialMinBackoff, each failure doubles the wait up to redialMaxBackoff,
+// and the loop only gives up when the source shuts down.
+const (
+	redialMinBackoff = 50 * time.Millisecond
+	redialMaxBackoff = 5 * time.Second
+)
+
+// redial re-establishes this session's connection with exponential backoff,
+// returning false when the source shuts down first. On success the session's
+// sent-state is reset: the peer may have restarted empty, so every object is
+// re-registered as never-sent and re-ranked for refresh from scratch. For a
+// peer that in fact kept its store, the re-sends are harmless — the cache's
+// (epoch, version) staleness guards drop anything it already holds.
+func (ss *syncSession) redial() bool {
+	s := ss.src
+	// Release the dead connection first: a Batcher wrapping it keeps a
+	// flush goroutine (and retries its re-buffered batch) until closed.
+	// Close is idempotent on every provided transport, so racing
+	// Source.Close's own snapshot-and-close is harmless.
+	s.mu.Lock()
+	old := ss.dest.Conn
+	s.mu.Unlock()
+	old.Close()
+	backoff := redialMinBackoff
+	for {
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(backoff):
+		}
+		conn, err := ss.dest.Redial()
+		if err != nil {
+			backoff *= 2
+			if backoff > redialMaxBackoff {
+				backoff = redialMaxBackoff
+			}
+			continue
+		}
+		now := s.now()
+		s.mu.Lock()
+		select {
+		case <-s.stop:
+			// Shutdown raced the redial: Close may have already snapshotted
+			// the old connection, so this one is ours to clean up.
+			s.mu.Unlock()
+			conn.Close()
+			return false
+		default:
+		}
+		ss.dest.Conn = conn
+		ss.reconnects++
+		// The peer may be a different instance now (failover, redeploy):
+		// forget the old identity so re-sent refreshes carry no stale
+		// CacheID stamp (which the new peer would count as misrouted)
+		// until its own feedback reveals who it is.
+		ss.remoteID = ""
+		for key := range ss.objs {
+			*ss.objs[key] = sessObj{}
+			ss.observeLocked(s.objs[s.ids[key]], key, now)
+		}
+		s.mu.Unlock()
+		return true
 	}
 }
 
@@ -214,19 +305,27 @@ func (ss *syncSession) flush(budget float64) float64 {
 			// then only fires on genuine miswiring, never on operators
 			// labeling destinations differently than caches name
 			// themselves.
-			CacheID:   ss.remoteID,
+			CacheID: ss.remoteID,
+			// Provenance for multi-tier topologies: a relay re-exports with
+			// the originating source, incremented hop count and relay path;
+			// locally produced values carry the zero provenance.
+			Origin:    o.prov.Origin,
+			Hops:      o.prov.Hops,
+			Via:       o.prov.Via,
 			Value:     o.value,
 			Version:   o.version,
 			Epoch:     s.started.UnixNano(),
 			Threshold: ss.eng.Threshold(),
 			SentUnix:  s.cfg.Now().UnixNano(),
 		}
+		conn := ss.dest.Conn
 		s.mu.Unlock()
 
 		// Send outside the lock: a saturated cache applies back-pressure
 		// here, which is exactly the paper's network queueing — and it
-		// stalls only this session.
-		if err := ss.dest.Conn.SendRefresh(msg); err != nil {
+		// stalls only this session. The connection is snapshotted under the
+		// lock above because a redial may swap it concurrently.
+		if err := conn.SendRefresh(msg); err != nil {
 			s.mu.Lock()
 			ss.sendErrors++
 			s.mu.Unlock()
@@ -278,4 +377,12 @@ type Destination struct {
 	// SourceConfig.Bandwidth across sessions (Section 7 share allocation);
 	// non-positive means 1 (equal shares when all are defaulted).
 	Weight float64
+	// Redial, when non-nil, re-establishes the connection after the
+	// current one dies: the session retries it with exponential backoff
+	// (50 ms doubling to 5 s) until it succeeds or the source closes,
+	// then resets its sent-state so a peer that restarted empty is fully
+	// re-synchronized. Return a connection wrapped the same way as Conn
+	// (e.g. in a transport.Batcher). Nil keeps the old behavior: a dead
+	// connection permanently ends its session.
+	Redial func() (transport.SourceConn, error)
 }

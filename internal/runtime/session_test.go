@@ -9,6 +9,7 @@ import (
 
 	"bestsync/internal/core"
 	"bestsync/internal/metric"
+	"bestsync/internal/transport"
 	"bestsync/internal/wire"
 )
 
@@ -289,6 +290,88 @@ func TestSessionThresholdInterplay(t *testing.T) {
 	}
 }
 
+// TestSessionRedialRecovers: with Destination.Redial set, a dead connection
+// no longer ends the session — it redials with backoff (surviving an initial
+// failure), resets sent-state so a peer that restarted empty is fully
+// re-synchronized, and counts the reconnect.
+func TestSessionRedialRecovers(t *testing.T) {
+	conn1 := newFakeConn()
+	conn2 := newFakeConn()
+	clock := newFakeClock()
+	params := core.DefaultParams(1, 1000)
+	params.DisableBeta = true
+	redials := make(chan int, 8)
+	attempt := 0
+	src, err := NewFanoutSource(SourceConfig{
+		ID:        "s1",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: 1000,
+		Tick:      time.Hour, // flushes are driven manually
+		Params:    params,
+		Now:       clock.Now,
+	}, []Destination{{
+		CacheID: "c1",
+		Conn:    conn1,
+		Redial: func() (transport.SourceConn, error) {
+			attempt++
+			redials <- attempt
+			if attempt == 1 {
+				return nil, errors.New("still down")
+			}
+			return conn2, nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ss := src.sessions[0]
+
+	clock.advance(time.Second)
+	src.Update("x", 42)
+	ss.flush(1)
+	if got := len(conn1.sentMsgs()); got != 1 {
+		t.Fatalf("pre-failure refresh count = %d, want 1", got)
+	}
+	if p := src.Stats().Sessions[0].Pending; p != 0 {
+		t.Fatalf("pending = %d before the failure, want 0", p)
+	}
+	ss.onFeedback(wire.Feedback{CacheID: "old-peer"})
+	if got := src.Stats().Sessions[0].RemoteID; got != "old-peer" {
+		t.Fatalf("remote id = %q before the failure, want old-peer", got)
+	}
+
+	// Kill the connection: the session must retry the redial until it
+	// succeeds instead of ending.
+	conn1.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		return src.Stats().Sessions[0].Reconnects == 1
+	}, "session to reconnect")
+	if attempt != 2 {
+		t.Errorf("redial attempts = %d, want 2 (one failure, one success)", attempt)
+	}
+	// The replacement peer may be a different instance: the learned
+	// identity must not survive the reconnect (a stale CacheID stamp would
+	// count as misrouted on the new peer until its first feedback).
+	if got := src.Stats().Sessions[0].RemoteID; got != "" {
+		t.Errorf("remote id %q survived the reconnect, want cleared", got)
+	}
+
+	// Sent-state was reset: the object is re-scheduled even though its
+	// value never changed, so a peer that restarted empty still gets it.
+	if p := src.Stats().Sessions[0].Pending; p != 1 {
+		t.Errorf("pending = %d after reconnect, want 1 (sent-state reset)", p)
+	}
+	ss.flush(1)
+	sent := conn2.sentMsgs()
+	if len(sent) != 1 || sent[0].ObjectID != "x" || sent[0].Value != 42 {
+		t.Fatalf("replacement connection received %+v, want the re-registration of x=42", sent)
+	}
+	if got := len(conn1.sentMsgs()); got != 1 {
+		t.Errorf("dead connection received more refreshes after close: %d", got)
+	}
+}
+
 // TestSessionLearnsRemoteID: the cache identity stamped on feedback becomes
 // the session's RemoteID and is stamped on subsequent refreshes.
 func TestSessionLearnsRemoteID(t *testing.T) {
@@ -314,5 +397,38 @@ func TestSessionLearnsRemoteID(t *testing.T) {
 	sent := conn.sentMsgs()
 	if got := sent[len(sent)-1].CacheID; got != "the-real-cache" {
 		t.Errorf("refresh after feedback stamped CacheID %q, want the-real-cache", got)
+	}
+}
+
+// TestSessionStampsProvenance: UpdateFrom's origin and hop count travel on
+// the outgoing refresh, and plain Update leaves them zero.
+func TestSessionStampsProvenance(t *testing.T) {
+	conn := newFakeConn()
+	clock := newFakeClock()
+	src, ss := newTestSession(t, conn, clock)
+
+	clock.advance(time.Second)
+	src.Update("local-obj", 100)
+	src.UpdateFrom("relayed-obj", 200, Provenance{
+		Origin: "origin-src", Hops: 3, Via: []string{"relay-a", "relay-b", "relay-c"},
+	})
+	ss.flush(2)
+	sent := conn.sentMsgs()
+	if len(sent) != 2 {
+		t.Fatalf("sent %d refreshes, want 2", len(sent))
+	}
+	byID := map[string]wire.Refresh{}
+	for _, r := range sent {
+		byID[r.ObjectID] = r
+	}
+	if r := byID["local-obj"]; r.Origin != "" || r.Hops != 0 || r.Via != nil {
+		t.Errorf("local update stamped origin %q hops %d via %v, want zero provenance", r.Origin, r.Hops, r.Via)
+	}
+	r := byID["relayed-obj"]
+	if r.Origin != "origin-src" || r.Hops != 3 {
+		t.Errorf("relayed update stamped origin %q hops %d, want origin-src/3", r.Origin, r.Hops)
+	}
+	if len(r.Via) != 3 || r.Via[0] != "relay-a" || r.Via[2] != "relay-c" {
+		t.Errorf("relayed update stamped via %v, want [relay-a relay-b relay-c]", r.Via)
 	}
 }

@@ -64,10 +64,28 @@ type objState struct {
 	id      string
 	value   float64
 	version uint64
+	// prov carries multi-tier provenance (wire.Refresh.Origin/Hops/Via):
+	// the zero value means the value was produced locally; a relay
+	// re-exporting an applied refresh records the originating source, the
+	// incremented hop count and the relay path so downstream refreshes
+	// stay attributable and loop-avoidable.
+	prov Provenance
 	// Poisson-rate estimate (Section 8.1): total updates over total
 	// observed time.
 	updates int
 	firstAt float64
+}
+
+// Provenance describes where a re-exported value came from: the producing
+// source, the number of relay tiers it has crossed counting the exporting
+// relay, and the path of relay ids it took (oldest first, ending with the
+// exporting relay). A relay drops a refresh from re-export when its own id
+// already appears on the path — the path-vector loop check that bounds
+// topology cycles. The zero value means "produced locally".
+type Provenance struct {
+	Origin string
+	Hops   int
+	Via    []string
 }
 
 // Source is a live source node. Applications call Update whenever a local
@@ -164,12 +182,50 @@ func (s *Source) now() float64 {
 	return s.cfg.Now().Sub(s.started).Seconds()
 }
 
-// Update records a new value for an object, recomputing its refresh
-// priority in every sync session.
+// Update records a new value for a locally produced object, recomputing its
+// refresh priority in every sync session.
 func (s *Source) Update(objectID string, value float64) {
+	s.UpdateFrom(objectID, value, Provenance{})
+}
+
+// UpdateFrom records a new value that originated on another node; prov is
+// stamped onto outgoing refreshes. A zero Provenance is exactly Update — a
+// locally produced value. Relays use this to re-export applied refreshes so
+// downstream tiers can attribute them and detect loops.
+func (s *Source) UpdateFrom(objectID string, value float64, prov Provenance) {
 	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.updateLocked(objectID, value, prov, now)
+}
+
+// RelayedUpdate is one element of an UpdateFromAll batch.
+type RelayedUpdate struct {
+	ObjectID string
+	Value    float64
+	Prov     Provenance
+}
+
+// UpdateFromAll records a batch of re-exported values under a single lock
+// acquisition. This is the relay hot path: one shard-worker apply batch
+// becomes one lock round-trip instead of one per refresh, so the sharded
+// cache's parallel workers don't serialize on the source mutex message by
+// message.
+func (s *Source) UpdateFromAll(updates []RelayedUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range updates {
+		s.updateLocked(u.ObjectID, u.Value, u.Prov, now)
+	}
+}
+
+// updateLocked is the shared body of Update/UpdateFrom/UpdateFromAll.
+// Caller holds s.mu.
+func (s *Source) updateLocked(objectID string, value float64, prov Provenance, now float64) {
 	o, ok := s.objs[objectID]
 	if !ok {
 		o = &objState{id: objectID, firstAt: now}
@@ -183,6 +239,7 @@ func (s *Source) Update(objectID string, value float64) {
 	o.value = value
 	o.version++
 	o.updates++
+	o.prov = prov
 	s.updates++
 	key := s.idx[objectID]
 	for _, ss := range s.sessions {
@@ -225,9 +282,18 @@ func (s *Source) Close() error {
 	default:
 	}
 	close(s.stop)
+	// Snapshot the connections under the lock: a redial may swap a
+	// session's connection concurrently. Any connection installed after
+	// s.stop closed is cleaned up by the redialing session itself.
+	s.mu.Lock()
+	conns := make([]transport.SourceConn, len(s.sessions))
+	for i, ss := range s.sessions {
+		conns[i] = ss.dest.Conn
+	}
+	s.mu.Unlock()
 	var err error
-	for _, ss := range s.sessions {
-		if cerr := ss.dest.Conn.Close(); cerr != nil && err == nil {
+	for _, conn := range conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

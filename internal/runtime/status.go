@@ -13,6 +13,8 @@ type StatusObject struct {
 	Value     float64   `json:"value"`
 	Version   uint64    `json:"version"`
 	Source    string    `json:"source"`
+	Origin    string    `json:"origin,omitempty"` // originating node when relayed
+	Hops      int       `json:"hops,omitempty"`   // relay tiers the copy crossed
 	Refreshed time.Time `json:"refreshed"`
 	AgeMillis int64     `json:"age_ms"`
 }
@@ -26,6 +28,7 @@ type Status struct {
 	Feedbacks  int            `json:"feedbacks"`
 	Stale      int            `json:"stale_dropped"`
 	Misrouted  int            `json:"misrouted,omitempty"`
+	Rejected   int            `json:"rejected,omitempty"` // dropped by the intake filter (relay loop guard)
 	Divergence float64        `json:"divergence_absorbed"`
 	Bandwidth  float64        `json:"bandwidth_msgs_per_s"`
 	Shards     int            `json:"shards"`
@@ -45,6 +48,7 @@ func (c *Cache) Status(sample int) Status {
 		Feedbacks:  st.Feedbacks,
 		Stale:      st.Stale,
 		Misrouted:  st.Misrouted,
+		Rejected:   st.Rejected,
 		Divergence: st.Divergence,
 		Bandwidth:  c.cfg.Bandwidth,
 		Shards:     len(c.shards),
@@ -63,6 +67,8 @@ func (c *Cache) Status(sample int) Status {
 				Value:     e.Value,
 				Version:   e.Version,
 				Source:    e.Source,
+				Origin:    e.Origin,
+				Hops:      e.Hops,
 				Refreshed: e.Refreshed,
 				AgeMillis: now.Sub(e.Refreshed).Milliseconds(),
 			})

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func TestLocalBatchRoundTrip(t *testing.T) {
 			t.Fatalf("batch has %d refreshes, want %d", len(b.Refreshes), len(want))
 		}
 		for i, r := range b.Refreshes {
-			if r != want[i] {
+			if !reflect.DeepEqual(r, want[i]) {
 				t.Errorf("refresh %d = %+v, want %+v", i, r, want[i])
 			}
 		}
@@ -212,7 +213,7 @@ func TestBatcherReBuffersFailedFlush(t *testing.T) {
 			len(conn.batches), conn.batches)
 	}
 	for i, r := range conn.batches[0] {
-		if r != want[i] {
+		if !reflect.DeepEqual(r, want[i]) {
 			t.Errorf("refresh %d = %+v, want %+v (order must be preserved)", i, r, want[i])
 		}
 	}

@@ -6,7 +6,9 @@
 // The message set mirrors Section 5 of the paper: refresh messages carry the
 // new object value plus the source's piggybacked local threshold; feedback
 // messages carry no payload — receiving one *is* the signal to decrease the
-// local threshold.
+// local threshold. For multi-tier topologies (runtime.Relay) a refresh also
+// carries its originating source and a relay hop count, so loop-avoidance
+// and per-tier attribution work across cache→cache re-exports.
 //
 // # Batching
 //
@@ -50,15 +52,38 @@ func (h Hello) Validate() error {
 // their Misrouted statistic, which flags miswired fan-out (e.g. a proxy
 // routing a session to the wrong cache). Empty means the session has not
 // yet heard the cache identify itself.
+// In a cache→cache hierarchy (runtime.Relay) a refresh may have crossed
+// one or more relay tiers before reaching this hop. Origin names the node
+// the value was first produced on — relays preserve it while stamping their
+// own id as SourceID — Hops counts the relay tiers already traversed (the
+// origin source sends 0; every re-export increments it), and Via is the
+// path vector of relay ids crossed, oldest first. Together they make
+// multi-tier attribution and loop-avoidance possible: a relay never
+// re-exports a refresh whose path already contains itself (the message
+// crossed a topology cycle) or whose origin is itself, and refuses to
+// forward past a configurable hop ceiling.
 type Refresh struct {
 	SourceID  string
 	ObjectID  string
-	CacheID   string // intended destination cache (advisory; see above)
+	CacheID   string   // intended destination cache (advisory; see above)
+	Origin    string   // originating source in a relay hierarchy; empty = SourceID
+	Hops      int      // relay tiers traversed so far (0 = direct); display summary — guards use max(Hops, len(Via))
+	Via       []string // relay ids traversed, oldest first (nil = direct); authoritative for loop/depth checks
 	Value     float64
 	Version   uint64
 	Epoch     int64   // source incarnation (restarts reset Version counters)
 	Threshold float64 // the source's current local threshold (piggyback)
 	SentUnix  int64   // nanoseconds; diagnostic only
+}
+
+// OriginID returns the id of the node the value was first produced on: the
+// explicit Origin when the refresh crossed a relay, otherwise the sending
+// source itself.
+func (r Refresh) OriginID() string {
+	if r.Origin != "" {
+		return r.Origin
+	}
+	return r.SourceID
 }
 
 // Validate checks a refresh message.
@@ -68,6 +93,9 @@ func (r Refresh) Validate() error {
 	}
 	if r.ObjectID == "" {
 		return fmt.Errorf("wire: refresh with empty object id")
+	}
+	if r.Hops < 0 {
+		return fmt.Errorf("wire: refresh with negative hop count %d", r.Hops)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/gob"
+	"reflect"
 	"testing"
 )
 
@@ -25,6 +26,21 @@ func TestRefreshValidate(t *testing.T) {
 	}
 	if err := (Refresh{SourceID: "s"}).Validate(); err == nil {
 		t.Error("refresh without object accepted")
+	}
+	if err := (Refresh{SourceID: "s", ObjectID: "o", Hops: -1}).Validate(); err == nil {
+		t.Error("refresh with negative hop count accepted")
+	}
+	if err := (Refresh{SourceID: "s", ObjectID: "o", Origin: "root", Hops: 2}).Validate(); err != nil {
+		t.Errorf("relayed refresh rejected: %v", err)
+	}
+}
+
+func TestRefreshOriginID(t *testing.T) {
+	if got := (Refresh{SourceID: "s"}).OriginID(); got != "s" {
+		t.Errorf("direct refresh origin = %q, want s", got)
+	}
+	if got := (Refresh{SourceID: "relay", Origin: "root", Hops: 1}).OriginID(); got != "root" {
+		t.Errorf("relayed refresh origin = %q, want root", got)
 	}
 }
 
@@ -71,7 +87,7 @@ func TestRefreshBatchGobRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
 	}
 	for i := range in.Refreshes {
-		if out.Refreshes[i] != in.Refreshes[i] {
+		if !reflect.DeepEqual(out.Refreshes[i], in.Refreshes[i]) {
 			t.Errorf("refresh %d: %+v vs %+v", i, out.Refreshes[i], in.Refreshes[i])
 		}
 	}
@@ -92,6 +108,9 @@ func TestGobRoundTrip(t *testing.T) {
 	in := Refresh{
 		SourceID:  "src-1",
 		ObjectID:  "obj-9",
+		Origin:    "root-7",
+		Hops:      2,
+		Via:       []string{"relay-a", "relay-b"},
 		Value:     -2.25,
 		Version:   42,
 		Threshold: 1.5,
@@ -104,7 +123,7 @@ func TestGobRoundTrip(t *testing.T) {
 	if err := dec.Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
 	}
 }
