@@ -23,10 +23,21 @@
 // bounds re-export depth. A dead child connection is redialed with backoff;
 // the child is fully re-synchronized when it returns.
 //
+// The allocation is live: with -rebalance the child shares are re-derived
+// periodically from observed feedback and divergence, and with
+// -total-bandwidth the relay's two faces (intake processing and child
+// sends) share one budget that shifts between them from observed backlog.
+// The -http endpoint adds /children/add and /children/remove in relay
+// mode, so children join and leave a running tier:
+//
+//	POST /children/add?addr=host:port[&weight=2]
+//	POST /children/remove?addr=host:port
+//
 // Examples:
 //
 //	cachesyncd -addr :7400 -bandwidth 100 -shards 8
 //	cachesyncd -addr :7400 -children edge-a:7500,edge-b:7500=2 -child-bandwidth 60
+//	cachesyncd -addr :7400 -children edge-a:7500 -total-bandwidth 120 -rebalance 2s -http :7401
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 	"os/signal"
 	"time"
 
+	"bestsync/internal/adminhttp"
 	"bestsync/internal/destspec"
 	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
@@ -54,6 +66,8 @@ func main() {
 	queue := flag.Int("queue", 64, "per-shard apply-queue depth in batches")
 	children := flag.String("children", "", "comma-separated downstream cache addresses host:port[=weight] (relay mode: re-export applied refreshes)")
 	childBW := flag.Float64("child-bandwidth", 50, "relay mode: send budget toward children (messages/second), divided by share weight")
+	totalBW := flag.Float64("total-bandwidth", 0, "relay mode: shared budget across both faces (intake + child sends); overrides -bandwidth/-child-bandwidth defaults to half each and lets -rebalance shift the split")
+	rebalance := flag.Duration("rebalance", 0, "relay mode: periodic share re-allocation interval (child shares from observed feedback/divergence; with -total-bandwidth also the up/down face split; 0 = static)")
 	maxHops := flag.Int("max-hops", 8, "relay mode: drop re-exports past this many relay tiers")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
@@ -75,25 +89,42 @@ func main() {
 		cache *runtime.Cache
 		relay *runtime.Relay
 	)
+	// Child connections are batched with the transport defaults and
+	// redialed with backoff so a restarted child rejoins the tier; a
+	// child that is down right now does not block the boot. The admin
+	// endpoint wraps destinations added at runtime identically.
+	wrap := func(conn transport.SourceConn) transport.SourceConn {
+		return transport.NewBatcher(conn, transport.BatcherConfig{})
+	}
 	if *children != "" {
 		addrs, weights, err := destspec.Parse(*children)
 		if err != nil {
 			log.Fatalf("cachesyncd: -children: %v", err)
 		}
-		// Child connections are batched with the transport defaults and
-		// redialed with backoff so a restarted child rejoins the tier; a
-		// child that is down right now does not block the boot.
-		dests, deferred := runtime.DialDestinations(addrs, weights, *id,
-			func(conn transport.SourceConn) transport.SourceConn {
-				return transport.NewBatcher(conn, transport.BatcherConfig{})
-			})
+		dests, deferred := runtime.DialDestinations(addrs, weights, *id, wrap)
 		for _, addr := range deferred {
 			log.Printf("cachesyncd: child %s unreachable, will keep redialing", addr)
 		}
+		// With a shared face budget, face budgets not explicitly set on
+		// the command line default to half the total each (the relay's
+		// own defaulting) instead of the flags' standalone defaults.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		cacheBW, childBand := *bw, *childBW
+		if *totalBW > 0 {
+			if !explicit["bandwidth"] {
+				cacheBW = 0
+			}
+			if !explicit["child-bandwidth"] {
+				childBand = 0
+			}
+		}
 		relay, err = runtime.NewRelay(runtime.RelayConfig{
 			ID:             *id,
-			Cache:          runtime.CacheConfig{Bandwidth: *bw, Shards: *shards, ShardQueue: *queue},
-			ChildBandwidth: *childBW,
+			Cache:          runtime.CacheConfig{Bandwidth: cacheBW, Shards: *shards, ShardQueue: *queue},
+			ChildBandwidth: childBand,
+			TotalBandwidth: *totalBW,
+			Rebalance:      *rebalance,
 			Metric:         metric.ValueDeviation,
 			MaxHops:        *maxHops,
 		}, ep, dests)
@@ -101,8 +132,9 @@ func main() {
 			log.Fatalf("cachesyncd: %v", err)
 		}
 		cache = relay.Cache()
+		rst := relay.Stats()
 		log.Printf("cachesyncd %s: relay tier on %s, bandwidth %.1f msgs/s up / %.1f msgs/s down to %d children, shards=%d",
-			relay.ID(), ln.Addr(), *bw, *childBW, len(dests), cache.Shards())
+			relay.ID(), ln.Addr(), rst.UpBandwidth, rst.DownBandwidth, len(dests), cache.Shards())
 	} else {
 		cache = runtime.NewCache(runtime.CacheConfig{
 			ID:         *id,
@@ -135,6 +167,10 @@ func main() {
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/status", cache.StatusHandler(100))
+		if relay != nil {
+			mux.HandleFunc("/children/add", adminhttp.AddHandler(relay.AddChild, *id, wrap))
+			mux.HandleFunc("/children/remove", adminhttp.RemoveHandler(relay.RemoveChild))
+		}
 		go func() {
 			log.Printf("cachesyncd: status at http://%s/status", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
@@ -175,11 +211,16 @@ func main() {
 				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
 			if relay != nil {
 				rst := relay.Stats()
-				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d\n",
-					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes)
+				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d up=%.3g/s down=%.3g/s rebalances=%d\n",
+					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes,
+					rst.UpBandwidth, rst.DownBandwidth, rst.FaceRebalances)
 				for _, sess := range rst.Downstream.Sessions {
-					fmt.Printf("  child %-24s share=%.3g/s refreshes=%d feedback=%d reconnects=%d threshold=%.4g\n",
-						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold)
+					ended := ""
+					if sess.Ended {
+						ended = " ENDED"
+					}
+					fmt.Printf("  child %-24s share=%.3g/s weight=%.3g refreshes=%d feedback=%d reconnects=%d threshold=%.4g%s\n",
+						sess.CacheID, sess.Share, sess.Weight, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold, ended)
 				}
 			}
 		}

@@ -17,22 +17,34 @@
 // suffix; omitted weights mean equal shares. Batching is per destination —
 // a batch never spans caches.
 //
+// The allocation is live: with -rebalance the shares are re-derived
+// periodically from observed per-cache feedback and outstanding divergence
+// (option-3 contribution scores), and the -http admin endpoint
+// adds/removes caches on the running agent:
+//
+//	POST /caches/add?addr=host:port[&weight=2]   start a session (redialed, batched)
+//	POST /caches/remove?addr=host:port           stop it, re-divide the budget
+//	GET  /status                                 source stats as JSON
+//
 // Examples:
 //
 //	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10 -batch 64
-//	sourceagent -caches cache-a:7400,cache-b:7400=2 -id sensor-7 -bandwidth 30
+//	sourceagent -caches cache-a:7400,cache-b:7400=2 -id sensor-7 -bandwidth 30 -rebalance 2s -http :7411
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"bestsync/internal/adminhttp"
 	"bestsync/internal/destspec"
 	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
@@ -48,8 +60,10 @@ func main() {
 	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second), shared across all caches")
 	batch := flag.Int("batch", 64, "max refreshes per wire batch (1 = no coalescing)")
 	flush := flag.Duration("flush", 5*time.Millisecond, "max time a partial batch may wait")
+	rebalance := flag.Duration("rebalance", 0, "periodic share re-allocation interval from observed feedback/divergence (0 = static shares)")
+	httpAddr := flag.String("http", "", "optional HTTP admin address (GET /status, POST /caches/add, POST /caches/remove)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
-	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	flag.Parse()
 
 	addrs := []string{*addr}
@@ -61,20 +75,20 @@ func main() {
 			log.Fatalf("sourceagent: -caches: %v", err)
 		}
 	}
+	wrap := func(conn transport.SourceConn) transport.SourceConn {
+		if *batch > 1 {
+			conn = transport.NewBatcher(conn, transport.BatcherConfig{
+				MaxBatch:   *batch,
+				FlushEvery: *flush,
+			})
+		}
+		return conn
+	}
 	// A restarted cache rejoins the fan-out: each session redials with
 	// backoff (DialDestinations wires the Redial closures) and
 	// re-registers every object. A cache that is down at start-up is
 	// reported and retried rather than failing the agent.
-	dests, deferred := runtime.DialDestinations(addrs, weights, *id,
-		func(conn transport.SourceConn) transport.SourceConn {
-			if *batch > 1 {
-				conn = transport.NewBatcher(conn, transport.BatcherConfig{
-					MaxBatch:   *batch,
-					FlushEvery: *flush,
-				})
-			}
-			return conn
-		})
+	dests, deferred := runtime.DialDestinations(addrs, weights, *id, wrap)
 	for _, a := range deferred {
 		log.Printf("sourceagent: cache %s unreachable, will keep redialing", a)
 	}
@@ -82,12 +96,30 @@ func main() {
 		ID:        *id,
 		Metric:    metric.ValueDeviation,
 		Bandwidth: *bw,
+		Rebalance: *rebalance,
 	}, dests)
 	if err != nil {
 		log.Fatalf("sourceagent: %v", err)
 	}
 	log.Printf("sourceagent %s: %d objects, %.2g updates/s, %.2g msgs/s to %s",
 		*id, *objects, *rate, *bw, strings.Join(addrs, ", "))
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(src.Stats())
+		})
+		mux.HandleFunc("/caches/add", adminhttp.AddHandler(src.AddDestination, *id, wrap))
+		mux.HandleFunc("/caches/remove", adminhttp.RemoveHandler(src.RemoveDestination))
+		go func() {
+			log.Printf("sourceagent: admin at http://%s (/status /caches/add /caches/remove)", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Printf("sourceagent: http: %v", err)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	values := make([]float64, *objects)
@@ -97,7 +129,15 @@ func main() {
 	}
 	updates := time.NewTicker(interval)
 	defer updates.Stop()
-	stats := time.NewTicker(*statsEvery)
+	// 0 = silent, same pattern as cachesyncd (a zero ticker panics; a
+	// stopped one never fires).
+	var stats *time.Ticker
+	if *statsEvery > 0 {
+		stats = time.NewTicker(*statsEvery)
+	} else {
+		stats = time.NewTicker(time.Hour)
+		stats.Stop()
+	}
 	defer stats.Stop()
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -118,12 +158,16 @@ func main() {
 			src.Update(fmt.Sprintf("%s/obj-%d", *id, i), values[i])
 		case <-stats.C:
 			st := src.Stats()
-			fmt.Printf("updates=%d refreshes=%d feedback=%d errors=%d pending=%d threshold=%.4g\n",
-				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Threshold)
+			fmt.Printf("updates=%d refreshes=%d feedback=%d errors=%d pending=%d rebalances=%d threshold=%.4g\n",
+				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Rebalances, st.Threshold)
 			if len(st.Sessions) > 1 {
 				for _, sess := range st.Sessions {
-					fmt.Printf("  cache %-24s share=%.3g/s refreshes=%d feedback=%d reconnects=%d threshold=%.4g\n",
-						sess.CacheID, sess.Share, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold)
+					ended := ""
+					if sess.Ended {
+						ended = " ENDED"
+					}
+					fmt.Printf("  cache %-24s share=%.3g/s weight=%.3g refreshes=%d feedback=%d reconnects=%d threshold=%.4g%s\n",
+						sess.CacheID, sess.Share, sess.Weight, sess.Refreshes, sess.Feedbacks, sess.Reconnects, sess.Threshold, ended)
 				}
 			}
 		}

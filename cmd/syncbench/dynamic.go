@@ -1,0 +1,255 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+)
+
+// dynamicRebalanceEvery is the re-allocation interval used by the adaptive
+// scenarios: short enough for several passes inside even a CI-smoke
+// measurement window, long enough for each window to observe real feedback.
+const dynamicRebalanceEvery = 250 * time.Millisecond
+
+// dynamicCacheResult is one cache's slice of a dynamic-shares measurement.
+type dynamicCacheResult struct {
+	CacheID          string  `json:"cache_id"`
+	CapacityMsgsPerS float64 `json:"capacity_msgs_per_s"`
+	Applied          int     `json:"applied"`
+	Feedbacks        int     `json:"feedbacks"`
+	ShareMsgsPerS    float64 `json:"share_msgs_per_s"` // final allocated share
+	Weight           float64 `json:"weight"`           // final effective weight
+	MeanDivergence   float64 `json:"mean_divergence"`
+}
+
+// dynamicResult is one measured scenario of the static-vs-adaptive share
+// comparison.
+type dynamicResult struct {
+	Scenario        string               `json:"scenario"` // <workload>-<static|adaptive>
+	Workload        string               `json:"workload"` // skew | churn
+	Adaptive        bool                 `json:"adaptive"`
+	Transport       string               `json:"transport"`
+	Caches          int                  `json:"caches"`
+	Objects         int                  `json:"objects"`
+	DurationS       float64              `json:"duration_s"`
+	BandwidthMsgsS  float64              `json:"bandwidth_msgs_per_s"`
+	RebalanceEveryS float64              `json:"rebalance_every_s,omitempty"`
+	Updates         int                  `json:"updates"`
+	Refreshes       int                  `json:"refreshes"`
+	Rebalances      int                  `json:"rebalances"`
+	MeanDivergence  float64              `json:"mean_divergence"`
+	PerCache        []dynamicCacheResult `json:"per_cache"`
+}
+
+// runDynamicMode compares static equal shares against live re-allocation on
+// two workloads where a fixed construction-time split is wrong:
+//
+//   - skew: destination capacities are skewed — one cache can absorb only a
+//     tenth of the others' rate, so an equal split wastes budget on a
+//     saturated cache that stopped feeding back. Adaptive shares shift the
+//     waste to the starved-but-responsive caches.
+//   - churn: the destination set changes mid-run — a cache leaves and a
+//     fresh (empty) one joins, exercising RemoveDestination/AddDestination
+//     on a live source. Adaptive shares additionally give the newcomer a
+//     demand-driven boost while it re-synchronizes the whole store.
+//
+// Results go to stdout and BENCH_dynamic.json.
+func runDynamicMode(caches, objects int, rate, bandwidth float64, duration time.Duration) {
+	fmt.Printf("# dynamic shares: 1 source -> %d caches, %d objects, %.0f updates/s, %.0f msgs/s budget, %s per scenario, rebalance %s\n\n",
+		caches, objects, rate, bandwidth, duration, dynamicRebalanceEvery)
+	fmt.Printf("%-16s %7s %10s %12s %12s %16s\n",
+		"scenario", "caches", "updates", "refreshes", "rebalances", "mean divergence")
+	var results []dynamicResult
+	byScenario := map[string]float64{}
+	for _, workload := range []string{"skew", "churn"} {
+		for _, adaptive := range []bool{false, true} {
+			r := measureDynamic(workload, adaptive, caches, objects, rate, bandwidth, duration)
+			results = append(results, r)
+			byScenario[r.Scenario] = r.MeanDivergence
+			fmt.Printf("%-16s %7d %10d %12d %12d %16.4f\n",
+				r.Scenario, r.Caches, r.Updates, r.Refreshes, r.Rebalances, r.MeanDivergence)
+		}
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("# %s per-cache breakdown:\n", r.Scenario)
+		for _, c := range r.PerCache {
+			fmt.Printf("  %-12s capacity=%6.1f/s share=%6.1f/s weight=%-10.4g applied=%6d feedback=%4d divergence=%.4f\n",
+				c.CacheID, c.CapacityMsgsPerS, c.ShareMsgsPerS, c.Weight, c.Applied, c.Feedbacks, c.MeanDivergence)
+		}
+	}
+	for _, workload := range []string{"skew", "churn"} {
+		static, adaptive := byScenario[workload+"-static"], byScenario[workload+"-adaptive"]
+		if static > 0 {
+			fmt.Printf("\n# %s: adaptive mean divergence %.4f vs static %.4f (%+.1f%%)",
+				workload, adaptive, static, 100*(adaptive-static)/static)
+		}
+	}
+	fmt.Println()
+	if err := writeBenchJSON("BENCH_dynamic.json", results); err != nil {
+		fmt.Printf("syncbench: writing BENCH_dynamic.json: %v\n", err)
+		return
+	}
+	fmt.Println("\nwrote BENCH_dynamic.json")
+}
+
+// topoEvent is a topology change fired from the workload loop at a fixed
+// offset into the measurement window.
+type topoEvent struct {
+	after time.Duration
+	fn    func()
+}
+
+// pacedWalkWithEvents is pacedRandomWalk plus scheduled topology events:
+// the same paced ±1 random walk, firing each event once as its offset
+// passes, so churn happens at a deterministic point of the workload.
+func pacedWalkWithEvents(src *runtime.Source, prefix string, objects int, rate float64, duration time.Duration, events []topoEvent) ([]float64, float64) {
+	values := make([]float64, objects)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	step := 1
+	next := 0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= duration {
+			break
+		}
+		for next < len(events) && elapsed >= events[next].after {
+			events[next].fn()
+			next++
+		}
+		i := step % objects
+		if step%2 == 0 {
+			values[i]++
+		} else {
+			values[i]--
+		}
+		src.Update(fmt.Sprintf("%s/obj-%d", prefix, i), values[i])
+		step++
+		time.Sleep(interval)
+	}
+	for next < len(events) { // fire stragglers even on a tiny window
+		events[next].fn()
+		next++
+	}
+	time.Sleep(150 * time.Millisecond)
+	return values, time.Since(start).Seconds()
+}
+
+// measureDynamic runs one scenario and audits every cache present at the
+// end against the canonical values.
+func measureDynamic(workload string, adaptive bool, caches, objects int, rate, bandwidth float64, duration time.Duration) dynamicResult {
+	suffix := "static"
+	if adaptive {
+		suffix = "adaptive"
+	}
+	res := dynamicResult{
+		Scenario:       workload + "-" + suffix,
+		Workload:       workload,
+		Adaptive:       adaptive,
+		Transport:      "local",
+		Caches:         caches,
+		Objects:        objects,
+		BandwidthMsgsS: bandwidth,
+	}
+	if adaptive {
+		res.RebalanceEveryS = dynamicRebalanceEvery.Seconds()
+	}
+
+	// Capacities: ample everywhere except the last cache of the skew
+	// workload, which can absorb only a tenth of its equal share — the
+	// saturated destination an equal split wastes budget on.
+	capacity := func(i int) float64 {
+		if workload == "skew" && i == caches-1 {
+			return bandwidth / 10
+		}
+		return bandwidth * 10
+	}
+	nodes := make([]benchNode, caches)
+	caps := make([]float64, caches)
+	dests := make([]runtime.Destination, caches)
+	for i := range nodes {
+		caps[i] = capacity(i)
+		nodes[i] = newBenchNode(false, fmt.Sprintf("dyn-%d", i), caps[i])
+		dests[i] = runtime.Destination{CacheID: nodes[i].cache.ID(), Conn: nodes[i].dial("bench-dyn")}
+	}
+	rebalance := time.Duration(0)
+	if adaptive {
+		rebalance = dynamicRebalanceEvery
+	}
+	src, err := runtime.NewFanoutSource(runtime.SourceConfig{
+		ID:        "bench-dyn",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: bandwidth,
+		Tick:      10 * time.Millisecond,
+		Rebalance: rebalance,
+	}, dests)
+	if err != nil {
+		panic(err)
+	}
+
+	// Churn: the last cache leaves a third of the way in; a fresh, empty
+	// replacement joins at two thirds and must be re-synchronized from
+	// scratch while the survivors keep their flow.
+	var events []topoEvent
+	if workload == "churn" {
+		leaver := nodes[caches-1].cache.ID()
+		events = []topoEvent{
+			{after: duration / 3, fn: func() {
+				if err := src.RemoveDestination(leaver); err != nil {
+					panic(err)
+				}
+			}},
+			{after: 2 * duration / 3, fn: func() {
+				reborn := newBenchNode(false, "dyn-reborn", capacity(0))
+				if err := src.AddDestination(runtime.Destination{
+					CacheID: reborn.cache.ID(), Conn: reborn.dial("bench-dyn"),
+				}); err != nil {
+					panic(err)
+				}
+				nodes[caches-1].cleanup() // the departed node is gone for good
+				nodes[caches-1] = reborn
+				caps[caches-1] = capacity(0)
+			}},
+		}
+	}
+
+	values, elapsed := pacedWalkWithEvents(src, "bench-dyn", objects, rate, duration, events)
+	res.DurationS = elapsed
+
+	st := src.Stats()
+	res.Updates = st.Updates
+	res.Refreshes = st.Refreshes
+	res.Rebalances = st.Rebalances
+	sessions := map[string]runtime.SessionStats{}
+	for _, sess := range st.Sessions {
+		sessions[sess.CacheID] = sess
+	}
+	total := 0.0
+	for i, node := range nodes {
+		div := meanAbsDivergence(node.cache, "bench-dyn", values)
+		total += div
+		sess := sessions[node.cache.ID()]
+		res.PerCache = append(res.PerCache, dynamicCacheResult{
+			CacheID:          node.cache.ID(),
+			CapacityMsgsPerS: caps[i],
+			Applied:          node.cache.Stats().Refreshes,
+			Feedbacks:        sess.Feedbacks,
+			ShareMsgsPerS:    sess.Share,
+			Weight:           sess.Weight,
+			MeanDivergence:   div,
+		})
+	}
+	res.MeanDivergence = total / float64(len(nodes))
+
+	src.Close()
+	for _, node := range nodes {
+		node.cleanup()
+	}
+	return res
+}

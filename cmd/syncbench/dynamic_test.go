@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDynamicBenchSchema is the CI smoke for -dynamic: a short sweep must
+// run end to end and emit a BENCH_dynamic.json that parses with exactly
+// the documented schema (docs/operations.md) — unknown fields in the file
+// mean the docs lag the code, a decode error means the reverse.
+func TestDynamicBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runDynamicMode(2, 24, 400, 120, 600*time.Millisecond)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_dynamic.json"))
+	if err != nil {
+		t.Fatalf("BENCH_dynamic.json not written: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var results []dynamicResult
+	if err := dec.Decode(&results); err != nil {
+		t.Fatalf("BENCH_dynamic.json does not match the documented schema: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d scenarios, want 4 (skew/churn × static/adaptive)", len(results))
+	}
+	want := map[string]bool{
+		"skew-static": false, "skew-adaptive": true,
+		"churn-static": false, "churn-adaptive": true,
+	}
+	for _, r := range results {
+		adaptive, ok := want[r.Scenario]
+		if !ok {
+			t.Errorf("unexpected scenario %q", r.Scenario)
+			continue
+		}
+		delete(want, r.Scenario)
+		if r.Adaptive != adaptive {
+			t.Errorf("%s: adaptive = %v, want %v", r.Scenario, r.Adaptive, adaptive)
+		}
+		if r.Caches != 2 || r.Objects != 24 || r.Transport != "local" {
+			t.Errorf("%s: config = %d caches / %d objects / %q", r.Scenario, r.Caches, r.Objects, r.Transport)
+		}
+		if r.DurationS <= 0 || r.Updates == 0 {
+			t.Errorf("%s: empty measurement (duration %v, updates %d)", r.Scenario, r.DurationS, r.Updates)
+		}
+		if adaptive && r.Rebalances == 0 {
+			t.Errorf("%s: adaptive scenario recorded no rebalance passes", r.Scenario)
+		}
+		if !adaptive && r.Rebalances != 0 {
+			t.Errorf("%s: static scenario recorded %d rebalance passes", r.Scenario, r.Rebalances)
+		}
+		if len(r.PerCache) != r.Caches {
+			t.Errorf("%s: %d per-cache entries, want %d", r.Scenario, len(r.PerCache), r.Caches)
+		}
+		for _, c := range r.PerCache {
+			if c.CacheID == "" || c.CapacityMsgsPerS <= 0 {
+				t.Errorf("%s: malformed per-cache entry %+v", r.Scenario, c)
+			}
+		}
+	}
+	for missing := range want {
+		t.Errorf("scenario %q missing from BENCH_dynamic.json", missing)
+	}
+}

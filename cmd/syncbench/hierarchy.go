@@ -20,8 +20,9 @@ type hierarchyNodeResult struct {
 }
 
 // hierarchyResult is one measured topology: either the 3-tier tree
-// (source → relay → N leaves) or the flat 1 → N+1 fan-out over the same
-// node count, at equal total network bandwidth.
+// (source → relay → N leaves, the relay's intake and child sends sharing
+// one adaptively split budget B while the source holds B/2) or the flat
+// 1 → N+1 fan-out spending B on direct sessions over the same node count.
 type hierarchyResult struct {
 	Scenario           string                `json:"scenario"` // e.g. tree-local, flat-tcp
 	Topology           string                `json:"topology"` // tree | flat
@@ -34,15 +35,18 @@ type hierarchyResult struct {
 	SourceRefreshes    int                   `json:"source_refreshes"`
 	RelayForwarded     int                   `json:"relay_forwarded,omitempty"`
 	RelayLooped        int                   `json:"relay_looped,omitempty"`
+	RelayUpBandwidth   float64               `json:"relay_up_bandwidth,omitempty"`   // final cache-face budget
+	RelayDownBandwidth float64               `json:"relay_down_bandwidth,omitempty"` // final child-face budget
 	MeanLeafDivergence float64               `json:"mean_leaf_divergence"`
 	PerNode            []hierarchyNodeResult `json:"per_node"`
 }
 
 // runHierarchyMode compares the cache→cache hierarchy against flat fan-out
-// on both transports: a tree spends half the total budget on the
-// source→relay hop and half on relay→leaves, while the flat topology spends
-// the whole budget on direct source→cache sessions over the same N+1 cache
-// nodes. Results go to stdout and BENCH_hierarchy.json.
+// on both transports: in the tree the source sends at B/2 and the relay
+// runs intake + child sends under one shared, adaptively split budget B,
+// while the flat topology spends B on direct source→cache sessions over
+// the same N+1 cache nodes (each with processing budget B in both
+// topologies). Results go to stdout and BENCH_hierarchy.json.
 func runHierarchyMode(leaves, objects int, rate, bandwidth float64, duration time.Duration) {
 	fmt.Printf("# cache→cache hierarchy: source → relay → %d leaves vs flat 1 → %d, %d objects, %.0f updates/s, %.0f msgs/s total budget, %s per topology\n\n",
 		leaves, leaves+1, objects, rate, bandwidth, duration)
@@ -127,29 +131,11 @@ func newBenchNode(tcp bool, id string, bandwidth float64) benchNode {
 // pacedRandomWalk drives src with a paced ±1 random walk over
 // "<prefix>/obj-N" keys for the given duration, waits 150 ms for in-flight
 // batches to land, and returns the canonical values plus the elapsed
-// seconds. Shared by the fanout and hierarchy benchmarks so their workloads
-// stay comparable.
+// seconds. Shared by the fanout, hierarchy and dynamic benchmarks so their
+// workloads stay comparable (the dynamic benchmark adds topology events —
+// see pacedWalkWithEvents in dynamic.go, which implements the loop).
 func pacedRandomWalk(src *runtime.Source, prefix string, objects int, rate float64, duration time.Duration) ([]float64, float64) {
-	values := make([]float64, objects)
-	interval := time.Duration(float64(time.Second) / rate)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	start := time.Now()
-	step := 1
-	for time.Since(start) < duration {
-		i := step % objects
-		if step%2 == 0 {
-			values[i]++
-		} else {
-			values[i]--
-		}
-		src.Update(fmt.Sprintf("%s/obj-%d", prefix, i), values[i])
-		step++
-		time.Sleep(interval)
-	}
-	time.Sleep(150 * time.Millisecond)
-	return values, time.Since(start).Seconds()
+	return pacedWalkWithEvents(src, prefix, objects, rate, duration, nil)
 }
 
 // meanAbsDivergence audits a cache against the canonical values: mean
@@ -228,10 +214,21 @@ func measureHierarchy(tcp, tree bool, leaves, objects int, rate, bandwidth float
 				panic(err)
 			}
 		}
+		// The relay runs both faces under ONE shared budget B — tighter
+		// than the old fixed configuration (intake B plus a hard-coded
+		// child face of B/2, i.e. 1.5B of relay capacity) and no more
+		// than the flat hub cache's processing budget alone. The split
+		// starts at half each and rebalances from observed backlog, so
+		// intake capacity the B/2-limited upstream cannot fill shifts to
+		// the child face instead of sitting idle. Note the tree's child
+		// face can therefore SEND more than the old B/2 (up to ~0.8B
+		// when intake is cheap); origin egress — the headline metric —
+		// is unaffected (the source still holds B/2).
 		relay, err = runtime.NewRelay(runtime.RelayConfig{
 			ID:             "bench-relay",
-			Cache:          runtime.CacheConfig{Bandwidth: bandwidth, Tick: 10 * time.Millisecond},
-			ChildBandwidth: bandwidth / 2,
+			Cache:          runtime.CacheConfig{Tick: 10 * time.Millisecond},
+			TotalBandwidth: bandwidth,
+			Rebalance:      250 * time.Millisecond,
 			Metric:         metric.ValueDeviation,
 			Tick:           10 * time.Millisecond,
 		}, upstream, children)
@@ -279,6 +276,8 @@ func measureHierarchy(tcp, tree bool, leaves, objects int, rate, bandwidth float
 		rst := relay.Stats()
 		res.RelayForwarded = rst.Forwarded
 		res.RelayLooped = rst.Looped
+		res.RelayUpBandwidth = rst.UpBandwidth
+		res.RelayDownBandwidth = rst.DownBandwidth
 		res.PerNode = append(res.PerNode, hierarchyNodeResult{
 			NodeID: relay.ID(), Tier: "relay",
 			Applied:        rst.Upstream.Refreshes,

@@ -32,12 +32,19 @@
 // -objects, -rate, -bandwidth and -duration flags tune that mode. Results
 // are also written to BENCH_fanout.json.
 //
-// With -hierarchy syncbench compares the cache→cache hierarchy against flat
-// fan-out at equal total bandwidth: a 3-tier tree (source → relay →
-// -leaves leaf caches, budget split half per hop) versus the flat
-// 1 → leaves+1 topology, on both transports, reporting per-node applied
-// refreshes and final mean divergence. Results are also written to
-// BENCH_hierarchy.json.
+// With -hierarchy syncbench compares the cache→cache hierarchy against
+// flat fan-out: a 3-tier tree (source sends at B/2; the relay's intake and
+// child sends share one adaptively rebalanced budget B) versus the flat
+// 1 → leaves+1 topology spending B on direct sessions, on both transports,
+// reporting per-node applied refreshes and final mean divergence. Results
+// are also written to BENCH_hierarchy.json.
+//
+// With -dynamic syncbench compares static equal shares against live share
+// re-allocation (SourceConfig.Rebalance) on two workloads: skewed
+// destination capacities (one cache absorbs a tenth of the others') and
+// destination churn (a cache leaves mid-run, a fresh one joins and is
+// re-synchronized). The -caches, -objects, -rate, -bandwidth and -duration
+// flags tune it. Results are also written to BENCH_dynamic.json.
 package main
 
 import (
@@ -70,8 +77,13 @@ func main() {
 	fanBW := flag.Float64("bandwidth", 200, "fanout/hierarchy mode: total send budget (messages/second)")
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
 	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
+	dynamic := flag.Bool("dynamic", false, "benchmark static vs adaptive share allocation under skewed and churning destinations instead of experiments")
 	flag.Parse()
 
+	if *dynamic {
+		runDynamicMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
+		return
+	}
 	if *hierarchy {
 		runHierarchyMode(*hierLeaves, *tpObjects, *fanRate, *fanBW, *tpDur)
 		return

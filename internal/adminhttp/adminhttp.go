@@ -1,0 +1,81 @@
+// Package adminhttp implements the small HTTP admin surface shared by the
+// daemons: adding and removing fan-out destinations on a running node
+// (sourceagent's /caches/*, cachesyncd's /children/*). Both daemons build
+// their handlers here so the dial/wrap/redial semantics of a destination
+// added over HTTP cannot drift from one added with a boot flag — the
+// handlers route through runtime.DialDestinations exactly like the flags
+// do.
+package adminhttp
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+)
+
+// AddHandler returns a POST handler that dials ?addr=host:port (optional
+// &weight=w, a positive Section 7 share weight) and hands the resulting
+// destination to add. An address that is down right now is still added —
+// it starts on a dead stub connection and the session's redial loop
+// connects when the peer appears, the same deferred-dial contract the boot
+// flags have. wrap decorates the connection (and every redial) the same
+// way the daemon wraps its boot-time destinations, e.g. in a
+// transport.Batcher; nil means use it as-is.
+func AddHandler(add func(runtime.Destination) error, sourceID string, wrap func(transport.SourceConn) transport.SourceConn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed (POST)", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.FormValue("addr")
+		if addr == "" {
+			http.Error(w, "missing addr=host:port", http.StatusBadRequest)
+			return
+		}
+		weight := 0.0
+		if ws := r.FormValue("weight"); ws != "" {
+			var err error
+			weight, err = strconv.ParseFloat(ws, 64)
+			if err != nil || weight <= 0 {
+				http.Error(w, "weight must be a positive number", http.StatusBadRequest)
+				return
+			}
+		}
+		dests, deferred := runtime.DialDestinations([]string{addr}, []float64{weight}, sourceID, wrap)
+		if err := add(dests[0]); err != nil {
+			dests[0].Conn.Close()
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		if len(deferred) > 0 {
+			fmt.Fprintf(w, "added %s (unreachable now, session will keep redialing)\n", addr)
+			return
+		}
+		fmt.Fprintf(w, "added %s\n", addr)
+	}
+}
+
+// RemoveHandler returns a POST handler that removes the destination whose
+// label is ?addr=host:port (destinations added by flag or by AddHandler
+// are labeled with their dial address).
+func RemoveHandler(remove func(addr string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed (POST)", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.FormValue("addr")
+		if addr == "" {
+			http.Error(w, "missing addr=host:port", http.StatusBadRequest)
+			return
+		}
+		if err := remove(addr); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "removed %s\n", addr)
+	}
+}

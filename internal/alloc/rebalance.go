@@ -1,0 +1,174 @@
+package alloc
+
+// Consumer is one share consumer's observation window, fed to a Rebalancer:
+// the raw signals from which the Section 7 option-3 contribution score is
+// computed live. The runtime fills one per sync session (ID = destination
+// label, Feedbacks = feedback messages heard during the window, Demand =
+// outstanding divergence toward that cache) and a relay fills one per face
+// (Demand = backlog plus budget actually used).
+type Consumer struct {
+	// ID keys the consumer's smoothed score across windows, so scores
+	// survive consumers joining and leaving around them.
+	ID string
+	// Base is the operator-assigned share weight (Destination.Weight); it
+	// scales the contribution score persistently. Non-positive means 1.
+	Base float64
+	// Feedbacks counts feedback messages observed during the window — the
+	// responsiveness signal. A consumer with spare capacity keeps feeding
+	// back; a saturated one goes silent, and extra share would be wasted
+	// on it.
+	Feedbacks float64
+	// Demand is the outstanding work toward this consumer at the end of
+	// the window (divergence not yet sent, backlog not yet absorbed) —
+	// the need signal. An idle, fully synchronized consumer has none.
+	Demand float64
+}
+
+// Rebalancer turns per-window Consumer observations into live share weights:
+// the paper's option-3 contribution scores computed from observed behavior
+// instead of static configuration. Each window's raw score
+//
+//	raw = base · demand · (1 + feedbacks)
+//
+// rewards consumers that both need bandwidth (demand) and demonstrably
+// absorb it (feedbacks), so a starved-but-responsive cache earns share from
+// an idle or saturated one. Scores are smoothed across windows with an EWMA
+// (Smoothing) so one noisy window cannot slosh the whole allocation, and
+// the returned weights are floored at a fraction of the mean (FloorFrac) so
+// no consumer is starved to zero — a floored consumer keeps receiving,
+// keeps generating feedback and demand, and can earn its share back.
+//
+// A Rebalancer is not safe for concurrent use; callers serialize access
+// (the runtime holds the source mutex around every call).
+type Rebalancer struct {
+	// Smoothing is the EWMA weight of the newest window's raw score in
+	// [0, 1]; 0 or unset means the default 0.5. A consumer's first window
+	// is taken as-is (no history to smooth against), so a cache that joins
+	// needing the whole store earns a large share immediately.
+	Smoothing float64
+	// FloorFrac floors every returned weight at FloorFrac × mean(weights);
+	// 0 or unset means the default 0.1. Negative disables the floor.
+	FloorFrac float64
+
+	scores map[string]float64
+}
+
+const (
+	defaultSmoothing = 0.5
+	defaultFloorFrac = 0.1
+)
+
+func (r *Rebalancer) smoothing() float64 {
+	if r.Smoothing <= 0 || r.Smoothing > 1 {
+		return defaultSmoothing
+	}
+	return r.Smoothing
+}
+
+func (r *Rebalancer) floorFrac() float64 {
+	if r.FloorFrac < 0 {
+		return 0
+	}
+	if r.FloorFrac == 0 {
+		return defaultFloorFrac
+	}
+	return r.FloorFrac
+}
+
+// Observe folds one window of observations into the smoothed contribution
+// scores. Consumers absent from cons are forgotten: a removed destination's
+// history must not leak into a later consumer reusing its id.
+func (r *Rebalancer) Observe(cons []Consumer) {
+	next := make(map[string]float64, len(cons))
+	g := r.smoothing()
+	for _, c := range cons {
+		base := c.Base
+		if base <= 0 {
+			base = 1
+		}
+		// Negative signals count as zero, mirroring Proportional's weight
+		// contract: a caller deriving Demand/Feedbacks from counter deltas
+		// can go negative when the underlying aggregate shrinks (e.g. a
+		// removed session taking its history with it), and a negative
+		// score would poison the sum and the floor below it.
+		demand, fb := c.Demand, c.Feedbacks
+		if demand < 0 {
+			demand = 0
+		}
+		if fb < 0 {
+			fb = 0
+		}
+		raw := base * demand * (1 + fb)
+		if old, ok := r.scores[c.ID]; ok {
+			next[c.ID] = (1-g)*old + g*raw
+		} else {
+			next[c.ID] = raw
+		}
+	}
+	r.scores = next
+}
+
+// Forget drops one consumer's score immediately (a destination removed
+// between windows).
+func (r *Rebalancer) Forget(id string) {
+	delete(r.scores, id)
+}
+
+// Weights returns the current share weights for the given consumers without
+// folding a new window: the smoothed score where one exists, and for a
+// consumer not yet observed its base weight expressed on the SCORE scale —
+// base × (Σ observed scores / Σ their bases) — so a freshly added
+// destination is allocated its operator-weighted fair share until its first
+// window lands. (A raw base of ~1 dropped into a sum of demand-sized scores
+// of hundreds would pin every newcomer to the floor for a full window.)
+// When every score is zero — nothing observed anywhere, or every consumer
+// idle — the base weights are returned unchanged, so the allocation
+// degrades to the static Section 7 split rather than to an arbitrary one.
+// Otherwise the floor is applied (see FloorFrac).
+func (r *Rebalancer) Weights(ids []string, bases []float64) []float64 {
+	baseOf := func(i int) float64 {
+		if bases[i] <= 0 {
+			return 1
+		}
+		return bases[i]
+	}
+	scoreSum, scoredBase := 0.0, 0.0
+	for i, id := range ids {
+		if s, ok := r.scores[id]; ok {
+			scoreSum += s
+			scoredBase += baseOf(i)
+		}
+	}
+	scale := 1.0
+	if scoreSum > 0 && scoredBase > 0 {
+		scale = scoreSum / scoredBase
+	}
+	w := make([]float64, len(ids))
+	sum := 0.0
+	for i, id := range ids {
+		if s, ok := r.scores[id]; ok {
+			w[i] = s
+		} else {
+			w[i] = baseOf(i) * scale
+		}
+		sum += w[i]
+	}
+	if sum == 0 {
+		for i, b := range bases {
+			if b <= 0 {
+				b = 1
+			}
+			w[i] = b
+		}
+		return w
+	}
+	if frac := r.floorFrac(); frac > 0 && len(w) > 0 {
+		floor := frac * sum / float64(len(w))
+		for i := range w {
+			if w[i] < floor {
+				w[i] = floor
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,136 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRebalancerUnseenConsumersUseBaseWeights(t *testing.T) {
+	var r Rebalancer
+	w := r.Weights([]string{"a", "b"}, []float64{2, 0})
+	if !almost(w[0], 2) || !almost(w[1], 1) {
+		t.Errorf("weights = %v, want [2 1] (bases, non-positive defaulted)", w)
+	}
+}
+
+func TestRebalancerAllIdleFallsBackToBases(t *testing.T) {
+	var r Rebalancer
+	// Both consumers observed with zero demand: scores are all zero, so
+	// the static base split must survive instead of collapsing to NaN or
+	// an arbitrary equal split.
+	r.Observe([]Consumer{{ID: "a", Base: 3}, {ID: "b", Base: 1}})
+	w := r.Weights([]string{"a", "b"}, []float64{3, 1})
+	if !almost(w[0], 3) || !almost(w[1], 1) {
+		t.Errorf("weights = %v, want bases [3 1] when every score is zero", w)
+	}
+}
+
+func TestRebalancerDemandAndFeedbackEarnShare(t *testing.T) {
+	var r Rebalancer
+	// Same demand, but only "a" is responsive: it must out-weigh "b".
+	r.Observe([]Consumer{
+		{ID: "a", Demand: 10, Feedbacks: 9},
+		{ID: "b", Demand: 10, Feedbacks: 0},
+	})
+	w := r.Weights([]string{"a", "b"}, []float64{0, 0})
+	if w[0] <= w[1] {
+		t.Errorf("responsive consumer weight %v not above silent one %v", w[0], w[1])
+	}
+	shares := Proportional(100, w)
+	if shares[0] <= shares[1] {
+		t.Errorf("shares = %v, want the responsive consumer favored", shares)
+	}
+}
+
+// TestRebalancerUnseenConsumerGetsFairShareOnScoreScale: a consumer added
+// between windows has no score yet; its base weight must be expressed on
+// the score scale (base × mean score per base unit), not dropped in raw —
+// a raw ~1 against demand-sized scores of hundreds would pin every
+// newcomer to the floor until its first window lands.
+func TestRebalancerUnseenConsumerGetsFairShareOnScoreScale(t *testing.T) {
+	r := Rebalancer{FloorFrac: -1}
+	r.Observe([]Consumer{
+		{ID: "a", Base: 1, Demand: 100, Feedbacks: 4}, // score 500
+		{ID: "b", Base: 1, Demand: 100, Feedbacks: 4}, // score 500
+	})
+	w := r.Weights([]string{"a", "b", "new"}, []float64{1, 1, 2})
+	// Scale = 1000 score / 2 base units = 500 per unit; the weight-2
+	// newcomer lands at 1000 — its operator-weighted fair share.
+	if !almost(w[2], 1000) {
+		t.Errorf("unseen weight-2 consumer got %v, want 1000 (2 × mean score per base unit)", w[2])
+	}
+	shares := Proportional(100, w)
+	if !almost(shares[2], 50) {
+		t.Errorf("unseen consumer share = %v, want its double-weighted 50", shares[2])
+	}
+}
+
+func TestRebalancerSmoothsAcrossWindows(t *testing.T) {
+	r := Rebalancer{Smoothing: 0.5, FloorFrac: -1}
+	r.Observe([]Consumer{{ID: "a", Demand: 100}}) // first window taken as-is
+	if w := r.Weights([]string{"a"}, []float64{0}); !almost(w[0], 100) {
+		t.Fatalf("first-window score = %v, want 100 (seeded, not halved)", w[0])
+	}
+	r.Observe([]Consumer{{ID: "a", Demand: 0}}) // one idle window decays, not zeroes
+	if w := r.Weights([]string{"a"}, []float64{0}); !almost(w[0], 50) {
+		t.Errorf("score after idle window = %v, want 50 (EWMA)", w[0])
+	}
+}
+
+func TestRebalancerFloorPreventsStarvation(t *testing.T) {
+	r := Rebalancer{FloorFrac: 0.1}
+	r.Observe([]Consumer{
+		{ID: "busy", Demand: 1000, Feedbacks: 50},
+		{ID: "idle", Demand: 0},
+	})
+	w := r.Weights([]string{"busy", "idle"}, []float64{0, 0})
+	floor := 0.1 * (w[0] + 0) / 2 // floor computed on pre-floor sum
+	if w[1] < floor*0.999 {
+		t.Errorf("idle weight %v below floor %v — a starved consumer can never earn back", w[1], floor)
+	}
+	if w[1] >= w[0] {
+		t.Errorf("floor overshot: idle %v ≥ busy %v", w[1], w[0])
+	}
+}
+
+// TestRebalancerNegativeSignalsClampToZero: demand/feedback derived from
+// counter deltas can go negative when the aggregate shrinks (a removed
+// session takes its history with it). A negative raw score must clamp to
+// zero — un-clamped it poisons the score sum and the floor, and
+// Proportional then hands the consumer a hard zero share, bypassing the
+// no-starvation floor entirely.
+func TestRebalancerNegativeSignalsClampToZero(t *testing.T) {
+	r := Rebalancer{FloorFrac: 0.2}
+	r.Observe([]Consumer{
+		{ID: "up", Demand: 50},
+		{ID: "down", Demand: -2800}, // removal window: delta went negative
+	})
+	w := r.Weights([]string{"up", "down"}, []float64{1, 1})
+	shares := Proportional(160, w)
+	floor := 0.2 * w[0] / 2 // pre-floor sum is w[0] alone: "down" clamps to 0
+	if w[1] < floor*0.999 || shares[1] <= 0 {
+		t.Errorf("negative window left weight %v / share %v, want floored ≥ %v / > 0",
+			w[1], shares[1], floor)
+	}
+	r.Observe([]Consumer{{ID: "a", Demand: 10, Feedbacks: -5}})
+	if w := r.Weights([]string{"a"}, []float64{0}); !almost(w[0], 10) {
+		t.Errorf("negative feedback folded as %v, want clamped to 10·(1+0)", w[0])
+	}
+}
+
+func TestRebalancerForgetsAbsentConsumers(t *testing.T) {
+	var r Rebalancer
+	r.Observe([]Consumer{{ID: "a", Demand: 100, Feedbacks: 5}})
+	r.Observe([]Consumer{{ID: "b", Demand: 1}}) // "a" absent: forgotten
+	w := r.Weights([]string{"a"}, []float64{7})
+	if !almost(w[0], 7) {
+		t.Errorf("removed consumer kept score %v across windows, want base 7", w[0])
+	}
+	r.Observe([]Consumer{{ID: "b", Demand: 1}})
+	r.Forget("b")
+	if w := r.Weights([]string{"b"}, []float64{2}); !almost(w[0], 2) {
+		t.Errorf("Forget left score %v, want base 2", w[0])
+	}
+}

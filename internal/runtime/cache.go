@@ -61,6 +61,7 @@ package runtime
 
 import (
 	"hash/maphash"
+	"math"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -177,6 +178,12 @@ type Cache struct {
 	// not just an empty intake channel.
 	outstanding atomic.Int64
 
+	// bw is the live processing budget in messages/second (float64 bits);
+	// cfg.Bandwidth is only its initial value. The loop re-reads it every
+	// tick, so SetBandwidth (a relay shifting budget between its faces)
+	// takes effect within one tick.
+	bw atomic.Uint64
+
 	rateMu    sync.Mutex // guards the periodically merged gauges
 	applyRate float64    // refreshes applied per second, last merge window
 	lastMerge mergeMark
@@ -225,6 +232,7 @@ func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
 		done:   make(chan struct{}),
 	}
 	c.lastMerge.at = cfg.Now()
+	c.bw.Store(math.Float64bits(cfg.Bandwidth))
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -303,6 +311,30 @@ func (c *Cache) ApplyRate() float64 {
 	return c.applyRate
 }
 
+// Bandwidth returns the current processing budget in messages/second.
+func (c *Cache) Bandwidth() float64 {
+	return math.Float64frombits(c.bw.Load())
+}
+
+// SetBandwidth replaces the processing budget at runtime; the dispatcher
+// picks the new rate up on its next tick. Non-positive values are ignored.
+// A relay uses this to shift budget between its cache face and its child
+// face from observed backlog.
+func (c *Cache) SetBandwidth(b float64) {
+	if b > 0 {
+		c.bw.Store(math.Float64bits(b))
+	}
+}
+
+// backlog approximates the refreshes accepted but not yet applied: those
+// dispatched to shard queues plus batches still waiting at the intake
+// channel (counted as one each — the channel holds batches, not messages,
+// so this is a floor). It is the cache face's observable demand signal for
+// a relay's up/down budget split.
+func (c *Cache) backlog() int {
+	return int(c.outstanding.Load()) + len(c.ep.Batches())
+}
+
 // Close stops the dispatcher and the shard workers.
 func (c *Cache) Close() error {
 	select {
@@ -346,15 +378,27 @@ func (c *Cache) sourceIndex(id string) int {
 // rate gauges served by Status.
 const mergeInterval = time.Second
 
+// tokenBurst is the token-bucket capacity for a budget of rate msgs/second
+// at the given tick: two ticks' accrual, floored at 2 whole messages. The
+// floor matters — with capacity below 1 + rate·tick, the cap truncates the
+// fractional remainder on every accrual cycle, silently taxing any budget
+// of 0.5–1 messages per tick down to one send every two ticks instead of
+// its allocated rate. Shared by the cache dispatcher and the sync-session
+// send loops, which both re-read their (possibly re-allocated) rate each
+// tick.
+func tokenBurst(rate float64, tick time.Duration) float64 {
+	b := rate * tick.Seconds() * 2
+	if b < 2 {
+		return 2
+	}
+	return b
+}
+
 func (c *Cache) loop() {
 	defer close(c.done)
 	ticker := time.NewTicker(c.cfg.Tick)
 	defer ticker.Stop()
 	budget := 0.0
-	burst := c.cfg.Bandwidth * c.cfg.Tick.Seconds() * 2
-	if burst < 1 {
-		burst = 1
-	}
 	batches := c.ep.Batches()
 	for {
 		// Gate the intake on the token bucket: with no budget left the
@@ -368,7 +412,11 @@ func (c *Cache) loop() {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			budget += c.cfg.Bandwidth * c.cfg.Tick.Seconds()
+			// Re-read the budget each tick: SetBandwidth may have moved it
+			// (a relay re-splitting its face budgets).
+			bw := c.Bandwidth()
+			burst := tokenBurst(bw, c.cfg.Tick)
+			budget += bw * c.cfg.Tick.Seconds()
 			if budget > burst {
 				budget = burst
 			}

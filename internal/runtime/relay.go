@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"bestsync/internal/alloc"
 	"bestsync/internal/core"
 	"bestsync/internal/metric"
 	"bestsync/internal/priority"
@@ -27,8 +28,24 @@ type RelayConfig struct {
 	// ChildBandwidth is the downstream send budget in messages/second,
 	// divided across the children by their share weights (Section 7
 	// allocation) — the relay's own bandwidth tier, independent of the
-	// upstream source's budget. Default 1000.
+	// upstream source's budget. Default 1000 (with TotalBandwidth set:
+	// half the total).
 	ChildBandwidth float64
+	// TotalBandwidth, when positive, puts the relay's two faces under one
+	// shared budget: Cache.Bandwidth (intake processing) and
+	// ChildBandwidth (downstream sends) become the initial split —
+	// defaulting to half each — and the periodic rebalance pass shifts
+	// budget between the faces from observed backlog, so intake capacity
+	// the upstream is not using can be spent on the children and vice
+	// versa. Zero keeps the faces on their independent static budgets.
+	TotalBandwidth float64
+	// Rebalance, when positive, enables the periodic re-allocation passes:
+	// child-session shares are re-weighted from observed feedback and
+	// divergence (SourceConfig.Rebalance on the child face), and — with
+	// TotalBandwidth — the up/down face split is re-derived from each
+	// face's backlog and budget use every interval. Zero keeps all shares
+	// static.
+	Rebalance time.Duration
 	// Metric selects the divergence metric driving child refresh
 	// priorities; Delta and PriorityFn refine it as on SourceConfig.
 	Metric     metric.Kind
@@ -68,6 +85,14 @@ type RelayStats struct {
 	// HopLimited counts refreshes dropped from re-export because
 	// forwarding would exceed MaxHops.
 	HopLimited int
+	// UpBandwidth and DownBandwidth are the current face budgets: the
+	// cache face's processing rate and the child face's send rate. With
+	// TotalBandwidth set they move on every face rebalance pass;
+	// otherwise they are the static configured values.
+	UpBandwidth   float64
+	DownBandwidth float64
+	// FaceRebalances counts completed up/down face re-allocation passes.
+	FaceRebalances int
 }
 
 // Relay is a middle tier in a cache→cache hierarchy: toward its upstream it
@@ -103,6 +128,18 @@ type Relay struct {
 	forwarded  int
 	looped     int
 	hopLimited int
+	// Face-rebalance state (TotalBandwidth + Rebalance): smoothed
+	// contribution scores per face, the operator's configured split as
+	// base weights, and the observation-window marks.
+	faceReb          *alloc.Rebalancer
+	upBW, downBW     float64
+	upBase, downBase float64
+	faceRebalances   int
+	lastUpApplied    int
+	lastDownSent     int
+
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // NewRelay starts a relay node: upstream is the endpoint the tier above
@@ -116,13 +153,39 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 	if cfg.Cache.ID != "" || cfg.Cache.OnApply != nil || cfg.Cache.Reject != nil || cfg.Cache.Now != nil {
 		return nil, fmt.Errorf("runtime: RelayConfig.Cache.{ID,OnApply,Reject,Now} are owned by the relay; configure RelayConfig.ID/Now instead")
 	}
+	if cfg.TotalBandwidth > 0 {
+		// Shared face budget: unset faces default to half the total each;
+		// explicitly set faces are kept as a RATIO and normalized so the
+		// initial split already sums to the total — otherwise the first
+		// rebalance pass would snap the aggregate from Σfaces to
+		// TotalBandwidth, a silent mid-run budget cliff.
+		up, down := cfg.Cache.Bandwidth, cfg.ChildBandwidth
+		switch {
+		case up <= 0 && down <= 0:
+			up, down = cfg.TotalBandwidth/2, cfg.TotalBandwidth/2
+		case up <= 0:
+			if down >= cfg.TotalBandwidth {
+				down = cfg.TotalBandwidth / 2
+			}
+			up = cfg.TotalBandwidth - down
+		case down <= 0:
+			if up >= cfg.TotalBandwidth {
+				up = cfg.TotalBandwidth / 2
+			}
+			down = cfg.TotalBandwidth - up
+		default:
+			scale := cfg.TotalBandwidth / (up + down)
+			up, down = up*scale, down*scale
+		}
+		cfg.Cache.Bandwidth, cfg.ChildBandwidth = up, down
+	}
 	if cfg.ChildBandwidth <= 0 {
 		cfg.ChildBandwidth = 1000
 	}
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = 8
 	}
-	r := &Relay{cfg: cfg}
+	r := &Relay{cfg: cfg, stop: make(chan struct{})}
 	src, err := NewFanoutSource(SourceConfig{
 		ID:         cfg.ID,
 		Metric:     cfg.Metric,
@@ -131,6 +194,7 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 		Bandwidth:  cfg.ChildBandwidth,
 		Tick:       cfg.Tick,
 		Params:     cfg.Params,
+		Rebalance:  cfg.Rebalance,
 		Now:        cfg.Now,
 	}, children)
 	if err != nil {
@@ -143,7 +207,86 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 	cacheCfg.OnApply = r.reexport
 	cacheCfg.Reject = r.rejectCycle
 	r.cache = NewCache(cacheCfg, upstream)
+	r.upBW = r.cache.Bandwidth()
+	r.downBW = cfg.ChildBandwidth
+	// The configured split is the faces' base-weight ratio: it scales their
+	// contribution scores and is what an all-idle window falls back to, so
+	// an operator's asymmetric split survives rebalancing instead of
+	// snapping to half-half.
+	r.upBase, r.downBase = r.upBW, r.downBW
+	if cfg.TotalBandwidth > 0 && cfg.Rebalance > 0 {
+		// Faces must not starve each other outright: a face floored at a
+		// fifth of its fair half keeps absorbing or sending enough to
+		// regrow its demand signal and earn the budget back.
+		r.faceReb = &alloc.Rebalancer{FloorFrac: 0.2}
+		go r.rebalanceFaces()
+	}
 	return r, nil
+}
+
+// AddChild starts a sync session toward a new downstream cache on a
+// running relay, re-dividing the child budget across all children; the new
+// child is synchronized from the relay's full store. See
+// Source.AddDestination.
+func (r *Relay) AddChild(d Destination) error { return r.src.AddDestination(d) }
+
+// RemoveChild stops the session toward the child whose Destination.CacheID
+// is cacheID and re-divides the child budget across the survivors. See
+// Source.RemoveDestination.
+func (r *Relay) RemoveChild(cacheID string) error { return r.src.RemoveDestination(cacheID) }
+
+// rebalanceFaces is the relay's up/down budget pass: every Rebalance
+// interval it scores each face by observed demand — budget actually used
+// during the window plus backlog still waiting (intake queue on the cache
+// face, over-threshold objects on the child face) — smooths the scores,
+// and re-splits TotalBandwidth between Cache.SetBandwidth and
+// Source.SetBandwidth. A face that spent its budget and still has work
+// queued earns more; an idle face decays toward the floor, surrendering
+// intake capacity the upstream is not using to the children (and vice
+// versa).
+func (r *Relay) rebalanceFaces() {
+	ticker := time.NewTicker(r.cfg.Rebalance)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		cs := r.cache.Stats()
+		ss := r.src.Stats()
+		r.mu.Lock()
+		// Window deltas over aggregates that can shrink: RemoveChild takes
+		// the removed session's historical refreshes out of the source
+		// aggregate, so a removal window would otherwise read as hugely
+		// negative use and zero the face's budget.
+		upUsed := max(0, cs.Refreshes-r.lastUpApplied)
+		r.lastUpApplied = cs.Refreshes
+		downUsed := max(0, ss.Refreshes-r.lastDownSent)
+		r.lastDownSent = ss.Refreshes
+		// Down-face backlog counts only sessions that can deliver: a
+		// redialing child's queue holds the whole store but its sends go
+		// nowhere, and letting that phantom backlog capture budget from
+		// the intake face is the same starvation the session-level
+		// rebalancer guards against.
+		pending := 0
+		for _, sess := range ss.Sessions {
+			if !sess.Ended && !sess.Redialing {
+				pending += sess.Pending
+			}
+		}
+		r.faceReb.Observe([]alloc.Consumer{
+			{ID: "up", Base: r.upBase, Demand: float64(upUsed + r.cache.backlog())},
+			{ID: "down", Base: r.downBase, Demand: float64(downUsed + pending)},
+		})
+		w := r.faceReb.Weights([]string{"up", "down"}, []float64{r.upBase, r.downBase})
+		shares := alloc.Proportional(r.cfg.TotalBandwidth, w)
+		r.upBW, r.downBW = shares[0], shares[1]
+		r.faceRebalances++
+		r.mu.Unlock()
+		r.cache.SetBandwidth(shares[0])
+		r.src.SetBandwidth(shares[1])
+	}
 }
 
 // rejectCycle drops refreshes that crossed a topology cycle (this relay is
@@ -278,6 +421,9 @@ func (r *Relay) Stats() RelayStats {
 	st.Forwarded = r.forwarded
 	st.Looped = r.looped
 	st.HopLimited = r.hopLimited
+	st.UpBandwidth = r.upBW
+	st.DownBandwidth = r.downBW
+	st.FaceRebalances = r.faceRebalances
 	r.mu.Unlock()
 	return st
 }
@@ -287,6 +433,7 @@ func (r *Relay) Stats() RelayStats {
 // In-flight child refreshes are cut off with the connections, exactly as
 // for a plain fan-out source.
 func (r *Relay) Close() error {
+	r.closeOnce.Do(func() { close(r.stop) })
 	err := r.cache.Close()
 	if serr := r.src.Close(); err == nil {
 		err = serr

@@ -21,8 +21,22 @@ type SessionStats struct {
 	// feedback arrives (or when the cache has no id configured).
 	RemoteID string
 	// Share is the session's allocated send rate in messages/second — its
-	// Section 7 slice of SourceConfig.Bandwidth.
-	Share      float64
+	// Section 7 slice of the source's bandwidth. Shares are live: they
+	// move when destinations are added or removed, when SetBandwidth
+	// replaces the total, and on every periodic re-allocation pass.
+	Share float64
+	// Weight is the effective share weight behind Share at the last
+	// allocation: the static Destination.Weight, or the smoothed
+	// contribution score when periodic re-allocation is enabled.
+	Weight float64
+	// Ended reports a session that exited permanently (connection gone
+	// with no redial hook). Its counters are historical; its share has
+	// been re-divided across the surviving sessions.
+	Ended bool
+	// Redialing reports a session whose connection is down and being
+	// redialed with backoff: still alive, but unable to deliver until the
+	// peer returns (the rebalancers treat its demand as zero meanwhile).
+	Redialing  bool
 	Refreshes  int
 	Feedbacks  int
 	SendErrors int
@@ -59,28 +73,36 @@ type syncSession struct {
 	src  *Source
 	dest Destination
 	eng  *core.Source
-	rate float64 // allocated share of the source-side bandwidth, msgs/s
 
 	// Guarded by src.mu. objs is parallel to src.ids (the intern table):
 	// entry k is this session's view of object src.ids[k]. dest.Conn is
 	// also guarded by src.mu: a redial swaps it while flush and Close read
-	// it.
-	objs       []*sessObj
-	refreshes  int
-	feedbacks  int
-	sendErrors int
-	reconnects int
-	remoteID   string
+	// it. rate and weight are re-assigned by reallocateLocked whenever the
+	// topology or the rebalancer moves shares; the loop re-reads rate each
+	// tick rather than freezing it at start.
+	rate            float64 // allocated share of the source bandwidth, msgs/s
+	weight          float64 // effective weight behind rate at last allocation
+	ended           bool    // loop exited permanently (no redial)
+	redialing       bool    // connection down, redial loop running
+	demand          float64 // running Σ tracker.Current() over objs (rebalancer signal)
+	objs            []*sessObj
+	refreshes       int
+	feedbacks       int
+	windowFeedbacks int // feedbacks already folded into the rebalancer
+	sendErrors      int
+	reconnects      int
+	remoteID        string
 
+	stop chan struct{} // closed by RemoveDestination
 	done chan struct{}
 }
 
-func newSyncSession(src *Source, dest Destination, rate float64) *syncSession {
+func newSyncSession(src *Source, dest Destination) *syncSession {
 	return &syncSession{
 		src:  src,
 		dest: dest,
 		eng:  core.NewSource(0, src.cfg.Params, core.PositiveFeedback),
-		rate: rate,
+		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 }
@@ -94,7 +116,13 @@ func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
 		// so its loop guard is guaranteed to reject a send — don't burn
 		// this session's bandwidth share advertising it back. (Until the
 		// peer's identity is learned from feedback the send happens and is
-		// rejected remotely — same outcome, one wasted message.)
+		// rejected remotely — same outcome, one wasted message.) Zero the
+		// tracker too: divergence toward an object this session will never
+		// send must not linger as rebalancer demand, where it would earn
+		// share the session cannot spend.
+		so := ss.objs[key]
+		ss.demand -= so.tracker.Current()
+		so.tracker.Reset(now, 0)
 		ss.eng.Queue.Remove(key)
 		return
 	}
@@ -107,6 +135,7 @@ func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
 		// propagated to register the object.
 		d = 1
 	}
+	ss.demand += d - so.tracker.Current()
 	so.tracker.Update(now, d)
 	ss.requeueLocked(o, key, now)
 }
@@ -146,6 +175,9 @@ func (ss *syncSession) statsLocked() SessionStats {
 		CacheID:    ss.dest.CacheID,
 		RemoteID:   ss.remoteID,
 		Share:      ss.rate,
+		Weight:     ss.weight,
+		Ended:      ss.ended,
+		Redialing:  ss.redialing,
 		Refreshes:  ss.refreshes,
 		Feedbacks:  ss.feedbacks,
 		SendErrors: ss.sendErrors,
@@ -171,28 +203,37 @@ func (ss *syncSession) onFeedback(f wire.Feedback) {
 // allocated rate, flushes over-threshold objects, and folds in feedback
 // from its cache. One loop goroutine runs per session, so N caches drain
 // concurrently and one blocked connection stalls only its own session.
+//
+// The allocated rate is re-read under src.mu on every tick — never frozen
+// at loop start — because shares move at runtime: AddDestination and
+// RemoveDestination re-divide the budget, SetBandwidth replaces it, and
+// the periodic re-allocation pass re-weights sessions. The burst ceiling
+// is recomputed from the same read, so a share increase raises the
+// session's burst on the next tick and a decrease caps any budget already
+// accrued at the old, higher rate.
 func (ss *syncSession) loop() {
 	defer close(ss.done)
 	s := ss.src
 	ticker := time.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
 	budget := 0.0
-	burst := ss.rate * s.cfg.Tick.Seconds() * 2
-	if burst < 1 {
-		burst = 1
-	}
+	s.mu.Lock()
 	fb := ss.dest.Conn.Feedback()
+	s.mu.Unlock()
 	for {
 		select {
 		case <-s.stop:
 			return
+		case <-ss.stop:
+			return // removed from the fan-out; the remover closes the conn
 		case f, ok := <-fb:
 			if !ok {
 				if ss.dest.Redial == nil {
-					return // connection gone; the other sessions continue
+					ss.end() // connection gone for good; survivors inherit the share
+					return
 				}
 				if !ss.redial() {
-					return // shutdown won the race against the redial
+					return // shutdown or removal won the race against the redial
 				}
 				s.mu.Lock()
 				fb = ss.dest.Conn.Feedback()
@@ -201,13 +242,33 @@ func (ss *syncSession) loop() {
 			}
 			ss.onFeedback(f)
 		case <-ticker.C:
-			budget += ss.rate * s.cfg.Tick.Seconds()
+			s.mu.Lock()
+			rate := ss.rate
+			s.mu.Unlock()
+			burst := tokenBurst(rate, s.cfg.Tick)
+			budget += rate * s.cfg.Tick.Seconds()
 			if budget > burst {
 				budget = burst
 			}
 			budget = ss.flush(budget)
 		}
 	}
+}
+
+// end marks the session permanently dead and re-divides its share across
+// the surviving sessions: a session that can never send again must not
+// keep a slice of the budget (nor skew the aggregate threshold mean — see
+// Source.Stats). Its per-object state is released — nothing will ever
+// observe or flush it again — while the counters stay for the ENDED stats
+// row.
+func (ss *syncSession) end() {
+	s := ss.src
+	s.mu.Lock()
+	ss.ended = true
+	ss.objs = nil
+	ss.demand = 0
+	s.reallocateLocked()
+	s.mu.Unlock()
 }
 
 // Reconnect backoff bounds: the first redial attempt waits
@@ -229,8 +290,12 @@ func (ss *syncSession) redial() bool {
 	// Release the dead connection first: a Batcher wrapping it keeps a
 	// flush goroutine (and retries its re-buffered batch) until closed.
 	// Close is idempotent on every provided transport, so racing
-	// Source.Close's own snapshot-and-close is harmless.
+	// Source.Close's own snapshot-and-close is harmless. While the redial
+	// runs, the session is flagged so the rebalance pass does not let its
+	// ever-growing demand (nothing resets while the peer is gone) capture
+	// share from sessions that can actually spend it.
 	s.mu.Lock()
+	ss.redialing = true
 	old := ss.dest.Conn
 	s.mu.Unlock()
 	old.Close()
@@ -239,6 +304,8 @@ func (ss *syncSession) redial() bool {
 		select {
 		case <-s.stop:
 			return false
+		case <-ss.stop:
+			return false // removed from the fan-out mid-backoff
 		case <-time.After(backoff):
 		}
 		conn, err := ss.dest.Redial()
@@ -260,13 +327,24 @@ func (ss *syncSession) redial() bool {
 			return false
 		default:
 		}
+		select {
+		case <-ss.stop:
+			// Removal raced the redial: the remover closed the connection
+			// it saw, so this fresh one is ours to clean up.
+			s.mu.Unlock()
+			conn.Close()
+			return false
+		default:
+		}
 		ss.dest.Conn = conn
+		ss.redialing = false
 		ss.reconnects++
 		// The peer may be a different instance now (failover, redeploy):
 		// forget the old identity so re-sent refreshes carry no stale
 		// CacheID stamp (which the new peer would count as misrouted)
 		// until its own feedback reveals who it is.
 		ss.remoteID = ""
+		ss.demand = 0 // rebuilt by the observe loop over the zeroed trackers
 		for key := range ss.objs {
 			*ss.objs[key] = sessObj{}
 			ss.observeLocked(s.objs[s.ids[key]], key, now)
@@ -347,6 +425,7 @@ func (ss *syncSession) flush(budget float64) float64 {
 		// event-driven discipline; same as a zero-residual send).
 		d := metric.Divergence(s.cfg.Metric, s.cfg.Delta,
 			int(o.version-so.sentVer), o.value, so.sentVal)
+		ss.demand += d - so.tracker.Current()
 		so.tracker.Reset(now, d)
 		ss.requeueLocked(o, key, now)
 		ss.eng.OnRefreshSent(now)

@@ -34,9 +34,14 @@ func (c *Cache) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot merges a previously saved store into the cache, distributing
-// entries to their owning shards. Live entries win over snapshot entries
-// when they are newer (by source epoch, then version), so loading an old
-// snapshot under traffic never regresses the store.
+// entries to their owning shards. A live entry always wins over a snapshot
+// entry from a different sender, and wins over a same-sender snapshot entry
+// unless that one is newer (by source epoch, then version) — so loading an
+// old snapshot under traffic never regresses the store. The cross-sender
+// rule mirrors applyLocked's per-sender staleness guard: epochs from
+// different nodes are incomparable wall-clock starts, and comparing them
+// would let a snapshot entry from a later-booted sender (larger epoch, any
+// age) overwrite a live feed.
 func (c *Cache) LoadSnapshot(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -49,7 +54,8 @@ func (c *Cache) LoadSnapshot(r io.Reader) error {
 		sh := c.shardFor(id)
 		sh.mu.Lock()
 		cur, ok := sh.store[id]
-		if !ok || cur.Epoch < e.Epoch || (cur.Epoch == e.Epoch && cur.Version < e.Version) {
+		if !ok || (cur.Source == e.Source &&
+			(cur.Epoch < e.Epoch || (cur.Epoch == e.Epoch && cur.Version < e.Version))) {
 			sh.store[id] = e
 		}
 		sh.mu.Unlock()

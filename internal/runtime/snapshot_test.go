@@ -79,6 +79,45 @@ func TestSnapshotLoadNeverRegresses(t *testing.T) {
 	}
 }
 
+// TestSnapshotLoadNeverRegressesAcrossSenders is the regression test for
+// the cross-sender snapshot bug: LoadSnapshot used to compare
+// (Epoch, Version) across different senders — exactly what applyLocked
+// forbids, because epochs from different nodes are incomparable wall-clock
+// starts. A stale snapshot entry from a later-booted sender (larger epoch)
+// would overwrite the live entry despite the "never regresses the store"
+// promise. The live entry must win whenever the senders differ.
+func TestSnapshotLoadNeverRegressesAcrossSenders(t *testing.T) {
+	var buf bytes.Buffer
+	old := cacheWithEntries(t, map[string]Entry{
+		// The snapshot's copy came from "s-late", a sender that booted
+		// recently (big epoch) — but the value itself is old.
+		"x": {Value: 1, Version: 9, Epoch: 100, Source: "s-late"},
+		// Same-sender entry that IS newer than the live copy: still wins.
+		"y": {Value: 8, Version: 5, Epoch: 100, Source: "s1"},
+	})
+	if err := old.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	old.Close()
+
+	live := cacheWithEntries(t, map[string]Entry{
+		// The live feed for x comes from a different sender with a small
+		// epoch (it booted long ago) and must not be shadowed.
+		"x": {Value: 2, Version: 3, Epoch: 5, Source: "s-early"},
+		"y": {Value: 7, Version: 2, Epoch: 100, Source: "s1"},
+	})
+	defer live.Close()
+	if err := live.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := live.Get("x"); e.Value != 2 || e.Source != "s-early" {
+		t.Errorf("cross-sender snapshot entry overwrote live copy: %+v", e)
+	}
+	if e, _ := live.Get("y"); e.Value != 8 {
+		t.Errorf("same-sender newer snapshot entry lost: %+v", e)
+	}
+}
+
 func TestSnapshotFileAtomicAndMissing(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cache.snap")

@@ -27,7 +27,19 @@ type SourceConfig struct {
 	// Bandwidth is the source-side send budget in messages/second. A
 	// fan-out source divides it across its sync sessions by the
 	// destinations' share weights (Section 7 allocation, internal/alloc).
+	// The division is live: AddDestination/RemoveDestination re-divide it
+	// across the surviving sessions, and SetBandwidth replaces it at
+	// runtime.
 	Bandwidth float64
+	// Rebalance, when positive, enables the periodic re-allocation pass:
+	// every Rebalance interval the session shares are re-derived from
+	// observed per-session feedback rates and outstanding divergence (the
+	// paper's option-3 contribution scores computed live — see
+	// alloc.Rebalancer), so a starved-but-responsive cache earns share
+	// from an idle or saturated one. Zero keeps the static Section 7
+	// split: shares move only when the destination set or the total
+	// bandwidth changes.
+	Rebalance time.Duration
 	// Tick is the send-loop interval (default 100 ms).
 	Tick time.Duration
 	// Params tunes the threshold algorithm; zero means paper defaults.
@@ -43,14 +55,20 @@ type SourceConfig struct {
 
 // SourceStats counts protocol activity. The top-level counters aggregate
 // across all sync sessions (for a single-cache source they are exactly the
-// session's own); Sessions carries the per-destination breakdown.
+// session's own); Sessions carries the per-destination breakdown. Sessions
+// that ended (connection gone, no redial) keep their historical counters in
+// the aggregates but are excluded from Pending and the Threshold mean — a
+// dead session's frozen threshold says nothing about the live topology.
 type SourceStats struct {
 	Updates    int
 	Refreshes  int
 	Feedbacks  int
 	SendErrors int
 	Pending    int
-	// Threshold is the mean local threshold across sessions (a
+	// Rebalances counts completed periodic re-allocation passes
+	// (SourceConfig.Rebalance).
+	Rebalances int
+	// Threshold is the mean local threshold across live sessions (a
 	// single-cache source reports its one threshold unchanged).
 	Threshold float64
 	Sessions  []SessionStats
@@ -99,15 +117,21 @@ type Provenance struct {
 // so per-cache thresholds converge independently and a stalled cache
 // back-pressures only its own session.
 type Source struct {
-	cfg      SourceConfig
-	sessions []*syncSession
+	cfg SourceConfig
 
-	mu      sync.Mutex
-	objs    map[string]*objState
-	ids     []string // intern table: queue key → object id
-	idx     map[string]int
-	updates int
-	started time.Time
+	mu       sync.Mutex
+	sessions []*syncSession // live + ended (removed ones are detached)
+	reb      *alloc.Rebalancer
+	seq      int // next default CacheID ordinal (never reused)
+	objs     map[string]*objState
+	ids      []string // intern table: queue key → object id
+	idx      map[string]int
+	updates  int
+	// bandwidth is the live total send budget; cfg.Bandwidth is only its
+	// initial value (SetBandwidth replaces it at runtime).
+	bandwidth  float64
+	rebalances int
+	started    time.Time
 
 	stop chan struct{}
 }
@@ -146,7 +170,6 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 		cfg.Params = core.DefaultParams(1, cfg.Bandwidth)
 		cfg.Params.ExpectedFeedbackPeriod = 4 * cfg.Tick.Seconds()
 	}
-	weights := make([]float64, len(dests))
 	for i := range dests {
 		if dests[i].Conn == nil {
 			return nil, fmt.Errorf("runtime: destination %d has a nil connection", i)
@@ -157,24 +180,244 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 		if dests[i].Weight <= 0 {
 			dests[i].Weight = 1
 		}
-		weights[i] = dests[i].Weight
 	}
-	rates := alloc.Proportional(cfg.Bandwidth, weights)
 	s := &Source{
-		cfg:     cfg,
-		objs:    map[string]*objState{},
-		idx:     map[string]int{},
-		started: cfg.Now().Add(-time.Millisecond),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		objs:      map[string]*objState{},
+		idx:       map[string]int{},
+		seq:       len(dests),
+		bandwidth: cfg.Bandwidth,
+		started:   cfg.Now().Add(-time.Millisecond),
+		stop:      make(chan struct{}),
+	}
+	if cfg.Rebalance > 0 {
+		s.reb = &alloc.Rebalancer{}
 	}
 	s.sessions = make([]*syncSession, len(dests))
 	for i, d := range dests {
-		s.sessions[i] = newSyncSession(s, d, rates[i])
+		s.sessions[i] = newSyncSession(s, d)
 	}
+	s.reallocateLocked() // no concurrency yet, but keeps one code path
 	for _, ss := range s.sessions {
 		go ss.loop()
 	}
+	if cfg.Rebalance > 0 {
+		go s.rebalanceLoop()
+	}
 	return s, nil
+}
+
+// AddDestination starts a sync session toward a new downstream cache on a
+// running source, re-dividing the send budget across all live sessions. The
+// new session starts with every existing object registered as never-sent,
+// so the cache is fully synchronized from scratch — exactly the redial
+// contract. An empty CacheID is defaulted to a fresh "cache-<n>" label; a
+// CacheID already in use by a live session is an error (RemoveDestination
+// is keyed by it).
+func (s *Source) AddDestination(d Destination) error {
+	if d.Conn == nil {
+		return fmt.Errorf("runtime: destination has a nil connection")
+	}
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: source is closed")
+	default:
+	}
+	if d.CacheID == "" {
+		d.CacheID = fmt.Sprintf("cache-%d", s.seq)
+	}
+	s.seq++
+	for _, ss := range s.sessions {
+		if !ss.ended && ss.dest.CacheID == d.CacheID {
+			s.mu.Unlock()
+			return fmt.Errorf("runtime: destination %q already exists", d.CacheID)
+		}
+	}
+	if d.Weight <= 0 {
+		d.Weight = 1
+	}
+	ss := newSyncSession(s, d)
+	now := s.now()
+	ss.objs = make([]*sessObj, len(s.ids))
+	for k := range ss.objs {
+		ss.objs[k] = &sessObj{}
+	}
+	for k, id := range s.ids {
+		ss.observeLocked(s.objs[id], k, now)
+	}
+	s.sessions = append(s.sessions, ss)
+	s.reallocateLocked()
+	s.mu.Unlock()
+	go ss.loop()
+	return nil
+}
+
+// RemoveDestination stops the sync session whose Destination.CacheID is
+// cacheID, closes its connection, waits for its loop to exit, and
+// re-divides the send budget across the survivors — their in-flight
+// refreshes and scheduling state are untouched, only their rates move. The
+// removed session's historical counters leave the aggregate Stats with it.
+func (s *Source) RemoveDestination(cacheID string) error {
+	s.mu.Lock()
+	// Prefer the live session: AddDestination allows re-using the label of
+	// an ended session, so an ended ghost with the same CacheID may sit at
+	// a lower index — removing it instead would report success while the
+	// live session kept sending. The ghost is only matched (as cleanup)
+	// when no live session carries the label.
+	var victim *syncSession
+	idx := -1
+	for i, ss := range s.sessions {
+		if ss.dest.CacheID != cacheID {
+			continue
+		}
+		if !ss.ended {
+			victim, idx = ss, i
+			break
+		}
+		if victim == nil {
+			victim, idx = ss, i
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: no destination %q", cacheID)
+	}
+	s.sessions = append(s.sessions[:idx], s.sessions[idx+1:]...)
+	if s.reb != nil {
+		s.reb.Forget(cacheID)
+	}
+	s.reallocateLocked()
+	s.mu.Unlock()
+	close(victim.stop)
+	// Unblock the loop and wait for it to exit. The connection must be
+	// closed to release a back-pressured send (or the feedback read), and
+	// it must be re-read each attempt: a redial that was already past its
+	// stop check can swap in a fresh connection after we snapshot — closing
+	// only the stale one would leave the loop wedged in a send on the new
+	// one and this wait hanging forever. Close is idempotent on every
+	// provided transport, so re-closing is harmless.
+	for {
+		s.mu.Lock()
+		conn := victim.dest.Conn
+		s.mu.Unlock()
+		conn.Close()
+		select {
+		case <-victim.done:
+			return nil
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// SetBandwidth replaces the total send budget at runtime and re-divides it
+// across the live sessions at their current weights. Non-positive values
+// are ignored.
+func (s *Source) SetBandwidth(b float64) {
+	if b <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.bandwidth = b
+	s.reallocateLocked()
+	s.mu.Unlock()
+}
+
+// Bandwidth returns the current total send budget.
+func (s *Source) Bandwidth() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bandwidth
+}
+
+// reallocateLocked re-divides the send budget across the live sessions:
+// effective weights come from the rebalancer's contribution scores when
+// periodic re-allocation is enabled, from the static destination weights
+// otherwise. Ended sessions are stripped to rate zero so a dead session
+// never holds share a live one could spend. Caller holds s.mu; sessions
+// pick the new rates up on their next tick (see syncSession.loop).
+func (s *Source) reallocateLocked() {
+	live := make([]*syncSession, 0, len(s.sessions))
+	ids := make([]string, 0, len(s.sessions))
+	bases := make([]float64, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		if ss.ended {
+			ss.rate = 0
+			ss.weight = 0
+			continue
+		}
+		live = append(live, ss)
+		ids = append(ids, ss.dest.CacheID)
+		bases = append(bases, ss.dest.Weight)
+	}
+	if len(live) == 0 {
+		return
+	}
+	weights := bases
+	if s.reb != nil {
+		weights = s.reb.Weights(ids, bases)
+	}
+	rates := alloc.Proportional(s.bandwidth, weights)
+	for i, ss := range live {
+		ss.rate = rates[i]
+		ss.weight = weights[i]
+	}
+}
+
+// rebalanceLoop is the periodic re-allocation pass (SourceConfig.Rebalance):
+// each interval it folds every live session's observation window — feedback
+// messages heard and outstanding divergence — into the rebalancer's
+// contribution scores and re-divides the budget by the smoothed weights.
+func (s *Source) rebalanceLoop() {
+	ticker := time.NewTicker(s.cfg.Rebalance)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.rebalanceOnce()
+		}
+	}
+}
+
+// rebalanceOnce runs one re-allocation pass (exported to tests via the
+// loop's ticker; the daemons only ever drive it periodically).
+func (s *Source) rebalanceOnce() {
+	s.mu.Lock()
+	cons := make([]alloc.Consumer, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		if ss.ended {
+			continue
+		}
+		// ss.demand is maintained incrementally by observeLocked and the
+		// flush commit (both already under s.mu), so this pass is
+		// O(sessions) instead of O(sessions × objects) under the send-path
+		// mutex. A session whose connection is down (redialing) reports
+		// zero demand: its trackers grow without bound while the peer is
+		// gone, and un-spendable share allocated to a dead pipe would
+		// starve the sessions that can deliver — on reconnect the full
+		// re-sync rebuilds its demand and it earns share back immediately.
+		demand := ss.demand
+		if ss.redialing {
+			demand = 0
+		}
+		fb := ss.feedbacks - ss.windowFeedbacks
+		ss.windowFeedbacks = ss.feedbacks
+		cons = append(cons, alloc.Consumer{
+			ID:        ss.dest.CacheID,
+			Base:      ss.dest.Weight,
+			Feedbacks: float64(fb),
+			Demand:    demand,
+		})
+	}
+	if len(cons) > 0 {
+		s.reb.Observe(cons)
+		s.reallocateLocked()
+	}
+	s.rebalances++
+	s.mu.Unlock()
 }
 
 // now returns seconds since the source started (the protocol time base).
@@ -233,7 +476,12 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 		s.idx[objectID] = len(s.ids)
 		s.ids = append(s.ids, objectID)
 		for _, ss := range s.sessions {
-			ss.objs = append(ss.objs, &sessObj{})
+			// Ended sessions never observe or flush again; growing their
+			// (released) per-object state with every new object would leak
+			// in a long-running source with dead destinations.
+			if !ss.ended {
+				ss.objs = append(ss.objs, &sessObj{})
+			}
 		}
 	}
 	o.value = value
@@ -243,7 +491,9 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 	s.updates++
 	key := s.idx[objectID]
 	for _, ss := range s.sessions {
-		ss.observeLocked(o, key, now)
+		if !ss.ended {
+			ss.observeLocked(o, key, now)
+		}
 	}
 }
 
@@ -253,19 +503,30 @@ func (s *Source) Stats() SourceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SourceStats{
-		Updates:  s.updates,
-		Sessions: make([]SessionStats, 0, len(s.sessions)),
+		Updates:    s.updates,
+		Rebalances: s.rebalances,
+		Sessions:   make([]SessionStats, 0, len(s.sessions)),
 	}
+	live := 0
 	for _, ss := range s.sessions {
 		sess := ss.statsLocked()
 		st.Refreshes += sess.Refreshes
 		st.Feedbacks += sess.Feedbacks
 		st.SendErrors += sess.SendErrors
-		st.Pending += sess.Pending
-		st.Threshold += sess.Threshold
+		if !sess.Ended {
+			// An ended session's queue will never drain and its frozen
+			// threshold describes nothing: both would skew the aggregate
+			// view of the live topology (historical counters above still
+			// aggregate — those sends happened).
+			st.Pending += sess.Pending
+			st.Threshold += sess.Threshold
+			live++
+		}
 		st.Sessions = append(st.Sessions, sess)
 	}
-	st.Threshold /= float64(len(s.sessions))
+	if live > 0 {
+		st.Threshold /= float64(live)
+	}
 	return st
 }
 
@@ -282,12 +543,15 @@ func (s *Source) Close() error {
 	default:
 	}
 	close(s.stop)
-	// Snapshot the connections under the lock: a redial may swap a
-	// session's connection concurrently. Any connection installed after
-	// s.stop closed is cleaned up by the redialing session itself.
+	// Snapshot sessions and connections under the lock: a redial may swap
+	// a session's connection, and AddDestination/RemoveDestination may
+	// reshape the session set concurrently. Any connection installed after
+	// s.stop closed is cleaned up by the redialing session itself; a
+	// session removed concurrently is waited on by its remover.
 	s.mu.Lock()
-	conns := make([]transport.SourceConn, len(s.sessions))
-	for i, ss := range s.sessions {
+	sessions := append([]*syncSession(nil), s.sessions...)
+	conns := make([]transport.SourceConn, len(sessions))
+	for i, ss := range sessions {
 		conns[i] = ss.dest.Conn
 	}
 	s.mu.Unlock()
@@ -297,7 +561,7 @@ func (s *Source) Close() error {
 			err = cerr
 		}
 	}
-	for _, ss := range s.sessions {
+	for _, ss := range sessions {
 		<-ss.done
 	}
 	return err

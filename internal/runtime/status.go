@@ -50,7 +50,7 @@ func (c *Cache) Status(sample int) Status {
 		Misrouted:  st.Misrouted,
 		Rejected:   st.Rejected,
 		Divergence: st.Divergence,
-		Bandwidth:  c.cfg.Bandwidth,
+		Bandwidth:  c.Bandwidth(),
 		Shards:     len(c.shards),
 		ApplyRate:  c.ApplyRate(),
 	}

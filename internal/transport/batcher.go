@@ -27,7 +27,9 @@ type BatcherConfig struct {
 // then closes the underlying connection.
 //
 // A flush error is returned to the send that triggered it; errors from
-// timer-driven flushes are sticky and surface on the next send.
+// timer-driven flushes are sticky and surface on the next send — until a
+// later flush succeeds, which clears the error (a delivered batch proves
+// the connection recovered, so new sends must be accepted again).
 //
 // Durability caveat: through a Batcher, a nil SendRefresh/SendBatch return
 // means "accepted for batching", not "delivered" — a caller that commits
@@ -110,8 +112,15 @@ func (b *batcher) append(rs []wire.Refresh) error {
 // A failed batch is re-buffered (in order) rather than discarded: callers
 // that were told their refresh was accepted must not lose it to a flush
 // that failed after the fact, so the batch stays pending for later flush
-// attempts — including the final one in Close. Growth is bounded: once the
-// sticky error is set, new sends are rejected before buffering.
+// attempts — including the final one in Close. Growth is bounded: while
+// the sticky error is set, new sends are rejected before buffering.
+//
+// A successful flush clears the sticky error: every flush drains the whole
+// pending buffer (a failed batch re-prepends to it), so success proves the
+// re-buffered backlog reached the connection and the transient fault is
+// over. Without the clear, one failed timer-driven flush would poison the
+// Batcher permanently — every future send erroring on a healthy connection
+// (and, without a Redial hook, wedging the owning session forever).
 func (b *batcher) flush() error {
 	b.flushMu.Lock()
 	defer b.flushMu.Unlock()
@@ -131,6 +140,9 @@ func (b *batcher) flush() error {
 		b.mu.Unlock()
 		return err
 	}
+	b.mu.Lock()
+	b.err = nil
+	b.mu.Unlock()
 	return nil
 }
 

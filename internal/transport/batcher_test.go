@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -216,6 +217,89 @@ func TestBatcherReBuffersFailedFlush(t *testing.T) {
 		if !reflect.DeepEqual(r, want[i]) {
 			t.Errorf("refresh %d = %+v, want %+v (order must be preserved)", i, r, want[i])
 		}
+	}
+}
+
+// syncedFlakyConn is a concurrency-safe flakyBatchConn for tests that let
+// the Batcher's timer goroutine drive the flushes.
+type syncedFlakyConn struct {
+	mu       sync.Mutex
+	failures int
+	batches  [][]wire.Refresh
+	fb       chan wire.Feedback
+}
+
+func (c *syncedFlakyConn) SendRefresh(r wire.Refresh) error {
+	return c.SendBatch([]wire.Refresh{r})
+}
+
+func (c *syncedFlakyConn) SendBatch(rs []wire.Refresh) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failures > 0 {
+		c.failures--
+		return fmt.Errorf("flaky: injected failure")
+	}
+	c.batches = append(c.batches, append([]wire.Refresh(nil), rs...))
+	return nil
+}
+
+func (c *syncedFlakyConn) delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func (c *syncedFlakyConn) Feedback() <-chan wire.Feedback { return c.fb }
+func (c *syncedFlakyConn) Close() error                   { return nil }
+
+// TestBatcherRecoversAfterTransientFlushError is the regression test for
+// the permanently poisoned Batcher: a failed timer-driven flush set the
+// sticky error, but a later successful retry of the re-buffered batch
+// never cleared it, so every future send failed on a healthy connection.
+// After the transient failure heals, sends must flow again.
+func TestBatcherRecoversAfterTransientFlushError(t *testing.T) {
+	conn := &syncedFlakyConn{failures: 1, fb: make(chan wire.Feedback)}
+	// Large MaxBatch so only the timer drives flushes: the failure and the
+	// recovery both happen on the background path, never surfacing to a
+	// send that could be retried by the caller.
+	b := NewBatcher(conn, BatcherConfig{MaxBatch: 1000, FlushEvery: 2 * time.Millisecond})
+	defer b.Close()
+	first := refreshes("s1", 1)[0]
+	if err := b.SendRefresh(first); err != nil {
+		t.Fatalf("initial send rejected: %v", err)
+	}
+	// The first timer flush fails (sticky error set); the next retries the
+	// re-buffered batch and succeeds.
+	deadline := time.Now().Add(2 * time.Second)
+	for conn.delivered() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-buffered batch never delivered after the transient failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The connection is healthy and the backlog is drained: a new send
+	// must be accepted, not rejected with the stale sticky error.
+	var err error
+	for range [50]int{} {
+		if err = b.SendRefresh(refreshes("s1", 2)[1]); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("send still failing after a successful retry flush: %v", err)
+	}
+	waitDeadline := time.Now().Add(2 * time.Second)
+	for conn.delivered() < 2 {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("post-recovery refresh never delivered (%d total)", conn.delivered())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
