@@ -12,6 +12,21 @@
 // feedback it sends, so fan-out sources (sourceagent -caches) can attribute
 // feedback to the right sync session and report which cache answered.
 //
+// # Sync policy (-mode)
+//
+// By default the cache runs the paper's source-cooperative PUSH policy:
+// sources decide what to send. With -mode poll|ideal|cgm1|cgm2 the cache
+// instead runs the Cho & Garcia-Molina cache-driven baseline (§6.3): it
+// discovers the object universe from connected sources, assigns each object
+// a poll frequency from the freshness-optimal allocation, and polls — the
+// sources (sourceagent -mode with the same value) only answer. The same
+// -bandwidth is the message budget either way (a practical-mode poll costs
+// two messages per refresh; ideal costs one), so push-vs-poll comparisons
+// at equal budget work on live daemons. -resolve-every sets the
+// re-estimation epoch; -poll-rate supplies ideal mode's assumed per-object
+// update rate (ideal without it falls back to CGM1's estimates). Relay mode
+// requires the push policy.
+//
 // # Relay mode (cache→cache hierarchy)
 //
 // With -children the daemon becomes a middle tier: it still serves -addr as
@@ -38,6 +53,7 @@
 //	cachesyncd -addr :7400 -bandwidth 100 -shards 8
 //	cachesyncd -addr :7400 -children edge-a:7500,edge-b:7500=2 -child-bandwidth 60
 //	cachesyncd -addr :7400 -children edge-a:7500 -total-bandwidth 120 -rebalance 2s -http :7401
+//	cachesyncd -addr :7400 -mode cgm1 -bandwidth 100 -resolve-every 20s
 package main
 
 import (
@@ -62,6 +78,9 @@ func main() {
 	id := flag.String("id", "", "cache identifier stamped on feedback (default: the listen address)")
 	httpAddr := flag.String("http", "", "optional HTTP status address (e.g. :7401)")
 	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
+	mode := flag.String("mode", "push", "sync policy: push (source-cooperative) or poll|ideal|cgm1|cgm2 (cache-driven CGM baseline)")
+	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "poll modes: re-estimation/re-allocation epoch")
+	pollRate := flag.Float64("poll-rate", 0, "ideal mode: assumed per-object update rate (updates/s); 0 = fall back to CGM1 estimates")
 	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard apply-queue depth in batches")
 	children := flag.String("children", "", "comma-separated downstream cache addresses host:port[=weight] (relay mode: re-export applied refreshes)")
@@ -74,6 +93,10 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
 	flag.Parse()
 
+	policy, err := runtime.ParsePolicy(*mode)
+	if err != nil {
+		log.Fatalf("cachesyncd: -mode: %v", err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("cachesyncd: %v", err)
@@ -97,6 +120,9 @@ func main() {
 		return transport.NewBatcher(conn, transport.BatcherConfig{})
 	}
 	if *children != "" {
+		if policy.CacheDriven() {
+			log.Fatalf("cachesyncd: relay mode requires -mode push (got %v)", policy)
+		}
 		addrs, weights, err := destspec.Parse(*children)
 		if err != nil {
 			log.Fatalf("cachesyncd: -children: %v", err)
@@ -136,14 +162,21 @@ func main() {
 		log.Printf("cachesyncd %s: relay tier on %s, bandwidth %.1f msgs/s up / %.1f msgs/s down to %d children, shards=%d",
 			relay.ID(), ln.Addr(), rst.UpBandwidth, rst.DownBandwidth, len(dests), cache.Shards())
 	} else {
+		pollCfg := runtime.PollConfig{ReSolveEvery: *resolveEvery}
+		if *pollRate > 0 {
+			rate := *pollRate
+			pollCfg.TrueRate = func(string) float64 { return rate }
+		}
 		cache = runtime.NewCache(runtime.CacheConfig{
 			ID:         *id,
 			Bandwidth:  *bw,
 			Shards:     *shards,
 			ShardQueue: *queue,
+			Policy:     policy,
+			Poll:       pollCfg,
 		}, ep)
-		log.Printf("cachesyncd %s: listening on %s, bandwidth %.1f msgs/s, shards=%d",
-			cache.ID(), ln.Addr(), *bw, cache.Shards())
+		log.Printf("cachesyncd %s: listening on %s, policy %v, bandwidth %.1f msgs/s, shards=%d",
+			cache.ID(), ln.Addr(), policy, *bw, cache.Shards())
 	}
 	if *snapshotPath != "" {
 		if err := cache.LoadSnapshotFile(*snapshotPath); err != nil {
@@ -207,6 +240,11 @@ func main() {
 			return
 		case <-ticker.C:
 			st := cache.Stats()
+			if policy.CacheDriven() {
+				fmt.Printf("objects=%d sources=%d refreshes=%d polls=%d replies=%d resolves=%d stale=%d rate=%.1f/s\n",
+					cache.Len(), st.Sources, st.Refreshes, st.Polls, st.PollReplies, st.Resolves, st.Stale, cache.ApplyRate())
+				continue
+			}
 			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d stale=%d rate=%.1f/s\n",
 				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
 			if relay != nil {

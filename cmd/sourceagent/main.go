@@ -26,10 +26,19 @@
 //	POST /caches/remove?addr=host:port           stop it, re-divide the budget
 //	GET  /status                                 source stats as JSON
 //
+// # Sync policy (-mode)
+//
+// By default the agent runs the paper's source-cooperative PUSH policy.
+// With -mode poll|ideal|cgm1|cgm2 it instead ANSWERS cache-driven polls
+// from its local store (pair with a cachesyncd running the same -mode): no
+// thresholds, no pushes — the cache decides what to ask and when, and the
+// agent's replies are paced by the same per-session share of -bandwidth.
+//
 // Examples:
 //
 //	sourceagent -addr localhost:7400 -id sensor-7 -objects 50 -rate 2 -bandwidth 10 -batch 64
 //	sourceagent -caches cache-a:7400,cache-b:7400=2 -id sensor-7 -bandwidth 30 -rebalance 2s -http :7411
+//	sourceagent -addr localhost:7400 -mode cgm1 -objects 50 -rate 2 -bandwidth 40
 package main
 
 import (
@@ -58,6 +67,7 @@ func main() {
 	objects := flag.Int("objects", 20, "number of local objects")
 	rate := flag.Float64("rate", 1, "total updates per second across all objects")
 	bw := flag.Float64("bandwidth", 10, "source-side send budget (messages/second), shared across all caches")
+	mode := flag.String("mode", "push", "sync policy: push (source-initiated refreshes) or poll|ideal|cgm1|cgm2 (answer cache-driven polls; pair with cachesyncd -mode)")
 	batch := flag.Int("batch", 64, "max refreshes per wire batch (1 = no coalescing)")
 	flush := flag.Duration("flush", 5*time.Millisecond, "max time a partial batch may wait")
 	rebalance := flag.Duration("rebalance", 0, "periodic share re-allocation interval from observed feedback/divergence (0 = static shares)")
@@ -66,6 +76,10 @@ func main() {
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	flag.Parse()
 
+	policy, err := runtime.ParsePolicy(*mode)
+	if err != nil {
+		log.Fatalf("sourceagent: -mode: %v", err)
+	}
 	addrs := []string{*addr}
 	weights := []float64{0}
 	if *caches != "" {
@@ -97,12 +111,13 @@ func main() {
 		Metric:    metric.ValueDeviation,
 		Bandwidth: *bw,
 		Rebalance: *rebalance,
+		Policy:    policy,
 	}, dests)
 	if err != nil {
 		log.Fatalf("sourceagent: %v", err)
 	}
-	log.Printf("sourceagent %s: %d objects, %.2g updates/s, %.2g msgs/s to %s",
-		*id, *objects, *rate, *bw, strings.Join(addrs, ", "))
+	log.Printf("sourceagent %s: policy %v, %d objects, %.2g updates/s, %.2g msgs/s to %s",
+		*id, policy, *objects, *rate, *bw, strings.Join(addrs, ", "))
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -158,6 +173,11 @@ func main() {
 			src.Update(fmt.Sprintf("%s/obj-%d", *id, i), values[i])
 		case <-stats.C:
 			st := src.Stats()
+			if policy.CacheDriven() {
+				fmt.Printf("updates=%d polls_answered=%d reply_items=%d errors=%d\n",
+					st.Updates, st.PollsAnswered, st.Refreshes, st.SendErrors)
+				continue
+			}
 			fmt.Printf("updates=%d refreshes=%d feedback=%d errors=%d pending=%d rebalances=%d threshold=%.4g\n",
 				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Rebalances, st.Threshold)
 			if len(st.Sessions) > 1 {

@@ -89,15 +89,21 @@ type benchNode struct {
 
 // newBenchNode starts a cache node on the requested transport.
 func newBenchNode(tcp bool, id string, bandwidth float64) benchNode {
+	return newBenchNodeCfg(tcp, runtime.CacheConfig{
+		ID: id, Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
+	})
+}
+
+// newBenchNodeCfg starts a cache node from a full CacheConfig (the policy
+// benchmark needs Policy/Poll set; the other benches use the defaults).
+func newBenchNodeCfg(tcp bool, cfg runtime.CacheConfig) benchNode {
 	if tcp {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			panic(err)
 		}
 		ep := transport.Serve(ln, 64)
-		cache := runtime.NewCache(runtime.CacheConfig{
-			ID: id, Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
-		}, ep)
+		cache := runtime.NewCache(cfg, ep)
 		addr := ln.Addr().String()
 		return benchNode{
 			cache: cache,
@@ -112,9 +118,7 @@ func newBenchNode(tcp bool, id string, bandwidth float64) benchNode {
 		}
 	}
 	local := transport.NewLocal(64)
-	cache := runtime.NewCache(runtime.CacheConfig{
-		ID: id, Bandwidth: bandwidth, Tick: 10 * time.Millisecond,
-	}, local)
+	cache := runtime.NewCache(cfg, local)
 	return benchNode{
 		cache: cache,
 		dial: func(srcID string) transport.SourceConn {

@@ -45,6 +45,14 @@
 // destination churn (a cache leaves mid-run, a fresh one joins and is
 // re-synchronized). The -caches, -objects, -rate, -bandwidth and -duration
 // flags tune it. Results are also written to BENCH_dynamic.json.
+//
+// With -policy syncbench runs the live analogue of Figure 6 (§6.3): one
+// source and one cache synchronize the same workload under each sync
+// policy — source-cooperative push, ideal cache-based polling, CGM1 and
+// CGM2 — at equal message budget over both transports, reporting installed
+// refreshes, total messages and final mean divergence per policy. The
+// -objects, -rate, -bandwidth, -duration and -resolve-every flags tune it.
+// Results are also written to BENCH_policy.json.
 package main
 
 import (
@@ -78,8 +86,14 @@ func main() {
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
 	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
 	dynamic := flag.Bool("dynamic", false, "benchmark static vs adaptive share allocation under skewed and churning destinations instead of experiments")
+	policy := flag.Bool("policy", false, "benchmark the sync policies (push vs ideal/CGM1/CGM2 cache-driven polling) at equal message budget instead of experiments")
+	resolveEvery := flag.Duration("resolve-every", 500*time.Millisecond, "policy mode: poll re-estimation/re-allocation epoch")
 	flag.Parse()
 
+	if *policy {
+		runPolicyMode(*tpObjects, *fanRate, *fanBW, *tpDur, *resolveEvery)
+		return
+	}
 	if *dynamic {
 		runDynamicMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
 		return

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+)
+
+// policyResult is one measured (policy, transport) cell of the live
+// push-vs-poll comparison — the wall-clock analogue of Figure 6 (§6.3).
+type policyResult struct {
+	Scenario       string  `json:"scenario"` // <policy>-<transport>
+	Policy         string  `json:"policy"`   // push | ideal | cgm1 | cgm2
+	Transport      string  `json:"transport"`
+	Objects        int     `json:"objects"`
+	DurationS      float64 `json:"duration_s"`
+	BandwidthMsgsS float64 `json:"bandwidth_msgs_per_s"`
+	MsgCost        float64 `json:"msg_cost_per_refresh"`
+	Updates        int     `json:"updates"`
+	// Refreshes counts values actually installed at the cache.
+	Refreshes int `json:"refreshes"`
+	// Messages counts everything on the wire: refreshes + feedback for
+	// push; poll requests + reply items for the cache-driven modes.
+	Messages int     `json:"messages"`
+	MsgsPerS float64 `json:"msgs_per_s"`
+	// Poll-mode extras (zero for push).
+	Polls          int     `json:"polls,omitempty"`
+	Resolves       int     `json:"resolves,omitempty"`
+	MeanDivergence float64 `json:"mean_divergence"`
+}
+
+// policySweep is the policy order of the sweep (and of Figure 6's curves).
+var policySweep = []runtime.Policy{
+	runtime.PolicyPush, runtime.PolicyIdeal, runtime.PolicyCGM1, runtime.PolicyCGM2,
+}
+
+// runPolicyMode runs the live §6.3 comparison: one source, one cache, the
+// same paced random-walk workload and the same message budget for every
+// policy, over both transports. The paper's claim under test is the
+// ordering — source-cooperative push should end no more diverged than the
+// CGM polling baselines at equal budget (polls pay a 2-message round trip
+// and estimate rates; push pays 1 message and KNOWS what changed). Results
+// go to stdout and BENCH_policy.json.
+func runPolicyMode(objects int, rate, bandwidth float64, duration, resolveEvery time.Duration) {
+	fmt.Printf("# sync policies: 1 source -> 1 cache, %d objects, %.0f updates/s, %.0f msgs/s budget, %s per scenario, re-solve %s\n\n",
+		objects, rate, bandwidth, duration, resolveEvery)
+	fmt.Printf("%-12s %6s %10s %12s %10s %10s %16s\n",
+		"scenario", "cost", "updates", "refreshes", "messages", "msgs/s", "mean divergence")
+	var results []policyResult
+	divergence := map[string]float64{}
+	for _, tcp := range []bool{false, true} {
+		for _, policy := range policySweep {
+			r := measurePolicy(tcp, policy, objects, rate, bandwidth, duration, resolveEvery)
+			results = append(results, r)
+			divergence[r.Scenario] = r.MeanDivergence
+			fmt.Printf("%-12s %6.0f %10d %12d %10d %10.1f %16.4f\n",
+				r.Scenario, r.MsgCost, r.Updates, r.Refreshes, r.Messages, r.MsgsPerS, r.MeanDivergence)
+		}
+	}
+	fmt.Println()
+	for _, transport := range []string{"local", "tcp"} {
+		push := divergence["push-"+transport]
+		for _, cgm := range []string{"cgm1", "cgm2"} {
+			poll := divergence[cgm+"-"+transport]
+			verdict := "push wins (paper §6.3 ordering)"
+			if push > poll {
+				verdict = "ORDERING VIOLATED"
+			}
+			fmt.Printf("# %s: push %.4f vs %s %.4f — %s\n", transport, push, cgm, poll, verdict)
+		}
+	}
+	if err := writeBenchJSON("BENCH_policy.json", results); err != nil {
+		fmt.Printf("syncbench: writing BENCH_policy.json: %v\n", err)
+		return
+	}
+	fmt.Println("\nwrote BENCH_policy.json")
+}
+
+// measurePolicy runs one (policy, transport) cell and audits the cache
+// against the canonical values.
+func measurePolicy(tcp bool, policy runtime.Policy, objects int, rate, bandwidth float64, duration, resolveEvery time.Duration) policyResult {
+	transportName := "local"
+	if tcp {
+		transportName = "tcp"
+	}
+	res := policyResult{
+		Scenario:       policy.String() + "-" + transportName,
+		Policy:         policy.String(),
+		Transport:      transportName,
+		Objects:        objects,
+		BandwidthMsgsS: bandwidth,
+		MsgCost:        policy.MessageCost(),
+	}
+
+	// The cache's message budget is the comparison axis; the paced walk
+	// spreads `rate` uniformly, so ideal mode's known λ is rate/objects.
+	perObjRate := rate / float64(objects)
+	node := newBenchNodeCfg(tcp, runtime.CacheConfig{
+		ID:        "policy-cache",
+		Bandwidth: bandwidth,
+		Tick:      10 * time.Millisecond,
+		Policy:    policy,
+		Poll: runtime.PollConfig{
+			ReSolveEvery: resolveEvery,
+			Seed:         1,
+			TrueRate:     func(string) float64 { return perObjRate },
+		},
+	})
+	// The source-side budget: B for push (it is the sender), effectively
+	// unconstrained for the cache-driven modes — the CGM model assumes no
+	// source-side limit, only cache-side capacity (internal/cgm.Config),
+	// and the cache's charged polls already bound the message total.
+	srcBW := bandwidth
+	if policy.CacheDriven() {
+		srcBW = bandwidth * 10
+	}
+	src := runtime.NewSource(runtime.SourceConfig{
+		ID:        "bench-policy",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: srcBW,
+		Tick:      10 * time.Millisecond,
+		Policy:    policy,
+	}, node.dial("bench-policy"))
+
+	values, elapsed := pacedRandomWalk(src, "bench-policy", objects, rate, duration)
+	res.DurationS = elapsed
+
+	cs := node.cache.Stats()
+	st := src.Stats()
+	res.Updates = st.Updates
+	res.Refreshes = cs.Refreshes
+	if policy.CacheDriven() {
+		res.Polls = cs.Polls
+		res.Resolves = cs.Resolves
+		// Replies always count; requests count only for the practical
+		// modes — §6.3's ideal assumes free requests, and the budget
+		// charged them that way.
+		res.Messages = cs.PollReplies + int(policy.MessageCost()-1)*cs.Polls
+	} else {
+		res.Messages = st.Refreshes + cs.Feedbacks
+	}
+	res.MsgsPerS = float64(res.Messages) / elapsed
+	res.MeanDivergence = meanAbsDivergence(node.cache, "bench-policy", values)
+
+	src.Close()
+	node.cleanup()
+	return res
+}

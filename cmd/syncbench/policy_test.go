@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPolicyBenchSchema is the CI smoke for -policy: a short sweep must run
+// every policy over both transports and emit a BENCH_policy.json that
+// parses with exactly the documented schema (docs/operations.md) — unknown
+// fields in the file mean the docs lag the code, a decode error means the
+// reverse.
+func TestPolicyBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runPolicyMode(24, 400, 120, 900*time.Millisecond, 300*time.Millisecond)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_policy.json"))
+	if err != nil {
+		t.Fatalf("BENCH_policy.json not written: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var results []policyResult
+	if err := dec.Decode(&results); err != nil {
+		t.Fatalf("BENCH_policy.json does not match the documented schema: %v", err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d scenarios, want 8 (4 policies × 2 transports)", len(results))
+	}
+	want := map[string]float64{} // scenario → msg cost
+	for _, transport := range []string{"local", "tcp"} {
+		want["push-"+transport] = 1
+		want["ideal-"+transport] = 1
+		want["cgm1-"+transport] = 2
+		want["cgm2-"+transport] = 2
+	}
+	for _, r := range results {
+		cost, ok := want[r.Scenario]
+		if !ok {
+			t.Errorf("unexpected scenario %q", r.Scenario)
+			continue
+		}
+		delete(want, r.Scenario)
+		if r.MsgCost != cost {
+			t.Errorf("%s: msg cost = %v, want %v", r.Scenario, r.MsgCost, cost)
+		}
+		if r.Objects != 24 || r.BandwidthMsgsS != 120 {
+			t.Errorf("%s: config = %d objects / %.0f msgs/s", r.Scenario, r.Objects, r.BandwidthMsgsS)
+		}
+		if r.DurationS <= 0 || r.Updates == 0 {
+			t.Errorf("%s: empty measurement (duration %v, updates %d)", r.Scenario, r.DurationS, r.Updates)
+		}
+		if r.Refreshes == 0 || r.Messages == 0 {
+			t.Errorf("%s: no traffic measured (refreshes %d, messages %d)", r.Scenario, r.Refreshes, r.Messages)
+		}
+		if r.Policy == "push" {
+			if r.Polls != 0 || r.Resolves != 0 {
+				t.Errorf("%s: push scenario recorded poll counters (%d/%d)", r.Scenario, r.Polls, r.Resolves)
+			}
+		} else {
+			if r.Polls == 0 {
+				t.Errorf("%s: poll scenario sent no polls", r.Scenario)
+			}
+			if r.Resolves == 0 {
+				t.Errorf("%s: poll scenario never re-solved", r.Scenario)
+			}
+		}
+	}
+	for missing := range want {
+		t.Errorf("scenario %q missing from BENCH_policy.json", missing)
+	}
+}

@@ -10,9 +10,11 @@
 //   - a live half (internal/runtime, internal/transport, internal/wire)
 //     that runs the same protocol over wall-clock time and TCP, with a
 //     sharded concurrent cache store, batched refresh framing, fan-out
-//     sources, and relay tiers (cache→cache hierarchy: a cache that
-//     re-exports applied refreshes to downstream children) for
-//     production-scale topologies.
+//     sources, relay tiers (cache→cache hierarchy: a cache that
+//     re-exports applied refreshes to downstream children), and a
+//     pluggable sync-policy layer (runtime.Policy: the paper's
+//     source-cooperative push, or the cache-driven CGM polling baselines
+//     of §6.3 run live) for production-scale topologies.
 //
 // Runnable entry points:
 //

@@ -94,6 +94,20 @@ type CacheConfig struct {
 	ShardQueue int
 	// Params tunes the threshold algorithm; zero means paper defaults.
 	Params core.Params
+	// Policy selects the synchronization policy this cache runs. The
+	// default, PolicyPush, is the paper's source-cooperative protocol: the
+	// cache consumes pushed refreshes and spends surplus budget on
+	// feedback. The cache-driven policies (ideal/cgm1/cgm2) instead start a
+	// poll scheduler that discovers the object universe from connected
+	// sources and polls each object at its cgm.OptimalAllocation frequency
+	// under the same Bandwidth, counted in messages (surplus feedback is
+	// disabled — the CGM baseline has none, and unaccounted feedback would
+	// skew equal-budget comparisons). Cache-driven policies require the
+	// endpoint to implement transport.PollEndpoint (both provided
+	// transports do); NewCache panics otherwise.
+	Policy Policy
+	// Poll tunes the cache-driven policies; ignored under PolicyPush.
+	Poll PollConfig
 	// OnApply, when non-nil, is called by the shard workers with every
 	// refresh that was actually installed into the store (stale drops are
 	// excluded), outside the shard lock. Refreshes for the same object are
@@ -120,26 +134,56 @@ type CacheConfig struct {
 // took (zero/empty for a copy received directly from its origin). Keeping
 // Via on the entry lets a relay restored from a snapshot re-export with the
 // original path intact, so the loop guard still holds across restarts.
+// OriginEpoch/OriginVersion preserve the origin's own version axis for
+// relayed copies (zero when direct — Epoch/Version then ARE the origin
+// axis); they are what makes a copy comparable to a re-export from a
+// DIFFERENT incarnation of the same relay, which re-issues Epoch/Version.
 type Entry struct {
-	Value     float64
-	Version   uint64
-	Epoch     int64 // source incarnation the version belongs to
-	Source    string
-	Origin    string
-	Hops      int
-	Via       []string
-	Refreshed time.Time
+	Value         float64
+	Version       uint64
+	Epoch         int64 // source incarnation the version belongs to
+	Source        string
+	Origin        string
+	OriginEpoch   int64
+	OriginVersion uint64
+	Hops          int
+	Via           []string
+	Refreshed     time.Time
 }
 
-// CacheStats counts protocol activity.
+// OriginID returns the node the cached value was first produced on.
+func (e Entry) OriginID() string {
+	if e.Origin != "" {
+		return e.Origin
+	}
+	return e.Source
+}
+
+// OriginAxis returns the (epoch, version) the value had at its origin —
+// the explicit origin-axis fields for a relayed copy, the sender's own
+// Epoch/Version for a direct one (mirrors wire.Refresh.OriginAxis).
+func (e Entry) OriginAxis() (epoch int64, version uint64) {
+	if e.OriginEpoch != 0 {
+		return e.OriginEpoch, e.OriginVersion
+	}
+	return e.Epoch, e.Version
+}
+
+// CacheStats counts protocol activity. The poll counters are zero under the
+// push policy; Refreshes counts installed values under every policy (a poll
+// reply item that changed the store counts exactly like an applied push
+// refresh).
 type CacheStats struct {
-	Refreshes  int
-	Feedbacks  int
-	Sources    int
-	Stale      int     // refreshes dropped as stale duplicates or old epochs
-	Misrouted  int     // refreshes whose advisory CacheID named another cache
-	Rejected   int     // refreshes dropped by the CacheConfig.Reject filter
-	Divergence float64 // cumulative |Δvalue| absorbed by applied refreshes
+	Refreshes   int
+	Feedbacks   int
+	Sources     int
+	Stale       int     // refreshes dropped as stale duplicates or old epochs
+	Misrouted   int     // refreshes whose advisory CacheID named another cache
+	Rejected    int     // refreshes dropped by the CacheConfig.Reject filter
+	Divergence  float64 // cumulative |Δvalue| absorbed by applied refreshes
+	Polls       int     // poll request messages sent (cache-driven policies)
+	PollReplies int     // poll-reply messages received (per targeted item; one per discovery listing)
+	Resolves    int     // completed cgm allocation solves
 }
 
 // shardStats is the per-shard slice of CacheStats, owned by the shard's
@@ -156,12 +200,20 @@ type shard struct {
 	store map[string]Entry
 	stats shardStats
 	queue chan []wire.Refresh
+	// acks buffers held-version acknowledgements per sender — the origin
+	// axis of entries this shard applied from relayed refreshes, or held
+	// on to while dropping a sender's stale re-send. The dispatcher's
+	// surplus-feedback pass drains them onto outgoing wire.Feedback.Held
+	// (bounded per message), so senders learn what this cache already
+	// holds and skip the rest. Lazily allocated; nil until the first ack.
+	acks map[string]map[string]wire.HeldVersion
 }
 
 // Cache is a live cache node.
 type Cache struct {
 	cfg    CacheConfig
 	ep     transport.CacheEndpoint
+	ps     *pollScheduler // non-nil for cache-driven policies
 	shards []*shard
 	seed   maphash.Seed
 
@@ -242,6 +294,14 @@ func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
 		c.wg.Add(1)
 		go c.worker(c.shards[i])
 	}
+	if cfg.Policy.CacheDriven() {
+		pe, ok := ep.(transport.PollEndpoint)
+		if !ok {
+			panic("runtime: a cache-driven policy requires a transport.PollEndpoint (both provided transports implement it)")
+		}
+		c.ps = newPollScheduler(c, pe, cfg.Poll)
+		go c.ps.loop()
+	}
 	go c.loop()
 	return c
 }
@@ -297,8 +357,18 @@ func (c *Cache) Stats() CacheStats {
 	s.Misrouted = c.misrouted
 	s.Rejected = c.rejected
 	c.mu.Unlock()
+	if c.ps != nil {
+		s.Polls, s.PollReplies, s.Resolves = c.ps.snapshotCounters()
+		// The source intern table is push machinery (fed by piggybacked
+		// thresholds); under a poll policy the connected set is the
+		// meaningful count.
+		s.Sources = len(c.ep.Sources())
+	}
 	return s
 }
+
+// Policy returns the synchronization policy this cache runs.
+func (c *Cache) Policy() Policy { return c.cfg.Policy }
 
 // ID returns the cache's configured identifier.
 func (c *Cache) ID() string { return c.cfg.ID }
@@ -344,6 +414,11 @@ func (c *Cache) Close() error {
 	}
 	close(c.stop)
 	<-c.done
+	if c.ps != nil {
+		// The poll scheduler also feeds the shard queues (installPolled);
+		// closing them under its feet would panic a send racing shutdown.
+		<-c.ps.done
+	}
 	for _, sh := range c.shards {
 		close(sh.queue)
 	}
@@ -423,8 +498,13 @@ func (c *Cache) loop() {
 			// Surplus → positive feedback to highest-threshold sources,
 			// but only when truly drained: nothing waiting at the intake
 			// and nothing still queued for the shard workers. A backlogged
-			// apply path must not advertise spare capacity.
-			if len(batches) == 0 && c.outstanding.Load() == 0 && budget >= 1 {
+			// apply path must not advertise spare capacity. Cache-driven
+			// policies send none: feedback is push machinery, the CGM
+			// baseline has no analogue, and unaccounted feedback messages
+			// would skew equal-budget policy comparisons (the poll
+			// scheduler owns the whole message budget there).
+			if !c.cfg.Policy.CacheDriven() &&
+				len(batches) == 0 && c.outstanding.Load() == 0 && budget >= 1 {
 				budget -= float64(c.sendFeedback(int(budget)))
 			}
 			c.maybeMergeStats()
@@ -476,13 +556,29 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 			return
 		}
 	}
-	c.outstanding.Add(int64(len(b.Refreshes)))
+	c.fanout(b.Refreshes)
+}
+
+// installPolled is the poll scheduler's entry into the apply path: the
+// refreshes built from a poll reply's items take the same sharded route —
+// staleness guards, divergence accounting, OnApply — as pushed ones, but
+// bypass the push-protocol observation (poll replies piggyback no
+// thresholds and name no advisory destination).
+func (c *Cache) installPolled(rs []wire.Refresh) {
+	c.fanout(rs)
+}
+
+// fanout routes refreshes to their owning shards' apply queues, tracking
+// them as outstanding until the workers drain them. Shard-queue sends block
+// when a worker is behind (back-pressure) but abort on shutdown.
+func (c *Cache) fanout(rs []wire.Refresh) {
+	c.outstanding.Add(int64(len(rs)))
 	if len(c.shards) == 1 {
-		c.enqueue(c.shards[0], b.Refreshes)
+		c.enqueue(c.shards[0], rs)
 		return
 	}
 	parts := make([][]wire.Refresh, len(c.shards))
-	for _, r := range b.Refreshes {
+	for _, r := range rs {
 		i := c.shardIndex(r.ObjectID)
 		parts[i] = append(parts[i], r)
 	}
@@ -509,7 +605,7 @@ func (c *Cache) worker(sh *shard) {
 		var applied []wire.Refresh
 		sh.mu.Lock()
 		for _, r := range rs {
-			if applyLocked(sh, r, now) && c.cfg.OnApply != nil {
+			if c.applyLocked(sh, r, now) && c.cfg.OnApply != nil {
 				applied = append(applied, r)
 			}
 		}
@@ -523,7 +619,7 @@ func (c *Cache) worker(sh *shard) {
 
 // applyLocked installs one refresh into the shard store, reporting whether
 // it was applied (false = dropped as stale). Caller holds sh.mu.
-func applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
+func (c *Cache) applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
 	cur, ok := sh.store[r.ObjectID]
 	// The (epoch, version) staleness guard is per sender: epochs from
 	// different nodes are incomparable wall-clock starts, so comparing
@@ -539,10 +635,29 @@ func applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
 			// and, at a relay, re-broadcast it to every child. Reconnect
 			// re-sends from a peer that never restarted land here.
 			sh.stats.stale++
+			c.recordAckLocked(sh, r.SourceID, r.ObjectID, cur)
 			return false
 		}
 		if r.Epoch < cur.Epoch {
 			sh.stats.stale++ // message from a superseded incarnation
+			c.recordAckLocked(sh, r.SourceID, r.ObjectID, cur)
+			return false
+		}
+	}
+	// The origin-axis staleness guard closes the gap the per-sender guard
+	// cannot: a relay RESTART re-issues a fresh sender epoch, so its
+	// re-export of a snapshot-age value would pass the guard above and
+	// regress a cache that was ahead of the snapshot. The origin's own
+	// (epoch, version) is preserved unchanged across hops and incarnations,
+	// so for two copies from the SAME origin it is always comparable — an
+	// at-or-behind copy is dropped no matter which sender incarnation
+	// delivered it. Different origins stay last-writer-wins as before.
+	if ok && r.OriginID() == cur.OriginID() {
+		re, rv := r.OriginAxis()
+		ce, cv := cur.OriginAxis()
+		if re < ce || (re == ce && rv <= cv) {
+			sh.stats.stale++
+			c.recordAckLocked(sh, r.SourceID, r.ObjectID, cur)
 			return false
 		}
 	}
@@ -562,12 +677,66 @@ func applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
 		Via:       r.Via,
 		Refreshed: now,
 	}
-	if r.Origin != r.SourceID {
-		entry.Origin = r.Origin // empty when the sender is the origin
+	if r.Origin != "" && r.Origin != r.SourceID {
+		entry.Origin = r.Origin
+		entry.OriginEpoch = r.OriginEpoch
+		entry.OriginVersion = r.OriginVersion
+		// Applied relayed copies are acknowledged too: the ack lets the
+		// relay skip re-sending them after ITS restart (direct senders
+		// need no apply-path ack — their re-sends fall into the stale
+		// branches above, which ack on the spot — so the single-tier hot
+		// path stays map-free).
+		c.recordAckLocked(sh, r.SourceID, r.ObjectID, entry)
 	}
 	sh.store[r.ObjectID] = entry
 	sh.stats.refreshes++
 	return true
+}
+
+// recordAckLocked buffers a held-version acknowledgement toward sender:
+// "for this object I hold held's origin-axis version". No-op under
+// cache-driven policies — they send no feedback to carry the acks. Caller
+// holds sh.mu.
+func (c *Cache) recordAckLocked(sh *shard, sender, objectID string, held Entry) {
+	if c.cfg.Policy.CacheDriven() {
+		return
+	}
+	e, v := held.OriginAxis()
+	if sh.acks == nil {
+		sh.acks = map[string]map[string]wire.HeldVersion{}
+	}
+	m := sh.acks[sender]
+	if m == nil {
+		m = map[string]wire.HeldVersion{}
+		sh.acks[sender] = m
+	}
+	m[objectID] = wire.HeldVersion{ObjectID: objectID, Epoch: e, Version: v}
+}
+
+// maxHeldPerFeedback bounds the held-version acks piggybacked on one
+// feedback message; the excess stays buffered for the next one.
+const maxHeldPerFeedback = 256
+
+// takeAcks drains up to maxHeldPerFeedback buffered acks toward sourceID.
+func (c *Cache) takeAcks(sourceID string) []wire.HeldVersion {
+	var out []wire.HeldVersion
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if m := sh.acks[sourceID]; m != nil {
+			for obj, h := range m {
+				if len(out) >= maxHeldPerFeedback {
+					break
+				}
+				out = append(out, h)
+				delete(m, obj)
+			}
+		}
+		sh.mu.Unlock()
+		if len(out) >= maxHeldPerFeedback {
+			break
+		}
+	}
+	return out
 }
 
 // maybeMergeStats periodically folds the per-shard counters into the rate
@@ -618,8 +787,12 @@ func (c *Cache) sendFeedback(k int) int {
 	}
 	c.mu.Unlock()
 	sent := 0
-	fb := wire.Feedback{CacheID: c.cfg.ID, SentUnix: c.cfg.Now().UnixNano()}
+	now := c.cfg.Now().UnixNano()
 	for _, id := range ids {
+		// Piggyback pending held-version acks (best effort: a lost
+		// feedback loses its acks, and the origin-axis staleness guard —
+		// not the ack channel — is what guarantees no regression).
+		fb := wire.Feedback{CacheID: c.cfg.ID, Held: c.takeAcks(id), SentUnix: now}
 		if err := c.ep.SendFeedback(id, fb); err == nil {
 			sent++
 		}

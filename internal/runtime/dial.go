@@ -6,20 +6,26 @@ import (
 )
 
 // deadConn stands in for a destination that could not be dialed at
-// construction: every send fails and the feedback channel is already
-// closed, so the owning session falls straight into its redial-with-backoff
-// loop and connects once the peer comes up.
-type deadConn struct{ fb chan wire.Feedback }
+// construction: every send fails and the feedback (and poll) channels are
+// already closed, so the owning session falls straight into its
+// redial-with-backoff loop and connects once the peer comes up.
+type deadConn struct {
+	fb    chan wire.Feedback
+	polls chan wire.Poll
+}
 
 func newDeadConn() *deadConn {
-	c := &deadConn{fb: make(chan wire.Feedback)}
+	c := &deadConn{fb: make(chan wire.Feedback), polls: make(chan wire.Poll)}
 	close(c.fb)
+	close(c.polls)
 	return c
 }
 
 func (c *deadConn) SendRefresh(wire.Refresh) error { return transport.ErrClosed }
 func (c *deadConn) SendBatch([]wire.Refresh) error { return transport.ErrClosed }
 func (c *deadConn) Feedback() <-chan wire.Feedback { return c.fb }
+func (c *deadConn) Polls() <-chan wire.Poll        { return c.polls }
+func (c *deadConn) SendReply(wire.PollReply) error { return transport.ErrClosed }
 func (c *deadConn) Close() error                   { return nil }
 
 // DialDestinations dials every address and builds the fan-out destinations

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/transport"
+)
+
+// pollHarness is one cache-driven source↔cache pairing on either transport.
+type pollHarness struct {
+	cache   *Cache
+	src     *Source
+	cleanup func()
+}
+
+func newPollHarness(t *testing.T, tcp bool, policy Policy, objects int) *pollHarness {
+	t.Helper()
+	cacheCfg := CacheConfig{
+		ID:        "poll-cache",
+		Bandwidth: 4000,
+		Tick:      10 * time.Millisecond,
+		Policy:    policy,
+		Poll: PollConfig{
+			ReSolveEvery: 250 * time.Millisecond,
+			Seed:         1,
+			TrueRate:     func(string) float64 { return 5 },
+		},
+	}
+	srcCfg := SourceConfig{
+		ID:        "poll-src",
+		Metric:    metric.ValueDeviation,
+		Bandwidth: 4000,
+		Tick:      10 * time.Millisecond,
+		Policy:    policy,
+	}
+	var (
+		ep      transport.CacheEndpoint
+		conn    transport.SourceConn
+		cleanup func()
+	)
+	if tcp {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep = transport.Serve(ln, 64)
+		conn, err = transport.Dial(ln.Addr().String(), srcCfg.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		local := transport.NewLocal(64)
+		ep = local
+		var err error
+		conn, err = local.Dial(srcCfg.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewCache(cacheCfg, ep)
+	src := NewSource(srcCfg, conn)
+	cleanup = func() {
+		src.Close()
+		cache.Close()
+		ep.Close()
+	}
+	return &pollHarness{cache: cache, src: src, cleanup: cleanup}
+}
+
+// runPollWorkload updates the objects continuously for the window, then
+// waits for one more poll cycle so the final values are observable.
+func (h *pollHarness) runPollWorkload(objects int, window time.Duration) []float64 {
+	values := make([]float64, objects)
+	deadline := time.Now().Add(window)
+	step := 0
+	for time.Now().Before(deadline) {
+		i := step % objects
+		values[i] += 1
+		h.src.Update(fmt.Sprintf("poll-src/obj-%d", i), values[i])
+		step++
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond) // ≥ one poll period + apply drain
+	return values
+}
+
+func testPollPolicy(t *testing.T, tcp bool, policy Policy) {
+	const objects = 16
+	h := newPollHarness(t, tcp, policy, objects)
+	defer h.cleanup()
+
+	values := h.runPollWorkload(objects, 1200*time.Millisecond)
+
+	for i, want := range values {
+		id := fmt.Sprintf("poll-src/obj-%d", i)
+		e, ok := h.cache.Get(id)
+		if !ok {
+			t.Fatalf("%v: object %s never reached the cache", policy, id)
+		}
+		if e.Value != want {
+			t.Errorf("%v: object %s = %v, want %v (one poll period behind is a test bug, not a protocol one)",
+				policy, id, e.Value, want)
+		}
+	}
+
+	cs := h.cache.Stats()
+	if cs.Polls == 0 {
+		t.Errorf("%v: cache sent no polls", policy)
+	}
+	if cs.PollReplies == 0 {
+		t.Errorf("%v: cache received no poll replies", policy)
+	}
+	if cs.Resolves == 0 {
+		t.Errorf("%v: allocation never re-solved", policy)
+	}
+	if cs.Refreshes == 0 {
+		t.Errorf("%v: no values installed", policy)
+	}
+	if cs.Feedbacks != 0 {
+		t.Errorf("%v: cache sent %d feedback messages; cache-driven policies must send none", policy, cs.Feedbacks)
+	}
+
+	st := h.src.Stats()
+	if st.Policy != policy.String() {
+		t.Errorf("source policy = %q, want %q", st.Policy, policy)
+	}
+	if st.PollsAnswered == 0 {
+		t.Errorf("%v: source answered no polls", policy)
+	}
+	if st.Refreshes == 0 {
+		t.Errorf("%v: source delivered no reply items", policy)
+	}
+}
+
+func TestPollModeLocal(t *testing.T) {
+	for _, policy := range []Policy{PolicyIdeal, PolicyCGM1, PolicyCGM2} {
+		t.Run(policy.String(), func(t *testing.T) { testPollPolicy(t, false, policy) })
+	}
+}
+
+func TestPollModeTCP(t *testing.T) {
+	testPollPolicy(t, true, PolicyCGM1)
+}
+
+// TestPollPolicyRequiresPollConn pins the construction-time validation: a
+// cache-driven source must reject connections that cannot carry polls.
+func TestPollPolicyRequiresPollConn(t *testing.T) {
+	fc := newFakeConn()
+	_, err := NewFanoutSource(SourceConfig{
+		ID: "s", Policy: PolicyCGM1, Bandwidth: 10,
+	}, []Destination{{Conn: fc}})
+	if err == nil {
+		t.Fatal("poll-less connection accepted under a cache-driven policy")
+	}
+}
+
+// TestParsePolicy pins the -mode flag grammar.
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"push": PolicyPush, "": PolicyPush,
+		"poll": PolicyIdeal, "ideal": PolicyIdeal, "IDEAL": PolicyIdeal,
+		"cgm1": PolicyCGM1, "CGM2": PolicyCGM2,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("gossip"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if PolicyCGM1.MessageCost() != 2 || PolicyIdeal.MessageCost() != 1 || PolicyPush.MessageCost() != 1 {
+		t.Error("message costs drifted from the §6.3 model")
+	}
+}

@@ -77,6 +77,11 @@ type RelayStats struct {
 	Downstream SourceStats
 	// Forwarded counts applied refreshes re-exported as child updates.
 	Forwarded int
+	// SuppressedBatches counts apply batches whose re-export was skipped
+	// because the relay had no live children — the source-mutex round trip
+	// is not paid when nothing downstream would receive the updates. The
+	// first child to (re)attach is seeded from the store instead.
+	SuppressedBatches int
 	// Looped counts refreshes rejected at intake because this relay was
 	// already on their path (Via) or was their origin — the message
 	// crossed a topology cycle and came back. Mirrored in
@@ -128,6 +133,8 @@ type Relay struct {
 	forwarded  int
 	looped     int
 	hopLimited int
+	suppressed int  // apply batches not re-exported (no live children)
+	storeAhead bool // suppression happened: the source's objs lag the store
 	// Face-rebalance state (TotalBandwidth + Rebalance): smoothed
 	// contribution scores per face, the operator's configured split as
 	// base weights, and the observation-window marks.
@@ -152,6 +159,12 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 	}
 	if cfg.Cache.ID != "" || cfg.Cache.OnApply != nil || cfg.Cache.Reject != nil || cfg.Cache.Now != nil {
 		return nil, fmt.Errorf("runtime: RelayConfig.Cache.{ID,OnApply,Reject,Now} are owned by the relay; configure RelayConfig.ID/Now instead")
+	}
+	if cfg.Cache.Policy.CacheDriven() {
+		// A relay is push-to-push plumbing: its re-export hook rides the
+		// apply path of pushed refreshes, and its children are driven by a
+		// fan-out push source. Polling tiers are a separate deployment.
+		return nil, fmt.Errorf("runtime: relays support only the push policy (got %v)", cfg.Cache.Policy)
 	}
 	if cfg.TotalBandwidth > 0 {
 		// Shared face budget: unset faces default to half the total each;
@@ -228,7 +241,25 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 // running relay, re-dividing the child budget across all children; the new
 // child is synchronized from the relay's full store. See
 // Source.AddDestination.
-func (r *Relay) AddChild(d Destination) error { return r.src.AddDestination(d) }
+//
+// If re-exports were suppressed while the relay had no children, the
+// source's object set lags the store, so the store is re-exported once to
+// bring the child face back in step (for the value-deviation metric the
+// surviving children see no extra sends from this — their re-observed
+// divergence is zero).
+func (r *Relay) AddChild(d Destination) error {
+	if err := r.src.AddDestination(d); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	behind := r.storeAhead
+	r.storeAhead = false
+	r.mu.Unlock()
+	if behind {
+		r.ReexportStore()
+	}
+	return nil
+}
 
 // RemoveChild stops the session toward the child whose Destination.CacheID
 // is cacheID and re-divides the child budget across the survivors. See
@@ -316,6 +347,17 @@ func (r *Relay) rejectCycle(ref wire.Refresh) bool {
 // cycle the origin is the root source at every hop and never matches, but
 // the cycle's relays accumulate on Via, so the second visit is caught.
 func (r *Relay) reexport(applied []wire.Refresh) {
+	if r.src.LiveDestinations() == 0 {
+		// No live children: skip the source-mutex round trip entirely —
+		// today's apply batch has nobody to go to. The storeAhead flag
+		// makes AddChild seed the next child from the store, which has
+		// everything these suppressed batches carried.
+		r.mu.Lock()
+		r.suppressed++
+		r.storeAhead = true
+		r.mu.Unlock()
+		return
+	}
 	var looped, hopLimited int
 	updates := make([]RelayedUpdate, 0, len(applied))
 	for _, ref := range applied {
@@ -337,10 +379,11 @@ func (r *Relay) reexport(applied []wire.Refresh) {
 		}
 		via := make([]string, 0, len(ref.Via)+1)
 		via = append(append(via, ref.Via...), r.cfg.ID)
+		oe, ov := ref.OriginAxis() // preserved unchanged across every hop
 		updates = append(updates, RelayedUpdate{
 			ObjectID: ref.ObjectID,
 			Value:    ref.Value,
-			Prov:     Provenance{Origin: origin, Hops: hops + 1, Via: via},
+			Prov:     Provenance{Origin: origin, Hops: hops + 1, Via: via, Epoch: oe, Version: ov},
 		})
 	}
 	// One lock round-trip for the whole apply batch: shard workers must
@@ -367,27 +410,31 @@ func (r *Relay) reexport(applied []wire.Refresh) {
 // the snapshot one (the lock order shard→source is taken nowhere else in
 // reverse).
 //
-// Caveat: the snapshot is as old as its last save, and the re-export is
-// stamped with this incarnation's fresh epoch, so a child holding a value
-// newer than the snapshot regresses to the snapshot-age copy until the
-// upstream re-syncs the relay (the shipped daemons configure
-// Destination.Redial upstream, which fully re-sends on reconnect, bounding
-// the window; keep -snapshot-every short for relays). Child-side version
-// feedback that would avoid the regression entirely is a ROADMAP item.
+// Snapshot-age protection: the snapshot is as old as its last save, and
+// although each re-export carries this incarnation's fresh sender epoch, it
+// preserves the ORIGIN's version axis — so a child holding a newer value
+// drops the stale re-export at intake (the origin-axis staleness guard) and
+// acknowledges its held version on feedback (wire.Feedback.Held), which
+// cancels this relay's remaining queued re-sends for objects the child is
+// already at-or-ahead of (SessionStats.HeldSkips). The child never
+// regresses; the only waste is the re-exports that race ahead of its first
+// feedback.
 func (r *Relay) ReexportStore() {
 	for _, sh := range r.cache.shards {
 		sh.mu.Lock()
 		batch := make([]wire.Refresh, 0, len(sh.store))
 		for id, e := range sh.store {
 			batch = append(batch, wire.Refresh{
-				SourceID: e.Source,
-				ObjectID: id,
-				Origin:   e.Origin,
-				Hops:     e.Hops,
-				Via:      e.Via,
-				Value:    e.Value,
-				Version:  e.Version,
-				Epoch:    e.Epoch,
+				SourceID:      e.Source,
+				ObjectID:      id,
+				Origin:        e.Origin,
+				Hops:          e.Hops,
+				Via:           e.Via,
+				OriginEpoch:   e.OriginEpoch,
+				OriginVersion: e.OriginVersion,
+				Value:         e.Value,
+				Version:       e.Version,
+				Epoch:         e.Epoch,
 			})
 		}
 		if len(batch) > 0 {
@@ -421,6 +468,7 @@ func (r *Relay) Stats() RelayStats {
 	st.Forwarded = r.forwarded
 	st.Looped = r.looped
 	st.HopLimited = r.hopLimited
+	st.SuppressedBatches = r.suppressed
 	st.UpBandwidth = r.upBW
 	st.DownBandwidth = r.downBW
 	st.FaceRebalances = r.faceRebalances

@@ -534,6 +534,91 @@ func TestRelayReexportStore(t *testing.T) {
 	}
 }
 
+// TestRelaySuppressesReexportWithoutChildren: a relay whose children are
+// all gone must stop paying the re-export path for every apply batch — and
+// the first child to attach afterwards must still receive everything the
+// suppressed batches carried (seeded from the store).
+func TestRelaySuppressesReexportWithoutChildren(t *testing.T) {
+	leafNet := transport.NewLocal(16)
+	leaf := NewCache(CacheConfig{ID: "leaf-a", Bandwidth: 10000, Tick: 5 * time.Millisecond}, leafNet)
+	defer leaf.Close()
+	childConn, err := leafNet.Dial("relay-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upNet := transport.NewLocal(16)
+	relay, err := NewRelay(RelayConfig{
+		ID:             "relay-s",
+		Cache:          CacheConfig{Bandwidth: 10000, Tick: 5 * time.Millisecond},
+		ChildBandwidth: 10000,
+		Metric:         metric.ValueDeviation,
+		Tick:           5 * time.Millisecond,
+	}, upNet, []Destination{{CacheID: "leaf-a", Conn: childConn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	up, err := upNet.Dial("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(obj string, version uint64, value float64) {
+		t.Helper()
+		if err := up.SendRefresh(wire.Refresh{
+			SourceID: "root", ObjectID: obj, Value: value, Version: version, Epoch: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	send("root/a", 1, 1)
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := leaf.Get("root/a")
+		return ok && e.Value == 1
+	}, "baseline flow through the relay")
+	if relay.Stats().SuppressedBatches != 0 {
+		t.Fatal("suppression counted while a child was attached")
+	}
+
+	// Child leaves: subsequent applies must be suppressed, not forwarded.
+	if err := relay.RemoveChild("leaf-a"); err != nil {
+		t.Fatal(err)
+	}
+	forwardedBefore := relay.Stats().Forwarded
+	send("root/a", 2, 2)
+	send("root/b", 1, 7)
+	waitFor(t, 2*time.Second, func() bool {
+		return relay.Stats().SuppressedBatches > 0
+	}, "apply batches suppressed with no children")
+	waitFor(t, 2*time.Second, func() bool {
+		e, ok := relay.Get("root/b")
+		return ok && e.Value == 7
+	}, "relay store still applies while suppressing")
+	if fwd := relay.Stats().Forwarded; fwd != forwardedBefore {
+		t.Errorf("forwarded grew %d → %d with no children", forwardedBefore, fwd)
+	}
+
+	// A new child attaches: the suppressed window's state arrives anyway,
+	// seeded from the relay store.
+	leafNetB := transport.NewLocal(16)
+	leafB := NewCache(CacheConfig{ID: "leaf-b", Bandwidth: 10000, Tick: 5 * time.Millisecond}, leafNetB)
+	defer leafB.Close()
+	connB, err := leafNetB.Dial("relay-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.AddChild(Destination{CacheID: "leaf-b", Conn: connB}); err != nil {
+		t.Fatal(err)
+	}
+	for obj, want := range map[string]float64{"root/a": 2, "root/b": 7} {
+		obj, want := obj, want
+		waitFor(t, 2*time.Second, func() bool {
+			e, ok := leafB.Get(obj)
+			return ok && e.Value == want
+		}, "new child seeded with "+obj)
+	}
+}
+
 // TestRelayConfigValidation: the relay owns the cache's identity and hooks.
 func TestRelayConfigValidation(t *testing.T) {
 	upNet := transport.NewLocal(1)

@@ -43,17 +43,30 @@ type SessionStats struct {
 	Reconnects int
 	Pending    int
 	Threshold  float64
+	// PollsAnswered counts poll requests this session answered from the
+	// source store (cache-driven policies; Refreshes then counts the reply
+	// items delivered).
+	PollsAnswered int
+	// HeldSkips counts sends skipped because the cache's held-version
+	// feedback proved it already at-or-ahead of the scheduled value on the
+	// origin axis (push policy).
+	HeldSkips int
 }
 
 // sessObj is one session's view of one object: the value/version last
 // successfully sent to THIS session's cache and the divergence accumulated
 // against it. The canonical object state (current value, version, update
 // counts) lives in Source.objState; sessions only track what their cache
-// is missing.
+// is missing. heldEpoch/heldVer record the newest origin-axis version the
+// cache has ACKNOWLEDGED holding (wire.Feedback.Held); zero epoch = no ack
+// yet. A scheduled send whose origin axis is at-or-behind the ack is
+// skipped — the cache provably already has it.
 type sessObj struct {
-	sentVal float64
-	sentVer uint64
-	tracker metric.Tracker
+	sentVal   float64
+	sentVer   uint64
+	heldEpoch int64
+	heldVer   uint64
+	tracker   metric.Tracker
 }
 
 // syncSession drives the Section 5 protocol toward one downstream cache:
@@ -91,7 +104,13 @@ type syncSession struct {
 	windowFeedbacks int // feedbacks already folded into the rebalancer
 	sendErrors      int
 	reconnects      int
+	pollsAnswered   int
+	heldSkips       int
 	remoteID        string
+	// heldPending buffers held-version acks for objects the source has not
+	// produced yet (a cache can ack ahead of a relay's snapshot re-export);
+	// observeLocked folds them into the sessObj when the object appears.
+	heldPending map[string]wire.HeldVersion
 
 	stop chan struct{} // closed by RemoveDestination
 	done chan struct{}
@@ -99,12 +118,35 @@ type syncSession struct {
 
 func newSyncSession(src *Source, dest Destination) *syncSession {
 	return &syncSession{
-		src:  src,
-		dest: dest,
-		eng:  core.NewSource(0, src.cfg.Params, core.PositiveFeedback),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		src:         src,
+		dest:        dest,
+		eng:         core.NewSource(0, src.cfg.Params, core.PositiveFeedback),
+		heldPending: map[string]wire.HeldVersion{},
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
+}
+
+// heldAtOrAhead reports whether an acknowledged held version (he, hv)
+// covers the origin-axis version (oe, ov) a send would carry.
+func heldAtOrAhead(he int64, hv uint64, oe int64, ov uint64) bool {
+	if he == 0 {
+		return false // no ack recorded
+	}
+	return oe < he || (oe == he && ov <= hv)
+}
+
+// markDeliveredLocked commits object key as already-at-the-cache without a
+// send: sent-state snaps to the canonical value, accumulated divergence is
+// released from the rebalancer demand, and the object leaves the queue.
+// Caller holds src.mu.
+func (ss *syncSession) markDeliveredLocked(o *objState, key int, now float64) {
+	so := ss.objs[key]
+	ss.demand -= so.tracker.Current()
+	so.sentVal, so.sentVer = o.value, o.version
+	so.tracker.Reset(now, 0)
+	ss.eng.Queue.Remove(key)
+	ss.heldSkips++
 }
 
 // observeLocked folds a canonical-state change for object key into this
@@ -127,6 +169,21 @@ func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
 		return
 	}
 	so := ss.objs[key]
+	if h, ok := ss.heldPending[o.id]; ok {
+		// An ack that arrived before the object existed here (a cache
+		// acking ahead of a relay's snapshot re-export) applies now.
+		delete(ss.heldPending, o.id)
+		if h.Epoch > so.heldEpoch || (h.Epoch == so.heldEpoch && h.Version > so.heldVer) {
+			so.heldEpoch, so.heldVer = h.Epoch, h.Version
+		}
+	}
+	if oe, ov := ss.src.originAxisLocked(o); heldAtOrAhead(so.heldEpoch, so.heldVer, oe, ov) {
+		// Held-skip: the cache acknowledged holding this origin version (or
+		// newer), so a send is guaranteed to be dropped as stale there —
+		// don't spend share on it, don't let it linger as demand.
+		ss.markDeliveredLocked(o, key, now)
+		return
+	}
 	d := metric.Divergence(ss.src.cfg.Metric, ss.src.cfg.Delta,
 		int(o.version-so.sentVer), o.value, so.sentVal)
 	if so.sentVer == 0 && d == 0 {
@@ -172,18 +229,20 @@ func (ss *syncSession) requeueLocked(o *objState, key int, now float64) {
 // statsLocked snapshots the session counters. Caller holds src.mu.
 func (ss *syncSession) statsLocked() SessionStats {
 	return SessionStats{
-		CacheID:    ss.dest.CacheID,
-		RemoteID:   ss.remoteID,
-		Share:      ss.rate,
-		Weight:     ss.weight,
-		Ended:      ss.ended,
-		Redialing:  ss.redialing,
-		Refreshes:  ss.refreshes,
-		Feedbacks:  ss.feedbacks,
-		SendErrors: ss.sendErrors,
-		Reconnects: ss.reconnects,
-		Pending:    ss.eng.Queue.Len(),
-		Threshold:  ss.eng.Threshold(),
+		CacheID:       ss.dest.CacheID,
+		RemoteID:      ss.remoteID,
+		Share:         ss.rate,
+		Weight:        ss.weight,
+		Ended:         ss.ended,
+		Redialing:     ss.redialing,
+		Refreshes:     ss.refreshes,
+		Feedbacks:     ss.feedbacks,
+		SendErrors:    ss.sendErrors,
+		Reconnects:    ss.reconnects,
+		Pending:       ss.eng.Queue.Len(),
+		Threshold:     ss.eng.Threshold(),
+		PollsAnswered: ss.pollsAnswered,
+		HeldSkips:     ss.heldSkips,
 	}
 }
 
@@ -196,7 +255,49 @@ func (ss *syncSession) onFeedback(f wire.Feedback) {
 	}
 	ss.eng.OnFeedback(s.now())
 	ss.feedbacks++
+	if len(f.Held) > 0 && !ss.ended && !s.cfg.Policy.CacheDriven() {
+		now := s.now()
+		for _, h := range f.Held {
+			ss.recordHeldLocked(h, now)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// maxHeldPending bounds the parked acks for objects this source has not
+// produced yet; beyond it new unknown-object acks are dropped (they are an
+// optimization, not a correctness channel).
+const maxHeldPending = 4096
+
+// recordHeldLocked folds one held-version ack into the session: the newest
+// ack per object is kept, and an object whose scheduled send the ack now
+// covers is cancelled on the spot — this is what lets a relay restored from
+// a stale snapshot stop re-exporting to a child that is already ahead.
+// Caller holds src.mu.
+func (ss *syncSession) recordHeldLocked(h wire.HeldVersion, now float64) {
+	s := ss.src
+	key, ok := s.idx[h.ObjectID]
+	if !ok {
+		if len(ss.heldPending) < maxHeldPending {
+			if p, dup := ss.heldPending[h.ObjectID]; !dup ||
+				h.Epoch > p.Epoch || (h.Epoch == p.Epoch && h.Version > p.Version) {
+				ss.heldPending[h.ObjectID] = h
+			}
+		}
+		return
+	}
+	so := ss.objs[key]
+	if h.Epoch < so.heldEpoch || (h.Epoch == so.heldEpoch && h.Version <= so.heldVer) {
+		return // older than what we already know the cache holds
+	}
+	so.heldEpoch, so.heldVer = h.Epoch, h.Version
+	o := s.objs[h.ObjectID]
+	if so.sentVer == o.version && so.sentVal == o.value {
+		return // nothing pending toward this cache anyway
+	}
+	if oe, ov := s.originAxisLocked(o); heldAtOrAhead(so.heldEpoch, so.heldVer, oe, ov) {
+		ss.markDeliveredLocked(o, key, now)
+	}
 }
 
 // loop is the session's send loop: it accrues budget at the session's
@@ -214,6 +315,10 @@ func (ss *syncSession) onFeedback(f wire.Feedback) {
 func (ss *syncSession) loop() {
 	defer close(ss.done)
 	s := ss.src
+	if s.cfg.Policy.CacheDriven() {
+		ss.pollLoop()
+		return
+	}
 	ticker := time.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
 	budget := 0.0
@@ -252,6 +357,157 @@ func (ss *syncSession) loop() {
 			}
 			budget = ss.flush(budget)
 		}
+	}
+}
+
+// pollLoop is the session's body under a cache-driven policy: instead of
+// pushing over-threshold refreshes, it answers the cache's polls from the
+// source's canonical store. Replies are paced by the session's allocated
+// token-bucket share exactly like push refreshes — a reply's items spend
+// budget, and when the bucket is empty the loop stops reading polls, so the
+// poll channel backs up and the cache's best-effort polls are dropped until
+// the source can afford to answer (the cache re-polls on its period).
+//
+// Disconnect handling is identical to the push loop: the feedback channel
+// closing is the signal, redial (when configured) re-establishes the
+// connection, and a session without a redial hook ends. Nothing is re-sent
+// on reconnect — a polling cache re-asks for what it wants.
+func (ss *syncSession) pollLoop() {
+	s := ss.src
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	budget := 0.0
+	s.mu.Lock()
+	conn := ss.dest.Conn
+	s.mu.Unlock()
+	pc, ok := conn.(transport.PollConn)
+	if !ok {
+		// Construction and AddDestination validate this; a redial hook
+		// returning a poll-less connection is the only way here. Treat it
+		// as a dead connection: end, surrendering the share.
+		ss.end()
+		return
+	}
+	fb := conn.Feedback()
+	polls := pc.Polls()
+	for {
+		in := polls
+		if budget < 1 {
+			in = nil
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-ss.stop:
+			return // removed from the fan-out; the remover closes the conn
+		case f, fbOK := <-fb:
+			if !fbOK {
+				if ss.dest.Redial == nil {
+					ss.end()
+					return
+				}
+				if !ss.redial() {
+					return // shutdown or removal won the race
+				}
+				s.mu.Lock()
+				conn = ss.dest.Conn
+				s.mu.Unlock()
+				if pc, ok = conn.(transport.PollConn); !ok {
+					ss.end()
+					return
+				}
+				fb = conn.Feedback()
+				polls = pc.Polls()
+				continue
+			}
+			// The CGM baseline has no feedback, but a cache may still
+			// identify itself; record it like the push path does.
+			ss.onFeedback(f)
+		case p, pOK := <-in:
+			if !pOK {
+				polls = nil // the feedback close drives the redial
+				continue
+			}
+			budget -= float64(ss.answerPoll(pc, p))
+		case <-ticker.C:
+			s.mu.Lock()
+			rate := ss.rate
+			s.mu.Unlock()
+			burst := tokenBurst(rate, s.cfg.Tick)
+			budget += rate * s.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+		}
+	}
+}
+
+// answerPoll builds and sends the reply to one poll from the canonical
+// store, returning the budget it spent: one unit per targeted item, and a
+// flat one unit for a discovery reply — the full-store listing is universe
+// METADATA (the cache registers ids from it, never values), so charging it
+// per item would bill a control-plane message at data-plane rates and
+// starve the targeted replies that actually move values. An empty object
+// list is the discovery poll: the whole store is returned with All set.
+// Counters commit only after a successful send, the same rule as the push
+// path's flush; Refreshes counts targeted items only (the value
+// transfers).
+func (ss *syncSession) answerPoll(pc transport.PollConn, p wire.Poll) int {
+	s := ss.src
+	s.mu.Lock()
+	if p.CacheID != "" {
+		ss.remoteID = p.CacheID // polls identify the peer like feedback does
+	}
+	epoch := s.started.UnixNano()
+	reply := wire.PollReply{SourceID: s.cfg.ID, SentUnix: s.cfg.Now().UnixNano()}
+	if len(p.ObjectIDs) == 0 {
+		reply.All = true
+		reply.Items = make([]wire.PollItem, 0, len(s.ids))
+		for _, id := range s.ids {
+			reply.Items = append(reply.Items, pollItemLocked(s.objs[id], epoch))
+		}
+	} else {
+		reply.Items = make([]wire.PollItem, 0, len(p.ObjectIDs))
+		for _, id := range p.ObjectIDs {
+			if o, ok := s.objs[id]; ok {
+				reply.Items = append(reply.Items, pollItemLocked(o, epoch))
+			} else {
+				reply.Items = append(reply.Items, wire.PollItem{ObjectID: id})
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Send outside the lock: cache-side back-pressure stalls only this
+	// session, exactly like a push refresh send.
+	if err := pc.SendReply(reply); err != nil {
+		s.mu.Lock()
+		ss.sendErrors++
+		s.mu.Unlock()
+		return 0
+	}
+	cost := len(reply.Items)
+	if reply.All {
+		cost = 1 // metadata listing, not value transfers
+	}
+	s.mu.Lock()
+	ss.pollsAnswered++
+	if !reply.All {
+		ss.refreshes += len(reply.Items)
+	}
+	s.mu.Unlock()
+	return cost
+}
+
+// pollItemLocked snapshots one object's poll answer. Caller holds src.mu.
+func pollItemLocked(o *objState, epoch int64) wire.PollItem {
+	return wire.PollItem{
+		ObjectID:         o.id,
+		Exists:           true,
+		Value:            o.value,
+		Version:          o.version,
+		Epoch:            epoch,
+		LastModifiedUnix: o.lastUnix,
 	}
 }
 
@@ -345,6 +601,10 @@ func (ss *syncSession) redial() bool {
 		// until its own feedback reveals who it is.
 		ss.remoteID = ""
 		ss.demand = 0 // rebuilt by the observe loop over the zeroed trackers
+		// Forget held acks with the rest of the peer state: the replacement
+		// instance may hold nothing, and a stale ack would wrongly skip its
+		// re-sync (the zeroed sessObjs below drop per-object acks too).
+		ss.heldPending = map[string]wire.HeldVersion{}
 		for key := range ss.objs {
 			*ss.objs[key] = sessObj{}
 			ss.observeLocked(s.objs[s.ids[key]], key, now)
@@ -385,16 +645,19 @@ func (ss *syncSession) flush(budget float64) float64 {
 			// themselves.
 			CacheID: ss.remoteID,
 			// Provenance for multi-tier topologies: a relay re-exports with
-			// the originating source, incremented hop count and relay path;
-			// locally produced values carry the zero provenance.
-			Origin:    o.prov.Origin,
-			Hops:      o.prov.Hops,
-			Via:       o.prov.Via,
-			Value:     o.value,
-			Version:   o.version,
-			Epoch:     s.started.UnixNano(),
-			Threshold: ss.eng.Threshold(),
-			SentUnix:  s.cfg.Now().UnixNano(),
+			// the originating source, incremented hop count, relay path and
+			// the origin's preserved version axis; locally produced values
+			// carry the zero provenance (their origin axis IS Epoch/Version).
+			Origin:        o.prov.Origin,
+			Hops:          o.prov.Hops,
+			Via:           o.prov.Via,
+			OriginEpoch:   o.prov.Epoch,
+			OriginVersion: o.prov.Version,
+			Value:         o.value,
+			Version:       o.version,
+			Epoch:         s.started.UnixNano(),
+			Threshold:     ss.eng.Threshold(),
+			SentUnix:      s.cfg.Now().UnixNano(),
 		}
 		conn := ss.dest.Conn
 		s.mu.Unlock()

@@ -42,6 +42,17 @@ type SourceConfig struct {
 	Rebalance time.Duration
 	// Tick is the send-loop interval (default 100 ms).
 	Tick time.Duration
+	// Policy selects the synchronization policy toward the caches. Under
+	// the default PolicyPush the sessions run the paper's §5 protocol
+	// (priority queue, adaptive threshold, source-initiated refreshes).
+	// Under a cache-driven policy (ideal/cgm1/cgm2) the sessions instead
+	// ANSWER the caches' polls from the local store — no priorities, no
+	// thresholds, no pushes — pacing replies with the same per-session
+	// token-bucket share of Bandwidth so message accounting stays
+	// comparable. Cache-driven policies require every destination
+	// connection to implement transport.PollConn (both provided transports
+	// and the Batcher do).
+	Policy Policy
 	// Params tunes the threshold algorithm; zero means paper defaults.
 	// All sessions share the same parameters; each session applies them
 	// to its own independent threshold.
@@ -60,11 +71,17 @@ type SourceConfig struct {
 // the aggregates but are excluded from Pending and the Threshold mean — a
 // dead session's frozen threshold says nothing about the live topology.
 type SourceStats struct {
+	// Policy names the synchronization policy the source runs (push, or a
+	// cache-driven poll mode where Refreshes counts reply items delivered).
+	Policy     string
 	Updates    int
 	Refreshes  int
 	Feedbacks  int
 	SendErrors int
 	Pending    int
+	// PollsAnswered counts poll requests answered across all sessions
+	// (cache-driven policies only).
+	PollsAnswered int
 	// Rebalances counts completed periodic re-allocation passes
 	// (SourceConfig.Rebalance).
 	Rebalances int
@@ -92,6 +109,10 @@ type objState struct {
 	// observed time.
 	updates int
 	firstAt float64
+	// lastUnix is the wall-clock time of the most recent update
+	// (nanoseconds) — the last-modified metadata a poll reply carries for
+	// the CGM1 estimator.
+	lastUnix int64
 }
 
 // Provenance describes where a re-exported value came from: the producing
@@ -99,11 +120,16 @@ type objState struct {
 // relay, and the path of relay ids it took (oldest first, ending with the
 // exporting relay). A relay drops a refresh from re-export when its own id
 // already appears on the path — the path-vector loop check that bounds
-// topology cycles. The zero value means "produced locally".
+// topology cycles. Epoch/Version carry the ORIGIN's version axis for the
+// value, preserved unchanged across hops (wire.Refresh.OriginAxis), so
+// caches can compare copies of the same origin object across relay
+// incarnations. The zero value means "produced locally".
 type Provenance struct {
-	Origin string
-	Hops   int
-	Via    []string
+	Origin  string
+	Hops    int
+	Via     []string
+	Epoch   int64
+	Version uint64
 }
 
 // Source is a live source node. Applications call Update whenever a local
@@ -174,6 +200,11 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 		if dests[i].Conn == nil {
 			return nil, fmt.Errorf("runtime: destination %d has a nil connection", i)
 		}
+		if cfg.Policy.CacheDriven() {
+			if _, ok := dests[i].Conn.(transport.PollConn); !ok {
+				return nil, fmt.Errorf("runtime: policy %v needs poll-capable connections; destination %d is not a transport.PollConn", cfg.Policy, i)
+			}
+		}
 		if dests[i].CacheID == "" {
 			dests[i].CacheID = fmt.Sprintf("cache-%d", i)
 		}
@@ -218,6 +249,11 @@ func (s *Source) AddDestination(d Destination) error {
 	if d.Conn == nil {
 		return fmt.Errorf("runtime: destination has a nil connection")
 	}
+	if s.cfg.Policy.CacheDriven() {
+		if _, ok := d.Conn.(transport.PollConn); !ok {
+			return fmt.Errorf("runtime: policy %v needs poll-capable connections", s.cfg.Policy)
+		}
+	}
 	s.mu.Lock()
 	select {
 	case <-s.stop:
@@ -239,13 +275,15 @@ func (s *Source) AddDestination(d Destination) error {
 		d.Weight = 1
 	}
 	ss := newSyncSession(s, d)
-	now := s.now()
-	ss.objs = make([]*sessObj, len(s.ids))
-	for k := range ss.objs {
-		ss.objs[k] = &sessObj{}
-	}
-	for k, id := range s.ids {
-		ss.observeLocked(s.objs[id], k, now)
+	if !s.cfg.Policy.CacheDriven() {
+		now := s.now()
+		ss.objs = make([]*sessObj, len(s.ids))
+		for k := range ss.objs {
+			ss.objs[k] = &sessObj{}
+		}
+		for k, id := range s.ids {
+			ss.observeLocked(s.objs[id], k, now)
+		}
 	}
 	s.sessions = append(s.sessions, ss)
 	s.reallocateLocked()
@@ -329,6 +367,22 @@ func (s *Source) Bandwidth() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bandwidth
+}
+
+// LiveDestinations counts sessions that can still deliver — everything not
+// permanently ended (a redialing session counts: its peer is expected
+// back). A relay consults this to skip re-export work entirely when nothing
+// downstream would receive it.
+func (s *Source) LiveDestinations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ss := range s.sessions {
+		if !ss.ended {
+			n++
+		}
+	}
+	return n
 }
 
 // reallocateLocked re-divides the send budget across the live sessions:
@@ -425,6 +479,23 @@ func (s *Source) now() float64 {
 	return s.cfg.Now().Sub(s.started).Seconds()
 }
 
+// originAxisLocked returns the origin-axis (epoch, version) an outgoing
+// refresh for o would carry: the preserved origin axis for a re-exported
+// value, this source's own incarnation and version counter for a locally
+// produced one. Held-version feedback is compared against exactly this
+// axis. The key is prov.Epoch, not prov.Origin — mirroring
+// wire.Refresh.OriginAxis, which receivers (and therefore their acks)
+// fall back to the sender axis for when OriginEpoch is zero; keying the
+// two sides differently would let a Provenance with Origin set but no
+// epoch (a legal UpdateFrom call) compare acks across mismatched axes
+// and permanently held-skip the object. Caller holds s.mu.
+func (s *Source) originAxisLocked(o *objState) (int64, uint64) {
+	if o.prov.Epoch != 0 {
+		return o.prov.Epoch, o.prov.Version
+	}
+	return s.started.UnixNano(), o.version
+}
+
 // Update records a new value for a locally produced object, recomputing its
 // refresh priority in every sync session.
 func (s *Source) Update(objectID string, value float64) {
@@ -469,18 +540,21 @@ func (s *Source) UpdateFromAll(updates []RelayedUpdate) {
 // updateLocked is the shared body of Update/UpdateFrom/UpdateFromAll.
 // Caller holds s.mu.
 func (s *Source) updateLocked(objectID string, value float64, prov Provenance, now float64) {
+	cacheDriven := s.cfg.Policy.CacheDriven()
 	o, ok := s.objs[objectID]
 	if !ok {
 		o = &objState{id: objectID, firstAt: now}
 		s.objs[objectID] = o
 		s.idx[objectID] = len(s.ids)
 		s.ids = append(s.ids, objectID)
-		for _, ss := range s.sessions {
-			// Ended sessions never observe or flush again; growing their
-			// (released) per-object state with every new object would leak
-			// in a long-running source with dead destinations.
-			if !ss.ended {
-				ss.objs = append(ss.objs, &sessObj{})
+		if !cacheDriven {
+			for _, ss := range s.sessions {
+				// Ended sessions never observe or flush again; growing their
+				// (released) per-object state with every new object would leak
+				// in a long-running source with dead destinations.
+				if !ss.ended {
+					ss.objs = append(ss.objs, &sessObj{})
+				}
 			}
 		}
 	}
@@ -488,7 +562,14 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 	o.version++
 	o.updates++
 	o.prov = prov
+	o.lastUnix = s.cfg.Now().UnixNano()
 	s.updates++
+	if cacheDriven {
+		// Poll-answering sessions keep no per-object scheduling state: the
+		// caches decide what to ask for and when, so there is nothing to
+		// observe or rank here.
+		return
+	}
 	key := s.idx[objectID]
 	for _, ss := range s.sessions {
 		if !ss.ended {
@@ -503,6 +584,7 @@ func (s *Source) Stats() SourceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SourceStats{
+		Policy:     s.cfg.Policy.String(),
 		Updates:    s.updates,
 		Rebalances: s.rebalances,
 		Sessions:   make([]SessionStats, 0, len(s.sessions)),
@@ -513,6 +595,7 @@ func (s *Source) Stats() SourceStats {
 		st.Refreshes += sess.Refreshes
 		st.Feedbacks += sess.Feedbacks
 		st.SendErrors += sess.SendErrors
+		st.PollsAnswered += sess.PollsAnswered
 		if !sess.Ended {
 			// An ended session's queue will never drain and its frozen
 			// threshold describes nothing: both would skew the aggregate

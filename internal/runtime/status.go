@@ -21,19 +21,25 @@ type StatusObject struct {
 
 // Status is the cache's observability snapshot, merged across shards.
 type Status struct {
-	CacheID    string         `json:"cache_id"`
-	Objects    int            `json:"objects"`
-	Sources    int            `json:"sources"`
-	Refreshes  int            `json:"refreshes"`
-	Feedbacks  int            `json:"feedbacks"`
-	Stale      int            `json:"stale_dropped"`
-	Misrouted  int            `json:"misrouted,omitempty"`
-	Rejected   int            `json:"rejected,omitempty"` // dropped by the intake filter (relay loop guard)
-	Divergence float64        `json:"divergence_absorbed"`
-	Bandwidth  float64        `json:"bandwidth_msgs_per_s"`
-	Shards     int            `json:"shards"`
-	ApplyRate  float64        `json:"apply_rate_msgs_per_s"`
-	Sample     []StatusObject `json:"sample,omitempty"`
+	CacheID    string  `json:"cache_id"`
+	Policy     string  `json:"policy"` // push | ideal | cgm1 | cgm2
+	Objects    int     `json:"objects"`
+	Sources    int     `json:"sources"`
+	Refreshes  int     `json:"refreshes"`
+	Feedbacks  int     `json:"feedbacks"`
+	Stale      int     `json:"stale_dropped"`
+	Misrouted  int     `json:"misrouted,omitempty"`
+	Rejected   int     `json:"rejected,omitempty"` // dropped by the intake filter (relay loop guard)
+	Divergence float64 `json:"divergence_absorbed"`
+	Bandwidth  float64 `json:"bandwidth_msgs_per_s"`
+	Shards     int     `json:"shards"`
+	ApplyRate  float64 `json:"apply_rate_msgs_per_s"`
+	// Poll-policy counters (zero/omitted under push): poll requests sent,
+	// reply items received, completed allocation solves.
+	Polls       int            `json:"polls,omitempty"`
+	PollReplies int            `json:"poll_replies,omitempty"`
+	Resolves    int            `json:"resolves,omitempty"`
+	Sample      []StatusObject `json:"sample,omitempty"`
 }
 
 // Status returns a snapshot including up to sample cached objects (the most
@@ -41,18 +47,22 @@ type Status struct {
 func (c *Cache) Status(sample int) Status {
 	st := c.Stats()
 	out := Status{
-		CacheID:    c.cfg.ID,
-		Objects:    c.Len(),
-		Sources:    st.Sources,
-		Refreshes:  st.Refreshes,
-		Feedbacks:  st.Feedbacks,
-		Stale:      st.Stale,
-		Misrouted:  st.Misrouted,
-		Rejected:   st.Rejected,
-		Divergence: st.Divergence,
-		Bandwidth:  c.Bandwidth(),
-		Shards:     len(c.shards),
-		ApplyRate:  c.ApplyRate(),
+		CacheID:     c.cfg.ID,
+		Policy:      c.cfg.Policy.String(),
+		Objects:     c.Len(),
+		Sources:     st.Sources,
+		Refreshes:   st.Refreshes,
+		Feedbacks:   st.Feedbacks,
+		Stale:       st.Stale,
+		Misrouted:   st.Misrouted,
+		Rejected:    st.Rejected,
+		Divergence:  st.Divergence,
+		Bandwidth:   c.Bandwidth(),
+		Shards:      len(c.shards),
+		ApplyRate:   c.ApplyRate(),
+		Polls:       st.Polls,
+		PollReplies: st.PollReplies,
+		Resolves:    st.Resolves,
 	}
 	if sample <= 0 {
 		return out

@@ -163,6 +163,36 @@ func (b *batcher) loop() {
 // Feedback implements SourceConn.
 func (b *batcher) Feedback() <-chan wire.Feedback { return b.conn.Feedback() }
 
+// closedPolls is the poll channel handed out when the wrapped connection
+// does not support polls: permanently closed, so a poll-mode session treats
+// the connection as unable to serve and falls into its redial path instead
+// of blocking forever.
+var closedPolls = func() chan wire.Poll {
+	ch := make(chan wire.Poll)
+	close(ch)
+	return ch
+}()
+
+// Polls implements PollConn by delegation. Poll requests are not batched —
+// they are cache-paced and already amortized (one Poll names many objects).
+func (b *batcher) Polls() <-chan wire.Poll {
+	if pc, ok := b.conn.(PollConn); ok {
+		return pc.Polls()
+	}
+	return closedPolls
+}
+
+// SendReply implements PollConn by delegation: a reply is already a batch
+// (all answers to one poll travel in one envelope), so it bypasses the
+// refresh coalescing buffer entirely.
+func (b *batcher) SendReply(r wire.PollReply) error {
+	pc, ok := b.conn.(PollConn)
+	if !ok {
+		return fmt.Errorf("transport: wrapped connection does not support polls")
+	}
+	return pc.SendReply(r)
+}
+
 // closeFlushWait bounds how long Close waits for the final flush before
 // tearing the connection down anyway: a stalled peer (closed TCP window,
 // cache that stopped draining) must not wedge shutdown.

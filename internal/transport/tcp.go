@@ -10,13 +10,16 @@ import (
 	"bestsync/internal/wire"
 )
 
-// tcpServer implements CacheEndpoint over TCP. Each source opens one
-// connection, sends a wire.Hello, then streams wire.RefreshBatch envelopes
-// (a single refresh travels as a batch of one); the server streams
-// wire.Feedback the other way on the same connection.
+// tcpServer implements CacheEndpoint (and PollEndpoint) over TCP. Each
+// source opens one connection, sends a wire.Hello, then streams
+// wire.CacheBound envelopes — each carrying either a refresh batch (push
+// policy) or a poll reply (poll policies); a single refresh travels as a
+// batch of one. The server streams wire.SourceBound envelopes (feedback or
+// polls) the other way on the same connection.
 type tcpServer struct {
 	ln      net.Listener
 	batches chan wire.RefreshBatch
+	replies chan wire.PollReply
 
 	mu     sync.Mutex
 	conns  map[string]*tcpServerConn
@@ -40,6 +43,7 @@ func Serve(ln net.Listener, buffer int) CacheEndpoint {
 	s := &tcpServer{
 		ln:      ln,
 		batches: make(chan wire.RefreshBatch, buffer),
+		replies: make(chan wire.PollReply, buffer),
 		conns:   map[string]*tcpServerConn{},
 	}
 	s.wg.Add(1)
@@ -81,23 +85,9 @@ func (s *tcpServer) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	for {
-		var b wire.RefreshBatch
-		if err := dec.Decode(&b); err != nil {
+		var env wire.CacheBound
+		if err := dec.Decode(&env); err != nil {
 			break
-		}
-		// Drop malformed refreshes but keep the rest of the batch; the
-		// stream identity is authoritative for every refresh.
-		valid := b.Refreshes[:0]
-		for _, r := range b.Refreshes {
-			if r.Validate() != nil {
-				continue
-			}
-			r.SourceID = hello.SourceID
-			valid = append(valid, r)
-		}
-		b.Refreshes = valid
-		if len(b.Refreshes) == 0 {
-			continue
 		}
 		s.mu.Lock()
 		closed := s.closed
@@ -105,7 +95,37 @@ func (s *tcpServer) handle(conn net.Conn) {
 		if closed {
 			break
 		}
-		s.batches <- b
+		switch {
+		case env.Batch != nil:
+			b := *env.Batch
+			// Drop malformed refreshes but keep the rest of the batch; the
+			// stream identity is authoritative for every refresh.
+			valid := b.Refreshes[:0]
+			for _, r := range b.Refreshes {
+				if r.Validate() != nil {
+					continue
+				}
+				r.SourceID = hello.SourceID
+				valid = append(valid, r)
+			}
+			b.Refreshes = valid
+			if len(b.Refreshes) == 0 {
+				continue
+			}
+			s.batches <- b
+		case env.Reply != nil:
+			rp := *env.Reply
+			rp.SourceID = hello.SourceID // stream identity is authoritative
+			valid := rp.Items[:0]
+			for _, it := range rp.Items {
+				if it.ObjectID == "" {
+					continue
+				}
+				valid = append(valid, it)
+			}
+			rp.Items = valid
+			s.replies <- rp
+		}
 	}
 	conn.Close()
 	s.mu.Lock()
@@ -118,8 +138,11 @@ func (s *tcpServer) handle(conn net.Conn) {
 // Batches implements CacheEndpoint.
 func (s *tcpServer) Batches() <-chan wire.RefreshBatch { return s.batches }
 
-// SendFeedback implements CacheEndpoint.
-func (s *tcpServer) SendFeedback(sourceID string, fb wire.Feedback) error {
+// Replies implements PollEndpoint.
+func (s *tcpServer) Replies() <-chan wire.PollReply { return s.replies }
+
+// sendDown encodes one cache→source envelope on the named source's stream.
+func (s *tcpServer) sendDown(sourceID string, env wire.SourceBound) error {
 	s.mu.Lock()
 	sc, ok := s.conns[sourceID]
 	closed := s.closed
@@ -132,7 +155,17 @@ func (s *tcpServer) SendFeedback(sourceID string, fb wire.Feedback) error {
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	return sc.enc.Encode(fb)
+	return sc.enc.Encode(env)
+}
+
+// SendFeedback implements CacheEndpoint.
+func (s *tcpServer) SendFeedback(sourceID string, fb wire.Feedback) error {
+	return s.sendDown(sourceID, wire.SourceBound{Feedback: &fb})
+}
+
+// SendPoll implements PollEndpoint.
+func (s *tcpServer) SendPoll(sourceID string, p wire.Poll) error {
+	return s.sendDown(sourceID, wire.SourceBound{Poll: &p})
 }
 
 // Sources implements CacheEndpoint.
@@ -164,13 +197,14 @@ func (s *tcpServer) Close() error {
 	return err
 }
 
-// tcpClient implements SourceConn over TCP.
+// tcpClient implements SourceConn (and PollConn) over TCP.
 type tcpClient struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	fb   chan wire.Feedback
-	mu   sync.Mutex
-	once sync.Once
+	conn  net.Conn
+	enc   *gob.Encoder
+	fb    chan wire.Feedback
+	polls chan wire.Poll
+	mu    sync.Mutex
+	once  sync.Once
 }
 
 // Dial connects a source to a cache daemon at addr.
@@ -183,9 +217,10 @@ func Dial(addr, sourceID string) (SourceConn, error) {
 		return nil, err
 	}
 	c := &tcpClient{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		fb:   make(chan wire.Feedback, 4),
+		conn:  conn,
+		enc:   gob.NewEncoder(conn),
+		fb:    make(chan wire.Feedback, 4),
+		polls: make(chan wire.Poll, 16),
 	}
 	if err := c.enc.Encode(wire.Hello{SourceID: sourceID}); err != nil {
 		conn.Close()
@@ -219,19 +254,31 @@ func DialAll(addrs []string, sourceID string) ([]SourceConn, error) {
 func (c *tcpClient) readLoop() {
 	dec := gob.NewDecoder(c.conn)
 	for {
-		var f wire.Feedback
-		if err := dec.Decode(&f); err != nil {
+		var env wire.SourceBound
+		if err := dec.Decode(&env); err != nil {
 			break
 		}
-		select {
-		case c.fb <- f:
-		default:
+		switch {
+		case env.Feedback != nil:
+			select {
+			case c.fb <- *env.Feedback:
+			default:
+			}
+		case env.Poll != nil:
+			select {
+			case c.polls <- *env.Poll:
+			default:
+				// A source that has not drained its pending polls gains
+				// nothing from a deeper backlog; the cache re-polls on its
+				// period.
+			}
 		}
 	}
 	c.closeConn()
-	// readLoop is the only sender on fb, so it is the only safe closer:
-	// Close just tears down the connection, which lands here.
+	// readLoop is the only sender on fb and polls, so it is the only safe
+	// closer: Close just tears down the connection, which lands here.
 	close(c.fb)
+	close(c.polls)
 }
 
 // SendRefresh implements SourceConn.
@@ -244,13 +291,24 @@ func (c *tcpClient) SendBatch(rs []wire.Refresh) error {
 	if len(rs) == 0 {
 		return nil
 	}
+	b := wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()})
+	return c.enc.Encode(wire.CacheBound{Batch: &b})
+}
+
+// SendReply implements PollConn.
+func (c *tcpClient) SendReply(r wire.PollReply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(wire.CacheBound{Reply: &r})
 }
 
 // Feedback implements SourceConn.
 func (c *tcpClient) Feedback() <-chan wire.Feedback { return c.fb }
+
+// Polls implements PollConn.
+func (c *tcpClient) Polls() <-chan wire.Poll { return c.polls }
 
 func (c *tcpClient) closeConn() {
 	c.once.Do(func() {

@@ -54,6 +54,35 @@ type SourceConn interface {
 	Close() error
 }
 
+// PollConn is the poll-path extension of SourceConn: a source connection
+// that can also receive cache-driven polls and answer them. Both provided
+// transports (Local and TCP) implement it, as does a Batcher wrapping one;
+// the runtime's poll policies require it and reject connections without it.
+// Push-only deployments never touch these methods.
+type PollConn interface {
+	SourceConn
+	// Polls delivers poll requests from the cache. The channel is closed
+	// when the connection closes.
+	Polls() <-chan wire.Poll
+	// SendReply transmits one poll reply (the batched answers to one poll).
+	// It may block under the same back-pressure contract as SendRefresh.
+	SendReply(wire.PollReply) error
+}
+
+// PollEndpoint is the poll-path extension of CacheEndpoint: a cache
+// endpoint that can send polls to its connected sources and receive their
+// replies. Both provided transports implement it.
+type PollEndpoint interface {
+	CacheEndpoint
+	// SendPoll sends a poll request to one source. Unknown sources are an
+	// error. Like feedback, a poll to a source that has not drained its
+	// previous one may be dropped (polling is best-effort; the scheduler
+	// re-polls on its period).
+	SendPoll(sourceID string, p wire.Poll) error
+	// Replies delivers incoming poll replies from every source.
+	Replies() <-chan wire.PollReply
+}
+
 // CacheEndpoint is the cache's view of all connected sources.
 type CacheEndpoint interface {
 	// Batches delivers incoming refresh batches from every source. A
@@ -75,25 +104,55 @@ type CacheEndpoint interface {
 type Local struct {
 	mu       sync.Mutex
 	batches  chan wire.RefreshBatch
+	replies  chan wire.PollReply
 	feedback map[string]chan wire.Feedback
+	polls    map[string]chan wire.Poll
 	closed   bool
 }
 
 // NewLocal creates an in-process network. buffer is the capacity of the
 // shared batch channel — the "network queue"; sends beyond it block until
-// the cache drains (back-pressure).
+// the cache drains (back-pressure). The poll-reply channel shares the same
+// capacity.
 func NewLocal(buffer int) *Local {
 	if buffer < 1 {
 		buffer = 1
 	}
 	return &Local{
 		batches:  make(chan wire.RefreshBatch, buffer),
+		replies:  make(chan wire.PollReply, buffer),
 		feedback: make(map[string]chan wire.Feedback),
+		polls:    make(map[string]chan wire.Poll),
 	}
 }
 
 // Batches implements CacheEndpoint.
 func (l *Local) Batches() <-chan wire.RefreshBatch { return l.batches }
+
+// Replies implements PollEndpoint.
+func (l *Local) Replies() <-chan wire.PollReply { return l.replies }
+
+// SendPoll implements PollEndpoint. Like SendFeedback, the non-blocking
+// send happens under the lock so it can never race a concurrent close; a
+// source that has not drained its pending polls drops the new one (the
+// scheduler re-polls on its period, so a dropped poll only delays one
+// observation).
+func (l *Local) SendPoll(sourceID string, p wire.Poll) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	ch, ok := l.polls[sourceID]
+	if !ok {
+		return fmt.Errorf("transport: unknown source %q", sourceID)
+	}
+	select {
+	case ch <- p:
+	default:
+	}
+	return nil
+}
 
 // SendFeedback implements CacheEndpoint. The non-blocking send happens
 // under the lock so it can never race a concurrent close of the channel.
@@ -138,16 +197,21 @@ func (l *Local) Close() error {
 	for _, ch := range l.feedback {
 		close(ch)
 	}
+	for _, ch := range l.polls {
+		close(ch)
+	}
 	l.feedback = map[string]chan wire.Feedback{}
+	l.polls = map[string]chan wire.Poll{}
 	return nil
 }
 
 // localConn is a source-side handle onto a Local network.
 type localConn struct {
-	net  *Local
-	id   string
-	fb   chan wire.Feedback
-	once sync.Once
+	net   *Local
+	id    string
+	fb    chan wire.Feedback
+	polls chan wire.Poll
+	once  sync.Once
 }
 
 // Dial attaches a new source to the network.
@@ -164,8 +228,10 @@ func (l *Local) Dial(sourceID string) (SourceConn, error) {
 		return nil, fmt.Errorf("transport: source %q already connected", sourceID)
 	}
 	fb := make(chan wire.Feedback, 4)
+	polls := make(chan wire.Poll, 16)
 	l.feedback[sourceID] = fb
-	return &localConn{net: l, id: sourceID, fb: fb}, nil
+	l.polls[sourceID] = polls
+	return &localConn{net: l, id: sourceID, fb: fb, polls: polls}, nil
 }
 
 // SendRefresh implements SourceConn.
@@ -201,6 +267,26 @@ func (c *localConn) send(rs []wire.Refresh) error {
 // Feedback implements SourceConn.
 func (c *localConn) Feedback() <-chan wire.Feedback { return c.fb }
 
+// Polls implements PollConn.
+func (c *localConn) Polls() <-chan wire.Poll { return c.polls }
+
+// SendReply implements PollConn: it transfers the reply to the cache side
+// under the same bounded-channel back-pressure as refresh batches.
+func (c *localConn) SendReply(r wire.PollReply) error {
+	c.net.mu.Lock()
+	closed := c.net.closed
+	_, connected := c.net.feedback[c.id]
+	c.net.mu.Unlock()
+	if closed || !connected {
+		return ErrClosed
+	}
+	// Copy the items: the reply is consumed asynchronously and the caller
+	// may reuse its slice (same contract as SendBatch).
+	r.Items = append([]wire.PollItem(nil), r.Items...)
+	c.net.replies <- r
+	return nil
+}
+
 // Close implements SourceConn.
 func (c *localConn) Close() error {
 	c.once.Do(func() {
@@ -208,6 +294,10 @@ func (c *localConn) Close() error {
 		if ch, ok := c.net.feedback[c.id]; ok {
 			close(ch)
 			delete(c.net.feedback, c.id)
+		}
+		if ch, ok := c.net.polls[c.id]; ok {
+			close(ch)
+			delete(c.net.polls, c.id)
 		}
 		c.net.mu.Unlock()
 	})

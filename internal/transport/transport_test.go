@@ -46,6 +46,47 @@ func TestLocalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLocalPollRoundTrip(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	conn, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, ok := conn.(PollConn)
+	if !ok {
+		t.Fatal("local connection does not implement PollConn")
+	}
+	pe := PollEndpoint(l)
+	if err := pe.SendPoll("s1", wire.Poll{CacheID: "c", ObjectIDs: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-pc.Polls():
+		if p.CacheID != "c" || len(p.ObjectIDs) != 1 || p.ObjectIDs[0] != "a" {
+			t.Errorf("got poll %+v", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poll not delivered")
+	}
+	if err := pe.SendPoll("ghost", wire.Poll{}); err == nil {
+		t.Error("poll to unknown source accepted")
+	}
+	if err := pc.SendReply(wire.PollReply{SourceID: "s1", Items: []wire.PollItem{
+		{ObjectID: "a", Exists: true, Value: 4, Version: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-pe.Replies():
+		if r.SourceID != "s1" || len(r.Items) != 1 || r.Items[0].Value != 4 {
+			t.Errorf("got reply %+v", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reply not delivered")
+	}
+}
+
 func TestLocalDuplicateSourceRejected(t *testing.T) {
 	l := NewLocal(4)
 	defer l.Close()
@@ -154,6 +195,112 @@ func TestTCPRoundTrip(t *testing.T) {
 	case <-conn.Feedback():
 	case <-time.After(2 * time.Second):
 		t.Fatal("feedback not received")
+	}
+}
+
+func TestTCPPollRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+	pe, ok := srv.(PollEndpoint)
+	if !ok {
+		t.Fatal("TCP server does not implement PollEndpoint")
+	}
+
+	conn, err := Dial(ln.Addr().String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc, ok := conn.(PollConn)
+	if !ok {
+		t.Fatal("TCP client does not implement PollConn")
+	}
+
+	// Polling requires the server to have processed the Hello.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := pe.SendPoll("s1", wire.Poll{CacheID: "c", ObjectIDs: []string{"a", "b"}}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("source never registered for polls")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case p := <-pc.Polls():
+		if p.CacheID != "c" || len(p.ObjectIDs) != 2 {
+			t.Errorf("got poll %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poll not received")
+	}
+
+	// The reply's SourceID comes from the stream identity, not the client's
+	// claim — same rule as refreshes.
+	if err := pc.SendReply(wire.PollReply{SourceID: "impostor", All: true, Items: []wire.PollItem{
+		{ObjectID: "a", Exists: true, Value: 1.5, Version: 3, Epoch: 7, LastModifiedUnix: 99},
+		{ObjectID: ""}, // malformed: dropped, rest of the reply kept
+		{ObjectID: "b"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-pe.Replies():
+		if r.SourceID != "s1" {
+			t.Errorf("reply source = %q, want stream identity s1", r.SourceID)
+		}
+		if !r.All || len(r.Items) != 2 || r.Items[0].Value != 1.5 || r.Items[1].Exists {
+			t.Errorf("got reply %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not received")
+	}
+
+	// Refreshes and replies interleave on one stream.
+	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "c", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if r := recvOne(t, srv.Batches()); r.ObjectID != "c" {
+		t.Errorf("got %+v", r)
+	}
+}
+
+func TestBatcherPollPassthrough(t *testing.T) {
+	l := NewLocal(4)
+	defer l.Close()
+	raw, err := l.Dial("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewBatcher(raw, BatcherConfig{})
+	defer conn.Close()
+	pc, ok := conn.(PollConn)
+	if !ok {
+		t.Fatal("batcher does not implement PollConn")
+	}
+	if err := PollEndpoint(l).SendPoll("s1", wire.Poll{ObjectIDs: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-pc.Polls():
+		if len(p.ObjectIDs) != 1 {
+			t.Errorf("got poll %+v", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poll not delivered through batcher")
+	}
+	if err := pc.SendReply(wire.PollReply{SourceID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-l.Replies():
+	case <-time.After(time.Second):
+		t.Fatal("reply not delivered through batcher")
 	}
 }
 

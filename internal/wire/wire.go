@@ -5,10 +5,24 @@
 //
 // The message set mirrors Section 5 of the paper: refresh messages carry the
 // new object value plus the source's piggybacked local threshold; feedback
-// messages carry no payload — receiving one *is* the signal to decrease the
-// local threshold. For multi-tier topologies (runtime.Relay) a refresh also
+// messages carry no payload of their own — receiving one *is* the signal to
+// decrease the local threshold — but may piggyback held-version
+// acknowledgements (Feedback.Held) so senders can skip re-sends the cache
+// already holds. For multi-tier topologies (runtime.Relay) a refresh also
 // carries its originating source and a relay hop count, so loop-avoidance
 // and per-tier attribution work across cache→cache re-exports.
+//
+// # Sync policies
+//
+// Refresh/Feedback are the messages of the paper's source-cooperative push
+// policy. The cache-driven polling baseline of Section 6.3 (Cho &
+// Garcia-Molina) uses its own pair instead: the cache sends Poll messages
+// naming the objects it wants (an empty list asks for the whole store — the
+// discovery poll), and the source answers with PollReply envelopes carrying
+// value, version and last-modified time per object. Poll replies are
+// batchable exactly like refresh batches. Which pair a node speaks is the
+// runtime's pluggable sync policy (runtime.Policy); both transports frame
+// all four messages.
 //
 // # Batching
 //
@@ -62,18 +76,27 @@ func (h Hello) Validate() error {
 // re-exports a refresh whose path already contains itself (the message
 // crossed a topology cycle) or whose origin is itself, and refuses to
 // forward past a configurable hop ceiling.
+// Origin carries its own version axis too: OriginEpoch/OriginVersion are the
+// (epoch, version) the value had AT ITS ORIGIN, preserved unchanged across
+// every relay hop (zero for a direct refresh — then Epoch/Version are the
+// origin axis). Each relay tier re-issues Epoch/Version under its own
+// incarnation, so only the origin axis stays comparable across a relay
+// restart; the cache's staleness guard and held-version feedback both use it
+// (OriginAxis).
 type Refresh struct {
-	SourceID  string
-	ObjectID  string
-	CacheID   string   // intended destination cache (advisory; see above)
-	Origin    string   // originating source in a relay hierarchy; empty = SourceID
-	Hops      int      // relay tiers traversed so far (0 = direct); display summary — guards use max(Hops, len(Via))
-	Via       []string // relay ids traversed, oldest first (nil = direct); authoritative for loop/depth checks
-	Value     float64
-	Version   uint64
-	Epoch     int64   // source incarnation (restarts reset Version counters)
-	Threshold float64 // the source's current local threshold (piggyback)
-	SentUnix  int64   // nanoseconds; diagnostic only
+	SourceID      string
+	ObjectID      string
+	CacheID       string   // intended destination cache (advisory; see above)
+	Origin        string   // originating source in a relay hierarchy; empty = SourceID
+	Hops          int      // relay tiers traversed so far (0 = direct); display summary — guards use max(Hops, len(Via))
+	Via           []string // relay ids traversed, oldest first (nil = direct); authoritative for loop/depth checks
+	OriginEpoch   int64    // origin-axis epoch (0 = direct; use Epoch)
+	OriginVersion uint64   // origin-axis version (with OriginEpoch 0: use Version)
+	Value         float64
+	Version       uint64
+	Epoch         int64   // source incarnation (restarts reset Version counters)
+	Threshold     float64 // the source's current local threshold (piggyback)
+	SentUnix      int64   // nanoseconds; diagnostic only
 }
 
 // OriginID returns the id of the node the value was first produced on: the
@@ -84,6 +107,20 @@ func (r Refresh) OriginID() string {
 		return r.Origin
 	}
 	return r.SourceID
+}
+
+// OriginAxis returns the (epoch, version) the value had at its origin: the
+// explicit origin-axis fields when the refresh crossed a relay, otherwise the
+// sender's own Epoch/Version (a direct sender IS the origin). Unlike
+// Epoch/Version — which every relay tier re-issues under its own incarnation
+// — the origin axis is comparable for two copies of the same object from the
+// same origin regardless of which (incarnation of which) relay delivered
+// them.
+func (r Refresh) OriginAxis() (epoch int64, version uint64) {
+	if r.OriginEpoch != 0 {
+		return r.OriginEpoch, r.OriginVersion
+	}
+	return r.Epoch, r.Version
 }
 
 // Validate checks a refresh message.
@@ -126,6 +163,18 @@ func (b RefreshBatch) Validate() error {
 	return nil
 }
 
+// HeldVersion acknowledges the cache's held copy of one object on the
+// ORIGIN version axis (Refresh.OriginAxis): "for this object I hold the
+// value the origin stamped (Epoch, Version)". Senders use it to skip
+// refreshes the cache is already at-or-ahead of — most importantly a relay
+// restored from a stale snapshot, whose re-exports carry a fresh sender
+// epoch the cache's ordinary staleness guard cannot compare.
+type HeldVersion struct {
+	ObjectID string
+	Epoch    int64
+	Version  uint64
+}
+
 // Feedback is a positive-feedback message from the cache: the receiving
 // source should decrease its local threshold (unless bandwidth-limited).
 //
@@ -134,7 +183,109 @@ func (b RefreshBatch) Validate() error {
 // connection, so the per-cache thresholds converge independently; the
 // explicit id lets sessions learn and report which cache is on the other
 // end. Empty means the cache predates (or did not configure) an id.
+//
+// Held piggybacks a bounded set of held-version acknowledgements for objects
+// this cache recently applied — or dropped as stale — from the receiving
+// source (the cache acking what it holds). The receiving session records
+// them and skips scheduling sends the cache is already at-or-ahead of on the
+// origin axis; see runtime's session held-skip contract. Nil is a plain
+// paper-§5 feedback.
 type Feedback struct {
 	CacheID  string
+	Held     []HeldVersion
 	SentUnix int64
+}
+
+// Poll is a cache-driven synchronization request (the Cho & Garcia-Molina
+// baseline of Section 6.3): the cache asks the source for the current value
+// of the named objects. An EMPTY ObjectIDs list is the discovery poll — the
+// source answers with its whole store, which is how a polling cache learns
+// the object universe. CacheID identifies the polling cache (sessions learn
+// the peer identity from it exactly as they do from feedback).
+type Poll struct {
+	CacheID   string
+	ObjectIDs []string
+	SentUnix  int64
+}
+
+// Validate checks a poll message. An empty object list is valid (discovery);
+// empty ids inside the list are not.
+func (p Poll) Validate() error {
+	for i, id := range p.ObjectIDs {
+		if id == "" {
+			return fmt.Errorf("wire: poll object[%d] has empty id", i)
+		}
+	}
+	return nil
+}
+
+// PollItem is one object's answer inside a PollReply: the source's current
+// value, its (epoch, version), and the wall-clock time of its most recent
+// update — the last-modified metadata the CGM1 estimator consumes. Exists
+// is false when the source holds no such object (the value fields are then
+// zero and carry no information).
+type PollItem struct {
+	ObjectID         string
+	Exists           bool
+	Value            float64
+	Version          uint64
+	Epoch            int64
+	LastModifiedUnix int64 // nanoseconds; 0 = never updated
+}
+
+// PollReply answers one Poll: the requested objects' current state, batched
+// into one envelope exactly like a RefreshBatch (one reply frames the whole
+// poll's worth of items; items are applied individually, in order). All
+// answers a discovery poll — the items are the source's full store.
+type PollReply struct {
+	SourceID string
+	All      bool
+	Items    []PollItem
+	SentUnix int64
+}
+
+// Validate checks a poll reply.
+func (p PollReply) Validate() error {
+	if p.SourceID == "" {
+		return fmt.Errorf("wire: poll reply with empty source id")
+	}
+	for i := range p.Items {
+		if p.Items[i].ObjectID == "" {
+			return fmt.Errorf("wire: poll reply item[%d] has empty object id", i)
+		}
+	}
+	return nil
+}
+
+// CacheBound is the framing envelope for the source→cache direction: exactly
+// one of Batch (push policy) or Reply (poll policies) is set. The TCP
+// transport streams CacheBound envelopes after the Hello; the in-process
+// transport delivers the payloads directly.
+type CacheBound struct {
+	Batch *RefreshBatch
+	Reply *PollReply
+}
+
+// Validate checks that exactly one payload is present (payload contents are
+// validated by the transports item-by-item, per the lax cache-side rule).
+func (e CacheBound) Validate() error {
+	if (e.Batch == nil) == (e.Reply == nil) {
+		return fmt.Errorf("wire: cache-bound envelope needs exactly one of Batch/Reply")
+	}
+	return nil
+}
+
+// SourceBound is the framing envelope for the cache→source direction:
+// exactly one of Feedback (push policy) or Poll (poll policies) is set.
+type SourceBound struct {
+	Feedback *Feedback
+	Poll     *Poll
+}
+
+// Validate checks that exactly one payload is present.
+func (e SourceBound) Validate() error {
+	if (e.Feedback == nil) == (e.Poll == nil) {
+		return fmt.Errorf("wire: source-bound envelope needs exactly one of Feedback/Poll")
+	}
+	return nil
 }

@@ -101,6 +101,121 @@ func TestRefreshBatchGobRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRefreshOriginAxis(t *testing.T) {
+	direct := Refresh{SourceID: "s", ObjectID: "o", Epoch: 7, Version: 3}
+	if e, v := direct.OriginAxis(); e != 7 || v != 3 {
+		t.Errorf("direct origin axis = (%d, %d), want (7, 3)", e, v)
+	}
+	relayed := Refresh{
+		SourceID: "relay", ObjectID: "o", Origin: "root",
+		Epoch: 99, Version: 1, OriginEpoch: 7, OriginVersion: 3,
+	}
+	if e, v := relayed.OriginAxis(); e != 7 || v != 3 {
+		t.Errorf("relayed origin axis = (%d, %d), want (7, 3)", e, v)
+	}
+}
+
+func TestPollValidate(t *testing.T) {
+	if err := (Poll{CacheID: "c"}).Validate(); err != nil {
+		t.Errorf("discovery poll rejected: %v", err)
+	}
+	if err := (Poll{ObjectIDs: []string{"a", "b"}}).Validate(); err != nil {
+		t.Errorf("valid poll rejected: %v", err)
+	}
+	if err := (Poll{ObjectIDs: []string{"a", ""}}).Validate(); err == nil {
+		t.Error("poll with empty object id accepted")
+	}
+}
+
+func TestPollReplyValidate(t *testing.T) {
+	good := PollReply{SourceID: "s", Items: []PollItem{{ObjectID: "a", Exists: true}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid reply rejected: %v", err)
+	}
+	if err := (PollReply{Items: []PollItem{{ObjectID: "a"}}}).Validate(); err == nil {
+		t.Error("reply without source accepted")
+	}
+	if err := (PollReply{SourceID: "s", Items: []PollItem{{}}}).Validate(); err == nil {
+		t.Error("reply with empty object id accepted")
+	}
+}
+
+func TestEnvelopeValidate(t *testing.T) {
+	if err := (CacheBound{Batch: &RefreshBatch{}}).Validate(); err != nil {
+		t.Errorf("batch envelope rejected: %v", err)
+	}
+	if err := (CacheBound{Reply: &PollReply{}}).Validate(); err != nil {
+		t.Errorf("reply envelope rejected: %v", err)
+	}
+	if err := (CacheBound{}).Validate(); err == nil {
+		t.Error("empty cache-bound envelope accepted")
+	}
+	if err := (CacheBound{Batch: &RefreshBatch{}, Reply: &PollReply{}}).Validate(); err == nil {
+		t.Error("double cache-bound envelope accepted")
+	}
+	if err := (SourceBound{Feedback: &Feedback{}}).Validate(); err != nil {
+		t.Errorf("feedback envelope rejected: %v", err)
+	}
+	if err := (SourceBound{Poll: &Poll{}}).Validate(); err != nil {
+		t.Errorf("poll envelope rejected: %v", err)
+	}
+	if err := (SourceBound{}).Validate(); err == nil {
+		t.Error("empty source-bound envelope accepted")
+	}
+}
+
+func TestEnvelopeGobRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	// One stream mixing both cache-bound payload kinds, as a TCP source
+	// connection does when a poll-mode cache talks to it.
+	msgs := []CacheBound{
+		{Batch: &RefreshBatch{Refreshes: []Refresh{{SourceID: "s", ObjectID: "a", Value: 2}}}},
+		{Reply: &PollReply{SourceID: "s", All: true, Items: []PollItem{
+			{ObjectID: "a", Exists: true, Value: 2, Version: 5, Epoch: 9, LastModifiedUnix: 17},
+			{ObjectID: "gone"},
+		}}},
+	}
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		var got CacheBound
+		if err := dec.Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("envelope %d: %+v vs %+v", i, got, want)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	enc2 := gob.NewEncoder(&buf2)
+	dec2 := gob.NewDecoder(&buf2)
+	down := []SourceBound{
+		{Feedback: &Feedback{CacheID: "c", Held: []HeldVersion{{ObjectID: "a", Epoch: 9, Version: 5}}}},
+		{Poll: &Poll{CacheID: "c", ObjectIDs: []string{"a", "b"}}},
+		{Poll: &Poll{CacheID: "c"}}, // discovery
+	}
+	for _, m := range down {
+		if err := enc2.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range down {
+		var got SourceBound
+		if err := dec2.Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("envelope %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
 func TestGobRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
