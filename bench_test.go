@@ -123,8 +123,10 @@ func BenchmarkShardedApply(b *testing.B) {
 
 // benchBatchedTCP streams b.N refreshes over a loopback TCP connection in
 // wire batches of the given size and waits until the server has received
-// them all, isolating the framing/syscall cost from the apply path.
-func benchBatchedTCP(b *testing.B, batch int) {
+// them all, isolating the framing/syscall cost from the apply path. The
+// codec preference picks the framing under test: the binary codec against
+// the legacy gob stream.
+func benchBatchedTCP(b *testing.B, batch int, pref transport.Codec) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -142,13 +144,16 @@ func benchBatchedTCP(b *testing.B, batch int) {
 		}
 		received <- n
 	}()
-	conn, err := transport.Dial(ln.Addr().String(), "bench")
+	conn, err := transport.DialCodec(ln.Addr().String(), "bench", pref)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer conn.Close()
 
 	rs := make([]wire.Refresh, batch)
+	for i := range rs {
+		rs[i] = wire.Refresh{SourceID: "bench", ObjectID: "bench/obj"}
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var version uint64
@@ -160,12 +165,8 @@ func benchBatchedTCP(b *testing.B, batch int) {
 		}
 		for i := 0; i < n; i++ {
 			version++
-			rs[i] = wire.Refresh{
-				SourceID: "bench",
-				ObjectID: "bench/obj",
-				Version:  version,
-				Value:    float64(version),
-			}
+			rs[i].Version = version
+			rs[i].Value = float64(version)
 		}
 		if err := conn.SendBatch(rs[:n]); err != nil {
 			b.Fatal(err)
@@ -178,10 +179,19 @@ func benchBatchedTCP(b *testing.B, batch int) {
 }
 
 func BenchmarkBatchedTCP(b *testing.B) {
-	for _, batch := range []int{1, 16, 64, 256} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			benchBatchedTCP(b, batch)
-		})
+	codecs := []struct {
+		name string
+		pref transport.Codec
+	}{
+		{"binary", transport.CodecBinary},
+		{"gob", transport.CodecGob},
+	}
+	for _, c := range codecs {
+		for _, batch := range []int{1, 16, 64, 256} {
+			b.Run(fmt.Sprintf("codec=%s/batch=%d", c.name, batch), func(b *testing.B) {
+				benchBatchedTCP(b, batch, c.pref)
+			})
+		}
 	}
 }
 

@@ -91,12 +91,18 @@ func main() {
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
+	codecPref := flag.String("codec", "auto", "wire codec for outbound (child) connections: auto (binary, falling back to gob against old daemons) | binary | gob; inbound streams always auto-detect")
 	flag.Parse()
 
 	policy, err := runtime.ParsePolicy(*mode)
 	if err != nil {
 		log.Fatalf("cachesyncd: -mode: %v", err)
 	}
+	dialCodec, err := transport.ParseCodec(*codecPref)
+	if err != nil {
+		log.Fatalf("cachesyncd: -codec: %v", err)
+	}
+	transport.SetDialCodec(dialCodec)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("cachesyncd: %v", err)

@@ -74,12 +74,18 @@ func main() {
 	httpAddr := flag.String("http", "", "optional HTTP admin address (GET /status, POST /caches/add, POST /caches/remove)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	codecPref := flag.String("codec", "auto", "wire codec for cache connections: auto (binary, falling back to gob against old daemons) | binary | gob")
 	flag.Parse()
 
 	policy, err := runtime.ParsePolicy(*mode)
 	if err != nil {
 		log.Fatalf("sourceagent: -mode: %v", err)
 	}
+	dialCodec, err := transport.ParseCodec(*codecPref)
+	if err != nil {
+		log.Fatalf("sourceagent: -codec: %v", err)
+	}
+	transport.SetDialCodec(dialCodec)
 	addrs := []string{*addr}
 	weights := []float64{0}
 	if *caches != "" {

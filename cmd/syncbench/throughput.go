@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestsync/internal/runtime"
 	"bestsync/internal/transport"
 	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
 )
 
 // tpConfig describes one throughput measurement: n producer goroutines
@@ -31,9 +36,11 @@ type tpResult struct {
 }
 
 // tpRecord is the machine-readable form of one throughput measurement
-// (BENCH_throughput.json).
+// (BENCH_throughput.json). The apply-path scenarios (throughput-*) leave the
+// codec fields empty; the wire-framing scenarios (frame-*, fanout-*) leave
+// the apply-path fields (objects, shards) zero.
 type tpRecord struct {
-	Scenario      string  `json:"scenario"` // throughput-baseline | throughput-tuned
+	Scenario      string  `json:"scenario"` // throughput-* | frame-* | fanout-*
 	Sources       int     `json:"sources"`
 	Objects       int     `json:"objects"`
 	Shards        int     `json:"shards"`
@@ -42,6 +49,9 @@ type tpRecord struct {
 	Applied       int     `json:"applied"`
 	RefreshesPerS float64 `json:"refreshes_per_s"`
 	Speedup       float64 `json:"speedup"`
+	Codec         string  `json:"codec,omitempty"`  // binary | gob
+	Fanout        int     `json:"fanout,omitempty"` // loopback-TCP destinations
+	NsPerRefresh  float64 `json:"ns_per_refresh,omitempty"`
 }
 
 // runThroughputMode compares the single-lock, message-at-a-time baseline
@@ -79,11 +89,245 @@ func runThroughputMode(sources, objects, shards, batch int, flush, duration time
 			Speedup:       speedup,
 		})
 	}
+	records = append(records, runFramingScenarios(batch, duration)...)
 	if err := writeBenchJSON("BENCH_throughput.json", records); err != nil {
 		fmt.Printf("syncbench: writing BENCH_throughput.json: %v\n", err)
 		return
 	}
 	fmt.Println("\nwrote BENCH_throughput.json")
+}
+
+// runFramingScenarios measures the TCP wire-framing cost per codec: one
+// source streaming batches over loopback TCP, first to a single destination
+// (frame-*), then fanned out to several (fanout-*). The fan-out pair is the
+// codec's real deployment shape — a source re-exporting each batch to every
+// connected cache — where the binary path encodes once per batch
+// (codec.Frame + FrameSender) while gob inherently re-encodes per stream.
+func runFramingScenarios(batch int, duration time.Duration) []tpRecord {
+	const framingFanout = 4
+	fmt.Printf("\n# wire framing: batch=%d, %s per config\n\n", batch, duration)
+	fmt.Printf("%-40s %12s %14s %12s %9s\n",
+		"config", "delivered", "refreshes/s", "ns/refresh", "speedup")
+	records := make([]tpRecord, 0, 6)
+	// fanout 0 is the pure codec cost (encode+decode, no sockets): the
+	// direct binary-vs-gob framing comparison. The TCP rows add the
+	// loopback socket, channel and scheduler costs both codecs share.
+	for _, fanout := range []int{0, 1, framingFanout} {
+		prefix := "frame"
+		switch fanout {
+		case 0:
+			prefix = "codec"
+		case framingFanout:
+			prefix = "fanout"
+		}
+		var gobRate float64
+		for _, c := range []transport.Codec{transport.CodecGob, transport.CodecBinary} {
+			var delivered int
+			var rate float64
+			if fanout == 0 {
+				delivered, rate = measureCodec(c, batch, duration)
+			} else {
+				delivered, rate = measureFraming(c, fanout, batch, duration)
+			}
+			speedup := 1.0
+			if c == transport.CodecGob {
+				gobRate = rate
+			} else if gobRate > 0 {
+				speedup = rate / gobRate
+			}
+			nsPer := 0.0
+			if rate > 0 {
+				nsPer = 1e9 / rate
+			}
+			label := fmt.Sprintf("%s codec, %d destination(s)", c, fanout)
+			if fanout == 0 {
+				label = fmt.Sprintf("%s codec, encode+decode only", c)
+			}
+			fmt.Printf("%-40s %12d %14.0f %12.1f %8.2fx\n",
+				label, delivered, rate, nsPer, speedup)
+			records = append(records, tpRecord{
+				Scenario:      fmt.Sprintf("%s-%s", prefix, c),
+				Sources:       1,
+				Batch:         batch,
+				DurationS:     duration.Seconds(),
+				Applied:       delivered,
+				RefreshesPerS: rate,
+				Speedup:       speedup,
+				Codec:         c.String(),
+				Fanout:        fanout,
+				NsPerRefresh:  nsPer,
+			})
+		}
+	}
+	return records
+}
+
+// measureCodec measures the framing cost alone — encoding a batch-of-batch
+// refreshes envelope and decoding it back, single-threaded, no sockets — for
+// roughly duration, returning refreshes processed and the rate. This is the
+// apples-to-apples codec-vs-gob number: everything else in the TCP scenarios
+// (syscalls, channels, goroutine switches) is shared by both codecs.
+func measureCodec(pref transport.Codec, batch int, duration time.Duration) (int, float64) {
+	rs := make([]wire.Refresh, batch)
+	for i := range rs {
+		rs[i] = wire.Refresh{
+			SourceID: "src-0",
+			ObjectID: fmt.Sprintf("src-0/object-%04d", i), // realistic distinct ids
+			Version:  uint64(i + 1),
+			Value:    float64(i),
+		}
+	}
+	env := wire.CacheBound{Batch: &wire.RefreshBatch{Refreshes: rs}}
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	processed := 0
+	if pref == transport.CodecBinary {
+		var enc codec.Encoder
+		var buf []byte
+		// The replay reader hands the decoder the bytes of the most recent
+		// encode; re-encoding produces identical bytes, so wrap-around in
+		// the decoder's read buffer is harmless.
+		buf = enc.AppendBatch(buf[:0], *env.Batch)
+		dec := codec.NewDecoder(&replayReader{data: buf})
+		for time.Now().Before(deadline) {
+			for k := 0; k < 64; k++ {
+				buf = enc.AppendBatch(buf[:0], *env.Batch)
+				if _, err := dec.ReadCacheBound(); err != nil {
+					panic(err)
+				}
+				processed += batch
+			}
+		}
+	} else {
+		// encoding/gob streams through a shared buffer: the encoder appends
+		// one envelope, the decoder consumes it, single-threaded.
+		var pipe bytes.Buffer
+		enc := gob.NewEncoder(&pipe)
+		dec := gob.NewDecoder(&pipe)
+		for time.Now().Before(deadline) {
+			for k := 0; k < 64; k++ {
+				if err := enc.Encode(env); err != nil {
+					panic(err)
+				}
+				var got wire.CacheBound
+				if err := dec.Decode(&got); err != nil {
+					panic(err)
+				}
+				processed += batch
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return processed, float64(processed) / elapsed.Seconds()
+}
+
+// replayReader serves the same byte slice forever (the caller refreshes its
+// contents between reads).
+type replayReader struct {
+	data []byte
+	off  int
+}
+
+func (r *replayReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// measureFraming streams batches from one source to fanout loopback-TCP
+// servers for roughly duration, returning total refreshes delivered across
+// all destinations and the delivery rate. Delivery is counted at the
+// receiving end so the number reflects decoded, not merely buffered, frames.
+func measureFraming(pref transport.Codec, fanout, batch int, duration time.Duration) (int, float64) {
+	var delivered atomic.Int64
+	var readers sync.WaitGroup
+	done := make(chan struct{}) // Close on a CacheEndpoint does not close Batches()
+	servers := make([]transport.CacheEndpoint, 0, fanout)
+	conns := make([]transport.SourceConn, 0, fanout)
+	for i := 0; i < fanout; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		srv := transport.Serve(ln, 256)
+		servers = append(servers, srv)
+		readers.Add(1)
+		go func(srv transport.CacheEndpoint) {
+			defer readers.Done()
+			for {
+				select {
+				case b := <-srv.Batches():
+					delivered.Add(int64(len(b.Refreshes)))
+				case <-done:
+					return
+				}
+			}
+		}(srv)
+		conn, err := transport.DialCodec(ln.Addr().String(), "src-0", pref)
+		if err != nil {
+			panic(err)
+		}
+		conns = append(conns, conn)
+	}
+
+	// The binary fan-out path encodes each batch exactly once and hands
+	// every session the same refcounted frame.
+	frames := pref == transport.CodecBinary
+	for _, c := range conns {
+		fs, ok := c.(transport.FrameSender)
+		frames = frames && ok && fs.FramesEnabled()
+	}
+
+	rs := make([]wire.Refresh, batch)
+	for i := range rs {
+		rs[i] = wire.Refresh{SourceID: "src-0", ObjectID: "src-0/obj"}
+	}
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var version uint64
+	for time.Now().Before(deadline) {
+		// A handful of batches between clock checks keeps the timer off
+		// the hot path; only the fields that change are rewritten.
+		for k := 0; k < 16; k++ {
+			for i := range rs {
+				version++
+				rs[i].Version = version
+				rs[i].Value = float64(version)
+			}
+			if frames {
+				f := codec.NewBatchFrame(rs, time.Now().UnixNano())
+				for _, c := range conns {
+					if err := c.(transport.FrameSender).SendFrame(f); err != nil {
+						panic(err)
+					}
+				}
+				f.Release()
+			} else {
+				for _, c := range conns {
+					if err := c.SendBatch(rs); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	// Drain: closing the connections flushes what the servers have buffered;
+	// closing the servers ends the reader goroutines.
+	for _, c := range conns {
+		c.Close()
+	}
+	time.Sleep(50 * time.Millisecond)
+	elapsed := time.Since(start)
+	close(done)
+	readers.Wait()
+	for _, s := range servers {
+		s.Close()
+	}
+	n := int(delivered.Load())
+	return n, float64(n) / elapsed.Seconds()
 }
 
 // measureThroughput runs one configuration: producers push as fast as the

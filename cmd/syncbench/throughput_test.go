@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestThroughputBenchSchema is the CI smoke for -throughput: a short run must
+// measure the apply-path pair plus all six wire-framing scenarios and emit a
+// BENCH_throughput.json that parses with exactly the documented schema
+// (docs/operations.md) — unknown fields in the file mean the docs lag the
+// code, a decode error means the reverse.
+func TestThroughputBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement windows are too slow for -short")
+	}
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runThroughputMode(2, 16, 0, 64, 2*time.Millisecond, 300*time.Millisecond)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_throughput.json"))
+	if err != nil {
+		t.Fatalf("BENCH_throughput.json not written: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var records []tpRecord
+	if err := dec.Decode(&records); err != nil {
+		t.Fatalf("BENCH_throughput.json does not match the documented schema: %v", err)
+	}
+	want := map[string]bool{
+		"throughput-baseline": true, "throughput-tuned": true,
+		"codec-gob": true, "codec-binary": true,
+		"frame-gob": true, "frame-binary": true,
+		"fanout-gob": true, "fanout-binary": true,
+	}
+	for _, r := range records {
+		if !want[r.Scenario] {
+			t.Errorf("unexpected or duplicate scenario %q", r.Scenario)
+			continue
+		}
+		delete(want, r.Scenario)
+		if r.Applied == 0 || r.RefreshesPerS <= 0 {
+			t.Errorf("%s: empty measurement (applied %d, rate %.0f)", r.Scenario, r.Applied, r.RefreshesPerS)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %v", r.Scenario, r.Speedup)
+		}
+		framing := !strings.HasPrefix(r.Scenario, "throughput-")
+		if framing {
+			if r.NsPerRefresh <= 0 {
+				t.Errorf("%s: framing scenario missing ns_per_refresh", r.Scenario)
+			}
+			if r.Codec != "binary" && r.Codec != "gob" {
+				t.Errorf("%s: codec %q", r.Scenario, r.Codec)
+			}
+			if r.Batch != 64 {
+				t.Errorf("%s: batch %d, want 64", r.Scenario, r.Batch)
+			}
+		} else if r.Codec != "" || r.Fanout != 0 || r.NsPerRefresh != 0 {
+			t.Errorf("%s: apply-path scenario carries codec fields (%q/%d/%v)",
+				r.Scenario, r.Codec, r.Fanout, r.NsPerRefresh)
+		}
+	}
+	for s := range want {
+		t.Errorf("scenario %q missing from BENCH_throughput.json", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
 )
 
 // BatcherConfig tunes a Batcher.
@@ -131,7 +132,7 @@ func (b *batcher) flush() error {
 	if len(rs) == 0 {
 		return nil
 	}
-	if err := b.conn.SendBatch(rs); err != nil {
+	if err := b.sendBatch(rs); err != nil {
 		b.mu.Lock()
 		if b.err == nil {
 			b.err = err
@@ -144,6 +145,22 @@ func (b *batcher) flush() error {
 	b.err = nil
 	b.mu.Unlock()
 	return nil
+}
+
+// sendBatch hands the batch to the connection, pre-encoded when it can take
+// one: a binary-codec connection (FrameSender) receives a pooled
+// codec.Frame, so the serialization cost is paid exactly once per batch —
+// here, under flushMu — instead of per envelope inside the connection, and
+// the same Frame shape lets a fan-out layer share one encoding across every
+// destination holding the same batch.
+func (b *batcher) sendBatch(rs []wire.Refresh) error {
+	if fs, ok := b.conn.(FrameSender); ok && fs.FramesEnabled() {
+		f := codec.NewBatchFrame(rs, time.Now().UnixNano())
+		err := fs.SendFrame(f)
+		f.Release()
+		return err
+	}
+	return b.conn.SendBatch(rs)
 }
 
 func (b *batcher) loop() {

@@ -1,0 +1,341 @@
+package transport
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
+)
+
+func TestParseCodec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Codec
+		ok   bool
+	}{
+		{"auto", CodecAuto, true},
+		{"", CodecAuto, true},
+		{"binary", CodecBinary, true},
+		{"gob", CodecGob, true},
+		{"protobuf", CodecAuto, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseCodec(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseCodec(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, c := range []Codec{CodecAuto, CodecBinary, CodecGob} {
+		back, err := ParseCodec(c.String())
+		if err != nil || back != c {
+			t.Errorf("round trip %v → %q → %v, %v", c, c.String(), back, err)
+		}
+	}
+}
+
+func TestSetDialCodec(t *testing.T) {
+	defer SetDialCodec(CodecAuto)
+	SetDialCodec(CodecGob)
+	if got := DialCodecDefault(); got != CodecGob {
+		t.Fatalf("DialCodecDefault = %v after SetDialCodec(gob)", got)
+	}
+}
+
+// testTCPRoundTrip runs the full bidirectional exchange — refresh up,
+// feedback down, poll down, reply up — against a new server with the client
+// forced to the given codec. The same server binary serves both encodings,
+// so running this per codec IS the old-client/new-server interop test:
+// CodecGob is byte-for-byte the pre-codec client.
+func testTCPRoundTrip(t *testing.T, pref Codec, wantFrames bool) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	conn, err := DialCodec(ln.Addr().String(), "s1", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if fs, ok := conn.(FrameSender); !ok {
+		t.Fatal("TCP client does not implement FrameSender")
+	} else if fs.FramesEnabled() != wantFrames {
+		t.Fatalf("FramesEnabled = %v with codec %v, want %v", fs.FramesEnabled(), pref, wantFrames)
+	}
+
+	if err := conn.SendRefresh(wire.Refresh{
+		SourceID: "s1", ObjectID: "a", Value: 3.5, Version: 1,
+		Origin: "s1", Via: []string{"relay-1"}, Hops: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := recvOne(t, srv.Batches()); r.ObjectID != "a" || r.Value != 3.5 || len(r.Via) != 1 {
+		t.Errorf("got %+v", r)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	fb := wire.Feedback{CacheID: "edge", Held: []wire.HeldVersion{{ObjectID: "a", Version: 1}}}
+	for {
+		if err := srv.SendFeedback("s1", fb); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("source never registered for feedback")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case got := <-conn.Feedback():
+		if got.CacheID != "edge" || len(got.Held) != 1 || got.Held[0].ObjectID != "a" {
+			t.Errorf("feedback drifted: %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("feedback not received")
+	}
+
+	pe, pc := srv.(PollEndpoint), conn.(PollConn)
+	if err := pe.SendPoll("s1", wire.Poll{CacheID: "edge", ObjectIDs: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-pc.Polls():
+		if p.CacheID != "edge" || len(p.ObjectIDs) != 2 {
+			t.Errorf("poll drifted: %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poll not received")
+	}
+	if err := pc.SendReply(wire.PollReply{SourceID: "s1", Items: []wire.PollItem{
+		{ObjectID: "a", Exists: true, Value: 1.5, Version: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-pe.Replies():
+		if r.SourceID != "s1" || len(r.Items) != 1 || r.Items[0].Value != 1.5 {
+			t.Errorf("reply drifted: %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not received")
+	}
+}
+
+// TestTCPRoundTripPerCodec runs the same protocol exchange under every
+// client codec against one server implementation.
+func TestTCPRoundTripPerCodec(t *testing.T) {
+	t.Run("binary", func(t *testing.T) { testTCPRoundTrip(t, CodecBinary, true) })
+	t.Run("gob", func(t *testing.T) { testTCPRoundTrip(t, CodecGob, false) })
+	t.Run("auto", func(t *testing.T) { testTCPRoundTrip(t, CodecAuto, true) })
+}
+
+// legacyGobServer mimics a pre-codec daemon: a bare gob decoder from byte
+// one. A binary probe's magic byte fails its gob decode immediately (0xB5
+// reads as a 75-byte length field, which is out of range), so it kills the
+// connection — exactly the signal the auto-negotiating client falls back on.
+func legacyGobServer(t *testing.T) (addr string, batches chan wire.RefreshBatch, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches = make(chan wire.RefreshBatch, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				var hello wire.Hello
+				if err := dec.Decode(&hello); err != nil {
+					return // the legacy reaction to a binary prologue
+				}
+				for {
+					var env wire.CacheBound
+					if err := dec.Decode(&env); err != nil {
+						return
+					}
+					if env.Batch != nil {
+						batches <- *env.Batch
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), batches, func() { ln.Close() }
+}
+
+// TestAutoFallsBackToGobAgainstLegacyServer: a new client with CodecAuto
+// dialing an old gob-only daemon must transparently redial in gob and
+// deliver traffic the old daemon parses.
+func TestAutoFallsBackToGobAgainstLegacyServer(t *testing.T) {
+	addr, batches, closeFn := legacyGobServer(t)
+	defer closeFn()
+
+	conn, err := DialCodec(addr, "s1", CodecAuto)
+	if err != nil {
+		t.Fatalf("auto dial against a legacy server failed instead of falling back: %v", err)
+	}
+	defer conn.Close()
+	if fs := conn.(FrameSender); fs.FramesEnabled() {
+		t.Fatal("fallback connection claims binary frames")
+	}
+	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-batches:
+		if len(b.Refreshes) != 1 || b.Refreshes[0].ObjectID != "a" {
+			t.Errorf("legacy server decoded %+v", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("legacy server never received the fallback client's refresh")
+	}
+}
+
+// TestBinaryRequiredFailsAgainstLegacyServer: CodecBinary must error, not
+// silently downgrade.
+func TestBinaryRequiredFailsAgainstLegacyServer(t *testing.T) {
+	addr, _, closeFn := legacyGobServer(t)
+	defer closeFn()
+	if conn, err := DialCodec(addr, "s1", CodecBinary); err == nil {
+		conn.Close()
+		t.Fatal("CodecBinary dial against a legacy server succeeded")
+	}
+}
+
+// rawBinaryHandshake opens a raw binary-codec connection to addr and
+// completes the prologue + hello + echo exchange, returning the socket for
+// hostile follow-up bytes.
+func rawBinaryHandshake(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc codec.Encoder
+	buf := append([]byte{codec.Magic, codec.Version}, enc.AppendHello(nil, wire.Hello{SourceID: "s1"})...)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var echo [2]byte
+	if _, err := io.ReadFull(conn, echo[:]); err != nil || echo != [2]byte{codec.Magic, codec.Version} {
+		t.Fatalf("no binary accept echo: %v %x", err, echo)
+	}
+	return conn
+}
+
+// expectConnClosed asserts the server tears the connection down (the
+// contract for every codec decode error: the frame boundary is gone).
+func expectConnClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("server kept the connection open after a malformed frame")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server neither closed the connection nor erred within the deadline")
+	}
+}
+
+// TestServerClosesConnOnGarbageFrame: after a clean handshake, an undecodable
+// frame kind must kill the connection, not desynchronize the stream.
+func TestServerClosesConnOnGarbageFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	conn := rawBinaryHandshake(t, ln.Addr().String())
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0x7e, 0x03, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	expectConnClosed(t, conn)
+}
+
+// TestServerClosesConnOnOversizedFrame: a length prefix past the size cap is
+// rejected before allocation and the connection dies.
+func TestServerClosesConnOnOversizedFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	conn := rawBinaryHandshake(t, ln.Addr().String())
+	defer conn.Close()
+	// KindBatch claiming a 2 GiB payload in 5 bytes.
+	if _, err := conn.Write([]byte{codec.KindBatch, 0x80, 0x80, 0x80, 0x80, 0x08}); err != nil {
+		t.Fatal(err)
+	}
+	expectConnClosed(t, conn)
+}
+
+// TestServerClosesConnOnFutureCodecVersion: a prologue with an unknown
+// version byte is refused (closing tells the future client to fall back to
+// gob, the shared denominator).
+func TestServerClosesConnOnFutureCodecVersion(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{codec.Magic, 0x7f}); err != nil {
+		t.Fatal(err)
+	}
+	expectConnClosed(t, conn)
+}
+
+// TestBatcherUsesFrameSender: through a Batcher over a binary connection,
+// flushed batches travel as pre-encoded frames and still arrive intact.
+func TestBatcherUsesFrameSender(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+
+	raw, err := DialCodec(ln.Addr().String(), "s1", CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewBatcher(raw, BatcherConfig{MaxBatch: 2, FlushEvery: time.Hour})
+	defer conn.Close()
+
+	for _, id := range []string{"a", "b"} {
+		if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: id, Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case b := <-srv.Batches():
+		if len(b.Refreshes) != 2 || b.Refreshes[0].ObjectID != "a" || b.Refreshes[1].ObjectID != "b" {
+			t.Errorf("frame-path batch drifted: %+v", b.Refreshes)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame-path batch not delivered")
+	}
+}

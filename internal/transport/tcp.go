@@ -1,13 +1,16 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
 )
 
 // tcpServer implements CacheEndpoint (and PollEndpoint) over TCP. Each
@@ -16,6 +19,12 @@ import (
 // policy) or a poll reply (poll policies); a single refresh travels as a
 // batch of one. The server streams wire.SourceBound envelopes (feedback or
 // polls) the other way on the same connection.
+//
+// Two encodings coexist. Binary-codec streams open with the two-byte
+// prologue {codec.Magic, codec.Version}; legacy streams open with a gob
+// frame. codec.Magic can never begin a gob stream, so the server detects the
+// encoding from the first byte of each connection and serves old and new
+// clients side by side — no flag, no restart ordering between daemons.
 type tcpServer struct {
 	ln      net.Listener
 	batches chan wire.RefreshBatch
@@ -29,8 +38,34 @@ type tcpServer struct {
 
 type tcpServerConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
 	mu   sync.Mutex
+	enc  *gob.Encoder // legacy streams
+	benc codec.Encoder
+	wbuf []byte // reusable frame buffer, guarded by mu
+	bin  bool
+}
+
+// sendEnv writes one cache→source envelope in the stream's negotiated
+// encoding. A binary encode error (malformed envelope) is reported without
+// writing anything, so the stream stays framed; a write error means an
+// unknowable number of frame bytes reached the socket, so the connection is
+// closed — the client's read loop observes it and redials.
+func (sc *tcpServerConn) sendEnv(env wire.SourceBound) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if !sc.bin {
+		return sc.enc.Encode(env)
+	}
+	buf, err := sc.benc.AppendSourceBound(sc.wbuf[:0], env)
+	sc.wbuf = buf
+	if err != nil {
+		return err
+	}
+	if _, err := sc.conn.Write(buf); err != nil {
+		sc.conn.Close()
+		return err
+	}
+	return nil
 }
 
 // Serve wraps a listener as a cache endpoint and starts accepting source
@@ -63,15 +98,88 @@ func (s *tcpServer) acceptLoop() {
 	}
 }
 
+// envelopeReader abstracts the per-connection decode loop over the two
+// encodings. Every error it returns is terminal: the caller closes the
+// connection (a binary stream's frame boundary is unknowable after a bad
+// frame, and a gob stream is equally unrecoverable after a decode error).
+type envelopeReader interface {
+	readEnvelope() (wire.CacheBound, error)
+}
+
+type gobEnvelopeReader struct{ dec *gob.Decoder }
+
+func (g gobEnvelopeReader) readEnvelope() (wire.CacheBound, error) {
+	var env wire.CacheBound
+	err := g.dec.Decode(&env)
+	return env, err
+}
+
+type binEnvelopeReader struct{ dec *codec.Decoder }
+
+func (b binEnvelopeReader) readEnvelope() (wire.CacheBound, error) {
+	return b.dec.ReadCacheBound()
+}
+
+// handshake performs the per-connection encoding detection and Hello
+// exchange, returning the upward decode loop reader. Binary clients get the
+// prologue echoed back as the accept signal — written before the connection
+// is registered, so it always precedes any sendDown frame.
+func (s *tcpServer) handshake(conn net.Conn, br *bufio.Reader, sc *tcpServerConn) (wire.Hello, envelopeReader, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return wire.Hello{}, nil, err
+	}
+	if first[0] != codec.Magic {
+		// Legacy stream: plain gob from the first byte, exactly the
+		// pre-codec protocol.
+		dec := gob.NewDecoder(br)
+		var hello wire.Hello
+		if err := dec.Decode(&hello); err != nil {
+			return wire.Hello{}, nil, err
+		}
+		if err := hello.Validate(); err != nil {
+			return wire.Hello{}, nil, err
+		}
+		sc.enc = gob.NewEncoder(conn)
+		return hello, gobEnvelopeReader{dec}, nil
+	}
+	var prologue [2]byte
+	if _, err := io.ReadFull(br, prologue[:]); err != nil {
+		return wire.Hello{}, nil, err
+	}
+	if prologue[1] != codec.Version {
+		// A future client speaking a version this daemon cannot parse;
+		// closing makes it fall back to gob, which both sides share.
+		return wire.Hello{}, nil, fmt.Errorf("transport: unsupported codec version 0x%02x", prologue[1])
+	}
+	dec := codec.NewDecoder(br)
+	hello, err := dec.ReadHello()
+	if err != nil {
+		return wire.Hello{}, nil, err
+	}
+	if err := hello.Validate(); err != nil {
+		return wire.Hello{}, nil, err
+	}
+	if _, err := conn.Write([]byte{codec.Magic, codec.Version}); err != nil {
+		return wire.Hello{}, nil, err
+	}
+	sc.bin = true
+	return hello, binEnvelopeReader{dec}, nil
+}
+
+// readBufSize sizes the per-connection read buffer: big enough that a
+// batch-64 frame arrives in one read(2) instead of a dozen.
+const readBufSize = 64 << 10
+
 func (s *tcpServer) handle(conn net.Conn) {
 	defer s.wg.Done()
-	dec := gob.NewDecoder(conn)
-	var hello wire.Hello
-	if err := dec.Decode(&hello); err != nil || hello.Validate() != nil {
+	br := bufio.NewReaderSize(conn, readBufSize)
+	sc := &tcpServerConn{conn: conn}
+	hello, rd, err := s.handshake(conn, br, sc)
+	if err != nil {
 		conn.Close()
 		return
 	}
-	sc := &tcpServerConn{conn: conn, enc: gob.NewEncoder(conn)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -85,9 +193,9 @@ func (s *tcpServer) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	for {
-		var env wire.CacheBound
-		if err := dec.Decode(&env); err != nil {
-			break
+		env, err := rd.readEnvelope()
+		if err != nil {
+			break // terminal for both codecs: close below
 		}
 		s.mu.Lock()
 		closed := s.closed
@@ -99,16 +207,30 @@ func (s *tcpServer) handle(conn net.Conn) {
 		case env.Batch != nil:
 			b := *env.Batch
 			// Drop malformed refreshes but keep the rest of the batch; the
-			// stream identity is authoritative for every refresh.
-			valid := b.Refreshes[:0]
-			for _, r := range b.Refreshes {
-				if r.Validate() != nil {
+			// stream identity is authoritative for every refresh. Filtering
+			// is in place and copies nothing until a refresh is actually
+			// dropped; the identity stamp skips refreshes already carrying
+			// it (with the decoder's string interning that comparison is a
+			// pointer check), so a well-formed batch passes through without
+			// a single struct copy or pointer write.
+			n := 0
+			for i := range b.Refreshes {
+				r := &b.Refreshes[i]
+				// Validate's three checks, inlined: the method has a value
+				// receiver, and copying every refresh to validate it costs
+				// more than the validation.
+				if r.SourceID == "" || r.ObjectID == "" || r.Hops < 0 {
 					continue
 				}
-				r.SourceID = hello.SourceID
-				valid = append(valid, r)
+				if r.SourceID != hello.SourceID {
+					r.SourceID = hello.SourceID
+				}
+				if n != i {
+					b.Refreshes[n] = *r
+				}
+				n++
 			}
-			b.Refreshes = valid
+			b.Refreshes = b.Refreshes[:n]
 			if len(b.Refreshes) == 0 {
 				continue
 			}
@@ -153,9 +275,7 @@ func (s *tcpServer) sendDown(sourceID string, env wire.SourceBound) error {
 	if !ok {
 		return fmt.Errorf("transport: unknown source %q", sourceID)
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.enc.Encode(env)
+	return sc.sendEnv(env)
 }
 
 // SendFeedback implements CacheEndpoint.
@@ -197,35 +317,113 @@ func (s *tcpServer) Close() error {
 	return err
 }
 
-// tcpClient implements SourceConn (and PollConn) over TCP.
+// tcpClient implements SourceConn (and PollConn) over TCP, in either
+// encoding. Binary clients additionally implement FrameSender, the
+// encode-once path a Batcher uses to hand over pre-encoded batches.
 type tcpClient struct {
 	conn  net.Conn
-	enc   *gob.Encoder
+	br    *bufio.Reader
+	enc   *gob.Encoder // legacy streams
+	benc  codec.Encoder
+	wbuf  []byte // reusable frame buffer, guarded by mu
+	bin   bool
 	fb    chan wire.Feedback
 	polls chan wire.Poll
 	mu    sync.Mutex
 	once  sync.Once
 }
 
-// Dial connects a source to a cache daemon at addr.
+// handshakeTimeout bounds how long a dialing client waits for the binary
+// accept echo. A legacy server never sends it — it either kills the
+// connection when codec.Magic fails its gob decode (immediate error here) or
+// blocks waiting for the rest of what it misparsed as a huge gob message
+// (this deadline breaks that stall) — and in both cases the client falls
+// back to a fresh gob connection.
+const handshakeTimeout = 3 * time.Second
+
+// Dial connects a source to a cache daemon at addr using the process-wide
+// codec preference (SetDialCodec; CodecAuto unless a -codec flag said
+// otherwise).
 func Dial(addr, sourceID string) (SourceConn, error) {
+	return DialCodec(addr, sourceID, DialCodecDefault())
+}
+
+// DialCodec connects with an explicit codec choice. CodecAuto attempts the
+// binary handshake and transparently redials in gob when the far side does
+// not speak it; CodecBinary fails instead of falling back; CodecGob skips
+// the probe and speaks the legacy protocol byte-for-byte.
+func DialCodec(addr, sourceID string, pref Codec) (SourceConn, error) {
 	if sourceID == "" {
 		return nil, fmt.Errorf("transport: empty source id")
 	}
+	if pref != CodecGob {
+		c, err := dialBinary(addr, sourceID)
+		if err == nil {
+			return c, nil
+		}
+		if pref == CodecBinary {
+			return nil, err
+		}
+		// Auto: anything that went wrong after connecting — reset, EOF,
+		// echo timeout, garbled echo — reads as "far side speaks gob";
+		// dial errors proper (no listener) are not worth a second attempt
+		// but redialing is harmless and keeps this branch simple.
+	}
+	return dialGob(addr, sourceID)
+}
+
+func newTCPClient(conn net.Conn) *tcpClient {
+	return &tcpClient{
+		conn:  conn,
+		fb:    make(chan wire.Feedback, 4),
+		polls: make(chan wire.Poll, 16),
+	}
+}
+
+// dialBinary performs the binary handshake: prologue + Hello frame in one
+// write, then the server's prologue echo as the accept signal.
+func dialBinary(addr, sourceID string) (*tcpClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpClient{
-		conn:  conn,
-		enc:   gob.NewEncoder(conn),
-		fb:    make(chan wire.Feedback, 4),
-		polls: make(chan wire.Poll, 16),
+	c := newTCPClient(conn)
+	c.bin = true
+	buf := append(c.wbuf[:0], codec.Magic, codec.Version)
+	c.wbuf = c.benc.AppendHello(buf, wire.Hello{SourceID: sourceID})
+	if _, err := conn.Write(c.wbuf); err != nil {
+		conn.Close()
+		return nil, err
 	}
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	c.br = bufio.NewReaderSize(conn, readBufSize)
+	var echo [2]byte
+	if _, err := io.ReadFull(c.br, echo[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: no binary-codec accept from %s: %w", addr, err)
+	}
+	if echo[0] != codec.Magic || echo[1] != codec.Version {
+		conn.Close()
+		return nil, fmt.Errorf("transport: bad binary-codec accept from %s: %x", addr, echo)
+	}
+	conn.SetReadDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+// dialGob opens a legacy gob stream, byte-for-byte the pre-codec protocol.
+func dialGob(addr, sourceID string) (*tcpClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := newTCPClient(conn)
+	c.enc = gob.NewEncoder(conn)
 	if err := c.enc.Encode(wire.Hello{SourceID: sourceID}); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	c.br = bufio.NewReader(conn)
 	go c.readLoop()
 	return c, nil
 }
@@ -252,11 +450,18 @@ func DialAll(addrs []string, sourceID string) ([]SourceConn, error) {
 }
 
 func (c *tcpClient) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+	var rd interface {
+		readSourceBound() (wire.SourceBound, error)
+	}
+	if c.bin {
+		rd = binSourceBoundReader{codec.NewDecoder(c.br)}
+	} else {
+		rd = gobSourceBoundReader{gob.NewDecoder(c.br)}
+	}
 	for {
-		var env wire.SourceBound
-		if err := dec.Decode(&env); err != nil {
-			break
+		env, err := rd.readSourceBound()
+		if err != nil {
+			break // terminal for both codecs: close below
 		}
 		switch {
 		case env.Feedback != nil:
@@ -281,9 +486,35 @@ func (c *tcpClient) readLoop() {
 	close(c.polls)
 }
 
+type gobSourceBoundReader struct{ dec *gob.Decoder }
+
+func (g gobSourceBoundReader) readSourceBound() (wire.SourceBound, error) {
+	var env wire.SourceBound
+	err := g.dec.Decode(&env)
+	return env, err
+}
+
+type binSourceBoundReader struct{ dec *codec.Decoder }
+
+func (b binSourceBoundReader) readSourceBound() (wire.SourceBound, error) {
+	return b.dec.ReadSourceBound()
+}
+
 // SendRefresh implements SourceConn.
 func (c *tcpClient) SendRefresh(r wire.Refresh) error {
 	return c.SendBatch([]wire.Refresh{r})
+}
+
+// writeFrame writes pre-framed bytes under the send lock. A write error
+// closes the connection: an unknowable number of frame bytes reached the
+// socket, so the stream is no longer framed and the read loop must wind the
+// connection down rather than let a later send interleave into a torn frame.
+func (c *tcpClient) writeFrame(buf []byte) error {
+	if _, err := c.conn.Write(buf); err != nil {
+		c.closeConn()
+		return err
+	}
+	return nil
 }
 
 // SendBatch implements SourceConn.
@@ -294,14 +525,37 @@ func (c *tcpClient) SendBatch(rs []wire.Refresh) error {
 	b := wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(wire.CacheBound{Batch: &b})
+	if !c.bin {
+		return c.enc.Encode(wire.CacheBound{Batch: &b})
+	}
+	c.wbuf = c.benc.AppendBatch(c.wbuf[:0], b)
+	return c.writeFrame(c.wbuf)
 }
+
+// SendFrame implements FrameSender: the pre-encoded bytes go to the socket
+// verbatim, so a batch encoded once (codec.NewBatchFrame) fans out to any
+// number of binary connections without re-serializing.
+func (c *tcpClient) SendFrame(f *codec.Frame) error {
+	if !c.bin {
+		return fmt.Errorf("transport: connection did not negotiate the binary codec")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeFrame(f.Bytes())
+}
+
+// FramesEnabled implements FrameSender.
+func (c *tcpClient) FramesEnabled() bool { return c.bin }
 
 // SendReply implements PollConn.
 func (c *tcpClient) SendReply(r wire.PollReply) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(wire.CacheBound{Reply: &r})
+	if !c.bin {
+		return c.enc.Encode(wire.CacheBound{Reply: &r})
+	}
+	c.wbuf = c.benc.AppendReply(c.wbuf[:0], r)
+	return c.writeFrame(c.wbuf)
 }
 
 // Feedback implements SourceConn.

@@ -454,12 +454,10 @@ func TestDialAllPartialFailureCleansUp(t *testing.T) {
 	}
 	srv := Serve(ln, 16)
 	defer srv.Close()
-	dead, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	deadAddr := dead.Addr().String()
-	dead.Close() // nothing listens here anymore
+	// Port 0 is never listenable, so connecting to it is refused
+	// deterministically — unlike the listen-then-close trick, where another
+	// process can rebind the freed port between Close and DialAll.
+	deadAddr := "127.0.0.1:0"
 	if _, err := DialAll([]string{ln.Addr().String(), deadAddr}, "s1"); err == nil {
 		t.Fatal("DialAll to a dead address succeeded")
 	}

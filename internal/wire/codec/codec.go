@@ -1,0 +1,338 @@
+// Package codec is the hand-rolled binary wire format for the hot protocol
+// messages (Refresh, RefreshBatch, Feedback, Poll, PollReply and the Hello
+// handshake) — the zero-reflection replacement for encoding/gob on the TCP
+// hot path. Snapshots and legacy peers keep gob: the codec is negotiated per
+// stream (see below), so old and new daemons interoperate.
+//
+// # Frame layout
+//
+// A stream is a sequence of self-delimiting frames:
+//
+//	frame   := kind(1 byte) length(uvarint) payload(length bytes)
+//	kind    := 0x01 Hello | 0x02 RefreshBatch | 0x03 PollReply
+//	           | 0x04 Feedback | 0x05 Poll
+//
+// Payload fields are encoded in declaration order with four primitives:
+//
+//	uvarint := unsigned LEB128 (encoding/binary Uvarint), max 10 bytes
+//	varint  := zigzag-folded uvarint (encoding/binary Varint)
+//	string  := uvarint byte-length, then raw bytes
+//	float64 := 8 bytes, little-endian IEEE 754 bit pattern
+//	bool    := 1 byte, 0x00 false / 0x01 true
+//
+// See docs/algorithm-specifications.md §10 for the per-message field tables;
+// testdata/golden/ pins the canonical encoding of every message type.
+//
+// # Stream negotiation
+//
+// A binary stream starts with the two-byte prologue {Magic, Version}. Magic
+// (0xB5) can never begin an encoding/gob stream — gob's first byte is a
+// message length, either 0x00–0x7F (small count) or 0xF8–0xFF (multi-byte
+// count) — so a server peeks one byte to tell a new client from an old one
+// and answers a binary client by echoing the prologue. A client that never
+// receives the echo (an old server kills the connection when the magic byte
+// fails its gob decode) redials and speaks plain gob. Gob streams carry no
+// prologue at all, byte-for-byte compatible with pre-codec daemons.
+//
+// # Hostile input
+//
+// The decoder never panics and never allocates proportionally to what a
+// frame CLAIMS, only to what it actually carries: length prefixes are
+// bounded by a configurable cap (ErrFrameTooLarge before any allocation),
+// string lengths and element counts are checked against the bytes remaining
+// in the already-read payload, and slices grow by append as elements decode
+// rather than trusting the declared count. Every error is one of ErrBadFrame,
+// ErrFrameTooLarge or an underlying read error; a transport must treat any of
+// them as fatal for the stream (framing is lost) and close the connection.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stream negotiation bytes. The prologue {Magic, Version} opens every binary
+// stream in both directions (client sends, server echoes to accept).
+const (
+	// Magic is chosen from 0x80–0xF7, the byte range that cannot start a
+	// gob stream, so auto-detection against legacy peers is unambiguous.
+	Magic byte = 0xB5
+	// Version is the wire-format version. Unknown versions are rejected at
+	// the handshake; the format itself is pinned by testdata/golden.
+	Version byte = 0x01
+)
+
+// Frame kinds.
+const (
+	KindHello    byte = 0x01
+	KindBatch    byte = 0x02 // RefreshBatch (cache-bound)
+	KindReply    byte = 0x03 // PollReply (cache-bound)
+	KindFeedback byte = 0x04 // Feedback (source-bound)
+	KindPoll     byte = 0x05 // Poll (source-bound)
+)
+
+// DefaultMaxFrame caps a frame's declared payload length (16 MiB). Far above
+// any legitimate frame (a 256-refresh batch is a few tens of KiB) yet small
+// enough that a hostile length prefix cannot drive an allocation bomb.
+const DefaultMaxFrame = 16 << 20
+
+// maxUvarintLen is the longest accepted uvarint encoding (10 bytes carries
+// the full uint64 range).
+const maxUvarintLen = binary.MaxVarintLen64
+
+// Decode errors. Both are terminal for the stream: once a frame fails to
+// parse, the byte boundary of the next frame is unknowable.
+var (
+	// ErrBadFrame reports a structurally invalid frame: unknown kind,
+	// truncated payload, over-long varint, string or slice count exceeding
+	// the payload, or trailing garbage after the last field.
+	ErrBadFrame = errors.New("codec: malformed frame")
+	// ErrFrameTooLarge reports a length prefix above the decoder's cap. It
+	// is returned BEFORE any allocation happens.
+	ErrFrameTooLarge = errors.New("codec: frame exceeds size cap")
+)
+
+// badFrame wraps ErrBadFrame with context; errors.Is(err, ErrBadFrame) holds.
+func badFrame(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadFrame, fmt.Sprintf(format, args...))
+}
+
+// payload is a bounds-checked cursor over one frame's payload bytes. All
+// reads return ErrBadFrame-wrapped errors instead of panicking; nothing here
+// allocates except str(), whose length is validated against the remaining
+// bytes first (and usually resolved from the decoder's intern table instead
+// of allocating at all).
+type payload struct {
+	b   []byte
+	off int
+	in  *internTable
+}
+
+func (p *payload) remaining() int { return len(p.b) - p.off }
+
+// uvarint's single-byte fast path stays small enough to inline; most
+// protocol integers (versions, counts, lengths, small epochs) fit one byte.
+func (p *payload) uvarint() (uint64, error) {
+	if p.off < len(p.b) {
+		if c := p.b[p.off]; c < 0x80 {
+			p.off++
+			return uint64(c), nil
+		}
+	}
+	return p.uvarintSlow()
+}
+
+func (p *payload) uvarintSlow() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, badFrame("truncated or over-long uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) varint() (int64, error) {
+	if p.off < len(p.b) {
+		if c := p.b[p.off]; c < 0x80 {
+			p.off++
+			return int64(c>>1) ^ -int64(c&1), nil // zigzag
+		}
+	}
+	return p.varintSlow()
+}
+
+func (p *payload) varintSlow() (int64, error) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, badFrame("truncated or over-long varint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(p.remaining()) {
+		return "", badFrame("string length %d exceeds %d remaining payload bytes", n, p.remaining())
+	}
+	raw := p.b[p.off : p.off+int(n)]
+	p.off += int(n)
+	if p.in != nil && n > 0 && n <= internLimit {
+		return p.in.intern(raw), nil
+	}
+	return string(raw), nil
+}
+
+// strSlot is str for fields that are constant per stream (source/cache ids,
+// origin): the dedicated slot hits without hashing.
+func (p *payload) strSlot(slot *string) (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(p.remaining()) {
+		return "", badFrame("string length %d exceeds %d remaining payload bytes", n, p.remaining())
+	}
+	raw := p.b[p.off : p.off+int(n)]
+	p.off += int(n)
+	if p.in != nil && n > 0 && n <= internLimit {
+		return p.in.slot(slot, raw), nil
+	}
+	return string(raw), nil
+}
+
+// internLimit bounds the string length eligible for interning; identifiers
+// (source, cache and object ids) are short and repeat across the frames of a
+// stream, long strings are rare enough that copying is fine.
+const internLimit = 64
+
+// internTable is a per-decoder direct-mapped cache of recently decoded
+// strings. Protocol streams repeat the same identifiers frame after frame —
+// the source id on every refresh, the object ids of the live working set —
+// so resolving them from the table turns the dominant decode allocation
+// (one string copy per id) into a byte comparison. A miss just overwrites
+// the slot: the table is an optimization, never a correctness dependency,
+// and its memory is bounded by len(entries)·internLimit per connection.
+//
+// Fields that are constant for a stream's lifetime (a refresh's source id,
+// cache id and origin) additionally get dedicated single-entry slots, which
+// hit without hashing at all.
+type internTable struct {
+	entries            [256]string
+	src, cache, origin string
+}
+
+// slot resolves b against a dedicated single-entry cache, falling back to
+// the shared table on a miss. The comparison *s == string(b) does not
+// allocate.
+func (t *internTable) slot(s *string, b []byte) string {
+	if *s == string(b) {
+		return *s
+	}
+	v := t.intern(b)
+	*s = v
+	return v
+}
+
+func (t *internTable) intern(b []byte) string {
+	// Hash the length, the first byte and the LAST eight bytes: sequential
+	// id sets like "src-7/obj-1234" differ only in trailing digits, so the
+	// tail carries the entropy; a single word load beats hashing every
+	// byte. Collisions only cost the allocation we would have done anyway;
+	// the comparison string(b) == s does not allocate.
+	n := len(b)
+	h := uint64(n)*0x9E3779B97F4A7C15 ^ uint64(b[0])
+	switch {
+	case n >= 8:
+		h ^= binary.LittleEndian.Uint64(b[n-8:])
+	case n >= 4:
+		h ^= uint64(binary.LittleEndian.Uint32(b)) |
+			uint64(binary.LittleEndian.Uint32(b[n-4:]))<<32
+	default:
+		for _, c := range b {
+			h = (h ^ uint64(c)) * 16777619
+		}
+	}
+	h *= 0x9E3779B97F4A7C15
+	i := (h >> 56) % uint64(len(t.entries))
+	if s := t.entries[i]; s == string(b) {
+		return s
+	}
+	s := string(b)
+	t.entries[i] = s
+	return s
+}
+
+func (p *payload) f64() (float64, error) {
+	if p.remaining() < 8 {
+		return 0, badFrame("truncated float64 at offset %d", p.off)
+	}
+	bits := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (p *payload) bool() (bool, error) {
+	if p.remaining() < 1 {
+		return false, badFrame("truncated bool at offset %d", p.off)
+	}
+	c := p.b[p.off]
+	p.off++
+	switch c {
+	case 0x00:
+		return false, nil
+	case 0x01:
+		return true, nil
+	}
+	return false, badFrame("bool byte 0x%02x at offset %d", c, p.off-1)
+}
+
+// count reads a slice element count and sanity-checks it against the bytes
+// remaining: every element occupies at least minElem encoded bytes, so a
+// count the payload cannot possibly hold is rejected before any element
+// decodes (and before any allocation sized by it).
+func (p *payload) count(minElem int) (int, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// n ≤ remaining first (so the multiply below cannot overflow: remaining
+	// is bounded by the frame cap), then the per-element minimum.
+	rem := uint64(p.remaining())
+	if n > rem || (minElem > 1 && n*uint64(minElem) > rem) {
+		return 0, badFrame("element count %d exceeds %d remaining payload bytes", n, p.remaining())
+	}
+	return int(n), nil
+}
+
+// done verifies the cursor consumed the payload exactly; trailing bytes mean
+// a framing bug or tampering and fail the frame.
+func (p *payload) done() error {
+	if p.off != len(p.b) {
+		return badFrame("%d trailing bytes after last field", p.remaining())
+	}
+	return nil
+}
+
+// Append primitives (the encode side mirrors of payload's readers). The
+// uvarint/varint helpers peel off the one-byte case — nearly every protocol
+// integer — so the common path inlines to a bounds check and a store.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(dst, byte(v))
+	}
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	if u := uint64(v<<1) ^ uint64(v>>63); u < 0x80 { // zigzag
+		return append(dst, byte(u))
+	}
+	return binary.AppendVarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) < 0x80 {
+		dst = append(dst, byte(len(s)))
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+	}
+	return append(dst, s...)
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 0x01)
+	}
+	return append(dst, 0x00)
+}

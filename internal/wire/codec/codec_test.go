@@ -1,0 +1,376 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"bestsync/internal/wire"
+)
+
+// sampleRefresh exercises every Refresh field, including relay provenance.
+func sampleRefresh() wire.Refresh {
+	return wire.Refresh{
+		SourceID:      "relay-1",
+		ObjectID:      "src-9/obj-42",
+		CacheID:       "edge-a",
+		Origin:        "src-9",
+		Hops:          2,
+		Via:           []string{"relay-0", "relay-1"},
+		OriginEpoch:   1700000000123,
+		OriginVersion: 77,
+		Value:         -273.15,
+		Version:       12345,
+		Epoch:         1700000001456,
+		Threshold:     0.125,
+		SentUnix:      1700000002789,
+	}
+}
+
+func sampleBatch() wire.RefreshBatch {
+	plain := wire.Refresh{SourceID: "s1", ObjectID: "s1/x", Value: 1.5, Version: 9, Epoch: 3}
+	return wire.RefreshBatch{Refreshes: []wire.Refresh{sampleRefresh(), plain}, SentUnix: 42}
+}
+
+func sampleReply() wire.PollReply {
+	return wire.PollReply{
+		SourceID: "s1",
+		All:      true,
+		Items: []wire.PollItem{
+			{ObjectID: "s1/a", Exists: true, Value: 2.5, Version: 8, Epoch: 3, LastModifiedUnix: 99},
+			{ObjectID: "s1/b"},
+		},
+		SentUnix: 7,
+	}
+}
+
+func sampleFeedback() wire.Feedback {
+	return wire.Feedback{
+		CacheID: "edge-a",
+		Held: []wire.HeldVersion{
+			{ObjectID: "s1/a", Epoch: 5, Version: 6},
+			{ObjectID: "s1/b", Epoch: -1, Version: 0},
+		},
+		SentUnix: 11,
+	}
+}
+
+func samplePoll() wire.Poll {
+	return wire.Poll{CacheID: "edge-a", ObjectIDs: []string{"s1/a", "s1/b", "s1/c"}, SentUnix: 13}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var enc Encoder
+	frame := enc.AppendHello(nil, wire.Hello{SourceID: "src-7"})
+	d := NewDecoder(bytes.NewReader(frame))
+	got, err := d.ReadHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SourceID != "src-7" {
+		t.Errorf("got %+v", got)
+	}
+	if _, err := d.ReadHello(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestCacheBoundRoundTrip(t *testing.T) {
+	var enc Encoder
+	batch := sampleBatch()
+	reply := sampleReply()
+	var buf []byte
+	var err error
+	if buf, err = enc.AppendCacheBound(buf, wire.CacheBound{Batch: &batch}); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = enc.AppendCacheBound(buf, wire.CacheBound{Reply: &reply}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf))
+	env1, err := d.ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env1.Batch == nil || !reflect.DeepEqual(*env1.Batch, batch) {
+		t.Errorf("batch round-trip:\n got %+v\nwant %+v", env1.Batch, batch)
+	}
+	env2, err := d.ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Reply == nil || !reflect.DeepEqual(*env2.Reply, reply) {
+		t.Errorf("reply round-trip:\n got %+v\nwant %+v", env2.Reply, reply)
+	}
+}
+
+func TestSourceBoundRoundTrip(t *testing.T) {
+	var enc Encoder
+	fb := sampleFeedback()
+	poll := samplePoll()
+	var buf []byte
+	var err error
+	if buf, err = enc.AppendSourceBound(buf, wire.SourceBound{Feedback: &fb}); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = enc.AppendSourceBound(buf, wire.SourceBound{Poll: &poll}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf))
+	env1, err := d.ReadSourceBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env1.Feedback == nil || !reflect.DeepEqual(*env1.Feedback, fb) {
+		t.Errorf("feedback round-trip:\n got %+v\nwant %+v", env1.Feedback, fb)
+	}
+	env2, err := d.ReadSourceBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Poll == nil || !reflect.DeepEqual(*env2.Poll, poll) {
+		t.Errorf("poll round-trip:\n got %+v\nwant %+v", env2.Poll, poll)
+	}
+}
+
+func TestInvalidEnvelopeRejected(t *testing.T) {
+	var enc Encoder
+	if _, err := enc.AppendCacheBound(nil, wire.CacheBound{}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty cache-bound envelope: err = %v", err)
+	}
+	b := sampleBatch()
+	r := sampleReply()
+	if _, err := enc.AppendCacheBound(nil, wire.CacheBound{Batch: &b, Reply: &r}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("double cache-bound envelope: err = %v", err)
+	}
+	if _, err := enc.AppendSourceBound(nil, wire.SourceBound{}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty source-bound envelope: err = %v", err)
+	}
+}
+
+// TestVarintEdgeCases pins the length-prefix/field encoding at the extremes:
+// 0, 1, the full uint64 range, and the rejection rules past it.
+func TestVarintEdgeCases(t *testing.T) {
+	// Round-trip extremes through a real message field (Refresh.Version).
+	for _, v := range []uint64{0, 1, 127, 128, 1<<32 - 1, math.MaxUint64} {
+		var enc Encoder
+		b := wire.RefreshBatch{Refreshes: []wire.Refresh{{SourceID: "s", ObjectID: "o", Version: v}}}
+		frame := enc.AppendBatch(nil, b)
+		got, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound()
+		if err != nil {
+			t.Fatalf("version %d: %v", v, err)
+		}
+		if got.Batch.Refreshes[0].Version != v {
+			t.Errorf("version %d round-tripped to %d", v, got.Batch.Refreshes[0].Version)
+		}
+	}
+
+	// A length prefix of exactly max uint64 must be rejected as oversized,
+	// not wrapped or allocated.
+	frame := append([]byte{KindBatch}, binary.AppendUvarint(nil, math.MaxUint64)...)
+	if _, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("max-uint64 length: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// An 11-byte (over-long) length prefix is malformed.
+	over := append([]byte{KindBatch}, bytes.Repeat([]byte{0x80}, 10)...)
+	over = append(over, 0x01)
+	if _, err := NewDecoder(bytes.NewReader(over)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("over-long length prefix: err = %v, want ErrBadFrame", err)
+	}
+
+	// A 10-byte prefix whose top byte overflows uint64 is malformed.
+	overflow := append([]byte{KindBatch}, bytes.Repeat([]byte{0xff}, 9)...)
+	overflow = append(overflow, 0x02)
+	if _, err := NewDecoder(bytes.NewReader(overflow)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("overflowing length prefix: err = %v, want ErrBadFrame", err)
+	}
+
+	// cap+1 is rejected, cap itself is not (it fails later, on the missing
+	// payload — proving the boundary is exact).
+	d := NewDecoder(bytes.NewReader(append([]byte{KindBatch}, binary.AppendUvarint(nil, 1025)...)))
+	d.SetMaxFrame(1024)
+	if _, err := d.ReadCacheBound(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("cap+1: err = %v, want ErrFrameTooLarge", err)
+	}
+	d = NewDecoder(bytes.NewReader(append([]byte{KindBatch}, binary.AppendUvarint(nil, 1024)...)))
+	d.SetMaxFrame(1024)
+	if _, err := d.ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("at-cap truncated frame: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestAllocationBombRejected is the decoder's allocation-bomb regression
+// test: a 4-byte frame claiming a 2 GiB body must error out without
+// allocating anything sized by the claim.
+func TestAllocationBombRejected(t *testing.T) {
+	bomb := append([]byte{KindBatch}, binary.AppendUvarint(nil, 2<<30)...) // 2 GiB claim, 6 bytes total
+	r := bytes.NewReader(bomb)
+	d := NewDecoder(r)
+	if _, err := d.ReadCacheBound(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// Steady-state rejection must be allocation-free (nothing proportional
+	// to the claimed size — or indeed anything at all — is allocated).
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(bomb)
+		d.r.Reset(r)
+		if _, err := d.ReadCacheBound(); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("rejecting an oversized frame allocated %.1f times per call, want 0", allocs)
+	}
+
+	// Same shape one layer down: a small, cap-passing frame claiming 2^31
+	// refreshes must be rejected by the element-count check, again without
+	// the 100+ GiB allocation the count implies.
+	inner := binary.AppendUvarint(nil, 2<<30) // refresh count
+	frame := append([]byte{KindBatch}, binary.AppendUvarint(nil, uint64(len(inner)))...)
+	frame = append(frame, inner...)
+	if _, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("hostile element count: err = %v, want ErrBadFrame", err)
+	}
+
+	// And for strings: a claimed 1 MiB object id inside a 32-byte payload.
+	inner = binary.AppendUvarint(nil, 1)                    // one refresh
+	inner = binary.AppendUvarint(inner, 1<<20)              // SourceID length claim
+	inner = append(inner, bytes.Repeat([]byte{'x'}, 28)...) // payload falls far short
+	frame = append([]byte{KindBatch}, binary.AppendUvarint(nil, uint64(len(inner)))...)
+	frame = append(frame, inner...)
+	if _, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("hostile string length: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestTruncatedFramesError walks every prefix of a valid multi-message
+// stream: each must produce a clean error (EOF at a frame boundary,
+// ErrBadFrame inside one), never a panic or a bogus success.
+func TestTruncatedFramesError(t *testing.T) {
+	var enc Encoder
+	batch := sampleBatch()
+	reply := sampleReply()
+	full := enc.AppendBatch(nil, batch)
+	full = enc.AppendReply(full, reply)
+	for n := 0; n < len(full); n++ {
+		d := NewDecoder(bytes.NewReader(full[:n]))
+		env1, err := d.ReadCacheBound()
+		if err == nil {
+			// The first frame fit: the second must fail.
+			if !reflect.DeepEqual(*env1.Batch, batch) {
+				t.Fatalf("prefix %d: first frame decoded wrong", n)
+			}
+			if _, err2 := d.ReadCacheBound(); err2 == nil {
+				t.Fatalf("prefix %d: truncated second frame decoded", n)
+			}
+		}
+	}
+}
+
+// TestTrailingGarbageRejected: extra bytes after a message's last field make
+// the frame malformed even when every field parsed.
+func TestTrailingGarbageRejected(t *testing.T) {
+	var enc Encoder
+	frame := enc.AppendPoll(nil, samplePoll())
+	// Splice one junk byte inside the payload (and fix the length prefix by
+	// rebuilding the frame by hand).
+	kind := frame[0]
+	length, hdr := binary.Uvarint(frame[1:])
+	payload := append([]byte(nil), frame[1+hdr:1+hdr+int(length)]...)
+	payload = append(payload, 0xEE)
+	tampered := append([]byte{kind}, binary.AppendUvarint(nil, uint64(len(payload)))...)
+	tampered = append(tampered, payload...)
+	if _, err := NewDecoder(bytes.NewReader(tampered)).ReadSourceBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing garbage: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestWrongDirectionRejected: a cache-bound frame on the source-bound reader
+// (and vice versa) is a protocol violation, not a silent skip.
+func TestWrongDirectionRejected(t *testing.T) {
+	var enc Encoder
+	batch := enc.AppendBatch(nil, sampleBatch())
+	if _, err := NewDecoder(bytes.NewReader(batch)).ReadSourceBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("batch on source-bound reader: err = %v", err)
+	}
+	poll := enc.AppendPoll(nil, samplePoll())
+	if _, err := NewDecoder(bytes.NewReader(poll)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("poll on cache-bound reader: err = %v", err)
+	}
+}
+
+// TestEncodeSteadyStateZeroAlloc: after warm-up, encoding into a reused
+// buffer through a reused Encoder performs no allocations — the codec's
+// core contract.
+func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
+	var enc Encoder
+	batch := sampleBatch()
+	fb := sampleFeedback()
+	buf := enc.AppendBatch(nil, batch) // warm up scratch + dst
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = enc.AppendBatch(buf[:0], batch)
+		buf = enc.AppendFeedback(buf[:0], fb)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state encode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestFrameRefcount: a pre-encoded frame survives until its last holder
+// releases it, and the pooled buffer is reused afterwards.
+func TestFrameRefcount(t *testing.T) {
+	rs := sampleBatch().Refreshes
+	f := NewBatchFrame(rs, 42)
+	f.Retain()
+	want := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatal("frame bytes changed while a reference was held")
+	}
+	got, err := NewDecoder(bytes.NewReader(f.Bytes())).ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Batch.Refreshes, rs) {
+		t.Errorf("frame decode mismatch:\n got %+v\nwant %+v", got.Batch.Refreshes, rs)
+	}
+	f.Release()
+	if raceEnabled {
+		return // AllocsPerRun counts race-detector instrumentation
+	}
+	// Steady-state: building and releasing frames is allocation-free.
+	allocs := testing.AllocsPerRun(100, func() {
+		f := NewBatchFrame(rs, 42)
+		f.Release()
+	})
+	if allocs > 0 {
+		t.Errorf("pooled frame encode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestNonMinimalVarintAccepted: decoders accept padded (non-minimal) varint
+// encodings — decode(encode(decode(x))) is identity even when encode(x)
+// re-canonicalizes.
+func TestNonMinimalVarintAccepted(t *testing.T) {
+	var enc Encoder
+	frame := enc.AppendPoll(nil, wire.Poll{CacheID: "c", SentUnix: 1})
+	// Re-encode the frame's length prefix non-minimally: 0x80|v, 0x00.
+	length, hdr := binary.Uvarint(frame[1:])
+	if length >= 0x80 {
+		t.Fatalf("test assumes a short frame, got length %d", length)
+	}
+	padded := append([]byte{frame[0]}, byte(0x80|length), 0x00)
+	padded = append(padded, frame[1+hdr:]...)
+	got, err := NewDecoder(bytes.NewReader(padded)).ReadSourceBound()
+	if err != nil {
+		t.Fatalf("padded length prefix rejected: %v", err)
+	}
+	if got.Poll == nil || got.Poll.CacheID != "c" {
+		t.Errorf("got %+v", got)
+	}
+}

@@ -1,0 +1,368 @@
+package codec
+
+import (
+	"bufio"
+	"io"
+
+	"bestsync/internal/wire"
+)
+
+// Decoder reads binary frames from a stream. It is not safe for concurrent
+// use; the transports run exactly one reader goroutine per connection.
+//
+// The decoder is hostile-input-safe: any malformed, truncated or oversized
+// frame yields ErrBadFrame / ErrFrameTooLarge (never a panic), and memory
+// use is bounded by the size cap plus what the frame actually carries — a
+// tiny frame CLAIMING a huge payload or element count is rejected before any
+// allocation sized by the claim. All decode errors are terminal: the caller
+// must close the connection, because the next frame boundary is unknowable.
+type Decoder struct {
+	r      *bufio.Reader
+	max    uint64
+	buf    []byte // reusable payload buffer, capacity ≤ max
+	intern internTable
+}
+
+// NewDecoder wraps r for frame reading with the DefaultMaxFrame size cap.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{r: br, max: DefaultMaxFrame}
+}
+
+// SetMaxFrame overrides the payload-size cap (bytes). Frames whose length
+// prefix exceeds it fail with ErrFrameTooLarge before any allocation.
+func (d *Decoder) SetMaxFrame(n int) {
+	if n > 0 {
+		d.max = uint64(n)
+	}
+}
+
+// readFrame reads one frame header and its payload into the reusable buffer,
+// returning the kind and a cursor over the payload. io.EOF surfaces
+// unchanged on a clean frame boundary; a partial frame reports ErrBadFrame
+// (via io.ErrUnexpectedEOF mapping) or the underlying error.
+func (d *Decoder) readFrame() (byte, payload, error) {
+	kind, err := d.r.ReadByte()
+	if err != nil {
+		return 0, payload{}, err
+	}
+	length, err := readUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			err = badFrame("stream ended after frame kind 0x%02x", kind)
+		}
+		return 0, payload{}, err
+	}
+	if length > d.max {
+		return 0, payload{}, ErrFrameTooLarge
+	}
+	if uint64(cap(d.buf)) < length {
+		d.buf = make([]byte, length)
+	}
+	d.buf = d.buf[:length]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, payload{}, badFrame("stream ended inside a %d-byte payload", length)
+		}
+		return 0, payload{}, err
+	}
+	return kind, payload{b: d.buf, in: &d.intern}, nil
+}
+
+// readUvarint is binary.ReadUvarint with the over-length encoding mapped to
+// ErrBadFrame and truncation mapped consistently.
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	for i := 0; i < maxUvarintLen; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, badFrame("stream ended inside a length prefix")
+			}
+			return 0, err
+		}
+		if c < 0x80 {
+			if i == maxUvarintLen-1 && c > 1 {
+				return 0, badFrame("length prefix overflows uint64")
+			}
+			return v | uint64(c)<<(7*i), nil
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+	}
+	return 0, badFrame("length prefix longer than %d bytes", maxUvarintLen)
+}
+
+// ReadHello reads the stream-opening Hello frame.
+func (d *Decoder) ReadHello() (wire.Hello, error) {
+	kind, p, err := d.readFrame()
+	if err != nil {
+		return wire.Hello{}, err
+	}
+	if kind != KindHello {
+		return wire.Hello{}, badFrame("expected hello frame, got kind 0x%02x", kind)
+	}
+	var h wire.Hello
+	if h.SourceID, err = p.str(); err != nil {
+		return wire.Hello{}, err
+	}
+	return h, p.done()
+}
+
+// ReadCacheBound reads the next source→cache envelope (a RefreshBatch or
+// PollReply frame).
+func (d *Decoder) ReadCacheBound() (wire.CacheBound, error) {
+	kind, p, err := d.readFrame()
+	if err != nil {
+		return wire.CacheBound{}, err
+	}
+	switch kind {
+	case KindBatch:
+		b, err := decodeBatch(&p)
+		if err != nil {
+			return wire.CacheBound{}, err
+		}
+		return wire.CacheBound{Batch: b}, p.done()
+	case KindReply:
+		r, err := decodeReply(&p)
+		if err != nil {
+			return wire.CacheBound{}, err
+		}
+		return wire.CacheBound{Reply: r}, p.done()
+	}
+	return wire.CacheBound{}, badFrame("unexpected cache-bound frame kind 0x%02x", kind)
+}
+
+// ReadSourceBound reads the next cache→source envelope (a Feedback or Poll
+// frame).
+func (d *Decoder) ReadSourceBound() (wire.SourceBound, error) {
+	kind, p, err := d.readFrame()
+	if err != nil {
+		return wire.SourceBound{}, err
+	}
+	switch kind {
+	case KindFeedback:
+		fb, err := decodeFeedback(&p)
+		if err != nil {
+			return wire.SourceBound{}, err
+		}
+		return wire.SourceBound{Feedback: fb}, p.done()
+	case KindPoll:
+		pl, err := decodePoll(&p)
+		if err != nil {
+			return wire.SourceBound{}, err
+		}
+		return wire.SourceBound{Poll: pl}, p.done()
+	}
+	return wire.SourceBound{}, badFrame("unexpected source-bound frame kind 0x%02x", kind)
+}
+
+// sliceCap clamps the initial capacity of a decoded slice: growth beyond it
+// happens by append only as elements actually parse, so memory tracks the
+// bytes received, not the count a hostile frame declares.
+func sliceCap(n, clamp int) int {
+	if n < clamp {
+		return n
+	}
+	return clamp
+}
+
+// grow extends rs by one zeroed element without copying a struct through the
+// stack: within capacity a reslice exposes the already-zeroed backing array
+// (the slices here only ever grow from a fresh make).
+func grow(rs []wire.Refresh) []wire.Refresh {
+	if len(rs) < cap(rs) {
+		return rs[:len(rs)+1]
+	}
+	return append(rs, wire.Refresh{})
+}
+
+func decodeBatch(p *payload) (*wire.RefreshBatch, error) {
+	n, err := p.count(minRefreshEnc)
+	if err != nil {
+		return nil, err
+	}
+	b := &wire.RefreshBatch{}
+	if n > 0 {
+		b.Refreshes = make([]wire.Refresh, 0, sliceCap(n, 1024))
+	}
+	for i := 0; i < n; i++ {
+		b.Refreshes = grow(b.Refreshes)
+		if err := decodeRefresh(p, &b.Refreshes[len(b.Refreshes)-1]); err != nil {
+			return nil, err
+		}
+	}
+	if b.SentUnix, err = p.varint(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func decodeRefresh(p *payload, r *wire.Refresh) error {
+	var err error
+	if r.SourceID, err = p.strSlot(&p.in.src); err != nil {
+		return err
+	}
+	if r.ObjectID, err = p.str(); err != nil {
+		return err
+	}
+	if r.CacheID, err = p.strSlot(&p.in.cache); err != nil {
+		return err
+	}
+	if r.Origin, err = p.strSlot(&p.in.origin); err != nil {
+		return err
+	}
+	hops, err := p.varint()
+	if err != nil {
+		return err
+	}
+	r.Hops = int(hops)
+	nVia, err := p.count(1)
+	if err != nil {
+		return err
+	}
+	if nVia > 0 {
+		r.Via = make([]string, 0, sliceCap(nVia, 64))
+		for i := 0; i < nVia; i++ {
+			v, err := p.str()
+			if err != nil {
+				return err
+			}
+			r.Via = append(r.Via, v)
+		}
+	}
+	if r.OriginEpoch, err = p.varint(); err != nil {
+		return err
+	}
+	if r.OriginVersion, err = p.uvarint(); err != nil {
+		return err
+	}
+	if r.Value, err = p.f64(); err != nil {
+		return err
+	}
+	if r.Version, err = p.uvarint(); err != nil {
+		return err
+	}
+	if r.Epoch, err = p.varint(); err != nil {
+		return err
+	}
+	if r.Threshold, err = p.f64(); err != nil {
+		return err
+	}
+	if r.SentUnix, err = p.varint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// minItemEnc is the smallest encoded PollItem: empty object id (1), bool
+// (1), value (8), version (1), epoch (1), last-modified (1).
+const minItemEnc = 1 + 1 + 8 + 1 + 1 + 1
+
+func decodeReply(p *payload) (*wire.PollReply, error) {
+	var r wire.PollReply
+	var err error
+	if r.SourceID, err = p.str(); err != nil {
+		return nil, err
+	}
+	if r.All, err = p.bool(); err != nil {
+		return nil, err
+	}
+	n, err := p.count(minItemEnc)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		r.Items = make([]wire.PollItem, 0, sliceCap(n, 1024))
+	}
+	for i := 0; i < n; i++ {
+		var it wire.PollItem
+		if it.ObjectID, err = p.str(); err != nil {
+			return nil, err
+		}
+		if it.Exists, err = p.bool(); err != nil {
+			return nil, err
+		}
+		if it.Value, err = p.f64(); err != nil {
+			return nil, err
+		}
+		if it.Version, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		if it.Epoch, err = p.varint(); err != nil {
+			return nil, err
+		}
+		if it.LastModifiedUnix, err = p.varint(); err != nil {
+			return nil, err
+		}
+		r.Items = append(r.Items, it)
+	}
+	if r.SentUnix, err = p.varint(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// minHeldEnc is the smallest encoded HeldVersion: empty object id (1),
+// epoch (1), version (1).
+const minHeldEnc = 3
+
+func decodeFeedback(p *payload) (*wire.Feedback, error) {
+	var fb wire.Feedback
+	var err error
+	if fb.CacheID, err = p.str(); err != nil {
+		return nil, err
+	}
+	n, err := p.count(minHeldEnc)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		fb.Held = make([]wire.HeldVersion, 0, sliceCap(n, 512))
+		for i := 0; i < n; i++ {
+			var h wire.HeldVersion
+			if h.ObjectID, err = p.str(); err != nil {
+				return nil, err
+			}
+			if h.Epoch, err = p.varint(); err != nil {
+				return nil, err
+			}
+			if h.Version, err = p.uvarint(); err != nil {
+				return nil, err
+			}
+			fb.Held = append(fb.Held, h)
+		}
+	}
+	if fb.SentUnix, err = p.varint(); err != nil {
+		return nil, err
+	}
+	return &fb, nil
+}
+
+func decodePoll(p *payload) (*wire.Poll, error) {
+	var pl wire.Poll
+	var err error
+	if pl.CacheID, err = p.str(); err != nil {
+		return nil, err
+	}
+	n, err := p.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		pl.ObjectIDs = make([]string, 0, sliceCap(n, 4096))
+		for i := 0; i < n; i++ {
+			id, err := p.str()
+			if err != nil {
+				return nil, err
+			}
+			pl.ObjectIDs = append(pl.ObjectIDs, id)
+		}
+	}
+	if pl.SentUnix, err = p.varint(); err != nil {
+		return nil, err
+	}
+	return &pl, nil
+}

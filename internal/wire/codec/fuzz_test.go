@@ -1,0 +1,235 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bestsync/internal/wire"
+)
+
+// decodeAll drains a stream through both direction readers, returning every
+// successfully decoded envelope. Any error ends the drain (the transport
+// contract: decode errors are terminal).
+func decodeAll(t *testing.T, data []byte, sourceBound bool) (envs []any, err error) {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(data))
+	for {
+		var env any
+		if sourceBound {
+			env, err = d.ReadSourceBound()
+		} else {
+			env, err = d.ReadCacheBound()
+		}
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("decode error outside the documented set: %v", err)
+			}
+			return envs, err
+		}
+		envs = append(envs, env)
+	}
+}
+
+// reencode encodes a decoded envelope back to frame bytes.
+func reencode(t *testing.T, env any) []byte {
+	t.Helper()
+	var enc Encoder
+	var out []byte
+	var err error
+	switch e := env.(type) {
+	case wire.CacheBound:
+		out, err = enc.AppendCacheBound(nil, e)
+	case wire.SourceBound:
+		out, err = enc.AppendSourceBound(nil, e)
+	default:
+		t.Fatalf("unexpected envelope type %T", env)
+	}
+	if err != nil {
+		t.Fatalf("re-encoding a decoded envelope failed: %v", err)
+	}
+	return out
+}
+
+// FuzzDecodeEnvelope feeds arbitrary bytes to both direction decoders. The
+// properties under test: the decoder never panics, never returns an error
+// outside {io.EOF, ErrBadFrame, ErrFrameTooLarge}, and anything it DOES
+// decode survives a canonical re-encode → decode round trip unchanged
+// (decode ∘ encode ∘ decode = decode, even for non-minimal varint inputs).
+func FuzzDecodeEnvelope(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, sourceBound := range []bool{false, true} {
+			envs, _ := decodeAll(t, data, sourceBound)
+			for _, env := range envs {
+				canonical := reencode(t, env)
+				again, err := decodeAll(t, canonical, sourceBound)
+				if err != io.EOF || len(again) != 1 {
+					t.Fatalf("canonical re-encode failed to decode: %v (%d envelopes)", err, len(again))
+				}
+				// Compare via the canonical encoding (bit-exact even for
+				// NaN floats, where DeepEqual's == would disagree).
+				if again2 := reencode(t, again[0]); !bytes.Equal(canonical, again2) {
+					t.Fatalf("decode∘encode∘decode drifted:\n first %+v\nsecond %+v", env, again[0])
+				}
+			}
+		}
+	})
+}
+
+// seedCorpus adds one valid frame of every kind plus classic hostile shapes;
+// the same seeds are checked into testdata/fuzz/FuzzDecodeEnvelope (written
+// by TestWriteSeedCorpus -update-golden) so the corpus replays in plain
+// `go test` runs too.
+func seedCorpus(f *testing.F) {
+	for _, seed := range seedInputs() {
+		f.Add(seed)
+	}
+}
+
+func seedInputs() [][]byte {
+	var enc Encoder
+	batch := sampleBatch()
+	reply := sampleReply()
+	fb := sampleFeedback()
+	poll := samplePoll()
+	full := enc.AppendBatch(nil, batch)
+	return [][]byte{
+		enc.AppendHello(nil, wire.Hello{SourceID: "s1"}),
+		enc.AppendBatch(nil, batch),
+		enc.AppendReply(nil, reply),
+		enc.AppendFeedback(nil, fb),
+		enc.AppendPoll(nil, poll),
+		// Two frames back to back.
+		enc.AppendFeedback(enc.AppendPoll(nil, poll), fb),
+		// Hostile shapes: truncation, oversized length, hostile counts, junk.
+		full[:len(full)/2],
+		{KindBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		{KindBatch, 0x02, 0xff, 0xff},
+		{0x00},
+		{Magic, Version},
+		bytes.Repeat([]byte{0xa5}, 64),
+	}
+}
+
+// TestWriteSeedCorpus (with -update-golden) materializes the seed inputs as
+// native Go fuzz corpus files, so `go test` replays them even without -fuzz
+// and the hostile shapes are pinned in the repository.
+func TestWriteSeedCorpus(t *testing.T) {
+	if !*updateGolden {
+		t.Skip("corpus writer; run with -update-golden")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeEnvelope")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seedInputs() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fuzzRefresh builds a Refresh from fuzz-controlled primitives.
+func fuzzRefresh(source, object, cache, origin, via string, hops int, oe int64, ov uint64,
+	value float64, version uint64, epoch int64, threshold float64, sent int64) wire.Refresh {
+	r := wire.Refresh{
+		SourceID: source, ObjectID: object, CacheID: cache, Origin: origin,
+		Hops: hops, OriginEpoch: oe, OriginVersion: ov,
+		Value: value, Version: version, Epoch: epoch, Threshold: threshold, SentUnix: sent,
+	}
+	if via != "" {
+		r.Via = []string{via, via + "'"}
+	}
+	return r
+}
+
+// equalRefresh compares refreshes with bit-exact float semantics, so NaN
+// payloads round-tripping to NaN count as equal.
+func equalRefresh(a, b wire.Refresh) bool {
+	a.Value, b.Value = 0, 0
+	a.Threshold, b.Threshold = 0, 0
+	av, bv := a, b
+	return reflect.DeepEqual(av, bv)
+}
+
+// FuzzRoundTrip: encode ∘ decode is the identity on structured messages,
+// for arbitrary field values including NaN/Inf floats, empty and non-UTF-8
+// strings, and extreme integers.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("s1", "s1/obj", "edge", "origin", "relay", 3, int64(7), uint64(9),
+		1.5, uint64(2), int64(4), 0.25, int64(99), true, false)
+	f.Add("", "", "", "", "", 0, int64(0), uint64(0),
+		math.Inf(1), uint64(math.MaxUint64), int64(math.MinInt64), math.NaN(), int64(-1), false, true)
+	f.Add("\xff\xfe", "obj\x00id", "", "", "", -5, int64(-3), uint64(1),
+		-0.0, uint64(1), int64(1), 2.5, int64(math.MaxInt64), true, true)
+	f.Fuzz(func(t *testing.T, source, object, cache, origin, via string, hops int, oe int64, ov uint64,
+		value float64, version uint64, epoch int64, threshold float64, sent int64, all, exists bool) {
+		var enc Encoder
+
+		r := fuzzRefresh(source, object, cache, origin, via, hops, oe, ov, value, version, epoch, threshold, sent)
+		batch := wire.RefreshBatch{Refreshes: []wire.Refresh{r, r}, SentUnix: sent}
+		got, err := NewDecoder(bytes.NewReader(enc.AppendBatch(nil, batch))).ReadCacheBound()
+		if err != nil {
+			t.Fatalf("decoding an encoded batch: %v", err)
+		}
+		if got.Batch == nil || len(got.Batch.Refreshes) != 2 || got.Batch.SentUnix != sent {
+			t.Fatalf("batch shape lost: %+v", got.Batch)
+		}
+		for i, gr := range got.Batch.Refreshes {
+			if !equalRefresh(gr, r) ||
+				math.Float64bits(gr.Value) != math.Float64bits(r.Value) ||
+				math.Float64bits(gr.Threshold) != math.Float64bits(r.Threshold) {
+				t.Fatalf("refresh %d drifted:\n got %+v\nwant %+v", i, gr, r)
+			}
+		}
+
+		reply := wire.PollReply{SourceID: source, All: all, SentUnix: sent, Items: []wire.PollItem{
+			{ObjectID: object, Exists: exists, Value: value, Version: version, Epoch: epoch, LastModifiedUnix: oe},
+		}}
+		gotR, err := NewDecoder(bytes.NewReader(enc.AppendReply(nil, reply))).ReadCacheBound()
+		if err != nil {
+			t.Fatalf("decoding an encoded reply: %v", err)
+		}
+		it, want := gotR.Reply.Items[0], reply.Items[0]
+		if gotR.Reply.SourceID != reply.SourceID || gotR.Reply.All != reply.All ||
+			it.ObjectID != want.ObjectID || it.Exists != want.Exists ||
+			math.Float64bits(it.Value) != math.Float64bits(want.Value) ||
+			it.Version != want.Version || it.Epoch != want.Epoch ||
+			it.LastModifiedUnix != want.LastModifiedUnix {
+			t.Fatalf("reply drifted:\n got %+v\nwant %+v", gotR.Reply, reply)
+		}
+
+		fb := wire.Feedback{CacheID: cache, SentUnix: sent}
+		if object != "" {
+			fb.Held = []wire.HeldVersion{{ObjectID: object, Epoch: epoch, Version: version}}
+		}
+		gotF, err := NewDecoder(bytes.NewReader(enc.AppendFeedback(nil, fb))).ReadSourceBound()
+		if err != nil {
+			t.Fatalf("decoding an encoded feedback: %v", err)
+		}
+		if !reflect.DeepEqual(*gotF.Feedback, fb) {
+			t.Fatalf("feedback drifted:\n got %+v\nwant %+v", gotF.Feedback, fb)
+		}
+
+		poll := wire.Poll{CacheID: cache, SentUnix: sent}
+		if object != "" || source != "" {
+			poll.ObjectIDs = []string{object, source}
+		}
+		gotP, err := NewDecoder(bytes.NewReader(enc.AppendPoll(nil, poll))).ReadSourceBound()
+		if err != nil {
+			t.Fatalf("decoding an encoded poll: %v", err)
+		}
+		if !reflect.DeepEqual(*gotP.Poll, poll) {
+			t.Fatalf("poll drifted:\n got %+v\nwant %+v", gotP.Poll, poll)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package codec
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bestsync/internal/wire"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden frames from the current encoder")
+
+// goldenCases pins the canonical encoding of every message type. The sample
+// values exercise every field (provenance, held versions, negative epochs,
+// discovery polls), so ANY change to the wire format — field order, varint
+// rules, frame headers — fails these tests instead of silently producing
+// frames old daemons misparse. Bumping the format requires bumping
+// codec.Version and regenerating with -update-golden, consciously.
+var goldenCases = []struct {
+	file   string
+	encode func(*Encoder) []byte
+	decode func(*Decoder) (any, error)
+	want   any
+}{
+	{
+		file:   "hello.bin",
+		encode: func(e *Encoder) []byte { return e.AppendHello(nil, wire.Hello{SourceID: "src-7"}) },
+		decode: func(d *Decoder) (any, error) { return d.ReadHello() },
+		want:   wire.Hello{SourceID: "src-7"},
+	},
+	{
+		file:   "refresh_batch.bin",
+		encode: func(e *Encoder) []byte { return e.AppendBatch(nil, sampleBatch()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadCacheBound() },
+		want:   func() any { b := sampleBatch(); return wire.CacheBound{Batch: &b} }(),
+	},
+	{
+		file:   "poll_reply.bin",
+		encode: func(e *Encoder) []byte { return e.AppendReply(nil, sampleReply()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadCacheBound() },
+		want:   func() any { r := sampleReply(); return wire.CacheBound{Reply: &r} }(),
+	},
+	{
+		file:   "feedback.bin",
+		encode: func(e *Encoder) []byte { return e.AppendFeedback(nil, sampleFeedback()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadSourceBound() },
+		want:   func() any { fb := sampleFeedback(); return wire.SourceBound{Feedback: &fb} }(),
+	},
+	{
+		file:   "poll.bin",
+		encode: func(e *Encoder) []byte { return e.AppendPoll(nil, samplePoll()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadSourceBound() },
+		want:   func() any { p := samplePoll(); return wire.SourceBound{Poll: &p} }(),
+	},
+	{
+		// A discovery poll (empty object list) and an empty batch pin the
+		// zero-count encodings.
+		file:   "poll_discovery.bin",
+		encode: func(e *Encoder) []byte { return e.AppendPoll(nil, wire.Poll{CacheID: "edge-a"}) },
+		decode: func(d *Decoder) (any, error) { return d.ReadSourceBound() },
+		want:   func() any { p := wire.Poll{CacheID: "edge-a"}; return wire.SourceBound{Poll: &p} }(),
+	},
+}
+
+// TestGoldenFrames: the encoder must reproduce the checked-in frames
+// byte-for-byte, and the checked-in frames must decode to the expected
+// structs — cross-version daemons depend on both directions holding.
+func TestGoldenFrames(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.file)
+			var enc Encoder
+			got := tc.encode(&enc)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden frame (run with -update-golden after an INTENTIONAL format change): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("encoding drifted from the golden frame:\n got %x\nwant %x\n"+
+					"this breaks cross-version daemons; if intentional, bump codec.Version and regenerate with -update-golden", got, want)
+			}
+			d := NewDecoder(bytes.NewReader(want))
+			env, err := tc.decode(d)
+			if err != nil {
+				t.Fatalf("golden frame no longer decodes: %v", err)
+			}
+			if !reflect.DeepEqual(env, tc.want) {
+				t.Fatalf("golden frame decoded to:\n %+v\nwant\n %+v", env, tc.want)
+			}
+			if _, err := d.ReadHello(); err != io.EOF {
+				t.Fatalf("trailing bytes after the golden frame: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments sync.Pool and string conversions, making AllocsPerRun
+// meaningless.
+const raceEnabled = true
