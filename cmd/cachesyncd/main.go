@@ -88,6 +88,8 @@ func main() {
 	totalBW := flag.Float64("total-bandwidth", 0, "relay mode: shared budget across both faces (intake + child sends); overrides -bandwidth/-child-bandwidth defaults to half each and lets -rebalance shift the split")
 	rebalance := flag.Duration("rebalance", 0, "relay mode: periodic share re-allocation interval (child shares from observed feedback/divergence; with -total-bandwidth also the up/down face split; 0 = static)")
 	maxHops := flag.Int("max-hops", 8, "relay mode: drop re-exports past this many relay tiers")
+	group := flag.Bool("group", false, "relay mode: session-group fan-out toward default-weight children (one scheduling pass, one encode per batch)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http mux")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
@@ -123,6 +125,12 @@ func main() {
 	// child that is down right now does not block the boot. The admin
 	// endpoint wraps destinations added at runtime identically.
 	wrap := func(conn transport.SourceConn) transport.SourceConn {
+		// Group delivery coalesces at the scheduler and sends pre-encoded
+		// frames; a Batcher in front would hide the connection's FrameSender
+		// fast path, so -group uses child connections bare.
+		if *group {
+			return conn
+		}
 		return transport.NewBatcher(conn, transport.BatcherConfig{})
 	}
 	if *children != "" {
@@ -159,6 +167,7 @@ func main() {
 			Rebalance:      *rebalance,
 			Metric:         metric.ValueDeviation,
 			MaxHops:        *maxHops,
+			Group:          runtime.GroupConfig{Enabled: *group},
 		}, ep, dests)
 		if err != nil {
 			log.Fatalf("cachesyncd: %v", err)
@@ -203,12 +212,18 @@ func main() {
 			}
 		}()
 	}
+	if *pprofFlag && *httpAddr == "" {
+		log.Printf("cachesyncd: -pprof has no effect without -http")
+	}
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/status", cache.StatusHandler(100))
 		if relay != nil {
 			mux.HandleFunc("/children/add", adminhttp.AddHandler(relay.AddChild, *id, wrap))
 			mux.HandleFunc("/children/remove", adminhttp.RemoveHandler(relay.RemoveChild))
+		}
+		if *pprofFlag {
+			adminhttp.RegisterPprof(mux)
 		}
 		go func() {
 			log.Printf("cachesyncd: status at http://%s/status", *httpAddr)
@@ -258,6 +273,10 @@ func main() {
 				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d up=%.3g/s down=%.3g/s rebalances=%d\n",
 					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes,
 					rst.UpBandwidth, rst.DownBandwidth, rst.FaceRebalances)
+				if g := rst.Downstream.Group; g != nil {
+					fmt.Printf("  group members=%d batches=%d delivered=%d fallbacks=%d detaches=%d rejoins=%d overruns=%d share=%.3g/s\n",
+						g.Members, g.Batches, g.Delivered, g.Fallbacks, g.Detaches, g.Rejoins, g.QueueOverruns, g.MemberShare)
+				}
 				for _, sess := range rst.Downstream.Sessions {
 					ended := ""
 					if sess.Ended {

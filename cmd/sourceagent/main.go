@@ -71,6 +71,8 @@ func main() {
 	batch := flag.Int("batch", 64, "max refreshes per wire batch (1 = no coalescing)")
 	flush := flag.Duration("flush", 5*time.Millisecond, "max time a partial batch may wait")
 	rebalance := flag.Duration("rebalance", 0, "periodic share re-allocation interval from observed feedback/divergence (0 = static shares)")
+	group := flag.Bool("group", false, "session-group fan-out: default-weight push destinations share one scheduling pass and one encode per batch (encode-once delivery)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http mux")
 	httpAddr := flag.String("http", "", "optional HTTP admin address (GET /status, POST /caches/add, POST /caches/remove)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "workload seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
@@ -96,7 +98,11 @@ func main() {
 		}
 	}
 	wrap := func(conn transport.SourceConn) transport.SourceConn {
-		if *batch > 1 {
+		// Group delivery already coalesces at the scheduler and sends
+		// pre-encoded frames; a per-connection Batcher in front of it would
+		// only add latency and hide the raw connection's FrameSender fast
+		// path. -group therefore uses connections bare.
+		if *batch > 1 && !*group {
 			conn = transport.NewBatcher(conn, transport.BatcherConfig{
 				MaxBatch:   *batch,
 				FlushEvery: *flush,
@@ -118,12 +124,16 @@ func main() {
 		Bandwidth: *bw,
 		Rebalance: *rebalance,
 		Policy:    policy,
+		Group:     runtime.GroupConfig{Enabled: *group},
 	}, dests)
 	if err != nil {
 		log.Fatalf("sourceagent: %v", err)
 	}
 	log.Printf("sourceagent %s: policy %v, %d objects, %.2g updates/s, %.2g msgs/s to %s",
 		*id, policy, *objects, *rate, *bw, strings.Join(addrs, ", "))
+	if *pprofFlag && *httpAddr == "" {
+		log.Printf("sourceagent: -pprof has no effect without -http")
+	}
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -134,6 +144,9 @@ func main() {
 		})
 		mux.HandleFunc("/caches/add", adminhttp.AddHandler(src.AddDestination, *id, wrap))
 		mux.HandleFunc("/caches/remove", adminhttp.RemoveHandler(src.RemoveDestination))
+		if *pprofFlag {
+			adminhttp.RegisterPprof(mux)
+		}
 		go func() {
 			log.Printf("sourceagent: admin at http://%s (/status /caches/add /caches/remove)", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
@@ -186,6 +199,10 @@ func main() {
 			}
 			fmt.Printf("updates=%d refreshes=%d feedback=%d errors=%d pending=%d rebalances=%d threshold=%.4g\n",
 				st.Updates, st.Refreshes, st.Feedbacks, st.SendErrors, st.Pending, st.Rebalances, st.Threshold)
+			if g := st.Group; g != nil {
+				fmt.Printf("  group members=%d batches=%d delivered=%d fallbacks=%d detaches=%d rejoins=%d overruns=%d share=%.3g/s\n",
+					g.Members, g.Batches, g.Delivered, g.Fallbacks, g.Detaches, g.Rejoins, g.QueueOverruns, g.MemberShare)
+			}
 			if len(st.Sessions) > 1 {
 				for _, sess := range st.Sessions {
 					ended := ""

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+// processCPUNs has no portable implementation without getrusage; delivery
+// results on non-unix platforms report zero CPU (and no speedup ratio)
+// rather than a wall-clock number that would count pacing sleeps.
+func processCPUNs() int64 { return 0 }

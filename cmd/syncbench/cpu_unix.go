@@ -1,0 +1,18 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative user+system CPU time in
+// nanoseconds — the clock the delivery benchmark normalizes per delivered
+// refresh, so time spent sleeping in the pacing loop doesn't count.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := int64(ru.Utime.Sec) + int64(ru.Stime.Sec)
+	usec := int64(ru.Utime.Usec) + int64(ru.Stime.Usec)
+	return sec*1_000_000_000 + usec*1_000
+}

@@ -19,9 +19,13 @@ type fanoutCacheResult struct {
 }
 
 // fanoutResult is one measured fan-out topology: one live source driving
-// n caches over the given transport.
+// n caches over the given transport. The delivery-cost scenarios
+// (delivery-session | delivery-group) reuse the shape with the trailing
+// optional fields set: their destinations are measuring sinks, not caches,
+// so per_cache is empty and the cost axes are CPU and egress per
+// destination instead of divergence.
 type fanoutResult struct {
-	Scenario       string              `json:"scenario"` // fanout-local | fanout-tcp
+	Scenario       string              `json:"scenario"` // fanout-local | fanout-tcp | delivery-session | delivery-group
 	Caches         int                 `json:"caches"`
 	Objects        int                 `json:"objects"`
 	DurationS      float64             `json:"duration_s"`
@@ -30,13 +34,24 @@ type fanoutResult struct {
 	Refreshes      int                 `json:"refreshes"`
 	RefreshesPerS  float64             `json:"refreshes_per_s"`
 	MeanDivergence float64             `json:"mean_divergence"`
-	PerCache       []fanoutCacheResult `json:"per_cache"`
+	PerCache       []fanoutCacheResult `json:"per_cache,omitempty"`
+
+	// Delivery-cost scenarios only.
+	Mode                         string  `json:"mode,omitempty"` // session | group
+	Delivered                    int     `json:"delivered,omitempty"`
+	OriginCPUNs                  int64   `json:"origin_cpu_ns,omitempty"`
+	OriginCPUNsPerRefreshPerDest float64 `json:"origin_cpu_ns_per_refresh_per_dest,omitempty"`
+	EgressBytesPerDest           float64 `json:"egress_bytes_per_dest,omitempty"`
+	GroupBatches                 int64   `json:"group_batches,omitempty"`
+	SpeedupVsSession             float64 `json:"speedup_vs_session,omitempty"`
 }
 
 // runFanoutMode sweeps the 1-source → N-cache topology over both
-// transports for N = 1..maxCaches, printing a table and writing the
-// machine-readable results to BENCH_fanout.json.
-func runFanoutMode(maxCaches, objects int, rate, bandwidth float64, duration time.Duration) {
+// transports for N = 1..maxCaches, then runs the delivery-cost scenarios
+// for each N in scale (session-group fan-out vs. the per-session baseline
+// over measuring sinks), printing a table and writing the machine-readable
+// results to BENCH_fanout.json.
+func runFanoutMode(maxCaches, objects int, rate, bandwidth float64, duration time.Duration, scale []int, destBW float64) {
 	fmt.Printf("# live fan-out: 1 source -> N caches, %d objects, %.0f updates/s, %.0f msgs/s budget, %s per topology\n\n",
 		objects, rate, bandwidth, duration)
 	fmt.Printf("%-14s %7s %10s %12s %12s %16s\n",
@@ -61,6 +76,7 @@ func runFanoutMode(maxCaches, objects int, rate, bandwidth float64, duration tim
 				c.CacheID, c.ShareMsgsPerS, c.Applied, c.Feedbacks, c.Threshold, c.MeanDivergence)
 		}
 	}
+	results = runDeliveryScales(results, scale, objects, rate, destBW, duration)
 	if err := writeBenchJSON("BENCH_fanout.json", results); err != nil {
 		fmt.Printf("syncbench: writing BENCH_fanout.json: %v\n", err)
 		return

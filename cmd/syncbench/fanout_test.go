@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFanoutBenchSchema is the CI smoke for -fanout: a short sweep plus one
+// small delivery-cost scale must run end to end and emit a
+// BENCH_fanout.json that parses with exactly the documented schema
+// (docs/operations.md) — unknown fields in the file mean the docs lag the
+// code, a decode error means the reverse.
+func TestFanoutBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four measurement windows are too slow for -short")
+	}
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runFanoutMode(2, 24, 400, 120, 600*time.Millisecond, []int{40}, 50)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fanout.json"))
+	if err != nil {
+		t.Fatalf("BENCH_fanout.json not written: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var results []fanoutResult
+	if err := dec.Decode(&results); err != nil {
+		t.Fatalf("BENCH_fanout.json does not match the documented schema: %v", err)
+	}
+	// 2 topologies × N=1..2 from the sweep, plus session+group delivery at
+	// the one requested scale.
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	byScenario := map[string]int{}
+	for _, r := range results {
+		byScenario[r.Scenario]++
+	}
+	for _, want := range []string{"fanout-local", "fanout-tcp"} {
+		if byScenario[want] != 2 {
+			t.Errorf("scenario %s appears %d times, want 2", want, byScenario[want])
+		}
+	}
+	for _, want := range []string{"delivery-session", "delivery-group"} {
+		if byScenario[want] != 1 {
+			t.Errorf("scenario %s appears %d times, want 1", want, byScenario[want])
+		}
+	}
+	for _, r := range results {
+		switch r.Scenario {
+		case "delivery-session", "delivery-group":
+			if r.Caches != 40 {
+				t.Errorf("%s: caches = %d, want 40", r.Scenario, r.Caches)
+			}
+			if r.Delivered == 0 {
+				t.Errorf("%s: no deliveries recorded", r.Scenario)
+			}
+			if r.EgressBytesPerDest <= 0 {
+				t.Errorf("%s: egress bytes/dest = %v, want > 0", r.Scenario, r.EgressBytesPerDest)
+			}
+			if r.Scenario == "delivery-group" && r.GroupBatches == 0 {
+				t.Errorf("group delivery recorded no group batches")
+			}
+		default:
+			if r.Updates == 0 || r.DurationS <= 0 {
+				t.Errorf("%s: empty measurement (%d updates, %vs)", r.Scenario, r.Updates, r.DurationS)
+			}
+		}
+	}
+}

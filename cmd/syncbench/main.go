@@ -61,11 +61,29 @@ import (
 	"os"
 	"path/filepath"
 	stdruntime "runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"bestsync/internal/experiments"
 )
+
+// parseScale parses the -scale flag: comma-separated positive destination
+// counts for the delivery-cost scenarios. An empty string means skip them.
+func parseScale(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var scale []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive destination count", part)
+		}
+		scale = append(scale, n)
+	}
+	return scale, nil
+}
 
 func main() {
 	full := flag.Bool("full", false, "run the paper-scale grids")
@@ -81,6 +99,8 @@ func main() {
 	tpDur := flag.Duration("duration", 3*time.Second, "throughput/fanout mode: measurement window per config")
 	fanout := flag.Bool("fanout", false, "benchmark the 1-source -> N-cache fan-out topology instead of experiments")
 	fanCaches := flag.Int("caches", 4, "fanout mode: maximum cache count in the sweep")
+	fanScale := flag.String("scale", "1000,10000", "fanout mode: comma-separated destination counts for the delivery-cost scenarios (group vs per-session; empty = skip)")
+	fanDestBW := flag.Float64("dest-bandwidth", 50, "fanout mode: per-destination send budget (messages/second) in the delivery-cost scenarios")
 	fanRate := flag.Float64("rate", 500, "fanout/hierarchy mode: source update rate (updates/second)")
 	fanBW := flag.Float64("bandwidth", 200, "fanout/hierarchy mode: total send budget (messages/second)")
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
@@ -103,7 +123,12 @@ func main() {
 		return
 	}
 	if *fanout {
-		runFanoutMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
+		scale, err := parseScale(*fanScale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syncbench: -scale: %v\n", err)
+			os.Exit(2)
+		}
+		runFanoutMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur, scale, *fanDestBW)
 		return
 	}
 	if *throughput {

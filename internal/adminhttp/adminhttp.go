@@ -10,11 +10,24 @@ package adminhttp
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"bestsync/internal/runtime"
 	"bestsync/internal/transport"
 )
+
+// RegisterPprof mounts the standard net/http/pprof handlers under
+// /debug/pprof/ on mux. The daemons call this behind their -pprof flag so
+// CPU and heap profiles of a live node are one curl away without the
+// blanket side effects of importing net/http/pprof into the default mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // AddHandler returns a POST handler that dials ?addr=host:port (optional
 // &weight=w, a positive Section 7 share weight) and hands the resulting

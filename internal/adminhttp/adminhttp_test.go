@@ -194,3 +194,28 @@ func TestAddDefersUnreachable(t *testing.T) {
 		t.Errorf("deferred add body %q does not mention redialing", rec.Body.String())
 	}
 }
+
+// TestRegisterPprof: the -pprof wiring must expose the standard profiling
+// endpoints on the daemon mux — and only when registered.
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	for _, target := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", target, rec.Code)
+		}
+	}
+
+	// Without registration the daemon must not leak the endpoints.
+	bare := http.NewServeMux()
+	bare.HandleFunc("/caches/add", AddHandler(nil, "x", nil))
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	bare.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unregistered GET /debug/pprof/ = %d, want 404", rec.Code)
+	}
+}

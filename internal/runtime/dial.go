@@ -1,6 +1,9 @@
 package runtime
 
 import (
+	"slices"
+	"sync"
+
 	"bestsync/internal/transport"
 	"bestsync/internal/wire"
 )
@@ -42,6 +45,11 @@ func (c *deadConn) Close() error                   { return nil }
 // connection (the session connects on its first redial) and are returned in
 // deferred so the caller can log them.
 //
+// Addresses are dialed concurrently (bounded at dialConcurrency) so a
+// 1k-destination boot takes one connect round-trip, not the sum of them;
+// the returned destinations keep the address order, and deferred is sorted
+// for stable logs.
+//
 // This is the one place the sourceagent and cachesyncd daemons build their
 // destination sets, so the wrap/redial semantics cannot drift between them.
 func DialDestinations(addrs []string, weights []float64, sourceID string, wrap func(transport.SourceConn) transport.SourceConn) (dests []Destination, deferred []string) {
@@ -49,31 +57,51 @@ func DialDestinations(addrs []string, weights []float64, sourceID string, wrap f
 		wrap = func(c transport.SourceConn) transport.SourceConn { return c }
 	}
 	dests = make([]Destination, len(addrs))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex // guards deferred
+		sem = make(chan struct{}, dialConcurrency)
+	)
 	for i, addr := range addrs {
-		addr := addr
-		w := 0.0
-		if weights != nil {
-			w = weights[i]
-		}
-		var conn transport.SourceConn
-		if c, err := transport.Dial(addr, sourceID); err == nil {
-			conn = wrap(c)
-		} else {
-			conn = newDeadConn()
-			deferred = append(deferred, addr)
-		}
-		dests[i] = Destination{
-			CacheID: addr,
-			Conn:    conn,
-			Weight:  w,
-			Redial: func() (transport.SourceConn, error) {
-				c, err := transport.Dial(addr, sourceID)
-				if err != nil {
-					return nil, err
-				}
-				return wrap(c), nil
-			},
-		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w := 0.0
+			if weights != nil {
+				w = weights[i]
+			}
+			var conn transport.SourceConn
+			if c, err := transport.Dial(addr, sourceID); err == nil {
+				conn = wrap(c)
+			} else {
+				conn = newDeadConn()
+				mu.Lock()
+				deferred = append(deferred, addr)
+				mu.Unlock()
+			}
+			dests[i] = Destination{
+				CacheID: addr,
+				Conn:    conn,
+				Weight:  w,
+				Redial: func() (transport.SourceConn, error) {
+					c, err := transport.Dial(addr, sourceID)
+					if err != nil {
+						return nil, err
+					}
+					return wrap(c), nil
+				},
+			}
+		}(i, addr)
 	}
+	wg.Wait()
+	slices.Sort(deferred)
 	return dests, deferred
 }
+
+// dialConcurrency bounds the parallel connection attempts DialDestinations
+// and transport.DialAll make at once — enough to amortize connect latency
+// across a 10k-destination boot without an unbounded goroutine/file-
+// descriptor burst.
+const dialConcurrency = 64

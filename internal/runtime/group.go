@@ -1,0 +1,705 @@
+package runtime
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/priority"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
+)
+
+// GroupConfig enables session-group delivery on a push-mode fan-out source:
+// destinations with compatible scheduling state (push policy, default share
+// weight, full-replica cohort) register into one SessionGroup that runs ONE
+// scheduling pass and ONE encode per batch, then fans the shared
+// pre-encoded frame to every member through a small pool of sender workers.
+// Origin cost per batch drops from O(members × schedule+encode) to one
+// schedule+encode plus O(members) queue hand-offs.
+type GroupConfig struct {
+	// Enabled turns group delivery on. Only push-policy sources group;
+	// cache-driven policies have no source-side scheduling to share.
+	Enabled bool
+	// Workers is the sender worker pool size (default 4). Members are
+	// sharded across workers, so one back-pressured connection stalls at
+	// most 1/Workers of the cohort until its queue overruns and the member
+	// detaches.
+	Workers int
+	// Queue is the per-member bound on outstanding group batches (default
+	// 8). A member whose connection cannot drain Queue batches is detached
+	// to its individual session path (full re-sync, exactly the redial
+	// contract) rather than back-pressuring the whole cohort.
+	Queue int
+	// MaxBatch caps refreshes per group batch (default 64, matching the
+	// transport Batcher's default framing).
+	MaxBatch int
+}
+
+func (c GroupConfig) withDefaults() GroupConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// GroupStats is the session group's slice of SourceStats.
+type GroupStats struct {
+	// Members is the current attached-member count; detached members run
+	// their individual session path and re-attach once fully re-synced.
+	Members int
+	// Batches counts group batches scheduled; Scheduled counts the
+	// refreshes inside them (one per object pick, independent of cohort
+	// size); Delivered counts member deliveries (refreshes × recipients).
+	Batches   int
+	Scheduled int
+	Delivered int64
+	// Fallbacks counts member-filtered sends: a batch that would have
+	// carried a held-acked or split-horizoned object to a member is
+	// re-cut for that member alone, the rest of the cohort still shares
+	// the one frame.
+	Fallbacks int
+	// Detaches counts members dropped to the individual path (connection
+	// loss, queue overrun, removal); Rejoins counts returns to the group
+	// after a full individual re-sync caught the member up.
+	Detaches int
+	Rejoins  int
+	// QueueOverruns counts detaches caused specifically by a member's
+	// outbound queue exceeding GroupConfig.Queue.
+	QueueOverruns int
+	SendErrors    int64
+	// Pending and Threshold describe the shared scheduling engine.
+	Pending   int
+	Threshold float64
+	// MemberShare is the per-member send rate (the group's aggregate
+	// Section 7 share divided by the member count); the group schedules at
+	// this rate because one scheduled refresh reaches every member.
+	MemberShare float64
+}
+
+// groupConsumerID is the rebalancer identity of the whole group: the group
+// competes for bandwidth as one consumer whose base weight is its member
+// count, so grouped and individual destinations keep comparable shares.
+const groupConsumerID = "(group)"
+
+// groupObj is the group's shared view of one object: the value/version last
+// scheduled for broadcast and the divergence accumulated against it — the
+// cohort-wide analogue of sessObj. Per-member divergence (held acks, split
+// horizon) stays on the members and is applied per batch.
+type groupObj struct {
+	sentVal float64
+	sentVer uint64
+	tracker metric.Tracker
+}
+
+// groupBatch is one broadcast's shared payload: the refresh slice every
+// member send references and, when any member speaks the binary framing,
+// the one pre-encoded frame. It is reference-counted so the pooled buffers
+// return exactly when the last member send has finished, and pooled itself
+// so steady-state broadcasting allocates nothing.
+type groupBatch struct {
+	g     *SessionGroup
+	rs    []wire.Refresh
+	frame *codec.Frame
+	refs  atomic.Int32
+}
+
+var groupBatchPool = sync.Pool{New: func() any { return &groupBatch{} }}
+
+func (b *groupBatch) release() {
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	if b.frame != nil {
+		b.frame.Release()
+		b.g.framesLive.Add(-1)
+		b.frame = nil
+	}
+	b.rs = b.rs[:0]
+	b.g = nil
+	groupBatchPool.Put(b)
+}
+
+// sendItem is one member's slice of a broadcast, queued to a sender worker.
+type sendItem struct {
+	sess *syncSession
+	conn transport.SourceConn
+	fs   transport.FrameSender // non-nil: send frame instead of batch
+	// frame is a retained reference released after the send; batch is the
+	// shared-buffer refcount (nil for a member-filtered fallback slice).
+	frame *codec.Frame
+	batch *groupBatch
+	rs    []wire.Refresh
+	n     int // refreshes carried (counter commit on success)
+}
+
+// groupWorker drains a FIFO of sendItems. The queue is structurally
+// unbounded; the per-member inflight counters bound it at members × Queue.
+type groupWorker struct {
+	g      *SessionGroup
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sendItem
+	head   int
+	closed bool
+	done   chan struct{}
+}
+
+// memberPlan is one member's delivery decision for a batch, made under the
+// source mutex and executed outside it.
+type memberPlan struct {
+	m      *syncSession
+	conn   transport.SourceConn
+	fs     transport.FrameSender
+	shared bool
+	rs     []wire.Refresh // fallback slice when !shared
+}
+
+// SessionGroup coalesces the compatible members of a fan-out into one
+// scheduling pass, one encode, and one flush ticker. Scheduling state
+// (engine, objs, members, counters other than the atomics) is guarded by
+// src.mu; the flusher goroutine plans each broadcast under the lock and
+// hands the shared batch to the sender workers outside it, so a slow
+// member's TCP back-pressure never holds the scheduler.
+type SessionGroup struct {
+	src *Source
+	cfg GroupConfig
+
+	// Guarded by src.mu.
+	eng        *core.Source
+	objs       []*groupObj // parallel to src.ids
+	members    []*syncSession
+	rate       float64 // per-member share, msgs/s (aggregate / members)
+	demand     float64 // Σ tracker.Current() (rebalancer signal)
+	feedbacks  int     // member feedback heard while grouped
+	windowFb   int     // feedbacks already folded into the rebalancer
+	batches    int
+	scheduled  int
+	fallbacks  int
+	detaches   int
+	rejoins    int
+	overruns   int
+	next       int                 // round-robin worker assignment cursor
+	restricted map[string]struct{} // per-batch split-horizon identity set (reused)
+	planBuf    []memberPlan        // per-batch plan scratch (reused)
+	overrunBuf []*syncSession      // per-batch overrun scratch (reused)
+
+	// Atomics shared with the sender workers.
+	delivered  atomic.Int64
+	sendErrors atomic.Int64
+	// framesLive tracks shared frames created minus fully released — zero
+	// whenever the group is quiescent. Tests assert on it to prove the
+	// refcounting neither leaks nor double-releases under member failures,
+	// detaches and close.
+	framesLive atomic.Int64
+
+	workers   []*groupWorker
+	workerBuf [][]sendItem // per-worker enqueue scratch (reused)
+	done      chan struct{}
+}
+
+func newSessionGroup(s *Source, cfg GroupConfig) *SessionGroup {
+	cfg = cfg.withDefaults()
+	g := &SessionGroup{
+		src:        s,
+		cfg:        cfg,
+		eng:        core.NewSource(0, s.cfg.Params, core.PositiveFeedback),
+		restricted: map[string]struct{}{},
+		done:       make(chan struct{}),
+	}
+	g.workers = make([]*groupWorker, cfg.Workers)
+	g.workerBuf = make([][]sendItem, cfg.Workers)
+	for i := range g.workers {
+		w := &groupWorker{g: g, done: make(chan struct{})}
+		w.cond = sync.NewCond(&w.mu)
+		g.workers[i] = w
+		go w.run()
+	}
+	go g.loop()
+	return g
+}
+
+// attachLocked adds a fully synchronized member to the group. Its per-object
+// session state collapses to the shared group state — the O(members ×
+// objects) memory the group exists to avoid — keeping only the small
+// per-member exclusion set: held acks ahead of the canonical axis. Caller
+// holds src.mu and reallocates after.
+func (g *SessionGroup) attachLocked(m *syncSession) {
+	s := g.src
+	if m.memberHeld == nil {
+		m.memberHeld = map[string]wire.HeldVersion{}
+	}
+	for k, so := range m.objs {
+		if so.heldEpoch != 0 {
+			id := s.ids[k]
+			m.memberHeld[id] = wire.HeldVersion{ObjectID: id, Epoch: so.heldEpoch, Version: so.heldVer}
+		}
+	}
+	for id, h := range m.heldPending {
+		if cur, ok := m.memberHeld[id]; !ok || h.Epoch > cur.Epoch ||
+			(h.Epoch == cur.Epoch && h.Version > cur.Version) {
+			m.memberHeld[id] = h
+		}
+	}
+	m.heldPending = map[string]wire.HeldVersion{}
+	m.objs = nil
+	m.demand = 0
+	m.grouped = true
+	m.wantGroup = true
+	m.detached = make(chan struct{})
+	m.groupConn = m.dest.Conn
+	m.groupFS = nil
+	if fs, ok := m.dest.Conn.(transport.FrameSender); ok && fs.FramesEnabled() {
+		m.groupFS = fs
+	}
+	m.workerIdx = g.next % len(g.workers)
+	g.next++
+	g.members = append(g.members, m)
+}
+
+// detachLocked drops a member back to its individual session path. With
+// resync the member's per-object state is rebuilt zeroed and every object
+// re-observed — the full re-sync contract redial uses, conservative because
+// the group cannot know which broadcasts the member actually received (its
+// held acks survive, so objects the cache proved it holds are not re-sent).
+// Without resync the member is leaving the topology (removal/shutdown) and
+// keeps no state. Caller holds src.mu and reallocates after.
+func (g *SessionGroup) detachLocked(m *syncSession, resync bool) {
+	if !m.grouped {
+		return
+	}
+	m.grouped = false
+	for i, mm := range g.members {
+		if mm == m {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	g.detaches++
+	close(m.detached)
+	m.groupConn, m.groupFS = nil, nil
+	if !resync {
+		return
+	}
+	s := g.src
+	now := s.now()
+	m.objs = make([]*sessObj, len(s.ids))
+	for k := range m.objs {
+		m.objs[k] = &sessObj{}
+	}
+	for id, h := range m.memberHeld {
+		if key, ok := s.idx[id]; ok {
+			m.objs[key].heldEpoch, m.objs[key].heldVer = h.Epoch, h.Version
+		} else if len(m.heldPending) < maxHeldPending {
+			m.heldPending[id] = h
+		}
+	}
+	clear(m.memberHeld)
+	m.demand = 0
+	for k, id := range s.ids {
+		m.observeLocked(s.objs[id], k, now)
+	}
+}
+
+// observeLocked folds a canonical-state change into the group's shared
+// tracker and priority queue — the group-delivery analogue of
+// syncSession.observeLocked, run once per update instead of once per
+// member. Allocation-free in steady state (tracker update + heap upsert).
+// Per-member exclusions (held acks, split horizon) are applied per batch at
+// broadcast time, not here. Caller holds src.mu.
+func (g *SessionGroup) observeLocked(o *objState, key int, now float64) {
+	gobj := g.objs[key]
+	d := metric.Divergence(g.src.cfg.Metric, g.src.cfg.Delta,
+		int(o.version-gobj.sentVer), o.value, gobj.sentVal)
+	if gobj.sentVer == 0 && d == 0 {
+		// Never broadcast: members hold no copy, register the object.
+		d = 1
+	}
+	g.demand += d - gobj.tracker.Current()
+	gobj.tracker.Update(now, d)
+	g.requeueLocked(o, key, now)
+}
+
+// requeueLocked recomputes an object's broadcast priority. Caller holds
+// src.mu.
+func (g *SessionGroup) requeueLocked(o *objState, key int, now float64) {
+	s := g.src
+	w := 1.0
+	if s.cfg.Weight != nil {
+		w = s.cfg.Weight(o.id)
+	}
+	lambda := 0.0
+	if span := now - o.firstAt; span > 0 && o.updates > 1 {
+		lambda = float64(o.updates) / span
+	}
+	gobj := g.objs[key]
+	p := priority.Compute(s.cfg.PriorityFn, priority.Inputs{
+		Now:         now,
+		LastRefresh: gobj.tracker.LastReset(),
+		Divergence:  gobj.tracker.Current(),
+		Integral:    gobj.tracker.Integral(now),
+		Weight:      w,
+		Lambda:      lambda,
+		Updates:     gobj.tracker.UpdatesBehind(),
+	})
+	if p > 0 {
+		g.eng.Queue.Upsert(key, p)
+	} else {
+		g.eng.Queue.Remove(key)
+	}
+}
+
+// loop is the group's one flush ticker — the coalesced replacement for
+// per-session tickers and per-Batcher flush timers. Budget accrues at the
+// PER-MEMBER rate: one scheduled refresh reaches every member, so charging
+// the aggregate rate per broadcast would overspend egress by the member
+// count.
+func (g *SessionGroup) loop() {
+	defer close(g.done)
+	s := g.src
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	budget := 0.0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			rate := g.rate
+			s.mu.Unlock()
+			burst := tokenBurst(rate, s.cfg.Tick)
+			budget += rate * s.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+			budget = g.flush(budget)
+		}
+	}
+}
+
+// flush broadcasts over-threshold objects while budget remains.
+func (g *SessionGroup) flush(budget float64) float64 {
+	for budget >= 1 {
+		if !g.broadcastOnce(&budget) {
+			return budget
+		}
+	}
+	return budget
+}
+
+// broadcastOnce runs one scheduling pass and fans the resulting batch to
+// every member: the shared refresh slice is built and committed under the
+// source mutex, the frame is encoded once outside it, and each member's
+// send is queued to its sharded worker. Returns false when nothing was over
+// threshold.
+//
+// Shared sent-state is committed at schedule time, not delivery time: the
+// group never retries or reschedules for one member. A member that misses a
+// batch — excluded, queue-overrun, send failed, detached mid-flight — is
+// healed by its individual re-sync path, the same contract redial has
+// always had.
+func (g *SessionGroup) broadcastOnce(budget *float64) bool {
+	s := g.src
+	now := s.now()
+	b := groupBatchPool.Get().(*groupBatch)
+	b.g = g
+	b.refs.Store(1) // the flusher's own reference, dropped after enqueueing
+
+	s.mu.Lock()
+	sentUnix := s.cfg.Now().UnixNano()
+	epoch := s.started.UnixNano()
+	for *budget >= 1 && len(b.rs) < g.cfg.MaxBatch {
+		key, _, ok := g.eng.ShouldSend()
+		if !ok {
+			g.eng.SetLimited(false)
+			break
+		}
+		o := s.objs[s.ids[key]]
+		b.rs = append(b.rs, wire.Refresh{
+			SourceID: s.cfg.ID,
+			ObjectID: o.id,
+			// No CacheID stamp: the frame is shared by the whole cohort, so
+			// it cannot carry any single member's identity. Caches treat an
+			// empty stamp as unaddressed, never as misrouted; the
+			// member-filtered fallback copies below are stamped normally.
+			Origin:        o.prov.Origin,
+			Hops:          o.prov.Hops,
+			Via:           o.prov.Via,
+			OriginEpoch:   o.prov.Epoch,
+			OriginVersion: o.prov.Version,
+			Value:         o.value,
+			Version:       o.version,
+			Epoch:         epoch,
+			Threshold:     g.eng.Threshold(),
+			SentUnix:      sentUnix,
+		})
+		gobj := g.objs[key]
+		g.demand -= gobj.tracker.Current()
+		gobj.sentVal, gobj.sentVer = o.value, o.version
+		gobj.tracker.Reset(now, 0)
+		g.eng.Queue.Remove(key)
+		g.eng.OnRefreshSent(now)
+		g.eng.ClampThreshold()
+		g.scheduled++
+		*budget--
+	}
+	if len(b.rs) == 0 {
+		s.mu.Unlock()
+		b.g = nil
+		groupBatchPool.Put(b)
+		return false
+	}
+	_, _, want := g.eng.ShouldSend()
+	g.eng.SetLimited(want)
+	g.batches++
+
+	// Split-horizon pre-pass: the identities on the batch's provenance
+	// paths. Empty whenever every value is locally produced (the common
+	// case at an origin), making the per-member check below a two-flag
+	// test.
+	clear(g.restricted)
+	for i := range b.rs {
+		r := &b.rs[i]
+		if r.Origin != "" {
+			g.restricted[r.Origin] = struct{}{}
+		}
+		for _, v := range r.Via {
+			g.restricted[v] = struct{}{}
+		}
+	}
+
+	// Plan each member's delivery under the lock; execute outside it.
+	plan := g.planBuf[:0]
+	overrun := g.overrunBuf[:0]
+	needFrame := false
+	for _, m := range g.members {
+		if int(m.inflight.Load()) >= g.cfg.Queue {
+			// The member's connection is not draining: detach it below
+			// rather than let one slow peer back-pressure the cohort.
+			overrun = append(overrun, m)
+			continue
+		}
+		mrs, shared := g.memberRefreshesLocked(m, b.rs)
+		if !shared && len(mrs) == 0 {
+			continue // everything in this batch is excluded for the member
+		}
+		if shared && m.groupFS != nil {
+			needFrame = true
+		}
+		if !shared {
+			g.fallbacks++
+		}
+		plan = append(plan, memberPlan{m: m, conn: m.groupConn, fs: m.groupFS, shared: shared, rs: mrs})
+	}
+	s.mu.Unlock()
+
+	if needFrame {
+		b.frame = codec.NewBatchFrame(b.rs, sentUnix)
+		g.framesLive.Add(1)
+	}
+	buckets := g.workerBuf
+	for _, p := range plan {
+		it := sendItem{sess: p.m, conn: p.conn}
+		if p.shared {
+			b.refs.Add(1)
+			it.batch = b
+			it.n = len(b.rs)
+			if p.fs != nil {
+				b.frame.Retain()
+				it.frame = b.frame
+				it.fs = p.fs
+			} else {
+				it.rs = b.rs
+			}
+		} else {
+			it.rs = p.rs
+			it.n = len(p.rs)
+		}
+		p.m.inflight.Add(1)
+		buckets[p.m.workerIdx] = append(buckets[p.m.workerIdx], it)
+	}
+	for wi, items := range buckets {
+		if len(items) == 0 {
+			continue
+		}
+		w := g.workers[wi]
+		w.mu.Lock()
+		w.queue = append(w.queue, items...)
+		w.cond.Signal()
+		w.mu.Unlock()
+		buckets[wi] = items[:0]
+	}
+	b.release()
+	g.planBuf = plan[:0]
+
+	if len(overrun) > 0 {
+		s.mu.Lock()
+		for _, m := range overrun {
+			if m.grouped {
+				g.overruns++
+				g.detachLocked(m, true)
+			}
+		}
+		s.reallocateLocked()
+		s.mu.Unlock()
+	}
+	g.overrunBuf = overrun[:0]
+	return true
+}
+
+// memberRefreshesLocked decides a member's view of a batch: (nil, true)
+// means the member takes the shared batch unfiltered — the fast path —
+// while (slice, false) is a member-specific copy with held-acked and
+// split-horizoned objects removed (possibly empty: nothing to send). Stale
+// held acks (at-or-behind the canonical origin axis, so they can never
+// exclude a future send either) are pruned on the way, returning the member
+// to the fast path. Caller holds src.mu.
+func (g *SessionGroup) memberRefreshesLocked(m *syncSession, rs []wire.Refresh) ([]wire.Refresh, bool) {
+	restricted := false
+	if m.remoteID != "" {
+		_, restricted = g.restricted[m.remoteID]
+	}
+	if !restricted && len(m.memberHeld) == 0 {
+		return nil, true
+	}
+	excluded := 0
+	var out []wire.Refresh
+	for i := range rs {
+		r := &rs[i]
+		drop := restricted && (r.Origin == m.remoteID || slices.Contains(r.Via, m.remoteID))
+		// drop==true is the split horizon: the member produced or already
+		// relayed this value; its loop guard would reject the send anyway.
+		if !drop {
+			if h, ok := m.memberHeld[r.ObjectID]; ok {
+				if oe, ov := r.OriginAxis(); heldAtOrAhead(h.Epoch, h.Version, oe, ov) {
+					// Held-skip: the member acknowledged holding this origin
+					// version or newer; a send would be dropped as stale
+					// there.
+					m.heldSkips++
+					drop = true
+				} else {
+					delete(m.memberHeld, r.ObjectID)
+				}
+			}
+		}
+		if drop {
+			// Materialize the member copy on the first exclusion; the kept
+			// prefix is exactly rs[:i].
+			if out == nil {
+				out = append(make([]wire.Refresh, 0, len(rs)-1), rs[:i]...)
+			}
+			excluded++
+			continue
+		}
+		if out != nil {
+			out = append(out, *r)
+		}
+	}
+	if excluded == 0 {
+		return nil, true
+	}
+	// Member-specific copies can be addressed to the member.
+	for i := range out {
+		out[i].CacheID = m.remoteID
+	}
+	return out, false
+}
+
+// process executes one member send on a worker. A failed send means the
+// connection is broken (both provided transports only fail closed), so it
+// is closed outright: the member's feedback stream then ends and its
+// session leaves the group through the standard redial path. References are
+// released unconditionally — failure paths must not leak the shared frame.
+func (g *SessionGroup) process(it sendItem) {
+	var err error
+	if it.fs != nil {
+		err = it.fs.SendFrame(it.frame)
+	} else {
+		err = it.conn.SendBatch(it.rs)
+	}
+	if it.frame != nil {
+		it.frame.Release()
+	}
+	if it.batch != nil {
+		it.batch.release()
+	}
+	it.sess.inflight.Add(-1)
+	if err != nil {
+		g.sendErrors.Add(1)
+		it.sess.groupSendErrors.Add(1)
+		it.conn.Close()
+		return
+	}
+	g.delivered.Add(int64(it.n))
+	it.sess.groupSent.Add(int64(it.n))
+}
+
+func (w *groupWorker) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for w.head == len(w.queue) && !w.closed {
+			w.cond.Wait()
+		}
+		if w.head == len(w.queue) {
+			w.mu.Unlock()
+			return
+		}
+		it := w.queue[w.head]
+		w.queue[w.head] = sendItem{} // drop references for GC/pooling
+		w.head++
+		if w.head == len(w.queue) {
+			w.queue = w.queue[:0]
+			w.head = 0
+		}
+		w.mu.Unlock()
+		w.g.process(it)
+	}
+}
+
+// close joins the flusher and drains the workers. Called by Source.Close
+// after s.stop is closed and the session loops have exited; the flusher
+// exits on s.stop, so no new work is queued once it is joined. Workers
+// finish their remaining queue (sends fail fast on the closed connections)
+// so every outstanding frame reference is released.
+func (g *SessionGroup) close() {
+	<-g.done
+	for _, w := range g.workers {
+		w.mu.Lock()
+		w.closed = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+	for _, w := range g.workers {
+		<-w.done
+	}
+}
+
+// statsLocked snapshots the group counters. Caller holds src.mu.
+func (g *SessionGroup) statsLocked() GroupStats {
+	return GroupStats{
+		Members:       len(g.members),
+		Batches:       g.batches,
+		Scheduled:     g.scheduled,
+		Delivered:     g.delivered.Load(),
+		Fallbacks:     g.fallbacks,
+		Detaches:      g.detaches,
+		Rejoins:       g.rejoins,
+		QueueOverruns: g.overruns,
+		SendErrors:    g.sendErrors.Load(),
+		Pending:       g.eng.Queue.Len(),
+		Threshold:     g.eng.Threshold(),
+		MemberShare:   g.rate,
+	}
+}

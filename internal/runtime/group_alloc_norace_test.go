@@ -1,0 +1,57 @@
+//go:build !race
+
+// The allocation assertions are meaningless under -race (the detector
+// instruments allocations), so this file is excluded from the race job.
+
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/transport"
+)
+
+// TestGroupUpdateSteadyStateAllocs pins the tentpole's hot-path property:
+// once the store and the group are warm, Source.Update with group dispatch
+// is allocation-free — one shared tracker/heap touch per update instead of
+// one per member, with no per-update garbage.
+func TestGroupUpdateSteadyStateAllocs(t *testing.T) {
+	conns := []transport.SourceConn{newFrameConn("al-a"), newFrameConn("al-b")}
+	dests := make([]Destination, len(conns))
+	for i, c := range conns {
+		dests[i] = Destination{CacheID: fmt.Sprintf("member-%d", i), Conn: c}
+	}
+	// A starved budget keeps the flusher idle so the measurement sees the
+	// pure observe/requeue path, not racing broadcasts.
+	src, err := NewFanoutSource(SourceConfig{
+		ID: "al", Metric: metric.ValueDeviation,
+		Bandwidth: 0.001, Tick: time.Hour,
+		Group: GroupConfig{Enabled: true},
+	}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	const objects = 16
+	ids := make([]string, objects)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("al/obj-%d", i)
+		src.Update(ids[i], 1) // warm the store, sessions and group state
+	}
+
+	v := 2.0
+	avg := testing.AllocsPerRun(200, func() {
+		for _, id := range ids {
+			src.Update(id, v)
+		}
+		v++
+	})
+	perUpdate := avg / objects
+	if perUpdate > 0.0625 { // tolerate a stray background allocation
+		t.Fatalf("steady-state group Update allocates %.3f allocs/update, want 0", perUpdate)
+	}
+}

@@ -60,6 +60,10 @@ type RelayConfig struct {
 	// MaxHops relay tiers is applied locally but not forwarded (counted in
 	// RelayStats.HopLimited). Default 8.
 	MaxHops int
+	// Group configures session-group fan-out on the downstream face
+	// (SourceConfig.Group): eligible children share one scheduling pass and
+	// one encode per batch. Zero value keeps per-child sessions.
+	Group GroupConfig
 	// Now overrides the clock for both faces (tests); defaults to
 	// time.Now.
 	Now func() time.Time
@@ -208,6 +212,7 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 		Tick:       cfg.Tick,
 		Params:     cfg.Params,
 		Rebalance:  cfg.Rebalance,
+		Group:      cfg.Group,
 		Now:        cfg.Now,
 	}, children)
 	if err != nil {

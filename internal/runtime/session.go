@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"bestsync/internal/core"
@@ -51,6 +52,12 @@ type SessionStats struct {
 	// feedback proved it already at-or-ahead of the scheduled value on the
 	// origin axis (push policy).
 	HeldSkips int
+	// Grouped reports a session currently attached to the source's session
+	// group: its refreshes arrive via group broadcasts (counted in
+	// Refreshes here as well), Threshold mirrors the shared group
+	// threshold, and Pending is zero — the group's queue is reported once
+	// in SourceStats.Group.
+	Grouped bool
 }
 
 // sessObj is one session's view of one object: the value/version last
@@ -111,6 +118,25 @@ type syncSession struct {
 	// produced yet (a cache can ack ahead of a relay's snapshot re-export);
 	// observeLocked folds them into the sessObj when the object appears.
 	heldPending map[string]wire.HeldVersion
+
+	// Group-delivery state. grouped/wantGroup/memberHeld/workerIdx/
+	// groupConn/groupFS/detached are guarded by src.mu; the atomics are
+	// shared with the group's sender workers. While grouped, objs is nil —
+	// the shared groupObj state replaces it — and memberHeld carries the
+	// only per-member scheduling state left: held acks AHEAD of the
+	// canonical origin axis (anything at-or-behind is pruned, it can never
+	// exclude a send).
+	grouped    bool
+	wantGroup  bool // group-eligible: re-attach when fully synced
+	workerIdx  int
+	memberHeld map[string]wire.HeldVersion
+	groupConn  transport.SourceConn
+	groupFS    transport.FrameSender
+	detached   chan struct{} // closed by the group on detach
+
+	inflight        atomic.Int32 // group batches queued, not yet sent
+	groupSent       atomic.Int64 // refreshes delivered via group sends
+	groupSendErrors atomic.Int64
 
 	stop chan struct{} // closed by RemoveDestination
 	done chan struct{}
@@ -228,6 +254,14 @@ func (ss *syncSession) requeueLocked(o *objState, key int, now float64) {
 
 // statsLocked snapshots the session counters. Caller holds src.mu.
 func (ss *syncSession) statsLocked() SessionStats {
+	pending := ss.eng.Queue.Len()
+	threshold := ss.eng.Threshold()
+	if ss.grouped {
+		// The member's own engine idles while grouped; the shared group
+		// engine is what schedules for it.
+		pending = 0
+		threshold = ss.src.group.eng.Threshold()
+	}
 	return SessionStats{
 		CacheID:       ss.dest.CacheID,
 		RemoteID:      ss.remoteID,
@@ -235,23 +269,38 @@ func (ss *syncSession) statsLocked() SessionStats {
 		Weight:        ss.weight,
 		Ended:         ss.ended,
 		Redialing:     ss.redialing,
-		Refreshes:     ss.refreshes,
+		Grouped:       ss.grouped,
+		Refreshes:     ss.refreshes + int(ss.groupSent.Load()),
 		Feedbacks:     ss.feedbacks,
-		SendErrors:    ss.sendErrors,
+		SendErrors:    ss.sendErrors + int(ss.groupSendErrors.Load()),
 		Reconnects:    ss.reconnects,
-		Pending:       ss.eng.Queue.Len(),
-		Threshold:     ss.eng.Threshold(),
+		Pending:       pending,
+		Threshold:     threshold,
 		PollsAnswered: ss.pollsAnswered,
 		HeldSkips:     ss.heldSkips,
 	}
 }
 
-// onFeedback applies one feedback message from this session's cache.
+// onFeedback applies one feedback message from this session's cache. A
+// grouped member's feedback feeds the SHARED engine — every member's
+// feedback moves the one group threshold — while its held acks stay
+// per-member, driving the member's batch exclusions.
 func (ss *syncSession) onFeedback(f wire.Feedback) {
 	s := ss.src
 	s.mu.Lock()
 	if f.CacheID != "" {
 		ss.remoteID = f.CacheID
+	}
+	if ss.grouped {
+		g := s.group
+		g.eng.OnFeedback(s.now())
+		g.feedbacks++
+		ss.feedbacks++
+		for _, h := range f.Held {
+			ss.recordHeldGroupedLocked(h)
+		}
+		s.mu.Unlock()
+		return
 	}
 	ss.eng.OnFeedback(s.now())
 	ss.feedbacks++
@@ -262,6 +311,28 @@ func (ss *syncSession) onFeedback(f wire.Feedback) {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// recordHeldGroupedLocked folds one held-version ack into a grouped
+// member's exclusion set. Only acks AHEAD of the canonical origin axis are
+// kept — an at-or-behind ack can never exclude a future send (the axis only
+// moves forward), so the set stays proportional to how far the cache ran
+// ahead, not to the store. Caller holds src.mu.
+func (ss *syncSession) recordHeldGroupedLocked(h wire.HeldVersion) {
+	s := ss.src
+	if cur, ok := ss.memberHeld[h.ObjectID]; ok &&
+		(h.Epoch < cur.Epoch || (h.Epoch == cur.Epoch && h.Version <= cur.Version)) {
+		return // older than what we already know the cache holds
+	}
+	if o, ok := s.objs[h.ObjectID]; ok {
+		if oe, ov := s.originAxisLocked(o); !heldAtOrAhead(h.Epoch, h.Version, oe, ov) {
+			delete(ss.memberHeld, h.ObjectID)
+			return
+		}
+	} else if len(ss.memberHeld) >= maxHeldPending {
+		return // parked unknown-object acks are an optimization, bounded
+	}
+	ss.memberHeld[h.ObjectID] = h
 }
 
 // maxHeldPending bounds the parked acks for objects this source has not
@@ -319,6 +390,99 @@ func (ss *syncSession) loop() {
 		ss.pollLoop()
 		return
 	}
+	// A group-eligible session alternates between two bodies: while
+	// attached it only relays feedback (no ticker — the group's one flush
+	// ticker schedules for the whole cohort), and after a detach it runs
+	// the full individual push body until maybeRejoin re-attaches it.
+	for {
+		s.mu.Lock()
+		grouped := ss.grouped
+		s.mu.Unlock()
+		var again bool
+		if grouped {
+			again = ss.groupLoop()
+		} else {
+			again = ss.pushLoop()
+		}
+		if !again {
+			return
+		}
+	}
+}
+
+// groupLoop is the session body while attached to the group: no ticker, no
+// flushes — just feedback relay into the shared engine and the member's
+// exclusion set. Returns true when the session should continue on the
+// individual path (detached, or connection lost), false on shutdown or
+// removal.
+func (ss *syncSession) groupLoop() bool {
+	s := ss.src
+	s.mu.Lock()
+	if !ss.grouped {
+		s.mu.Unlock()
+		return true
+	}
+	fb := ss.dest.Conn.Feedback()
+	detached := ss.detached
+	s.mu.Unlock()
+	for {
+		select {
+		case <-s.stop:
+			return false
+		case <-ss.stop:
+			return false // removed from the fan-out; the remover closes the conn
+		case <-detached:
+			return true // the group dropped us (overrun/removal); go individual
+		case f, ok := <-fb:
+			if !ok {
+				// Connection gone. Leave the group so the broadcast stops
+				// feeding a dead pipe, rebuild individual state, and let the
+				// push body redial (or end) under the standard full-resync
+				// contract — a redialing member receives no group sends.
+				s.mu.Lock()
+				s.group.detachLocked(ss, true)
+				s.reallocateLocked()
+				s.mu.Unlock()
+				return true
+			}
+			ss.onFeedback(f)
+		}
+	}
+}
+
+// maybeRejoin re-attaches a group-eligible session once its individual path
+// has caught the cache up: nothing sendable left (the queue is empty or
+// holds only below-threshold residuals — divergence the engine tolerates by
+// definition, so waiting for an empty queue would park a member on the
+// individual path forever under sustained load), no outstanding group
+// sends, connection up. Called from the push body after each flush.
+func (ss *syncSession) maybeRejoin() bool {
+	s := ss.src
+	if s.group == nil || !ss.wantGroup {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss.grouped || ss.ended || ss.redialing {
+		return false
+	}
+	if ss.inflight.Load() != 0 {
+		return false
+	}
+	if _, _, sendable := ss.eng.ShouldSend(); sendable {
+		return false
+	}
+	s.group.attachLocked(ss)
+	s.group.rejoins++
+	s.reallocateLocked()
+	return true
+}
+
+// pushLoop is the individual-session push body. Returns true when the
+// session re-attached to the group (continue in groupLoop), false on
+// shutdown, removal, or permanent end.
+func (ss *syncSession) pushLoop() bool {
+	s := ss.src
 	ticker := time.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
 	budget := 0.0
@@ -328,17 +492,17 @@ func (ss *syncSession) loop() {
 	for {
 		select {
 		case <-s.stop:
-			return
+			return false
 		case <-ss.stop:
-			return // removed from the fan-out; the remover closes the conn
+			return false // removed from the fan-out; the remover closes the conn
 		case f, ok := <-fb:
 			if !ok {
 				if ss.dest.Redial == nil {
 					ss.end() // connection gone for good; survivors inherit the share
-					return
+					return false
 				}
 				if !ss.redial() {
-					return // shutdown or removal won the race against the redial
+					return false // shutdown or removal won the race against the redial
 				}
 				s.mu.Lock()
 				fb = ss.dest.Conn.Feedback()
@@ -356,6 +520,9 @@ func (ss *syncSession) loop() {
 				budget = burst
 			}
 			budget = ss.flush(budget)
+			if ss.maybeRejoin() {
+				return true
+			}
 		}
 	}
 }
@@ -521,6 +688,7 @@ func (ss *syncSession) end() {
 	s := ss.src
 	s.mu.Lock()
 	ss.ended = true
+	ss.wantGroup = false
 	ss.objs = nil
 	ss.demand = 0
 	s.reallocateLocked()

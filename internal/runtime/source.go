@@ -60,6 +60,13 @@ type SourceConfig struct {
 	// Weight assigns refresh weights (importance × popularity) per object;
 	// nil means weight 1 for all.
 	Weight func(objectID string) float64
+	// Group enables session-group delivery: push-policy destinations with
+	// the default share weight register into one SessionGroup that runs a
+	// single scheduling pass and a single encode per batch and fans the
+	// shared frame to all members (see GroupConfig). Destinations with an
+	// explicit non-default weight, and every destination under a
+	// cache-driven policy, keep their individual sessions.
+	Group GroupConfig
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
 }
@@ -86,9 +93,13 @@ type SourceStats struct {
 	// (SourceConfig.Rebalance).
 	Rebalances int
 	// Threshold is the mean local threshold across live sessions (a
-	// single-cache source reports its one threshold unchanged).
+	// single-cache source reports its one threshold unchanged). Grouped
+	// sessions share one threshold, counted once.
 	Threshold float64
 	Sessions  []SessionStats
+	// Group carries the session-group breakdown when group delivery is
+	// enabled and has members; nil otherwise.
+	Group *GroupStats
 }
 
 // objState is the canonical (destination-independent) state of one locally
@@ -147,12 +158,15 @@ type Source struct {
 
 	mu       sync.Mutex
 	sessions []*syncSession // live + ended (removed ones are detached)
-	reb      *alloc.Rebalancer
-	seq      int // next default CacheID ordinal (never reused)
-	objs     map[string]*objState
-	ids      []string // intern table: queue key → object id
-	idx      map[string]int
-	updates  int
+	// group is the session group when cfg.Group.Enabled on a push source;
+	// immutable after construction (its member set is what changes).
+	group   *SessionGroup
+	reb     *alloc.Rebalancer
+	seq     int // next default CacheID ordinal (never reused)
+	objs    map[string]*objState
+	ids     []string // intern table: queue key → object id
+	idx     map[string]int
+	updates int
 	// bandwidth is the live total send budget; cfg.Bandwidth is only its
 	// initial value (SetBandwidth replaces it at runtime).
 	bandwidth  float64
@@ -224,11 +238,24 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 	if cfg.Rebalance > 0 {
 		s.reb = &alloc.Rebalancer{}
 	}
+	if cfg.Group.Enabled && !cfg.Policy.CacheDriven() {
+		// The group's flusher goroutine starts here, so everything below
+		// runs under the lock.
+		s.group = newSessionGroup(s, cfg.Group)
+	}
+	s.mu.Lock()
 	s.sessions = make([]*syncSession, len(dests))
 	for i, d := range dests {
-		s.sessions[i] = newSyncSession(s, d)
+		ss := newSyncSession(s, d)
+		s.sessions[i] = ss
+		if s.group != nil && d.Weight == 1 {
+			// The store is empty at construction, so a fresh member is
+			// trivially synchronized and joins directly.
+			s.group.attachLocked(ss)
+		}
 	}
-	s.reallocateLocked() // no concurrency yet, but keeps one code path
+	s.reallocateLocked()
+	s.mu.Unlock()
 	for _, ss := range s.sessions {
 		go ss.loop()
 	}
@@ -276,13 +303,22 @@ func (s *Source) AddDestination(d Destination) error {
 	}
 	ss := newSyncSession(s, d)
 	if !s.cfg.Policy.CacheDriven() {
-		now := s.now()
-		ss.objs = make([]*sessObj, len(s.ids))
-		for k := range ss.objs {
-			ss.objs[k] = &sessObj{}
-		}
-		for k, id := range s.ids {
-			ss.observeLocked(s.objs[id], k, now)
+		if s.group != nil && d.Weight == 1 && len(s.ids) == 0 {
+			// Empty store: nothing to re-sync, join the group directly.
+			s.group.attachLocked(ss)
+		} else {
+			now := s.now()
+			ss.objs = make([]*sessObj, len(s.ids))
+			for k := range ss.objs {
+				ss.objs[k] = &sessObj{}
+			}
+			for k, id := range s.ids {
+				ss.observeLocked(s.objs[id], k, now)
+			}
+			// With a non-empty store the member starts on the individual
+			// path — the full from-scratch sync — and attaches to the group
+			// once its queue drains (syncSession.maybeRejoin).
+			ss.wantGroup = s.group != nil && d.Weight == 1
 		}
 	}
 	s.sessions = append(s.sessions, ss)
@@ -321,6 +357,11 @@ func (s *Source) RemoveDestination(cacheID string) error {
 	if victim == nil {
 		s.mu.Unlock()
 		return fmt.Errorf("runtime: no destination %q", cacheID)
+	}
+	if s.group != nil {
+		// A grouped victim leaves the broadcast set first (no re-sync: it
+		// is leaving the topology, not falling back to individual sends).
+		s.group.detachLocked(victim, false)
 	}
 	s.sessions = append(s.sessions[:idx], s.sessions[idx+1:]...)
 	if s.reb != nil {
@@ -393,19 +434,36 @@ func (s *Source) LiveDestinations() int {
 // pick the new rates up on their next tick (see syncSession.loop).
 func (s *Source) reallocateLocked() {
 	live := make([]*syncSession, 0, len(s.sessions))
-	ids := make([]string, 0, len(s.sessions))
-	bases := make([]float64, 0, len(s.sessions))
+	ids := make([]string, 0, len(s.sessions)+1)
+	bases := make([]float64, 0, len(s.sessions)+1)
 	for _, ss := range s.sessions {
 		if ss.ended {
 			ss.rate = 0
 			ss.weight = 0
 			continue
 		}
+		if ss.grouped {
+			continue // accounted through the group's one consumer below
+		}
 		live = append(live, ss)
 		ids = append(ids, ss.dest.CacheID)
 		bases = append(bases, ss.dest.Weight)
 	}
-	if len(live) == 0 {
+	// The group competes as a single consumer whose base weight is its
+	// member count (every member has the default weight 1), so grouped and
+	// individual destinations earn the same per-destination share. The
+	// group then schedules at the PER-MEMBER rate — one scheduled refresh
+	// fans to all members, keeping total egress within the budget.
+	groupIdx := -1
+	if s.group != nil && len(s.group.members) > 0 {
+		groupIdx = len(ids)
+		ids = append(ids, groupConsumerID)
+		bases = append(bases, float64(len(s.group.members)))
+	}
+	if len(ids) == 0 {
+		if s.group != nil {
+			s.group.rate = 0
+		}
 		return
 	}
 	weights := bases
@@ -416,6 +474,16 @@ func (s *Source) reallocateLocked() {
 	for i, ss := range live {
 		ss.rate = rates[i]
 		ss.weight = weights[i]
+	}
+	if groupIdx >= 0 {
+		g := s.group
+		g.rate = rates[groupIdx] / float64(len(g.members))
+		for _, m := range g.members {
+			m.rate = g.rate
+			m.weight = 1
+		}
+	} else if s.group != nil {
+		s.group.rate = 0
 	}
 }
 
@@ -440,9 +508,20 @@ func (s *Source) rebalanceLoop() {
 // loop's ticker; the daemons only ever drive it periodically).
 func (s *Source) rebalanceOnce() {
 	s.mu.Lock()
-	cons := make([]alloc.Consumer, 0, len(s.sessions))
+	cons := make([]alloc.Consumer, 0, len(s.sessions)+1)
+	if s.group != nil && len(s.group.members) > 0 {
+		g := s.group
+		fb := g.feedbacks - g.windowFb
+		g.windowFb = g.feedbacks
+		cons = append(cons, alloc.Consumer{
+			ID:        groupConsumerID,
+			Base:      float64(len(g.members)),
+			Feedbacks: float64(fb),
+			Demand:    g.demand,
+		})
+	}
 	for _, ss := range s.sessions {
-		if ss.ended {
+		if ss.ended || ss.grouped {
 			continue
 		}
 		// ss.demand is maintained incrementally by observeLocked and the
@@ -548,11 +627,16 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 		s.idx[objectID] = len(s.ids)
 		s.ids = append(s.ids, objectID)
 		if !cacheDriven {
+			if s.group != nil {
+				s.group.objs = append(s.group.objs, &groupObj{})
+			}
 			for _, ss := range s.sessions {
 				// Ended sessions never observe or flush again; growing their
 				// (released) per-object state with every new object would leak
-				// in a long-running source with dead destinations.
-				if !ss.ended {
+				// in a long-running source with dead destinations. Grouped
+				// sessions keep no per-object state at all — that is the
+				// group's memory win.
+				if !ss.ended && !ss.grouped {
 					ss.objs = append(ss.objs, &sessObj{})
 				}
 			}
@@ -571,8 +655,14 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 		return
 	}
 	key := s.idx[objectID]
+	// The group observes once for its whole cohort — the O(1)-per-update
+	// dispatch that replaces the per-session loop below for grouped
+	// members. Both paths are allocation-free in steady state.
+	if s.group != nil {
+		s.group.observeLocked(o, key, now)
+	}
 	for _, ss := range s.sessions {
-		if !ss.ended {
+		if !ss.ended && !ss.grouped {
 			ss.observeLocked(o, key, now)
 		}
 	}
@@ -596,16 +686,24 @@ func (s *Source) Stats() SourceStats {
 		st.Feedbacks += sess.Feedbacks
 		st.SendErrors += sess.SendErrors
 		st.PollsAnswered += sess.PollsAnswered
-		if !sess.Ended {
+		if !sess.Ended && !sess.Grouped {
 			// An ended session's queue will never drain and its frozen
 			// threshold describes nothing: both would skew the aggregate
 			// view of the live topology (historical counters above still
-			// aggregate — those sends happened).
+			// aggregate — those sends happened). Grouped sessions share the
+			// group's one queue and threshold, folded in once below.
 			st.Pending += sess.Pending
 			st.Threshold += sess.Threshold
 			live++
 		}
 		st.Sessions = append(st.Sessions, sess)
+	}
+	if s.group != nil && len(s.group.members) > 0 {
+		gs := s.group.statsLocked()
+		st.Group = &gs
+		st.Pending += gs.Pending
+		st.Threshold += gs.Threshold
+		live++
 	}
 	if live > 0 {
 		st.Threshold /= float64(live)
@@ -646,6 +744,13 @@ func (s *Source) Close() error {
 	}
 	for _, ss := range sessions {
 		<-ss.done
+	}
+	if s.group != nil {
+		// After the flusher exits (it watches s.stop) nothing enqueues to
+		// the workers; they drain their remaining items — sends fail fast
+		// on the closed connections — so every shared-frame reference is
+		// released before close returns.
+		s.group.close()
 	}
 	return err
 }

@@ -428,23 +428,47 @@ func dialGob(addr, sourceID string) (*tcpClient, error) {
 	return c, nil
 }
 
+// dialAllConcurrency bounds DialAll's parallel connection attempts: enough
+// to collapse a large fan-out boot into a few connect round-trips without
+// an unbounded goroutine/file-descriptor burst.
+const dialAllConcurrency = 64
+
 // DialAll connects one source to several cache daemons, returning one
 // connection per address in order — the raw material for a fan-out source
 // (runtime.NewFanoutSource), which runs an independent sync session over
-// each connection. If any dial fails, the connections established so far
-// are closed and the error is returned. Wrap each returned connection in
-// its own Batcher when batching is wanted: batches never span caches.
+// each connection. Addresses are dialed concurrently (bounded); if any dial
+// fails, every connection established is closed and the first error in
+// address order is returned. Wrap each returned connection in its own
+// Batcher when batching is wanted: batches never span caches.
 func DialAll(addrs []string, sourceID string) ([]SourceConn, error) {
-	conns := make([]SourceConn, 0, len(addrs))
-	for _, addr := range addrs {
-		conn, err := Dial(addr, sourceID)
+	conns := make([]SourceConn, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, dialAllConcurrency)
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := Dial(addr, sourceID)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			conns[i] = c
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			for _, c := range conns {
-				c.Close()
+				if c != nil {
+					c.Close()
+				}
 			}
-			return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+			return nil, fmt.Errorf("transport: dialing %s: %w", addrs[i], err)
 		}
-		conns = append(conns, conn)
 	}
 	return conns, nil
 }
