@@ -24,8 +24,14 @@
 // two messages per refresh; ideal costs one), so push-vs-poll comparisons
 // at equal budget work on live daemons. -resolve-every sets the
 // re-estimation epoch; -poll-rate supplies ideal mode's assumed per-object
-// update rate (ideal without it falls back to CGM1's estimates). Relay mode
-// requires the push policy.
+// update rate (ideal without it falls back to CGM1's estimates).
+//
+// -mode hybrid runs both halves at once: cooperating sources push their hot
+// objects and mark them in each poll reply's Pushed set, and the cache polls
+// only the cold remainder with CGM1-estimated frequencies. The Pushed set is
+// honored only from sources whose Hello advertised the cooperative
+// capability, so a legacy source can never switch this cache's polling off.
+// Relay mode accepts push or hybrid upstream.
 //
 // # Relay mode (cache→cache hierarchy)
 //
@@ -71,6 +77,7 @@ import (
 	"bestsync/internal/metric"
 	"bestsync/internal/runtime"
 	"bestsync/internal/transport"
+	"bestsync/internal/wire"
 )
 
 func main() {
@@ -78,7 +85,8 @@ func main() {
 	id := flag.String("id", "", "cache identifier stamped on feedback (default: the listen address)")
 	httpAddr := flag.String("http", "", "optional HTTP status address (e.g. :7401)")
 	bw := flag.Float64("bandwidth", 100, "refresh-processing budget (messages/second)")
-	mode := flag.String("mode", "push", "sync policy: push (source-cooperative) or poll|ideal|cgm1|cgm2 (cache-driven CGM baseline)")
+	mode := flag.String("mode", "push", "sync policy: push (source-cooperative), hybrid (push hot head, poll cold tail) or poll|ideal|cgm1|cgm2 (cache-driven CGM baseline)")
+	childMode := flag.String("child-mode", "push", "relay mode: sync policy on the downstream (child) face: push or hybrid")
 	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "poll modes: re-estimation/re-allocation epoch")
 	pollRate := flag.Float64("poll-rate", 0, "ideal mode: assumed per-object update rate (updates/s); 0 = fall back to CGM1 estimates")
 	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
@@ -100,11 +108,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("cachesyncd: -mode: %v", err)
 	}
+	childPolicy, err := runtime.ParsePolicy(*childMode)
+	if err != nil {
+		log.Fatalf("cachesyncd: -child-mode: %v", err)
+	}
 	dialCodec, err := transport.ParseCodec(*codecPref)
 	if err != nil {
 		log.Fatalf("cachesyncd: -codec: %v", err)
 	}
 	transport.SetDialCodec(dialCodec)
+	if childPolicy == runtime.PolicyHybrid {
+		// The relay's child face pushes its hot set; advertising the
+		// cooperative capability lets hybrid children trust the Pushed sets
+		// in its poll replies.
+		transport.SetDialCapabilities(wire.CapCooperative)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("cachesyncd: %v", err)
@@ -135,7 +153,7 @@ func main() {
 	}
 	if *children != "" {
 		if policy.CacheDriven() {
-			log.Fatalf("cachesyncd: relay mode requires -mode push (got %v)", policy)
+			log.Fatalf("cachesyncd: relay mode requires -mode push or hybrid (got %v)", policy)
 		}
 		addrs, weights, err := destspec.Parse(*children)
 		if err != nil {
@@ -159,14 +177,19 @@ func main() {
 				childBand = 0
 			}
 		}
+		upCfg := runtime.CacheConfig{Bandwidth: cacheBW, Shards: *shards, ShardQueue: *queue, Policy: policy}
+		if policy.Polls() {
+			upCfg.Poll = runtime.PollConfig{ReSolveEvery: *resolveEvery}
+		}
 		relay, err = runtime.NewRelay(runtime.RelayConfig{
 			ID:             *id,
-			Cache:          runtime.CacheConfig{Bandwidth: cacheBW, Shards: *shards, ShardQueue: *queue},
+			Cache:          upCfg,
 			ChildBandwidth: childBand,
 			TotalBandwidth: *totalBW,
 			Rebalance:      *rebalance,
 			Metric:         metric.ValueDeviation,
 			MaxHops:        *maxHops,
+			ChildPolicy:    childPolicy,
 			Group:          runtime.GroupConfig{Enabled: *group},
 		}, ep, dests)
 		if err != nil {
@@ -261,18 +284,27 @@ func main() {
 			return
 		case <-ticker.C:
 			st := cache.Stats()
-			if policy.CacheDriven() {
+			switch {
+			case policy == runtime.PolicyHybrid:
+				fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d polls=%d replies=%d resolves=%d stale=%d rate=%.1f/s\n",
+					cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Polls, st.PollReplies, st.Resolves, st.Stale, cache.ApplyRate())
+			case policy.CacheDriven():
 				fmt.Printf("objects=%d sources=%d refreshes=%d polls=%d replies=%d resolves=%d stale=%d rate=%.1f/s\n",
 					cache.Len(), st.Sources, st.Refreshes, st.Polls, st.PollReplies, st.Resolves, st.Stale, cache.ApplyRate())
 				continue
+			default:
+				fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d stale=%d rate=%.1f/s\n",
+					cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
 			}
-			fmt.Printf("objects=%d sources=%d refreshes=%d feedback=%d stale=%d rate=%.1f/s\n",
-				cache.Len(), st.Sources, st.Refreshes, st.Feedbacks, st.Stale, cache.ApplyRate())
 			if relay != nil {
 				rst := relay.Stats()
 				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d up=%.3g/s down=%.3g/s rebalances=%d\n",
 					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes,
 					rst.UpBandwidth, rst.DownBandwidth, rst.FaceRebalances)
+				if h := rst.Downstream.Hybrid; h != nil {
+					fmt.Printf("  hybrid push_objects=%d poll_objects=%d promotions=%d demotions=%d polls_answered=%d polled_items=%d\n",
+						h.PushObjects, h.PollObjects, h.Promotions, h.Demotions, rst.Downstream.PollsAnswered, h.PolledItems)
+				}
 				if g := rst.Downstream.Group; g != nil {
 					fmt.Printf("  group members=%d batches=%d delivered=%d fallbacks=%d detaches=%d rejoins=%d overruns=%d share=%.3g/s\n",
 						g.Members, g.Batches, g.Delivered, g.Fallbacks, g.Detaches, g.Rejoins, g.QueueOverruns, g.MemberShare)

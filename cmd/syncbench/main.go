@@ -48,11 +48,14 @@
 //
 // With -policy syncbench runs the live analogue of Figure 6 (§6.3): one
 // source and one cache synchronize the same workload under each sync
-// policy — source-cooperative push, ideal cache-based polling, CGM1 and
-// CGM2 — at equal message budget over both transports, reporting installed
-// refreshes, total messages and final mean divergence per policy. The
-// -objects, -rate, -bandwidth, -duration and -resolve-every flags tune it.
-// Results are also written to BENCH_policy.json.
+// policy — source-cooperative push, ideal cache-based polling, CGM1, CGM2
+// and the hybrid split (push the hot head, poll the cold tail) — at equal
+// message budget over both transports, reporting installed refreshes, total
+// messages and final mean divergence per policy. -zipf adds skewed-workload
+// sweep points (comma-separated Zipf exponents), where the hybrid policy's
+// migration controller concentrates the push budget on the hot objects. The
+// -objects, -rate, -bandwidth, -duration, -resolve-every and -zipf flags
+// tune it. Results are also written to BENCH_policy.json.
 package main
 
 import (
@@ -85,6 +88,24 @@ func parseScale(s string) ([]int, error) {
 	return scale, nil
 }
 
+// parseZipf parses the -zipf flag: comma-separated Zipf exponents, each
+// strictly greater than 1 (rand.NewZipf's domain). Empty means no skewed
+// sweep points.
+func parseZipf(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 1 {
+			return nil, fmt.Errorf("%q is not a Zipf exponent > 1", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run the paper-scale grids")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -106,12 +127,18 @@ func main() {
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
 	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
 	dynamic := flag.Bool("dynamic", false, "benchmark static vs adaptive share allocation under skewed and churning destinations instead of experiments")
-	policy := flag.Bool("policy", false, "benchmark the sync policies (push vs ideal/CGM1/CGM2 cache-driven polling) at equal message budget instead of experiments")
+	policy := flag.Bool("policy", false, "benchmark the sync policies (push vs hybrid vs ideal/CGM1/CGM2 cache-driven polling) at equal message budget instead of experiments")
 	resolveEvery := flag.Duration("resolve-every", 500*time.Millisecond, "policy mode: poll re-estimation/re-allocation epoch")
+	zipfFlag := flag.String("zipf", "", "policy mode: comma-separated Zipf exponents (each > 1) adding skewed-workload sweep points (empty = uniform workload only)")
 	flag.Parse()
 
 	if *policy {
-		runPolicyMode(*tpObjects, *fanRate, *fanBW, *tpDur, *resolveEvery)
+		zipf, err := parseZipf(*zipfFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syncbench: -zipf: %v\n", err)
+			os.Exit(2)
+		}
+		runPolicyMode(*tpObjects, *fanRate, *fanBW, *tpDur, *resolveEvery, zipf)
 		return
 	}
 	if *dynamic {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -25,7 +26,7 @@ func TestPolicyBenchSchema(t *testing.T) {
 	}
 	defer os.Chdir(wd)
 
-	runPolicyMode(24, 400, 120, 900*time.Millisecond, 300*time.Millisecond)
+	runPolicyMode(24, 400, 120, 900*time.Millisecond, 300*time.Millisecond, []float64{1.3})
 
 	data, err := os.ReadFile(filepath.Join(dir, "BENCH_policy.json"))
 	if err != nil {
@@ -37,15 +38,18 @@ func TestPolicyBenchSchema(t *testing.T) {
 	if err := dec.Decode(&results); err != nil {
 		t.Fatalf("BENCH_policy.json does not match the documented schema: %v", err)
 	}
-	if len(results) != 8 {
-		t.Fatalf("got %d scenarios, want 8 (4 policies × 2 transports)", len(results))
+	if len(results) != 20 {
+		t.Fatalf("got %d scenarios, want 20 (5 policies × 2 transports × 2 workloads)", len(results))
 	}
 	want := map[string]float64{} // scenario → msg cost
-	for _, transport := range []string{"local", "tcp"} {
-		want["push-"+transport] = 1
-		want["ideal-"+transport] = 1
-		want["cgm1-"+transport] = 2
-		want["cgm2-"+transport] = 2
+	for _, suffix := range []string{"", "-z1.3"} {
+		for _, transport := range []string{"local", "tcp"} {
+			want["push-"+transport+suffix] = 1
+			want["ideal-"+transport+suffix] = 1
+			want["cgm1-"+transport+suffix] = 2
+			want["cgm2-"+transport+suffix] = 2
+			want["hybrid-"+transport+suffix] = 2
+		}
 	}
 	for _, r := range results {
 		cost, ok := want[r.Scenario]
@@ -66,11 +70,32 @@ func TestPolicyBenchSchema(t *testing.T) {
 		if r.Refreshes == 0 || r.Messages == 0 {
 			t.Errorf("%s: no traffic measured (refreshes %d, messages %d)", r.Scenario, r.Refreshes, r.Messages)
 		}
-		if r.Policy == "push" {
+		zipf := strings.HasSuffix(r.Scenario, "-z1.3")
+		if zipf != (r.ZipfS == 1.3) {
+			t.Errorf("%s: zipf_s = %v", r.Scenario, r.ZipfS)
+		}
+		switch r.Policy {
+		case "push":
 			if r.Polls != 0 || r.Resolves != 0 {
 				t.Errorf("%s: push scenario recorded poll counters (%d/%d)", r.Scenario, r.Polls, r.Resolves)
 			}
-		} else {
+			if r.PushObjects != 0 || r.PollObjects != 0 || r.Promotions != 0 || r.Demotions != 0 {
+				t.Errorf("%s: push scenario recorded hybrid counters", r.Scenario)
+			}
+		case "hybrid":
+			if r.Polls == 0 {
+				t.Errorf("%s: hybrid scenario sent no polls", r.Scenario)
+			}
+			// The sets cover the source's observed universe — on a skewed
+			// walk the coldest objects may never be updated inside a short
+			// window, so the cover can fall short of the configured count.
+			if total := r.PushObjects + r.PollObjects; total == 0 || total > 24 {
+				t.Errorf("%s: push+poll sets cover %d objects, want 1..24", r.Scenario, total)
+			}
+			if r.Promotions == 0 {
+				t.Errorf("%s: migration controller never promoted an object", r.Scenario)
+			}
+		default:
 			if r.Polls == 0 {
 				t.Errorf("%s: poll scenario sent no polls", r.Scenario)
 			}

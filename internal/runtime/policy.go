@@ -22,6 +22,13 @@ import (
 //     message per refresh — the response); CGM1/CGM2 estimate rates live
 //     (last-modified / binary change bit) and pay the round trip (two
 //     messages per refresh).
+//   - PolicyHybrid: per-OBJECT policy selection. Each session classifies
+//     its objects into a push set (hot head: source-initiated refreshes
+//     through the §5 threshold machinery) and a poll set (cold tail:
+//     cache-driven CGM polling), migrating objects between the regimes from
+//     live estimator signals (see HybridConfig). Both regimes charge the
+//     same per-session token bucket, so the equal-budget comparison with
+//     the pure policies stays honest.
 //
 // Sources and caches must agree on the policy: a push source never polls
 // and a polling cache sends no feedback, so a mismatched pairing simply
@@ -42,6 +49,9 @@ const (
 	// PolicyCGM2 is cache-driven polling with the binary change-bit
 	// estimator (2 msgs/refresh).
 	PolicyCGM2
+	// PolicyHybrid pushes the hot head and polls the cold tail, per object,
+	// with a migration controller moving objects between the regimes.
+	PolicyHybrid
 )
 
 // String names the policy as in Figure 6 (flag-friendly forms).
@@ -55,6 +65,8 @@ func (p Policy) String() string {
 		return "cgm1"
 	case PolicyCGM2:
 		return "cgm2"
+	case PolicyHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -72,23 +84,37 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyCGM1, nil
 	case "cgm2":
 		return PolicyCGM2, nil
+	case "hybrid":
+		return PolicyHybrid, nil
 	default:
-		return PolicyPush, fmt.Errorf("runtime: unknown sync policy %q (want push, poll/ideal, cgm1 or cgm2)", s)
+		return PolicyPush, fmt.Errorf("runtime: unknown sync policy %q (want push, poll/ideal, cgm1, cgm2 or hybrid)", s)
 	}
 }
 
-// CacheDriven reports whether the cache, not the source, initiates
-// synchronization (every policy except push).
-func (p Policy) CacheDriven() bool { return p != PolicyPush }
+// CacheDriven reports whether the cache ALONE initiates synchronization
+// (the pure polling policies). Hybrid is neither pure regime: use Polls /
+// Pushes for capability checks.
+func (p Policy) CacheDriven() bool { return p != PolicyPush && p != PolicyHybrid }
+
+// Polls reports whether the policy involves cache-driven polling at all —
+// every policy except pure push. Nodes running a polling policy need a poll
+// endpoint/connection.
+func (p Policy) Polls() bool { return p != PolicyPush }
+
+// Pushes reports whether the policy involves source-initiated refreshes —
+// pure push and the hybrid's hot head.
+func (p Policy) Pushes() bool { return p == PolicyPush || p == PolicyHybrid }
 
 // MessageCost is the number of wire messages one refreshed object costs
 // under this policy: 1 for push (the refresh) and ideal polling (free
 // requests, per §6.3), 2 for the practical polling modes (request +
-// response). Equal-budget comparisons divide the message budget by this
-// cost to get the refresh budget.
+// response). Hybrid reports its poll regime's round-trip cost (2); its push
+// regime charges 1 internally, so 2 is the conservative per-refresh bound an
+// equal-budget comparison should assume. Equal-budget comparisons divide the
+// message budget by this cost to get the refresh budget.
 func (p Policy) MessageCost() float64 {
 	switch p {
-	case PolicyCGM1, PolicyCGM2:
+	case PolicyCGM1, PolicyCGM2, PolicyHybrid:
 		return 2
 	default:
 		return 1

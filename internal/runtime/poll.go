@@ -32,10 +32,14 @@ type PollConfig struct {
 
 // pollObj is the scheduler's view of one remote object: the identity of the
 // source that owns it, the (epoch, version) observed at the last poll — the
-// change detector — and the live CGM estimators its polls feed.
+// change detector — and the live CGM estimators its polls feed. pushed
+// marks an object a cooperating hybrid source advertises as push-set
+// (wire.PollReply.Pushed): the scheduler stops polling it — the source's
+// refreshes own its freshness — until the source demotes it again.
 type pollObj struct {
 	id       string
 	sourceID string
+	pushed   bool
 	epoch    int64
 	version  uint64
 	lastPoll float64 // protocol seconds of the last processed observation
@@ -138,6 +142,23 @@ type pollScheduler struct {
 	index   map[string]int // object id → objects index
 	known   map[string]bool
 	queue   pollQueue
+	// coop reports which connected peers advertised the cooperation
+	// capability in their Hello (nil when the transport cannot say, in
+	// which case Pushed advertisements are ignored — a non-cooperating or
+	// legacy source must not be able to turn the cache's polling off).
+	coop cooperationReporter
+	// pushedBy is the last applied push set per cooperating source, the
+	// diff base for marking and unmarking pollObjs as replies arrive.
+	pushedBy map[string]map[string]bool
+
+	// Hybrid shared-budget accounting (loop-local): the poll bucket must
+	// leave room for the push half, so each tick deducts the refreshes the
+	// push regime landed since the last one. installs counts this
+	// scheduler's own polled installs (charged at poll-send time already)
+	// so they are not deducted twice; lastPushed is the watermark of
+	// observed push applies.
+	installs   int
+	lastPushed int
 
 	// done is closed when the loop goroutine exits; Cache.Close waits on
 	// it before closing the shard queues, because processReply installs
@@ -158,15 +179,28 @@ func newPollScheduler(c *Cache, pe transport.PollEndpoint, cfg PollConfig) *poll
 	if seed == 0 {
 		seed = c.cfg.Now().UnixNano()
 	}
-	return &pollScheduler{
-		c:     c,
-		pe:    pe,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
-		index: map[string]int{},
-		known: map[string]bool{},
-		done:  make(chan struct{}),
+	ps := &pollScheduler{
+		c:        c,
+		pe:       pe,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		index:    map[string]int{},
+		known:    map[string]bool{},
+		pushedBy: map[string]map[string]bool{},
+		done:     make(chan struct{}),
 	}
+	if c.cfg.Policy == PolicyHybrid {
+		ps.coop, _ = pe.(cooperationReporter)
+	}
+	return ps
+}
+
+// cooperationReporter is the optional transport capability a hybrid cache
+// consults before honoring a source's Pushed advertisements: whether the
+// peer's Hello carried wire.CapCooperative. Both provided transports
+// implement it.
+type cooperationReporter interface {
+	PeerCooperates(sourceID string) bool
 }
 
 // snapshotCounters returns the externally visible counters.
@@ -211,6 +245,19 @@ func (ps *pollScheduler) loop() {
 			budget += bw * c.cfg.Tick.Seconds()
 			if budget > burst {
 				budget = burst
+			}
+			if c.cfg.Policy == PolicyHybrid {
+				// One cache-side budget across both regimes: refreshes the
+				// push half landed since the last tick (total applies minus
+				// this scheduler's own installs, which poll sends already
+				// paid for) come out of the poll bucket, so the cache polls
+				// only with budget the pushes are not using — the mirror of
+				// the source's shared push/answer token bucket.
+				pushed := c.Stats().Refreshes - ps.installs
+				if d := pushed - ps.lastPushed; d > 0 {
+					budget -= float64(d)
+				}
+				ps.lastPushed = pushed
 			}
 			t := now()
 			budget -= ps.discoverNew(cost)
@@ -267,6 +314,9 @@ func (ps *pollScheduler) sendDue(t, cost, budget float64) float64 {
 		if math.IsInf(o.period, 1) {
 			continue // de-scheduled by a solve after this entry was pushed
 		}
+		if o.pushed {
+			continue // the source pushes this one; stop paying to ask
+		}
 		batch[o.sourceID] = append(batch[o.sourceID], o.id)
 		spent += cost
 		ps.queue.Push(t+o.period, i)
@@ -322,6 +372,7 @@ func (ps *pollScheduler) processReply(r wire.PollReply, t float64) float64 {
 		if created > 0 {
 			ps.scheduleNew(t, created)
 		}
+		ps.applyPushed(r, t)
 		ps.statMu.Lock()
 		ps.replyMsgs++ // the listing reply is one (metadata) message
 		ps.statMu.Unlock()
@@ -378,13 +429,63 @@ func (ps *pollScheduler) processReply(r wire.PollReply, t float64) float64 {
 	if created > 0 {
 		ps.scheduleNew(t, created)
 	}
+	ps.applyPushed(r, t)
 	if len(install) > 0 {
+		ps.installs += len(install)
 		ps.c.installPolled(install)
 	}
 	ps.statMu.Lock()
 	ps.replyMsgs += len(r.Items)
 	ps.statMu.Unlock()
 	return 0 // targeted polls were charged in full at send time
+}
+
+// applyPushed folds a cooperating hybrid source's push-set advertisement
+// (wire.PollReply.Pushed) into the schedule: newly pushed objects stop
+// being polled — their queue entries are dropped as they surface — and
+// objects that left the push set resume immediately on their last solved
+// period (or the provisional uniform slice) instead of waiting out the
+// re-solve epoch, during which a demoted object's updates would go
+// unwatched by both regimes. The advertisement is authoritative per reply:
+// a cooperating source with an empty push set clears every prior mark. A
+// source that never advertised wire.CapCooperative in its Hello is ignored
+// entirely — Pushed is advisory, and only the capability handshake makes
+// it trustworthy enough to turn polling off.
+func (ps *pollScheduler) applyPushed(r wire.PollReply, t float64) {
+	if ps.coop == nil || !ps.coop.PeerCooperates(r.SourceID) {
+		return
+	}
+	prev := ps.pushedBy[r.SourceID]
+	if len(r.Pushed) == 0 && len(prev) == 0 {
+		return
+	}
+	next := make(map[string]bool, len(r.Pushed))
+	for _, id := range r.Pushed {
+		next[id] = true
+		if i, ok := ps.index[id]; ok {
+			ps.objects[i].pushed = true
+		}
+	}
+	for id := range prev {
+		if next[id] {
+			continue
+		}
+		i, ok := ps.index[id]
+		if !ok {
+			continue
+		}
+		o := ps.objects[i]
+		o.pushed = false
+		if math.IsInf(o.period, 1) {
+			budget := ps.pollBudget()
+			if budget <= 0 {
+				continue
+			}
+			o.period = float64(len(ps.objects)) / budget
+		}
+		ps.queue.Push(t+ps.rng.Float64()*o.period, i)
+	}
+	ps.pushedBy[r.SourceID] = next
 }
 
 // refreshFor converts one poll answer into the refresh the apply path
@@ -436,7 +537,10 @@ func (ps *pollScheduler) solve(t float64) {
 		}
 		lambdas := make([]float64, n)
 		for i, o := range ps.objects {
-			if connected[o.sourceID] {
+			// Push-set objects carry a zero rate, which the allocator maps
+			// to frequency 0: their poll budget flows to the cold tail the
+			// cache still owns (mirrors the disconnected-source rule).
+			if connected[o.sourceID] && !o.pushed {
 				lambdas[i] = ps.lambdaFor(o)
 			}
 		}
@@ -456,8 +560,15 @@ func (ps *pollScheduler) solve(t float64) {
 	ps.statMu.Unlock()
 	// Re-discover: objects created at the sources since the last epoch are
 	// invisible to targeted polls. The known set is reset so next tick's
-	// discoverNew re-polls every connected source's full store.
-	ps.known = map[string]bool{}
+	// discoverNew re-polls every connected source's full store. Under the
+	// hybrid policy the push stream registers new objects in the cache
+	// store as they appear, so the (budget-charged) re-discovery is
+	// skipped while the store holds nothing this scheduler has not
+	// registered — an object created in the push set and demoted later
+	// shows up as a store surplus and triggers the listing again.
+	if ps.c.cfg.Policy != PolicyHybrid || ps.c.Len() > len(ps.objects) {
+		ps.known = map[string]bool{}
+	}
 }
 
 // lambdaFor picks the update-rate estimate the configured policy allows.
@@ -478,6 +589,13 @@ func (ps *pollScheduler) lambdaFor(o *pollObj) float64 {
 			return l
 		}
 		return o.est2.FloorRate()
+	case PolicyHybrid:
+		// The hybrid's poll regime runs CGM1: poll replies carry
+		// last-modified metadata, so the stronger estimator is available.
+		if l := o.est1.Estimate(); l > 0 {
+			return l
+		}
+		return o.est1.FloorRate()
 	default:
 		return 0
 	}

@@ -60,6 +60,21 @@ type RelayConfig struct {
 	// MaxHops relay tiers is applied locally but not forwarded (counted in
 	// RelayStats.HopLimited). Default 8.
 	MaxHops int
+	// ChildPolicy selects the synchronization policy of the downstream
+	// face (SourceConfig.Policy): the default push re-exports applied
+	// refreshes source-initiated; PolicyHybrid lets each child session
+	// push its hot head and answer polls for its cold tail (a polling
+	// relay tier — children then run a hybrid cache face toward this
+	// relay). Pure cache-driven child policies (ideal/cgm1/cgm2) are also
+	// accepted: the child face only answers polls, and the re-export hook
+	// degenerates to store updates the children discover on their own
+	// schedule. Child destinations must be poll-capable connections for
+	// any polling ChildPolicy.
+	ChildPolicy Policy
+	// Hybrid tunes the child-face migration controller when ChildPolicy is
+	// PolicyHybrid (SourceConfig.Hybrid); the zero value means the
+	// documented defaults.
+	Hybrid HybridConfig
 	// Group configures session-group fan-out on the downstream face
 	// (SourceConfig.Group): eligible children share one scheduling pass and
 	// one encode per batch. Zero value keeps per-child sessions.
@@ -165,10 +180,12 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 		return nil, fmt.Errorf("runtime: RelayConfig.Cache.{ID,OnApply,Reject,Now} are owned by the relay; configure RelayConfig.ID/Now instead")
 	}
 	if cfg.Cache.Policy.CacheDriven() {
-		// A relay is push-to-push plumbing: its re-export hook rides the
-		// apply path of pushed refreshes, and its children are driven by a
-		// fan-out push source. Polling tiers are a separate deployment.
-		return nil, fmt.Errorf("runtime: relays support only the push policy (got %v)", cfg.Cache.Policy)
+		// The relay's re-export hook rides the apply path, which pushed
+		// AND hybrid-polled refreshes both take — but a PURE cache-driven
+		// upstream face has no feedback channel for the held-version acks
+		// the re-export machinery leans on, so only push and hybrid are
+		// supported upstream.
+		return nil, fmt.Errorf("runtime: relay upstream faces support the push and hybrid policies (got %v)", cfg.Cache.Policy)
 	}
 	if cfg.TotalBandwidth > 0 {
 		// Shared face budget: unset faces default to half the total each;
@@ -211,6 +228,8 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 		Bandwidth:  cfg.ChildBandwidth,
 		Tick:       cfg.Tick,
 		Params:     cfg.Params,
+		Policy:     cfg.ChildPolicy,
+		Hybrid:     cfg.Hybrid,
 		Rebalance:  cfg.Rebalance,
 		Group:      cfg.Group,
 		Now:        cfg.Now,

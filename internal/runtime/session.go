@@ -58,6 +58,9 @@ type SessionStats struct {
 	// threshold, and Pending is zero — the group's queue is reported once
 	// in SourceStats.Group.
 	Grouped bool
+	// Hybrid carries the migration controller's regime split and migration
+	// counters under PolicyHybrid; nil under every other policy.
+	Hybrid *HybridStats
 }
 
 // sessObj is one session's view of one object: the value/version last
@@ -118,6 +121,10 @@ type syncSession struct {
 	// produced yet (a cache can ack ahead of a relay's snapshot re-export);
 	// observeLocked folds them into the sessObj when the object appears.
 	heldPending map[string]wire.HeldVersion
+	// hyb is the per-object migration controller under PolicyHybrid (nil
+	// otherwise): it decides which objects this session pushes and which
+	// it leaves to the cache's poll schedule. Guarded by src.mu.
+	hyb *hybridController
 
 	// Group-delivery state. grouped/wantGroup/memberHeld/workerIdx/
 	// groupConn/groupFS/detached are guarded by src.mu; the atomics are
@@ -143,7 +150,7 @@ type syncSession struct {
 }
 
 func newSyncSession(src *Source, dest Destination) *syncSession {
-	return &syncSession{
+	ss := &syncSession{
 		src:         src,
 		dest:        dest,
 		eng:         core.NewSource(0, src.cfg.Params, core.PositiveFeedback),
@@ -151,6 +158,10 @@ func newSyncSession(src *Source, dest Destination) *syncSession {
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	if src.cfg.Policy == PolicyHybrid {
+		ss.hyb = newHybridController(src.cfg.Hybrid)
+	}
+	return ss
 }
 
 // heldAtOrAhead reports whether an acknowledged held version (he, hv)
@@ -218,15 +229,26 @@ func (ss *syncSession) observeLocked(o *objState, key int, now float64) {
 		// propagated to register the object.
 		d = 1
 	}
+	if ss.hyb != nil {
+		ss.hyb.observe(key, d-so.tracker.Current(), now)
+	}
 	ss.demand += d - so.tracker.Current()
 	so.tracker.Update(now, d)
 	ss.requeueLocked(o, key, now)
 }
 
 // requeueLocked recomputes object key's refresh priority for this session
-// and syncs the engine queue. Caller holds src.mu.
+// and syncs the engine queue. Under the hybrid policy only push-set
+// objects are queued: a poll-set object stays fully tracked — divergence
+// and demand keep accumulating, which is what a later promotion ranks it
+// by — but the cache's poll schedule owns its freshness, so queueing it
+// here would double-spend the shared budget. Caller holds src.mu.
 func (ss *syncSession) requeueLocked(o *objState, key int, now float64) {
 	s := ss.src
+	if ss.hyb != nil && !ss.hyb.pushed(key) {
+		ss.eng.Queue.Remove(key)
+		return
+	}
 	w := 1.0
 	if s.cfg.Weight != nil {
 		w = s.cfg.Weight(o.id)
@@ -262,7 +284,7 @@ func (ss *syncSession) statsLocked() SessionStats {
 		pending = 0
 		threshold = ss.src.group.eng.Threshold()
 	}
-	return SessionStats{
+	st := SessionStats{
 		CacheID:       ss.dest.CacheID,
 		RemoteID:      ss.remoteID,
 		Share:         ss.rate,
@@ -279,6 +301,11 @@ func (ss *syncSession) statsLocked() SessionStats {
 		PollsAnswered: ss.pollsAnswered,
 		HeldSkips:     ss.heldSkips,
 	}
+	if ss.hyb != nil {
+		hs := ss.hyb.statsLocked()
+		st.Hybrid = &hs
+	}
+	return st
 }
 
 // onFeedback applies one feedback message from this session's cache. A
@@ -386,6 +413,10 @@ func (ss *syncSession) recordHeldLocked(h wire.HeldVersion, now float64) {
 func (ss *syncSession) loop() {
 	defer close(ss.done)
 	s := ss.src
+	if s.cfg.Policy == PolicyHybrid {
+		ss.hybridLoop()
+		return
+	}
 	if s.cfg.Policy.CacheDriven() {
 		ss.pollLoop()
 		return
@@ -609,6 +640,117 @@ func (ss *syncSession) pollLoop() {
 	}
 }
 
+// hybridLoop is the session's body under the hybrid policy: the push
+// loop's flush ticker and the poll loop's answer path fused over ONE
+// token bucket, so the hot head's refreshes and the cold tail's poll
+// replies spend the same allocated share — the equal-budget invariant the
+// policy comparison rests on. Poll intake is gated at the poll round-trip
+// cost (an answer the bucket cannot cover is left in the channel, where
+// transport back-pressure drops best-effort polls until the source can
+// afford them); each answered reply is charged the full round trip, the
+// conservative bound Policy.MessageCost reports. A separate migration
+// ticker closes the controller's scoring window: promoted objects enter
+// the priority queue carrying the divergence their trackers accumulated
+// while polled, demoted ones leave it and fall back to the cache's poll
+// schedule. Disconnect handling is the poll loop's: the feedback channel
+// closing drives the redial, and the standard full-resync on reconnect
+// re-observes every object — through the poll-set gate, so only push-set
+// objects re-queue.
+func (ss *syncSession) hybridLoop() {
+	s := ss.src
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	migrate := time.NewTicker(s.cfg.Hybrid.withDefaults().MigrateEvery)
+	defer migrate.Stop()
+	budget := 0.0
+	s.mu.Lock()
+	conn := ss.dest.Conn
+	s.mu.Unlock()
+	pc, ok := conn.(transport.PollConn)
+	if !ok {
+		// Construction and AddDestination validate this; a redial hook
+		// returning a poll-less connection is the only way here.
+		ss.end()
+		return
+	}
+	fb := conn.Feedback()
+	polls := pc.Polls()
+	for {
+		in := polls
+		if budget < pollRoundTrip {
+			in = nil
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-ss.stop:
+			return // removed from the fan-out; the remover closes the conn
+		case f, fbOK := <-fb:
+			if !fbOK {
+				if ss.dest.Redial == nil {
+					ss.end()
+					return
+				}
+				if !ss.redial() {
+					return // shutdown or removal won the race
+				}
+				s.mu.Lock()
+				conn = ss.dest.Conn
+				s.mu.Unlock()
+				if pc, ok = conn.(transport.PollConn); !ok {
+					ss.end()
+					return
+				}
+				fb = conn.Feedback()
+				polls = pc.Polls()
+				continue
+			}
+			ss.onFeedback(f)
+		case p, pOK := <-in:
+			if !pOK {
+				polls = nil // the feedback close drives the redial
+				continue
+			}
+			budget -= pollRoundTrip * float64(ss.answerPoll(pc, p))
+		case <-ticker.C:
+			s.mu.Lock()
+			rate := ss.rate
+			s.mu.Unlock()
+			burst := tokenBurst(rate, s.cfg.Tick)
+			budget += rate * s.cfg.Tick.Seconds()
+			if budget > burst {
+				budget = burst
+			}
+			budget = ss.flush(budget)
+		case <-migrate.C:
+			ss.migrateOnce()
+		}
+	}
+}
+
+// migrateOnce runs one migration pass: the controller re-scores every
+// object and the session applies the regime moves to its priority queue.
+func (ss *syncSession) migrateOnce() {
+	s := ss.src
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss.ended || ss.objs == nil {
+		return
+	}
+	promoted, demoted := ss.hyb.migrate(now)
+	for _, key := range promoted {
+		if key < len(ss.objs) {
+			// The tracker kept accumulating while the object was polled,
+			// so the promotion ranks it by its real outstanding divergence.
+			ss.requeueLocked(s.objs[s.ids[key]], key, now)
+		}
+	}
+	for _, key := range demoted {
+		ss.eng.Queue.Remove(key)
+	}
+}
+
 // answerPoll builds and sends the reply to one poll from the canonical
 // store, returning the budget it spent: one unit per targeted item, and a
 // flat one unit for a discovery reply — the full-store listing is universe
@@ -619,6 +761,14 @@ func (ss *syncSession) pollLoop() {
 // Counters commit only after a successful send, the same rule as the push
 // path's flush; Refreshes counts targeted items only (the value
 // transfers).
+//
+// Under the hybrid policy the reply additionally advertises the session's
+// current push set (wire.PollReply.Pushed) so a cooperation-aware cache
+// stops polling objects the source is already pushing, and each answered
+// targeted item is charged to the migration controller at the poll
+// round-trip cost and committed as delivered — the cache installs exactly
+// the replied value, so the session's sent-state advances as if the value
+// had been pushed.
 func (ss *syncSession) answerPoll(pc transport.PollConn, p wire.Poll) int {
 	s := ss.src
 	s.mu.Lock()
@@ -643,6 +793,9 @@ func (ss *syncSession) answerPoll(pc transport.PollConn, p wire.Poll) int {
 			}
 		}
 	}
+	if ss.hyb != nil {
+		reply.Pushed = ss.hyb.pushSet(s.ids)
+	}
 	s.mu.Unlock()
 
 	// Send outside the lock: cache-side back-pressure stalls only this
@@ -657,13 +810,48 @@ func (ss *syncSession) answerPoll(pc transport.PollConn, p wire.Poll) int {
 	if reply.All {
 		cost = 1 // metadata listing, not value transfers
 	}
+	now := s.now()
 	s.mu.Lock()
 	ss.pollsAnswered++
 	if !reply.All {
 		ss.refreshes += len(reply.Items)
+		if ss.hyb != nil && !ss.ended {
+			ss.hyb.polled += len(reply.Items)
+			for _, it := range reply.Items {
+				ss.commitPolledLocked(it, now)
+			}
+		}
 	}
 	s.mu.Unlock()
 	return cost
+}
+
+// commitPolledLocked records one answered targeted poll item with the
+// hybrid migration controller and advances the session's sent-state to
+// the replied value — the flush commit's twin for the poll regime, with
+// the residual (updates that landed after the reply was built) left on
+// the tracker. Caller holds src.mu.
+func (ss *syncSession) commitPolledLocked(it wire.PollItem, now float64) {
+	s := ss.src
+	key, ok := s.idx[it.ObjectID]
+	if !ok || key >= len(ss.objs) {
+		return
+	}
+	ss.hyb.charge(key, pollRoundTrip)
+	if !it.Exists {
+		return
+	}
+	o := s.objs[it.ObjectID]
+	so := ss.objs[key]
+	if it.Version <= so.sentVer {
+		return // a push already delivered something at-or-ahead
+	}
+	so.sentVal, so.sentVer = it.Value, it.Version
+	d := metric.Divergence(s.cfg.Metric, s.cfg.Delta,
+		int(o.version-so.sentVer), o.value, so.sentVal)
+	ss.demand += d - so.tracker.Current()
+	so.tracker.Reset(now, d)
+	ss.requeueLocked(o, key, now)
 }
 
 // pollItemLocked snapshots one object's poll answer. Caller holds src.mu.
@@ -862,6 +1050,9 @@ func (ss *syncSession) flush(budget float64) float64 {
 		ss.eng.OnRefreshSent(now)
 		ss.eng.ClampThreshold()
 		ss.refreshes++
+		if ss.hyb != nil {
+			ss.hyb.charge(key, 1)
+		}
 		s.mu.Unlock()
 		budget--
 	}

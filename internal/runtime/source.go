@@ -51,8 +51,16 @@ type SourceConfig struct {
 	// token-bucket share of Bandwidth so message accounting stays
 	// comparable. Cache-driven policies require every destination
 	// connection to implement transport.PollConn (both provided transports
-	// and the Batcher do).
+	// and the Batcher do). PolicyHybrid runs both regimes per session —
+	// push-set objects flow through the §5 machinery, poll-set objects are
+	// answered like a cache-driven policy — against one shared token
+	// bucket, with the Hybrid migration controller moving objects between
+	// the sets; it needs poll-capable connections too.
 	Policy Policy
+	// Hybrid tunes the per-object migration controller under PolicyHybrid
+	// (zero fields mean the documented defaults); ignored under every
+	// other policy.
+	Hybrid HybridConfig
 	// Params tunes the threshold algorithm; zero means paper defaults.
 	// All sessions share the same parameters; each session applies them
 	// to its own independent threshold.
@@ -100,6 +108,10 @@ type SourceStats struct {
 	// Group carries the session-group breakdown when group delivery is
 	// enabled and has members; nil otherwise.
 	Group *GroupStats
+	// Hybrid aggregates the per-session migration controllers under
+	// PolicyHybrid (set sizes summed across sessions, cumulative
+	// promotions/demotions); nil under every other policy.
+	Hybrid *HybridStats
 }
 
 // objState is the canonical (destination-independent) state of one locally
@@ -214,7 +226,7 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 		if dests[i].Conn == nil {
 			return nil, fmt.Errorf("runtime: destination %d has a nil connection", i)
 		}
-		if cfg.Policy.CacheDriven() {
+		if cfg.Policy.Polls() {
 			if _, ok := dests[i].Conn.(transport.PollConn); !ok {
 				return nil, fmt.Errorf("runtime: policy %v needs poll-capable connections; destination %d is not a transport.PollConn", cfg.Policy, i)
 			}
@@ -238,7 +250,9 @@ func NewFanoutSource(cfg SourceConfig, dests []Destination) (*Source, error) {
 	if cfg.Rebalance > 0 {
 		s.reb = &alloc.Rebalancer{}
 	}
-	if cfg.Group.Enabled && !cfg.Policy.CacheDriven() {
+	// Group delivery is pure-push machinery: a hybrid session's poll set
+	// and migration state are inherently per-destination.
+	if cfg.Group.Enabled && cfg.Policy == PolicyPush {
 		// The group's flusher goroutine starts here, so everything below
 		// runs under the lock.
 		s.group = newSessionGroup(s, cfg.Group)
@@ -276,7 +290,7 @@ func (s *Source) AddDestination(d Destination) error {
 	if d.Conn == nil {
 		return fmt.Errorf("runtime: destination has a nil connection")
 	}
-	if s.cfg.Policy.CacheDriven() {
+	if s.cfg.Policy.Polls() {
 		if _, ok := d.Conn.(transport.PollConn); !ok {
 			return fmt.Errorf("runtime: policy %v needs poll-capable connections", s.cfg.Policy)
 		}
@@ -686,6 +700,16 @@ func (s *Source) Stats() SourceStats {
 		st.Feedbacks += sess.Feedbacks
 		st.SendErrors += sess.SendErrors
 		st.PollsAnswered += sess.PollsAnswered
+		if sess.Hybrid != nil {
+			if st.Hybrid == nil {
+				st.Hybrid = &HybridStats{}
+			}
+			st.Hybrid.PushObjects += sess.Hybrid.PushObjects
+			st.Hybrid.PollObjects += sess.Hybrid.PollObjects
+			st.Hybrid.Promotions += sess.Hybrid.Promotions
+			st.Hybrid.Demotions += sess.Hybrid.Demotions
+			st.Hybrid.PolledItems += sess.Hybrid.PolledItems
+		}
 		if !sess.Ended && !sess.Grouped {
 			// An ended session's queue will never drain and its frozen
 			// threshold describes nothing: both would skew the aggregate

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bestsync/internal/wire"
+)
+
+// cooperationReporter is the capability view the runtime's hybrid poll
+// scheduler type-asserts on its endpoint; both server implementations must
+// provide it.
+type cooperationReporter interface {
+	PeerCooperates(sourceID string) bool
+}
+
+func waitCooperates(t *testing.T, rep cooperationReporter, id string, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if rep.PeerCooperates(id) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("PeerCooperates(%q) never became %v", id, want)
+}
+
+// TestCapabilityNegotiationPerCodec: a hybrid-capable client's Hello carries
+// wire.CapCooperative through EVERY codec path — binary frames, forced gob,
+// and auto negotiation — and the server reports it via PeerCooperates; a
+// client with no capabilities set reads as non-cooperative (the gate
+// defaults closed for legacy peers).
+func TestCapabilityNegotiationPerCodec(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, 16)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	rep := srv.(cooperationReporter)
+
+	for _, pref := range []Codec{CodecBinary, CodecGob, CodecAuto} {
+		t.Run(pref.String(), func(t *testing.T) {
+			SetDialCapabilities(wire.CapCooperative)
+			defer SetDialCapabilities(0)
+			id := "coop-" + pref.String()
+			conn, err := DialCodec(addr, id, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			waitCooperates(t, rep, id, true)
+
+			SetDialCapabilities(0)
+			plainID := "plain-" + pref.String()
+			plain, err := DialCodec(addr, plainID, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			waitCooperates(t, rep, plainID, false)
+		})
+	}
+}
+
+// TestCapabilityLocalTransport: the in-process transport stamps the same
+// process-wide capability mask at Dial and reports it per source.
+func TestCapabilityLocalTransport(t *testing.T) {
+	local := NewLocal(8)
+	defer local.Close()
+
+	SetDialCapabilities(wire.CapCooperative)
+	coop, err := local.Dial("coop")
+	SetDialCapabilities(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coop.Close()
+	plain, err := local.Dial("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !local.PeerCooperates("coop") {
+		t.Error("cooperative local dial not reported")
+	}
+	if local.PeerCooperates("plain") {
+		t.Error("plain local dial reported cooperative")
+	}
+	// Capabilities are per-connection state: they die with the conn, so a
+	// restarted peer must re-advertise rather than inherit.
+	plain.Close()
+	if local.PeerCooperates("plain") {
+		t.Error("capability survived the connection")
+	}
+}
+
+// TestAutoFallbackNegotiatesWithHybridPeer: a hybrid-capable client in auto
+// mode dialing a legacy gob-only daemon must still complete the gob
+// fallback — the capability bit rides the Hello as a plain field old gob
+// decoders skip — and deliver traffic the old server parses.
+func TestAutoFallbackNegotiatesWithHybridPeer(t *testing.T) {
+	addr, batches, closeFn := legacyGobServer(t)
+	defer closeFn()
+
+	SetDialCapabilities(wire.CapCooperative)
+	defer SetDialCapabilities(0)
+	conn, err := DialCodec(addr, "s1", CodecAuto)
+	if err != nil {
+		t.Fatalf("hybrid-capable auto dial failed against a legacy server: %v", err)
+	}
+	defer conn.Close()
+	if fs := conn.(FrameSender); fs.FramesEnabled() {
+		t.Fatal("fallback connection claims binary frames")
+	}
+	if err := conn.SendRefresh(wire.Refresh{SourceID: "s1", ObjectID: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-batches:
+		if len(b.Refreshes) != 1 || b.Refreshes[0].ObjectID != "a" {
+			t.Errorf("legacy server decoded %+v", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("legacy server never received the hybrid-capable client's refresh")
+	}
+}

@@ -68,6 +68,20 @@ func SetDialCodec(c Codec) { dialCodec.Store(int32(c)) }
 // DialCodecDefault reports the current process-wide codec preference.
 func DialCodecDefault() Codec { return Codec(dialCodec.Load()) }
 
+// dialCaps is the process-wide capability mask stamped onto the Hello of
+// every outbound dial (TCP and Local alike). Zero — no capabilities — unless
+// a daemon opts in, so legacy peers see byte-identical handshakes.
+var dialCaps atomic.Uint64
+
+// SetDialCapabilities sets the capability bits Dial advertises in its Hello.
+// A hybrid-policy source calls it once at boot with wire.CapCooperative so
+// caches know its push promises are trustworthy; everything else leaves the
+// default zero mask.
+func SetDialCapabilities(caps uint64) { dialCaps.Store(caps) }
+
+// DialCapabilities reports the current process-wide capability mask.
+func DialCapabilities() uint64 { return dialCaps.Load() }
+
 // FrameSender is the capability a connection exposes when it can transmit
 // pre-encoded binary frames verbatim: the encode-once half of fan-out. A
 // Batcher flushes through it when available, so one batch is serialized

@@ -38,6 +38,7 @@ type tcpServer struct {
 
 type tcpServerConn struct {
 	conn net.Conn
+	caps uint64 // Hello capability bits; written once before registration
 	mu   sync.Mutex
 	enc  *gob.Encoder // legacy streams
 	benc codec.Encoder
@@ -189,6 +190,7 @@ func (s *tcpServer) handle(conn net.Conn) {
 	if old, dup := s.conns[hello.SourceID]; dup {
 		old.conn.Close() // newest connection wins (source reconnect)
 	}
+	sc.caps = hello.Capabilities
 	s.conns[hello.SourceID] = sc
 	s.mu.Unlock()
 
@@ -286,6 +288,17 @@ func (s *tcpServer) SendFeedback(sourceID string, fb wire.Feedback) error {
 // SendPoll implements PollEndpoint.
 func (s *tcpServer) SendPoll(sourceID string, p wire.Poll) error {
 	return s.sendDown(sourceID, wire.SourceBound{Poll: &p})
+}
+
+// PeerCooperates reports whether the named source's current connection
+// advertised wire.CapCooperative in its Hello. A hybrid cache consults this
+// before trusting a reply's Pushed set; legacy sources advertise nothing and
+// therefore cannot switch a cache's polling off.
+func (s *tcpServer) PeerCooperates(sourceID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc, ok := s.conns[sourceID]
+	return ok && sc.caps&wire.CapCooperative != 0
 }
 
 // Sources implements CacheEndpoint.
@@ -390,7 +403,7 @@ func dialBinary(addr, sourceID string) (*tcpClient, error) {
 	c := newTCPClient(conn)
 	c.bin = true
 	buf := append(c.wbuf[:0], codec.Magic, codec.Version)
-	c.wbuf = c.benc.AppendHello(buf, wire.Hello{SourceID: sourceID})
+	c.wbuf = c.benc.AppendHello(buf, wire.Hello{SourceID: sourceID, Capabilities: DialCapabilities()})
 	if _, err := conn.Write(c.wbuf); err != nil {
 		conn.Close()
 		return nil, err
@@ -419,7 +432,7 @@ func dialGob(addr, sourceID string) (*tcpClient, error) {
 	}
 	c := newTCPClient(conn)
 	c.enc = gob.NewEncoder(conn)
-	if err := c.enc.Encode(wire.Hello{SourceID: sourceID}); err != nil {
+	if err := c.enc.Encode(wire.Hello{SourceID: sourceID, Capabilities: DialCapabilities()}); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -107,6 +107,7 @@ type Local struct {
 	replies  chan wire.PollReply
 	feedback map[string]chan wire.Feedback
 	polls    map[string]chan wire.Poll
+	caps     map[string]uint64 // capability bits advertised at Dial
 	closed   bool
 }
 
@@ -123,6 +124,7 @@ func NewLocal(buffer int) *Local {
 		replies:  make(chan wire.PollReply, buffer),
 		feedback: make(map[string]chan wire.Feedback),
 		polls:    make(map[string]chan wire.Poll),
+		caps:     make(map[string]uint64),
 	}
 }
 
@@ -175,6 +177,16 @@ func (l *Local) SendFeedback(sourceID string, fb wire.Feedback) error {
 	return nil
 }
 
+// PeerCooperates reports whether the named source advertised
+// wire.CapCooperative when it dialed (the in-process analogue of the TCP
+// Hello capability bit). A hybrid cache consults this before trusting a
+// reply's Pushed set.
+func (l *Local) PeerCooperates(sourceID string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.caps[sourceID]&wire.CapCooperative != 0
+}
+
 // Sources implements CacheEndpoint.
 func (l *Local) Sources() []string {
 	l.mu.Lock()
@@ -202,6 +214,7 @@ func (l *Local) Close() error {
 	}
 	l.feedback = map[string]chan wire.Feedback{}
 	l.polls = map[string]chan wire.Poll{}
+	l.caps = map[string]uint64{}
 	return nil
 }
 
@@ -231,6 +244,7 @@ func (l *Local) Dial(sourceID string) (SourceConn, error) {
 	polls := make(chan wire.Poll, 16)
 	l.feedback[sourceID] = fb
 	l.polls[sourceID] = polls
+	l.caps[sourceID] = DialCapabilities()
 	return &localConn{net: l, id: sourceID, fb: fb, polls: polls}, nil
 }
 
@@ -299,6 +313,7 @@ func (c *localConn) Close() error {
 			close(ch)
 			delete(c.net.polls, c.id)
 		}
+		delete(c.net.caps, c.id)
 		c.net.mu.Unlock()
 	})
 	return nil

@@ -63,6 +63,79 @@ func samplePoll() wire.Poll {
 	return wire.Poll{CacheID: "edge-a", ObjectIDs: []string{"s1/a", "s1/b", "s1/c"}, SentUnix: 13}
 }
 
+// sampleHelloCoop pins the optional trailing Capabilities field (hybrid
+// policy's cooperation advertisement).
+func sampleHelloCoop() wire.Hello {
+	return wire.Hello{SourceID: "src-7", Capabilities: wire.CapCooperative}
+}
+
+// sampleHybridReply pins the optional trailing Pushed segment a hybrid
+// source piggybacks on its poll replies.
+func sampleHybridReply() wire.PollReply {
+	r := sampleReply()
+	r.Pushed = []string{"s1/a", "s1/hot"}
+	return r
+}
+
+// TestHelloCapabilityRoundTrip: the capability bit survives the codec, a
+// capability-less hello encodes byte-identically to the legacy format, and a
+// legacy (pre-capability) frame decodes with zero capabilities.
+func TestHelloCapabilityRoundTrip(t *testing.T) {
+	var enc Encoder
+	frame := enc.AppendHello(nil, sampleHelloCoop())
+	got, err := NewDecoder(bytes.NewReader(frame)).ReadHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cooperates() || got.SourceID != "src-7" {
+		t.Errorf("capability lost in round trip: %+v", got)
+	}
+
+	plain := enc.AppendHello(nil, wire.Hello{SourceID: "src-7"})
+	legacy := append([]byte{KindHello}, byte(1+len("src-7")))
+	legacy = append(legacy, byte(len("src-7")))
+	legacy = append(legacy, "src-7"...)
+	if !bytes.Equal(plain, legacy) {
+		t.Errorf("capability-less hello drifted from the legacy encoding:\n got %x\nwant %x", plain, legacy)
+	}
+	gotLegacy, err := NewDecoder(bytes.NewReader(legacy)).ReadHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLegacy.Capabilities != 0 || gotLegacy.Cooperates() {
+		t.Errorf("legacy hello decoded with capabilities: %+v", gotLegacy)
+	}
+}
+
+// TestReplyPushedRoundTrip: the pushed-set segment survives the codec and a
+// pushed-less reply stays byte-identical to the legacy encoding.
+func TestReplyPushedRoundTrip(t *testing.T) {
+	var enc Encoder
+	reply := sampleHybridReply()
+	got, err := NewDecoder(bytes.NewReader(enc.AppendReply(nil, reply))).ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reply == nil || !reflect.DeepEqual(*got.Reply, reply) {
+		t.Errorf("hybrid reply round-trip:\n got %+v\nwant %+v", got.Reply, reply)
+	}
+
+	legacyReply := sampleReply() // no Pushed
+	legacy := enc.AppendReply(nil, legacyReply)
+	withEmpty := legacyReply
+	withEmpty.Pushed = []string{}
+	if !bytes.Equal(enc.AppendReply(nil, withEmpty), legacy) {
+		t.Error("empty pushed set changed the reply encoding")
+	}
+	gotLegacy, err := NewDecoder(bytes.NewReader(legacy)).ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLegacy.Reply.Pushed != nil {
+		t.Errorf("legacy reply decoded with a pushed set: %+v", gotLegacy.Reply)
+	}
+}
+
 func TestHelloRoundTrip(t *testing.T) {
 	var enc Encoder
 	frame := enc.AppendHello(nil, wire.Hello{SourceID: "src-7"})

@@ -108,6 +108,12 @@ func (d *Decoder) ReadHello() (wire.Hello, error) {
 	if h.SourceID, err = p.str(); err != nil {
 		return wire.Hello{}, err
 	}
+	// Optional trailing capability bits (absent on legacy frames).
+	if p.remaining() > 0 {
+		if h.Capabilities, err = p.uvarint(); err != nil {
+			return wire.Hello{}, err
+		}
+	}
 	return h, p.done()
 }
 
@@ -301,6 +307,24 @@ func decodeReply(p *payload) (*wire.PollReply, error) {
 	}
 	if r.SentUnix, err = p.varint(); err != nil {
 		return nil, err
+	}
+	// Optional trailing pushed-set segment (hybrid policy; absent on legacy
+	// frames and on every reply with an empty push set).
+	if p.remaining() > 0 {
+		np, err := p.count(1)
+		if err != nil {
+			return nil, err
+		}
+		if np > 0 {
+			r.Pushed = make([]string, 0, sliceCap(np, 4096))
+			for i := 0; i < np; i++ {
+				id, err := p.str()
+				if err != nil {
+					return nil, err
+				}
+				r.Pushed = append(r.Pushed, id)
+			}
+		}
 	}
 	return &r, nil
 }

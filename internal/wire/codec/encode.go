@@ -27,8 +27,15 @@ func (e *Encoder) appendFrame(dst []byte, kind byte) []byte {
 }
 
 // AppendHello appends a Hello frame to dst and returns the extended buffer.
+//
+// Capabilities is an OPTIONAL TRAILING field: written only when non-zero, so
+// a capability-less hello stays byte-identical to the pre-capability format
+// (old decoders would reject the extra bytes as trailing garbage).
 func (e *Encoder) AppendHello(dst []byte, h wire.Hello) []byte {
 	e.scratch = appendString(e.scratch[:0], h.SourceID)
+	if h.Capabilities != 0 {
+		e.scratch = appendUvarint(e.scratch, h.Capabilities)
+	}
 	return e.appendFrame(dst, KindHello)
 }
 
@@ -56,7 +63,16 @@ func (e *Encoder) AppendReply(dst []byte, r wire.PollReply) []byte {
 		s = appendVarint(s, it.Epoch)
 		s = appendVarint(s, it.LastModifiedUnix)
 	}
-	e.scratch = appendVarint(s, r.SentUnix)
+	s = appendVarint(s, r.SentUnix)
+	// Pushed is an OPTIONAL TRAILING segment (hybrid policy only): written
+	// only when non-empty so legacy replies stay byte-identical.
+	if len(r.Pushed) > 0 {
+		s = appendUvarint(s, uint64(len(r.Pushed)))
+		for _, id := range r.Pushed {
+			s = appendString(s, id)
+		}
+	}
+	e.scratch = s
 	return e.appendFrame(dst, KindReply)
 }
 

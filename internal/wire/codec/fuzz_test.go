@@ -115,6 +115,11 @@ func seedInputs() [][]byte {
 		{0x00},
 		{Magic, Version},
 		bytes.Repeat([]byte{0xa5}, 64),
+		// Hybrid-policy optional trailing fields: a capability-bearing hello
+		// and a reply carrying a pushed set (appended — earlier seed indices
+		// stay stable).
+		enc.AppendHello(nil, sampleHelloCoop()),
+		enc.AppendReply(nil, sampleHybridReply()),
 	}
 }
 
@@ -195,6 +200,9 @@ func FuzzRoundTrip(f *testing.F) {
 		reply := wire.PollReply{SourceID: source, All: all, SentUnix: sent, Items: []wire.PollItem{
 			{ObjectID: object, Exists: exists, Value: value, Version: version, Epoch: epoch, LastModifiedUnix: oe},
 		}}
+		if via != "" {
+			reply.Pushed = []string{via, object}
+		}
 		gotR, err := NewDecoder(bytes.NewReader(enc.AppendReply(nil, reply))).ReadCacheBound()
 		if err != nil {
 			t.Fatalf("decoding an encoded reply: %v", err)
@@ -204,8 +212,19 @@ func FuzzRoundTrip(f *testing.F) {
 			it.ObjectID != want.ObjectID || it.Exists != want.Exists ||
 			math.Float64bits(it.Value) != math.Float64bits(want.Value) ||
 			it.Version != want.Version || it.Epoch != want.Epoch ||
-			it.LastModifiedUnix != want.LastModifiedUnix {
+			it.LastModifiedUnix != want.LastModifiedUnix ||
+			!reflect.DeepEqual(gotR.Reply.Pushed, reply.Pushed) {
 			t.Fatalf("reply drifted:\n got %+v\nwant %+v", gotR.Reply, reply)
+		}
+
+		hello := wire.Hello{SourceID: source, Capabilities: version}
+		frame := enc.AppendHello(nil, hello)
+		gotH, err := NewDecoder(bytes.NewReader(frame)).ReadHello()
+		if err != nil {
+			t.Fatalf("decoding an encoded hello: %v", err)
+		}
+		if gotH != hello {
+			t.Fatalf("hello drifted:\n got %+v\nwant %+v", gotH, hello)
 		}
 
 		fb := wire.Feedback{CacheID: cache, SentUnix: sent}

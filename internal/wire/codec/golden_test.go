@@ -64,6 +64,22 @@ var goldenCases = []struct {
 		decode: func(d *Decoder) (any, error) { return d.ReadSourceBound() },
 		want:   func() any { p := wire.Poll{CacheID: "edge-a"}; return wire.SourceBound{Poll: &p} }(),
 	},
+	{
+		// The optional trailing capability bits (hybrid cooperation
+		// advertisement). hello.bin above pins that their ABSENCE keeps the
+		// legacy encoding.
+		file:   "hello_coop.bin",
+		encode: func(e *Encoder) []byte { return e.AppendHello(nil, sampleHelloCoop()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadHello() },
+		want:   sampleHelloCoop(),
+	},
+	{
+		// The optional trailing pushed-set segment on a hybrid poll reply.
+		file:   "poll_reply_hybrid.bin",
+		encode: func(e *Encoder) []byte { return e.AppendReply(nil, sampleHybridReply()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadCacheBound() },
+		want:   func() any { r := sampleHybridReply(); return wire.CacheBound{Reply: &r} }(),
+	},
 }
 
 // TestGoldenFrames: the encoder must reproduce the checked-in frames

@@ -41,11 +41,30 @@ package wire
 
 import "fmt"
 
+// Capability bits advertised in Hello.Capabilities. A peer that does not
+// understand a bit ignores it; absence of a bit only ever costs optimization,
+// never correctness.
+const (
+	// CapCooperative advertises that the sender is a source willing to push
+	// refreshes for objects it classifies as hot (the hybrid policy). A
+	// polling cache that sees it may stop polling objects the source's
+	// replies list in PollReply.Pushed — the poll→push promotion handshake.
+	CapCooperative uint64 = 1 << 0
+)
+
 // Hello is the first message on a source→cache stream, registering the
 // source under a stable identifier.
+//
+// Capabilities is a bit set (Cap* constants) advertising optional protocol
+// behaviours; zero — and every legacy frame, which simply omits the field —
+// means none. Peers must tolerate unknown bits.
 type Hello struct {
-	SourceID string
+	SourceID     string
+	Capabilities uint64
 }
+
+// Cooperates reports whether the hello advertises source cooperation.
+func (h Hello) Cooperates() bool { return h.Capabilities&CapCooperative != 0 }
 
 // Validate checks the registration.
 func (h Hello) Validate() error {
@@ -237,11 +256,19 @@ type PollItem struct {
 // into one envelope exactly like a RefreshBatch (one reply frames the whole
 // poll's worth of items; items are applied individually, in order). All
 // answers a discovery poll — the items are the source's full store.
+//
+// Pushed is the hybrid-policy promotion signal: the object ids the answering
+// source currently PUSHES to this cache (its hot push set), piggybacked so a
+// cooperating cache can stop spending poll budget on them. Only meaningful
+// when the source advertised CapCooperative in its Hello; empty/nil on every
+// legacy frame and under the pure poll policies. Advisory: ignoring it is
+// always safe (polling a pushed object just wastes messages).
 type PollReply struct {
 	SourceID string
 	All      bool
 	Items    []PollItem
 	SentUnix int64
+	Pushed   []string
 }
 
 // Validate checks a poll reply.
