@@ -54,11 +54,28 @@
 //	POST /children/add?addr=host:port[&weight=2]
 //	POST /children/remove?addr=host:port
 //
+// # Mesh mode (cooperative peer links)
+//
+// -peers lists LATERAL neighbors instead of (or alongside) downstream
+// children: the node pushes the refreshes it applies to each peer exactly
+// like a relay re-exports to a child, and — with -child-mode hybrid — also
+// answers the peers' polls from its own store, stamping full provenance so
+// the peers' own re-exports keep the loop guards intact. Children and peers
+// are the same symmetric peer face (internal/runtime Node); the two flags
+// only differ in vocabulary, so rings, meshes and random graphs are just
+// -peers wiring: each node lists its neighbors, split horizon and the
+// path-vector Via check stop updates from circulating, and -max-hops bounds
+// the lateral depth. /peers/add and /peers/remove manage links at runtime
+// the same way /children/* does. Peer mode advertises the peer capability
+// (wire.CapPeer) on outbound Hellos so neighbors attach known-version
+// hints to their polls and skip redundant answers.
+//
 // Examples:
 //
 //	cachesyncd -addr :7400 -bandwidth 100 -shards 8
 //	cachesyncd -addr :7400 -children edge-a:7500,edge-b:7500=2 -child-bandwidth 60
 //	cachesyncd -addr :7400 -children edge-a:7500 -total-bandwidth 120 -rebalance 2s -http :7401
+//	cachesyncd -addr :7400 -peers node-b:7400,node-c:7400 -child-mode hybrid
 //	cachesyncd -addr :7400 -mode cgm1 -bandwidth 100 -resolve-every 20s
 package main
 
@@ -92,6 +109,7 @@ func main() {
 	shards := flag.Int("shards", 0, "store shards, each with its own lock and apply worker (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "per-shard apply-queue depth in batches")
 	children := flag.String("children", "", "comma-separated downstream cache addresses host:port[=weight] (relay mode: re-export applied refreshes)")
+	peers := flag.String("peers", "", "comma-separated lateral peer addresses host:port[=weight] (mesh mode: same peer face as -children, ring/mesh vocabulary)")
 	childBW := flag.Float64("child-bandwidth", 50, "relay mode: send budget toward children (messages/second), divided by share weight")
 	totalBW := flag.Float64("total-bandwidth", 0, "relay mode: shared budget across both faces (intake + child sends); overrides -bandwidth/-child-bandwidth defaults to half each and lets -rebalance shift the split")
 	rebalance := flag.Duration("rebalance", 0, "relay mode: periodic share re-allocation interval (child shares from observed feedback/divergence; with -total-bandwidth also the up/down face split; 0 = static)")
@@ -117,12 +135,21 @@ func main() {
 		log.Fatalf("cachesyncd: -codec: %v", err)
 	}
 	transport.SetDialCodec(dialCodec)
+	var caps uint64
 	if childPolicy == runtime.PolicyHybrid {
 		// The relay's child face pushes its hot set; advertising the
 		// cooperative capability lets hybrid children trust the Pushed sets
 		// in its poll replies.
-		transport.SetDialCapabilities(wire.CapCooperative)
+		caps |= wire.CapCooperative
 	}
+	if *children != "" || *peers != "" {
+		// A node with a peer face understands peer-capable frames (poll
+		// provenance, known-version hints); advertising CapPeer lets the
+		// node on the other end attach Known hints to the polls it sends
+		// back over this connection.
+		caps |= wire.CapPeer
+	}
+	transport.SetDialCapabilities(caps)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("cachesyncd: %v", err)
@@ -151,17 +178,31 @@ func main() {
 		}
 		return transport.NewBatcher(conn, transport.BatcherConfig{})
 	}
-	if *children != "" {
+	if *children != "" || *peers != "" {
 		if policy.CacheDriven() {
-			log.Fatalf("cachesyncd: relay mode requires -mode push or hybrid (got %v)", policy)
+			log.Fatalf("cachesyncd: relay/mesh mode requires -mode push or hybrid (got %v)", policy)
 		}
-		addrs, weights, err := destspec.Parse(*children)
-		if err != nil {
-			log.Fatalf("cachesyncd: -children: %v", err)
+		var addrs []string
+		var weights []float64
+		if *children != "" {
+			a, w, err := destspec.Parse(*children)
+			if err != nil {
+				log.Fatalf("cachesyncd: -children: %v", err)
+			}
+			addrs, weights = append(addrs, a...), append(weights, w...)
+		}
+		if *peers != "" {
+			// Peers land on the same symmetric face as children; the flags
+			// differ only in topology vocabulary.
+			a, w, err := destspec.Parse(*peers)
+			if err != nil {
+				log.Fatalf("cachesyncd: -peers: %v", err)
+			}
+			addrs, weights = append(addrs, a...), append(weights, w...)
 		}
 		dests, deferred := runtime.DialDestinations(addrs, weights, *id, wrap)
 		for _, addr := range deferred {
-			log.Printf("cachesyncd: child %s unreachable, will keep redialing", addr)
+			log.Printf("cachesyncd: peer %s unreachable, will keep redialing", addr)
 		}
 		// With a shared face budget, face budgets not explicitly set on
 		// the command line default to half the total each (the relay's
@@ -197,8 +238,12 @@ func main() {
 		}
 		cache = relay.Cache()
 		rst := relay.Stats()
-		log.Printf("cachesyncd %s: relay tier on %s, bandwidth %.1f msgs/s up / %.1f msgs/s down to %d children, shards=%d",
-			relay.ID(), ln.Addr(), rst.UpBandwidth, rst.DownBandwidth, len(dests), cache.Shards())
+		face := "children"
+		if *peers != "" {
+			face = "peer links"
+		}
+		log.Printf("cachesyncd %s: node on %s, bandwidth %.1f msgs/s intake / %.1f msgs/s out to %d %s, shards=%d",
+			relay.ID(), ln.Addr(), rst.UpBandwidth, rst.DownBandwidth, len(dests), face, cache.Shards())
 	} else {
 		pollCfg := runtime.PollConfig{ReSolveEvery: *resolveEvery}
 		if *pollRate > 0 {
@@ -244,6 +289,10 @@ func main() {
 		if relay != nil {
 			mux.HandleFunc("/children/add", adminhttp.AddHandler(relay.AddChild, *id, wrap))
 			mux.HandleFunc("/children/remove", adminhttp.RemoveHandler(relay.RemoveChild))
+			// The mesh-vocabulary aliases manage the same symmetric face.
+			node := relay.Node()
+			mux.HandleFunc("/peers/add", adminhttp.AddHandler(node.AddPeer, *id, wrap))
+			mux.HandleFunc("/peers/remove", adminhttp.RemoveHandler(node.RemovePeer))
 		}
 		if *pprofFlag {
 			adminhttp.RegisterPprof(mux)
@@ -298,8 +347,9 @@ func main() {
 			}
 			if relay != nil {
 				rst := relay.Stats()
-				fmt.Printf("  relay forwarded=%d looped=%d hop_limited=%d child_refreshes=%d up=%.3g/s down=%.3g/s rebalances=%d\n",
-					rst.Forwarded, rst.Looped, rst.HopLimited, rst.Downstream.Refreshes,
+				fmt.Printf("  node forwarded=%d looped=%d hop_limited=%d suppressed=%d peer_served=%d out_refreshes=%d up=%.3g/s down=%.3g/s rebalances=%d\n",
+					rst.Forwarded, rst.Looped, rst.HopLimited, rst.ThresholdSuppressed,
+					rst.Upstream.PeerServed, rst.Downstream.Refreshes,
 					rst.UpBandwidth, rst.DownBandwidth, rst.FaceRebalances)
 				if h := rst.Downstream.Hybrid; h != nil {
 					fmt.Printf("  hybrid push_objects=%d poll_objects=%d promotions=%d demotions=%d polls_answered=%d polled_items=%d\n",

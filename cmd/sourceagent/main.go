@@ -96,11 +96,16 @@ func main() {
 		log.Fatalf("sourceagent: -codec: %v", err)
 	}
 	transport.SetDialCodec(dialCodec)
+	// Advertise the peer-serving capability unconditionally: this build's
+	// answer path understands known-version hints (wire.Poll.Known), so
+	// caches may attach them and save redundant reply items. Hybrid mode
+	// additionally advertises cooperation so hybrid caches trust the Pushed
+	// sets in this agent's poll replies and stop polling pushed objects.
+	agentCaps := wire.CapPeer
 	if policy == runtime.PolicyHybrid {
-		// Advertise cooperation so hybrid caches trust the Pushed sets in
-		// this agent's poll replies and stop polling pushed objects.
-		transport.SetDialCapabilities(wire.CapCooperative)
+		agentCaps |= wire.CapCooperative
 	}
+	transport.SetDialCapabilities(agentCaps)
 	addrs := []string{*addr}
 	weights := []float64{0}
 	if *caches != "" {

@@ -39,6 +39,14 @@
 // reporting per-node applied refreshes and final mean divergence. Results
 // are also written to BENCH_hierarchy.json.
 //
+// With -topology syncbench compares the peer-face topology shapes over the
+// same N cache nodes at the same total send budget: the direct tree (the
+// origin spends the whole budget on per-node sessions) versus a ring and a
+// full mesh where the origin holds half the budget toward one node and the
+// nodes' peer faces share the other half, serving each other laterally. The
+// -nodes, -objects, -rate, -bandwidth and -duration flags tune that mode.
+// Results are also written to BENCH_topology.json.
+//
 // With -dynamic syncbench compares static equal shares against live share
 // re-allocation (SourceConfig.Rebalance) on two workloads: skewed
 // destination capacities (one cache absorbs a tenth of the others') and
@@ -126,6 +134,8 @@ func main() {
 	fanBW := flag.Float64("bandwidth", 200, "fanout/hierarchy mode: total send budget (messages/second)")
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
 	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
+	topology := flag.Bool("topology", false, "benchmark the peer-face topology shapes (direct tree vs ring vs mesh at equal total budget) instead of experiments")
+	topoNodes := flag.Int("nodes", 6, "topology mode: cache node count per shape")
 	dynamic := flag.Bool("dynamic", false, "benchmark static vs adaptive share allocation under skewed and churning destinations instead of experiments")
 	policy := flag.Bool("policy", false, "benchmark the sync policies (push vs hybrid vs ideal/CGM1/CGM2 cache-driven polling) at equal message budget instead of experiments")
 	resolveEvery := flag.Duration("resolve-every", 500*time.Millisecond, "policy mode: poll re-estimation/re-allocation epoch")
@@ -139,6 +149,10 @@ func main() {
 			os.Exit(2)
 		}
 		runPolicyMode(*tpObjects, *fanRate, *fanBW, *tpDur, *resolveEvery, zipf)
+		return
+	}
+	if *topology {
+		runTopologyMode(*topoNodes, *tpObjects, *fanRate, *fanBW, *tpDur)
 		return
 	}
 	if *dynamic {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTopologyBenchSchema is the CI smoke for -topology: a short run must
+// measure all three shapes and emit a BENCH_topology.json that parses with
+// exactly the documented schema (docs/operations.md) — unknown fields in the
+// file mean the docs lag the code, a decode error means the reverse. It also
+// pins the PR's headline property: the cooperative shapes serve a measurable
+// share of refreshes laterally while sending less from the origin than the
+// direct tree at the same total budget.
+func TestTopologyBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runTopologyMode(4, 24, 400, 120, 1200*time.Millisecond)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_topology.json"))
+	if err != nil {
+		t.Fatalf("BENCH_topology.json not written: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var results []topologyResult
+	if err := dec.Decode(&results); err != nil {
+		t.Fatalf("BENCH_topology.json does not match the documented schema: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d scenarios, want 3 (tree, ring, mesh)", len(results))
+	}
+	byShape := map[string]topologyResult{}
+	for _, r := range results {
+		byShape[r.Scenario] = r
+		if r.Nodes != 4 || r.Objects != 24 || r.TotalBandwidth != 120 {
+			t.Errorf("%s: config = %d nodes / %d objects / %.0f msgs/s", r.Scenario, r.Nodes, r.Objects, r.TotalBandwidth)
+		}
+		if r.DurationS <= 0 || r.Updates == 0 {
+			t.Errorf("%s: empty measurement (duration %v, updates %d)", r.Scenario, r.DurationS, r.Updates)
+		}
+		if r.OriginEgress == 0 || r.TotalApplied == 0 {
+			t.Errorf("%s: no traffic measured (egress %d, applied %d)", r.Scenario, r.OriginEgress, r.TotalApplied)
+		}
+		if len(r.PerNode) != 4 {
+			t.Errorf("%s: %d per-node rows, want 4", r.Scenario, len(r.PerNode))
+		}
+	}
+	tree, ok := byShape["tree"]
+	if !ok {
+		t.Fatal("tree scenario missing")
+	}
+	if tree.PeerServed != 0 || tree.Forwarded != 0 {
+		t.Errorf("tree: lateral counters nonzero (peer_served %d, forwarded %d)", tree.PeerServed, tree.Forwarded)
+	}
+	if tree.OriginBandwidth != 120 {
+		t.Errorf("tree: origin bandwidth %.0f, want the full budget 120", tree.OriginBandwidth)
+	}
+	for _, shape := range []string{"ring", "mesh"} {
+		r, ok := byShape[shape]
+		if !ok {
+			t.Fatalf("%s scenario missing", shape)
+		}
+		if r.OriginBandwidth != 60 {
+			t.Errorf("%s: origin bandwidth %.0f, want half the budget 60", shape, r.OriginBandwidth)
+		}
+		if r.PeerServed == 0 {
+			t.Errorf("%s: no refreshes served laterally (peer_served = 0)", shape)
+		}
+		if r.OriginEgress >= tree.OriginEgress {
+			t.Errorf("%s: origin egress %d not below the tree's %d at equal total budget",
+				shape, r.OriginEgress, tree.OriginEgress)
+		}
+	}
+}

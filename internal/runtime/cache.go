@@ -179,12 +179,17 @@ func (e Entry) OriginAxis() (epoch int64, version uint64) {
 // reply item that changed the store counts exactly like an applied push
 // refresh).
 type CacheStats struct {
-	Refreshes   int
-	Feedbacks   int
-	Sources     int
-	Stale       int     // refreshes dropped as stale duplicates or old epochs
-	Misrouted   int     // refreshes whose advisory CacheID named another cache
-	Rejected    int     // refreshes dropped by the CacheConfig.Reject filter
+	Refreshes int
+	Feedbacks int
+	Sources   int
+	Stale     int // refreshes dropped as stale duplicates or old epochs
+	Misrouted int // refreshes whose advisory CacheID named another cache
+	Rejected  int // refreshes dropped by the CacheConfig.Reject filter
+	// PeerServed counts installed refreshes that reached this cache through
+	// an intermediary rather than straight from their origin (the applied
+	// copy's OriginID differs from the sender) — lateral serving in a mesh,
+	// or relay tiers in a tree. Zero in a star topology.
+	PeerServed  int
 	Divergence  float64 // cumulative |Δvalue| absorbed by applied refreshes
 	Polls       int     // poll request messages sent (cache-driven policies)
 	PollReplies int     // poll-reply messages received (per targeted item; one per discovery listing)
@@ -196,6 +201,7 @@ type CacheStats struct {
 type shardStats struct {
 	refreshes  int
 	stale      int
+	peerServed int
 	divergence float64
 }
 
@@ -353,6 +359,7 @@ func (c *Cache) Stats() CacheStats {
 		sh.mu.Lock()
 		s.Refreshes += sh.stats.refreshes
 		s.Stale += sh.stats.stale
+		s.PeerServed += sh.stats.peerServed
 		s.Divergence += sh.stats.divergence
 		sh.mu.Unlock()
 	}
@@ -440,13 +447,17 @@ func (c *Cache) sourceIndex(id string) int {
 	idx := len(c.srcIDs)
 	c.srcIdx[id] = idx
 	c.srcIDs = append(c.srcIDs, id)
-	// Re-size the tracker preserving known thresholds: they re-learn from
-	// the next piggybacks, which arrive with every refresh.
+	// Re-size the tracker preserving known thresholds (they re-learn from
+	// the next piggybacks, which arrive with every refresh) and warm-up
+	// greeting counts (a permanently silent peer link must not re-earn
+	// warm-up feedback priority every time a new source connects).
 	fresh := core.NewCache(len(c.srcIDs))
 	if c.tracker != nil {
 		for i := 0; i < idx; i++ {
 			if th, heard := c.tracker.KnownThreshold(i); heard {
 				fresh.ObserveThreshold(i, th)
+			} else {
+				fresh.SetGreets(i, c.tracker.Greets(i))
 			}
 		}
 	}
@@ -568,8 +579,29 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 // refreshes built from a poll reply's items take the same sharded route —
 // staleness guards, divergence accounting, OnApply — as pushed ones, but
 // bypass the push-protocol observation (poll replies piggyback no
-// thresholds and name no advisory destination).
+// thresholds and name no advisory destination). The Reject filter DOES
+// apply: a poll reply from a lateral peer can carry a value this node is
+// already on the path of (the peer answered before learning our identity),
+// and installing it would re-circulate the cycle the intake guard exists
+// to break.
 func (c *Cache) installPolled(rs []wire.Refresh) {
+	if c.cfg.Reject != nil {
+		kept := rs[:0]
+		for _, r := range rs {
+			if !c.cfg.Reject(r) {
+				kept = append(kept, r)
+			}
+		}
+		if dropped := len(rs) - len(kept); dropped > 0 {
+			c.mu.Lock()
+			c.rejected += dropped
+			c.mu.Unlock()
+		}
+		rs = kept
+		if len(rs) == 0 {
+			return
+		}
+	}
 	c.fanout(rs)
 }
 
@@ -686,6 +718,7 @@ func (c *Cache) applyLocked(sh *shard, r wire.Refresh, now time.Time) bool {
 		entry.Origin = r.Origin
 		entry.OriginEpoch = r.OriginEpoch
 		entry.OriginVersion = r.OriginVersion
+		sh.stats.peerServed++
 		// Applied relayed copies are acknowledged too: the ack lets the
 		// relay skip re-sending them after ITS restart (direct senders
 		// need no apply-path ack — their re-sends fall into the stale

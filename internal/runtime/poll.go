@@ -31,11 +31,14 @@ type PollConfig struct {
 }
 
 // pollObj is the scheduler's view of one remote object: the identity of the
-// source that owns it, the (epoch, version) observed at the last poll — the
-// change detector — and the live CGM estimators its polls feed. pushed
-// marks an object a cooperating hybrid source advertises as push-set
-// (wire.PollReply.Pushed): the scheduler stops polling it — the source's
-// refreshes own its freshness — until the source demotes it again.
+// source that owns it, the ORIGIN-AXIS (epoch, version) observed at the
+// last poll — the change detector; the origin axis, not the answerer's own,
+// so a peer relaying another node's value and the origin itself count as
+// the same version and a cache polling both never sees a phantom change —
+// and the live CGM estimators its polls feed. pushed marks an object a
+// cooperating hybrid source advertises as push-set (wire.PollReply.Pushed):
+// the scheduler stops polling it — the source's refreshes own its freshness
+// — until the source demotes it again.
 type pollObj struct {
 	id       string
 	sourceID string
@@ -150,6 +153,10 @@ type pollScheduler struct {
 	// pushedBy is the last applied push set per cooperating source, the
 	// diff base for marking and unmarking pollObjs as replies arrive.
 	pushedBy map[string]map[string]bool
+	// peers reports which connected sources advertised the peer-serving
+	// capability (wire.CapPeer); known-version hints are only attached to
+	// polls toward those (nil when the transport cannot say).
+	peers peerReporter
 
 	// Hybrid shared-budget accounting (loop-local): the poll bucket must
 	// leave room for the push half, so each tick deducts the refreshes the
@@ -192,6 +199,7 @@ func newPollScheduler(c *Cache, pe transport.PollEndpoint, cfg PollConfig) *poll
 	if c.cfg.Policy == PolicyHybrid {
 		ps.coop, _ = pe.(cooperationReporter)
 	}
+	ps.peers, _ = pe.(peerReporter)
 	return ps
 }
 
@@ -201,6 +209,16 @@ func newPollScheduler(c *Cache, pe transport.PollEndpoint, cfg PollConfig) *poll
 // implement it.
 type cooperationReporter interface {
 	PeerCooperates(sourceID string) bool
+}
+
+// peerReporter is the optional transport capability the scheduler consults
+// before attaching known-version hints (wire.Poll.Known) to a targeted
+// poll: whether the answering source's Hello carried wire.CapPeer. A
+// pre-peer binary decoder would reject the trailing Known segment as a bad
+// frame, so the hints are only sent to peers that advertised the
+// capability. Both provided transports implement it.
+type peerReporter interface {
+	PeerServesPeers(sourceID string) bool
 }
 
 // snapshotCounters returns the externally visible counters.
@@ -328,6 +346,13 @@ func (ps *pollScheduler) sendDue(t, cost, budget float64) float64 {
 			ObjectIDs: ids,
 			SentUnix:  ps.c.cfg.Now().UnixNano(),
 		}
+		if ps.peers != nil && ps.peers.PeerServesPeers(src) {
+			// Advisory held-version hints: a peer-serving answerer omits
+			// items the hints prove this cache already holds at-or-ahead,
+			// saving the reply bytes (the change detector sees no item and
+			// simply observes no change).
+			p.Known = ps.knownFor(ids)
+		}
 		if err := ps.pe.SendPoll(src, p); err != nil {
 			spent -= cost * float64(len(ids)) // refund: nothing hit the wire
 			continue
@@ -391,11 +416,12 @@ func (ps *pollScheduler) processReply(r wire.PollReply, t float64) float64 {
 			// A targeted answer for an object we had not registered yet
 			// (possible when a reply outruns the discovery that named it):
 			// this poll was paid for, so install and schedule.
+			oe, ov := it.OriginAxis()
 			o := &pollObj{
 				id:       it.ObjectID,
 				sourceID: r.SourceID,
-				epoch:    it.Epoch,
-				version:  it.Version,
+				epoch:    oe,
+				version:  ov,
 				lastPoll: t,
 				period:   math.Inf(1),
 			}
@@ -407,7 +433,12 @@ func (ps *pollScheduler) processReply(r wire.PollReply, t float64) float64 {
 		}
 		o := ps.objects[i]
 		o.sourceID = r.SourceID
-		changed := it.Exists && (it.Epoch != o.epoch || it.Version != o.version)
+		// Change detection runs on the origin axis: a lateral peer's relayed
+		// copy and the origin's own answer carry the same origin (epoch,
+		// version), so switching which node answers never fabricates a
+		// change (the answerer's own Epoch would differ per node).
+		oe, ov := it.OriginAxis()
+		changed := it.Exists && (oe != o.epoch || ov != o.version)
 		interval := t - o.lastPoll
 		if interval > 0 {
 			age := 0.0
@@ -422,7 +453,7 @@ func (ps *pollScheduler) processReply(r wire.PollReply, t float64) float64 {
 			o.lastPoll = t
 		}
 		if changed {
-			o.epoch, o.version = it.Epoch, it.Version
+			o.epoch, o.version = oe, ov
 			install = append(install, ps.refreshFor(r.SourceID, it))
 		}
 	}
@@ -488,18 +519,42 @@ func (ps *pollScheduler) applyPushed(r wire.PollReply, t float64) {
 	ps.pushedBy[r.SourceID] = next
 }
 
+// knownFor builds the known-version hints for a targeted poll from the
+// cache store: the origin identity and origin-axis version of each held
+// copy. Objects not in the store yield no hint (the answerer must reply).
+func (ps *pollScheduler) knownFor(ids []string) []wire.KnownVersion {
+	var known []wire.KnownVersion
+	for _, id := range ids {
+		if e, ok := ps.c.Get(id); ok {
+			oe, ov := e.OriginAxis()
+			known = append(known, wire.KnownVersion{
+				ObjectID: id, Origin: e.OriginID(), Epoch: oe, Version: ov,
+			})
+		}
+	}
+	return known
+}
+
 // refreshFor converts one poll answer into the refresh the apply path
 // installs — same staleness guards, stats and OnApply hook as a pushed
-// refresh.
+// refresh, with the answer's provenance carried through so a node that
+// re-exports the polled value keeps the loop-avoidance path and origin
+// axis intact (lateral serving would otherwise break the mesh's loop
+// guards).
 func (ps *pollScheduler) refreshFor(sourceID string, it wire.PollItem) wire.Refresh {
 	return wire.Refresh{
-		SourceID: sourceID,
-		ObjectID: it.ObjectID,
-		CacheID:  ps.c.cfg.ID,
-		Value:    it.Value,
-		Version:  it.Version,
-		Epoch:    it.Epoch,
-		SentUnix: it.LastModifiedUnix,
+		SourceID:      sourceID,
+		ObjectID:      it.ObjectID,
+		CacheID:       ps.c.cfg.ID,
+		Origin:        it.Origin,
+		Hops:          it.Hops,
+		Via:           it.Via,
+		OriginEpoch:   it.OriginEpoch,
+		OriginVersion: it.OriginVersion,
+		Value:         it.Value,
+		Version:       it.Version,
+		Epoch:         it.Epoch,
+		SentUnix:      it.LastModifiedUnix,
 	}
 }
 

@@ -2,20 +2,19 @@ package runtime
 
 import (
 	"fmt"
-	"slices"
-	"sync"
 	"time"
 
-	"bestsync/internal/alloc"
 	"bestsync/internal/core"
 	"bestsync/internal/metric"
 	"bestsync/internal/priority"
 	"bestsync/internal/transport"
-	"bestsync/internal/wire"
 )
 
 // RelayConfig configures a relay node — a cache tier that re-exports the
-// refreshes it applies toward a set of downstream children.
+// refreshes it applies toward a set of downstream children. It is the
+// tree-shaped view of NodeConfig: children are simply the relay's peers,
+// and every field maps one-to-one onto the symmetric peer-face abstraction
+// (see peer.go).
 type RelayConfig struct {
 	// ID is the relay's identity on both faces: it is the cache id stamped
 	// on upstream feedback AND the source id its children see on
@@ -35,16 +34,11 @@ type RelayConfig struct {
 	// shared budget: Cache.Bandwidth (intake processing) and
 	// ChildBandwidth (downstream sends) become the initial split —
 	// defaulting to half each — and the periodic rebalance pass shifts
-	// budget between the faces from observed backlog, so intake capacity
-	// the upstream is not using can be spent on the children and vice
-	// versa. Zero keeps the faces on their independent static budgets.
+	// budget between the faces from observed backlog. Zero keeps the faces
+	// on their independent static budgets.
 	TotalBandwidth float64
-	// Rebalance, when positive, enables the periodic re-allocation passes:
-	// child-session shares are re-weighted from observed feedback and
-	// divergence (SourceConfig.Rebalance on the child face), and — with
-	// TotalBandwidth — the up/down face split is re-derived from each
-	// face's backlog and budget use every interval. Zero keeps all shares
-	// static.
+	// Rebalance, when positive, enables the periodic re-allocation passes
+	// (see NodeConfig.Rebalance).
 	Rebalance time.Duration
 	// Metric selects the divergence metric driving child refresh
 	// priorities; Delta and PriorityFn refine it as on SourceConfig.
@@ -56,28 +50,15 @@ type RelayConfig struct {
 	// Params tunes the child-facing threshold algorithm; zero means paper
 	// defaults.
 	Params core.Params
-	// MaxHops bounds re-export depth: a refresh that has already crossed
-	// MaxHops relay tiers is applied locally but not forwarded (counted in
-	// RelayStats.HopLimited). Default 8.
+	// MaxHops bounds re-export depth (see NodeConfig.MaxHops). Default 8.
 	MaxHops int
 	// ChildPolicy selects the synchronization policy of the downstream
-	// face (SourceConfig.Policy): the default push re-exports applied
-	// refreshes source-initiated; PolicyHybrid lets each child session
-	// push its hot head and answer polls for its cold tail (a polling
-	// relay tier — children then run a hybrid cache face toward this
-	// relay). Pure cache-driven child policies (ideal/cgm1/cgm2) are also
-	// accepted: the child face only answers polls, and the re-export hook
-	// degenerates to store updates the children discover on their own
-	// schedule. Child destinations must be poll-capable connections for
-	// any polling ChildPolicy.
+	// face (see NodeConfig.PeerPolicy).
 	ChildPolicy Policy
 	// Hybrid tunes the child-face migration controller when ChildPolicy is
-	// PolicyHybrid (SourceConfig.Hybrid); the zero value means the
-	// documented defaults.
+	// PolicyHybrid.
 	Hybrid HybridConfig
-	// Group configures session-group fan-out on the downstream face
-	// (SourceConfig.Group): eligible children share one scheduling pass and
-	// one encode per batch. Zero value keeps per-child sessions.
+	// Group configures session-group fan-out on the downstream face.
 	Group GroupConfig
 	// Now overrides the clock for both faces (tests); defaults to
 	// time.Now.
@@ -86,7 +67,8 @@ type RelayConfig struct {
 
 // RelayStats is a relay's per-tier statistics breakdown: the upstream face
 // (a cache consuming refreshes) and the downstream face (a fan-out source
-// re-exporting them), plus the re-export decisions in between.
+// re-exporting them), plus the re-export decisions in between. It is the
+// tree-vocabulary view of NodeStats.
 type RelayStats struct {
 	// Upstream counts the cache face: refreshes applied from the tier
 	// above, feedback sent to it, stale drops.
@@ -101,6 +83,13 @@ type RelayStats struct {
 	// is not paid when nothing downstream would receive the updates. The
 	// first child to (re)attach is seeded from the store instead.
 	SuppressedBatches int
+	// ThresholdSuppressed counts updates whose per-child scheduling
+	// fan-out was deferred because every live child session was provably
+	// within its threshold — the re-export reached the store and the
+	// source's object state, but no per-session observe work was spent
+	// until the next flush tick (by which point most such updates have
+	// been superseded or still need no send).
+	ThresholdSuppressed int
 	// Looped counts refreshes rejected at intake because this relay was
 	// already on their path (Via) or was their origin — the message
 	// crossed a topology cycle and came back. Mirrored in
@@ -120,52 +109,15 @@ type RelayStats struct {
 }
 
 // Relay is a middle tier in a cache→cache hierarchy: toward its upstream it
-// is an ordinary Cache (it applies refreshes, sends surplus-driven
-// feedback, and back-pressures when saturated); toward its children it is a
-// fan-out Source whose updates are the refreshes it just applied. Each
-// applied refresh becomes a core-tracked update in every child session, so
-// divergence at the relay — the delta its children have not yet been sent —
-// drives child scheduling with the relay's own bandwidth budget and share
-// allocation, independent of the upstream tier's.
-//
-// Provenance and loop-avoidance: re-exported refreshes keep the origin
-// source id (wire.Refresh.Origin) and carry an incremented hop count and
-// the path of relays traversed (wire.Refresh.Hops/.Via). A refresh whose
-// path already contains this relay — or whose origin is the relay itself —
-// crossed a topology cycle and is rejected at intake, never applied or
-// re-exported (RelayStats.Looped; see rejectCycle for why applying it
-// would be worse than dropping it). A refresh that has already crossed
-// MaxHops tiers is applied locally but not forwarded
-// (RelayStats.HopLimited).
-//
-// Divergence composition: the divergence a leaf sees against the origin is
-// at most the upstream staleness (origin value vs relay copy — the upstream
-// session's tracker) plus the relay's un-forwarded delta (relay copy vs
-// what the leaf was sent — the child session's tracker); see
-// docs/algorithm-specifications.md §8.
+// is an ordinary Cache and toward its children a fan-out Source whose
+// updates are the refreshes it just applied. Since the peer-face refactor
+// it is a thin tree-vocabulary wrapper over Node — AddChild is AddPeer,
+// the upstream face is the intake face — kept so tree deployments (and the
+// cachesyncd -children flag) read in tree terms. All protocol behaviour
+// (provenance, loop-avoidance, face rebalancing, threshold suppression)
+// lives on Node; see peer.go.
 type Relay struct {
-	cfg   RelayConfig
-	cache *Cache
-	src   *Source
-
-	mu         sync.Mutex
-	forwarded  int
-	looped     int
-	hopLimited int
-	suppressed int  // apply batches not re-exported (no live children)
-	storeAhead bool // suppression happened: the source's objs lag the store
-	// Face-rebalance state (TotalBandwidth + Rebalance): smoothed
-	// contribution scores per face, the operator's configured split as
-	// base weights, and the observation-window marks.
-	faceReb          *alloc.Rebalancer
-	upBW, downBW     float64
-	upBase, downBase float64
-	faceRebalances   int
-	lastUpApplied    int
-	lastDownSent     int
-
-	stop      chan struct{}
-	closeOnce sync.Once
+	n *Node
 }
 
 // NewRelay starts a relay node: upstream is the endpoint the tier above
@@ -179,336 +131,78 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 	if cfg.Cache.ID != "" || cfg.Cache.OnApply != nil || cfg.Cache.Reject != nil || cfg.Cache.Now != nil {
 		return nil, fmt.Errorf("runtime: RelayConfig.Cache.{ID,OnApply,Reject,Now} are owned by the relay; configure RelayConfig.ID/Now instead")
 	}
-	if cfg.Cache.Policy.CacheDriven() {
-		// The relay's re-export hook rides the apply path, which pushed
-		// AND hybrid-polled refreshes both take — but a PURE cache-driven
-		// upstream face has no feedback channel for the held-version acks
-		// the re-export machinery leans on, so only push and hybrid are
-		// supported upstream.
-		return nil, fmt.Errorf("runtime: relay upstream faces support the push and hybrid policies (got %v)", cfg.Cache.Policy)
-	}
-	if cfg.TotalBandwidth > 0 {
-		// Shared face budget: unset faces default to half the total each;
-		// explicitly set faces are kept as a RATIO and normalized so the
-		// initial split already sums to the total — otherwise the first
-		// rebalance pass would snap the aggregate from Σfaces to
-		// TotalBandwidth, a silent mid-run budget cliff.
-		up, down := cfg.Cache.Bandwidth, cfg.ChildBandwidth
-		switch {
-		case up <= 0 && down <= 0:
-			up, down = cfg.TotalBandwidth/2, cfg.TotalBandwidth/2
-		case up <= 0:
-			if down >= cfg.TotalBandwidth {
-				down = cfg.TotalBandwidth / 2
-			}
-			up = cfg.TotalBandwidth - down
-		case down <= 0:
-			if up >= cfg.TotalBandwidth {
-				up = cfg.TotalBandwidth / 2
-			}
-			down = cfg.TotalBandwidth - up
-		default:
-			scale := cfg.TotalBandwidth / (up + down)
-			up, down = up*scale, down*scale
-		}
-		cfg.Cache.Bandwidth, cfg.ChildBandwidth = up, down
-	}
-	if cfg.ChildBandwidth <= 0 {
-		cfg.ChildBandwidth = 1000
-	}
-	if cfg.MaxHops <= 0 {
-		cfg.MaxHops = 8
-	}
-	r := &Relay{cfg: cfg, stop: make(chan struct{})}
-	src, err := NewFanoutSource(SourceConfig{
-		ID:         cfg.ID,
-		Metric:     cfg.Metric,
-		Delta:      cfg.Delta,
-		PriorityFn: cfg.PriorityFn,
-		Bandwidth:  cfg.ChildBandwidth,
-		Tick:       cfg.Tick,
-		Params:     cfg.Params,
-		Policy:     cfg.ChildPolicy,
-		Hybrid:     cfg.Hybrid,
-		Rebalance:  cfg.Rebalance,
-		Group:      cfg.Group,
-		Now:        cfg.Now,
-	}, children)
+	n, err := NewNode(NodeConfig{
+		ID:             cfg.ID,
+		Intake:         cfg.Cache,
+		PeerBandwidth:  cfg.ChildBandwidth,
+		TotalBandwidth: cfg.TotalBandwidth,
+		Rebalance:      cfg.Rebalance,
+		Metric:         cfg.Metric,
+		Delta:          cfg.Delta,
+		PriorityFn:     cfg.PriorityFn,
+		Tick:           cfg.Tick,
+		Params:         cfg.Params,
+		MaxHops:        cfg.MaxHops,
+		PeerPolicy:     cfg.ChildPolicy,
+		Hybrid:         cfg.Hybrid,
+		Group:          cfg.Group,
+		Now:            cfg.Now,
+	}, upstream, children)
 	if err != nil {
 		return nil, err
 	}
-	r.src = src
-	cacheCfg := cfg.Cache
-	cacheCfg.ID = cfg.ID
-	cacheCfg.Now = cfg.Now
-	cacheCfg.OnApply = r.reexport
-	cacheCfg.Reject = r.rejectCycle
-	r.cache = NewCache(cacheCfg, upstream)
-	r.upBW = r.cache.Bandwidth()
-	r.downBW = cfg.ChildBandwidth
-	// The configured split is the faces' base-weight ratio: it scales their
-	// contribution scores and is what an all-idle window falls back to, so
-	// an operator's asymmetric split survives rebalancing instead of
-	// snapping to half-half.
-	r.upBase, r.downBase = r.upBW, r.downBW
-	if cfg.TotalBandwidth > 0 && cfg.Rebalance > 0 {
-		// Faces must not starve each other outright: a face floored at a
-		// fifth of its fair half keeps absorbing or sending enough to
-		// regrow its demand signal and earn the budget back.
-		r.faceReb = &alloc.Rebalancer{FloorFrac: 0.2}
-		go r.rebalanceFaces()
-	}
-	return r, nil
+	return &Relay{n: n}, nil
 }
 
 // AddChild starts a sync session toward a new downstream cache on a
 // running relay, re-dividing the child budget across all children; the new
-// child is synchronized from the relay's full store. See
-// Source.AddDestination.
-//
-// If re-exports were suppressed while the relay had no children, the
-// source's object set lags the store, so the store is re-exported once to
-// bring the child face back in step (for the value-deviation metric the
-// surviving children see no extra sends from this — their re-observed
-// divergence is zero).
-func (r *Relay) AddChild(d Destination) error {
-	if err := r.src.AddDestination(d); err != nil {
-		return err
-	}
-	r.mu.Lock()
-	behind := r.storeAhead
-	r.storeAhead = false
-	r.mu.Unlock()
-	if behind {
-		r.ReexportStore()
-	}
-	return nil
-}
+// child is synchronized from the relay's full store. See Node.AddPeer.
+func (r *Relay) AddChild(d Destination) error { return r.n.AddPeer(d) }
 
 // RemoveChild stops the session toward the child whose Destination.CacheID
 // is cacheID and re-divides the child budget across the survivors. See
-// Source.RemoveDestination.
-func (r *Relay) RemoveChild(cacheID string) error { return r.src.RemoveDestination(cacheID) }
-
-// rebalanceFaces is the relay's up/down budget pass: every Rebalance
-// interval it scores each face by observed demand — budget actually used
-// during the window plus backlog still waiting (intake queue on the cache
-// face, over-threshold objects on the child face) — smooths the scores,
-// and re-splits TotalBandwidth between Cache.SetBandwidth and
-// Source.SetBandwidth. A face that spent its budget and still has work
-// queued earns more; an idle face decays toward the floor, surrendering
-// intake capacity the upstream is not using to the children (and vice
-// versa).
-func (r *Relay) rebalanceFaces() {
-	ticker := time.NewTicker(r.cfg.Rebalance)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-r.stop:
-			return
-		case <-ticker.C:
-		}
-		cs := r.cache.Stats()
-		ss := r.src.Stats()
-		r.mu.Lock()
-		// Window deltas over aggregates that can shrink: RemoveChild takes
-		// the removed session's historical refreshes out of the source
-		// aggregate, so a removal window would otherwise read as hugely
-		// negative use and zero the face's budget.
-		upUsed := max(0, cs.Refreshes-r.lastUpApplied)
-		r.lastUpApplied = cs.Refreshes
-		downUsed := max(0, ss.Refreshes-r.lastDownSent)
-		r.lastDownSent = ss.Refreshes
-		// Down-face backlog counts only sessions that can deliver: a
-		// redialing child's queue holds the whole store but its sends go
-		// nowhere, and letting that phantom backlog capture budget from
-		// the intake face is the same starvation the session-level
-		// rebalancer guards against.
-		pending := 0
-		for _, sess := range ss.Sessions {
-			if !sess.Ended && !sess.Redialing {
-				pending += sess.Pending
-			}
-		}
-		r.faceReb.Observe([]alloc.Consumer{
-			{ID: "up", Base: r.upBase, Demand: float64(upUsed + r.cache.backlog())},
-			{ID: "down", Base: r.downBase, Demand: float64(downUsed + pending)},
-		})
-		w := r.faceReb.Weights([]string{"up", "down"}, []float64{r.upBase, r.downBase})
-		shares := alloc.Proportional(r.cfg.TotalBandwidth, w)
-		r.upBW, r.downBW = shares[0], shares[1]
-		r.faceRebalances++
-		r.mu.Unlock()
-		r.cache.SetBandwidth(shares[0])
-		r.src.SetBandwidth(shares[1])
-	}
-}
-
-// rejectCycle drops refreshes that crossed a topology cycle (this relay is
-// already on their path, or is their origin) before they reach the store.
-// Rejecting at intake — rather than applying and merely skipping the
-// re-export — matters because each hop re-issues epochs: a cycled copy
-// applied under the cycle peer's newer epoch would capture the entry and
-// shadow every subsequent direct refresh as stale.
-func (r *Relay) rejectCycle(ref wire.Refresh) bool {
-	if ref.OriginID() != r.cfg.ID && !slices.Contains(ref.Via, r.cfg.ID) {
-		return false
-	}
-	r.mu.Lock()
-	r.looped++
-	r.mu.Unlock()
-	return true
-}
-
-// reexport converts a batch of applied upstream refreshes into child
-// updates. It runs on the cache's shard workers, so refreshes for one
-// object arrive in apply order while distinct objects may be re-exported
-// concurrently — the same ordering contract Update gives a plain source.
-//
-// Loop check: a refresh is dropped from re-export when this relay already
-// appears on its path — either as the origin or anywhere in the Via path
-// vector. The path check is what bounds real topology cycles (A→B→A): in a
-// cycle the origin is the root source at every hop and never matches, but
-// the cycle's relays accumulate on Via, so the second visit is caught.
-func (r *Relay) reexport(applied []wire.Refresh) {
-	if r.src.LiveDestinations() == 0 {
-		// No live children: skip the source-mutex round trip entirely —
-		// today's apply batch has nobody to go to. The storeAhead flag
-		// makes AddChild seed the next child from the store, which has
-		// everything these suppressed batches carried.
-		r.mu.Lock()
-		r.suppressed++
-		r.storeAhead = true
-		r.mu.Unlock()
-		return
-	}
-	var looped, hopLimited int
-	updates := make([]RelayedUpdate, 0, len(applied))
-	for _, ref := range applied {
-		origin := ref.OriginID()
-		if origin == r.cfg.ID || slices.Contains(ref.Via, r.cfg.ID) {
-			looped++ // defense in depth; rejectCycle already filters these
-			continue
-		}
-		// Depth = max of the declared hop count and the path length, so a
-		// sender under-reporting Hops cannot bypass the ceiling (Via is
-		// what relays actually append to; Hops is the displayed summary).
-		hops := ref.Hops
-		if l := len(ref.Via); l > hops {
-			hops = l
-		}
-		if hops+1 > r.cfg.MaxHops {
-			hopLimited++
-			continue
-		}
-		via := make([]string, 0, len(ref.Via)+1)
-		via = append(append(via, ref.Via...), r.cfg.ID)
-		oe, ov := ref.OriginAxis() // preserved unchanged across every hop
-		updates = append(updates, RelayedUpdate{
-			ObjectID: ref.ObjectID,
-			Value:    ref.Value,
-			Prov:     Provenance{Origin: origin, Hops: hops + 1, Via: via, Epoch: oe, Version: ov},
-		})
-	}
-	// One lock round-trip for the whole apply batch: shard workers must
-	// not serialize on the source mutex message by message.
-	r.src.UpdateFromAll(updates)
-	r.mu.Lock()
-	r.forwarded += len(updates)
-	r.looped += looped
-	r.hopLimited += hopLimited
-	r.mu.Unlock()
-}
+// Node.RemovePeer.
+func (r *Relay) RemoveChild(cacheID string) error { return r.n.RemovePeer(cacheID) }
 
 // ReexportStore re-exports every locally cached entry to the children as
-// if it had just been applied. This is the warm-up path for a relay
-// restarted from a snapshot: LoadSnapshot installs entries directly into
-// the store without passing through the apply hook, so without this call
-// the children would only learn snapshot-restored objects when the origin
-// next updates them. Provenance is taken from the stored entries and the
-// usual loop/hop guards apply.
-//
-// The re-export happens under each shard's lock: a live apply for the same
-// object is thereby serialized against the snapshot read, so a racing
-// fresher value always reaches the child sessions after — never before —
-// the snapshot one (the lock order shard→source is taken nowhere else in
-// reverse).
-//
-// Snapshot-age protection: the snapshot is as old as its last save, and
-// although each re-export carries this incarnation's fresh sender epoch, it
-// preserves the ORIGIN's version axis — so a child holding a newer value
-// drops the stale re-export at intake (the origin-axis staleness guard) and
-// acknowledges its held version on feedback (wire.Feedback.Held), which
-// cancels this relay's remaining queued re-sends for objects the child is
-// already at-or-ahead of (SessionStats.HeldSkips). The child never
-// regresses; the only waste is the re-exports that race ahead of its first
-// feedback.
-func (r *Relay) ReexportStore() {
-	for _, sh := range r.cache.shards {
-		sh.mu.Lock()
-		batch := make([]wire.Refresh, 0, len(sh.store))
-		for id, e := range sh.store {
-			batch = append(batch, wire.Refresh{
-				SourceID:      e.Source,
-				ObjectID:      id,
-				Origin:        e.Origin,
-				Hops:          e.Hops,
-				Via:           e.Via,
-				OriginEpoch:   e.OriginEpoch,
-				OriginVersion: e.OriginVersion,
-				Value:         e.Value,
-				Version:       e.Version,
-				Epoch:         e.Epoch,
-			})
-		}
-		if len(batch) > 0 {
-			r.reexport(batch)
-		}
-		sh.mu.Unlock()
-	}
-}
+// if it had just been applied — the warm-up path for a relay restarted
+// from a snapshot. See Node.ReexportStore.
+func (r *Relay) ReexportStore() { r.n.ReexportStore() }
 
 // ID returns the relay's identity (shared by both faces).
-func (r *Relay) ID() string { return r.cfg.ID }
+func (r *Relay) ID() string { return r.n.ID() }
 
 // Cache returns the upstream-facing cache, for reads (Get/Len), snapshots
-// and the HTTP status handler. The store it serves is the relay's local
-// copy of everything applied so far.
-func (r *Relay) Cache() *Cache { return r.cache }
+// and the HTTP status handler.
+func (r *Relay) Cache() *Cache { return r.n.Cache() }
+
+// Node returns the underlying symmetric node, for callers that want to mix
+// tree and mesh vocabulary on one instance.
+func (r *Relay) Node() *Node { return r.n }
 
 // Get returns the relay's local copy of an object.
-func (r *Relay) Get(objectID string) (Entry, bool) { return r.cache.Get(objectID) }
+func (r *Relay) Get(objectID string) (Entry, bool) { return r.n.Get(objectID) }
 
 // Len returns the number of locally cached objects.
-func (r *Relay) Len() int { return r.cache.Len() }
+func (r *Relay) Len() int { return r.n.Len() }
 
 // Stats snapshots both faces and the re-export counters.
 func (r *Relay) Stats() RelayStats {
-	st := RelayStats{
-		Upstream:   r.cache.Stats(),
-		Downstream: r.src.Stats(),
+	ns := r.n.Stats()
+	return RelayStats{
+		Upstream:            ns.Intake,
+		Downstream:          ns.Peers,
+		Forwarded:           ns.Forwarded,
+		SuppressedBatches:   ns.SuppressedBatches,
+		ThresholdSuppressed: ns.ThresholdSuppressed,
+		Looped:              ns.Looped,
+		HopLimited:          ns.HopLimited,
+		UpBandwidth:         ns.IntakeBandwidth,
+		DownBandwidth:       ns.PeerBandwidth,
+		FaceRebalances:      ns.FaceRebalances,
 	}
-	r.mu.Lock()
-	st.Forwarded = r.forwarded
-	st.Looped = r.looped
-	st.HopLimited = r.hopLimited
-	st.SuppressedBatches = r.suppressed
-	st.UpBandwidth = r.upBW
-	st.DownBandwidth = r.downBW
-	st.FaceRebalances = r.faceRebalances
-	r.mu.Unlock()
-	return st
 }
 
 // Close stops the upstream cache first (no new applies, so no new
 // re-exports) and then the downstream source, returning the first error.
-// In-flight child refreshes are cut off with the connections, exactly as
-// for a plain fan-out source.
-func (r *Relay) Close() error {
-	r.closeOnce.Do(func() { close(r.stop) })
-	err := r.cache.Close()
-	if serr := r.src.Close(); err == nil {
-		err = serr
-	}
-	return err
-}
+func (r *Relay) Close() error { return r.n.Close() }

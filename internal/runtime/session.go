@@ -52,6 +52,11 @@ type SessionStats struct {
 	// feedback proved it already at-or-ahead of the scheduled value on the
 	// origin axis (push policy).
 	HeldSkips int
+	// PollOmits counts poll items withheld from this session's replies:
+	// split horizon (the poller produced or already relayed the value) or
+	// a known-version hint proving the poller already at-or-ahead on the
+	// same origin axis (cache-driven and hybrid policies).
+	PollOmits int
 	// Grouped reports a session currently attached to the source's session
 	// group: its refreshes arrive via group broadcasts (counted in
 	// Refreshes here as well), Threshold mirrors the shared group
@@ -115,6 +120,7 @@ type syncSession struct {
 	sendErrors      int
 	reconnects      int
 	pollsAnswered   int
+	pollOmits       int
 	heldSkips       int
 	remoteID        string
 	// heldPending buffers held-version acks for objects the source has not
@@ -299,6 +305,7 @@ func (ss *syncSession) statsLocked() SessionStats {
 		Pending:       pending,
 		Threshold:     threshold,
 		PollsAnswered: ss.pollsAnswered,
+		PollOmits:     ss.pollOmits,
 		HeldSkips:     ss.heldSkips,
 	}
 	if ss.hyb != nil {
@@ -775,18 +782,32 @@ func (ss *syncSession) answerPoll(pc transport.PollConn, p wire.Poll) int {
 	if p.CacheID != "" {
 		ss.remoteID = p.CacheID // polls identify the peer like feedback does
 	}
+	var known map[string]wire.KnownVersion
+	if len(p.Known) > 0 {
+		known = make(map[string]wire.KnownVersion, len(p.Known))
+		for _, k := range p.Known {
+			known[k.ObjectID] = k
+		}
+	}
 	epoch := s.started.UnixNano()
 	reply := wire.PollReply{SourceID: s.cfg.ID, SentUnix: s.cfg.Now().UnixNano()}
 	if len(p.ObjectIDs) == 0 {
 		reply.All = true
 		reply.Items = make([]wire.PollItem, 0, len(s.ids))
 		for _, id := range s.ids {
-			reply.Items = append(reply.Items, pollItemLocked(s.objs[id], epoch))
+			o := s.objs[id]
+			if !ss.servableLocked(o, known) {
+				continue
+			}
+			reply.Items = append(reply.Items, pollItemLocked(o, epoch))
 		}
 	} else {
 		reply.Items = make([]wire.PollItem, 0, len(p.ObjectIDs))
 		for _, id := range p.ObjectIDs {
 			if o, ok := s.objs[id]; ok {
+				if !ss.servableLocked(o, known) {
+					continue
+				}
 				reply.Items = append(reply.Items, pollItemLocked(o, epoch))
 			} else {
 				reply.Items = append(reply.Items, wire.PollItem{ObjectID: id})
@@ -854,7 +875,41 @@ func (ss *syncSession) commitPolledLocked(it wire.PollItem, now float64) {
 	ss.requeueLocked(o, key, now)
 }
 
-// pollItemLocked snapshots one object's poll answer. Caller holds src.mu.
+// servableLocked reports whether object o belongs in a reply to this
+// session's poller. Excluded on two grounds, both safe as plain omission (a
+// poll reply is best-effort; the poller's estimator simply sees no change):
+// split horizon — the poller produced or already relayed the value, so its
+// intake loop guard is guaranteed to reject it — and a known-version hint
+// (wire.Poll.Known) proving the poller already at-or-ahead on the SAME
+// origin axis; hints for a different origin are ignored, because epochs
+// from different origins are incomparable. Caller holds src.mu.
+func (ss *syncSession) servableLocked(o *objState, known map[string]wire.KnownVersion) bool {
+	s := ss.src
+	if ss.remoteID != "" &&
+		(o.prov.Origin == ss.remoteID || slices.Contains(o.prov.Via, ss.remoteID)) {
+		ss.pollOmits++
+		return false
+	}
+	if k, ok := known[o.id]; ok {
+		origin := o.prov.Origin
+		if origin == "" {
+			origin = s.cfg.ID // locally produced: this source is the origin
+		}
+		if k.Origin == origin {
+			if oe, ov := s.originAxisLocked(o); heldAtOrAhead(k.Epoch, k.Version, oe, ov) {
+				ss.pollOmits++
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pollItemLocked snapshots one object's poll answer, carrying the object's
+// provenance so a peer that installs the replied value can re-export it
+// with the loop-avoidance path and origin axis intact — the lateral-serving
+// half of the peer-face protocol. Locally produced values keep the zero
+// provenance (and the legacy frame encoding). Caller holds src.mu.
 func pollItemLocked(o *objState, epoch int64) wire.PollItem {
 	return wire.PollItem{
 		ObjectID:         o.id,
@@ -863,6 +918,11 @@ func pollItemLocked(o *objState, epoch int64) wire.PollItem {
 		Version:          o.version,
 		Epoch:            epoch,
 		LastModifiedUnix: o.lastUnix,
+		Origin:           o.prov.Origin,
+		Hops:             o.prov.Hops,
+		Via:              o.prov.Via,
+		OriginEpoch:      o.prov.Epoch,
+		OriginVersion:    o.prov.Version,
 	}
 }
 
@@ -982,6 +1042,15 @@ func (ss *syncSession) redial() bool {
 // re-ranked from that residual.
 func (ss *syncSession) flush(budget float64) float64 {
 	s := ss.src
+	if s.cfg.SuppressWithinThreshold {
+		// Observe work deferred by the within-threshold suppression replays
+		// here, before sendability is consulted — the deferral only ever
+		// moves bookkeeping to this point, never past a send decision.
+		now := s.now()
+		s.mu.Lock()
+		s.replayDeferredLocked(now)
+		s.mu.Unlock()
+	}
 	for budget >= 1 {
 		s.mu.Lock()
 		key, _, ok := ss.eng.ShouldSend()

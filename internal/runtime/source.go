@@ -68,6 +68,19 @@ type SourceConfig struct {
 	// Weight assigns refresh weights (importance × popularity) per object;
 	// nil means weight 1 for all.
 	Weight func(objectID string) float64
+	// SuppressWithinThreshold, when set, defers the per-session scheduling
+	// fan-out of an update that is PROVABLY within every live session's
+	// threshold: the canonical object state still advances (the store stays
+	// correct, polls answer the new value), but no observe/requeue work is
+	// spent until the next flush tick replays the deferred objects. Only
+	// exact-bound configurations are eligible — the value-deviation metric
+	// with the default delta, pure-push individual sessions — and any
+	// session outside that shape (hybrid, grouped, redialing, never-sent)
+	// disables the deferral for the update at hand, so behaviour never
+	// changes, only bookkeeping timing. Relays (Node) enable this: most
+	// re-exported refreshes are below-threshold jitter for every peer.
+	// Counted in SourceStats.SuppressedObserves.
+	SuppressWithinThreshold bool
 	// Group enables session-group delivery: push-policy destinations with
 	// the default share weight register into one SessionGroup that runs a
 	// single scheduling pass and a single encode per batch and fans the
@@ -97,6 +110,14 @@ type SourceStats struct {
 	// PollsAnswered counts poll requests answered across all sessions
 	// (cache-driven policies only).
 	PollsAnswered int
+	// PollOmits counts poll items withheld from replies across all
+	// sessions: split horizon (the poller is on the value's path) or a
+	// known-version hint proving the poller already at-or-ahead.
+	PollOmits int
+	// SuppressedObserves counts updates whose per-session scheduling
+	// fan-out was deferred because every live session was provably within
+	// its threshold (SourceConfig.SuppressWithinThreshold).
+	SuppressedObserves int
 	// Rebalances counts completed periodic re-allocation passes
 	// (SourceConfig.Rebalance).
 	Rebalances int
@@ -136,6 +157,10 @@ type objState struct {
 	// (nanoseconds) — the last-modified metadata a poll reply carries for
 	// the CGM1 estimator.
 	lastUnix int64
+	// deferred marks an object whose per-session observe fan-out was
+	// suppressed (SourceConfig.SuppressWithinThreshold); the next flush
+	// tick replays it from canonical state.
+	deferred bool
 }
 
 // Provenance describes where a re-exported value came from: the producing
@@ -179,6 +204,11 @@ type Source struct {
 	ids     []string // intern table: queue key → object id
 	idx     map[string]int
 	updates int
+	// suppressedObserves and deferredKeys implement
+	// SourceConfig.SuppressWithinThreshold: queue keys of objects whose
+	// observe fan-out was deferred, replayed by replayDeferredLocked.
+	suppressedObserves int
+	deferredKeys       []int
 	// bandwidth is the live total send budget; cfg.Bandwidth is only its
 	// initial value (SetBandwidth replaces it at runtime).
 	bandwidth  float64
@@ -669,6 +699,26 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 		return
 	}
 	key := s.idx[objectID]
+	if s.cfg.SuppressWithinThreshold && ok && s.group == nil && s.withinAllThresholdsLocked(o) {
+		// Every live session is provably within its threshold for this
+		// value: skip the whole scheduling fan-out. The canonical state
+		// above already advanced, so polls and later re-syncs see the new
+		// value; the next flush tick replays the object through
+		// observeLocked (idempotent over canonical state), at which point
+		// most such updates have been superseded or still need no send.
+		if !o.deferred {
+			o.deferred = true
+			s.deferredKeys = append(s.deferredKeys, key)
+		}
+		s.suppressedObserves++
+		return
+	}
+	if o.deferred {
+		// The update broke out of the threshold band (or eligibility):
+		// observe normally below — the fan-out reads canonical state, so
+		// one pass also covers everything deferred before it.
+		o.deferred = false
+	}
 	// The group observes once for its whole cohort — the O(1)-per-update
 	// dispatch that replaces the per-session loop below for grouped
 	// members. Both paths are allocation-free in steady state.
@@ -682,16 +732,80 @@ func (s *Source) updateLocked(objectID string, value float64, prov Provenance, n
 	}
 }
 
+// withinAllThresholdsLocked reports whether o's new value is PROVABLY
+// within every live session's current threshold — the precondition for
+// deferring the observe fan-out. Provable requires the exact-bound shape:
+// the value-deviation metric with the default |V1−V2| delta, and every
+// live session individual, push-only, connected, and with a known
+// last-sent value. Anything else (hybrid poll sets, group scheduling,
+// redial re-syncs, a never-sent object, a custom delta) makes the bound
+// unavailable and disables the deferral. Caller holds s.mu.
+func (s *Source) withinAllThresholdsLocked(o *objState) bool {
+	if s.cfg.Metric != metric.ValueDeviation || s.cfg.Delta != nil {
+		return false
+	}
+	key := s.idx[o.id]
+	for _, ss := range s.sessions {
+		if ss.ended {
+			continue
+		}
+		if ss.redialing || ss.grouped || ss.hyb != nil || key >= len(ss.objs) {
+			return false
+		}
+		so := ss.objs[key]
+		if so.sentVer == 0 {
+			return false
+		}
+		d := o.value - so.sentVal
+		if d < 0 {
+			d = -d
+		}
+		if d >= ss.eng.Threshold() {
+			return false
+		}
+	}
+	return true
+}
+
+// replayDeferredLocked re-runs the observe fan-out for every object whose
+// scheduling work was deferred by the within-threshold suppression. Called
+// at the top of each flush tick (and from Stats, so Pending stays
+// truthful); observeLocked reads canonical state, so replaying once covers
+// any number of suppressed updates. Caller holds s.mu.
+func (s *Source) replayDeferredLocked(now float64) {
+	if len(s.deferredKeys) == 0 {
+		return
+	}
+	for _, key := range s.deferredKeys {
+		o := s.objs[s.ids[key]]
+		if !o.deferred {
+			continue // superseded by an over-threshold update already observed
+		}
+		o.deferred = false
+		for _, ss := range s.sessions {
+			if !ss.ended && !ss.grouped {
+				ss.observeLocked(o, key, now)
+			}
+		}
+	}
+	s.deferredKeys = s.deferredKeys[:0]
+}
+
 // Stats returns a snapshot of protocol counters, aggregated and per
 // session.
 func (s *Source) Stats() SourceStats {
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Deferred observes would otherwise under-report Pending until the next
+	// flush tick; replaying here keeps the snapshot truthful.
+	s.replayDeferredLocked(now)
 	st := SourceStats{
-		Policy:     s.cfg.Policy.String(),
-		Updates:    s.updates,
-		Rebalances: s.rebalances,
-		Sessions:   make([]SessionStats, 0, len(s.sessions)),
+		Policy:             s.cfg.Policy.String(),
+		Updates:            s.updates,
+		Rebalances:         s.rebalances,
+		SuppressedObserves: s.suppressedObserves,
+		Sessions:           make([]SessionStats, 0, len(s.sessions)),
 	}
 	live := 0
 	for _, ss := range s.sessions {
@@ -700,6 +814,7 @@ func (s *Source) Stats() SourceStats {
 		st.Feedbacks += sess.Feedbacks
 		st.SendErrors += sess.SendErrors
 		st.PollsAnswered += sess.PollsAnswered
+		st.PollOmits += sess.PollOmits
 		if sess.Hybrid != nil {
 			if st.Hybrid == nil {
 				st.Hybrid = &HybridStats{}

@@ -301,6 +301,18 @@ func (s *tcpServer) PeerCooperates(sourceID string) bool {
 	return ok && sc.caps&wire.CapCooperative != 0
 }
 
+// PeerServesPeers reports whether the named source's current connection
+// advertised wire.CapPeer in its Hello. A poll scheduler consults this
+// before attaching known-version hints (wire.Poll.Known) to targeted
+// polls; a pre-peer decoder on the answering side would reject the
+// trailing Known segment as a bad frame, so the hints are capability-gated.
+func (s *tcpServer) PeerServesPeers(sourceID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc, ok := s.conns[sourceID]
+	return ok && sc.caps&wire.CapPeer != 0
+}
+
 // Sources implements CacheEndpoint.
 func (s *tcpServer) Sources() []string {
 	s.mu.Lock()

@@ -187,6 +187,16 @@ func (l *Local) PeerCooperates(sourceID string) bool {
 	return l.caps[sourceID]&wire.CapCooperative != 0
 }
 
+// PeerServesPeers reports whether the named source advertised wire.CapPeer
+// when it dialed. A poll scheduler consults this before attaching
+// known-version hints (wire.Poll.Known), which a pre-peer decoder would
+// reject as a bad frame.
+func (l *Local) PeerServesPeers(sourceID string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.caps[sourceID]&wire.CapPeer != 0
+}
+
 // Sources implements CacheEndpoint.
 func (l *Local) Sources() []string {
 	l.mu.Lock()

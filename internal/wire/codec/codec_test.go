@@ -77,6 +77,31 @@ func sampleHybridReply() wire.PollReply {
 	return r
 }
 
+// samplePeerReply pins the trailing per-item provenance segment a
+// peer-capable node emits when answering a poll from relayed state. The
+// push set is empty, so this also pins the explicit zero-count Pushed
+// segment that disambiguates the two trailers.
+func samplePeerReply() wire.PollReply {
+	r := sampleReply()
+	r.Items[0].Origin = "src-9"
+	r.Items[0].Hops = 2
+	r.Items[0].Via = []string{"relay-0", "relay-1"}
+	r.Items[0].OriginEpoch = 1700000000123
+	r.Items[0].OriginVersion = 77
+	return r
+}
+
+// samplePeerPoll pins the trailing known-version segment a polling cache
+// attaches for peer-capable answerers.
+func samplePeerPoll() wire.Poll {
+	p := samplePoll()
+	p.Known = []wire.KnownVersion{
+		{ObjectID: "s1/a", Origin: "src-9", Epoch: 1700000000123, Version: 76},
+		{ObjectID: "s1/b", Origin: "s1", Epoch: -4, Version: 0},
+	}
+	return p
+}
+
 // TestHelloCapabilityRoundTrip: the capability bit survives the codec, a
 // capability-less hello encodes byte-identically to the legacy format, and a
 // legacy (pre-capability) frame decodes with zero capabilities.
@@ -133,6 +158,80 @@ func TestReplyPushedRoundTrip(t *testing.T) {
 	}
 	if gotLegacy.Reply.Pushed != nil {
 		t.Errorf("legacy reply decoded with a pushed set: %+v", gotLegacy.Reply)
+	}
+}
+
+// TestReplyProvenanceRoundTrip: per-item provenance survives the codec (with
+// and without a non-empty pushed set), and a provenance-free reply stays
+// byte-identical to the legacy encoding.
+func TestReplyProvenanceRoundTrip(t *testing.T) {
+	var enc Encoder
+	for _, reply := range []wire.PollReply{
+		samplePeerReply(),
+		func() wire.PollReply { // provenance AND a pushed set together
+			r := samplePeerReply()
+			r.Pushed = []string{"s1/hot"}
+			return r
+		}(),
+	} {
+		got, err := NewDecoder(bytes.NewReader(enc.AppendReply(nil, reply))).ReadCacheBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Reply == nil || !reflect.DeepEqual(*got.Reply, reply) {
+			t.Errorf("peer reply round-trip:\n got %+v\nwant %+v", got.Reply, reply)
+		}
+	}
+
+	plain := sampleReply()
+	legacy := enc.AppendReply(nil, plain)
+	gotLegacy, err := NewDecoder(bytes.NewReader(legacy)).ReadCacheBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*gotLegacy.Reply, plain) {
+		t.Errorf("provenance-free reply drifted: %+v", gotLegacy.Reply)
+	}
+
+	// A hostile provenance index (out of range) is rejected: take a valid
+	// one-item reply, strip the frame header, append a zero-count pushed
+	// segment plus a one-entry provenance segment claiming item index 5,
+	// and reframe.
+	bad := enc.AppendReply(nil, wire.PollReply{SourceID: "s1", Items: []wire.PollItem{{ObjectID: "x"}}})
+	payload := append([]byte{}, bad[2:]...) // 2 = kind + 1-byte length prefix
+	payload = append(payload, 0 /* pushed count */, 1 /* prov count */, 5, 0, 0, 0, 0, 0)
+	reframed := append([]byte{KindReply, byte(len(payload))}, payload...)
+	if _, err := NewDecoder(bytes.NewReader(reframed)).ReadCacheBound(); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("out-of-range provenance index accepted: %v", err)
+	}
+}
+
+// TestPollKnownRoundTrip: the known-version segment survives the codec and a
+// hint-less poll stays byte-identical to the legacy encoding.
+func TestPollKnownRoundTrip(t *testing.T) {
+	var enc Encoder
+	poll := samplePeerPoll()
+	got, err := NewDecoder(bytes.NewReader(enc.AppendPoll(nil, poll))).ReadSourceBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Poll == nil || !reflect.DeepEqual(*got.Poll, poll) {
+		t.Errorf("peer poll round-trip:\n got %+v\nwant %+v", got.Poll, poll)
+	}
+
+	plain := samplePoll()
+	legacy := enc.AppendPoll(nil, plain)
+	withEmpty := plain
+	withEmpty.Known = []wire.KnownVersion{}
+	if !bytes.Equal(enc.AppendPoll(nil, withEmpty), legacy) {
+		t.Error("empty known set changed the poll encoding")
+	}
+	gotLegacy, err := NewDecoder(bytes.NewReader(legacy)).ReadSourceBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLegacy.Poll.Known != nil {
+		t.Errorf("legacy poll decoded with known hints: %+v", gotLegacy.Poll)
 	}
 }
 

@@ -309,7 +309,9 @@ func decodeReply(p *payload) (*wire.PollReply, error) {
 		return nil, err
 	}
 	// Optional trailing pushed-set segment (hybrid policy; absent on legacy
-	// frames and on every reply with an empty push set).
+	// frames and on every reply with an empty push set — unless the
+	// provenance segment below follows, which forces an explicit, possibly
+	// zero-count, pushed segment first).
 	if p.remaining() > 0 {
 		np, err := p.count(1)
 		if err != nil {
@@ -326,8 +328,62 @@ func decodeReply(p *payload) (*wire.PollReply, error) {
 			}
 		}
 	}
+	// Optional trailing per-item provenance segment (peer-capable answerers
+	// only): entries are keyed by item index, strictly increasing.
+	if p.remaining() > 0 {
+		np, err := p.count(minItemProvEnc)
+		if err != nil {
+			return nil, err
+		}
+		last := -1
+		for i := 0; i < np; i++ {
+			idx64, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			idx := int(idx64)
+			if idx64 >= uint64(len(r.Items)) || idx <= last {
+				return nil, badFrame("poll-reply provenance index %d out of order or range (items %d)", idx64, len(r.Items))
+			}
+			last = idx
+			it := &r.Items[idx]
+			if it.Origin, err = p.strSlot(&p.in.origin); err != nil {
+				return nil, err
+			}
+			hops, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			it.Hops = int(hops)
+			nVia, err := p.count(1)
+			if err != nil {
+				return nil, err
+			}
+			if nVia > 0 {
+				it.Via = make([]string, 0, sliceCap(nVia, 64))
+				for j := 0; j < nVia; j++ {
+					v, err := p.str()
+					if err != nil {
+						return nil, err
+					}
+					it.Via = append(it.Via, v)
+				}
+			}
+			if it.OriginEpoch, err = p.varint(); err != nil {
+				return nil, err
+			}
+			if it.OriginVersion, err = p.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &r, nil
 }
+
+// minItemProvEnc is the smallest encoded per-item provenance entry: item
+// index (1), empty origin (1), hops (1), via count (1), origin epoch (1),
+// origin version (1).
+const minItemProvEnc = 6
 
 // minHeldEnc is the smallest encoded HeldVersion: empty object id (1),
 // epoch (1), version (1).
@@ -388,5 +444,36 @@ func decodePoll(p *payload) (*wire.Poll, error) {
 	if pl.SentUnix, err = p.varint(); err != nil {
 		return nil, err
 	}
+	// Optional trailing known-version segment (peer-capable answerers only;
+	// absent on legacy frames and on every hint-less poll).
+	if p.remaining() > 0 {
+		n, err := p.count(minKnownEnc)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			pl.Known = make([]wire.KnownVersion, 0, sliceCap(n, 4096))
+			for i := 0; i < n; i++ {
+				var k wire.KnownVersion
+				if k.ObjectID, err = p.str(); err != nil {
+					return nil, err
+				}
+				if k.Origin, err = p.strSlot(&p.in.origin); err != nil {
+					return nil, err
+				}
+				if k.Epoch, err = p.varint(); err != nil {
+					return nil, err
+				}
+				if k.Version, err = p.uvarint(); err != nil {
+					return nil, err
+				}
+				pl.Known = append(pl.Known, k)
+			}
+		}
+	}
 	return &pl, nil
 }
+
+// minKnownEnc is the smallest encoded KnownVersion: empty object id (1),
+// empty origin (1), epoch (1), version (1).
+const minKnownEnc = 4

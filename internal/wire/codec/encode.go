@@ -65,15 +65,50 @@ func (e *Encoder) AppendReply(dst []byte, r wire.PollReply) []byte {
 	}
 	s = appendVarint(s, r.SentUnix)
 	// Pushed is an OPTIONAL TRAILING segment (hybrid policy only): written
-	// only when non-empty so legacy replies stay byte-identical.
-	if len(r.Pushed) > 0 {
+	// only when non-empty so legacy replies stay byte-identical. When any
+	// item carries origin provenance (a peer-capable node answering from
+	// relayed state) a second trailing segment follows, and then Pushed is
+	// ALWAYS written first — possibly with count 0 — so the two segments
+	// stay unambiguous: a legacy encoder never emits a zero-count Pushed.
+	nProv := 0
+	for i := range r.Items {
+		if itemHasProv(&r.Items[i]) {
+			nProv++
+		}
+	}
+	if len(r.Pushed) > 0 || nProv > 0 {
 		s = appendUvarint(s, uint64(len(r.Pushed)))
 		for _, id := range r.Pushed {
 			s = appendString(s, id)
 		}
 	}
+	if nProv > 0 {
+		s = appendUvarint(s, uint64(nProv))
+		for i := range r.Items {
+			it := &r.Items[i]
+			if !itemHasProv(it) {
+				continue
+			}
+			s = appendUvarint(s, uint64(i))
+			s = appendString(s, it.Origin)
+			s = appendVarint(s, int64(it.Hops))
+			s = appendUvarint(s, uint64(len(it.Via)))
+			for _, v := range it.Via {
+				s = appendString(s, v)
+			}
+			s = appendVarint(s, it.OriginEpoch)
+			s = appendUvarint(s, it.OriginVersion)
+		}
+	}
 	e.scratch = s
 	return e.appendFrame(dst, KindReply)
+}
+
+// itemHasProv reports whether a poll item carries relay provenance that the
+// reply must encode in the trailing provenance segment.
+func itemHasProv(it *wire.PollItem) bool {
+	return it.Origin != "" || it.Hops != 0 || len(it.Via) > 0 ||
+		it.OriginEpoch != 0 || it.OriginVersion != 0
 }
 
 // AppendFeedback appends a Feedback frame to dst.
@@ -97,7 +132,20 @@ func (e *Encoder) AppendPoll(dst []byte, p wire.Poll) []byte {
 	for _, id := range p.ObjectIDs {
 		s = appendString(s, id)
 	}
-	e.scratch = appendVarint(s, p.SentUnix)
+	s = appendVarint(s, p.SentUnix)
+	// Known is an OPTIONAL TRAILING segment (peer-capable answerers only):
+	// written only when non-empty so legacy polls stay byte-identical.
+	if len(p.Known) > 0 {
+		s = appendUvarint(s, uint64(len(p.Known)))
+		for i := range p.Known {
+			k := &p.Known[i]
+			s = appendString(s, k.ObjectID)
+			s = appendString(s, k.Origin)
+			s = appendVarint(s, k.Epoch)
+			s = appendUvarint(s, k.Version)
+		}
+	}
+	e.scratch = s
 	return e.appendFrame(dst, KindPoll)
 }
 

@@ -120,6 +120,10 @@ func seedInputs() [][]byte {
 		// stay stable).
 		enc.AppendHello(nil, sampleHelloCoop()),
 		enc.AppendReply(nil, sampleHybridReply()),
+		// Peer-face trailing segments: a reply with per-item provenance and
+		// a poll with known-version hints (appended, same rule).
+		enc.AppendReply(nil, samplePeerReply()),
+		enc.AppendPoll(nil, samplePeerPoll()),
 	}
 }
 
@@ -203,6 +207,17 @@ func FuzzRoundTrip(f *testing.F) {
 		if via != "" {
 			reply.Pushed = []string{via, object}
 		}
+		if origin != "" {
+			// Peer-face provenance on the item (with via != "" this also
+			// exercises pushed-set + provenance segments together).
+			reply.Items[0].Origin = origin
+			reply.Items[0].Hops = hops
+			reply.Items[0].OriginEpoch = oe
+			reply.Items[0].OriginVersion = ov
+			if via != "" {
+				reply.Items[0].Via = []string{via}
+			}
+		}
 		gotR, err := NewDecoder(bytes.NewReader(enc.AppendReply(nil, reply))).ReadCacheBound()
 		if err != nil {
 			t.Fatalf("decoding an encoded reply: %v", err)
@@ -213,6 +228,9 @@ func FuzzRoundTrip(f *testing.F) {
 			math.Float64bits(it.Value) != math.Float64bits(want.Value) ||
 			it.Version != want.Version || it.Epoch != want.Epoch ||
 			it.LastModifiedUnix != want.LastModifiedUnix ||
+			it.Origin != want.Origin || it.Hops != want.Hops ||
+			it.OriginEpoch != want.OriginEpoch || it.OriginVersion != want.OriginVersion ||
+			!reflect.DeepEqual(it.Via, want.Via) ||
 			!reflect.DeepEqual(gotR.Reply.Pushed, reply.Pushed) {
 			t.Fatalf("reply drifted:\n got %+v\nwant %+v", gotR.Reply, reply)
 		}
@@ -242,6 +260,9 @@ func FuzzRoundTrip(f *testing.F) {
 		poll := wire.Poll{CacheID: cache, SentUnix: sent}
 		if object != "" || source != "" {
 			poll.ObjectIDs = []string{object, source}
+		}
+		if origin != "" {
+			poll.Known = []wire.KnownVersion{{ObjectID: object, Origin: origin, Epoch: oe, Version: ov}}
 		}
 		gotP, err := NewDecoder(bytes.NewReader(enc.AppendPoll(nil, poll))).ReadSourceBound()
 		if err != nil {

@@ -80,6 +80,21 @@ var goldenCases = []struct {
 		decode: func(d *Decoder) (any, error) { return d.ReadCacheBound() },
 		want:   func() any { r := sampleHybridReply(); return wire.CacheBound{Reply: &r} }(),
 	},
+	{
+		// The trailing per-item provenance segment (peer-capable answerer),
+		// preceded by the explicit zero-count pushed segment.
+		file:   "poll_reply_peer.bin",
+		encode: func(e *Encoder) []byte { return e.AppendReply(nil, samplePeerReply()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadCacheBound() },
+		want:   func() any { r := samplePeerReply(); return wire.CacheBound{Reply: &r} }(),
+	},
+	{
+		// The trailing known-version hint segment on a targeted poll.
+		file:   "poll_known.bin",
+		encode: func(e *Encoder) []byte { return e.AppendPoll(nil, samplePeerPoll()) },
+		decode: func(d *Decoder) (any, error) { return d.ReadSourceBound() },
+		want:   func() any { p := samplePeerPoll(); return wire.SourceBound{Poll: &p} }(),
+	},
 }
 
 // TestGoldenFrames: the encoder must reproduce the checked-in frames

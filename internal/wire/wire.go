@@ -50,6 +50,15 @@ const (
 	// polling cache that sees it may stop polling objects the source's
 	// replies list in PollReply.Pushed — the poll→push promotion handshake.
 	CapCooperative uint64 = 1 << 0
+
+	// CapPeer advertises that the sender is a peer-capable node
+	// (runtime.Node): its store may hold relayed values, so its poll replies
+	// can carry per-item origin provenance (PollItem.Origin/Via/OriginEpoch/
+	// OriginVersion), and it understands Poll.Known held-version hints. A
+	// cache that sees it may attach Known entries to targeted polls; a cache
+	// that does not must not (a pre-peer binary decoder rejects the trailing
+	// segment as garbage).
+	CapPeer uint64 = 1 << 1
 )
 
 // Hello is the first message on a source→cache stream, registering the
@@ -65,6 +74,9 @@ type Hello struct {
 
 // Cooperates reports whether the hello advertises source cooperation.
 func (h Hello) Cooperates() bool { return h.Capabilities&CapCooperative != 0 }
+
+// ServesPeers reports whether the hello advertises a peer-capable node.
+func (h Hello) ServesPeers() bool { return h.Capabilities&CapPeer != 0 }
 
 // Validate checks the registration.
 func (h Hello) Validate() error {
@@ -215,16 +227,36 @@ type Feedback struct {
 	SentUnix int64
 }
 
+// KnownVersion is a held-version hint attached to a targeted Poll: "for this
+// object I already hold the value origin Origin stamped (Epoch, Version)".
+// The answering peer may omit (or answer Exists-only) objects the poller is
+// already at-or-ahead of ON THE SAME ORIGIN AXIS — epochs from different
+// origins are incomparable, so a hint whose Origin differs from the
+// answerer's copy never suppresses anything. Purely advisory: ignoring hints
+// only costs redundant reply items, never correctness.
+type KnownVersion struct {
+	ObjectID string
+	Origin   string // origin node of the held copy (never empty)
+	Epoch    int64  // origin-axis epoch of the held copy
+	Version  uint64 // origin-axis version of the held copy
+}
+
 // Poll is a cache-driven synchronization request (the Cho & Garcia-Molina
 // baseline of Section 6.3): the cache asks the source for the current value
 // of the named objects. An EMPTY ObjectIDs list is the discovery poll — the
 // source answers with its whole store, which is how a polling cache learns
 // the object universe. CacheID identifies the polling cache (sessions learn
 // the peer identity from it exactly as they do from feedback).
+//
+// Known optionally carries held-version hints for (a subset of) the polled
+// objects, so a peer-capable answerer (CapPeer) can suppress items the
+// poller already holds. Only sent to peers that advertised CapPeer; always
+// nil on discovery polls and legacy frames.
 type Poll struct {
 	CacheID   string
 	ObjectIDs []string
 	SentUnix  int64
+	Known     []KnownVersion
 }
 
 // Validate checks a poll message. An empty object list is valid (discovery);
@@ -235,6 +267,14 @@ func (p Poll) Validate() error {
 			return fmt.Errorf("wire: poll object[%d] has empty id", i)
 		}
 	}
+	for i := range p.Known {
+		if p.Known[i].ObjectID == "" {
+			return fmt.Errorf("wire: poll known[%d] has empty object id", i)
+		}
+		if p.Known[i].Origin == "" {
+			return fmt.Errorf("wire: poll known[%d] has empty origin", i)
+		}
+	}
 	return nil
 }
 
@@ -243,13 +283,44 @@ func (p Poll) Validate() error {
 // update — the last-modified metadata the CGM1 estimator consumes. Exists
 // is false when the source holds no such object (the value fields are then
 // zero and carry no information).
+//
+// When the answering node is itself a cache holding a RELAYED copy (a
+// runtime.Node serving a neighbor's poll laterally), the provenance fields
+// mirror Refresh's: Origin names the node the value was first produced on,
+// Hops/Via the relay path already traversed to REACH the answerer (serving a
+// poll adds no hop; the asker's own re-export appends itself), and
+// OriginEpoch/OriginVersion the origin version axis. All zero when the
+// answerer is the origin — exactly like a direct Refresh.
 type PollItem struct {
 	ObjectID         string
 	Exists           bool
 	Value            float64
 	Version          uint64
 	Epoch            int64
-	LastModifiedUnix int64 // nanoseconds; 0 = never updated
+	LastModifiedUnix int64    // nanoseconds; 0 = never updated
+	Origin           string   // originating node for relayed copies; empty = answerer
+	Hops             int      // relay tiers traversed to reach the answerer
+	Via              []string // relay path to the answerer, oldest first
+	OriginEpoch      int64    // origin-axis epoch (0 = direct; use Epoch)
+	OriginVersion    uint64   // origin-axis version (with OriginEpoch 0: use Version)
+}
+
+// OriginID returns the id of the node the item's value was first produced
+// on, given the id of the source that answered the poll.
+func (it PollItem) OriginID(sourceID string) string {
+	if it.Origin != "" {
+		return it.Origin
+	}
+	return sourceID
+}
+
+// OriginAxis returns the (epoch, version) the value had at its origin,
+// mirroring Refresh.OriginAxis.
+func (it PollItem) OriginAxis() (epoch int64, version uint64) {
+	if it.OriginEpoch != 0 {
+		return it.OriginEpoch, it.OriginVersion
+	}
+	return it.Epoch, it.Version
 }
 
 // PollReply answers one Poll: the requested objects' current state, batched
@@ -279,6 +350,9 @@ func (p PollReply) Validate() error {
 	for i := range p.Items {
 		if p.Items[i].ObjectID == "" {
 			return fmt.Errorf("wire: poll reply item[%d] has empty object id", i)
+		}
+		if p.Items[i].Hops < 0 {
+			return fmt.Errorf("wire: poll reply item[%d] has negative hop count %d", i, p.Items[i].Hops)
 		}
 	}
 	return nil
