@@ -115,6 +115,7 @@ func main() {
 	rebalance := flag.Duration("rebalance", 0, "relay mode: periodic share re-allocation interval (child shares from observed feedback/divergence; with -total-bandwidth also the up/down face split; 0 = static)")
 	maxHops := flag.Int("max-hops", 8, "relay mode: drop re-exports past this many relay tiers")
 	group := flag.Bool("group", false, "relay mode: session-group fan-out toward default-weight children (one scheduling pass, one encode per batch)")
+	splice := flag.Bool("splice", true, "relay mode with -group: zero-copy re-export — splice-patch retained inbound binary frames onto the child face instead of decoding and re-encoding (falls back automatically where ineligible)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http mux")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	snapshotPath := flag.String("snapshot", "", "optional snapshot file (loaded at boot, saved periodically and on shutdown)")
@@ -232,6 +233,7 @@ func main() {
 			MaxHops:        *maxHops,
 			ChildPolicy:    childPolicy,
 			Group:          runtime.GroupConfig{Enabled: *group},
+			SpliceForward:  *group && *splice,
 		}, ep, dests)
 		if err != nil {
 			log.Fatalf("cachesyncd: %v", err)
@@ -358,6 +360,10 @@ func main() {
 				if g := rst.Downstream.Group; g != nil {
 					fmt.Printf("  group members=%d batches=%d delivered=%d fallbacks=%d detaches=%d rejoins=%d overruns=%d share=%.3g/s\n",
 						g.Members, g.Batches, g.Delivered, g.Fallbacks, g.Detaches, g.Rejoins, g.QueueOverruns, g.MemberShare)
+				}
+				if rst.SplicedBatches > 0 || rst.SpliceFallbacks > 0 {
+					fmt.Printf("  splice batches=%d refreshes=%d fallbacks=%d\n",
+						rst.SplicedBatches, rst.SplicedRefreshes, rst.SpliceFallbacks)
 				}
 				for _, sess := range rst.Downstream.Sessions {
 					ended := ""

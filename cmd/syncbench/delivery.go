@@ -29,10 +29,29 @@ type deliverySink struct {
 	bytes  atomic.Int64 // egress bytes (encoded size)
 	fb     chan wire.Feedback
 	polls  chan wire.Poll
+	// progress is pulsed (non-blocking, cap 1) after every counter update so
+	// a lockstep driver can block on delivery instead of sleep-polling: timer
+	// sleeps burn measurable process CPU in wakeups, and they burn more in
+	// whichever mode waits longer — a bias a CPU-differential benchmark like
+	// the relay-cost scenario cannot afford.
+	progress chan struct{}
 }
 
 func newDeliverySink(id string) *deliverySink {
-	return &deliverySink{id: id, fb: make(chan wire.Feedback, 4), polls: make(chan wire.Poll)}
+	return &deliverySink{
+		id:       id,
+		fb:       make(chan wire.Feedback, 4),
+		polls:    make(chan wire.Poll),
+		progress: make(chan struct{}, 1),
+	}
+}
+
+// pulse wakes a driver blocked on progress; counters are already updated.
+func (s *deliverySink) pulse() {
+	select {
+	case s.progress <- struct{}{}:
+	default:
+	}
 }
 
 // ack plays the part of an underloaded cache: positive feedback after each
@@ -55,6 +74,7 @@ func (s *deliverySink) SendBatch(rs []wire.Refresh) error {
 	s.bytes.Add(int64(len(f.Bytes())))
 	f.Release()
 	s.sent.Add(int64(len(rs)))
+	s.pulse()
 	s.ack()
 	return nil
 }
@@ -62,6 +82,7 @@ func (s *deliverySink) SendBatch(rs []wire.Refresh) error {
 func (s *deliverySink) SendFrame(f *codec.Frame) error {
 	s.bytes.Add(int64(len(f.Bytes())))
 	s.frames.Add(1)
+	s.pulse()
 	s.ack()
 	return nil
 }

@@ -73,7 +73,17 @@ func runHierarchyMode(leaves, objects int, rate, bandwidth float64, duration tim
 				nodeRes.NodeID, nodeRes.Tier, nodeRes.Applied, nodeRes.MeanDivergence)
 		}
 	}
-	if err := writeBenchJSON("BENCH_hierarchy.json", results); err != nil {
+	// The relay-hop delivery-cost scenario rides the hierarchy benchmark: it
+	// isolates the forward path the topology runs above measure end to end.
+	relayCost := runRelayCost(leaves, 64, 2048)
+	rows := make([]any, 0, len(results)+len(relayCost))
+	for _, r := range results {
+		rows = append(rows, r)
+	}
+	for _, r := range relayCost {
+		rows = append(rows, r)
+	}
+	if err := writeBenchJSON("BENCH_hierarchy.json", rows); err != nil {
 		fmt.Printf("syncbench: writing BENCH_hierarchy.json: %v\n", err)
 		return
 	}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHierarchyBenchSchema is the CI smoke for -hierarchy: a short run must
+// measure both topologies on both transports plus the relay-hop delivery-cost
+// scenario, and emit a BENCH_hierarchy.json whose rows parse with exactly the
+// documented schemas (docs/operations.md) — the file mixes hierarchyResult
+// and relayCostResult rows, discriminated by the scenario prefix. Unknown
+// fields in the file mean the docs lag the code, a decode error the reverse.
+// It also pins the splice-forwarding PR's headline properties: the splice
+// scenario forwards every batch through the splice path (no fallbacks) and
+// records a forward-cost comparison against the classic re-encode path.
+func TestHierarchyBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	runHierarchyMode(2, 24, 400, 120, 600*time.Millisecond)
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_hierarchy.json"))
+	if err != nil {
+		t.Fatalf("BENCH_hierarchy.json not written: %v", err)
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("BENCH_hierarchy.json is not a JSON array: %v", err)
+	}
+	var hier []hierarchyResult
+	var relay []relayCostResult
+	for i, row := range raw {
+		var peek struct {
+			Scenario string `json:"scenario"`
+		}
+		if err := json.Unmarshal(row, &peek); err != nil {
+			t.Fatalf("row %d: no scenario discriminator: %v", i, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(row))
+		dec.DisallowUnknownFields()
+		if strings.HasPrefix(peek.Scenario, "relay-") {
+			var r relayCostResult
+			if err := dec.Decode(&r); err != nil {
+				t.Fatalf("row %d (%s) does not match the relay-cost schema: %v", i, peek.Scenario, err)
+			}
+			relay = append(relay, r)
+		} else {
+			var r hierarchyResult
+			if err := dec.Decode(&r); err != nil {
+				t.Fatalf("row %d (%s) does not match the hierarchy schema: %v", i, peek.Scenario, err)
+			}
+			hier = append(hier, r)
+		}
+	}
+
+	if len(hier) != 4 {
+		t.Fatalf("got %d hierarchy scenarios, want 4 (tree/flat x local/tcp)", len(hier))
+	}
+	for _, r := range hier {
+		if r.Leaves != 2 || r.Objects != 24 || r.TotalBandwidth != 120 {
+			t.Errorf("%s: config = %d leaves / %d objects / %.0f msgs/s", r.Scenario, r.Leaves, r.Objects, r.TotalBandwidth)
+		}
+		if r.DurationS <= 0 || r.Updates == 0 {
+			t.Errorf("%s: empty measurement (duration %v, updates %d)", r.Scenario, r.DurationS, r.Updates)
+		}
+		wantNodes := r.Leaves + 1 // relay or hub + leaves
+		if len(r.PerNode) != wantNodes {
+			t.Errorf("%s: %d per-node rows, want %d", r.Scenario, len(r.PerNode), wantNodes)
+		}
+		if r.Topology == "tree" && r.RelayForwarded == 0 {
+			t.Errorf("%s: relay forwarded nothing", r.Scenario)
+		}
+	}
+
+	if len(relay) != 3 {
+		t.Fatalf("got %d relay-cost scenarios, want 3 (apply, classic, splice)", len(relay))
+	}
+	byMode := map[string]relayCostResult{}
+	for _, r := range relay {
+		byMode[r.Mode] = r
+		if r.BatchSize != 64 || r.Batches == 0 {
+			t.Errorf("%s: shape = batch %d x %d batches", r.Scenario, r.BatchSize, r.Batches)
+		}
+		if r.RelayCPUNsPerRefresh <= 0 {
+			t.Errorf("%s: no CPU measured", r.Scenario)
+		}
+	}
+	apply, ok := byMode["apply"]
+	if !ok {
+		t.Fatal("relay-apply scenario missing")
+	}
+	if apply.Children != 0 || apply.DeliveredFrames != 0 || apply.ForwardCPUNsPerRefresh != 0 {
+		t.Errorf("apply baseline has forward traffic (children %d, frames %d, fwd %f)",
+			apply.Children, apply.DeliveredFrames, apply.ForwardCPUNsPerRefresh)
+	}
+	for _, mode := range []string{"classic", "splice"} {
+		r, ok := byMode[mode]
+		if !ok {
+			t.Fatalf("relay-%s scenario missing", mode)
+		}
+		if r.Children != 2 || r.DeliveredFrames == 0 || r.Forwarded == 0 {
+			t.Errorf("%s: no forward traffic measured (children %d, frames %d, forwarded %d)",
+				r.Scenario, r.Children, r.DeliveredFrames, r.Forwarded)
+		}
+	}
+	splice := byMode["splice"]
+	if splice.SplicedBatches == 0 || splice.SplicedRefreshes == 0 {
+		t.Errorf("splice: nothing went through the splice path (batches %d, refreshes %d)",
+			splice.SplicedBatches, splice.SplicedRefreshes)
+	}
+	if splice.SpliceFallbacks != 0 {
+		t.Errorf("splice: %d batches fell back to the classic path", splice.SpliceFallbacks)
+	}
+	if classic := byMode["classic"]; classic.SplicedBatches != 0 {
+		t.Errorf("classic: %d batches took the splice path with splicing disabled", classic.SplicedBatches)
+	}
+	if splice.SpeedupVsClassic <= 0 {
+		t.Errorf("splice: no speedup recorded against the classic path")
+	}
+}

@@ -17,6 +17,12 @@
 //	-csv DIR   also write each table as CSV files under DIR
 //	-list      list experiment ids and exit
 //
+//	-cpuprofile FILE  write a pprof CPU profile of the selected mode
+//	-memprofile FILE  write a pprof heap profile at exit
+//
+// The profiling flags work in every mode (experiments and benchmarks alike);
+// inspect the output with `go tool pprof`.
+//
 // With -throughput the experiments are skipped and syncbench instead
 // benchmarks the live runtime (internal/runtime) end to end: N producer
 // goroutines stream refreshes into a cache node, once with the single-lock
@@ -72,12 +78,49 @@ import (
 	"os"
 	"path/filepath"
 	stdruntime "runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"bestsync/internal/experiments"
 )
+
+// startProfiles starts the optional pprof outputs (-cpuprofile/-memprofile).
+// The returned stop function ends the CPU profile and snapshots the heap; it
+// must run after the selected mode finishes.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "syncbench: -memprofile: %v\n", err)
+				return
+			}
+			stdruntime.GC() // up-to-date allocation stats in the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "syncbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
 
 // parseScale parses the -scale flag: comma-separated positive destination
 // counts for the delivery-cost scenarios. An empty string means skip them.
@@ -133,14 +176,25 @@ func main() {
 	fanRate := flag.Float64("rate", 500, "fanout/hierarchy mode: source update rate (updates/second)")
 	fanBW := flag.Float64("bandwidth", 200, "fanout/hierarchy mode: total send budget (messages/second)")
 	hierarchy := flag.Bool("hierarchy", false, "benchmark the source -> relay -> N leaves tree vs flat 1 -> N+1 fan-out instead of experiments")
-	hierLeaves := flag.Int("leaves", 3, "hierarchy mode: leaf cache count below the relay")
+	hierLeaves := flag.Int("leaves", 3, "hierarchy/relaycost mode: leaf cache count below the relay")
+	relaycost := flag.Bool("relaycost", false, "run only the relay-hop delivery-cost scenario (splice vs classic forwarding; also part of -hierarchy)")
+	relayBatches := flag.Int("relay-batches", 2048, "relaycost mode: measured batches per scenario")
 	topology := flag.Bool("topology", false, "benchmark the peer-face topology shapes (direct tree vs ring vs mesh at equal total budget) instead of experiments")
 	topoNodes := flag.Int("nodes", 6, "topology mode: cache node count per shape")
 	dynamic := flag.Bool("dynamic", false, "benchmark static vs adaptive share allocation under skewed and churning destinations instead of experiments")
 	policy := flag.Bool("policy", false, "benchmark the sync policies (push vs hybrid vs ideal/CGM1/CGM2 cache-driven polling) at equal message budget instead of experiments")
 	resolveEvery := flag.Duration("resolve-every", 500*time.Millisecond, "policy mode: poll re-estimation/re-allocation epoch")
 	zipfFlag := flag.String("zipf", "", "policy mode: comma-separated Zipf exponents (each > 1) adding skewed-workload sweep points (empty = uniform workload only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected mode to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "syncbench: -cpuprofile: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *policy {
 		zipf, err := parseZipf(*zipfFlag)
@@ -157,6 +211,10 @@ func main() {
 	}
 	if *dynamic {
 		runDynamicMode(*fanCaches, *tpObjects, *fanRate, *fanBW, *tpDur)
+		return
+	}
+	if *relaycost {
+		runRelayCost(*hierLeaves, *tpBatch, *relayBatches)
 		return
 	}
 	if *hierarchy {

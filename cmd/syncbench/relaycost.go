@@ -1,0 +1,274 @@
+package main
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"bestsync/internal/core"
+	"bestsync/internal/metric"
+	"bestsync/internal/runtime"
+	"bestsync/internal/transport"
+	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
+)
+
+// Relay-hop scenario modes: the apply-only baseline (a plain cache, no
+// children — everything below it is cost both forward paths share), the
+// classic decode→re-schedule→re-encode re-export, and splice forwarding.
+const (
+	relayModeApply   = "apply"
+	relayModeClassic = "classic"
+	relayModeSplice  = "splice"
+)
+
+// relayCostResult is one relay-hop delivery-cost measurement. The totals
+// (relay_cpu_ns_per_refresh, allocs_per_refresh) cover the whole hop — apply
+// plus re-export; the forward_* fields subtract the apply-only baseline run,
+// isolating what the re-export machinery itself costs per refresh. The
+// speedup compares the classic and splice FORWARD costs, since the shared
+// apply path is identical by construction.
+type relayCostResult struct {
+	Scenario                string  `json:"scenario"` // relay-apply | relay-classic | relay-splice
+	Mode                    string  `json:"mode"`     // apply | classic | splice
+	Children                int     `json:"children"`
+	BatchSize               int     `json:"batch_size"`
+	Batches                 int     `json:"batches"` // measured batches (after warmup)
+	Forwarded               int     `json:"forwarded"`
+	SplicedBatches          int     `json:"spliced_batches"`
+	SplicedRefreshes        int     `json:"spliced_refreshes"`
+	SpliceFallbacks         int     `json:"splice_fallbacks"`
+	DeliveredFrames         int64   `json:"delivered_frames"`
+	EgressBytes             int64   `json:"egress_bytes"`
+	RelayCPUNsPerRefresh    float64 `json:"relay_cpu_ns_per_refresh"`
+	AllocsPerRefresh        float64 `json:"allocs_per_refresh"`
+	AllocBytesPerRefresh    float64 `json:"alloc_bytes_per_refresh"`
+	ForwardCPUNsPerRefresh  float64 `json:"forward_cpu_ns_per_refresh,omitempty"`
+	ForwardAllocsPerRefresh float64 `json:"forward_allocs_per_refresh,omitempty"`
+	SpeedupVsClassic        float64 `json:"speedup_vs_classic,omitempty"`
+}
+
+// relayFeed is a synthetic intake endpoint: pre-encoded framed batches are
+// pushed straight into the relay's apply pipeline, exactly what a binary TCP
+// server hands over after its decode — so the measurement window contains
+// only the relay's own work (apply + re-export + child delivery), not the
+// upstream sender's encode.
+type relayFeed struct {
+	batches   chan transport.InboundBatch
+	closeOnce sync.Once
+}
+
+func newRelayFeed(depth int) *relayFeed {
+	return &relayFeed{batches: make(chan transport.InboundBatch, depth)}
+}
+
+func (f *relayFeed) Batches() <-chan transport.InboundBatch   { return f.batches }
+func (f *relayFeed) SendFeedback(string, wire.Feedback) error { return nil }
+func (f *relayFeed) Sources() []string                        { return []string{"up"} }
+func (f *relayFeed) Close() error {
+	f.closeOnce.Do(func() { close(f.batches) })
+	return nil
+}
+
+// runRelayCost measures the relay forward path at the issue's pinned shape —
+// framed batches of batchSize refreshes, every one over-threshold — with
+// splice forwarding on and off, against an apply-only baseline, and reports
+// CPU ns and heap allocations per forwarded refresh.
+func runRelayCost(children, batchSize, batches int) []relayCostResult {
+	fmt.Printf("\n# relay-hop delivery cost: framed batch-%d intake -> %d children, %d batches; forward = total - apply-only baseline\n\n",
+		batchSize, children, batches)
+	fmt.Printf("%-14s %9s %15s %13s %13s %12s %9s\n",
+		"scenario", "children", "cpu ns/refresh", "fwd ns/refr", "allocs/refr", "fwd allocs", "speedup")
+	apply := measureRelayCost(relayModeApply, 0, batchSize, batches)
+	classic := measureRelayCost(relayModeClassic, children, batchSize, batches)
+	splice := measureRelayCost(relayModeSplice, children, batchSize, batches)
+	diff := func(r *relayCostResult) {
+		r.ForwardCPUNsPerRefresh = max(0, r.RelayCPUNsPerRefresh-apply.RelayCPUNsPerRefresh)
+		r.ForwardAllocsPerRefresh = max(0, r.AllocsPerRefresh-apply.AllocsPerRefresh)
+	}
+	diff(&classic)
+	diff(&splice)
+	if classic.ForwardCPUNsPerRefresh > 0 && splice.ForwardCPUNsPerRefresh > 0 {
+		splice.SpeedupVsClassic = classic.ForwardCPUNsPerRefresh / splice.ForwardCPUNsPerRefresh
+	}
+	printRelayCostRow(apply)
+	printRelayCostRow(classic)
+	printRelayCostRow(splice)
+	return []relayCostResult{apply, classic, splice}
+}
+
+func printRelayCostRow(r relayCostResult) {
+	fwdNs, fwdAllocs, speedup := "-", "-", "-"
+	if r.Mode != relayModeApply {
+		fwdNs = fmt.Sprintf("%.0f", r.ForwardCPUNsPerRefresh)
+		fwdAllocs = fmt.Sprintf("%.3f", r.ForwardAllocsPerRefresh)
+	}
+	if r.SpeedupVsClassic > 0 {
+		speedup = fmt.Sprintf("%.1fx", r.SpeedupVsClassic)
+	}
+	fmt.Printf("%-14s %9d %15.0f %13s %13.2f %12s %9s\n",
+		r.Scenario, r.Children, r.RelayCPUNsPerRefresh, fwdNs, r.AllocsPerRefresh, fwdAllocs, speedup)
+}
+
+// measureRelayCost runs one relay-hop scenario over pre-encoded framed
+// batches. In the node modes each batch waits for full delivery before the
+// next, so the classic path's flush-tick coalescing cannot shrink its
+// workload and both forward modes deliver exactly batches x batchSize
+// refreshes; the apply baseline has no deliveries to pace against and waits
+// on the applied counter instead. The clock is process CPU time, so the
+// waits cost nothing; heap cost is the Mallocs delta across the window, with
+// GC disabled inside it so collector work does not smear across modes.
+// Frames are pre-built before the window starts — encoding them is the
+// upstream tier's cost, not this hop's.
+func measureRelayCost(mode string, children, batchSize, batches int) relayCostResult {
+	sinks := make([]*deliverySink, children)
+	dests := make([]runtime.Destination, children)
+	for i := range sinks {
+		id := fmt.Sprintf("child-%d", i)
+		sinks[i] = newDeliverySink(id)
+		dests[i] = runtime.Destination{CacheID: id, Conn: sinks[i]}
+	}
+	feed := newRelayFeed(4)
+	cacheCfg := runtime.CacheConfig{Bandwidth: 5e7, Tick: 100 * time.Millisecond, Shards: 1}
+
+	var node *runtime.Node
+	var cache *runtime.Cache
+	if mode == relayModeApply {
+		cacheCfg.ID = "relay"
+		cache = runtime.NewCache(cacheCfg, feed)
+	} else {
+		var err error
+		node, err = runtime.NewNode(runtime.NodeConfig{
+			ID:            "relay",
+			Intake:        cacheCfg,
+			PeerBandwidth: 5e7,
+			Tick:          time.Millisecond,
+			Metric:        metric.ValueDeviation,
+			// Pin the threshold low so every refresh in the workload is
+			// over-threshold: the scenario measures delivery cost, not
+			// suppression.
+			Params:        core.Params{Alpha: 1, Omega: 1, InitialThreshold: 1e-6, DisableBeta: true},
+			Group:         runtime.GroupConfig{Enabled: true},
+			SpliceForward: mode == relayModeSplice,
+		}, feed, dests)
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// Pre-build every inbound batch: batchSize objects whose values step by
+	// 1 per round (always over the pinned threshold) on an advancing origin
+	// axis, shaped like a hop from an upstream relay ("up", one Via entry).
+	const warmup = 8
+	now := time.Now().UnixNano()
+	names := make([]string, batchSize)
+	for i := range names {
+		names[i] = fmt.Sprintf("up/obj-%03d", i)
+	}
+	ins := make([]transport.InboundBatch, warmup+batches)
+	for b := range ins {
+		rs := make([]wire.Refresh, batchSize)
+		for i := range rs {
+			rs[i] = wire.Refresh{
+				SourceID:      "up",
+				ObjectID:      names[i],
+				CacheID:       "relay",
+				Origin:        "origin",
+				Hops:          1,
+				Via:           []string{"up"},
+				OriginEpoch:   7,
+				OriginVersion: uint64(b + 1),
+				Value:         float64(b),
+				Version:       uint64(b + 1),
+				Epoch:         7,
+				Threshold:     1e-6,
+				SentUnix:      now,
+			}
+		}
+		ins[b] = transport.InboundBatch{
+			RefreshBatch: wire.RefreshBatch{Refreshes: rs, SentUnix: now},
+			Frame:        codec.NewBatchFrame(rs, now),
+		}
+	}
+
+	// Lockstep pacing blocks on the sinks' progress pulses rather than
+	// sleep-polling: timer sleeps cost process CPU in wakeups, and the mode
+	// that waits longer per batch (classic, a flush tick) would be billed
+	// more of them — a bias the CPU differential cannot afford. A watchdog
+	// turns a genuinely undelivered frame into a panic instead of a hang.
+	watchdog := time.AfterFunc(60*time.Second, func() {
+		panic(fmt.Sprintf("syncbench: relay-cost %s stalled waiting for delivery", mode))
+	})
+	defer watchdog.Stop()
+	feedOne := func(in transport.InboundBatch, expect int64) {
+		feed.batches <- in
+		for _, s := range sinks {
+			for s.frames.Load() < expect {
+				<-s.progress
+			}
+		}
+	}
+	// The baseline feeds without delivery pacing; completion is one wait at
+	// the end for the cache's applied counter to reach the fed count.
+	waitApplied := func(total int) {
+		for cache.Stats().Refreshes < total {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			feedOne(ins[i], int64(i+1))
+		}
+		if cache != nil {
+			waitApplied(hi * batchSize)
+		}
+	}
+
+	run(0, warmup)
+	gc := debug.SetGCPercent(-1)
+	stdruntime.GC()
+	var m0, m1 stdruntime.MemStats
+	stdruntime.ReadMemStats(&m0)
+	cpu0 := processCPUNs()
+	run(warmup, len(ins))
+	cpuNs := processCPUNs() - cpu0
+	stdruntime.ReadMemStats(&m1)
+	debug.SetGCPercent(gc)
+
+	res := relayCostResult{
+		Scenario:  "relay-" + mode,
+		Mode:      mode,
+		Children:  children,
+		BatchSize: batchSize,
+		Batches:   batches,
+	}
+	if node != nil {
+		st := node.Stats()
+		res.Forwarded = st.Forwarded
+		res.SplicedBatches = st.SplicedBatches
+		res.SplicedRefreshes = st.SplicedRefreshes
+		res.SpliceFallbacks = st.SpliceFallbacks
+		node.Close()
+	} else {
+		cache.Close()
+	}
+	feed.Close()
+
+	refreshes := batches * batchSize
+	for _, s := range sinks {
+		res.DeliveredFrames += s.frames.Load()
+		res.EgressBytes += s.bytes.Load()
+	}
+	if refreshes > 0 {
+		res.RelayCPUNsPerRefresh = float64(cpuNs) / float64(refreshes)
+		res.AllocsPerRefresh = float64(m1.Mallocs-m0.Mallocs) / float64(refreshes)
+		res.AllocBytesPerRefresh = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(refreshes)
+	}
+	if mode == relayModeSplice && res.SpliceFallbacks > 0 {
+		fmt.Printf("# relay-splice: %d batches fell back to the classic path\n", res.SpliceFallbacks)
+	}
+	return res
+}

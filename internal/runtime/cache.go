@@ -70,6 +70,7 @@ import (
 	"bestsync/internal/core"
 	"bestsync/internal/transport"
 	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
 )
 
 // CacheConfig configures a live cache node.
@@ -121,6 +122,19 @@ type CacheConfig struct {
 	// workers. This is the re-export hook a Relay uses to turn applied
 	// refreshes into updates for its own downstream tier.
 	OnApply func([]wire.Refresh)
+	// OnForward, when non-nil, replaces OnApply for batches that arrive
+	// with a retained wire frame (transport.InboundBatch.Frame): once every
+	// shard worker has finished the batch, it is called exactly once with
+	// the batch's refreshes, the retained frame, and a keep mask aligned
+	// 1:1 with both (keep[i] is true iff rs[i] was actually installed —
+	// stale drops and Reject hits are false). Ownership of the frame
+	// reference transfers to the hook, which must Release it. Unlike
+	// OnApply it runs outside any shard lock but also outside apply order
+	// across batches — consumers needing per-object ordering must re-check
+	// against their own state. Frameless batches are unaffected and keep
+	// the OnApply contract. This is the splice-forwarding entry: a Relay
+	// uses it to re-export the inbound bytes without re-encoding.
+	OnForward func(rs []wire.Refresh, frame *codec.Frame, keep []bool)
 	// Reject, when non-nil, is consulted by the dispatcher for every
 	// incoming refresh before it reaches the apply path; returning true
 	// drops it (counted in CacheStats.Rejected). The piggybacked threshold
@@ -205,12 +219,71 @@ type shardStats struct {
 	divergence float64
 }
 
+// applyTask is one unit of work on a shard queue: either a plain refresh
+// slice (the classic path) or a framed batch's slice of indices into the
+// shared batchRef (the splice-forwarding path, where the keep mask must stay
+// aligned with the retained frame).
+type applyTask struct {
+	rs   []wire.Refresh // plain path; nil when ref is set
+	ref  *batchRef      // framed path: shared per-batch state
+	idxs []int          // framed path: indices into ref.rs owned by this shard
+}
+
+// batchRef is the shared state of one framed batch in flight across shard
+// workers. The last worker to finish (pending hits zero) fires OnForward,
+// handing over the frame reference. Refs are pooled: the keep mask and the
+// per-shard index buckets are reused across batches, so OnForward's rs/keep
+// arguments are valid only for the duration of the call (the hook decodes
+// or copies what it needs before returning — n.onForward does).
+type batchRef struct {
+	c       *Cache
+	rs      []wire.Refresh
+	frame   *codec.Frame
+	keep    []bool
+	parts   [][]int
+	pending atomic.Int32
+}
+
+var batchRefPool = sync.Pool{New: func() any { return new(batchRef) }}
+
+// grabBatchRef readies a pooled ref for a framed batch: keep mask zeroed to
+// length len(rs), one (emptied) index bucket per shard.
+func (c *Cache) grabBatchRef(rs []wire.Refresh, frame *codec.Frame) *batchRef {
+	b := batchRefPool.Get().(*batchRef)
+	b.c, b.rs, b.frame = c, rs, frame
+	if cap(b.keep) < len(rs) {
+		b.keep = make([]bool, len(rs))
+	}
+	b.keep = b.keep[:len(rs)]
+	clear(b.keep)
+	if cap(b.parts) < len(c.shards) {
+		b.parts = make([][]int, len(c.shards))
+	}
+	b.parts = b.parts[:len(c.shards)]
+	for i := range b.parts {
+		b.parts[i] = b.parts[i][:0]
+	}
+	return b
+}
+
+func (b *batchRef) done() {
+	if b.pending.Add(-1) == 0 {
+		b.c.cfg.OnForward(b.rs, b.frame, b.keep)
+		b.recycle()
+	}
+}
+
+func (b *batchRef) recycle() {
+	b.c, b.rs, b.frame = nil, nil, nil
+	batchRefPool.Put(b)
+}
+
 // shard is one independent slice of the cache store.
 type shard struct {
 	mu    sync.Mutex
 	store map[string]Entry
 	stats shardStats
-	queue chan []wire.Refresh
+	queue chan applyTask
 	// acks buffers held-version acknowledgements per sender — the origin
 	// axis of entries this shard applied from relayed refreshes, or held
 	// on to while dropping a sender's stale re-send. The dispatcher's
@@ -300,7 +373,7 @@ func NewCache(cfg CacheConfig, ep transport.CacheEndpoint) *Cache {
 	for i := range c.shards {
 		c.shards[i] = &shard{
 			store: map[string]Entry{},
-			queue: make(chan []wire.Refresh, cfg.ShardQueue),
+			queue: make(chan applyTask, cfg.ShardQueue),
 		}
 		c.wg.Add(1)
 		go c.worker(c.shards[i])
@@ -542,7 +615,7 @@ func (c *Cache) loop() {
 // dispatch observes piggybacked thresholds and fans a batch's refreshes out
 // to the owning shards. Shard-queue sends block when a worker is behind
 // (back-pressure) but abort on shutdown.
-func (c *Cache) dispatch(b wire.RefreshBatch) {
+func (c *Cache) dispatch(b transport.InboundBatch) {
 	c.mu.Lock()
 	for i := range b.Refreshes {
 		r := &b.Refreshes[i]
@@ -555,6 +628,15 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 		}
 	}
 	c.mu.Unlock()
+	if b.Frame != nil && c.cfg.OnForward != nil {
+		c.dispatchFramed(b)
+		return
+	}
+	if b.Frame != nil {
+		// Nobody downstream wants the bytes; drop the reference now rather
+		// than thread it through the plain path.
+		b.Frame.Release()
+	}
 	if c.cfg.Reject != nil {
 		kept := b.Refreshes[:0]
 		for _, r := range b.Refreshes {
@@ -573,6 +655,71 @@ func (c *Cache) dispatch(b wire.RefreshBatch) {
 		}
 	}
 	c.fanout(b.Refreshes)
+}
+
+// dispatchFramed routes a framed batch to the shards without compacting the
+// refresh slice: the keep mask (not slice surgery) records Reject hits and
+// stale drops, so index i of the mask, the refreshes, and the retained
+// frame's encoded items always line up. The last shard worker to finish
+// fires OnForward exactly once.
+func (c *Cache) dispatchFramed(b transport.InboundBatch) {
+	rs := b.Refreshes
+	ref := c.grabBatchRef(rs, b.Frame)
+	keep := ref.keep
+	rejected := 0
+	live := 0
+	for i := range rs {
+		if c.cfg.Reject != nil && c.cfg.Reject(rs[i]) {
+			rejected++
+			continue
+		}
+		keep[i] = true
+		live++
+	}
+	if rejected > 0 {
+		c.mu.Lock()
+		c.rejected += rejected
+		c.mu.Unlock()
+	}
+	if live == 0 {
+		b.Frame.Release()
+		ref.recycle()
+		return
+	}
+	if len(c.shards) == 1 {
+		idxs := ref.parts[0]
+		for i := range rs {
+			if keep[i] {
+				idxs = append(idxs, i)
+			}
+		}
+		ref.parts[0] = idxs
+		ref.pending.Store(1)
+		c.outstanding.Add(int64(live))
+		c.enqueue(c.shards[0], applyTask{ref: ref, idxs: idxs})
+		return
+	}
+	parts := ref.parts
+	for i := range rs {
+		if !keep[i] {
+			continue
+		}
+		si := c.shardIndex(rs[i].ObjectID)
+		parts[si] = append(parts[si], i)
+	}
+	n := int32(0)
+	for _, p := range parts {
+		if len(p) > 0 {
+			n++
+		}
+	}
+	ref.pending.Store(n)
+	c.outstanding.Add(int64(live))
+	for si, p := range parts {
+		if len(p) > 0 {
+			c.enqueue(c.shards[si], applyTask{ref: ref, idxs: p})
+		}
+	}
 }
 
 // installPolled is the poll scheduler's entry into the apply path: the
@@ -611,7 +758,7 @@ func (c *Cache) installPolled(rs []wire.Refresh) {
 func (c *Cache) fanout(rs []wire.Refresh) {
 	c.outstanding.Add(int64(len(rs)))
 	if len(c.shards) == 1 {
-		c.enqueue(c.shards[0], rs)
+		c.enqueue(c.shards[0], applyTask{rs: rs})
 		return
 	}
 	parts := make([][]wire.Refresh, len(c.shards))
@@ -621,24 +768,42 @@ func (c *Cache) fanout(rs []wire.Refresh) {
 	}
 	for i, p := range parts {
 		if len(p) > 0 {
-			c.enqueue(c.shards[i], p)
+			c.enqueue(c.shards[i], applyTask{rs: p})
 		}
 	}
 }
 
-func (c *Cache) enqueue(sh *shard, rs []wire.Refresh) {
+func (c *Cache) enqueue(sh *shard, t applyTask) {
 	select {
-	case sh.queue <- rs:
+	case sh.queue <- t:
 	case <-c.stop:
+		// Shutdown abort: a framed batch's OnForward never fires (pending
+		// never drains), stranding the frame's pool object — harmless, the
+		// process is winding down.
 	}
 }
 
 // worker drains one shard's queue, applying refreshes under the shard lock
-// and reporting the applied ones to the OnApply hook outside it.
+// and reporting the applied ones to the OnApply hook (plain tasks) or, via
+// the batch countdown, the OnForward hook (framed tasks) outside it.
 func (c *Cache) worker(sh *shard) {
 	defer c.wg.Done()
-	for rs := range sh.queue {
+	for t := range sh.queue {
 		now := c.cfg.Now()
+		if t.ref != nil {
+			ref := t.ref
+			sh.mu.Lock()
+			for _, i := range t.idxs {
+				if !c.applyLocked(sh, ref.rs[i], now) {
+					ref.keep[i] = false
+				}
+			}
+			sh.mu.Unlock()
+			c.outstanding.Add(-int64(len(t.idxs)))
+			ref.done()
+			continue
+		}
+		rs := t.rs
 		var applied []wire.Refresh
 		sh.mu.Lock()
 		for _, r := range rs {

@@ -78,6 +78,13 @@ type GroupStats struct {
 	// outbound queue exceeding GroupConfig.Queue.
 	QueueOverruns int
 	SendErrors    int64
+	// SplicedBatches counts broadcasts that bypassed the flush scheduler
+	// entirely: a relay's inbound frame was splice-patched and fanned to
+	// the cohort directly from the apply path (Source.forwardSpliced).
+	// SplicedRefreshes counts the refreshes those broadcasts carried (both
+	// are also folded into Batches/Scheduled).
+	SplicedBatches   int
+	SplicedRefreshes int
 	// Pending and Threshold describe the shared scheduling engine.
 	Pending   int
 	Threshold float64
@@ -176,23 +183,33 @@ type SessionGroup struct {
 	cfg GroupConfig
 
 	// Guarded by src.mu.
-	eng        *core.Source
-	objs       []*groupObj // parallel to src.ids
-	members    []*syncSession
-	rate       float64 // per-member share, msgs/s (aggregate / members)
-	demand     float64 // Σ tracker.Current() (rebalancer signal)
-	feedbacks  int     // member feedback heard while grouped
-	windowFb   int     // feedbacks already folded into the rebalancer
-	batches    int
-	scheduled  int
-	fallbacks  int
-	detaches   int
-	rejoins    int
-	overruns   int
-	next       int                 // round-robin worker assignment cursor
-	restricted map[string]struct{} // per-batch split-horizon identity set (reused)
-	planBuf    []memberPlan        // per-batch plan scratch (reused)
-	overrunBuf []*syncSession      // per-batch overrun scratch (reused)
+	eng       *core.Source
+	objs      []*groupObj // parallel to src.ids
+	members   []*syncSession
+	rate      float64 // per-member share, msgs/s (aggregate / members)
+	demand    float64 // Σ tracker.Current() (rebalancer signal)
+	feedbacks int     // member feedback heard while grouped
+	windowFb  int     // feedbacks already folded into the rebalancer
+	batches   int
+	scheduled int
+	fallbacks int
+	detaches  int
+	rejoins   int
+	overruns  int
+	// budget is the group's shared send-token bucket, accrued at the
+	// per-member rate by accrueLocked and spent one token per scheduled
+	// refresh by both the flush ticker (broadcastOnce) and the splice
+	// fast path (Source.forwardSpliced) — one bucket, so splicing never
+	// overspends the share the rebalancer granted the group.
+	budget     float64
+	lastAccrue float64 // protocol time of the last budget accrual
+	// splicedBatches/splicedRefreshes count forwardSpliced broadcasts.
+	splicedBatches   int
+	splicedRefreshes int
+	next             int                 // round-robin worker assignment cursor
+	restricted       map[string]struct{} // per-batch split-horizon identity set (reused)
+	planBuf          []memberPlan        // per-batch plan scratch (reused)
+	overrunBuf       []*syncSession      // per-batch overrun scratch (reused)
 
 	// Atomics shared with the sender workers.
 	delivered  atomic.Int64
@@ -215,6 +232,7 @@ func newSessionGroup(s *Source, cfg GroupConfig) *SessionGroup {
 		cfg:        cfg,
 		eng:        core.NewSource(0, s.cfg.Params, core.PositiveFeedback),
 		restricted: map[string]struct{}{},
+		lastAccrue: s.now(),
 		done:       make(chan struct{}),
 	}
 	g.workers = make([]*groupWorker, cfg.Workers)
@@ -363,53 +381,53 @@ func (g *SessionGroup) requeueLocked(o *objState, key int, now float64) {
 // per-session tickers and per-Batcher flush timers. Budget accrues at the
 // PER-MEMBER rate: one scheduled refresh reaches every member, so charging
 // the aggregate rate per broadcast would overspend egress by the member
-// count.
+// count. The bucket itself lives on the group (g.budget) so the splice
+// fast path spends from the same allowance between ticks.
 func (g *SessionGroup) loop() {
 	defer close(g.done)
 	s := g.src
 	ticker := time.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
-	budget := 0.0
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			s.mu.Lock()
-			rate := g.rate
-			s.mu.Unlock()
-			burst := tokenBurst(rate, s.cfg.Tick)
-			budget += rate * s.cfg.Tick.Seconds()
-			if budget > burst {
-				budget = burst
+			for g.broadcastOnce() {
 			}
-			budget = g.flush(budget)
 		}
 	}
 }
 
-// flush broadcasts over-threshold objects while budget remains.
-func (g *SessionGroup) flush(budget float64) float64 {
-	for budget >= 1 {
-		if !g.broadcastOnce(&budget) {
-			return budget
-		}
+// accrueLocked tops the shared token bucket up for the time elapsed since
+// the last accrual, clamped to the burst allowance. Called at the top of
+// every spend site (broadcastOnce, forwardSpliced) rather than only on the
+// tick, so splice broadcasts landing between ticks draw on real elapsed
+// budget instead of a stale snapshot. Caller holds src.mu.
+func (g *SessionGroup) accrueLocked(now float64) {
+	dt := now - g.lastAccrue
+	if dt <= 0 {
+		return
 	}
-	return budget
+	g.lastAccrue = now
+	g.budget += g.rate * dt
+	if burst := tokenBurst(g.rate, g.src.cfg.Tick); g.budget > burst {
+		g.budget = burst
+	}
 }
 
 // broadcastOnce runs one scheduling pass and fans the resulting batch to
 // every member: the shared refresh slice is built and committed under the
 // source mutex, the frame is encoded once outside it, and each member's
 // send is queued to its sharded worker. Returns false when nothing was over
-// threshold.
+// threshold or the token bucket ran dry.
 //
 // Shared sent-state is committed at schedule time, not delivery time: the
 // group never retries or reschedules for one member. A member that misses a
 // batch — excluded, queue-overrun, send failed, detached mid-flight — is
 // healed by its individual re-sync path, the same contract redial has
 // always had.
-func (g *SessionGroup) broadcastOnce(budget *float64) bool {
+func (g *SessionGroup) broadcastOnce() bool {
 	s := g.src
 	now := s.now()
 	b := groupBatchPool.Get().(*groupBatch)
@@ -417,9 +435,10 @@ func (g *SessionGroup) broadcastOnce(budget *float64) bool {
 	b.refs.Store(1) // the flusher's own reference, dropped after enqueueing
 
 	s.mu.Lock()
+	g.accrueLocked(now)
 	sentUnix := s.cfg.Now().UnixNano()
 	epoch := s.started.UnixNano()
-	for *budget >= 1 && len(b.rs) < g.cfg.MaxBatch {
+	for g.budget >= 1 && len(b.rs) < g.cfg.MaxBatch {
 		key, _, ok := g.eng.ShouldSend()
 		if !ok {
 			g.eng.SetLimited(false)
@@ -452,7 +471,7 @@ func (g *SessionGroup) broadcastOnce(budget *float64) bool {
 		g.eng.OnRefreshSent(now)
 		g.eng.ClampThreshold()
 		g.scheduled++
-		*budget--
+		g.budget--
 	}
 	if len(b.rs) == 0 {
 		s.mu.Unlock()
@@ -689,17 +708,19 @@ func (g *SessionGroup) close() {
 // statsLocked snapshots the group counters. Caller holds src.mu.
 func (g *SessionGroup) statsLocked() GroupStats {
 	return GroupStats{
-		Members:       len(g.members),
-		Batches:       g.batches,
-		Scheduled:     g.scheduled,
-		Delivered:     g.delivered.Load(),
-		Fallbacks:     g.fallbacks,
-		Detaches:      g.detaches,
-		Rejoins:       g.rejoins,
-		QueueOverruns: g.overruns,
-		SendErrors:    g.sendErrors.Load(),
-		Pending:       g.eng.Queue.Len(),
-		Threshold:     g.eng.Threshold(),
-		MemberShare:   g.rate,
+		Members:          len(g.members),
+		Batches:          g.batches,
+		Scheduled:        g.scheduled,
+		Delivered:        g.delivered.Load(),
+		Fallbacks:        g.fallbacks,
+		Detaches:         g.detaches,
+		Rejoins:          g.rejoins,
+		QueueOverruns:    g.overruns,
+		SendErrors:       g.sendErrors.Load(),
+		SplicedBatches:   g.splicedBatches,
+		SplicedRefreshes: g.splicedRefreshes,
+		Pending:          g.eng.Queue.Len(),
+		Threshold:        g.eng.Threshold(),
+		MemberShare:      g.rate,
 	}
 }

@@ -77,6 +77,16 @@ type NodeConfig struct {
 	// Group configures session-group fan-out on the peer face
 	// (SourceConfig.Group).
 	Group GroupConfig
+	// SpliceForward enables the zero-copy relay fast path: when the intake
+	// transport can retain inbound binary frames (transport.FrameRetainer),
+	// applied batches are re-exported by splice-patching the retained frame
+	// — eligible items' bytes copied verbatim, only the per-hop fields
+	// rewritten — and fanning the result through the session group, instead
+	// of decoding, re-observing and re-encoding every refresh. Requires
+	// group delivery on a push peer face with the value-deviation metric;
+	// every other shape falls back to the classic path transparently (see
+	// docs/algorithm-specifications.md §14).
+	SpliceForward bool
 	// Now overrides the clock for both faces (tests); defaults to
 	// time.Now.
 	Now func() time.Time
@@ -107,6 +117,15 @@ type NodeStats struct {
 	// HopLimited counts refreshes dropped from re-export because
 	// forwarding would exceed MaxHops.
 	HopLimited int
+	// SplicedBatches counts apply batches re-exported over the zero-copy
+	// splice path (NodeConfig.SpliceForward); SplicedRefreshes counts the
+	// refreshes those batches broadcast. SpliceFallbacks counts framed
+	// batches that arrived splice-eligible but fell back whole to the
+	// classic decode→update→re-encode path (no group members, wrong
+	// policy/metric shape, unparseable frame).
+	SplicedBatches   int
+	SplicedRefreshes int
+	SpliceFallbacks  int
 	// IntakeBandwidth and PeerBandwidth are the current face budgets.
 	IntakeBandwidth float64
 	PeerBandwidth   float64
@@ -147,6 +166,10 @@ type Node struct {
 	hopLimited int
 	suppressed int  // apply batches not re-exported (no live peers)
 	storeAhead bool // suppression happened: the source's objs lag the store
+	// Splice-forwarding counters (NodeConfig.SpliceForward).
+	splicedBatches   int
+	splicedRefreshes int
+	spliceFallbacks  int
 	// Face-rebalance state (TotalBandwidth + Rebalance): smoothed
 	// contribution scores per face, the operator's configured split as
 	// base weights, and the observation-window marks.
@@ -242,6 +265,16 @@ func NewNode(cfg NodeConfig, intake transport.CacheEndpoint, peers []Destination
 	cacheCfg.Now = cfg.Now
 	cacheCfg.OnApply = n.reexport
 	cacheCfg.Reject = n.rejectCycle
+	if cfg.SpliceForward {
+		// Zero-copy re-export: ask the intake transport to retain inbound
+		// binary frames and route framed apply batches through the splice
+		// hook. Transports without frame retention (Local, gob) simply never
+		// produce a retained frame, so every batch takes the classic path.
+		cacheCfg.OnForward = n.onForward
+		if fr, ok := intake.(transport.FrameRetainer); ok {
+			fr.RetainFrames(true)
+		}
+	}
 	n.cache = NewCache(cacheCfg, intake)
 	n.upBW = n.cache.Bandwidth()
 	n.downBW = cfg.PeerBandwidth
@@ -383,6 +416,7 @@ func (n *Node) reexport(applied []wire.Refresh) {
 		return
 	}
 	var looped, hopLimited int
+	memo := viaMemo{id: n.cfg.ID}
 	updates := make([]RelayedUpdate, 0, len(applied))
 	for _, ref := range applied {
 		origin := ref.OriginID()
@@ -401,8 +435,10 @@ func (n *Node) reexport(applied []wire.Refresh) {
 			hopLimited++
 			continue
 		}
-		via := make([]string, 0, len(ref.Via)+1)
-		via = append(append(via, ref.Via...), n.cfg.ID)
+		// One appended path per distinct inbound Via in the batch (almost
+		// always exactly one — everything arrived through the same
+		// upstream), not one allocation per refresh.
+		via := memo.path(ref.Via)
 		oe, ov := ref.OriginAxis() // preserved unchanged across every hop
 		updates = append(updates, RelayedUpdate{
 			ObjectID: ref.ObjectID,
@@ -486,6 +522,9 @@ func (n *Node) Stats() NodeStats {
 	st.Looped = n.looped
 	st.HopLimited = n.hopLimited
 	st.SuppressedBatches = n.suppressed
+	st.SplicedBatches = n.splicedBatches
+	st.SplicedRefreshes = n.splicedRefreshes
+	st.SpliceFallbacks = n.spliceFallbacks
 	st.IntakeBandwidth = n.upBW
 	st.PeerBandwidth = n.downBW
 	st.FaceRebalances = n.faceRebalances

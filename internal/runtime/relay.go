@@ -60,6 +60,11 @@ type RelayConfig struct {
 	Hybrid HybridConfig
 	// Group configures session-group fan-out on the downstream face.
 	Group GroupConfig
+	// SpliceForward enables the zero-copy re-export fast path: inbound
+	// binary frames are retained and splice-patched straight onto the
+	// downstream face instead of being decoded and re-encoded per hop (see
+	// NodeConfig.SpliceForward).
+	SpliceForward bool
 	// Now overrides the clock for both faces (tests); defaults to
 	// time.Now.
 	Now func() time.Time
@@ -98,6 +103,11 @@ type RelayStats struct {
 	// HopLimited counts refreshes dropped from re-export because
 	// forwarding would exceed MaxHops.
 	HopLimited int
+	// SplicedBatches/SplicedRefreshes/SpliceFallbacks count the zero-copy
+	// re-export path (RelayConfig.SpliceForward); see NodeStats.
+	SplicedBatches   int
+	SplicedRefreshes int
+	SpliceFallbacks  int
 	// UpBandwidth and DownBandwidth are the current face budgets: the
 	// cache face's processing rate and the child face's send rate. With
 	// TotalBandwidth set they move on every face rebalance pass;
@@ -146,6 +156,7 @@ func NewRelay(cfg RelayConfig, upstream transport.CacheEndpoint, children []Dest
 		PeerPolicy:     cfg.ChildPolicy,
 		Hybrid:         cfg.Hybrid,
 		Group:          cfg.Group,
+		SpliceForward:  cfg.SpliceForward,
 		Now:            cfg.Now,
 	}, upstream, children)
 	if err != nil {
@@ -197,6 +208,9 @@ func (r *Relay) Stats() RelayStats {
 		ThresholdSuppressed: ns.ThresholdSuppressed,
 		Looped:              ns.Looped,
 		HopLimited:          ns.HopLimited,
+		SplicedBatches:      ns.SplicedBatches,
+		SplicedRefreshes:    ns.SplicedRefreshes,
+		SpliceFallbacks:     ns.SpliceFallbacks,
 		UpBandwidth:         ns.IntakeBandwidth,
 		DownBandwidth:       ns.PeerBandwidth,
 		FaceRebalances:      ns.FaceRebalances,

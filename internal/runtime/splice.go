@@ -1,0 +1,429 @@
+// Splice forwarding: the relay re-export hot path that shares the retained
+// inbound frame between the apply pipeline and the peer-face broadcast.
+//
+// The classic path decodes every inbound refresh, re-observes it per session
+// and re-encodes a fresh frame for the children — paying the full codec cost
+// twice per hop even though most bytes are forwarded verbatim. When a batch
+// arrives with its retained wire frame (transport.InboundBatch.Frame), the
+// node instead parses the frame into per-item byte ranges (codec.BatchView)
+// and assembles the outgoing frame by copying eligible items' bytes and
+// patching only the per-hop fields: SourceID stamp, Hops+1, Via append-self,
+// re-issued Version/Epoch/Threshold/SentUnix, preserved origin axis. The
+// spliced frame is byte-identical to what decode→patch→codec.NewBatchFrame
+// would produce (pinned by FuzzSpliceForward), so receivers cannot tell the
+// difference.
+//
+// Eligibility and fallback (see docs/algorithm-specifications.md §14): the
+// fast path requires an attached session group, the push policy, the
+// value-deviation metric with the default delta, and a parseable canonical
+// frame; anything else — and every individual (non-grouped) session, gob
+// member, held-ack or split-horizon exclusion, threshold-suppressed or
+// budget-starved item — falls back to the classic machinery per batch, per
+// member, or per item without changing what any receiver observes.
+package runtime
+
+import (
+	"slices"
+	"sync"
+
+	"bestsync/internal/metric"
+	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
+)
+
+// spliceScratch is the per-batch working state of one onForward call,
+// pooled so the hot path allocates nothing per batch once warm. It plays the
+// role the SessionGroup's shared planBuf/overrunBuf/workerBuf scratch plays
+// for the flusher — but the splice path runs on cache shard workers,
+// concurrently with the flusher and with other shards' batches, so the
+// scratch must be call-owned rather than group-owned. Slices are resized,
+// never cleared: every consumer writes before it reads (provs and versions
+// are only read at indices the keep mask selects, which the loop assigned).
+type spliceScratch struct {
+	memo     viaMemo
+	provs    []Provenance
+	versions []uint64
+	plan     []memberPlan
+	overrun  []*syncSession
+	buckets  [][]sendItem
+}
+
+var spliceScratchPool = sync.Pool{New: func() any { return new(spliceScratch) }}
+
+// grab readies a pooled scratch for a batch of n refreshes.
+func (sc *spliceScratch) grab(id string, n int) {
+	sc.memo.id = id
+	sc.memo.in = sc.memo.in[:0]
+	sc.memo.out = sc.memo.out[:0]
+	if cap(sc.provs) < n {
+		sc.provs = make([]Provenance, n)
+	}
+	sc.provs = sc.provs[:n]
+	if cap(sc.versions) < n {
+		sc.versions = make([]uint64, n)
+	}
+	sc.versions = sc.versions[:n]
+}
+
+// viaMemo builds the forwarded Via path (inbound path + self) once per
+// distinct inbound path in a batch: every refresh of an apply batch that
+// took the same route shares one backing array instead of allocating its
+// own copy per refresh. Provenance paths are never mutated downstream
+// (every consumer copies on append), so the sharing is safe.
+type viaMemo struct {
+	id  string
+	in  [][]string
+	out [][]string
+}
+
+// path returns via + [self], memoized by path content. The memo is a linear
+// scan: a batch almost always carries one distinct inbound path (everything
+// came through the same upstream), rarely a handful.
+func (v *viaMemo) path(via []string) []string {
+	for i, k := range v.in {
+		if slices.Equal(k, via) {
+			return v.out[i]
+		}
+	}
+	p := make([]string, 0, len(via)+1)
+	p = append(append(p, via...), v.id)
+	v.in = append(v.in, via)
+	v.out = append(v.out, p)
+	return p
+}
+
+// onForward is the framed-batch re-export hook (CacheConfig.OnForward): the
+// splice-forwarding counterpart of reexport. rs, keep and the retained
+// frame's encoded items are index-aligned; keep[i] marks refreshes the
+// intake actually installed. The hook owns the frame reference.
+func (n *Node) onForward(rs []wire.Refresh, frame *codec.Frame, keep []bool) {
+	if n.src.LiveDestinations() == 0 {
+		n.mu.Lock()
+		n.suppressed++
+		n.storeAhead = true
+		n.mu.Unlock()
+		frame.Release()
+		return
+	}
+	// Refine the mask with the re-export guards (same rules as reexport):
+	// loop check and hop ceiling both clear keep[i], which excludes the item
+	// from the spliced frame AND from the peer-face update — exactly the
+	// classic path's `continue`.
+	var looped, hopLimited, live int
+	sc := spliceScratchPool.Get().(*spliceScratch)
+	sc.grab(n.cfg.ID, len(rs))
+	provs := sc.provs
+	for i := range rs {
+		if !keep[i] {
+			continue
+		}
+		ref := &rs[i]
+		origin := ref.OriginID()
+		if origin == n.cfg.ID || slices.Contains(ref.Via, n.cfg.ID) {
+			looped++ // defense in depth; rejectCycle already filters these
+			keep[i] = false
+			continue
+		}
+		hops := ref.Hops
+		if l := len(ref.Via); l > hops {
+			hops = l
+		}
+		if hops+1 > n.cfg.MaxHops {
+			hopLimited++
+			keep[i] = false
+			continue
+		}
+		oe, ov := ref.OriginAxis()
+		provs[i] = Provenance{Origin: origin, Hops: hops + 1, Via: sc.memo.path(ref.Via), Epoch: oe, Version: ov}
+		live++
+	}
+	if live == 0 {
+		spliceScratchPool.Put(sc)
+		frame.Release()
+		n.mu.Lock()
+		n.looped += looped
+		n.hopLimited += hopLimited
+		n.mu.Unlock()
+		return
+	}
+	scheduled, handled := n.src.forwardSpliced(rs, frame, keep, sc)
+	frame.Release()
+	if !handled {
+		// Classic path: one UpdateFromAll round-trip, re-encode at flush.
+		updates := make([]RelayedUpdate, 0, live)
+		for i := range rs {
+			if keep[i] {
+				updates = append(updates, RelayedUpdate{ObjectID: rs[i].ObjectID, Value: rs[i].Value, Prov: provs[i]})
+			}
+		}
+		n.src.UpdateFromAll(updates)
+	}
+	spliceScratchPool.Put(sc)
+	n.mu.Lock()
+	n.forwarded += live
+	n.looped += looped
+	n.hopLimited += hopLimited
+	if handled {
+		n.splicedBatches++
+		n.splicedRefreshes += scheduled
+	} else {
+		n.spliceFallbacks++
+	}
+	n.mu.Unlock()
+}
+
+// forwardSpliced attempts the splice broadcast of one applied batch. rs,
+// keep and provs are index-aligned with the retained frame's encoded items;
+// keep[i] marks the applied, forward-eligible refreshes. It returns handled
+// = false when the whole batch is ineligible — no session group, wrong
+// policy/metric shape, or an unparseable/non-canonical frame — in which
+// case nothing happened and the caller runs the classic UpdateFromAll path.
+//
+// When handled, every kept item advanced the canonical object state under
+// one lock acquisition, and each item either boarded the spliced frame
+// (scheduled, counted in the return) or fell back to the normal scheduling
+// machinery (within the group threshold, out of send budget, or stale
+// against a concurrently applied newer copy — the per-item fallback the
+// docs' matrix describes). The frame reference stays with the CALLER; the
+// spliced output is an independent frame, so the inbound one may be
+// released as soon as this returns.
+func (s *Source) forwardSpliced(rs []wire.Refresh, frame *codec.Frame, keep []bool, sc *spliceScratch) (scheduled int, handled bool) {
+	g := s.group
+	if g == nil || s.cfg.Policy != PolicyPush || s.cfg.Metric != metric.ValueDeviation || s.cfg.Delta != nil {
+		return 0, false
+	}
+	view, err := codec.ParseBatchFrame(frame.Bytes())
+	if err != nil {
+		return 0, false
+	}
+	defer view.Release()
+	if view.Len() != len(rs) {
+		return 0, false // frame/batch drift; the transport contract makes this unreachable
+	}
+	now := s.now()
+	nowUnix := s.cfg.Now().UnixNano()
+	provs, versions := sc.provs, sc.versions
+
+	s.mu.Lock()
+	if len(g.members) == 0 {
+		s.mu.Unlock()
+		return 0, false
+	}
+	g.accrueLocked(now)
+	threshold := g.eng.Threshold()
+	for i := range rs {
+		if !keep[i] {
+			continue
+		}
+		o, ok := s.objs[rs[i].ObjectID]
+		if !ok {
+			o = &objState{id: rs[i].ObjectID, firstAt: now}
+			s.objs[o.id] = o
+			s.idx[o.id] = len(s.ids)
+			s.ids = append(s.ids, o.id)
+			g.objs = append(g.objs, &groupObj{})
+			for _, ss := range s.sessions {
+				if !ss.ended && !ss.grouped {
+					ss.objs = append(ss.objs, &sessObj{})
+				}
+			}
+		} else if o.prov.Epoch != 0 && o.prov.Origin == provs[i].Origin &&
+			(provs[i].Epoch < o.prov.Epoch ||
+				(provs[i].Epoch == o.prov.Epoch && provs[i].Version <= o.prov.Version)) {
+			// Batch-level forwarding completes out of apply order across
+			// batches: a later batch touching the same object may have
+			// advanced the canonical state already. At-or-behind on the
+			// origin axis means this item is superseded — skip it (the
+			// newer copy was or will be forwarded by its own batch).
+			keep[i] = false
+			continue
+		}
+		o.value = rs[i].Value
+		o.version++
+		o.updates++
+		o.prov = provs[i]
+		o.lastUnix = nowUnix
+		s.updates++
+		key := s.idx[o.id]
+		if o.deferred {
+			o.deferred = false
+		}
+		// Individual (non-grouped) sessions keep the classic observe path.
+		for _, ss := range s.sessions {
+			if !ss.ended && !ss.grouped {
+				ss.observeLocked(o, key, now)
+			}
+		}
+		gobj := g.objs[key]
+		send := gobj.sentVer == 0 // never broadcast: members hold no copy
+		if !send {
+			d := o.value - gobj.sentVal
+			if d < 0 {
+				d = -d
+			}
+			send = d >= threshold
+		}
+		if !send || g.budget < 1 {
+			// Within threshold or out of budget: the normal scheduling
+			// machinery picks the object up at the next flush tick.
+			g.observeLocked(o, key, now)
+			keep[i] = false
+			continue
+		}
+		g.budget--
+		g.demand -= gobj.tracker.Current()
+		gobj.sentVal, gobj.sentVer = o.value, o.version
+		gobj.tracker.Reset(now, 0)
+		g.eng.Queue.Remove(key)
+		g.eng.OnRefreshSent(now)
+		g.eng.ClampThreshold()
+		g.scheduled++
+		scheduled++
+		versions[i] = o.version
+	}
+	if scheduled == 0 {
+		// Everything deferred to the classic scheduler — still handled: the
+		// canonical state advanced and every observe ran.
+		s.mu.Unlock()
+		return 0, true
+	}
+	_, _, want := g.eng.ShouldSend()
+	g.eng.SetLimited(want)
+	g.batches++
+	g.splicedBatches++
+	g.splicedRefreshes += scheduled
+
+	fp := codec.ForwardPatch{
+		SourceID:  s.cfg.ID,
+		Epoch:     s.started.UnixNano(),
+		Threshold: g.eng.Threshold(),
+		SentUnix:  nowUnix,
+	}
+	// Split-horizon pre-pass over the OUTGOING provenance (origin + via,
+	// which already ends with this node's id — no member carries it).
+	clear(g.restricted)
+	for i := range rs {
+		if !keep[i] {
+			continue
+		}
+		g.restricted[provs[i].Origin] = struct{}{}
+		for _, v := range provs[i].Via {
+			g.restricted[v] = struct{}{}
+		}
+	}
+	// The decoded reference patch, materialized only when some member
+	// cannot take the spliced bytes (gob conn, held ack, split horizon).
+	// codec.PatchForward is the same reference implementation the splice
+	// differential fuzz pins SpliceForward against, so both representations
+	// of the batch are interchangeable by construction.
+	var patched []wire.Refresh
+	patchedFor := func() []wire.Refresh {
+		if patched == nil {
+			patched = codec.PatchForward(rs, keep, versions, fp)
+		}
+		return patched
+	}
+	// Plan member deliveries under the lock, execute outside — the same
+	// two-phase shape as broadcastOnce, but with call-owned plan buffers
+	// (from the pooled scratch): this runs on a cache shard worker,
+	// concurrently with the flusher's own use of the shared group scratch.
+	plan := sc.plan[:0]
+	overrun := sc.overrun[:0]
+	needFrame := false
+	for _, m := range g.members {
+		if int(m.inflight.Load()) >= g.cfg.Queue {
+			overrun = append(overrun, m)
+			continue
+		}
+		var mrs []wire.Refresh
+		shared := true
+		needsFilter := len(m.memberHeld) > 0
+		if !needsFilter && m.remoteID != "" {
+			_, needsFilter = g.restricted[m.remoteID]
+		}
+		if needsFilter {
+			mrs, shared = g.memberRefreshesLocked(m, patchedFor())
+			if !shared && len(mrs) == 0 {
+				continue
+			}
+			if !shared {
+				g.fallbacks++
+			}
+		}
+		if shared && m.groupFS != nil {
+			needFrame = true
+		}
+		plan = append(plan, memberPlan{m: m, conn: m.groupConn, fs: m.groupFS, shared: shared, rs: mrs})
+	}
+	s.mu.Unlock()
+
+	b := groupBatchPool.Get().(*groupBatch)
+	b.g = g
+	b.refs.Store(1)
+	if needFrame {
+		// The splice itself: kept items' bytes verbatim, per-hop fields
+		// patched, skipped items never touched.
+		b.frame = codec.SpliceForward(view, keep, versions, fp)
+		g.framesLive.Add(1)
+	}
+	for _, p := range plan {
+		if p.shared && p.fs == nil {
+			b.rs = patchedFor() // gob members need the decoded form
+			break
+		}
+	}
+	if cap(sc.buckets) < len(g.workers) {
+		sc.buckets = make([][]sendItem, len(g.workers))
+	}
+	buckets := sc.buckets[:len(g.workers)]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	for _, p := range plan {
+		it := sendItem{sess: p.m, conn: p.conn}
+		if p.shared {
+			b.refs.Add(1)
+			it.batch = b
+			it.n = scheduled
+			if p.fs != nil {
+				b.frame.Retain()
+				it.frame = b.frame
+				it.fs = p.fs
+			} else {
+				it.rs = b.rs
+			}
+		} else {
+			it.rs = p.rs
+			it.n = len(p.rs)
+		}
+		p.m.inflight.Add(1)
+		buckets[p.m.workerIdx] = append(buckets[p.m.workerIdx], it)
+	}
+	for wi, items := range buckets {
+		if len(items) == 0 {
+			continue
+		}
+		w := g.workers[wi]
+		w.mu.Lock()
+		w.queue = append(w.queue, items...)
+		w.cond.Signal()
+		w.mu.Unlock()
+	}
+	b.release()
+
+	if len(overrun) > 0 {
+		s.mu.Lock()
+		for _, m := range overrun {
+			if m.grouped {
+				g.overruns++
+				g.detachLocked(m, true)
+			}
+		}
+		s.reallocateLocked()
+		s.mu.Unlock()
+	}
+	// Hand any regrown buffers back to the scratch so their capacity is
+	// reused by the next batch; the workers copied every enqueued item.
+	sc.plan, sc.overrun = plan[:0], overrun[:0]
+	return scheduled, true
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestsync/internal/wire"
@@ -27,8 +28,9 @@ import (
 // clients side by side — no flag, no restart ordering between daemons.
 type tcpServer struct {
 	ln      net.Listener
-	batches chan wire.RefreshBatch
+	batches chan InboundBatch
 	replies chan wire.PollReply
+	retain  atomic.Bool // FrameRetainer: keep inbound binary batch frames
 
 	mu     sync.Mutex
 	conns  map[string]*tcpServerConn
@@ -78,7 +80,7 @@ func Serve(ln net.Listener, buffer int) CacheEndpoint {
 	}
 	s := &tcpServer{
 		ln:      ln,
-		batches: make(chan wire.RefreshBatch, buffer),
+		batches: make(chan InboundBatch, buffer),
 		replies: make(chan wire.PollReply, buffer),
 		conns:   map[string]*tcpServerConn{},
 	}
@@ -104,21 +106,30 @@ func (s *tcpServer) acceptLoop() {
 // connection (a binary stream's frame boundary is unknowable after a bad
 // frame, and a gob stream is equally unrecoverable after a decode error).
 type envelopeReader interface {
-	readEnvelope() (wire.CacheBound, error)
+	// readEnvelope returns the decoded envelope and, when the stream is
+	// binary and retention is on, the retained batch frame (nil otherwise).
+	readEnvelope() (wire.CacheBound, *codec.Frame, error)
 }
 
 type gobEnvelopeReader struct{ dec *gob.Decoder }
 
-func (g gobEnvelopeReader) readEnvelope() (wire.CacheBound, error) {
+func (g gobEnvelopeReader) readEnvelope() (wire.CacheBound, *codec.Frame, error) {
 	var env wire.CacheBound
 	err := g.dec.Decode(&env)
-	return env, err
+	return env, nil, err
 }
 
-type binEnvelopeReader struct{ dec *codec.Decoder }
+type binEnvelopeReader struct {
+	dec    *codec.Decoder
+	retain *atomic.Bool
+}
 
-func (b binEnvelopeReader) readEnvelope() (wire.CacheBound, error) {
-	return b.dec.ReadCacheBound()
+func (b binEnvelopeReader) readEnvelope() (wire.CacheBound, *codec.Frame, error) {
+	if b.retain.Load() {
+		return b.dec.ReadCacheBoundRetained()
+	}
+	env, err := b.dec.ReadCacheBound()
+	return env, nil, err
 }
 
 // handshake performs the per-connection encoding detection and Hello
@@ -165,8 +176,13 @@ func (s *tcpServer) handshake(conn net.Conn, br *bufio.Reader, sc *tcpServerConn
 		return wire.Hello{}, nil, err
 	}
 	sc.bin = true
-	return hello, binEnvelopeReader{dec}, nil
+	return hello, binEnvelopeReader{dec: dec, retain: &s.retain}, nil
 }
+
+// RetainFrames implements FrameRetainer. Retention applies to envelopes
+// decoded after the call; in-flight envelopes on other goroutines keep the
+// mode they were read under.
+func (s *tcpServer) RetainFrames(on bool) { s.retain.Store(on) }
 
 // readBufSize sizes the per-connection read buffer: big enough that a
 // batch-64 frame arrives in one read(2) instead of a dozen.
@@ -195,7 +211,7 @@ func (s *tcpServer) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	for {
-		env, err := rd.readEnvelope()
+		env, frame, err := rd.readEnvelope()
 		if err != nil {
 			break // terminal for both codecs: close below
 		}
@@ -203,6 +219,9 @@ func (s *tcpServer) handle(conn net.Conn) {
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
+			if frame != nil {
+				frame.Release()
+			}
 			break
 		}
 		switch {
@@ -215,17 +234,26 @@ func (s *tcpServer) handle(conn net.Conn) {
 			// it (with the decoder's string interning that comparison is a
 			// pointer check), so a well-formed batch passes through without
 			// a single struct copy or pointer write.
+			//
+			// Any mutation — a dropped refresh or a re-stamped SourceID —
+			// desynchronizes the retained frame from the batch, so the frame
+			// is released and the batch travels frameless (splice falls back
+			// to re-encode). The invariant downstream code relies on: a
+			// non-nil Frame encodes exactly Refreshes, in order.
 			n := 0
+			mutated := false
 			for i := range b.Refreshes {
 				r := &b.Refreshes[i]
 				// Validate's three checks, inlined: the method has a value
 				// receiver, and copying every refresh to validate it costs
 				// more than the validation.
 				if r.SourceID == "" || r.ObjectID == "" || r.Hops < 0 {
+					mutated = true
 					continue
 				}
 				if r.SourceID != hello.SourceID {
 					r.SourceID = hello.SourceID
+					mutated = true
 				}
 				if n != i {
 					b.Refreshes[n] = *r
@@ -233,10 +261,14 @@ func (s *tcpServer) handle(conn net.Conn) {
 				n++
 			}
 			b.Refreshes = b.Refreshes[:n]
+			if frame != nil && (mutated || n == 0) {
+				frame.Release()
+				frame = nil
+			}
 			if len(b.Refreshes) == 0 {
 				continue
 			}
-			s.batches <- b
+			s.batches <- InboundBatch{RefreshBatch: b, Frame: frame}
 		case env.Reply != nil:
 			rp := *env.Reply
 			rp.SourceID = hello.SourceID // stream identity is authoritative
@@ -260,7 +292,7 @@ func (s *tcpServer) handle(conn net.Conn) {
 }
 
 // Batches implements CacheEndpoint.
-func (s *tcpServer) Batches() <-chan wire.RefreshBatch { return s.batches }
+func (s *tcpServer) Batches() <-chan InboundBatch { return s.batches }
 
 // Replies implements PollEndpoint.
 func (s *tcpServer) Replies() <-chan wire.PollReply { return s.replies }

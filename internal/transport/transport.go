@@ -32,10 +32,34 @@ import (
 	"time"
 
 	"bestsync/internal/wire"
+	"bestsync/internal/wire/codec"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: closed")
+
+// InboundBatch is one refresh batch as delivered to the cache, optionally
+// paired with the retained wire frame it arrived in. Frame is non-nil only
+// when the endpoint was asked to retain frames (FrameRetainer), the batch
+// arrived on a binary-codec stream, and the server's validate/stamp pass
+// changed nothing — in which case Frame's encoded items correspond 1:1, in
+// order, with Refreshes. Ownership of the frame reference transfers to the
+// receiver, which must Release it (directly or by handing it to a consumer
+// that does).
+type InboundBatch struct {
+	wire.RefreshBatch
+	Frame *codec.Frame
+}
+
+// FrameRetainer is implemented by endpoints that can retain inbound binary
+// frames alongside the decoded batch (the raw material for splice
+// forwarding). Retention is off by default: a leaf cache that never
+// re-exports pays nothing for the capability.
+type FrameRetainer interface {
+	// RetainFrames toggles frame retention for batches decoded after the
+	// call. It is safe to call concurrently with the read loops.
+	RetainFrames(bool)
+}
 
 // SourceConn is a source's connection to the cache.
 type SourceConn interface {
@@ -86,8 +110,9 @@ type PollEndpoint interface {
 // CacheEndpoint is the cache's view of all connected sources.
 type CacheEndpoint interface {
 	// Batches delivers incoming refresh batches from every source. A
-	// refresh sent individually arrives as a batch of one.
-	Batches() <-chan wire.RefreshBatch
+	// refresh sent individually arrives as a batch of one. The Frame field
+	// is nil unless the endpoint retains frames (see FrameRetainer).
+	Batches() <-chan InboundBatch
 	// SendFeedback sends a positive-feedback message to one source (the
 	// cache stamps its CacheID so fan-out sources can attribute it).
 	// Unknown sources are an error; feedback to a disconnected source is
@@ -103,7 +128,7 @@ type CacheEndpoint interface {
 // of source connections.
 type Local struct {
 	mu       sync.Mutex
-	batches  chan wire.RefreshBatch
+	batches  chan InboundBatch
 	replies  chan wire.PollReply
 	feedback map[string]chan wire.Feedback
 	polls    map[string]chan wire.Poll
@@ -120,7 +145,7 @@ func NewLocal(buffer int) *Local {
 		buffer = 1
 	}
 	return &Local{
-		batches:  make(chan wire.RefreshBatch, buffer),
+		batches:  make(chan InboundBatch, buffer),
 		replies:  make(chan wire.PollReply, buffer),
 		feedback: make(map[string]chan wire.Feedback),
 		polls:    make(map[string]chan wire.Poll),
@@ -128,8 +153,9 @@ func NewLocal(buffer int) *Local {
 	}
 }
 
-// Batches implements CacheEndpoint.
-func (l *Local) Batches() <-chan wire.RefreshBatch { return l.batches }
+// Batches implements CacheEndpoint. Local batches never carry a frame:
+// nothing was ever encoded, so there is nothing to splice.
+func (l *Local) Batches() <-chan InboundBatch { return l.batches }
 
 // Replies implements PollEndpoint.
 func (l *Local) Replies() <-chan wire.PollReply { return l.replies }
@@ -284,7 +310,7 @@ func (c *localConn) send(rs []wire.Refresh) error {
 	if closed || !connected {
 		return ErrClosed
 	}
-	c.net.batches <- wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()}
+	c.net.batches <- InboundBatch{RefreshBatch: wire.RefreshBatch{Refreshes: rs, SentUnix: time.Now().UnixNano()}}
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 // recvOne receives one batch from ch and returns its only refresh.
-func recvOne(t *testing.T, ch <-chan wire.RefreshBatch) wire.Refresh {
+func recvOne(t *testing.T, ch <-chan InboundBatch) wire.Refresh {
 	t.Helper()
 	select {
 	case b := <-ch:

@@ -141,6 +141,49 @@ func (d *Decoder) ReadCacheBound() (wire.CacheBound, error) {
 	return wire.CacheBound{}, badFrame("unexpected cache-bound frame kind 0x%02x", kind)
 }
 
+// ReadCacheBoundRetained is ReadCacheBound plus, for batch envelopes, a
+// retained copy of the raw frame (one reference; Release when done). The
+// copy is unavoidable — the decoder's read buffer is reused by the next
+// frame — but it lands in a pooled Frame, so a relay's splice-forwarding
+// path still allocates nothing in steady state. Reply envelopes and errors
+// return a nil frame.
+func (d *Decoder) ReadCacheBoundRetained() (wire.CacheBound, *Frame, error) {
+	kind, p, err := d.readFrame()
+	if err != nil {
+		return wire.CacheBound{}, nil, err
+	}
+	switch kind {
+	case KindBatch:
+		b, err := decodeBatch(&p)
+		if err != nil {
+			return wire.CacheBound{}, nil, err
+		}
+		if err := p.done(); err != nil {
+			return wire.CacheBound{}, nil, err
+		}
+		return wire.CacheBound{Batch: b}, newRetainedBatchFrame(p.b), nil
+	case KindReply:
+		r, err := decodeReply(&p)
+		if err != nil {
+			return wire.CacheBound{}, nil, err
+		}
+		return wire.CacheBound{Reply: r}, nil, p.done()
+	}
+	return wire.CacheBound{}, nil, badFrame("unexpected cache-bound frame kind 0x%02x", kind)
+}
+
+// newRetainedBatchFrame re-frames a decoded batch payload into a pooled
+// Frame with one reference. The header is re-emitted (canonically) rather
+// than copied — readFrame does not keep the header bytes.
+func newRetainedBatchFrame(payload []byte) *Frame {
+	f := framePool.Get().(*Frame)
+	f.refs.Store(1)
+	buf := append(f.buf[:0], KindBatch)
+	buf = appendUvarint(buf, uint64(len(payload)))
+	f.buf = append(buf, payload...)
+	return f
+}
+
 // ReadSourceBound reads the next cache→source envelope (a Feedback or Poll
 // frame).
 func (d *Decoder) ReadSourceBound() (wire.SourceBound, error) {

@@ -1,0 +1,435 @@
+// Splice forwarding: relay-side frame pass-through. A relay that received a
+// binary RefreshBatch frame and wants to re-export (a subset of) its items
+// does not need to re-serialize them — most bytes of a forwarded refresh are
+// identical to the inbound ones. ParseBatchFrame indexes a received frame
+// into per-item byte ranges without materializing a single string, and
+// AppendSpliced/SpliceForward assemble the outgoing frame by copying the
+// invariant spans verbatim (object id, origin, via prefix, origin axis,
+// value) and patching only the per-hop fields: the relay's SourceID stamp,
+// Hops+1, Via append-self, and the relay's own Version/Epoch/Threshold/
+// SentUnix. The contract — pinned by FuzzSpliceForward — is byte-identity:
+// the spliced frame equals what decode → patch (PatchForward) →
+// NewBatchFrame would produce for the same keep mask.
+//
+// Byte-identity only holds when the copied inbound spans are canonically
+// encoded (minimal-length varints), which everything this codec's own
+// encoder emits is. ParseBatchFrame therefore rejects non-canonical
+// encodings on every copied span with ErrNonCanonical; callers treat that
+// (like any parse error) as "fall back to the decode→re-encode path", never
+// as a protocol error.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"bestsync/internal/wire"
+)
+
+// ErrNonCanonical reports an inbound frame whose copied spans use
+// non-minimal varint encodings: legal to DECODE, but splicing them verbatim
+// would break byte-identity with a fresh encode. Callers fall back to the
+// decode→re-encode path.
+var ErrNonCanonical = errors.New("codec: non-canonical encoding, splice ineligible")
+
+// spliceItem records one refresh's byte ranges inside a batch payload. All
+// offsets index the BatchView's payload slice; spans that are copied into
+// the forwarded frame include their length prefixes.
+type spliceItem struct {
+	srcOff, srcEnd       int32 // SourceID string incl. length prefix
+	objOff, objEnd       int32 // ObjectID string incl. length prefix
+	originOff, originEnd int32 // Origin string incl. length prefix
+	viaOff, viaEnd       int32 // Via elements (excl. the count prefix)
+	axisOff, axisEnd     int32 // OriginEpoch varint + OriginVersion uvarint
+	valOff               int32 // 8-byte little-endian value
+	viaCount             int32
+	hops                 int64
+	originEmpty          bool   // Origin == "": forwarded Origin is the SourceID span
+	axisDirect           bool   // OriginEpoch == 0: forwarded axis is (Epoch, Version)
+	epoch                int64  // decoded Epoch (axis synthesis when axisDirect)
+	version              uint64 // decoded Version (axis synthesis when axisDirect)
+}
+
+// BatchView is a lazily indexed view over one binary RefreshBatch frame:
+// per-item byte ranges plus the handful of decoded integers splicing needs.
+// It holds no reference of its own — the caller must keep the underlying
+// Frame retained for the view's lifetime — and is pooled: Release it when
+// done.
+type BatchView struct {
+	b        []byte // payload bytes (aliases the parsed frame)
+	items    []spliceItem
+	SentUnix int64
+}
+
+var batchViewPool = sync.Pool{New: func() any { return &BatchView{} }}
+
+// Len returns the number of items in the viewed batch.
+func (v *BatchView) Len() int { return len(v.items) }
+
+// Release returns the view to its pool. The view must not be used after.
+func (v *BatchView) Release() {
+	v.b = nil
+	v.items = v.items[:0]
+	batchViewPool.Put(v)
+}
+
+// uvarintLen returns the canonical (minimal) encoded length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the canonical encoded length of zigzag-folded v.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// spanCursor walks a payload tracking offsets, rejecting non-canonical
+// varints (see ErrNonCanonical) so every span it delimits can be copied
+// verbatim into a canonically encoded frame.
+type spanCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *spanCursor) uvarint() (uint64, error) {
+	// Single-byte encodings are canonical by construction and the common
+	// case for the small integers a batch is mostly made of.
+	if c.off < len(c.b) {
+		if b := c.b[c.off]; b < 0x80 {
+			c.off++
+			return uint64(b), nil
+		}
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, badFrame("truncated or over-long uvarint at offset %d", c.off)
+	}
+	if n != uvarintLen(v) {
+		return 0, ErrNonCanonical
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *spanCursor) varint() (int64, error) {
+	if c.off < len(c.b) {
+		if b := c.b[c.off]; b < 0x80 {
+			c.off++
+			return int64(b>>1) ^ -int64(b&1), nil // zigzag unfold
+		}
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		return 0, badFrame("truncated or over-long varint at offset %d", c.off)
+	}
+	if n != varintLen(v) {
+		return 0, ErrNonCanonical
+	}
+	c.off += n
+	return v, nil
+}
+
+// strSpan delimits one length-prefixed string, returning the span including
+// its prefix.
+func (c *spanCursor) strSpan() (off, end int32, err error) {
+	start := c.off
+	n, err := c.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return 0, 0, badFrame("string length %d exceeds %d remaining payload bytes", n, len(c.b)-c.off)
+	}
+	c.off += int(n)
+	return int32(start), int32(c.off), nil
+}
+
+func (c *spanCursor) skip(n int) error {
+	if len(c.b)-c.off < n {
+		return badFrame("truncated field at offset %d", c.off)
+	}
+	c.off += n
+	return nil
+}
+
+// ParseBatchFrame indexes one complete binary RefreshBatch frame (header
+// included, exactly as Frame.Bytes returns it) into a pooled BatchView. No
+// strings are materialized. Frames that are not a batch, are malformed, or
+// use non-canonical encodings on a copied span return an error; the caller
+// falls back to the ordinary decode path.
+func ParseBatchFrame(frame []byte) (*BatchView, error) {
+	if len(frame) == 0 || frame[0] != KindBatch {
+		return nil, badFrame("not a batch frame")
+	}
+	length, n := binary.Uvarint(frame[1:])
+	if n <= 0 || uint64(len(frame)-1-n) != length {
+		return nil, badFrame("frame length prefix does not match payload")
+	}
+	v := batchViewPool.Get().(*BatchView)
+	v.b = frame[1+n:]
+	c := spanCursor{b: v.b}
+	count, err := c.uvarint()
+	if err != nil {
+		v.Release()
+		return nil, err
+	}
+	if count*minRefreshEnc > uint64(len(v.b)) {
+		v.Release()
+		return nil, badFrame("element count %d exceeds payload", count)
+	}
+	if uint64(cap(v.items)) < count {
+		v.items = make([]spliceItem, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var it spliceItem
+		if it.srcOff, it.srcEnd, err = c.strSpan(); err != nil {
+			v.Release()
+			return nil, err
+		}
+		if it.objOff, it.objEnd, err = c.strSpan(); err != nil {
+			v.Release()
+			return nil, err
+		}
+		if _, _, err = c.strSpan(); err != nil { // CacheID: re-stamped, span unused
+			v.Release()
+			return nil, err
+		}
+		if it.originOff, it.originEnd, err = c.strSpan(); err != nil {
+			v.Release()
+			return nil, err
+		}
+		it.originEmpty = it.originEnd-it.originOff == 1
+		if it.hops, err = c.varint(); err != nil {
+			v.Release()
+			return nil, err
+		}
+		nVia, err := c.uvarint()
+		if err != nil {
+			v.Release()
+			return nil, err
+		}
+		if nVia > uint64(len(c.b)-c.off) {
+			v.Release()
+			return nil, badFrame("via count %d exceeds payload", nVia)
+		}
+		it.viaCount = int32(nVia)
+		it.viaOff = int32(c.off)
+		for j := uint64(0); j < nVia; j++ {
+			if _, _, err = c.strSpan(); err != nil {
+				v.Release()
+				return nil, err
+			}
+		}
+		it.viaEnd = int32(c.off)
+		it.axisOff = int32(c.off)
+		oe, err := c.varint()
+		if err != nil {
+			v.Release()
+			return nil, err
+		}
+		if _, err = c.uvarint(); err != nil { // OriginVersion
+			v.Release()
+			return nil, err
+		}
+		it.axisEnd = int32(c.off)
+		it.axisDirect = oe == 0
+		it.valOff = int32(c.off)
+		if err = c.skip(8); err != nil { // Value
+			v.Release()
+			return nil, err
+		}
+		if it.version, err = c.uvarint(); err != nil { // Version
+			v.Release()
+			return nil, err
+		}
+		if it.epoch, err = c.varint(); err != nil { // Epoch
+			v.Release()
+			return nil, err
+		}
+		if err = c.skip(8); err != nil { // Threshold
+			v.Release()
+			return nil, err
+		}
+		if _, err = c.varint(); err != nil { // SentUnix
+			v.Release()
+			return nil, err
+		}
+		v.items = append(v.items, it)
+	}
+	sent, err := c.varint()
+	if err != nil {
+		v.Release()
+		return nil, err
+	}
+	v.SentUnix = sent
+	if c.off != len(v.b) {
+		v.Release()
+		return nil, badFrame("%d trailing bytes after last field", len(v.b)-c.off)
+	}
+	return v, nil
+}
+
+// ForwardPatch is the per-hop patch a relay applies to every forwarded item:
+// its own identity (stamped as SourceID and appended to Via), its epoch, the
+// outgoing session's threshold, and the forward time.
+type ForwardPatch struct {
+	SourceID  string
+	Epoch     int64
+	Threshold float64
+	SentUnix  int64
+}
+
+// AppendSpliced appends a forwarded RefreshBatch frame to dst: for every
+// item i of v with keep[i], the invariant spans are copied verbatim and the
+// per-hop fields patched (versions[i] is the relay's canonical version
+// counter for the item's object). The result is byte-identical to
+// NewBatchFrame(PatchForward(decoded, keep, versions, p), p.SentUnix).
+//
+// Unlike the general encoders this does not stage the payload in the scratch
+// and re-copy it through appendFrame: the per-item spans make the payload
+// length exactly computable up front, so after a pure-arithmetic size pass
+// the frame is written once, directly into dst. The patch constants —
+// SourceID, Epoch, Threshold, SentUnix, identical for every item of the
+// batch — are encoded once and copied per item.
+func (e *Encoder) AppendSpliced(dst []byte, v *BatchView, keep []bool, versions []uint64, p ForwardPatch) []byte {
+	s := appendString(e.scratch[:0], p.SourceID)
+	srcEnd := len(s)
+	s = appendVarint(s, p.Epoch)
+	epochEnd := len(s)
+	s = appendF64(s, p.Threshold)
+	s = appendVarint(s, p.SentUnix)
+	e.scratch = s
+	src, epoch, tail := s[:srcEnd], s[srcEnd:epochEnd], s[epochEnd:] // tail = Threshold + SentUnix
+	sentLen := len(tail) - 8
+
+	// Size pass.
+	b := v.b
+	kept, payload := 0, 0
+	for i := range v.items {
+		if !keep[i] {
+			continue
+		}
+		kept++
+		it := &v.items[i]
+		n := 2*srcEnd + int(it.objEnd-it.objOff) + 1 + int(it.viaEnd-it.viaOff) +
+			uvarintLen(uint64(it.viaCount)+1) + 8 + uvarintLen(versions[i]) +
+			(len(s) - srcEnd) // Epoch + Threshold + SentUnix constants
+		hops := it.hops
+		if int64(it.viaCount) > hops {
+			hops = int64(it.viaCount)
+		}
+		n += varintLen(hops + 1)
+		if it.originEmpty {
+			n += int(it.srcEnd - it.srcOff)
+		} else {
+			n += int(it.originEnd - it.originOff)
+		}
+		if it.axisDirect {
+			n += varintLen(it.epoch) + uvarintLen(it.version)
+		} else {
+			n += int(it.axisEnd - it.axisOff)
+		}
+		payload += n
+	}
+	payload += uvarintLen(uint64(kept)) + sentLen // count prefix + batch SentUnix trailer
+
+	// Write pass.
+	dst = append(dst, KindBatch)
+	dst = appendUvarint(dst, uint64(payload))
+	off := len(dst)
+	if cap(dst)-off < payload {
+		grown := make([]byte, off, off+payload)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+payload]
+	w := dst[off:]
+	n := binary.PutUvarint(w, uint64(kept))
+	for i := range v.items {
+		if !keep[i] {
+			continue
+		}
+		it := &v.items[i]
+		n += copy(w[n:], src)                    // SourceID: relay stamp
+		n += copy(w[n:], b[it.objOff:it.objEnd]) // ObjectID verbatim
+		w[n] = 0x00                              // CacheID "": shared frames are unaddressed
+		n++
+		if it.originEmpty { // Origin: inbound OriginID()
+			n += copy(w[n:], b[it.srcOff:it.srcEnd])
+		} else {
+			n += copy(w[n:], b[it.originOff:it.originEnd])
+		}
+		hops := it.hops // depth = max(declared, path length), as Node.reexport
+		if int64(it.viaCount) > hops {
+			hops = int64(it.viaCount)
+		}
+		n += binary.PutVarint(w[n:], hops+1)
+		n += binary.PutUvarint(w[n:], uint64(it.viaCount)+1) // Via: inbound path + self
+		n += copy(w[n:], b[it.viaOff:it.viaEnd])
+		n += copy(w[n:], src)
+		if it.axisDirect { // origin axis preserved across the hop
+			n += binary.PutVarint(w[n:], it.epoch)
+			n += binary.PutUvarint(w[n:], it.version)
+		} else {
+			n += copy(w[n:], b[it.axisOff:it.axisEnd])
+		}
+		n += copy(w[n:], b[it.valOff:it.valOff+8]) // Value verbatim
+		n += binary.PutUvarint(w[n:], versions[i]) // Version: relay's own counter
+		n += copy(w[n:], epoch)
+		n += copy(w[n:], tail) // Threshold + SentUnix
+	}
+	copy(w[n:], tail[8:]) // batch SentUnix trailer
+	return dst
+}
+
+// SpliceForward assembles the forwarded frame for v's kept items into a
+// pooled Frame with one reference (exactly like NewBatchFrame).
+func SpliceForward(v *BatchView, keep []bool, versions []uint64, p ForwardPatch) *Frame {
+	f := framePool.Get().(*Frame)
+	f.refs.Store(1)
+	f.buf = f.enc.AppendSpliced(f.buf[:0], v, keep, versions, p)
+	return f
+}
+
+// PatchForward is the reference (decode-side) implementation of the per-hop
+// patch: it builds the forwarded refreshes from fully decoded inbound ones.
+// SpliceForward's output is byte-identical to encoding PatchForward's — the
+// differential contract the fuzz harness pins — and the runtime's fallback
+// path produces exactly these refreshes through Provenance bookkeeping.
+func PatchForward(rs []wire.Refresh, keep []bool, versions []uint64, p ForwardPatch) []wire.Refresh {
+	out := make([]wire.Refresh, 0, len(rs))
+	for i := range rs {
+		if !keep[i] {
+			continue
+		}
+		r := &rs[i]
+		hops := r.Hops
+		if l := len(r.Via); l > hops {
+			hops = l
+		}
+		via := make([]string, 0, len(r.Via)+1)
+		via = append(append(via, r.Via...), p.SourceID)
+		oe, ov := r.OriginAxis()
+		out = append(out, wire.Refresh{
+			SourceID:      p.SourceID,
+			ObjectID:      r.ObjectID,
+			Origin:        r.OriginID(),
+			Hops:          hops + 1,
+			Via:           via,
+			OriginEpoch:   oe,
+			OriginVersion: ov,
+			Value:         r.Value,
+			Version:       versions[i],
+			Epoch:         p.Epoch,
+			Threshold:     p.Threshold,
+			SentUnix:      p.SentUnix,
+		})
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bestsync/internal/wire"
+)
+
+// samplePatch is the per-hop patch the splice tests apply.
+func samplePatch() ForwardPatch {
+	return ForwardPatch{SourceID: "relay-2", Epoch: 1700000002000, Threshold: 0.5, SentUnix: 4242}
+}
+
+// checkSpliceDifferential asserts the tentpole contract on one (frame, keep
+// mask) pair: SpliceForward's bytes equal NewBatchFrame over PatchForward's
+// decoded patch, and the spliced frame itself re-parses (a second-tier relay
+// can splice a first tier's splice).
+func checkSpliceDifferential(t *testing.T, frame []byte, keep []bool, versions []uint64, p ForwardPatch) {
+	t.Helper()
+	view, err := ParseBatchFrame(frame)
+	if err != nil {
+		t.Fatalf("ParseBatchFrame: %v", err)
+	}
+	defer view.Release()
+	env, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound()
+	if err != nil || env.Batch == nil {
+		t.Fatalf("decoding the parseable frame: %v", err)
+	}
+	if view.Len() != len(env.Batch.Refreshes) || view.SentUnix != env.Batch.SentUnix {
+		t.Fatalf("view shape (%d items, sent %d) disagrees with decode (%d, %d)",
+			view.Len(), view.SentUnix, len(env.Batch.Refreshes), env.Batch.SentUnix)
+	}
+	spliced := SpliceForward(view, keep, versions, p)
+	defer spliced.Release()
+	patched := PatchForward(env.Batch.Refreshes, keep, versions, p)
+	want := NewBatchFrame(patched, p.SentUnix)
+	defer want.Release()
+	if !bytes.Equal(spliced.Bytes(), want.Bytes()) {
+		t.Fatalf("spliced frame differs from decode→patch→re-encode:\n got %x\nwant %x", spliced.Bytes(), want.Bytes())
+	}
+	v2, err := ParseBatchFrame(spliced.Bytes())
+	if err != nil {
+		t.Fatalf("spliced frame does not re-parse: %v", err)
+	}
+	v2.Release()
+}
+
+func TestSpliceForwardDifferential(t *testing.T) {
+	var enc Encoder
+	relayed := sampleRefresh()                                                                 // origin + via + explicit axis
+	direct := wire.Refresh{SourceID: "s1", ObjectID: "s1/x", Value: 1.5, Version: 9, Epoch: 3} // empty origin, direct axis
+	hostileHops := wire.Refresh{SourceID: "s2", ObjectID: "s2/y", Hops: 1,
+		Via: []string{"a", "b", "c"}, Value: math.NaN(), Version: 2, Epoch: -7, SentUnix: -1}
+	batches := map[string]wire.RefreshBatch{
+		"mixed":   {Refreshes: []wire.Refresh{relayed, direct}, SentUnix: 42},
+		"direct":  {Refreshes: []wire.Refresh{direct, direct, direct}, SentUnix: -9},
+		"hostile": {Refreshes: []wire.Refresh{hostileHops, relayed}, SentUnix: 0},
+		"empty":   {SentUnix: 17},
+	}
+	for name, b := range batches {
+		frame := enc.AppendBatch(nil, b)
+		n := len(b.Refreshes)
+		masks := [][]bool{make([]bool, n)}
+		all := make([]bool, n)
+		for i := range all {
+			all[i] = true
+		}
+		masks = append(masks, all)
+		for i := 0; i < n; i++ {
+			m := make([]bool, n)
+			m[i] = true
+			masks = append(masks, m)
+		}
+		versions := make([]uint64, n)
+		for i := range versions {
+			versions[i] = uint64(1000 + i)
+		}
+		for mi, keep := range masks {
+			t.Run(fmt.Sprintf("%s/mask-%d", name, mi), func(t *testing.T) {
+				checkSpliceDifferential(t, frame, keep, versions, samplePatch())
+			})
+		}
+	}
+}
+
+// TestSplicedFrameDecodes pins the semantic half of the contract: a leaf
+// decoding the spliced frame sees exactly the refreshes the fallback path
+// would have sent (relay stamp, hop bump, appended path, preserved axis).
+func TestSplicedFrameDecodes(t *testing.T) {
+	var enc Encoder
+	b := sampleBatch()
+	frame := enc.AppendBatch(nil, b)
+	view, err := ParseBatchFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Release()
+	keep := []bool{true, true}
+	versions := []uint64{100, 7}
+	p := samplePatch()
+	spliced := SpliceForward(view, keep, versions, p)
+	defer spliced.Release()
+	env, err := NewDecoder(bytes.NewReader(spliced.Bytes())).ReadCacheBound()
+	if err != nil {
+		t.Fatalf("decoding the spliced frame: %v", err)
+	}
+	want := PatchForward(b.Refreshes, keep, versions, p)
+	if !reflect.DeepEqual(env.Batch.Refreshes, want) {
+		t.Fatalf("spliced frame decoded to:\n %+v\nwant\n %+v", env.Batch.Refreshes, want)
+	}
+	if env.Batch.SentUnix != p.SentUnix {
+		t.Fatalf("spliced batch SentUnix = %d, want %d", env.Batch.SentUnix, p.SentUnix)
+	}
+	// Spot-check the per-hop patch on the relayed item.
+	r := env.Batch.Refreshes[0]
+	in := b.Refreshes[0]
+	if r.SourceID != p.SourceID || r.Origin != in.Origin || r.Hops != in.Hops+1 ||
+		r.OriginEpoch != in.OriginEpoch || r.OriginVersion != in.OriginVersion ||
+		r.Version != 100 || r.Epoch != p.Epoch || r.CacheID != "" {
+		t.Fatalf("per-hop patch wrong: %+v", r)
+	}
+	if wantVia := append(append([]string{}, in.Via...), p.SourceID); !reflect.DeepEqual(r.Via, wantVia) {
+		t.Fatalf("via = %v, want %v", r.Via, wantVia)
+	}
+	// The direct item's origin axis must materialize from the sender axis.
+	d := env.Batch.Refreshes[1]
+	if d.Origin != b.Refreshes[1].SourceID || d.OriginEpoch != b.Refreshes[1].Epoch ||
+		d.OriginVersion != b.Refreshes[1].Version {
+		t.Fatalf("direct item's origin axis not preserved: %+v", d)
+	}
+}
+
+// TestParseBatchFrameRejectsNonCanonical: a frame using a legal but
+// non-minimal varint on a copied span decodes fine but is splice-ineligible.
+func TestParseBatchFrameRejectsNonCanonical(t *testing.T) {
+	// One minimal refresh, but SourceID's length prefix (1) encoded in two
+	// bytes (0x81 0x00) — legal LEB128, not canonical.
+	payload := []byte{
+		0x01,            // count
+		0x81, 0x00, 'a', // SourceID "a", non-minimal length prefix
+		0x01, 'b', // ObjectID "b"
+		0x00,       // CacheID ""
+		0x00,       // Origin ""
+		0x00,       // Hops 0
+		0x00,       // Via count 0
+		0x00, 0x00, // OriginEpoch, OriginVersion
+		0, 0, 0, 0, 0, 0, 0, 0, // Value
+		0x00, 0x00, // Version, Epoch
+		0, 0, 0, 0, 0, 0, 0, 0, // Threshold
+		0x00, // SentUnix
+		0x00, // batch SentUnix
+	}
+	frame := append([]byte{KindBatch, byte(len(payload))}, payload...)
+	if _, err := ParseBatchFrame(frame); !errors.Is(err, ErrNonCanonical) {
+		t.Fatalf("ParseBatchFrame = %v, want ErrNonCanonical", err)
+	}
+	env, err := NewDecoder(bytes.NewReader(frame)).ReadCacheBound()
+	if err != nil || env.Batch == nil || env.Batch.Refreshes[0].SourceID != "a" {
+		t.Fatalf("the decoder must still accept the non-canonical frame: %v %+v", err, env.Batch)
+	}
+}
+
+func TestParseBatchFrameRejectsNonBatch(t *testing.T) {
+	var enc Encoder
+	for _, frame := range [][]byte{
+		nil,
+		enc.AppendHello(nil, wire.Hello{SourceID: "s1"}),
+		enc.AppendReply(nil, sampleReply()),
+		enc.AppendBatch(nil, sampleBatch())[:5], // truncated
+		{KindBatch, 0x05, 0x00, 0x00},           // length prefix ≠ payload
+	} {
+		if _, err := ParseBatchFrame(frame); err == nil {
+			t.Fatalf("ParseBatchFrame accepted %x", frame)
+		}
+	}
+}
+
+// TestReadCacheBoundRetained: the retained frame is byte-identical to the
+// inbound one (for canonical input), independent of the decoder's reused
+// buffer, and reply envelopes carry no frame.
+func TestReadCacheBoundRetained(t *testing.T) {
+	var enc Encoder
+	frame := enc.AppendBatch(nil, sampleBatch())
+	stream := enc.AppendReply(append([]byte{}, frame...), sampleReply())
+	d := NewDecoder(bytes.NewReader(stream))
+	env, f, err := d.ReadCacheBoundRetained()
+	if err != nil || env.Batch == nil || f == nil {
+		t.Fatalf("retained batch read: %v (frame %v)", err, f)
+	}
+	got := append([]byte{}, f.Bytes()...)
+	f.Release()
+	if !bytes.Equal(got, frame) {
+		t.Fatalf("retained frame drifted:\n got %x\nwant %x", got, frame)
+	}
+	env2, f2, err := d.ReadCacheBoundRetained()
+	if err != nil || env2.Reply == nil || f2 != nil {
+		t.Fatalf("reply must carry a nil frame: %v %v", err, f2)
+	}
+	if _, _, err := d.ReadCacheBoundRetained(); err != io.EOF {
+		t.Fatalf("want EOF at stream end, got %v", err)
+	}
+}
+
+// TestGoldenSplicedFrame pins the spliced encoding the same way
+// testdata/golden pins every other frame: regenerating it requires a
+// conscious -update-golden run.
+func TestGoldenSplicedFrame(t *testing.T) {
+	var enc Encoder
+	inbound := enc.AppendBatch(nil, sampleBatch())
+	view, err := ParseBatchFrame(inbound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Release()
+	spliced := SpliceForward(view, []bool{true, true}, []uint64{100, 7}, samplePatch())
+	defer spliced.Release()
+	got := spliced.Bytes()
+
+	path := filepath.Join("testdata", "golden", "spliced_batch.bin")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden frame (run with -update-golden after an INTENTIONAL format change): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("spliced encoding drifted from the golden frame:\n got %x\nwant %x", got, want)
+	}
+}
+
+// spliceSeedInputs are the committed FuzzSpliceForward seeds: valid frames
+// under interesting masks plus the hostile shapes the raw-bytes path must
+// shrug off.
+func spliceSeedInputs() []struct {
+	data       []byte
+	mask, seed uint64
+} {
+	var enc Encoder
+	direct := wire.Refresh{SourceID: "s1", ObjectID: "s1/x", Value: 1.5, Version: 9, Epoch: 3}
+	mixed := enc.AppendBatch(nil, sampleBatch())
+	directs := enc.AppendBatch(nil, wire.RefreshBatch{Refreshes: []wire.Refresh{direct, direct}, SentUnix: 7})
+	empty := enc.AppendBatch(nil, wire.RefreshBatch{SentUnix: 1})
+	return []struct {
+		data       []byte
+		mask, seed uint64
+	}{
+		{mixed, 3, 1},
+		{mixed, 1, 8}, // long relay id: multi-byte string length prefix
+		{mixed, 0, 2},
+		{directs, 2, 3},
+		{empty, 1, 4},
+		{mixed[:len(mixed)/2], 3, 5},                // truncated
+		{bytes.Repeat([]byte{0xa5}, 40), 1, 6},      // junk
+		{[]byte{KindBatch, 0x02, 0xff, 0xff}, 1, 7}, // hostile count
+	}
+}
+
+// TestWriteSpliceSeedCorpus (with -update-golden) materializes the splice
+// fuzz seeds as native corpus files, replayed by plain `go test`.
+func TestWriteSpliceSeedCorpus(t *testing.T) {
+	if !*updateGolden {
+		t.Skip("corpus writer; run with -update-golden")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSpliceForward")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range spliceSeedInputs() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nuint64(%d)\nuint64(%d)\n",
+			seed.data, seed.mask, seed.seed)
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzSpliceForward is the differential harness pinning the tentpole
+// contract: for ANY frame ParseBatchFrame accepts and ANY skip mask, the
+// spliced output is byte-identical to the decode→patch→re-encode reference.
+// Frames the parser rejects (malformed, non-canonical) are the fallback
+// path's business and out of scope here.
+func FuzzSpliceForward(f *testing.F) {
+	for _, seed := range spliceSeedInputs() {
+		f.Add(seed.data, seed.mask, seed.seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, mask, seed uint64) {
+		view, err := ParseBatchFrame(data)
+		if err != nil {
+			return // splice-ineligible: the runtime falls back to decode→re-encode
+		}
+		defer view.Release()
+		env, err := NewDecoder(bytes.NewReader(data)).ReadCacheBound()
+		if err != nil || env.Batch == nil {
+			t.Fatalf("ParseBatchFrame accepted a frame the decoder rejects: %v", err)
+		}
+		rs := env.Batch.Refreshes
+		if view.Len() != len(rs) || view.SentUnix != env.Batch.SentUnix {
+			t.Fatalf("view shape (%d, %d) disagrees with decode (%d, %d)",
+				view.Len(), view.SentUnix, len(rs), env.Batch.SentUnix)
+		}
+		keep := make([]bool, len(rs))
+		versions := make([]uint64, len(rs))
+		for i := range rs {
+			keep[i] = mask&(1<<(uint(i)%64)) != 0
+			versions[i] = seed*31 + uint64(i)
+		}
+		relayID := fmt.Sprintf("relay-%d", seed%7)
+		if seed&8 != 0 {
+			relayID = strings.Repeat("R", 130) // multi-byte string length prefix
+		}
+		p := ForwardPatch{
+			SourceID:  relayID,
+			Epoch:     int64(seed)*-3 + 11,
+			Threshold: float64(seed%100) / 7,
+			SentUnix:  int64(seed) - 12345,
+		}
+		spliced := SpliceForward(view, keep, versions, p)
+		defer spliced.Release()
+		want := NewBatchFrame(PatchForward(rs, keep, versions, p), p.SentUnix)
+		defer want.Release()
+		if !bytes.Equal(spliced.Bytes(), want.Bytes()) {
+			t.Fatalf("spliced frame differs from decode→patch→re-encode:\n got %x\nwant %x",
+				spliced.Bytes(), want.Bytes())
+		}
+		if v2, err := ParseBatchFrame(spliced.Bytes()); err != nil {
+			t.Fatalf("spliced frame does not re-parse: %v", err)
+		} else {
+			v2.Release()
+		}
+	})
+}
